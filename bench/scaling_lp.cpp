@@ -1,0 +1,97 @@
+// Timing benchmark (google-benchmark) for the LP pipeline, plus the
+// exact-arithmetic ablation called out in DESIGN.md:
+//   * scatter/gossip/reduce LP build+solve time vs platform size;
+//   * double-solve + rational certificate (our default) vs pure exact
+//     simplex — the design choice that makes exact results affordable.
+//
+// Iteration counts are pinned so the full harness stays fast on one core.
+
+#include <benchmark/benchmark.h>
+
+#include "core/gossip_lp.h"
+#include "core/reduce_lp.h"
+#include "core/scatter_lp.h"
+#include "lp/exact_solver.h"
+#include "platform/paper_instances.h"
+#include "testing_support.h"
+
+using namespace ssco;
+
+namespace {
+
+void BM_ScatterLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_scatter_instance(42, n, n / 2);
+  for (auto _ : state) {
+    auto flow = core::solve_scatter(inst);
+    benchmark::DoNotOptimize(flow.throughput);
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+}
+BENCHMARK(BM_ScatterLp)->Arg(6)->Arg(10)->Arg(14)->Arg(18)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GossipLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_gossip_instance(43, n);
+  for (auto _ : state) {
+    auto flow = core::solve_gossip(inst);
+    benchmark::DoNotOptimize(flow.throughput);
+  }
+}
+BENCHMARK(BM_GossipLp)->Arg(6)->Arg(9)->Arg(12)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReduceLp(benchmark::State& state) {
+  const auto participants = static_cast<std::size_t>(state.range(0));
+  auto inst =
+      bench_support::random_reduce_instance(44, participants + 3, participants);
+  for (auto _ : state) {
+    auto sol = core::solve_reduce(inst);
+    benchmark::DoNotOptimize(sol.throughput);
+  }
+  state.counters["participants"] = static_cast<double>(participants);
+}
+BENCHMARK(BM_ReduceLp)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReduceLpTiersPaper(benchmark::State& state) {
+  auto inst = platform::fig9_tiers();
+  for (auto _ : state) {
+    auto sol = core::solve_reduce(inst);
+    benchmark::DoNotOptimize(sol.throughput);
+  }
+}
+BENCHMARK(BM_ReduceLpTiersPaper)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Ablation: double + exact certificate vs pure exact simplex. ---------
+
+void BM_Ablation_DoublePlusCertificate(benchmark::State& state) {
+  auto inst = bench_support::random_scatter_instance(
+      45, static_cast<std::size_t>(state.range(0)), 3);
+  auto model = core::build_scatter_lp(inst);
+  for (auto _ : state) {
+    lp::ExactSolver solver;
+    auto sol = solver.solve(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_Ablation_DoublePlusCertificate)->Arg(8)->Arg(12)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Ablation_PureExactSimplex(benchmark::State& state) {
+  auto inst = bench_support::random_scatter_instance(
+      45, static_cast<std::size_t>(state.range(0)), 3);
+  auto model = core::build_scatter_lp(inst);
+  for (auto _ : state) {
+    auto sol = lp::solve_exact_simplex(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_Ablation_PureExactSimplex)->Arg(8)->Arg(12)->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

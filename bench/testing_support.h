@@ -1,0 +1,180 @@
+#pragma once
+// Instance builders shared by the benchmark binaries (deterministic random
+// platforms and standard-topology role assignments).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/rng.h"
+#include "graph/tiers.h"
+#include "platform/paper_instances.h"
+#include "platform/platform.h"
+
+namespace bench_support {
+
+using ssco::graph::EdgeId;
+using ssco::graph::NodeId;
+using ssco::num::Rational;
+
+/// Connected random platform with small rational link costs and integer
+/// speeds; same seed, same platform.
+inline ssco::platform::Platform random_platform(std::uint64_t seed,
+                                                std::size_t n,
+                                                double extra_edge_prob = 0.3) {
+  ssco::graph::Rng rng(seed);
+  ssco::graph::Digraph topo =
+      ssco::graph::random_connected(n, extra_edge_prob, rng);
+  std::vector<Rational> costs(topo.num_edges());
+  for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+    EdgeId reverse = topo.find_edge(topo.edge(e).dst, topo.edge(e).src);
+    if (reverse != ssco::graph::kInvalidId && reverse < e) {
+      costs[e] = costs[reverse];
+    } else {
+      costs[e] = Rational(static_cast<std::int64_t>(rng.uniform(1, 6)),
+                          static_cast<std::int64_t>(rng.uniform(1, 4)));
+    }
+  }
+  std::vector<Rational> speeds;
+  speeds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    speeds.emplace_back(static_cast<std::int64_t>(rng.uniform(1, 10)));
+  }
+  return ssco::platform::Platform(std::move(topo), std::move(costs),
+                                  std::move(speeds));
+}
+
+inline ssco::platform::ScatterInstance random_scatter_instance(
+    std::uint64_t seed, std::size_t n, std::size_t num_targets) {
+  ssco::platform::ScatterInstance inst;
+  inst.platform = random_platform(seed, n);
+  inst.source = 0;
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    inst.targets.push_back(n - 1 - i);
+  }
+  return inst;
+}
+
+inline ssco::platform::ReduceInstance random_reduce_instance(
+    std::uint64_t seed, std::size_t n, std::size_t participants) {
+  ssco::platform::ReduceInstance inst;
+  inst.platform = random_platform(seed, n);
+  for (std::size_t i = 0; i < participants; ++i) {
+    inst.participants.push_back(n - participants + i);
+  }
+  inst.target = inst.participants.back();
+  return inst;
+}
+
+inline ssco::platform::GossipInstance random_gossip_instance(
+    std::uint64_t seed, std::size_t n) {
+  ssco::platform::GossipInstance inst;
+  inst.platform = random_platform(seed, n);
+  inst.sources = {0, 1};
+  inst.targets = {n - 2, n - 1};
+  return inst;
+}
+
+/// Heterogeneous grid: node 0 scatters to the opposite corner region; link
+/// costs alternate 1/2 and 1 in a checkerboard, speeds graded by row.
+inline ssco::platform::ScatterInstance grid_scatter_instance(
+    std::size_t rows, std::size_t cols) {
+  ssco::graph::Digraph g = ssco::graph::grid(rows, cols);
+  std::vector<Rational> costs(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    costs[e] = (edge.src + edge.dst) % 2 == 0 ? Rational(1) : Rational(1, 2);
+  }
+  std::vector<Rational> speeds(rows * cols, Rational(1));
+  ssco::platform::ScatterInstance inst;
+  inst.platform = ssco::platform::Platform(std::move(g), std::move(costs),
+                                           std::move(speeds));
+  inst.source = 0;
+  inst.targets = {rows * cols - 1, rows * cols - 2, rows * cols - cols};
+  return inst;
+}
+
+inline ssco::platform::GossipInstance complete_gossip_instance(std::size_t n) {
+  ssco::graph::Digraph g = ssco::graph::complete(n);
+  std::vector<Rational> costs(g.num_edges(), Rational(1));
+  std::vector<Rational> speeds(n, Rational(1));
+  ssco::platform::GossipInstance inst;
+  inst.platform = ssco::platform::Platform(std::move(g), std::move(costs),
+                                           std::move(speeds));
+  for (NodeId i = 0; i < n; ++i) {
+    inst.sources.push_back(i);
+    inst.targets.push_back(i);
+  }
+  return inst;
+}
+
+inline ssco::platform::GossipInstance ring_gossip_instance(std::size_t n) {
+  ssco::graph::Digraph g = ssco::graph::ring(n);
+  std::vector<Rational> costs(g.num_edges(), Rational(1));
+  std::vector<Rational> speeds(n, Rational(1));
+  ssco::platform::GossipInstance inst;
+  inst.platform = ssco::platform::Platform(std::move(g), std::move(costs),
+                                           std::move(speeds));
+  for (NodeId i = 0; i < n; ++i) {
+    inst.sources.push_back(i);
+    inst.targets.push_back(i);
+  }
+  return inst;
+}
+
+/// Star reduce: leaves reduce toward the hub.
+inline ssco::platform::ReduceInstance star_reduce_instance(
+    std::size_t leaves, Rational cost) {
+  ssco::graph::Digraph g = ssco::graph::star(leaves + 1);
+  std::vector<Rational> costs(g.num_edges(), std::move(cost));
+  std::vector<Rational> speeds(leaves + 1, Rational(1));
+  ssco::platform::ReduceInstance inst;
+  inst.platform = ssco::platform::Platform(std::move(g), std::move(costs),
+                                           std::move(speeds));
+  for (NodeId i = 1; i <= leaves; ++i) inst.participants.push_back(i);
+  inst.target = 0;
+  return inst;
+}
+
+/// Tiers reduce instance with hosts as participants, first host as target.
+inline ssco::platform::ReduceInstance tiers_reduce_instance(
+    std::uint64_t seed, const ssco::graph::TiersParams& params) {
+  ssco::graph::Rng rng(seed);
+  ssco::graph::TiersTopology topo = ssco::graph::tiers(params, rng);
+  std::vector<Rational> costs(topo.graph.num_edges());
+  for (EdgeId e = 0; e < topo.graph.num_edges(); ++e) {
+    switch (topo.edge_level[e]) {
+      case ssco::graph::TiersLinkLevel::kWan:
+        costs[e] = Rational(1, static_cast<std::int64_t>(2 + rng.uniform(0, 12)));
+        break;
+      case ssco::graph::TiersLinkLevel::kWanMan:
+      case ssco::graph::TiersLinkLevel::kMan:
+        costs[e] =
+            Rational(1, static_cast<std::int64_t>(100 + rng.uniform(0, 200)));
+        break;
+      case ssco::graph::TiersLinkLevel::kManLan:
+        costs[e] = Rational(1, 1000);
+        break;
+    }
+    // Mirror the cost onto the reverse direction when already assigned.
+    EdgeId reverse =
+        topo.graph.find_edge(topo.graph.edge(e).dst, topo.graph.edge(e).src);
+    if (reverse != ssco::graph::kInvalidId && reverse < e) {
+      costs[e] = costs[reverse];
+    }
+  }
+  std::vector<Rational> speeds(topo.graph.num_nodes(), Rational(1));
+  for (NodeId host : topo.hosts) {
+    speeds[host] = Rational(static_cast<std::int64_t>(10 + rng.uniform(0, 90)));
+  }
+  ssco::platform::ReduceInstance inst;
+  inst.platform = ssco::platform::Platform(std::move(topo.graph),
+                                           std::move(costs), std::move(speeds));
+  inst.participants = topo.hosts;
+  inst.target = topo.hosts.front();
+  inst.message_size = Rational(10);
+  inst.task_work = Rational(10);
+  return inst;
+}
+
+}  // namespace bench_support

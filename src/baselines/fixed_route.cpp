@@ -1,0 +1,48 @@
+#include "baselines/fixed_route.h"
+
+#include <stdexcept>
+
+namespace ssco::baselines {
+
+FixedRouteResult evaluate_fixed_routes(const platform::Platform& platform,
+                                       std::vector<std::vector<EdgeId>> routes,
+                                       const Rational& message_size) {
+  const auto& graph = platform.graph();
+  std::vector<Rational> out_busy(graph.num_nodes(), Rational(0));
+  std::vector<Rational> in_busy(graph.num_nodes(), Rational(0));
+
+  for (const auto& route : routes) {
+    for (std::size_t i = 0; i < route.size(); ++i) {
+      EdgeId e = route[i];
+      if (e >= graph.num_edges()) {
+        throw std::invalid_argument("evaluate_fixed_routes: bad edge id");
+      }
+      if (i > 0 && graph.edge(route[i - 1]).dst != graph.edge(e).src) {
+        throw std::invalid_argument(
+            "evaluate_fixed_routes: route is not a connected path");
+      }
+      Rational time = message_size * platform.edge_cost(e);
+      out_busy[graph.edge(e).src] += time;
+      in_busy[graph.edge(e).dst] += time;
+    }
+  }
+
+  FixedRouteResult result;
+  result.routes = std::move(routes);
+  result.bottleneck.busy = Rational(0);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (out_busy[n] > result.bottleneck.busy) {
+      result.bottleneck = PortLoad{n, true, out_busy[n]};
+    }
+    if (in_busy[n] > result.bottleneck.busy) {
+      result.bottleneck = PortLoad{n, false, in_busy[n]};
+    }
+  }
+  if (result.bottleneck.busy.is_zero()) {
+    throw std::invalid_argument("evaluate_fixed_routes: no traffic at all");
+  }
+  result.throughput = result.bottleneck.busy.reciprocal();
+  return result;
+}
+
+}  // namespace ssco::baselines

@@ -1,0 +1,45 @@
+#pragma once
+// Throughput of fixed single-path routings under the one-port model.
+//
+// The classic alternative to the paper's LP: pick one route per message type
+// (shortest path, as an MPI implementation over a routing table would) and
+// pipeline greedily. In steady state the throughput of such a scheme is
+// exactly 1 / (worst port busy-time per operation): every operation pushes
+// one message of each type through its route, loading each traversed node's
+// send and receive ports by size * c(e). This evaluator scores any route
+// family; the scatter/gossip baselines build the families.
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "num/rational.h"
+#include "platform/platform.h"
+
+namespace ssco::baselines {
+
+using graph::EdgeId;
+using graph::NodeId;
+using num::Rational;
+
+struct PortLoad {
+  NodeId node = graph::kInvalidId;
+  bool is_send = false;
+  Rational busy;  // per operation
+};
+
+struct FixedRouteResult {
+  /// Operations per time-unit: 1 / bottleneck busy-time.
+  Rational throughput;
+  /// The limiting port.
+  PortLoad bottleneck;
+  /// One route (edge sequence) per commodity, as evaluated.
+  std::vector<std::vector<EdgeId>> routes;
+};
+
+/// Evaluates the given routes (one per commodity; empty route = origin equals
+/// destination, no traffic). Every route's messages have size `message_size`.
+[[nodiscard]] FixedRouteResult evaluate_fixed_routes(
+    const platform::Platform& platform,
+    std::vector<std::vector<EdgeId>> routes, const Rational& message_size);
+
+}  // namespace ssco::baselines

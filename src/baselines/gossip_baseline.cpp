@@ -1,0 +1,22 @@
+#include "baselines/gossip_baseline.h"
+
+#include "graph/paths.h"
+
+namespace ssco::baselines {
+
+FixedRouteResult gossip_shortest_path(
+    const platform::GossipInstance& instance) {
+  std::vector<std::vector<EdgeId>> routes;
+  for (NodeId s : instance.sources) {
+    auto tree = graph::dijkstra(instance.platform.graph(),
+                                instance.platform.edge_costs(), s);
+    for (NodeId t : instance.targets) {
+      if (s == t) continue;
+      routes.push_back(tree.path_to(t, instance.platform.graph()));
+    }
+  }
+  return evaluate_fixed_routes(instance.platform, std::move(routes),
+                               instance.message_size);
+}
+
+}  // namespace ssco::baselines

@@ -1,0 +1,16 @@
+#pragma once
+// Fixed-routing gossip (personalized all-to-all) baseline: every
+// (source, target) pair's stream follows the shortest path. Feasible for
+// SSPA2A(G), hence dominated by the LP optimum.
+
+#include "baselines/fixed_route.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::baselines {
+
+/// Routes in the same commodity order as core::solve_gossip (each source in
+/// order, each distinct target in order).
+[[nodiscard]] FixedRouteResult gossip_shortest_path(
+    const platform::GossipInstance& instance);
+
+}  // namespace ssco::baselines

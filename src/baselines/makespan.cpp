@@ -1,0 +1,221 @@
+#include "baselines/makespan.h"
+
+#include <optional>
+#include <stdexcept>
+
+#include "core/intervals.h"
+#include "graph/paths.h"
+
+namespace ssco::baselines {
+
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+Rational rational_max(const Rational& a, const Rational& b) {
+  return a < b ? b : a;
+}
+
+}  // namespace
+
+MakespanResult scatter_makespan(const platform::ScatterInstance& instance) {
+  const auto& graph = instance.platform.graph();
+  auto sp = graph::dijkstra(graph, instance.platform.edge_costs(),
+                            instance.source);
+
+  // Per-message state: remaining hops of the shortest path, current arrival
+  // time at the head node.
+  struct Message {
+    std::vector<EdgeId> path;
+    std::size_t next_hop = 0;
+    Rational available{0};
+  };
+  std::vector<Message> messages;
+  for (NodeId t : instance.targets) {
+    Message m;
+    m.path = sp.path_to(t, graph);
+    messages.push_back(std::move(m));
+  }
+
+  std::vector<Rational> out_free(graph.num_nodes(), Rational(0));
+  std::vector<Rational> in_free(graph.num_nodes(), Rational(0));
+  MakespanResult result;
+  result.makespan = Rational(0);
+
+  // Earliest-finish-time list scheduling over single store-and-forward hops;
+  // ties go to the message with the most hops still ahead (the classic
+  // critical-path tie-break).
+  while (true) {
+    std::optional<std::size_t> best;
+    Rational best_finish;
+    std::size_t best_remaining = 0;
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      Message& m = messages[i];
+      if (m.next_hop >= m.path.size()) continue;
+      EdgeId e = m.path[m.next_hop];
+      const auto& edge = graph.edge(e);
+      Rational start = rational_max(
+          m.available, rational_max(out_free[edge.src], in_free[edge.dst]));
+      Rational finish =
+          start + instance.message_size * instance.platform.edge_cost(e);
+      const std::size_t remaining = m.path.size() - m.next_hop;
+      if (!best || finish < best_finish ||
+          (finish == best_finish && remaining > best_remaining)) {
+        best = i;
+        best_finish = finish;
+        best_remaining = remaining;
+      }
+    }
+    if (!best) break;
+    Message& m = messages[*best];
+    EdgeId e = m.path[m.next_hop];
+    const auto& edge = graph.edge(e);
+    out_free[edge.src] = best_finish;
+    in_free[edge.dst] = best_finish;
+    m.available = best_finish;
+    ++m.next_hop;
+    ++result.transfers;
+    result.makespan = rational_max(result.makespan, best_finish);
+  }
+
+  if (result.makespan.is_zero()) {
+    throw std::invalid_argument("scatter_makespan: nothing to schedule");
+  }
+  result.serial_throughput = result.makespan.reciprocal();
+  return result;
+}
+
+MakespanResult reduce_makespan(const platform::ReduceInstance& instance) {
+  const auto& graph = instance.platform.graph();
+  const std::size_t n = instance.participants.size();
+
+  // All-pairs shortest path times (per unit size) between involved nodes.
+  std::vector<graph::ShortestPathTree> sp;
+  sp.reserve(graph.num_nodes());
+  for (NodeId s = 0; s < graph.num_nodes(); ++s) {
+    sp.push_back(graph::dijkstra(graph, instance.platform.edge_costs(), s));
+  }
+  auto path_time = [&](NodeId from, NodeId to) -> Rational {
+    if (from == to) return Rational(0);
+    if (!sp[from].reachable(to)) {
+      throw std::invalid_argument("reduce_makespan: disconnected roles");
+    }
+    return *sp[from].distance[to] * instance.message_size;
+  };
+
+  struct Fragment {
+    std::size_t k;
+    std::size_t m;
+    NodeId node;
+    Rational available;
+  };
+  std::vector<Fragment> fragments;
+  for (std::size_t i = 0; i < n; ++i) {
+    fragments.push_back({i, i, instance.participants[i], Rational(0)});
+  }
+  std::vector<Rational> out_free(graph.num_nodes(), Rational(0));
+  std::vector<Rational> in_free(graph.num_nodes(), Rational(0));
+  std::vector<Rational> cpu_free(graph.num_nodes(), Rational(0));
+
+  MakespanResult result;
+  result.makespan = Rational(0);
+
+  // Greedily merge the adjacent pair (at either endpoint) that finishes
+  // first. A transfer occupies the endpoints' ports for the full path time
+  // (routers transparent — an optimistic relaxation that only strengthens
+  // this baseline).
+  while (fragments.size() > 1) {
+    struct Plan {
+      std::size_t left;
+      std::size_t right;
+      bool merge_at_left;
+      Rational transfer_start;
+      Rational transfer_end;
+      Rational finish;
+    };
+    std::optional<Plan> best;
+    for (std::size_t a = 0; a < fragments.size(); ++a) {
+      for (std::size_t b = 0; b < fragments.size(); ++b) {
+        if (a == b || fragments[a].m + 1 != fragments[b].k) continue;
+        for (bool at_left : {true, false}) {
+          const Fragment& mover = at_left ? fragments[b] : fragments[a];
+          const Fragment& host = at_left ? fragments[a] : fragments[b];
+          Plan plan;
+          plan.left = a;
+          plan.right = b;
+          plan.merge_at_left = at_left;
+          Rational transfer = path_time(mover.node, host.node);
+          if (transfer.is_zero()) {
+            plan.transfer_start = mover.available;
+            plan.transfer_end = mover.available;
+          } else {
+            plan.transfer_start =
+                rational_max(mover.available,
+                             rational_max(out_free[mover.node],
+                                          in_free[host.node]));
+            plan.transfer_end = plan.transfer_start + transfer;
+          }
+          Rational inputs_ready =
+              rational_max(plan.transfer_end, host.available);
+          Rational compute_start =
+              rational_max(inputs_ready, cpu_free[host.node]);
+          plan.finish = compute_start + instance.platform.compute_time(
+                                            host.node, instance.task_work);
+          // Ties go to the host closer to the final target (saves the last
+          // shipment).
+          if (!best || plan.finish < best->finish ||
+              (plan.finish == best->finish &&
+               path_time(host.node, instance.target) <
+                   path_time(best->merge_at_left
+                                 ? fragments[best->left].node
+                                 : fragments[best->right].node,
+                             instance.target))) {
+            best = plan;
+          }
+        }
+      }
+    }
+    if (!best) {
+      throw std::logic_error("reduce_makespan: no adjacent pair found");
+    }
+    const Fragment& mover =
+        best->merge_at_left ? fragments[best->right] : fragments[best->left];
+    const Fragment& host =
+        best->merge_at_left ? fragments[best->left] : fragments[best->right];
+    if (!(best->transfer_end == best->transfer_start)) {
+      out_free[mover.node] = best->transfer_end;
+      in_free[host.node] = best->transfer_end;
+      ++result.transfers;
+    }
+    cpu_free[host.node] = best->finish;
+    Fragment merged{fragments[best->left].k, fragments[best->right].m,
+                    host.node, best->finish};
+    // Remove both fragments (higher index first) and insert the merge.
+    std::size_t hi = std::max(best->left, best->right);
+    std::size_t lo = std::min(best->left, best->right);
+    fragments.erase(fragments.begin() + static_cast<long>(hi));
+    fragments.erase(fragments.begin() + static_cast<long>(lo));
+    fragments.push_back(merged);
+    result.makespan = rational_max(result.makespan, merged.available);
+  }
+
+  // Ship the final value to the target if needed.
+  Fragment& final_fragment = fragments.front();
+  if (final_fragment.node != instance.target) {
+    Rational transfer = path_time(final_fragment.node, instance.target);
+    Rational start = rational_max(
+        final_fragment.available,
+        rational_max(out_free[final_fragment.node], in_free[instance.target]));
+    result.makespan = rational_max(result.makespan, start + transfer);
+    ++result.transfers;
+  }
+
+  if (result.makespan.is_zero()) {
+    throw std::invalid_argument("reduce_makespan: nothing to schedule");
+  }
+  result.serial_throughput = result.makespan.reciprocal();
+  return result;
+}
+
+}  // namespace ssco::baselines

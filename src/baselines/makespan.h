@@ -1,0 +1,48 @@
+#pragma once
+// Makespan-oriented single-operation scheduling — the approach the paper
+// argues AGAINST for series of operations (Sec. 1: "the makespan is not a
+// significant measure for such problems").
+//
+// A conventional system executes each collective with a schedule that
+// minimizes that one operation's completion time, then starts the next
+// operation. We implement a strong greedy makespan scheduler for a single
+// scatter (store-and-forward, one-port, earliest-finish-time list
+// scheduling over the LP-free platform) and for a single reduce (greedy
+// pairwise merging, earliest completion first). Repeating such a schedule
+// back-to-back yields throughput 1/makespan; the vs_baselines and
+// makespan-vs-steady-state comparisons quantify how much pipelining
+// (overlapping consecutive operations) buys.
+
+#include <vector>
+
+#include "num/rational.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::baselines {
+
+using num::Rational;
+
+struct MakespanResult {
+  /// Completion time of ONE operation under the greedy schedule.
+  Rational makespan;
+  /// Steady-state throughput when operations are executed back-to-back
+  /// without overlap: 1 / makespan.
+  Rational serial_throughput;
+  /// Number of point-to-point transfers performed.
+  std::size_t transfers = 0;
+};
+
+/// Greedy earliest-finish-time scheduler for a single scatter: at every
+/// event, each idle source-side port starts transferring the pending message
+/// whose delivery (via the remaining shortest path) would finish earliest.
+[[nodiscard]] MakespanResult scatter_makespan(
+    const platform::ScatterInstance& instance);
+
+/// Greedy scheduler for a single reduce: repeatedly pick the adjacent merge
+/// (including the transfer of one operand to the other's node, or both to a
+/// faster third location among the two endpoints) that completes earliest;
+/// finally ship the result to the target.
+[[nodiscard]] MakespanResult reduce_makespan(
+    const platform::ReduceInstance& instance);
+
+}  // namespace ssco::baselines

@@ -1,0 +1,113 @@
+#include "baselines/reduce_trees.h"
+
+#include <stdexcept>
+
+#include "core/intervals.h"
+#include "graph/paths.h"
+
+namespace ssco::baselines {
+
+namespace {
+
+using core::IntervalSpace;
+using core::TreeTask;
+using graph::NodeId;
+using platform::ReduceInstance;
+
+/// Appends transfer tasks moving `interval` from `from` to `to` along the
+/// shortest path; no-op when from == to.
+void add_transfer_path(const ReduceInstance& instance, NodeId from, NodeId to,
+                       std::size_t interval, ReductionTree& tree) {
+  if (from == to) return;
+  auto sp_tree = graph::dijkstra(instance.platform.graph(),
+                                 instance.platform.edge_costs(), from);
+  for (graph::EdgeId e : sp_tree.path_to(to, instance.platform.graph())) {
+    tree.tasks.push_back(TreeTask::transfer(e, interval));
+  }
+}
+
+}  // namespace
+
+ReductionTree flat_reduce_tree(const ReduceInstance& instance) {
+  const std::size_t n = instance.participants.size();
+  const IntervalSpace sp(n);
+  ReductionTree tree;
+  tree.weight = num::Rational(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    add_transfer_path(instance, instance.participants[i], instance.target,
+                      sp.interval_id(i, i), tree);
+  }
+  // Left-to-right merge entirely on the target: T(0,0,1), T(0,1,2), ...
+  for (std::size_t m = 1; m < n; ++m) {
+    tree.tasks.push_back(
+        TreeTask::compute(instance.target, sp.task_id(0, m - 1, m)));
+  }
+  return tree;
+}
+
+ReductionTree chain_reduce_tree(const ReduceInstance& instance) {
+  const std::size_t n = instance.participants.size();
+  const IntervalSpace sp(n);
+  ReductionTree tree;
+  tree.weight = num::Rational(1);
+  NodeId holder = instance.participants[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    // v[0,i-1] travels to participant i, which merges its own value.
+    add_transfer_path(instance, holder, instance.participants[i],
+                      sp.interval_id(0, i - 1), tree);
+    tree.tasks.push_back(
+        TreeTask::compute(instance.participants[i], sp.task_id(0, i - 1, i)));
+    holder = instance.participants[i];
+  }
+  add_transfer_path(instance, holder, instance.target, sp.full_interval_id(),
+                    tree);
+  return tree;
+}
+
+namespace {
+
+/// Recursively reduces [k,m]; returns the node holding the result.
+NodeId binomial_range(const ReduceInstance& instance, const IntervalSpace& sp,
+                      std::size_t k, std::size_t m, ReductionTree& tree) {
+  if (k == m) return instance.participants[k];
+  const std::size_t l = (k + m) / 2;
+  NodeId left = binomial_range(instance, sp, k, l, tree);
+  NodeId right = binomial_range(instance, sp, l + 1, m, tree);
+  // Merge at the faster endpoint (heterogeneity-aware binomial).
+  NodeId merge_at = instance.platform.node_speed(left) <
+                            instance.platform.node_speed(right)
+                        ? right
+                        : left;
+  if (merge_at == left) {
+    add_transfer_path(instance, right, left, sp.interval_id(l + 1, m), tree);
+  } else {
+    add_transfer_path(instance, left, right, sp.interval_id(k, l), tree);
+  }
+  tree.tasks.push_back(TreeTask::compute(merge_at, sp.task_id(k, l, m)));
+  return merge_at;
+}
+
+}  // namespace
+
+ReductionTree binomial_reduce_tree(const ReduceInstance& instance) {
+  const std::size_t n = instance.participants.size();
+  const IntervalSpace sp(n);
+  ReductionTree tree;
+  tree.weight = num::Rational(1);
+  NodeId root = binomial_range(instance, sp, 0, n - 1, tree);
+  add_transfer_path(instance, root, instance.target, sp.full_interval_id(),
+                    tree);
+  return tree;
+}
+
+num::Rational single_tree_throughput(const ReduceInstance& instance,
+                                     const ReductionTree& tree) {
+  num::Rational bottleneck = tree.bottleneck_time(instance);
+  if (bottleneck.is_zero()) {
+    throw std::invalid_argument(
+        "single_tree_throughput: tree touches no resources");
+  }
+  return bottleneck.reciprocal();
+}
+
+}  // namespace ssco::baselines

@@ -1,0 +1,36 @@
+#pragma once
+// Single-reduction-tree baselines (paper Sec. 5's conventional schemes).
+//
+// A conventional pipelined reduce repeats ONE reduction tree every period;
+// its steady-state throughput is 1 / (worst port or CPU busy-time per
+// operation) — ReductionTree::bottleneck_time. Three classic shapes:
+//  * flat: every participant ships its value to the target, which merges
+//    left-to-right (the MPI_Reduce default on a star);
+//  * chain: the partial result accumulates through participants in rank
+//    order (minimal compute concurrency, maximal pipelining);
+//  * binomial: balanced recursive halving (the MPI_Reduce default on
+//    homogeneous clusters), merging each pair at the faster endpoint.
+// All transfers follow shortest paths. The paper's LP dominates every such
+// tree — its solution may combine MANY trees (Figs. 11-12) — which the tests
+// and the vs_baselines bench quantify.
+
+#include "core/reduction_tree.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::baselines {
+
+using core::ReductionTree;
+
+[[nodiscard]] ReductionTree flat_reduce_tree(
+    const platform::ReduceInstance& instance);
+[[nodiscard]] ReductionTree chain_reduce_tree(
+    const platform::ReduceInstance& instance);
+[[nodiscard]] ReductionTree binomial_reduce_tree(
+    const platform::ReduceInstance& instance);
+
+/// Steady-state throughput of pipelining `tree` alone:
+/// 1 / bottleneck_time.
+[[nodiscard]] num::Rational single_tree_throughput(
+    const platform::ReduceInstance& instance, const ReductionTree& tree);
+
+}  // namespace ssco::baselines

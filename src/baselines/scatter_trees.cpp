@@ -1,0 +1,106 @@
+#include "baselines/scatter_trees.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/paths.h"
+
+namespace ssco::baselines {
+
+FixedRouteResult scatter_shortest_path(
+    const platform::ScatterInstance& instance) {
+  auto tree = graph::dijkstra(instance.platform.graph(),
+                              instance.platform.edge_costs(), instance.source);
+  std::vector<std::vector<EdgeId>> routes;
+  routes.reserve(instance.targets.size());
+  for (NodeId t : instance.targets) {
+    routes.push_back(tree.path_to(t, instance.platform.graph()));
+  }
+  return evaluate_fixed_routes(instance.platform, std::move(routes),
+                               instance.message_size);
+}
+
+namespace {
+
+/// Min-max-load path from source to target given current port loads.
+/// Cost of a path = max over traversed edges e of
+///   max(out_busy[src(e)], in_busy[dst(e)]) + size * c(e),
+/// i.e. the worst port load after adding this route. Ties broken by total
+/// transfer time. Dijkstra works because both components are monotone
+/// non-decreasing along a path.
+std::vector<EdgeId> min_max_load_path(const platform::Platform& platform,
+                                      const std::vector<Rational>& out_busy,
+                                      const std::vector<Rational>& in_busy,
+                                      NodeId source, NodeId target,
+                                      const Rational& message_size) {
+  const auto& graph = platform.graph();
+  using Cost = std::pair<Rational, Rational>;  // (bottleneck, total time)
+  std::vector<std::optional<Cost>> best(graph.num_nodes());
+  std::vector<EdgeId> parent(graph.num_nodes(), graph::kInvalidId);
+
+  using Entry = std::pair<Cost, NodeId>;
+  auto cmp = [](const Entry& a, const Entry& b) { return b.first < a.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  best[source] = Cost{Rational(0), Rational(0)};
+  heap.push({*best[source], source});
+  std::vector<bool> settled(graph.num_nodes(), false);
+
+  while (!heap.empty()) {
+    auto [cost, node] = heap.top();
+    heap.pop();
+    if (settled[node]) continue;
+    settled[node] = true;
+    if (node == target) break;
+    for (EdgeId e : graph.out_edges(node)) {
+      NodeId next = graph.edge(e).dst;
+      if (settled[next]) continue;
+      Rational added = message_size * platform.edge_cost(e);
+      Rational port_after = Rational::max(out_busy[node] + added,
+                                          in_busy[next] + added);
+      Cost cand{Rational::max(cost.first, port_after), cost.second + added};
+      if (!best[next] || cand < *best[next]) {
+        best[next] = cand;
+        parent[next] = e;
+        heap.push({cand, next});
+      }
+    }
+  }
+  if (!best[target]) {
+    throw std::invalid_argument("min_max_load_path: target unreachable");
+  }
+  std::vector<EdgeId> path;
+  for (NodeId cur = target; cur != source;) {
+    EdgeId e = parent[cur];
+    path.push_back(e);
+    cur = graph.edge(e).src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+FixedRouteResult scatter_greedy_congestion(
+    const platform::ScatterInstance& instance) {
+  const auto& graph = instance.platform.graph();
+  std::vector<Rational> out_busy(graph.num_nodes(), Rational(0));
+  std::vector<Rational> in_busy(graph.num_nodes(), Rational(0));
+  std::vector<std::vector<EdgeId>> routes;
+  routes.reserve(instance.targets.size());
+  for (NodeId t : instance.targets) {
+    std::vector<EdgeId> path =
+        min_max_load_path(instance.platform, out_busy, in_busy,
+                          instance.source, t, instance.message_size);
+    for (EdgeId e : path) {
+      Rational time = instance.message_size * instance.platform.edge_cost(e);
+      out_busy[graph.edge(e).src] += time;
+      in_busy[graph.edge(e).dst] += time;
+    }
+    routes.push_back(std::move(path));
+  }
+  return evaluate_fixed_routes(instance.platform, std::move(routes),
+                               instance.message_size);
+}
+
+}  // namespace ssco::baselines

@@ -1,0 +1,30 @@
+#pragma once
+// Fixed-routing scatter baselines.
+//
+// What a conventional collective library does on a heterogeneous platform:
+// route every target's stream along one fixed path. Two route families:
+//  * shortest-path: each target served along its minimum-transfer-time path
+//    (what a latency-oriented MPI scatter over a routing table gives);
+//  * congestion-aware greedy: targets routed one at a time along the path
+//    minimizing the resulting worst port load (a strong single-path
+//    heuristic — the gap that remains against the LP is the value of
+//    *fractional multi-path* routing, visible already in Fig. 2).
+//
+// Both are upper-bounded by the LP optimum (a fixed routing is a feasible
+// point of SSSP(G)) — a property the tests assert.
+
+#include "baselines/fixed_route.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::baselines {
+
+/// Routes every target along its shortest path from the source.
+[[nodiscard]] FixedRouteResult scatter_shortest_path(
+    const platform::ScatterInstance& instance);
+
+/// Greedy congestion-aware routing: targets (in instance order) are routed
+/// along a min-max-load path given the load of previously routed targets.
+[[nodiscard]] FixedRouteResult scatter_greedy_congestion(
+    const platform::ScatterInstance& instance);
+
+}  // namespace ssco::baselines

@@ -1,0 +1,53 @@
+#pragma once
+// Weighted bipartite edge coloring (paper Sec. 3.3, citing Schrijver vol. A
+// ch. 20).
+//
+// Input: a bipartite multigraph over "sender ports" U and "receiver ports" V
+// with positive rational edge weights (busy times within one period). Output:
+// a decomposition into weighted matchings — time slices in which every port
+// serves at most one transfer — whose per-edge durations sum exactly to the
+// edge weights, and whose total duration equals the maximum weighted degree
+// Delta (which the one-port constraints bound by the period).
+//
+// Algorithm (Birkhoff-von-Neumann style):
+//  1. pad with dummy edges until every node has weighted degree exactly
+//     Delta (always possible: both sides then carry total weight
+//     Delta * S for S = max(|U|, |V|) after padding the node sets);
+//  2. repeatedly extract a perfect matching of the support graph (existence
+//     is Hall's theorem for regular weighted bipartite graphs) and peel it
+//     off with the minimum matched weight; each round zeroes at least one
+//     edge, so at most |E| + dummies rounds run;
+//  3. report matchings with dummy edges stripped (they are idle time).
+
+#include <vector>
+
+#include "num/rational.h"
+
+namespace ssco::core {
+
+using num::Rational;
+
+struct BipartiteEdge {
+  std::size_t u = 0;  // sender-side node
+  std::size_t v = 0;  // receiver-side node
+  Rational weight;    // busy time; must be > 0
+};
+
+struct ColorClass {
+  Rational duration;
+  /// Indices into the input edge vector active during this slice.
+  std::vector<std::size_t> edges;
+};
+
+struct EdgeColoring {
+  std::vector<ColorClass> slices;
+  /// Equals the maximum weighted degree of the input.
+  Rational total_duration;
+};
+
+/// Decomposes the weighted bipartite multigraph. `num_u`/`num_v` bound the
+/// node indices appearing in `edges`. Parallel edges are allowed.
+[[nodiscard]] EdgeColoring color_bipartite(std::size_t num_u, std::size_t num_v,
+                                           const std::vector<BipartiteEdge>& edges);
+
+}  // namespace ssco::core

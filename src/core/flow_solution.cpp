@@ -1,0 +1,136 @@
+#include "core/flow_solution.h"
+
+#include <sstream>
+
+namespace ssco::core {
+
+std::vector<Rational> MultiFlow::edge_occupation(
+    const platform::Platform& platform) const {
+  std::vector<Rational> occ(platform.num_edges(), Rational(0));
+  for (const CommodityFlow& c : commodities) {
+    for (EdgeId e = 0; e < occ.size(); ++e) {
+      if (!c.edge_flow[e].is_zero()) {
+        occ[e] += c.edge_flow[e] * message_size * platform.edge_cost(e);
+      }
+    }
+  }
+  return occ;
+}
+
+std::string MultiFlow::validate(const platform::Platform& platform) const {
+  const auto& graph = platform.graph();
+  for (std::size_t ci = 0; ci < commodities.size(); ++ci) {
+    const CommodityFlow& c = commodities[ci];
+    if (c.edge_flow.size() != graph.num_edges()) {
+      return "commodity " + std::to_string(ci) + ": edge_flow size mismatch";
+    }
+    for (EdgeId e = 0; e < c.edge_flow.size(); ++e) {
+      if (c.edge_flow[e].is_negative()) {
+        return "commodity " + std::to_string(ci) + ": negative flow on edge " +
+               std::to_string(e);
+      }
+    }
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      Rational in(0), out(0);
+      for (EdgeId e : graph.in_edges(n)) in += c.edge_flow[e];
+      for (EdgeId e : graph.out_edges(n)) out += c.edge_flow[e];
+      if (n == c.origin) {
+        if (out - in != c.rate) {
+          return "commodity " + std::to_string(ci) +
+                 ": origin emission rate mismatch";
+        }
+      } else if (n == c.destination) {
+        if (in - out != c.rate) {
+          return "commodity " + std::to_string(ci) +
+                 ": destination delivery rate mismatch";
+        }
+      } else if (in != out) {
+        return "commodity " + std::to_string(ci) +
+               ": conservation violated at node " + std::to_string(n);
+      }
+    }
+    if (c.rate != throughput) {
+      return "commodity " + std::to_string(ci) +
+             ": rate differs from common throughput";
+    }
+  }
+  // One-port inequalities (paper eq. 2-3): per-node emission and reception
+  // busy-time within one time-unit.
+  std::vector<Rational> occ = edge_occupation(platform);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    Rational out_busy(0), in_busy(0);
+    for (EdgeId e : graph.out_edges(n)) out_busy += occ[e];
+    for (EdgeId e : graph.in_edges(n)) in_busy += occ[e];
+    if (out_busy > Rational(1)) {
+      return "one-port (send) violated at node " + std::to_string(n);
+    }
+    if (in_busy > Rational(1)) {
+      return "one-port (recv) violated at node " + std::to_string(n);
+    }
+  }
+  return {};
+}
+
+void cancel_flow_cycles(const graph::Digraph& graph,
+                        std::vector<Rational>& flow) {
+  // Iteratively find a directed cycle in the positive-flow subgraph by DFS
+  // and subtract the cycle's bottleneck. Each cancellation zeroes at least
+  // one edge, so this terminates in <= |E| rounds.
+  const std::size_t n = graph.num_nodes();
+  while (true) {
+    // DFS with colors; on back edge, reconstruct the cycle via the stack.
+    std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+    std::vector<EdgeId> stack_edge;  // edges of the current DFS path
+    std::vector<NodeId> stack_node;
+    bool found = false;
+    std::vector<EdgeId> cycle;
+
+    auto dfs = [&](auto&& self, NodeId u) -> bool {
+      color[u] = 1;
+      stack_node.push_back(u);
+      for (EdgeId e : graph.out_edges(u)) {
+        if (flow[e].is_zero()) continue;
+        NodeId v = graph.edge(e).dst;
+        if (color[v] == 1) {
+          // Back edge closes a cycle: edges from v to u on the stack, plus e.
+          std::size_t pos = 0;
+          while (stack_node[pos] != v) ++pos;
+          for (std::size_t i = pos; i + 1 < stack_node.size(); ++i) {
+            cycle.push_back(stack_edge[i]);
+          }
+          cycle.push_back(e);
+          return true;
+        }
+        if (color[v] == 0) {
+          stack_edge.push_back(e);
+          if (self(self, v)) return true;
+          stack_edge.pop_back();
+        }
+      }
+      color[u] = 2;
+      stack_node.pop_back();
+      return false;
+    };
+
+    for (NodeId s = 0; s < n && !found; ++s) {
+      if (color[s] == 0) {
+        stack_edge.clear();
+        stack_node.clear();
+        found = dfs(dfs, s);
+      }
+    }
+    if (!found) return;
+
+    Rational bottleneck = flow[cycle.front()];
+    for (EdgeId e : cycle) bottleneck = Rational::min(bottleneck, flow[e]);
+    for (EdgeId e : cycle) flow[e] -= bottleneck;
+  }
+}
+
+void MultiFlow::prune_cycles(const platform::Platform& platform) {
+  for (CommodityFlow& c : commodities) {
+    cancel_flow_cycles(platform.graph(), c.edge_flow);
+  }
+}
+
+}  // namespace ssco::core

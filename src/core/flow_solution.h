@@ -1,0 +1,67 @@
+#pragma once
+// Multi-commodity flow solutions for scatter / gossip steady states.
+//
+// The scatter LP (SSSP, Sec. 3.1) and the gossip LP (SSPA2A, Sec. 3.5) both
+// produce, per message type, a fractional flow over the platform edges. This
+// module holds that result, verifies the paper's constraints exactly
+// (conservation, one-port, per-target throughput), and post-processes it:
+// LP vertices can contain useless flow cycles on degenerate instances, and
+// cycle-free flows are what the schedule builders and the tree extractor
+// assume, so `prune_cycles` cancels them (it never changes the throughput
+// and never increases any port occupation).
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "num/rational.h"
+#include "platform/platform.h"
+
+namespace ssco::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using num::BigInt;
+using num::Rational;
+
+/// One message type: `rate` messages per time-unit travel from origin to
+/// destination along the fractional `edge_flow`.
+struct CommodityFlow {
+  NodeId origin = graph::kInvalidId;
+  NodeId destination = graph::kInvalidId;
+  /// Messages of this type per time-unit crossing each edge (by EdgeId).
+  std::vector<Rational> edge_flow;
+  /// Delivered messages per time-unit (equals the common throughput TP).
+  Rational rate;
+};
+
+/// Solution of a scatter or gossip steady-state LP.
+struct MultiFlow {
+  /// Optimal common throughput TP (operations per time-unit).
+  Rational throughput;
+  std::vector<CommodityFlow> commodities;
+  /// Uniform message size used when the flow was computed.
+  Rational message_size{1};
+  bool certified = false;
+  std::string lp_method;
+
+  /// Busy time per time-unit on each edge: sum_k flow_k(e) * size * c(e).
+  [[nodiscard]] std::vector<Rational> edge_occupation(
+      const platform::Platform& platform) const;
+
+  /// Exact check of the paper's constraints: per-commodity conservation at
+  /// every intermediate node, delivery rate at the destination, emission rate
+  /// at the origin, and the one-port inequalities. Returns a description of
+  /// the first violation, or an empty string when valid.
+  [[nodiscard]] std::string validate(const platform::Platform& platform) const;
+
+  /// Cancels flow cycles commodity by commodity (see file comment).
+  void prune_cycles(const platform::Platform& platform);
+};
+
+/// Cancels cycles in a single conservative flow; exposed for tests.
+/// `flow` is per-EdgeId and is modified in place.
+void cancel_flow_cycles(const graph::Digraph& graph,
+                        std::vector<Rational>& flow);
+
+}  // namespace ssco::core

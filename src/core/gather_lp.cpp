@@ -1,0 +1,30 @@
+#include "core/gather_lp.h"
+
+#include <stdexcept>
+
+namespace ssco::core {
+
+MultiFlow solve_gather(const platform::Platform& platform,
+                       const std::vector<NodeId>& sources, NodeId sink,
+                       const Rational& message_size,
+                       const GatherLpOptions& options) {
+  for (NodeId s : sources) {
+    if (s == sink) {
+      throw std::invalid_argument("gather: the sink cannot be a source");
+    }
+  }
+  platform::GossipInstance gossip;
+  gossip.platform = platform;
+  gossip.sources = sources;
+  gossip.targets = {sink};
+  gossip.message_size = message_size;
+
+  GossipLpOptions gossip_options;
+  gossip_options.solver = options.solver;
+  gossip_options.prune_cycles = options.prune_cycles;
+  // Commodity order from solve_gossip is (source, target) pairs with the
+  // single sink: exactly one commodity per source, in source order.
+  return solve_gossip(gossip, gossip_options);
+}
+
+}  // namespace ssco::core

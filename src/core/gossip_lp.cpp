@@ -1,0 +1,192 @@
+#include "core/gossip_lp.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/paths.h"
+
+namespace ssco::core {
+
+namespace {
+
+using lp::LinearExpr;
+using lp::Model;
+using lp::Sense;
+using lp::VarId;
+using platform::GossipInstance;
+
+constexpr std::size_t kNoVar = static_cast<std::size_t>(-1);
+
+struct Pair {
+  NodeId src;
+  NodeId dst;
+};
+
+std::vector<Pair> commodity_pairs(const GossipInstance& instance) {
+  std::vector<Pair> pairs;
+  for (NodeId s : instance.sources) {
+    for (NodeId t : instance.targets) {
+      if (s != t) pairs.push_back({s, t});
+    }
+  }
+  return pairs;
+}
+
+void check_instance(const GossipInstance& instance) {
+  const auto& graph = instance.platform.graph();
+  if (instance.sources.empty() || instance.targets.empty()) {
+    throw std::invalid_argument("gossip: need sources and targets");
+  }
+  if (instance.message_size.signum() <= 0) {
+    throw std::invalid_argument("gossip: message size must be positive");
+  }
+  auto check_nodes = [&graph](const std::vector<NodeId>& nodes,
+                              const char* what) {
+    std::unordered_set<NodeId> seen;
+    for (NodeId n : nodes) {
+      if (n >= graph.num_nodes()) {
+        throw std::invalid_argument(std::string("gossip: bad ") + what);
+      }
+      if (!seen.insert(n).second) {
+        throw std::invalid_argument(std::string("gossip: duplicate ") + what);
+      }
+    }
+  };
+  check_nodes(instance.sources, "source");
+  check_nodes(instance.targets, "target");
+  for (NodeId s : instance.sources) {
+    auto reachable = graph::reachable_from(graph, s);
+    for (NodeId t : instance.targets) {
+      if (s != t && !reachable[t]) {
+        throw std::invalid_argument("gossip: target unreachable from source");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+lp::Model build_gossip_lp(const GossipInstance& instance) {
+  check_instance(instance);
+  const auto& graph = instance.platform.graph();
+  const std::vector<Pair> pairs = commodity_pairs(instance);
+
+  Model model;
+  // var_of[p][e] = send(e, m_{pair p}).
+  std::vector<std::vector<std::size_t>> var_of(
+      pairs.size(), std::vector<std::size_t>(graph.num_edges(), kNoVar));
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const auto& edge = graph.edge(e);
+      if (edge.src == pairs[p].dst || edge.dst == pairs[p].src) continue;
+      VarId v = model.add_variable(
+          "send_e" + std::to_string(e) + "_p" + std::to_string(p));
+      var_of[p][e] = v.index;
+    }
+  }
+  VarId tp = model.add_variable("TP");
+  model.set_objective(tp, Rational(1));
+
+  // One-port rows.
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    LinearExpr out_busy, in_busy;
+    for (EdgeId e : graph.out_edges(n)) {
+      Rational unit = instance.message_size * instance.platform.edge_cost(e);
+      for (std::size_t p = 0; p < pairs.size(); ++p) {
+        if (var_of[p][e] != kNoVar) out_busy.add(VarId{var_of[p][e]}, unit);
+      }
+    }
+    for (EdgeId e : graph.in_edges(n)) {
+      Rational unit = instance.message_size * instance.platform.edge_cost(e);
+      for (std::size_t p = 0; p < pairs.size(); ++p) {
+        if (var_of[p][e] != kNoVar) in_busy.add(VarId{var_of[p][e]}, unit);
+      }
+    }
+    if (!out_busy.empty()) {
+      model.add_constraint(out_busy, Sense::kLessEqual, Rational(1),
+                           "oneport_out_" + std::to_string(n));
+    }
+    if (!in_busy.empty()) {
+      model.add_constraint(in_busy, Sense::kLessEqual, Rational(1),
+                           "oneport_in_" + std::to_string(n));
+    }
+  }
+
+  // Conservation per pair at every node except the pair's endpoints.
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (n == pairs[p].src || n == pairs[p].dst) continue;
+      LinearExpr net;
+      bool any = false;
+      for (EdgeId e : graph.in_edges(n)) {
+        if (var_of[p][e] != kNoVar) {
+          net.add(VarId{var_of[p][e]}, Rational(1));
+          any = true;
+        }
+      }
+      for (EdgeId e : graph.out_edges(n)) {
+        if (var_of[p][e] != kNoVar) {
+          net.add(VarId{var_of[p][e]}, Rational(-1));
+          any = true;
+        }
+      }
+      if (any) {
+        model.add_constraint(net, Sense::kEqual, Rational(0),
+                             "conserve_p" + std::to_string(p) + "_n" +
+                                 std::to_string(n));
+      }
+    }
+  }
+
+  // Delivery rows: each pair delivers at the common rate TP.
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    LinearExpr delivered;
+    for (EdgeId e : graph.in_edges(pairs[p].dst)) {
+      if (var_of[p][e] != kNoVar) delivered.add(VarId{var_of[p][e]}, Rational(1));
+    }
+    delivered.add(tp, Rational(-1));
+    model.add_constraint(delivered, Sense::kEqual, Rational(0),
+                         "throughput_p" + std::to_string(p));
+  }
+  return model;
+}
+
+MultiFlow solve_gossip(const GossipInstance& instance,
+                       const GossipLpOptions& options) {
+  check_instance(instance);
+  Model model = build_gossip_lp(instance);
+
+  lp::ExactSolver solver(options.solver);
+  lp::ExactSolution sol = solver.solve(model);
+  if (sol.status != lp::SolveStatus::kOptimal) {
+    throw std::runtime_error("gossip LP did not reach optimality: " +
+                             lp::to_string(sol.status));
+  }
+
+  const auto& graph = instance.platform.graph();
+  const std::vector<Pair> pairs = commodity_pairs(instance);
+  MultiFlow flow;
+  flow.message_size = instance.message_size;
+  flow.certified = sol.certified;
+  flow.lp_method = sol.method;
+  flow.commodities.resize(pairs.size());
+  std::size_t next_var = 0;
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    CommodityFlow& c = flow.commodities[p];
+    c.origin = pairs[p].src;
+    c.destination = pairs[p].dst;
+    c.edge_flow.assign(graph.num_edges(), Rational(0));
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const auto& edge = graph.edge(e);
+      if (edge.src == pairs[p].dst || edge.dst == pairs[p].src) continue;
+      c.edge_flow[e] = sol.primal[next_var++];
+    }
+  }
+  flow.throughput = sol.primal[next_var];
+  for (CommodityFlow& c : flow.commodities) c.rate = flow.throughput;
+
+  if (options.prune_cycles) flow.prune_cycles(instance.platform);
+  return flow;
+}
+
+}  // namespace ssco::core

@@ -1,0 +1,29 @@
+#pragma once
+// Series-of-Gossips (personalized all-to-all) steady-state LP — SSPA2A(G),
+// paper Sec. 3.5.
+//
+// Every source P_k streams a distinct message type m_{k,l} to every target
+// P_l; the LP maximizes the common rate TP at which each (source, target)
+// pair delivers. Identical structure to the scatter LP with one commodity
+// per ordered pair; pairs with k == l need no communication and are skipped.
+
+#include "core/flow_solution.h"
+#include "lp/exact_solver.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::core {
+
+struct GossipLpOptions {
+  lp::ExactSolverOptions solver;
+  bool prune_cycles = true;
+};
+
+[[nodiscard]] lp::Model build_gossip_lp(
+    const platform::GossipInstance& instance);
+
+/// Commodity order in the result: for each source (in instance order), each
+/// distinct target in instance order.
+[[nodiscard]] MultiFlow solve_gossip(const platform::GossipInstance& instance,
+                                     const GossipLpOptions& options = {});
+
+}  // namespace ssco::core

@@ -1,0 +1,42 @@
+#include "core/integralize.h"
+
+namespace ssco::core {
+
+using num::BigInt;
+
+BigInt integral_period(const MultiFlow& flow) {
+  BigInt period{1};
+  period = BigInt::lcm(period, flow.throughput.den());
+  for (const CommodityFlow& c : flow.commodities) {
+    for (const Rational& v : c.edge_flow) {
+      if (!v.is_zero()) period = BigInt::lcm(period, v.den());
+    }
+  }
+  return period;
+}
+
+BigInt integral_period(const ReduceSolution& solution) {
+  BigInt period{1};
+  period = BigInt::lcm(period, solution.throughput.den());
+  for (const auto& per_edge : solution.send) {
+    for (const Rational& v : per_edge) {
+      if (!v.is_zero()) period = BigInt::lcm(period, v.den());
+    }
+  }
+  for (const auto& per_task : solution.cons) {
+    for (const Rational& v : per_task) {
+      if (!v.is_zero()) period = BigInt::lcm(period, v.den());
+    }
+  }
+  return period;
+}
+
+BigInt integral_period(const std::vector<Rational>& weights) {
+  BigInt period{1};
+  for (const Rational& w : weights) {
+    if (!w.is_zero()) period = BigInt::lcm(period, w.den());
+  }
+  return period;
+}
+
+}  // namespace ssco::core

@@ -1,0 +1,24 @@
+#pragma once
+// Period computation: the LCM-of-denominators step of Sec. 3.1 / 4.2.
+//
+// The LP solutions are rational rates per time-unit; multiplying by the least
+// common multiple T of all denominators yields integer message counts (and
+// task counts) per period T — the quantity the schedule builders and the
+// paper's figures work with (Fig. 2's "values for a period of 12").
+
+#include "core/flow_solution.h"
+#include "core/reduce_solution.h"
+#include "num/bigint.h"
+
+namespace ssco::core {
+
+/// Smallest period making every commodity edge-flow integral (>= 1).
+[[nodiscard]] num::BigInt integral_period(const MultiFlow& flow);
+
+/// Smallest period making every send/cons value and TP integral (>= 1).
+[[nodiscard]] num::BigInt integral_period(const ReduceSolution& solution);
+
+/// Smallest period making every weight in `weights` integral (>= 1).
+[[nodiscard]] num::BigInt integral_period(const std::vector<Rational>& weights);
+
+}  // namespace ssco::core

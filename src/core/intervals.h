@@ -1,0 +1,112 @@
+#pragma once
+// Index spaces for partial-reduction values and reduction tasks (Sec. 4).
+//
+// A reduce over logical indices 0..n-1 manipulates partial results
+// v[k,m] = v_k ⊕ ... ⊕ v_m for contiguous intervals 0 <= k <= m <= n-1, and
+// computation tasks T(k,l,m) : v[k,l] ⊕ v[l+1,m] -> v[k,m] for k <= l < m.
+// This header provides dense, O(1) bijections between those triples/pairs and
+// flat array indices, so LP variables and solution tables can be plain
+// vectors.
+
+#include <cstddef>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace ssco::core {
+
+/// Dense enumeration of the intervals [k,m] with 0 <= k <= m < n and of the
+/// merge tasks T(k,l,m) with 0 <= k <= l < m < n.
+class IntervalSpace {
+ public:
+  explicit IntervalSpace(std::size_t n) : n_(n) {
+    if (n == 0) throw std::invalid_argument("IntervalSpace: n must be >= 1");
+    interval_offset_.reserve(n);
+    std::size_t offset = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      interval_offset_.push_back(offset);
+      offset += n - k;  // intervals [k,k], [k,k+1], ..., [k,n-1]
+    }
+    num_intervals_ = offset;
+
+    // Task T(k,l,m): group by (k,m) pair (the produced interval), l ranges
+    // over [k, m-1]; within each produced interval there are m-k choices.
+    task_offset_.assign(num_intervals_, 0);
+    std::size_t toff = 0;
+    for (std::size_t id = 0; id < num_intervals_; ++id) {
+      auto [k, m] = interval(id);
+      task_offset_[id] = toff;
+      toff += m - k;
+    }
+    num_tasks_ = toff;
+  }
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t num_intervals() const { return num_intervals_; }
+  [[nodiscard]] std::size_t num_tasks() const { return num_tasks_; }
+
+  /// Flat id of interval [k,m]; requires k <= m < n.
+  [[nodiscard]] std::size_t interval_id(std::size_t k, std::size_t m) const {
+    check_interval(k, m);
+    return interval_offset_[k] + (m - k);
+  }
+  /// Inverse of interval_id.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> interval(
+      std::size_t id) const {
+    // interval_offset_ is increasing; binary search for the row.
+    std::size_t lo = 0, hi = n_ - 1;
+    while (lo < hi) {
+      std::size_t mid = (lo + hi + 1) / 2;
+      if (interval_offset_[mid] <= id) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return {lo, lo + (id - interval_offset_[lo])};
+  }
+
+  /// Flat id of task T(k,l,m); requires k <= l < m < n.
+  [[nodiscard]] std::size_t task_id(std::size_t k, std::size_t l,
+                                    std::size_t m) const {
+    if (l < k || l >= m) throw std::out_of_range("IntervalSpace: bad task");
+    return task_offset_[interval_id(k, m)] + (l - k);
+  }
+  /// Inverse of task_id: returns (k, l, m).
+  [[nodiscard]] std::tuple<std::size_t, std::size_t, std::size_t> task(
+      std::size_t id) const {
+    // Binary search over task_offset_ (increasing) for the produced interval.
+    std::size_t lo = 0, hi = num_intervals_ - 1;
+    while (lo < hi) {
+      std::size_t mid = (lo + hi + 1) / 2;
+      if (task_offset_[mid] <= id) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    auto [k, m] = interval(lo);
+    return {k, k + (id - task_offset_[lo]), m};
+  }
+
+  /// Id of the full interval [0, n-1].
+  [[nodiscard]] std::size_t full_interval_id() const {
+    return interval_id(0, n_ - 1);
+  }
+
+ private:
+  void check_interval(std::size_t k, std::size_t m) const {
+    if (k > m || m >= n_) {
+      throw std::out_of_range("IntervalSpace: bad interval");
+    }
+  }
+
+  std::size_t n_;
+  std::size_t num_intervals_ = 0;
+  std::size_t num_tasks_ = 0;
+  std::vector<std::size_t> interval_offset_;
+  std::vector<std::size_t> task_offset_;
+};
+
+}  // namespace ssco::core

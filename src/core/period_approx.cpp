@@ -1,0 +1,31 @@
+#include "core/period_approx.h"
+
+#include <stdexcept>
+
+namespace ssco::core {
+
+PeriodApproximation approximate_period(const TreeDecomposition& decomposition,
+                                       const Rational& t_fixed) {
+  if (t_fixed.signum() <= 0) {
+    throw std::invalid_argument("approximate_period: period must be > 0");
+  }
+  PeriodApproximation out;
+  out.fixed_period = t_fixed;
+  out.operations.reserve(decomposition.trees.size());
+  Rational total_ops(0);
+  for (const ReductionTree& tree : decomposition.trees) {
+    // Tree weights are per-time-unit rates, so the per-period count is
+    // w(T) * T_fixed, rounded down (paper: floor(w(T)/T * T_fixed) with
+    // per-period weights; identical because our weights are already rates).
+    num::BigInt ops = (tree.weight * t_fixed).floor();
+    total_ops += Rational(ops);
+    out.operations.push_back(std::move(ops));
+  }
+  out.achieved_throughput = total_ops / t_fixed;
+  out.loss_bound =
+      Rational(num::BigInt(std::uint64_t{decomposition.trees.size()})) /
+      t_fixed;
+  return out;
+}
+
+}  // namespace ssco::core

@@ -1,0 +1,32 @@
+#pragma once
+// Fixed-period approximation — paper Sec. 4.6, Proposition 4.
+//
+// The exact period T (LCM of denominators) can be astronomically large; for
+// deployment one picks a practical period T_fixed and rounds each tree's
+// per-period operation count down: r(T) = floor(w(T)/T * T_fixed). One-port
+// feasibility is preserved (rounding only removes traffic), and the
+// throughput loss is bounded by card(Trees) / T_fixed — it vanishes as
+// T_fixed grows.
+
+#include "core/tree_extract.h"
+#include "num/bigint.h"
+
+namespace ssco::core {
+
+struct PeriodApproximation {
+  /// The chosen practical period.
+  Rational fixed_period;
+  /// Integer operations per period for each tree (same order as the input
+  /// decomposition).
+  std::vector<num::BigInt> operations;
+  /// Achieved throughput: sum(operations) / fixed_period.
+  Rational achieved_throughput;
+  /// The paper's guarantee: optimal TP - achieved <= card(Trees)/T_fixed.
+  Rational loss_bound;
+};
+
+/// Rounds `decomposition` to the period `t_fixed` (> 0).
+[[nodiscard]] PeriodApproximation approximate_period(
+    const TreeDecomposition& decomposition, const Rational& t_fixed);
+
+}  // namespace ssco::core

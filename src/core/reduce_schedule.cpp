@@ -1,0 +1,124 @@
+#include "core/reduce_schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/edge_coloring.h"
+#include "core/integralize.h"
+
+namespace ssco::core {
+
+PeriodicSchedule build_reduce_schedule(
+    const platform::ReduceInstance& instance,
+    const TreeDecomposition& decomposition,
+    const ReduceScheduleOptions& options) {
+  const auto& graph = instance.platform.graph();
+  const IntervalSpace sp(instance.participants.size());
+
+  std::vector<Rational> weights;
+  weights.reserve(decomposition.trees.size());
+  for (const ReductionTree& t : decomposition.trees) weights.push_back(t.weight);
+  const Rational period{Rational(integral_period(weights))};
+
+  // Aggregate messages per (edge, interval) and tasks per (node, task)
+  // across trees — the schedule does not need tree identity, and merging
+  // keeps the bipartite graph small.
+  std::map<std::pair<graph::EdgeId, std::size_t>, Rational> transfer_count;
+  std::map<std::pair<graph::NodeId, std::size_t>, Rational> task_count;
+  for (const ReductionTree& tree : decomposition.trees) {
+    Rational per_period = tree.weight * period;
+    for (const TreeTask& t : tree.tasks) {
+      if (t.kind == TreeTask::Kind::kTransfer) {
+        transfer_count[{t.edge, t.interval}] += per_period;
+      } else {
+        task_count[{t.node, t.task}] += per_period;
+      }
+    }
+  }
+
+  struct Payload {
+    graph::EdgeId edge;
+    std::size_t interval;
+  };
+  std::vector<Payload> payloads;
+  std::vector<BipartiteEdge> bip;
+  for (const auto& [key, count] : transfer_count) {
+    auto [edge, interval] = key;
+    Rational busy =
+        count * instance.message_size * instance.platform.edge_cost(edge);
+    payloads.push_back(Payload{edge, interval});
+    bip.push_back(
+        BipartiteEdge{graph.edge(edge).src, graph.edge(edge).dst, busy});
+  }
+
+  EdgeColoring coloring =
+      color_bipartite(graph.num_nodes(), graph.num_nodes(), bip);
+  if (coloring.total_duration > period) {
+    throw std::logic_error(
+        "build_reduce_schedule: coloring exceeds the period");
+  }
+
+  PeriodicSchedule schedule;
+  schedule.period = period;
+  Rational cursor(0);
+  for (const ColorClass& slice : coloring.slices) {
+    for (std::size_t idx : slice.edges) {
+      const Payload& p = payloads[idx];
+      Rational unit =
+          instance.message_size * instance.platform.edge_cost(p.edge);
+      CommActivity act;
+      act.edge = p.edge;
+      act.type = p.interval;
+      act.start = cursor;
+      act.end = cursor + slice.duration;
+      act.messages = slice.duration / unit;
+      schedule.comms.push_back(std::move(act));
+    }
+    cursor += slice.duration;
+  }
+
+  // Computation: per node, pack tasks sequentially ordered by produced
+  // interval width (small merges first shortens the pipeline ramp-up).
+  std::map<graph::NodeId, std::vector<std::pair<std::size_t, Rational>>>
+      per_node;
+  for (const auto& [key, count] : task_count) {
+    per_node[key.first].emplace_back(key.second, count);
+  }
+  for (auto& [node, tasks] : per_node) {
+    std::sort(tasks.begin(), tasks.end(),
+              [&sp](const auto& a, const auto& b) {
+                auto [ak, al, am] = sp.task(a.first);
+                auto [bk, bl, bm] = sp.task(b.first);
+                return std::tuple(am - ak, a.first) <
+                       std::tuple(bm - bk, b.first);
+              });
+    Rational t(0);
+    for (const auto& [task, count] : tasks) {
+      Rational duration =
+          count * instance.task_work / instance.platform.node_speed(node);
+      CompActivity act;
+      act.node = node;
+      act.task = task;
+      act.start = t;
+      act.end = t + duration;
+      act.count = count;
+      t = act.end;
+      schedule.comps.push_back(std::move(act));
+    }
+    if (t > period) {
+      throw std::logic_error(
+          "build_reduce_schedule: compute packing exceeds the period");
+    }
+  }
+
+  if (!options.allow_split_messages && !schedule.has_integral_messages()) {
+    std::vector<Rational> counts;
+    counts.reserve(schedule.comms.size());
+    for (const CommActivity& c : schedule.comms) counts.push_back(c.messages);
+    schedule.scale(Rational(integral_period(counts)));
+  }
+  return schedule;
+}
+
+}  // namespace ssco::core

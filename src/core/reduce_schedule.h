@@ -1,0 +1,28 @@
+#pragma once
+// Concrete periodic schedule for a weighted reduction-tree family
+// (paper Sec. 4.3).
+//
+// Pipeline: integralize the tree weights (period T = LCM of weight
+// denominators, so each tree runs an integer number of operations per
+// period), build the bipartite port graph from every tree's transfer tasks,
+// decompose it with the weighted edge coloring, and lay the slices
+// back-to-back. Compute tasks are packed sequentially per node (computation
+// fully overlaps communication in the model; ordering within the period is
+// irrelevant in steady state because inputs come from earlier periods'
+// buffered results — the paper's initialization-phase argument).
+
+#include "core/schedule.h"
+#include "core/tree_extract.h"
+
+namespace ssco::core {
+
+struct ReduceScheduleOptions {
+  bool allow_split_messages = true;
+};
+
+[[nodiscard]] PeriodicSchedule build_reduce_schedule(
+    const platform::ReduceInstance& instance,
+    const TreeDecomposition& decomposition,
+    const ReduceScheduleOptions& options = {});
+
+}  // namespace ssco::core

@@ -1,0 +1,138 @@
+#include "core/reduce_solution.h"
+
+#include "core/flow_solution.h"
+
+namespace ssco::core {
+
+std::vector<Rational> ReduceSolution::edge_occupation(
+    const platform::ReduceInstance& instance) const {
+  std::vector<Rational> occ(instance.platform.num_edges(), Rational(0));
+  for (const auto& per_edge : send) {
+    for (EdgeId e = 0; e < occ.size(); ++e) {
+      if (!per_edge[e].is_zero()) {
+        occ[e] +=
+            per_edge[e] * instance.message_size * instance.platform.edge_cost(e);
+      }
+    }
+  }
+  return occ;
+}
+
+std::vector<Rational> ReduceSolution::compute_load(
+    const platform::ReduceInstance& instance) const {
+  std::vector<Rational> load(instance.platform.num_nodes(), Rational(0));
+  for (NodeId n = 0; n < load.size(); ++n) {
+    Rational total(0);
+    for (const Rational& c : cons[n]) total += c;
+    if (!total.is_zero()) {
+      load[n] = total * instance.task_work / instance.platform.node_speed(n);
+    }
+  }
+  return load;
+}
+
+Rational ReduceSolution::net_balance(const platform::ReduceInstance& instance,
+                                     std::size_t interval_id,
+                                     NodeId node) const {
+  const IntervalSpace sp = space();
+  const auto& graph = instance.platform.graph();
+  auto [k, m] = sp.interval(interval_id);
+
+  Rational net(0);
+  for (EdgeId e : graph.in_edges(node)) net += send[interval_id][e];
+  for (EdgeId e : graph.out_edges(node)) net -= send[interval_id][e];
+  // Produced by local merges T(k,l,m), k <= l < m.
+  for (std::size_t l = k; l < m; ++l) {
+    net += cons[node][sp.task_id(k, l, m)];
+  }
+  // Consumed as the left input of T(k,m,x) for x > m, or as the right input
+  // of T(x,k-1,m) for x < k.
+  for (std::size_t x = m + 1; x < sp.n(); ++x) {
+    net -= cons[node][sp.task_id(k, m, x)];
+  }
+  for (std::size_t x = 0; x < k; ++x) {
+    net -= cons[node][sp.task_id(x, k - 1, m)];
+  }
+  return net;
+}
+
+std::string ReduceSolution::validate(
+    const platform::ReduceInstance& instance) const {
+  const IntervalSpace sp = space();
+  const auto& graph = instance.platform.graph();
+
+  if (num_participants != instance.participants.size()) {
+    return "participant count mismatch";
+  }
+  if (send.size() != sp.num_intervals()) return "send table size mismatch";
+  for (const auto& per_edge : send) {
+    if (per_edge.size() != graph.num_edges()) return "send row size mismatch";
+    for (const Rational& v : per_edge) {
+      if (v.is_negative()) return "negative send value";
+    }
+  }
+  if (cons.size() != graph.num_nodes()) return "cons table size mismatch";
+  for (const auto& per_task : cons) {
+    if (per_task.size() != sp.num_tasks()) return "cons row size mismatch";
+    for (const Rational& v : per_task) {
+      if (v.is_negative()) return "negative cons value";
+    }
+  }
+
+  // One-port rows.
+  std::vector<Rational> occ = edge_occupation(instance);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    Rational out_busy(0), in_busy(0);
+    for (EdgeId e : graph.out_edges(n)) out_busy += occ[e];
+    for (EdgeId e : graph.in_edges(n)) in_busy += occ[e];
+    if (out_busy > Rational(1)) {
+      return "one-port (send) violated at node " + std::to_string(n);
+    }
+    if (in_busy > Rational(1)) {
+      return "one-port (recv) violated at node " + std::to_string(n);
+    }
+  }
+  // Compute rows (paper eq. 7/9: alpha(P_i) <= 1).
+  for (const Rational& load : compute_load(instance)) {
+    if (load > Rational(1)) return "compute load exceeds 1";
+  }
+
+  // Conservation law (paper eq. 10) with its two exclusions, plus the
+  // throughput row (eq. 11).
+  const std::size_t full = sp.full_interval_id();
+  for (std::size_t iv = 0; iv < sp.num_intervals(); ++iv) {
+    auto [k, m] = sp.interval(iv);
+    for (NodeId node = 0; node < graph.num_nodes(); ++node) {
+      const bool is_own_singleton =
+          k == m && instance.participants[k] == node;
+      const bool is_final_at_target = iv == full && node == instance.target;
+      Rational net = net_balance(instance, iv, node);
+      if (is_own_singleton) {
+        // Unlimited supply: net consumption allowed (net <= 0 not even
+        // required by the LP; any sign is tolerated by the paper, but a
+        // positive net here would mean the node conjures foreign copies).
+        continue;
+      }
+      if (is_final_at_target) {
+        if (net != throughput) {
+          return "target absorbs " + net.to_string() + " != TP " +
+                 throughput.to_string();
+        }
+        continue;
+      }
+      if (!net.is_zero()) {
+        return "conservation violated for v[" + std::to_string(k) + "," +
+               std::to_string(m) + "] at node " + std::to_string(node);
+      }
+    }
+  }
+  return {};
+}
+
+void ReduceSolution::prune_cycles(const platform::ReduceInstance& instance) {
+  for (auto& per_edge : send) {
+    cancel_flow_cycles(instance.platform.graph(), per_edge);
+  }
+}
+
+}  // namespace ssco::core

@@ -1,0 +1,70 @@
+#pragma once
+// Steady-state reduce solution — the application A of paper Sec. 4.2/4.3.
+//
+// Holds, per time-unit: the fractional number of each partial value v[k,m]
+// crossing each edge (send) and of each merge task T(k,l,m) executed on each
+// node (cons). Provides exact validation of the SSR constraints (one-port,
+// compute load, the interval conservation law, throughput at the target) and
+// cycle pruning per interval (same rationale as for scatter flows: the tree
+// extractor of Sec. 4.4 assumes well-formed, cycle-free applications).
+
+#include <string>
+#include <vector>
+
+#include "core/intervals.h"
+#include "graph/digraph.h"
+#include "num/rational.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::core {
+
+using graph::EdgeId;
+using graph::NodeId;
+using num::BigInt;
+using num::Rational;
+
+struct ReduceSolution {
+  /// Logical index space of the reduction (n = number of participants).
+  std::size_t num_participants = 0;
+  /// Optimal throughput TP (reduce operations completed per time-unit).
+  Rational throughput;
+  /// send[interval_id][edge_id]: messages v[k,m] crossing the edge per
+  /// time-unit.
+  std::vector<std::vector<Rational>> send;
+  /// cons[node_id][task_id]: tasks T(k,l,m) executed on the node per
+  /// time-unit.
+  std::vector<std::vector<Rational>> cons;
+  bool certified = false;
+  std::string lp_method;
+
+  [[nodiscard]] IntervalSpace space() const {
+    return IntervalSpace(num_participants);
+  }
+
+  /// Busy time per time-unit on each edge.
+  [[nodiscard]] std::vector<Rational> edge_occupation(
+      const platform::ReduceInstance& instance) const;
+  /// Compute busy time per time-unit on each node (the paper's alpha(P_i)).
+  [[nodiscard]] std::vector<Rational> compute_load(
+      const platform::ReduceInstance& instance) const;
+
+  /// Exact validation of every SSR constraint. Returns a description of the
+  /// first violation, or an empty string when valid.
+  [[nodiscard]] std::string validate(
+      const platform::ReduceInstance& instance) const;
+
+  /// Cancels send-flow cycles interval by interval (cons values untouched;
+  /// a cycle adds equally to inflow and outflow at each node on it, so the
+  /// conservation law is preserved).
+  void prune_cycles(const platform::ReduceInstance& instance);
+
+  /// Net production of (interval, node) implied by this solution:
+  /// in + produced - out - consumed. For a valid solution this is zero
+  /// everywhere except the sources (v[i,i] at owners, negative net) and the
+  /// sink (v[0,n-1] at target, +TP). Exposed for tests and the extractor.
+  [[nodiscard]] Rational net_balance(const platform::ReduceInstance& instance,
+                                     std::size_t interval_id,
+                                     NodeId node) const;
+};
+
+}  // namespace ssco::core

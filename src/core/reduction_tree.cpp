@@ -1,0 +1,127 @@
+#include "core/reduction_tree.h"
+
+#include <map>
+#include <sstream>
+
+namespace ssco::core {
+
+namespace {
+
+using Location = std::pair<std::size_t, graph::NodeId>;  // (interval, node)
+
+}  // namespace
+
+std::string ReductionTree::validate(
+    const platform::ReduceInstance& instance) const {
+  const IntervalSpace sp(instance.participants.size());
+  const auto& graph = instance.platform.graph();
+
+  // produced - consumed per (interval, node); the root demand consumes one
+  // (full, target); singleton supplies cover deficits at their owners.
+  std::map<Location, long> balance;
+  for (const TreeTask& t : tasks) {
+    if (t.kind == TreeTask::Kind::kTransfer) {
+      if (t.edge >= graph.num_edges()) return "transfer: bad edge";
+      if (t.interval >= sp.num_intervals()) return "transfer: bad interval";
+      const auto& e = graph.edge(t.edge);
+      balance[{t.interval, e.dst}] += 1;
+      balance[{t.interval, e.src}] -= 1;
+    } else {
+      if (t.node >= graph.num_nodes()) return "compute: bad node";
+      if (t.task >= sp.num_tasks()) return "compute: bad task";
+      auto [k, l, m] = sp.task(t.task);
+      balance[{sp.interval_id(k, m), t.node}] += 1;
+      balance[{sp.interval_id(k, l), t.node}] -= 1;
+      balance[{sp.interval_id(l + 1, m), t.node}] -= 1;
+    }
+  }
+  balance[{sp.full_interval_id(), instance.target}] -= 1;
+
+  for (const auto& [loc, net] : balance) {
+    auto [iv, node] = loc;
+    auto [k, m] = sp.interval(iv);
+    const bool own_singleton = k == m && instance.participants[k] == node;
+    if (own_singleton) {
+      if (net > 0) {
+        return "singleton v[" + std::to_string(k) +
+               "] over-produced at its owner";
+      }
+      continue;  // deficit drawn from the unlimited local supply
+    }
+    if (net != 0) {
+      return "value v[" + std::to_string(k) + "," + std::to_string(m) +
+             "] at node " + std::to_string(node) +
+             (net > 0 ? " produced but never used" : " used but not produced");
+    }
+  }
+
+  // Acyclicity of per-interval transfer chains: a cycle would make the task
+  // list impossible to execute (each value exists once per operation).
+  for (std::size_t iv = 0; iv < sp.num_intervals(); ++iv) {
+    std::map<graph::NodeId, graph::NodeId> next;
+    for (const TreeTask& t : tasks) {
+      if (t.kind != TreeTask::Kind::kTransfer || t.interval != iv) continue;
+      const auto& e = graph.edge(t.edge);
+      if (next.contains(e.src)) {
+        return "interval forked along two transfers from one node";
+      }
+      next[e.src] = e.dst;
+    }
+    for (auto [start, unused] : next) {
+      (void)unused;
+      graph::NodeId cur = start;
+      std::size_t steps = 0;
+      while (next.contains(cur)) {
+        cur = next[cur];
+        if (++steps > next.size()) return "transfer cycle detected";
+      }
+    }
+  }
+  return {};
+}
+
+Rational ReductionTree::bottleneck_time(
+    const platform::ReduceInstance& instance) const {
+  const auto& graph = instance.platform.graph();
+  std::map<graph::NodeId, Rational> out_busy, in_busy, cpu_busy;
+  for (const TreeTask& t : tasks) {
+    if (t.kind == TreeTask::Kind::kTransfer) {
+      const auto& e = graph.edge(t.edge);
+      Rational time =
+          instance.message_size * instance.platform.edge_cost(t.edge);
+      out_busy[e.src] += time;
+      in_busy[e.dst] += time;
+    } else {
+      cpu_busy[t.node] +=
+          instance.task_work / instance.platform.node_speed(t.node);
+    }
+  }
+  Rational worst(0);
+  for (const auto& [n, v] : out_busy) worst = Rational::max(worst, v);
+  for (const auto& [n, v] : in_busy) worst = Rational::max(worst, v);
+  for (const auto& [n, v] : cpu_busy) worst = Rational::max(worst, v);
+  return worst;
+}
+
+std::string ReductionTree::to_string(
+    const platform::ReduceInstance& instance) const {
+  const IntervalSpace sp(instance.participants.size());
+  const auto& graph = instance.platform.graph();
+  std::ostringstream os;
+  os << "tree (throughput " << weight << "):\n";
+  for (const TreeTask& t : tasks) {
+    if (t.kind == TreeTask::Kind::kTransfer) {
+      auto [k, m] = sp.interval(t.interval);
+      const auto& e = graph.edge(t.edge);
+      os << "  transfer [" << k << "," << m << "]  " << e.src << " -> "
+         << e.dst << "\n";
+    } else {
+      auto [k, l, m] = sp.task(t.task);
+      os << "  cons[" << k << "," << l << "," << m << "] in node " << t.node
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ssco::core

@@ -1,0 +1,75 @@
+#pragma once
+// Reduction trees (paper Sec. 4.1/4.3, Definition 1).
+//
+// A reduction tree is a list of tasks — transfers of partial values v[k,m]
+// along edges and merges T(k,l,m) on nodes — such that every task input is
+// either another task's result or an original value v[i,i] on its owner, and
+// the overall result is v[0,N-1] on the target. A weighted family of such
+// trees is the polynomial-size description of a steady-state reduce schedule
+// (Lemma 2): tree weights are per-time-unit throughputs.
+
+#include <string>
+#include <vector>
+
+#include "core/intervals.h"
+#include "graph/digraph.h"
+#include "num/rational.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::core {
+
+using num::Rational;
+
+struct TreeTask {
+  enum class Kind { kTransfer, kCompute };
+  Kind kind = Kind::kTransfer;
+  /// kTransfer: platform edge carrying `interval`.
+  graph::EdgeId edge = graph::kInvalidId;
+  std::size_t interval = 0;  // IntervalSpace interval id
+  /// kCompute: node executing `task`.
+  graph::NodeId node = graph::kInvalidId;
+  std::size_t task = 0;  // IntervalSpace task id
+
+  [[nodiscard]] static TreeTask transfer(graph::EdgeId edge,
+                                         std::size_t interval) {
+    TreeTask t;
+    t.kind = Kind::kTransfer;
+    t.edge = edge;
+    t.interval = interval;
+    return t;
+  }
+  [[nodiscard]] static TreeTask compute(graph::NodeId node, std::size_t task) {
+    TreeTask t;
+    t.kind = Kind::kCompute;
+    t.node = node;
+    t.task = task;
+    return t;
+  }
+
+  friend bool operator==(const TreeTask&, const TreeTask&) = default;
+};
+
+struct ReductionTree {
+  std::vector<TreeTask> tasks;
+  /// Reduce operations per time-unit carried by this tree.
+  Rational weight;
+
+  /// Checks Definition 1 exactly: every demanded (value, location) is
+  /// produced exactly once (leaves drawing from v[i,i] supplies), the root
+  /// v[0,N-1] lands on the target, and per-interval transfer chains are
+  /// acyclic. Returns the first violation, or empty when valid.
+  [[nodiscard]] std::string validate(
+      const platform::ReduceInstance& instance) const;
+
+  /// Resource busy time per executed operation: max over every out-port,
+  /// in-port and CPU touched by this tree. The reciprocal is the best
+  /// throughput the tree can sustain alone — used to score baseline trees.
+  [[nodiscard]] Rational bottleneck_time(
+      const platform::ReduceInstance& instance) const;
+
+  /// Fig. 11/12-style listing ("transfer [k,m] i -> j", "cons[k,l,m] in n").
+  [[nodiscard]] std::string to_string(
+      const platform::ReduceInstance& instance) const;
+};
+
+}  // namespace ssco::core

@@ -1,0 +1,42 @@
+#pragma once
+// Series-of-Scatters steady-state LP — SSSP(G), paper Sec. 3.1.
+//
+// One source streams distinct same-size messages to every target; we maximize
+// the common delivery rate TP under the bidirectional one-port model. The
+// builder produces the exact LP of the paper with two mechanical
+// simplifications that change neither feasibility nor optimum:
+//  * the occupation variables s(Pi->Pj) are substituted by their defining
+//    equality (paper eq. 4), so one-port rows are written directly over the
+//    send(...) variables;
+//  * flow variables that provably carry no useful traffic (type m_k leaving
+//    its own target, or any type entering the source) are not created.
+//
+// The 0 <= s <= 1 box constraints (paper eq. 1) are implied by the one-port
+// rows (eq. 2-3) given non-negativity, so they need no extra rows.
+
+#include "core/flow_solution.h"
+#include "lp/exact_solver.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::core {
+
+struct ScatterLpOptions {
+  lp::ExactSolverOptions solver;
+  /// Cancel useless flow cycles in the returned solution (recommended; the
+  /// schedule builder requires cycle-free flows).
+  bool prune_cycles = true;
+};
+
+/// Builds SSSP(G) for the instance. Exposed separately from solve() so tests
+/// and the LP-format writer can inspect the model.
+[[nodiscard]] lp::Model build_scatter_lp(
+    const platform::ScatterInstance& instance);
+
+/// Solves the steady-state scatter problem; commodity i of the result is
+/// instance.targets[i]'s message type.
+/// Throws std::invalid_argument when some target is unreachable (the LP would
+/// be feasible only with TP = 0) or roles are malformed.
+[[nodiscard]] MultiFlow solve_scatter(const platform::ScatterInstance& instance,
+                                      const ScatterLpOptions& options = {});
+
+}  // namespace ssco::core

@@ -1,0 +1,34 @@
+#pragma once
+// Concrete periodic schedule for scatter/gossip flows (paper Sec. 3.3).
+//
+// Pipeline: integralize the flow (period T = LCM of denominators), build the
+// bipartite port graph (one sender and one receiver port per node, one
+// weighted edge per (platform edge, message type) with positive traffic),
+// decompose it with the weighted edge coloring, and lay the color classes
+// out back-to-back inside the period. Every port then serves at most one
+// transfer at any instant — the one-port model holds by construction.
+//
+// Two modes, matching Fig. 4:
+//  * split allowed (default): activities may carry fractional message counts
+//    (a message finishes in a later slice); the period stays T.
+//  * no-split: the schedule is rescaled by the LCM of the per-activity
+//    message denominators, so every activity carries whole messages
+//    (Fig. 4(b): period 12 -> 48).
+
+#include "core/flow_solution.h"
+#include "core/schedule.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::core {
+
+struct ScatterScheduleOptions {
+  bool allow_split_messages = true;
+};
+
+/// Builds the periodic schedule realizing `flow` on the platform. Works for
+/// any MultiFlow (scatter or gossip); activity `type` is the commodity index.
+[[nodiscard]] PeriodicSchedule build_flow_schedule(
+    const platform::Platform& platform, const MultiFlow& flow,
+    const ScatterScheduleOptions& options = {});
+
+}  // namespace ssco::core

@@ -1,0 +1,65 @@
+#pragma once
+// Periodic schedule intermediate representation.
+//
+// The output of the paper's constructions (Sec. 3.3 for scatter/gossip,
+// Sec. 4.3 for reduce): a period length and a set of timed activities that
+// repeat every period. Communication activities transfer `messages` units of
+// one message type over one edge during [start, end); computation activities
+// execute `count` merge tasks on one node. The one-port model demands that
+// activities sharing an out-port (edge source) or an in-port (edge
+// destination) never overlap — sim/oneport_check.h verifies that, and the
+// fluid simulator executes the schedule.
+//
+// `type` is operation-specific: the commodity index for scatter/gossip
+// schedules, the IntervalSpace interval id for reduce schedules.
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "num/rational.h"
+
+namespace ssco::core {
+
+using num::Rational;
+
+struct CommActivity {
+  graph::EdgeId edge = graph::kInvalidId;
+  std::size_t type = 0;
+  Rational start;
+  Rational end;
+  Rational messages;
+};
+
+struct CompActivity {
+  graph::NodeId node = graph::kInvalidId;
+  std::size_t task = 0;  // IntervalSpace task id
+  Rational start;
+  Rational end;
+  Rational count;
+};
+
+struct PeriodicSchedule {
+  Rational period;
+  std::vector<CommActivity> comms;
+  std::vector<CompActivity> comps;
+
+  /// Multiplies the period, all instants and all counts by `factor` (> 0).
+  /// Used to turn a split-message schedule into a no-split one (Fig. 4(b):
+  /// period 12 -> 48).
+  void scale(const Rational& factor);
+
+  /// True when every communication activity carries an integer number of
+  /// messages (no message is split across time slices).
+  [[nodiscard]] bool has_integral_messages() const;
+
+  /// Messages of `type` delivered per period into `node`.
+  [[nodiscard]] Rational delivered_per_period(graph::NodeId node,
+                                              std::size_t type,
+                                              const graph::Digraph& graph) const;
+
+  /// Human-readable timeline (one line per activity, sorted by start time).
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace ssco::core

@@ -1,0 +1,157 @@
+#include "core/tree_extract.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ssco::core {
+
+namespace {
+
+/// FIND_TREE (paper Fig. 8): resolve demands from the root down, preferring
+/// local computation, then any incoming transfer with remaining value.
+ReductionTree find_tree(const platform::ReduceInstance& instance,
+                        const IntervalSpace& sp, const ReduceSolution& a) {
+  const auto& graph = instance.platform.graph();
+  ReductionTree tree;
+  struct Demand {
+    std::size_t interval;
+    graph::NodeId node;
+  };
+  std::vector<Demand> inputs{{sp.full_interval_id(), instance.target}};
+
+  while (!inputs.empty()) {
+    Demand d = inputs.back();
+    inputs.pop_back();
+    auto [k, m] = sp.interval(d.interval);
+
+    // Original value in place: the demand is a leaf.
+    if (k == m && instance.participants[k] == d.node) continue;
+
+    // Preferred: the message is computed in place (paper line 6).
+    bool resolved = false;
+    for (std::size_t l = k; l < m && !resolved; ++l) {
+      std::size_t task = sp.task_id(k, l, m);
+      if (a.cons[d.node][task].signum() > 0) {
+        tree.tasks.push_back(TreeTask::compute(d.node, task));
+        inputs.push_back({sp.interval_id(k, l), d.node});
+        inputs.push_back({sp.interval_id(l + 1, m), d.node});
+        resolved = true;
+      }
+    }
+    if (resolved) continue;
+
+    // Otherwise: received from a neighbour (paper line 11).
+    for (graph::EdgeId e : graph.in_edges(d.node)) {
+      if (a.send[d.interval][e].signum() > 0) {
+        tree.tasks.push_back(TreeTask::transfer(e, d.interval));
+        inputs.push_back({d.interval, graph.edge(e).src});
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved) {
+      throw std::logic_error(
+          "FIND_TREE: demand for v[" + std::to_string(k) + "," +
+          std::to_string(m) + "] at node " + std::to_string(d.node) +
+          " cannot be satisfied — input solution violates conservation");
+    }
+  }
+  return tree;
+}
+
+Rational& value_of(ReduceSolution& a, const TreeTask& t) {
+  return t.kind == TreeTask::Kind::kTransfer ? a.send[t.interval][t.edge]
+                                             : a.cons[t.node][t.task];
+}
+
+}  // namespace
+
+TreeDecomposition extract_trees(const platform::ReduceInstance& instance,
+                                const ReduceSolution& solution) {
+  const IntervalSpace sp(instance.participants.size());
+  ReduceSolution a = solution;  // consumed working copy
+
+  TreeDecomposition out;
+  out.total_weight = Rational(0);
+
+  // Theorem 1's bound on the number of extractable trees; exceeding it means
+  // the greedy loop is not making progress (a bug or a bad input).
+  const std::size_t n = instance.platform.num_nodes();
+  const std::size_t max_trees = 2 * n * n * n * n + 2;
+
+  while (out.total_weight < solution.throughput) {
+    if (out.trees.size() > max_trees) {
+      throw std::logic_error("extract_trees: exceeded the 2n^4 tree bound");
+    }
+    ReductionTree tree = find_tree(instance, sp, a);
+    if (tree.tasks.empty()) {
+      // Root demand satisfied with no task: only possible when the target
+      // owns the full interval locally, which solve_reduce forbids.
+      throw std::logic_error("extract_trees: empty tree extracted");
+    }
+    Rational weight = value_of(a, tree.tasks.front());
+    for (const TreeTask& t : tree.tasks) {
+      weight = Rational::min(weight, value_of(a, t));
+    }
+    // Never exceed the remaining throughput (the final tree may be capped:
+    // leftover circulation in A must not inflate total weight past TP).
+    weight = Rational::min(weight, solution.throughput - out.total_weight);
+    if (weight.signum() <= 0) {
+      throw std::logic_error("extract_trees: non-positive tree weight");
+    }
+    for (const TreeTask& t : tree.tasks) {
+      value_of(a, t) -= weight;
+    }
+    tree.weight = weight;
+    out.total_weight += weight;
+    out.trees.push_back(std::move(tree));
+  }
+  return out;
+}
+
+std::string TreeDecomposition::verify_reconstitution(
+    const platform::ReduceInstance& instance,
+    const ReduceSolution& solution) const {
+  const IntervalSpace sp(instance.participants.size());
+  const auto& graph = instance.platform.graph();
+
+  std::vector<std::vector<Rational>> send(
+      sp.num_intervals(),
+      std::vector<Rational>(graph.num_edges(), Rational(0)));
+  std::vector<std::vector<Rational>> cons(
+      graph.num_nodes(), std::vector<Rational>(sp.num_tasks(), Rational(0)));
+  Rational total(0);
+  for (const ReductionTree& tree : trees) {
+    total += tree.weight;
+    for (const TreeTask& t : tree.tasks) {
+      if (t.kind == TreeTask::Kind::kTransfer) {
+        send[t.interval][t.edge] += tree.weight;
+      } else {
+        cons[t.node][t.task] += tree.weight;
+      }
+    }
+  }
+  if (total != solution.throughput) {
+    return "tree weights sum to " + total.to_string() + ", expected TP = " +
+           solution.throughput.to_string();
+  }
+  // The reconstruction must never exceed the solution (trees use only value
+  // present in A); equality holds wherever the trees put positive weight.
+  for (std::size_t iv = 0; iv < sp.num_intervals(); ++iv) {
+    for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (send[iv][e] > solution.send[iv][e]) {
+        return "tree family over-uses a transfer task";
+      }
+    }
+  }
+  for (graph::NodeId node = 0; node < graph.num_nodes(); ++node) {
+    for (std::size_t t = 0; t < sp.num_tasks(); ++t) {
+      if (cons[node][t] > solution.cons[node][t]) {
+        return "tree family over-uses a compute task";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace ssco::core

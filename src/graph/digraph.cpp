@@ -1,0 +1,49 @@
+#include "graph/digraph.h"
+
+#include <stdexcept>
+
+namespace ssco::graph {
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return out_.size() - 1;
+}
+
+void Digraph::add_nodes(std::size_t count) {
+  out_.resize(out_.size() + count);
+  in_.resize(in_.size() + count);
+}
+
+EdgeId Digraph::add_edge(NodeId src, NodeId dst) {
+  if (src >= num_nodes() || dst >= num_nodes()) {
+    throw std::out_of_range("Digraph::add_edge: node id out of range");
+  }
+  if (src == dst) {
+    throw std::invalid_argument("Digraph::add_edge: self-loops not allowed");
+  }
+  if (has_edge(src, dst)) {
+    throw std::invalid_argument("Digraph::add_edge: parallel edge");
+  }
+  EdgeId id = edges_.size();
+  edges_.push_back(Edge{src, dst});
+  out_[src].push_back(id);
+  in_[dst].push_back(id);
+  return id;
+}
+
+EdgeId Digraph::add_bidirectional(NodeId a, NodeId b) {
+  EdgeId forward = add_edge(a, b);
+  add_edge(b, a);
+  return forward;
+}
+
+EdgeId Digraph::find_edge(NodeId src, NodeId dst) const {
+  if (src >= num_nodes()) return kInvalidId;
+  for (EdgeId e : out_[src]) {
+    if (edges_[e].dst == dst) return e;
+  }
+  return kInvalidId;
+}
+
+}  // namespace ssco::graph

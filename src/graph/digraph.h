@@ -1,0 +1,68 @@
+#pragma once
+// Directed multigraph with stable node/edge identifiers.
+//
+// This is the paper's platform graph G = (V, E): directed (c(i,j) need not
+// equal c(j,i); an edge (i,j) does not imply (j,i)), may contain cycles and
+// multiple routes between nodes. Edge attributes (costs) live outside the
+// structure, indexed by EdgeId, so the same graph can carry several metric
+// layers (communication cost, DOT styling, flow values...).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssco::graph {
+
+using NodeId = std::size_t;
+using EdgeId = std::size_t;
+
+inline constexpr std::size_t kInvalidId = static_cast<std::size_t>(-1);
+
+struct Edge {
+  NodeId src = kInvalidId;
+  NodeId dst = kInvalidId;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t num_nodes) { add_nodes(num_nodes); }
+
+  NodeId add_node();
+  void add_nodes(std::size_t count);
+  /// Adds a directed edge; parallel edges and self-loops are rejected.
+  EdgeId add_edge(NodeId src, NodeId dst);
+  /// Adds both (a,b) and (b,a); returns the id of (a,b).
+  EdgeId add_bidirectional(NodeId a, NodeId b);
+
+  [[nodiscard]] std::size_t num_nodes() const { return out_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId n) const {
+    return out_[n];
+  }
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId n) const {
+    return in_[n];
+  }
+  [[nodiscard]] std::size_t out_degree(NodeId n) const {
+    return out_[n].size();
+  }
+  [[nodiscard]] std::size_t in_degree(NodeId n) const { return in_[n].size(); }
+
+  /// Id of the (unique) edge src->dst, or kInvalidId.
+  [[nodiscard]] EdgeId find_edge(NodeId src, NodeId dst) const;
+  [[nodiscard]] bool has_edge(NodeId src, NodeId dst) const {
+    return find_edge(src, dst) != kInvalidId;
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace ssco::graph

@@ -1,0 +1,64 @@
+#include "graph/dot.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace ssco::graph {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_dot(std::ostream& os, const Digraph& graph,
+               const DotOptions& options) {
+  os << "digraph " << quoted(options.graph_name) << " {\n";
+  os << "  rankdir=TB;\n  node [shape=circle];\n";
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    os << "  n" << n;
+    os << " [label="
+       << quoted(n < options.node_label.size() && !options.node_label[n].empty()
+                     ? options.node_label[n]
+                     : std::to_string(n));
+    if (n < options.node_color.size() && !options.node_color[n].empty()) {
+      os << ", style=filled, fillcolor=" << quoted(options.node_color[n]);
+    }
+    os << "];\n";
+  }
+  auto label_of = [&options](EdgeId e) -> std::string {
+    return e < options.edge_label.size() ? options.edge_label[e] : "";
+  };
+  std::vector<bool> done(graph.num_edges(), false);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (done[e]) continue;
+    const Edge& edge = graph.edge(e);
+    EdgeId reverse = graph.find_edge(edge.dst, edge.src);
+    const bool merged = options.merge_symmetric_edges &&
+                        reverse != kInvalidId && !done[reverse] &&
+                        label_of(e) == label_of(reverse);
+    os << "  n" << edge.src << " -> n" << edge.dst;
+    os << " [";
+    if (!label_of(e).empty()) os << "label=" << quoted(label_of(e)) << ", ";
+    os << (merged ? "dir=none" : "dir=forward") << "];\n";
+    done[e] = true;
+    if (merged) done[reverse] = true;
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Digraph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  write_dot(os, graph, options);
+  return os.str();
+}
+
+}  // namespace ssco::graph

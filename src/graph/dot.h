@@ -1,0 +1,37 @@
+#pragma once
+// Graphviz DOT export for platforms, flows and reduction trees.
+//
+// Mirrors the paper's figures: Fig. 2/9 show platforms with edge labels,
+// Fig. 10 overlays LP transfer values on the topology, Figs. 11-12 render
+// reduction trees. The writers here take plain label vectors so any layer
+// (costs, flows, occupations) can be rendered without coupling to the core
+// types.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace ssco::graph {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Per-node label; defaults to the node id.
+  std::vector<std::string> node_label;
+  /// Per-node fill color name (Graphviz color); empty = unfilled.
+  std::vector<std::string> node_color;
+  /// Per-edge label (indexed by EdgeId); empty entries are omitted.
+  std::vector<std::string> edge_label;
+  /// When true, pairs (a,b)/(b,a) with identical labels collapse into one
+  /// undirected-looking edge (dir=none), as in the paper's platform figures.
+  bool merge_symmetric_edges = true;
+};
+
+void write_dot(std::ostream& os, const Digraph& graph,
+               const DotOptions& options = {});
+
+[[nodiscard]] std::string to_dot(const Digraph& graph,
+                                 const DotOptions& options = {});
+
+}  // namespace ssco::graph

@@ -1,0 +1,92 @@
+#include "graph/generators.h"
+
+#include <stdexcept>
+
+namespace ssco::graph {
+
+Digraph complete(std::size_t n) {
+  Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_bidirectional(i, j);
+    }
+  }
+  return g;
+}
+
+Digraph star(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("star: need at least one node");
+  Digraph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    g.add_bidirectional(0, i);
+  }
+  return g;
+}
+
+Digraph chain(std::size_t n) {
+  Digraph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_bidirectional(i, i + 1);
+  }
+  return g;
+}
+
+Digraph ring(std::size_t n) {
+  if (n < 3) throw std::invalid_argument("ring: need at least 3 nodes");
+  Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_bidirectional(i, (i + 1) % n);
+  }
+  return g;
+}
+
+Digraph grid(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("grid: empty dimension");
+  }
+  Digraph g(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      NodeId id = r * cols + c;
+      if (c + 1 < cols) g.add_bidirectional(id, id + 1);
+      if (r + 1 < rows) g.add_bidirectional(id, id + cols);
+    }
+  }
+  return g;
+}
+
+Digraph hypercube(unsigned dim) {
+  const std::size_t n = std::size_t{1} << dim;
+  Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (unsigned b = 0; b < dim; ++b) {
+      std::size_t j = i ^ (std::size_t{1} << b);
+      if (i < j) g.add_bidirectional(i, j);
+    }
+  }
+  return g;
+}
+
+Digraph random_connected(std::size_t n, double extra_edge_prob, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("random_connected: n == 0");
+  Digraph g(n);
+  // Random spanning tree: attach each node to a uniformly random earlier
+  // node, after shuffling insertion order.
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    NodeId parent = order[rng.uniform(0, i - 1)];
+    g.add_bidirectional(order[i], parent);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!g.has_edge(i, j) && rng.bernoulli(extra_edge_prob)) {
+        g.add_bidirectional(i, j);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ssco::graph

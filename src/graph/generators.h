@@ -1,0 +1,40 @@
+#pragma once
+// Standard topology generators.
+//
+// Every generator returns a Digraph whose physical links are bidirectional
+// (one directed edge each way), matching the paper's model where a link
+// (i,j) may exist without (j,i) but generated platforms are physically
+// symmetric (costs can still differ per direction). All generators produce
+// connected graphs.
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+#include "graph/rng.h"
+
+namespace ssco::graph {
+
+/// Complete graph on n nodes.
+[[nodiscard]] Digraph complete(std::size_t n);
+
+/// Star: node 0 is the hub, nodes 1..n-1 are leaves.
+[[nodiscard]] Digraph star(std::size_t n);
+
+/// Simple path 0-1-...-n-1.
+[[nodiscard]] Digraph chain(std::size_t n);
+
+/// Cycle 0-1-...-n-1-0; requires n >= 3.
+[[nodiscard]] Digraph ring(std::size_t n);
+
+/// rows x cols mesh; node (r,c) has id r*cols + c.
+[[nodiscard]] Digraph grid(std::size_t rows, std::size_t cols);
+
+/// Hypercube of dimension d (2^d nodes).
+[[nodiscard]] Digraph hypercube(unsigned dim);
+
+/// Random connected graph: a uniform random spanning tree plus each remaining
+/// pair linked with probability `extra_edge_prob`.
+[[nodiscard]] Digraph random_connected(std::size_t n, double extra_edge_prob,
+                                       Rng& rng);
+
+}  // namespace ssco::graph

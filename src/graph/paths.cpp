@@ -1,0 +1,110 @@
+#include "graph/paths.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ssco::graph {
+
+std::vector<EdgeId> ShortestPathTree::path_to(NodeId n,
+                                              const Digraph& graph) const {
+  if (!reachable(n)) {
+    throw std::invalid_argument("ShortestPathTree::path_to: unreachable node");
+  }
+  std::vector<EdgeId> path;
+  NodeId cur = n;
+  while (cur != source) {
+    EdgeId e = parent_edge[cur];
+    path.push_back(e);
+    cur = graph.edge(e).src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Digraph& graph,
+                          const std::vector<Rational>& edge_cost,
+                          NodeId source) {
+  if (edge_cost.size() != graph.num_edges()) {
+    throw std::invalid_argument("dijkstra: edge_cost size mismatch");
+  }
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.distance.assign(graph.num_nodes(), std::nullopt);
+  tree.parent_edge.assign(graph.num_nodes(), kInvalidId);
+
+  // Comparator flips to make a min-heap on (distance, node).
+  using Entry = std::pair<Rational, NodeId>;
+  auto cmp = [](const Entry& a, const Entry& b) { return b.first < a.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+
+  tree.distance[source] = Rational(0);
+  heap.emplace(Rational(0), source);
+  std::vector<bool> settled(graph.num_nodes(), false);
+
+  while (!heap.empty()) {
+    auto [dist, node] = heap.top();
+    heap.pop();
+    if (settled[node]) continue;
+    settled[node] = true;
+    for (EdgeId e : graph.out_edges(node)) {
+      if (edge_cost[e].is_negative()) {
+        throw std::invalid_argument("dijkstra: negative edge cost");
+      }
+      NodeId next = graph.edge(e).dst;
+      Rational cand = dist + edge_cost[e];
+      if (!tree.distance[next] || cand < *tree.distance[next]) {
+        tree.distance[next] = cand;
+        tree.parent_edge[next] = e;
+        heap.emplace(std::move(cand), next);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<bool> reachable_from(const Digraph& graph, NodeId source) {
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::queue<NodeId> frontier;
+  seen[source] = true;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    NodeId node = frontier.front();
+    frontier.pop();
+    for (EdgeId e : graph.out_edges(node)) {
+      NodeId next = graph.edge(e).dst;
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push(next);
+      }
+    }
+  }
+  return seen;
+}
+
+bool is_strongly_connected(const Digraph& graph) {
+  if (graph.num_nodes() == 0) return true;
+  auto forward = reachable_from(graph, 0);
+  if (!std::all_of(forward.begin(), forward.end(), [](bool b) { return b; })) {
+    return false;
+  }
+  // Reverse reachability: BFS over in-edges.
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::queue<NodeId> frontier;
+  seen[0] = true;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    NodeId node = frontier.front();
+    frontier.pop();
+    for (EdgeId e : graph.in_edges(node)) {
+      NodeId prev = graph.edge(e).src;
+      if (!seen[prev]) {
+        seen[prev] = true;
+        frontier.push(prev);
+      }
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
+}
+
+}  // namespace ssco::graph

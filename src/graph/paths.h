@@ -1,0 +1,48 @@
+#pragma once
+// Shortest paths and reachability over rational edge weights.
+//
+// Used by the baselines (single shortest-path-tree scatter/reduce, Sec. 5
+// comparisons) and by platform validation (every target must be reachable
+// from the source for the scatter LP to be feasible). Dijkstra runs on exact
+// rationals — costs are small so the heap comparisons stay cheap, and results
+// feed directly into exact throughput formulas.
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "num/rational.h"
+
+namespace ssco::graph {
+
+using num::Rational;
+
+struct ShortestPathTree {
+  NodeId source = kInvalidId;
+  /// Distance from source per node; nullopt when unreachable.
+  std::vector<std::optional<Rational>> distance;
+  /// Incoming tree edge per node (kInvalidId for source/unreachable).
+  std::vector<EdgeId> parent_edge;
+
+  [[nodiscard]] bool reachable(NodeId n) const {
+    return distance[n].has_value();
+  }
+  /// Edge ids of the path source -> n, in order; empty when n == source.
+  /// Requires reachable(n).
+  [[nodiscard]] std::vector<EdgeId> path_to(NodeId n,
+                                            const Digraph& graph) const;
+};
+
+/// Dijkstra from `source` with non-negative rational `edge_cost` (per EdgeId).
+[[nodiscard]] ShortestPathTree dijkstra(const Digraph& graph,
+                                        const std::vector<Rational>& edge_cost,
+                                        NodeId source);
+
+/// Nodes reachable from `source` following edge direction (BFS).
+[[nodiscard]] std::vector<bool> reachable_from(const Digraph& graph,
+                                               NodeId source);
+
+/// True when every node can reach every other following edge directions.
+[[nodiscard]] bool is_strongly_connected(const Digraph& graph);
+
+}  // namespace ssco::graph

@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic pseudo-random number generation for topology generators.
+//
+// All randomized pieces of the library (random platforms, Tiers instances,
+// workload shuffles) draw from this splitmix64 generator so that every
+// experiment is reproducible from a single seed printed in the reports.
+// We avoid std::mt19937 + distributions because their outputs are not
+// guaranteed identical across standard-library implementations.
+
+#include <cstdint>
+#include <vector>
+
+namespace ssco::graph {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full range
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + v % span;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform01() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ssco::graph

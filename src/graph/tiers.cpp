@@ -1,0 +1,70 @@
+#include "graph/tiers.h"
+
+#include <stdexcept>
+
+#include "graph/generators.h"
+
+namespace ssco::graph {
+
+TiersTopology tiers(const TiersParams& params, Rng& rng) {
+  if (params.wan_nodes == 0) {
+    throw std::invalid_argument("tiers: need at least one WAN router");
+  }
+  TiersTopology topo;
+
+  // WAN core: random connected mesh. Both directed halves of a physical link
+  // share the level tag, so tag per added bidirectional pair.
+  Digraph core = random_connected(params.wan_nodes, params.wan_extra_edge_prob,
+                                  rng);
+  topo.graph.add_nodes(params.wan_nodes);
+  topo.node_kind.assign(params.wan_nodes, TiersNodeKind::kWanRouter);
+  auto tag_edges_up_to = [&topo](TiersLinkLevel level) {
+    topo.edge_level.resize(topo.graph.num_edges(), level);
+  };
+  for (const Edge& e : core.edges()) {
+    if (e.src < e.dst) topo.graph.add_bidirectional(e.src, e.dst);
+  }
+  tag_edges_up_to(TiersLinkLevel::kWan);
+
+  for (std::size_t w = 0; w < params.wan_nodes; ++w) {
+    for (std::size_t m = 0; m < params.mans_per_wan; ++m) {
+      // MAN: a ring of routers (chain for < 3), uplinked to the WAN router.
+      std::vector<NodeId> man_routers;
+      man_routers.reserve(params.man_nodes);
+      for (std::size_t r = 0; r < params.man_nodes; ++r) {
+        NodeId id = topo.graph.add_node();
+        topo.node_kind.push_back(TiersNodeKind::kManRouter);
+        man_routers.push_back(id);
+      }
+      for (std::size_t r = 0; r + 1 < man_routers.size(); ++r) {
+        topo.graph.add_bidirectional(man_routers[r], man_routers[r + 1]);
+      }
+      if (man_routers.size() >= 3) {
+        topo.graph.add_bidirectional(man_routers.back(), man_routers.front());
+      }
+      tag_edges_up_to(TiersLinkLevel::kMan);
+      if (!man_routers.empty()) {
+        NodeId gateway =
+            man_routers[rng.uniform(0, man_routers.size() - 1)];
+        topo.graph.add_bidirectional(w, gateway);
+        tag_edges_up_to(TiersLinkLevel::kWanMan);
+      }
+
+      // LAN stars on each MAN router.
+      for (NodeId router : man_routers) {
+        for (std::size_t l = 0; l < params.lans_per_man; ++l) {
+          for (std::size_t h = 0; h < params.hosts_per_lan; ++h) {
+            NodeId host = topo.graph.add_node();
+            topo.node_kind.push_back(TiersNodeKind::kLanHost);
+            topo.hosts.push_back(host);
+            topo.graph.add_bidirectional(router, host);
+            tag_edges_up_to(TiersLinkLevel::kManLan);
+          }
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace ssco::graph

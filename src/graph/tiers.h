@@ -1,0 +1,45 @@
+#pragma once
+// Tiers-like hierarchical internet topology generator.
+//
+// The paper's experiments (Sec. 4.7) run on a platform produced by Tiers
+// [Calvert-Doar-Zegura, IEEE Comm. 35(6), 1997], a 3-level WAN/MAN/LAN
+// random topology generator. Tiers itself is not redistributable here, so
+// this module re-implements its structural recipe: a meshed WAN core, MAN
+// rings hanging off WAN routers, and LAN stars of hosts hanging off MAN
+// routers. Only LAN hosts compute; routers forward. Link speeds are
+// assigned per level by the caller (platform/paper_instances.cpp follows the
+// figure-9 convention: fast LAN links, medium MAN links, slow WAN links).
+
+#include "graph/digraph.h"
+#include "graph/rng.h"
+
+namespace ssco::graph {
+
+enum class TiersNodeKind { kWanRouter, kManRouter, kLanHost };
+enum class TiersLinkLevel { kWan, kWanMan, kMan, kManLan };
+
+struct TiersTopology {
+  Digraph graph;
+  std::vector<TiersNodeKind> node_kind;   // per NodeId
+  std::vector<TiersLinkLevel> edge_level;  // per EdgeId
+  /// LAN hosts, in creation order — the candidate participant set.
+  std::vector<NodeId> hosts;
+};
+
+struct TiersParams {
+  std::size_t wan_nodes = 4;
+  /// Probability of each extra WAN-core edge beyond the spanning tree.
+  double wan_extra_edge_prob = 0.4;
+  /// Number of MAN clusters attached to each WAN router.
+  std::size_t mans_per_wan = 1;
+  /// Routers per MAN ring (1 degenerates to a single router).
+  std::size_t man_nodes = 2;
+  /// LAN stars attached to each MAN router.
+  std::size_t lans_per_man = 1;
+  /// Hosts per LAN star.
+  std::size_t hosts_per_lan = 2;
+};
+
+[[nodiscard]] TiersTopology tiers(const TiersParams& params, Rng& rng);
+
+}  // namespace ssco::graph

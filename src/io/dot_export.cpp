@@ -1,0 +1,101 @@
+#include "io/dot_export.h"
+
+#include <map>
+#include <sstream>
+
+#include "core/intervals.h"
+#include "graph/dot.h"
+
+namespace ssco::io {
+
+using num::Rational;
+
+std::string platform_to_dot(const platform::Platform& platform,
+                            const std::vector<graph::NodeId>& highlight) {
+  graph::DotOptions options;
+  options.graph_name = "platform";
+  options.node_label.resize(platform.num_nodes());
+  options.node_color.resize(platform.num_nodes());
+  for (graph::NodeId n = 0; n < platform.num_nodes(); ++n) {
+    options.node_label[n] = platform.node_name(n);
+    if (platform.node_speed(n) != Rational(1)) {
+      options.node_label[n] += "\nspeed " + platform.node_speed(n).to_string();
+    }
+  }
+  for (graph::NodeId n : highlight) {
+    options.node_color[n] = "lightgray";
+  }
+  options.edge_label.resize(platform.num_edges());
+  for (graph::EdgeId e = 0; e < platform.num_edges(); ++e) {
+    options.edge_label[e] = platform.edge_cost(e).to_string();
+  }
+  return graph::to_dot(platform.graph(), options);
+}
+
+std::string reduction_tree_to_dot(const platform::ReduceInstance& instance,
+                                  const core::ReductionTree& tree) {
+  const core::IntervalSpace sp(instance.participants.size());
+  const auto& graph = instance.platform.graph();
+  using Location = std::pair<std::size_t, graph::NodeId>;  // (interval, node)
+
+  // Each validated tree produces every (interval, node) at most once.
+  std::map<Location, std::size_t> producer;
+  for (std::size_t t = 0; t < tree.tasks.size(); ++t) {
+    const core::TreeTask& task = tree.tasks[t];
+    if (task.kind == core::TreeTask::Kind::kTransfer) {
+      producer[{task.interval, graph.edge(task.edge).dst}] = t;
+    } else {
+      auto [k, l, m] = sp.task(task.task);
+      producer[{sp.interval_id(k, m), task.node}] = t;
+    }
+  }
+
+  std::ostringstream os;
+  os << "digraph reduction_tree {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (std::size_t t = 0; t < tree.tasks.size(); ++t) {
+    const core::TreeTask& task = tree.tasks[t];
+    os << "  t" << t << " [label=\"";
+    if (task.kind == core::TreeTask::Kind::kTransfer) {
+      auto [k, m] = sp.interval(task.interval);
+      os << "transfer [" << k << "," << m << "]\\n"
+         << graph.edge(task.edge).src << " -> " << graph.edge(task.edge).dst;
+    } else {
+      auto [k, l, m] = sp.task(task.task);
+      os << "cons[" << k << "," << l << "," << m << "]\\nin node "
+         << task.node;
+    }
+    os << "\"];\n";
+  }
+
+  std::size_t next_leaf = 0;
+  auto emit_input = [&](std::size_t consumer, const Location& loc) {
+    auto it = producer.find(loc);
+    if (it != producer.end()) {
+      os << "  t" << it->second << " -> t" << consumer << ";\n";
+      return;
+    }
+    // Leaf: an original value on its owner.
+    auto [iv, node] = loc;
+    auto [k, m] = sp.interval(iv);
+    (void)m;
+    os << "  leaf" << next_leaf << " [shape=ellipse, label=\"v" << k
+       << " on node " << node << "\"];\n";
+    os << "  leaf" << next_leaf << " -> t" << consumer << ";\n";
+    ++next_leaf;
+  };
+
+  for (std::size_t t = 0; t < tree.tasks.size(); ++t) {
+    const core::TreeTask& task = tree.tasks[t];
+    if (task.kind == core::TreeTask::Kind::kTransfer) {
+      emit_input(t, {task.interval, graph.edge(task.edge).src});
+    } else {
+      auto [k, l, m] = sp.task(task.task);
+      emit_input(t, {sp.interval_id(k, l), task.node});
+      emit_input(t, {sp.interval_id(l + 1, m), task.node});
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ssco::io

@@ -1,0 +1,27 @@
+#pragma once
+// Graphviz rendering of platforms and reduction trees — the visual artifacts
+// of the paper's Figs. 2(a), 9 (platforms) and 5, 11, 12 (reduction trees).
+
+#include <string>
+#include <vector>
+
+#include "core/reduction_tree.h"
+#include "platform/paper_instances.h"
+#include "platform/platform.h"
+
+namespace ssco::io {
+
+/// DOT of a platform: nodes labeled "name (speed)" (speed shown when != 1),
+/// physical links labeled with their cost; `highlight` nodes (e.g.
+/// participants) are filled gray like the paper's Fig. 9.
+[[nodiscard]] std::string platform_to_dot(
+    const platform::Platform& platform,
+    const std::vector<graph::NodeId>& highlight = {});
+
+/// DOT of a reduction tree in the Fig. 11/12 style: one box per task
+/// ("transfer [k,m] i->j" / "cons[k,l,m] in node n"), edges from producer to
+/// consumer, original values as ellipse leaves.
+[[nodiscard]] std::string reduction_tree_to_dot(
+    const platform::ReduceInstance& instance, const core::ReductionTree& tree);
+
+}  // namespace ssco::io

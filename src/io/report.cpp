@@ -1,0 +1,35 @@
+#include "io/report.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ssco::io {
+
+std::string pretty(const num::Rational& value, int digits) {
+  if (value.is_integer()) return value.to_string();
+  std::ostringstream os;
+  os << value.to_string() << " (~" << std::fixed;
+  os.precision(digits);
+  os << value.to_double() << ")";
+  return os.str();
+}
+
+std::string ratio(const num::Rational& numerator,
+                  const num::Rational& denominator, int digits) {
+  std::ostringstream os;
+  os << std::fixed;
+  os.precision(digits);
+  if (denominator.is_zero()) {
+    os << "inf";
+  } else {
+    os << (numerator / denominator).to_double() << "x";
+  }
+  return os.str();
+}
+
+std::string banner(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  return bar + "\n| " + title + " |\n" + bar + "\n";
+}
+
+}  // namespace ssco::io

@@ -1,0 +1,21 @@
+#pragma once
+// Small formatting helpers shared by benches and examples.
+
+#include <string>
+
+#include "num/rational.h"
+
+namespace ssco::io {
+
+/// "2/9 (~0.2222)" — exact value with a decimal hint.
+[[nodiscard]] std::string pretty(const num::Rational& value, int digits = 4);
+
+/// "1.83x" style ratio formatting.
+[[nodiscard]] std::string ratio(const num::Rational& numerator,
+                                const num::Rational& denominator,
+                                int digits = 2);
+
+/// Section banner for bench output.
+[[nodiscard]] std::string banner(const std::string& title);
+
+}  // namespace ssco::io

@@ -1,0 +1,28 @@
+#pragma once
+// Fixed-width text tables for the benchmark harness output.
+//
+// The benches print the paper's figures as aligned tables; this tiny
+// formatter keeps them readable without dragging in a dependency.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssco::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule; columns auto-sized, left-aligned.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ssco::io

@@ -1,0 +1,196 @@
+#include "lp/exact_basis.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "num/reconstruct.h"
+
+namespace ssco::lp {
+
+SparseColumns SparseColumns::transposed() const {
+  SparseColumns t;
+  t.n = n;
+  t.cols.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (const auto& [i, v] : cols[j]) {
+      t.cols[i].emplace_back(j, v);
+    }
+  }
+  return t;
+}
+
+std::vector<Rational> SparseColumns::multiply(
+    const std::vector<Rational>& x) const {
+  std::vector<Rational> y(n, Rational(0));
+  for (std::size_t j = 0; j < n; ++j) {
+    if (x[j].is_zero()) continue;
+    for (const auto& [i, v] : cols[j]) {
+      y[i] += v * x[j];
+    }
+  }
+  return y;
+}
+
+namespace {
+
+/// Dense double LU with partial pivoting; empty on singularity.
+class DoubleLu {
+ public:
+  static std::optional<DoubleLu> factor(const SparseColumns& m) {
+    DoubleLu lu;
+    lu.n_ = m.n;
+    lu.a_.assign(m.n * m.n, 0.0);
+    for (std::size_t j = 0; j < m.n; ++j) {
+      for (const auto& [i, v] : m.cols[j]) {
+        lu.a_[i * m.n + j] = v.to_double();
+      }
+    }
+    lu.perm_.resize(m.n);
+    for (std::size_t i = 0; i < m.n; ++i) lu.perm_[i] = i;
+
+    for (std::size_t k = 0; k < m.n; ++k) {
+      // Partial pivot.
+      std::size_t pivot = k;
+      double best = std::fabs(lu.at(k, k));
+      for (std::size_t i = k + 1; i < m.n; ++i) {
+        double cand = std::fabs(lu.at(i, k));
+        if (cand > best) {
+          best = cand;
+          pivot = i;
+        }
+      }
+      if (best < 1e-12) return std::nullopt;  // numerically singular
+      if (pivot != k) {
+        for (std::size_t j = 0; j < m.n; ++j) {
+          std::swap(lu.a_[pivot * m.n + j], lu.a_[k * m.n + j]);
+        }
+        std::swap(lu.perm_[pivot], lu.perm_[k]);
+      }
+      const double inv = 1.0 / lu.at(k, k);
+      for (std::size_t i = k + 1; i < m.n; ++i) {
+        double factor = lu.at(i, k) * inv;
+        lu.a_[i * m.n + k] = factor;
+        if (factor == 0.0) continue;
+        for (std::size_t j = k + 1; j < m.n; ++j) {
+          lu.a_[i * m.n + j] -= factor * lu.at(k, j);
+        }
+      }
+    }
+    return lu;
+  }
+
+  /// Solves M x = b (double precision).
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const {
+    std::vector<double> x(n_);
+    for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+    // Forward substitution (unit lower triangle).
+    for (std::size_t i = 1; i < n_; ++i) {
+      double sum = x[i];
+      for (std::size_t j = 0; j < i; ++j) sum -= at(i, j) * x[j];
+      x[i] = sum;
+    }
+    // Back substitution.
+    for (std::size_t i = n_; i-- > 0;) {
+      double sum = x[i];
+      for (std::size_t j = i + 1; j < n_; ++j) sum -= at(i, j) * x[j];
+      x[i] = sum / at(i, i);
+    }
+    return x;
+  }
+
+ private:
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return a_[i * n_ + j];
+  }
+  std::size_t n_ = 0;
+  std::vector<double> a_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Power-of-two magnitude of a rational: ~floor(log2 |x|); 0 for zero.
+int log2_magnitude(const Rational& x) {
+  if (x.is_zero()) return std::numeric_limits<int>::min();
+  return static_cast<int>(x.num().bit_length()) -
+         static_cast<int>(x.den().bit_length());
+}
+
+Rational pow2(int k) {
+  if (k >= 0) {
+    return Rational(BigInt::pow(BigInt(2), static_cast<unsigned>(k)));
+  }
+  return Rational(BigInt(1), BigInt::pow(BigInt(2), static_cast<unsigned>(-k)));
+}
+
+}  // namespace
+
+std::optional<std::vector<Rational>> solve_sparse_exact(
+    const SparseColumns& matrix, const std::vector<Rational>& rhs,
+    const ExactSolveOptions& options) {
+  if (matrix.n != rhs.size()) return std::nullopt;
+  if (matrix.n == 0) return std::vector<Rational>{};
+
+  auto lu = DoubleLu::factor(matrix);
+  if (!lu) return std::nullopt;
+
+  const std::size_t n = matrix.n;
+  std::vector<Rational> x_acc(n, Rational(0));
+  std::vector<Rational> residual = rhs;
+
+  // Bits of accuracy gained so far (estimate; verification is exact anyway).
+  int accuracy_bits = 0;
+
+  for (int iteration = 0; iteration < options.max_refinements; ++iteration) {
+    // Scale the residual to O(1) with a power of two so the double solve
+    // operates at full precision regardless of how tiny the residual got.
+    int scale_log = std::numeric_limits<int>::min();
+    for (const Rational& r : residual) {
+      if (!r.is_zero()) scale_log = std::max(scale_log, log2_magnitude(r));
+    }
+    if (scale_log == std::numeric_limits<int>::min()) {
+      return x_acc;  // residual is exactly zero
+    }
+    Rational scale = pow2(scale_log);
+    Rational inv_scale = pow2(-scale_log);
+
+    std::vector<double> r_scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      r_scaled[i] = (residual[i] * inv_scale).to_double();
+    }
+    std::vector<double> correction = lu->solve(r_scaled);
+
+    // x += scale * correction (exact: every double is a dyadic rational).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (correction[i] != 0.0) {
+        x_acc[i] += scale * num::exact_rational_from_double(correction[i]);
+      }
+    }
+    // residual = rhs - M x  (exact).
+    residual = rhs;
+    std::vector<Rational> mx = matrix.multiply(x_acc);
+    for (std::size_t i = 0; i < n; ++i) residual[i] -= mx[i];
+    accuracy_bits += 40;  // conservative per-pass gain
+
+    const bool last = iteration + 1 == options.max_refinements;
+    if ((iteration + 1) % options.reconstruct_every == 0 || last) {
+      // Reconstruct with denominators up to ~2^(accuracy/2 - margin).
+      int den_bits = accuracy_bits / 2 - 8;
+      if (den_bits < 4) continue;
+      BigInt max_den = BigInt::pow(BigInt(2), static_cast<unsigned>(den_bits));
+      std::vector<Rational> candidate(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        candidate[i] = num::rational_reconstruct(x_acc[i], max_den);
+      }
+      // Unconditional exact verification.
+      std::vector<Rational> check = matrix.multiply(candidate);
+      bool ok = true;
+      for (std::size_t i = 0; i < n && ok; ++i) {
+        ok = check[i] == rhs[i];
+      }
+      if (ok) return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssco::lp

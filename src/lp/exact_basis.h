@@ -1,0 +1,51 @@
+#pragma once
+// Exact sparse linear solves for simplex basis verification.
+//
+// When rounding the double simplex solution fails its optimality certificate
+// (degenerate optima whose vertex coordinates have huge denominators), the
+// basis itself is still almost always correct. This module recovers the
+// EXACT basic solution from it: factor the basis matrix once in double
+// precision, then run iterative refinement with exact rational residuals —
+// each pass gains ~50 bits of accuracy — and reconstruct each component by
+// continued fractions once the accumulated precision exceeds twice the
+// denominator size. The candidate is verified exactly against the system, so
+// the result is unconditionally correct (the scheme of QSopt_ex / exact
+// SoPlex).
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "num/rational.h"
+
+namespace ssco::lp {
+
+using num::BigInt;
+using num::Rational;
+
+/// Square sparse rational matrix, column-major.
+struct SparseColumns {
+  std::size_t n = 0;
+  /// cols[j] = list of (row, value); rows unordered, no duplicates.
+  std::vector<std::vector<std::pair<std::size_t, Rational>>> cols;
+
+  [[nodiscard]] SparseColumns transposed() const;
+  /// Exact matrix-vector product M * x.
+  [[nodiscard]] std::vector<Rational> multiply(
+      const std::vector<Rational>& x) const;
+};
+
+struct ExactSolveOptions {
+  /// Refinement iterations before giving up (each gains ~50 bits).
+  int max_refinements = 80;
+  /// Attempt rational reconstruction every this many refinements.
+  int reconstruct_every = 4;
+};
+
+/// Solves M x = rhs exactly. Returns nullopt when M is numerically singular
+/// or refinement fails to converge to a verifiable rational solution.
+[[nodiscard]] std::optional<std::vector<Rational>> solve_sparse_exact(
+    const SparseColumns& matrix, const std::vector<Rational>& rhs,
+    const ExactSolveOptions& options = {});
+
+}  // namespace ssco::lp

@@ -1,0 +1,255 @@
+#include "lp/exact_solver.h"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "lp/exact_basis.h"
+#include "num/reconstruct.h"
+
+namespace ssco::lp {
+
+namespace {
+
+/// Rounds every entry of `values` to a rational with denominator <= cap;
+/// returns nullopt when any entry fails the tolerance test.
+std::optional<std::vector<Rational>> reconstruct_vector(
+    const std::vector<double>& values, std::uint64_t cap, double tolerance) {
+  std::vector<Rational> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    auto r = num::rational_near_double(v, tolerance, cap);
+    if (!r) return std::nullopt;
+    out.push_back(std::move(*r));
+  }
+  return out;
+}
+
+/// Recovers the EXACT primal/dual pair from the double solver's final basis:
+/// solve B x_B = b and B' y = c_B exactly (lp/exact_basis.h) and verify the
+/// certificate. Handles the degenerate optima whose vertex coordinates have
+/// denominators far beyond what float reconstruction can recover.
+struct BasisVerified {
+  std::vector<Rational> primal;  // shifted space
+  std::vector<Rational> dual;
+};
+
+std::optional<BasisVerified> verify_from_basis(
+    const ExpandedModel& em, const std::vector<BasisColumn>& basis) {
+  const std::size_t m = em.rows.size();
+  if (basis.size() != m) return std::nullopt;
+
+  // Column entries per structural variable, from the row-major model.
+  std::vector<std::vector<std::pair<std::size_t, Rational>>> var_entries(
+      em.num_vars);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+      var_entries[idx].emplace_back(i, coeff);
+    }
+  }
+  auto flipped = [&em](std::size_t i) {
+    return em.rows[i].rhs.is_negative();
+  };
+
+  SparseColumns b_matrix;
+  b_matrix.n = m;
+  b_matrix.cols.resize(m);
+  std::vector<Rational> cost_basis(m, Rational(0));
+  for (std::size_t k = 0; k < m; ++k) {
+    switch (basis[k].kind) {
+      case BasisColumn::Kind::kStructural:
+        b_matrix.cols[k] = var_entries[basis[k].index];
+        cost_basis[k] = em.objective[basis[k].index];
+        break;
+      case BasisColumn::Kind::kSlack:
+        b_matrix.cols[k].emplace_back(
+            basis[k].index, Rational(flipped(basis[k].index) ? -1 : 1));
+        break;
+      case BasisColumn::Kind::kSurplus:
+        b_matrix.cols[k].emplace_back(
+            basis[k].index, Rational(flipped(basis[k].index) ? 1 : -1));
+        break;
+      case BasisColumn::Kind::kArtificial:
+        b_matrix.cols[k].emplace_back(
+            basis[k].index, Rational(flipped(basis[k].index) ? -1 : 1));
+        break;
+    }
+  }
+
+  std::vector<Rational> rhs(m, Rational(0));
+  for (std::size_t i = 0; i < m; ++i) rhs[i] = em.rows[i].rhs;
+
+  auto x_basic = solve_sparse_exact(b_matrix, rhs);
+  if (!x_basic) return std::nullopt;
+  auto y = solve_sparse_exact(b_matrix.transposed(), cost_basis);
+  if (!y) return std::nullopt;
+
+  BasisVerified out;
+  out.primal.assign(em.num_vars, Rational(0));
+  for (std::size_t k = 0; k < m; ++k) {
+    if (basis[k].kind == BasisColumn::Kind::kStructural) {
+      out.primal[basis[k].index] = (*x_basic)[k];
+    }
+  }
+  out.dual = std::move(*y);
+  if (!ExactSolver::verify_certificate(em, out.primal, out.dual)) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ExactSolver::verify_certificate(const ExpandedModel& em,
+                                     const std::vector<Rational>& x,
+                                     const std::vector<Rational>& y) {
+  if (x.size() != em.num_vars || y.size() != em.rows.size()) return false;
+
+  // Primal feasibility: x >= 0 (shifted space) and every row satisfied.
+  for (const Rational& xj : x) {
+    if (xj.is_negative()) return false;
+  }
+  for (std::size_t i = 0; i < em.rows.size(); ++i) {
+    Rational lhs(0);
+    for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+      lhs += coeff * x[idx];
+    }
+    switch (em.rows[i].sense) {
+      case Sense::kLessEqual:
+        if (lhs > em.rows[i].rhs) return false;
+        break;
+      case Sense::kEqual:
+        if (lhs != em.rows[i].rhs) return false;
+        break;
+      case Sense::kGreaterEqual:
+        if (lhs < em.rows[i].rhs) return false;
+        break;
+    }
+  }
+
+  // Dual sign conditions: <= rows need y >= 0, >= rows need y <= 0.
+  for (std::size_t i = 0; i < em.rows.size(); ++i) {
+    if (em.rows[i].sense == Sense::kLessEqual && y[i].is_negative())
+      return false;
+    if (em.rows[i].sense == Sense::kGreaterEqual && y[i].signum() > 0)
+      return false;
+  }
+
+  // Dual feasibility: for every variable j, sum_i y_i a_ij >= c_j
+  // (variables are >= 0 in expanded space).
+  std::vector<Rational> aty(em.num_vars, Rational(0));
+  for (std::size_t i = 0; i < em.rows.size(); ++i) {
+    if (y[i].is_zero()) continue;
+    for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+      aty[idx] += y[i] * coeff;
+    }
+  }
+  for (std::size_t j = 0; j < em.num_vars; ++j) {
+    if (aty[j] < em.objective[j]) return false;
+  }
+
+  // Strong duality at the candidate pair: c'x == b'y exactly.
+  Rational primal_obj(0);
+  for (std::size_t j = 0; j < em.num_vars; ++j) {
+    if (!em.objective[j].is_zero()) primal_obj += em.objective[j] * x[j];
+  }
+  Rational dual_obj(0);
+  for (std::size_t i = 0; i < em.rows.size(); ++i) {
+    if (!y[i].is_zero()) dual_obj += y[i] * em.rows[i].rhs;
+  }
+  return primal_obj == dual_obj;
+}
+
+ExactSolution ExactSolver::solve(const Model& model) const {
+  ExactSolution out;
+  ExpandedModel em = ExpandedModel::from(model);
+
+  SimplexResult<double> fp = solve_simplex<double>(em, options_.simplex);
+  out.float_iterations = fp.iterations;
+
+  if (fp.status == SolveStatus::kOptimal) {
+    for (std::uint64_t cap : options_.denominator_caps) {
+      auto x = reconstruct_vector(fp.primal, cap,
+                                  options_.reconstruct_tolerance);
+      auto y =
+          reconstruct_vector(fp.dual, cap, options_.reconstruct_tolerance);
+      if (!x || !y) continue;
+      // Clamp reconstruction noise: tiny negatives are infeasible exactly.
+      for (Rational& v : *x) {
+        if (v.is_negative()) v = Rational(0);
+      }
+      if (verify_certificate(em, *x, *y)) {
+        out.status = SolveStatus::kOptimal;
+        out.primal = em.unshift(*x);
+        out.dual = std::move(*y);
+        Rational obj(0);
+        for (std::size_t j = 0; j < em.num_vars; ++j) {
+          if (!em.objective[j].is_zero()) obj += em.objective[j] * (*x)[j];
+        }
+        out.objective = obj + em.objective_constant;
+        out.certified = true;
+        out.method = "double+certificate";
+        return out;
+      }
+    }
+    // Second stage: exact recovery from the optimal basis (degenerate
+    // optima with large vertex denominators land here).
+    if (options_.allow_basis_verification) {
+      if (auto verified = verify_from_basis(em, fp.basis)) {
+        out.status = SolveStatus::kOptimal;
+        Rational obj(0);
+        for (std::size_t j = 0; j < em.num_vars; ++j) {
+          if (!em.objective[j].is_zero()) {
+            obj += em.objective[j] * verified->primal[j];
+          }
+        }
+        out.primal = em.unshift(verified->primal);
+        out.dual = std::move(verified->dual);
+        out.objective = obj + em.objective_constant;
+        out.certified = true;
+        out.method = "double+basis-verification";
+        return out;
+      }
+    }
+  }
+
+  if (!options_.allow_exact_fallback) {
+    out.status = fp.status == SolveStatus::kOptimal
+                     ? SolveStatus::kIterationLimit
+                     : fp.status;
+    out.method = "double-only(uncertified)";
+    return out;
+  }
+
+  // Exact fallback. Also the path that *proves* infeasibility/unboundedness
+  // reported by the double pass.
+  SimplexResult<Rational> ex = solve_simplex<Rational>(em, options_.simplex);
+  out.exact_iterations = ex.iterations;
+  out.status = ex.status;
+  out.method = fp.status == SolveStatus::kOptimal ? "double+exact-simplex"
+                                                  : "exact-simplex";
+  if (ex.status != SolveStatus::kOptimal) return out;
+  out.primal = em.unshift(ex.primal);
+  out.dual = std::move(ex.dual);
+  out.objective = ex.objective + em.objective_constant;
+  out.certified = true;
+  return out;
+}
+
+ExactSolution solve_exact_simplex(const Model& model,
+                                  const SimplexOptions& options) {
+  ExactSolution out;
+  ExpandedModel em = ExpandedModel::from(model);
+  SimplexResult<Rational> ex = solve_simplex<Rational>(em, options);
+  out.exact_iterations = ex.iterations;
+  out.status = ex.status;
+  out.method = "exact-simplex";
+  if (ex.status != SolveStatus::kOptimal) return out;
+  out.primal = em.unshift(ex.primal);
+  out.dual = std::move(ex.dual);
+  out.objective = ex.objective + em.objective_constant;
+  out.certified = true;
+  return out;
+}
+
+}  // namespace ssco::lp

@@ -1,0 +1,97 @@
+#pragma once
+// Exact LP solving with a floating-point warm start.
+//
+// The paper's pipeline needs *exact rational* optimal solutions: periods are
+// LCMs of solution denominators (Sec. 3.1), reduction-tree weights must
+// reconstitute the solution exactly (Theorem 1), and the asymptotic-
+// optimality argument compares against the exact LP value. Solving a few
+// thousand-variable LP purely in rational arithmetic is slow, so we use the
+// classic certify-after-float scheme (as in QSopt_ex / exact SCIP):
+//
+//   1. solve in double precision (fast dense two-phase simplex);
+//   2. round primal and dual solutions to rationals via continued fractions
+//      (num/reconstruct.h) with a growing denominator cap;
+//   3. verify an exact optimality certificate: primal feasibility, dual
+//      feasibility, and exact equality of the primal and dual objectives
+//      (weak duality turns that equality into a proof of optimality);
+//   3b. if rounding fails (degenerate vertices with huge denominators),
+//      recover the exact basic solution from the final basis: solve
+//      B x_B = b and B' y = c_B exactly via double-LU + exact iterative
+//      refinement + rational reconstruction (lp/exact_basis.h), then verify
+//      the same certificate;
+//   4. on failure, fall back to the exact rational simplex.
+//
+// The result is bit-exact and carries a `certified` flag describing which
+// path proved it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace ssco::lp {
+
+struct ExactSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Exact optimal objective value (valid when status == kOptimal).
+  Rational objective;
+  /// Exact optimal point in the ORIGINAL variable space of the Model.
+  std::vector<Rational> primal;
+  /// Exact duals per expanded row (model rows first, bound rows after);
+  /// empty when the exact-simplex fallback produced the solution directly.
+  std::vector<Rational> dual;
+  /// True when optimality was proven by an exact primal/dual certificate or
+  /// by the exact simplex itself.
+  bool certified = false;
+  /// "double+certificate", "double+basis-verification", "exact-simplex",
+  /// or "double+exact-simplex".
+  std::string method;
+  std::size_t float_iterations = 0;
+  std::size_t exact_iterations = 0;
+};
+
+struct ExactSolverOptions {
+  /// Denominator caps tried, in order, when reconstructing rationals from the
+  /// double solution.
+  std::vector<std::uint64_t> denominator_caps = {1u << 12, 1u << 20, 1u << 26};
+  /// Reconstruction tolerance: |rounded - double| must be below this.
+  double reconstruct_tolerance = 1e-6;
+  /// Allow recovering the exact solution from the optimal double basis
+  /// (double LU + exact iterative refinement; handles degenerate vertices
+  /// whose coordinates have huge denominators).
+  bool allow_basis_verification = true;
+  /// Allow falling back to the exact rational simplex (can be slow on large
+  /// instances but is always correct).
+  bool allow_exact_fallback = true;
+  SimplexOptions simplex;
+};
+
+class ExactSolver {
+ public:
+  explicit ExactSolver(ExactSolverOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Maximizes the model's objective. Throws std::runtime_error only on
+  /// internal invariant violations; infeasible/unbounded models are reported
+  /// through `status`.
+  [[nodiscard]] ExactSolution solve(const Model& model) const;
+
+  /// Verifies an exact primal/dual optimality certificate for the expanded
+  /// model: returns true iff `x` is primal feasible, `y` is dual feasible,
+  /// and c'x == b'y (all exact). Exposed for tests.
+  [[nodiscard]] static bool verify_certificate(const ExpandedModel& em,
+                                               const std::vector<Rational>& x,
+                                               const std::vector<Rational>& y);
+
+ private:
+  ExactSolverOptions options_;
+};
+
+/// Convenience: solve `model` purely with the exact rational simplex
+/// (no floating-point involved). Used as ground truth in tests.
+[[nodiscard]] ExactSolution solve_exact_simplex(const Model& model,
+                                                const SimplexOptions& options = {});
+
+}  // namespace ssco::lp

@@ -1,0 +1,118 @@
+#include "lp/lp_writer.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace ssco::lp {
+
+namespace {
+
+// LP format accepts plain decimals only; emit an exact decimal when the
+// denominator is 2^a * 5^b, otherwise 18 significant digits.
+std::string decimal(const Rational& r) {
+  if (r.is_integer()) return r.num().to_string();
+  BigInt den = r.den();
+  int twos = 0;
+  int fives = 0;
+  while ((den % BigInt(2)).is_zero()) {
+    den /= BigInt(2);
+    ++twos;
+  }
+  while ((den % BigInt(5)).is_zero()) {
+    den /= BigInt(5);
+    ++fives;
+  }
+  if (den.is_one()) {
+    const int digits = twos > fives ? twos : fives;
+    BigInt scaled = r.num().abs() * BigInt::pow(BigInt(10), digits) / r.den();
+    std::string s = scaled.to_string();
+    while (static_cast<int>(s.size()) <= digits) s.insert(s.begin(), '0');
+    s.insert(s.size() - static_cast<std::size_t>(digits), ".");
+    if (r.is_negative()) s.insert(s.begin(), '-');
+    return s;
+  }
+  std::ostringstream os;
+  os.precision(18);
+  os << r.to_double();
+  return os.str();
+}
+
+void write_expr(std::ostream& os,
+                const std::vector<std::pair<std::size_t, Rational>>& coeffs,
+                const Model& model) {
+  bool first = true;
+  for (const auto& [idx, coeff] : coeffs) {
+    if (coeff.is_zero()) continue;
+    if (first) {
+      if (coeff.is_negative()) os << "- ";
+      first = false;
+    } else {
+      os << (coeff.is_negative() ? " - " : " + ");
+    }
+    Rational mag = coeff.abs();
+    if (!mag.num().is_one() || !mag.is_integer()) os << decimal(mag) << " ";
+    os << model.variable_name(VarId{idx});
+  }
+  if (first) os << "0";
+}
+
+}  // namespace
+
+void write_lp(std::ostream& os, const Model& model, const std::string& title) {
+  os << "\\ " << title << "  (" << model.num_variables() << " vars, "
+     << model.num_rows() << " rows, " << model.num_nonzeros() << " nnz)\n";
+  os << "Maximize\n obj: ";
+  {
+    std::vector<std::pair<std::size_t, Rational>> obj;
+    for (std::size_t j = 0; j < model.num_variables(); ++j) {
+      const Rational& c = model.objective_coeff(VarId{j});
+      if (!c.is_zero()) obj.emplace_back(j, c);
+    }
+    write_expr(os, obj, model);
+  }
+  os << "\nSubject To\n";
+  for (std::size_t i = 0; i < model.num_rows(); ++i) {
+    const Model::Row& row = model.row(RowId{i});
+    os << ' ' << (row.name.empty() ? "r" + std::to_string(i) : row.name)
+       << ": ";
+    write_expr(os, row.coeffs, model);
+    switch (row.sense) {
+      case Sense::kLessEqual:
+        os << " <= ";
+        break;
+      case Sense::kEqual:
+        os << " = ";
+        break;
+      case Sense::kGreaterEqual:
+        os << " >= ";
+        break;
+    }
+    os << decimal(row.rhs);
+    if (!row.rhs.is_integer()) os << "  \\ exact " << row.rhs;
+    os << "\n";
+  }
+  os << "Bounds\n";
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    VarId v{j};
+    const Rational& lo = model.lower_bound(v);
+    const auto& up = model.upper_bound(v);
+    if (lo.is_zero() && !up) continue;
+    os << ' ';
+    if (up) {
+      os << decimal(lo) << " <= " << model.variable_name(v) << " <= "
+         << decimal(*up);
+    } else {
+      os << model.variable_name(v) << " >= " << decimal(lo);
+    }
+    os << "\n";
+  }
+  os << "End\n";
+}
+
+std::string to_lp_string(const Model& model, const std::string& title) {
+  std::ostringstream os;
+  write_lp(os, model, title);
+  return os.str();
+}
+
+}  // namespace ssco::lp

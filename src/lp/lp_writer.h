@@ -1,0 +1,25 @@
+#pragma once
+// Debug/interop dump of a Model in CPLEX LP text format.
+//
+// The paper solved its programs with lp_solve/Maple; this writer lets users
+// round-trip our generated LPs through any external solver to cross-check
+// the built-in one. Rationals are emitted as decimal ratios ("2/9" is written
+// as its exact decimal expansion when finite, otherwise as a high-precision
+// decimal approximation with a trailing comment carrying the exact value).
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/model.h"
+
+namespace ssco::lp {
+
+/// Writes `model` in LP format to `os`.
+void write_lp(std::ostream& os, const Model& model,
+              const std::string& title = "ssco");
+
+/// Convenience: LP text as a string.
+[[nodiscard]] std::string to_lp_string(const Model& model,
+                                       const std::string& title = "ssco");
+
+}  // namespace ssco::lp

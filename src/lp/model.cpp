@@ -1,0 +1,96 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace ssco::lp {
+
+VarId Model::add_variable(std::string name, Rational lower,
+                          std::optional<Rational> upper) {
+  if (upper && *upper < lower) {
+    throw std::invalid_argument("Model: variable '" + name +
+                                "' has upper < lower");
+  }
+  VarId id{var_names_.size()};
+  var_names_.push_back(std::move(name));
+  lower_.push_back(std::move(lower));
+  upper_.push_back(std::move(upper));
+  objective_.emplace_back(0);
+  return id;
+}
+
+void Model::set_objective(VarId var, Rational coeff) {
+  objective_.at(var.index) = std::move(coeff);
+}
+
+RowId Model::add_constraint(const LinearExpr& expr, Sense sense, Rational rhs,
+                            std::string name) {
+  // Merge duplicate variables and drop exact zeros.
+  std::map<std::size_t, Rational> merged;
+  for (const auto& [var, coeff] : expr.terms()) {
+    if (var.index >= var_names_.size()) {
+      throw std::out_of_range("Model: constraint references unknown variable");
+    }
+    merged[var.index] += coeff;
+  }
+  Row row;
+  row.name = std::move(name);
+  row.sense = sense;
+  row.rhs = std::move(rhs);
+  row.coeffs.reserve(merged.size());
+  for (auto& [idx, coeff] : merged) {
+    if (!coeff.is_zero()) row.coeffs.emplace_back(idx, std::move(coeff));
+  }
+  RowId id{rows_.size()};
+  rows_.push_back(std::move(row));
+  return id;
+}
+
+std::size_t Model::num_nonzeros() const {
+  std::size_t nnz = 0;
+  for (const Row& r : rows_) nnz += r.coeffs.size();
+  return nnz;
+}
+
+Rational Model::eval_row(RowId r, const std::vector<Rational>& x) const {
+  const Row& row = rows_.at(r.index);
+  Rational acc(0);
+  for (const auto& [idx, coeff] : row.coeffs) {
+    acc += coeff * x.at(idx);
+  }
+  return acc;
+}
+
+Rational Model::eval_objective(const std::vector<Rational>& x) const {
+  Rational acc(0);
+  for (std::size_t j = 0; j < objective_.size(); ++j) {
+    if (!objective_[j].is_zero()) acc += objective_[j] * x.at(j);
+  }
+  return acc;
+}
+
+bool Model::is_feasible(const std::vector<Rational>& x) const {
+  if (x.size() != var_names_.size()) return false;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    if (x[j] < lower_[j]) return false;
+    if (upper_[j] && x[j] > *upper_[j]) return false;
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    Rational lhs = eval_row(RowId{i}, x);
+    switch (rows_[i].sense) {
+      case Sense::kLessEqual:
+        if (lhs > rows_[i].rhs) return false;
+        break;
+      case Sense::kEqual:
+        if (lhs != rows_[i].rhs) return false;
+        break;
+      case Sense::kGreaterEqual:
+        if (lhs < rows_[i].rhs) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace ssco::lp

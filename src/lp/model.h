@@ -1,0 +1,124 @@
+#pragma once
+// Linear-program model container.
+//
+// The steady-state LPs of the paper (SSSP Sec. 3.1, SSPA2A Sec. 3.5, SSR
+// Sec. 4.2) are built into this structure by the src/core builders. All
+// coefficients are exact rationals; the solvers convert to double for the
+// warm-start phase and keep the rational data for certificate checking.
+//
+// Conventions:
+//  * variables have a lower bound (default 0) and an optional upper bound;
+//  * rows are `expr <sense> rhs` with sense in {<=, ==, >=};
+//  * the objective is always MAXIMIZED (the paper maximizes throughput TP).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "num/rational.h"
+
+namespace ssco::lp {
+
+using num::BigInt;
+using num::Rational;
+
+/// Index of a decision variable within a Model.
+struct VarId {
+  std::size_t index = static_cast<std::size_t>(-1);
+  [[nodiscard]] bool valid() const {
+    return index != static_cast<std::size_t>(-1);
+  }
+  friend bool operator==(VarId, VarId) = default;
+};
+
+/// Index of a constraint row within a Model.
+struct RowId {
+  std::size_t index = static_cast<std::size_t>(-1);
+  [[nodiscard]] bool valid() const {
+    return index != static_cast<std::size_t>(-1);
+  }
+  friend bool operator==(RowId, RowId) = default;
+};
+
+enum class Sense { kLessEqual, kEqual, kGreaterEqual };
+
+/// Sparse linear expression: sum of coeff * var. Duplicate variable mentions
+/// are allowed and are summed when the row is ingested.
+class LinearExpr {
+ public:
+  LinearExpr& add(VarId var, Rational coeff) {
+    terms_.emplace_back(var, std::move(coeff));
+    return *this;
+  }
+  [[nodiscard]] const std::vector<std::pair<VarId, Rational>>& terms() const {
+    return terms_;
+  }
+  [[nodiscard]] bool empty() const { return terms_.empty(); }
+
+ private:
+  std::vector<std::pair<VarId, Rational>> terms_;
+};
+
+class Model {
+ public:
+  /// Adds a variable with bounds [lower, upper]; `upper == nullopt` means +inf.
+  VarId add_variable(std::string name, Rational lower = Rational(0),
+                     std::optional<Rational> upper = std::nullopt);
+
+  /// Sets the objective coefficient of `var` (default 0).
+  void set_objective(VarId var, Rational coeff);
+
+  /// Adds a row `expr <sense> rhs`. Duplicate variables in expr are summed.
+  RowId add_constraint(const LinearExpr& expr, Sense sense, Rational rhs,
+                       std::string name = {});
+
+  [[nodiscard]] std::size_t num_variables() const { return var_names_.size(); }
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_nonzeros() const;
+
+  [[nodiscard]] const std::string& variable_name(VarId v) const {
+    return var_names_[v.index];
+  }
+  [[nodiscard]] const Rational& lower_bound(VarId v) const {
+    return lower_[v.index];
+  }
+  [[nodiscard]] const std::optional<Rational>& upper_bound(VarId v) const {
+    return upper_[v.index];
+  }
+  [[nodiscard]] const Rational& objective_coeff(VarId v) const {
+    return objective_[v.index];
+  }
+  [[nodiscard]] const std::vector<Rational>& objective() const {
+    return objective_;
+  }
+
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::size_t, Rational>> coeffs;  // sorted by var index
+    Sense sense = Sense::kLessEqual;
+    Rational rhs;
+  };
+  [[nodiscard]] const Row& row(RowId r) const { return rows_[r.index]; }
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+  /// Exact evaluation of row `r`'s left-hand side at point `x`
+  /// (x indexed by variable).
+  [[nodiscard]] Rational eval_row(RowId r,
+                                  const std::vector<Rational>& x) const;
+  /// Exact objective value at `x`.
+  [[nodiscard]] Rational eval_objective(const std::vector<Rational>& x) const;
+
+  /// True when `x` satisfies every bound and row exactly.
+  [[nodiscard]] bool is_feasible(const std::vector<Rational>& x) const;
+
+ private:
+  std::vector<std::string> var_names_;
+  std::vector<Rational> lower_;
+  std::vector<std::optional<Rational>> upper_;
+  std::vector<Rational> objective_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ssco::lp

@@ -1,0 +1,438 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ssco::lp {
+
+std::string to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+ExpandedModel ExpandedModel::from(const Model& model) {
+  ExpandedModel em;
+  em.num_vars = model.num_variables();
+  em.shift.resize(em.num_vars, Rational(0));
+  em.objective.resize(em.num_vars, Rational(0));
+  for (std::size_t j = 0; j < em.num_vars; ++j) {
+    VarId v{j};
+    em.shift[j] = model.lower_bound(v);
+    em.objective[j] = model.objective_coeff(v);
+    if (!em.shift[j].is_zero()) {
+      em.objective_constant += em.objective[j] * em.shift[j];
+    }
+  }
+
+  em.num_model_rows = model.num_rows();
+  em.rows.reserve(model.num_rows());
+  for (const Model::Row& row : model.rows()) {
+    Row r;
+    r.sense = row.sense;
+    r.rhs = row.rhs;
+    r.coeffs = row.coeffs;
+    for (const auto& [idx, coeff] : r.coeffs) {
+      if (!em.shift[idx].is_zero()) r.rhs -= coeff * em.shift[idx];
+    }
+    em.rows.push_back(std::move(r));
+  }
+  // Materialize finite upper bounds as rows (in shifted space: x' <= u - l).
+  for (std::size_t j = 0; j < em.num_vars; ++j) {
+    const auto& upper = model.upper_bound(VarId{j});
+    if (!upper) continue;
+    Row r;
+    r.sense = Sense::kLessEqual;
+    r.rhs = *upper - em.shift[j];
+    r.coeffs.emplace_back(j, Rational(1));
+    em.rows.push_back(std::move(r));
+  }
+  return em;
+}
+
+std::vector<Rational> ExpandedModel::unshift(
+    const std::vector<Rational>& x_shifted) const {
+  std::vector<Rational> x(num_vars, Rational(0));
+  for (std::size_t j = 0; j < num_vars; ++j) {
+    x[j] = x_shifted[j] + shift[j];
+  }
+  return x;
+}
+
+namespace {
+
+template <typename T>
+struct Ops;
+
+template <>
+struct Ops<double> {
+  static constexpr double kEps = 1e-9;
+  static double from(const Rational& r) { return r.to_double(); }
+  static bool is_zero(double v) { return std::fabs(v) <= kEps; }
+  static bool is_neg(double v) { return v < -kEps; }
+  static bool is_pos(double v) { return v > kEps; }
+};
+
+template <>
+struct Ops<num::Rational> {
+  static num::Rational from(const Rational& r) { return r; }
+  static bool is_zero(const num::Rational& v) { return v.is_zero(); }
+  static bool is_neg(const num::Rational& v) { return v.signum() < 0; }
+  static bool is_pos(const num::Rational& v) { return v.signum() > 0; }
+};
+
+template <typename T>
+class Tableau {
+ public:
+  explicit Tableau(const ExpandedModel& em) : em_(em) {
+    const std::size_t m = em.rows.size();
+    const std::size_t n = em.num_vars;
+
+    flipped_.assign(m, false);
+    for (std::size_t i = 0; i < m; ++i) {
+      flipped_[i] = em.rows[i].rhs.is_negative();
+    }
+
+    // Column layout: [0, n) structural; then one slack/surplus per inequality
+    // row; then artificials for >= and == rows.
+    std::size_t next = n;
+    slack_col_.assign(m, kNone);
+    art_col_.assign(m, kNone);
+    for (std::size_t i = 0; i < m; ++i) {
+      Sense s = effective_sense(i);
+      if (s != Sense::kEqual) slack_col_[i] = next++;
+    }
+    art_start_col_ = next;
+    for (std::size_t i = 0; i < m; ++i) {
+      Sense s = effective_sense(i);
+      if (s != Sense::kLessEqual) art_col_[i] = next++;
+    }
+    num_cols_ = next;
+
+    tab_.assign(m, std::vector<T>(num_cols_, T{}));
+    b_.assign(m, T{});
+    barred_.assign(num_cols_, false);
+    basis_.assign(m, kNone);
+
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& row = em.rows[i];
+      for (const auto& [idx, coeff] : row.coeffs) {
+        T v = Ops<T>::from(coeff);
+        tab_[i][idx] = flipped_[i] ? -v : v;
+      }
+      Rational rhs = flipped_[i] ? -row.rhs : row.rhs;
+      b_[i] = Ops<T>::from(rhs);
+      Sense s = effective_sense(i);
+      if (s == Sense::kLessEqual) {
+        tab_[i][slack_col_[i]] = T{1};
+        basis_[i] = slack_col_[i];
+      } else if (s == Sense::kGreaterEqual) {
+        tab_[i][slack_col_[i]] = T{-1};
+        tab_[i][art_col_[i]] = T{1};
+        basis_[i] = art_col_[i];
+        barred_[art_col_[i]] = true;
+      } else {
+        tab_[i][art_col_[i]] = T{1};
+        basis_[i] = art_col_[i];
+        barred_[art_col_[i]] = true;
+      }
+    }
+  }
+
+  [[nodiscard]] bool has_artificials() const {
+    return std::any_of(art_col_.begin(), art_col_.end(),
+                       [](std::size_t c) { return c != kNone; });
+  }
+
+  /// Runs the pivot loop for the given column costs. Returns kOptimal when all
+  /// reduced costs are non-negative, kUnbounded on an unbounded ray.
+  SolveStatus optimize(const std::vector<T>& cost, const SimplexOptions& opt,
+                       std::size_t& iterations) {
+    compute_zrow(cost);
+    while (true) {
+      if (iterations >= opt.max_iterations) return SolveStatus::kIterationLimit;
+      const bool bland = iterations >= opt.bland_after;
+      std::size_t entering = kNone;
+      if (bland) {
+        for (std::size_t j = 0; j < num_cols_; ++j) {
+          if (!barred_[j] && Ops<T>::is_neg(zrow_[j])) {
+            entering = j;
+            break;
+          }
+        }
+      } else {
+        T best{};
+        for (std::size_t j = 0; j < num_cols_; ++j) {
+          if (!barred_[j] && Ops<T>::is_neg(zrow_[j]) && zrow_[j] < best) {
+            best = zrow_[j];
+            entering = j;
+          }
+        }
+      }
+      if (entering == kNone) return SolveStatus::kOptimal;
+
+      // Ratio test; ties broken toward the smallest basic index (Bland-safe).
+      std::size_t leaving = kNone;
+      for (std::size_t i = 0; i < tab_.size(); ++i) {
+        if (!Ops<T>::is_pos(tab_[i][entering])) continue;
+        if (leaving == kNone) {
+          leaving = i;
+          continue;
+        }
+        // Compare b_[i]/tab_[i][e] vs b_[leaving]/tab_[leaving][e] without
+        // division: cross-multiply (both pivots positive).
+        T lhs = b_[i] * tab_[leaving][entering];
+        T rhs = b_[leaving] * tab_[i][entering];
+        if (lhs < rhs || (!(rhs < lhs) && basis_[i] < basis_[leaving])) {
+          leaving = i;
+        }
+      }
+      if (leaving == kNone) return SolveStatus::kUnbounded;
+
+      pivot(leaving, entering);
+      ++iterations;
+      // Periodic refresh limits floating-point drift in the reduced costs.
+      if constexpr (std::is_same_v<T, double>) {
+        if (iterations % 512 == 0) compute_zrow(cost);
+      }
+    }
+  }
+
+  /// After a feasible phase 1, pivot basic artificials out wherever possible
+  /// and permanently bar the rest (redundant rows).
+  void expel_artificials() {
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      if (basis_[i] == kNone || !is_artificial(basis_[i])) continue;
+      std::size_t entering = kNone;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (is_artificial(j)) continue;
+        if (!Ops<T>::is_zero(tab_[i][j])) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering != kNone) pivot(i, entering);
+      // else: redundant row; the artificial stays basic at value 0 and is
+      // already barred from entering anywhere else.
+    }
+  }
+
+  [[nodiscard]] T phase1_infeasibility() const {
+    // Sum of basic artificial values (all artificials are basic or zero).
+    T total{};
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      if (basis_[i] != kNone && is_artificial(basis_[i])) total += b_[i];
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::vector<T> extract_primal() const {
+    std::vector<T> x(em_.num_vars, T{});
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      if (basis_[i] < em_.num_vars) x[basis_[i]] = b_[i];
+    }
+    return x;
+  }
+
+  [[nodiscard]] T objective_value(const std::vector<T>& cost) const {
+    T z{};
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      if (basis_[i] != kNone && !Ops<T>::is_zero(cost[basis_[i]])) {
+        z += cost[basis_[i]] * b_[i];
+      }
+    }
+    return z;
+  }
+
+  /// Duals in the sign convention of the ORIGINAL (unflipped) rows. Must be
+  /// called after optimize(): uses the current reduced-cost row.
+  [[nodiscard]] std::vector<T> extract_duals() const {
+    std::vector<T> y(tab_.size(), T{});
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      // The column that started as e_i: slack for <=, artificial otherwise.
+      std::size_t idcol =
+          effective_sense(i) == Sense::kLessEqual ? slack_col_[i] : art_col_[i];
+      T v = zrow_[idcol];
+      y[i] = flipped_[i] ? -v : v;
+    }
+    return y;
+  }
+
+  [[nodiscard]] std::vector<T> phase2_costs() const {
+    std::vector<T> cost(num_cols_, T{});
+    for (std::size_t j = 0; j < em_.num_vars; ++j) {
+      cost[j] = Ops<T>::from(em_.objective[j]);
+    }
+    return cost;
+  }
+
+  [[nodiscard]] std::vector<T> phase1_costs() const {
+    std::vector<T> cost(num_cols_, T{});
+    for (std::size_t c : art_col_) {
+      if (c != kNone) cost[c] = T{-1};
+    }
+    return cost;
+  }
+
+  /// Describes the current basis in expanded-model terms.
+  [[nodiscard]] std::vector<BasisColumn> extract_basis() const {
+    // Invert the column layout: column -> (kind, row/var index).
+    std::vector<BasisColumn> by_col(num_cols_);
+    for (std::size_t j = 0; j < em_.num_vars; ++j) {
+      by_col[j] = {BasisColumn::Kind::kStructural, j};
+    }
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      if (slack_col_[i] != kNone) {
+        by_col[slack_col_[i]] = {effective_sense(i) == Sense::kLessEqual
+                                     ? BasisColumn::Kind::kSlack
+                                     : BasisColumn::Kind::kSurplus,
+                                 i};
+      }
+      if (art_col_[i] != kNone) {
+        by_col[art_col_[i]] = {BasisColumn::Kind::kArtificial, i};
+      }
+    }
+    std::vector<BasisColumn> basis(tab_.size());
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      basis[i] = by_col[basis_[i]];
+    }
+    return basis;
+  }
+
+  /// True when row i was negated to make its RHS non-negative.
+  [[nodiscard]] bool row_flipped(std::size_t i) const { return flipped_[i]; }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] Sense effective_sense(std::size_t i) const {
+    Sense s = em_.rows[i].sense;
+    if (!flipped_[i]) return s;
+    if (s == Sense::kLessEqual) return Sense::kGreaterEqual;
+    if (s == Sense::kGreaterEqual) return Sense::kLessEqual;
+    return Sense::kEqual;
+  }
+
+  [[nodiscard]] bool is_artificial(std::size_t col) const {
+    return col >= art_start_col_;
+  }
+
+  void compute_zrow(const std::vector<T>& cost) {
+    zrow_.assign(num_cols_, T{});
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      T z{};
+      for (std::size_t i = 0; i < tab_.size(); ++i) {
+        if (basis_[i] != kNone && !Ops<T>::is_zero(cost[basis_[i]]) &&
+            !Ops<T>::is_zero(tab_[i][j])) {
+          z += cost[basis_[i]] * tab_[i][j];
+        }
+      }
+      zrow_[j] = z - cost[j];
+    }
+  }
+
+  void pivot(std::size_t r, std::size_t e) {
+    const T pivot_value = tab_[r][e];
+    // Normalize pivot row.
+    if (!(pivot_value == T{1})) {
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (!Ops<T>::is_zero(tab_[r][j])) tab_[r][j] = tab_[r][j] / pivot_value;
+      }
+      b_[r] = b_[r] / pivot_value;
+    }
+    tab_[r][e] = T{1};
+    // Eliminate from all other rows and from the reduced-cost row.
+    for (std::size_t i = 0; i < tab_.size(); ++i) {
+      if (i == r) continue;
+      T factor = tab_[i][e];
+      if (Ops<T>::is_zero(factor)) continue;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        if (!Ops<T>::is_zero(tab_[r][j])) {
+          tab_[i][j] -= factor * tab_[r][j];
+        }
+      }
+      tab_[i][e] = T{};
+      b_[i] -= factor * b_[r];
+      if constexpr (std::is_same_v<T, double>) {
+        if (std::fabs(b_[i]) < 1e-12) b_[i] = 0.0;
+      }
+    }
+    {
+      T factor = zrow_[e];
+      if (!Ops<T>::is_zero(factor)) {
+        for (std::size_t j = 0; j < num_cols_; ++j) {
+          if (!Ops<T>::is_zero(tab_[r][j])) {
+            zrow_[j] -= factor * tab_[r][j];
+          }
+        }
+        zrow_[e] = T{};
+      }
+    }
+    basis_[r] = e;
+  }
+
+  const ExpandedModel& em_;
+  std::size_t num_cols_ = 0;
+  std::size_t art_start_col_ = 0;
+  std::vector<std::vector<T>> tab_;
+  std::vector<T> b_;
+  std::vector<T> zrow_;
+  std::vector<std::size_t> basis_;
+  std::vector<std::size_t> slack_col_;
+  std::vector<std::size_t> art_col_;
+  std::vector<bool> barred_;
+  std::vector<bool> flipped_;
+};
+
+}  // namespace
+
+template <typename T>
+SimplexResult<T> solve_simplex(const ExpandedModel& em,
+                               const SimplexOptions& options) {
+  SimplexResult<T> result;
+  Tableau<T> tableau(em);
+
+  if (tableau.has_artificials()) {
+    auto cost1 = tableau.phase1_costs();
+    SolveStatus s1 = tableau.optimize(cost1, options, result.iterations);
+    if (s1 == SolveStatus::kIterationLimit) {
+      result.status = s1;
+      return result;
+    }
+    // Phase 1 maximizes -sum(artificials); feasible iff the residual is zero.
+    T residual = tableau.phase1_infeasibility();
+    if (Ops<T>::is_pos(residual)) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    tableau.expel_artificials();
+  }
+
+  auto cost2 = tableau.phase2_costs();
+  SolveStatus s2 = tableau.optimize(cost2, options, result.iterations);
+  result.status = s2;
+  if (s2 != SolveStatus::kOptimal) return result;
+
+  result.primal = tableau.extract_primal();
+  result.dual = tableau.extract_duals();
+  result.objective = tableau.objective_value(cost2);
+  result.basis = tableau.extract_basis();
+  return result;
+}
+
+template SimplexResult<double> solve_simplex<double>(const ExpandedModel&,
+                                                     const SimplexOptions&);
+template SimplexResult<num::Rational> solve_simplex<num::Rational>(
+    const ExpandedModel&, const SimplexOptions&);
+
+}  // namespace ssco::lp

@@ -1,0 +1,101 @@
+#pragma once
+// Dense two-phase primal simplex, templated on the scalar type.
+//
+// The same algorithm runs in two arithmetic regimes:
+//  * `double` — fast warm-start pass used by ExactSolver;
+//  * `num::Rational` — exact arithmetic, used directly on small instances and
+//    as the fallback when rational reconstruction of the double solution
+//    fails its optimality certificate.
+//
+// Entering-variable selection is Dantzig's rule with an automatic switch to
+// Bland's rule (guaranteed anti-cycling) after a degeneracy threshold.
+//
+// The solver consumes an ExpandedModel: lower bounds shifted to zero, upper
+// bounds materialized as rows, every row's RHS made non-negative. Duals are
+// reported in the *expanded* row space with the sign convention
+//   max c'x,  <= rows: y >= 0,  >= rows: y <= 0,  == rows: y free,
+// so that dual feasibility reads  A' y >= c  and weak duality  c'x <= b'y.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "num/rational.h"
+
+namespace ssco::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+[[nodiscard]] std::string to_string(SolveStatus s);
+
+/// Model rewritten so every variable is >= 0 and every upper bound is a row.
+/// This is the canonical space in which the simplex and the exact duality
+/// certificate operate.
+struct ExpandedModel {
+  std::size_t num_vars = 0;
+  // Row-major sparse rows over shifted variables.
+  struct Row {
+    std::vector<std::pair<std::size_t, Rational>> coeffs;
+    Sense sense = Sense::kLessEqual;
+    Rational rhs;
+  };
+  std::vector<Row> rows;
+  std::vector<Rational> objective;  // per shifted variable
+  Rational objective_constant;      // from lower-bound shifts
+  std::vector<Rational> shift;      // original x = shifted x' + shift
+
+  /// First `model.num_rows()` expanded rows mirror the model rows (same
+  /// order); upper-bound rows follow.
+  std::size_t num_model_rows = 0;
+
+  static ExpandedModel from(const Model& model);
+
+  /// Maps a shifted-space point back to original variable space.
+  [[nodiscard]] std::vector<Rational> unshift(
+      const std::vector<Rational>& x_shifted) const;
+};
+
+/// Identity of one basic column of the final simplex basis, in terms of the
+/// expanded model (used by ExactSolver's basis-verification path).
+struct BasisColumn {
+  enum class Kind { kStructural, kSlack, kSurplus, kArtificial };
+  Kind kind = Kind::kStructural;
+  /// Variable index for kStructural; expanded-row index otherwise.
+  std::size_t index = 0;
+};
+
+template <typename T>
+struct SimplexResult {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  T objective{};              // in shifted space, EXCLUDING objective_constant
+  std::vector<T> primal;      // shifted variables
+  std::vector<T> dual;        // one per expanded row, original sign convention
+  /// Final basis, one column per expanded row (valid when optimal).
+  std::vector<BasisColumn> basis;
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  /// Switch from Dantzig to Bland after this many iterations (anti-cycling).
+  std::size_t bland_after = 5000;
+};
+
+/// Runs two-phase simplex on the expanded model using scalar type T.
+/// T must be `double` or `num::Rational`.
+template <typename T>
+SimplexResult<T> solve_simplex(const ExpandedModel& em,
+                               const SimplexOptions& options = {});
+
+extern template SimplexResult<double> solve_simplex<double>(
+    const ExpandedModel&, const SimplexOptions&);
+extern template SimplexResult<num::Rational> solve_simplex<num::Rational>(
+    const ExpandedModel&, const SimplexOptions&);
+
+}  // namespace ssco::lp

@@ -1,0 +1,147 @@
+#include "num/rational.h"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace ssco::num {
+
+Rational::Rational(std::int64_t num, std::int64_t den)
+    : num_(num), den_(den) {
+  normalize();
+}
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  normalize();
+}
+
+Rational::Rational(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    num_ = BigInt(text);
+    den_ = BigInt(1);
+  } else {
+    num_ = BigInt(text.substr(0, slash));
+    den_ = BigInt(text.substr(slash + 1));
+  }
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_.is_zero()) throw std::domain_error("Rational: zero denominator");
+  if (den_.is_negative()) {
+    den_ = den_.negated();
+    num_ = num_.negated();
+  }
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (!g.is_one()) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+Rational Rational::abs() const {
+  Rational r = *this;
+  r.num_ = r.num_.abs();
+  return r;
+}
+
+Rational Rational::reciprocal() const {
+  if (is_zero()) throw std::domain_error("Rational: reciprocal of zero");
+  Rational r;
+  r.num_ = den_;
+  r.den_ = num_;
+  if (r.den_.is_negative()) {
+    r.den_ = r.den_.negated();
+    r.num_ = r.num_.negated();
+  }
+  return r;
+}
+
+double Rational::to_double() const {
+  // For moderate magnitudes the direct quotient is exact enough; for huge
+  // operands scale both down first to avoid inf/inf.
+  double n = num_.to_double();
+  double d = den_.to_double();
+  if (std::isfinite(n) && std::isfinite(d)) return n / d;
+  const std::size_t bits =
+      num_.bit_length() > den_.bit_length() ? num_.bit_length()
+                                            : den_.bit_length();
+  const unsigned drop = static_cast<unsigned>(bits > 512 ? bits - 512 : 0);
+  BigInt scale = BigInt::pow(BigInt(2), drop);
+  return (num_ / scale).to_double() / (den_ / scale).to_double();
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+BigInt Rational::floor() const {
+  auto dm = num_.divmod(den_);
+  if (dm.remainder.is_zero() || !num_.is_negative()) return dm.quotient;
+  return dm.quotient - BigInt(1);
+}
+
+BigInt Rational::ceil() const {
+  auto dm = num_.divmod(den_);
+  if (dm.remainder.is_zero() || num_.is_negative()) return dm.quotient;
+  return dm.quotient + BigInt(1);
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+Rational Rational::operator-() const {
+  Rational r = *this;
+  r.num_ = r.num_.negated();
+  return r;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Cross-multiplication: denominators are positive.
+  return a.num_ * b.den_ <=> b.num_ * a.den_;
+}
+
+std::size_t Rational::hash() const {
+  std::size_t h = num_.hash();
+  h ^= den_.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& v) {
+  return os << v.to_string();
+}
+
+}  // namespace ssco::num

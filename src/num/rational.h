@@ -1,0 +1,109 @@
+#pragma once
+// Exact rational arithmetic over BigInt.
+//
+// Throughputs, LP variables, periods and schedule instants in this library
+// are exact rationals: the paper's construction (Sec. 3.1, 4.2) multiplies an
+// LP solution by the LCM of all denominators to obtain an integral periodic
+// schedule, which is meaningless in floating point. A Rational is always kept
+// normalized: gcd(|num|, den) == 1, den > 0, and zero is 0/1.
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "num/bigint.h"
+
+namespace ssco::num {
+
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(std::int64_t v) : num_(v), den_(1) {}  // NOLINT: literal convenience
+  Rational(int v) : num_(v), den_(1) {}           // NOLINT
+  Rational(std::int64_t num, std::int64_t den);
+  Rational(BigInt num, BigInt den);
+  explicit Rational(const BigInt& v) : num_(v), den_(1) {}
+  /// Parses "a", "-a", "a/b".
+  explicit Rational(std::string_view text);
+
+  [[nodiscard]] const BigInt& num() const { return num_; }
+  [[nodiscard]] const BigInt& den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_.is_zero(); }
+  [[nodiscard]] bool is_negative() const { return num_.is_negative(); }
+  [[nodiscard]] bool is_integer() const { return den_.is_one(); }
+  [[nodiscard]] int signum() const { return num_.signum(); }
+
+  [[nodiscard]] Rational abs() const;
+  [[nodiscard]] Rational reciprocal() const;
+
+  [[nodiscard]] double to_double() const;
+  /// "a/b", or just "a" when integral.
+  [[nodiscard]] std::string to_string() const;
+  /// Truncation toward zero.
+  [[nodiscard]] BigInt trunc() const { return num_ / den_; }
+  /// Largest integer <= *this.
+  [[nodiscard]] BigInt floor() const;
+  /// Smallest integer >= *this.
+  [[nodiscard]] BigInt ceil() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+  Rational operator-() const;
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& v);
+
+  [[nodiscard]] std::size_t hash() const;
+
+  /// min/max helpers (std::min needs const refs of same type; these read better
+  /// at call sites mixing literals).
+  [[nodiscard]] static const Rational& min(const Rational& a,
+                                           const Rational& b) {
+    return b < a ? b : a;
+  }
+  [[nodiscard]] static const Rational& max(const Rational& a,
+                                           const Rational& b) {
+    return a < b ? b : a;
+  }
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;  // > 0 always
+};
+
+/// LCM of the denominators of a range of rationals — the paper's period
+/// computation. Returns 1 for an empty range.
+template <typename Iterable>
+BigInt lcm_of_denominators(const Iterable& values) {
+  BigInt l{1};
+  for (const Rational& v : values) {
+    l = BigInt::lcm(l, v.den());
+  }
+  return l;
+}
+
+}  // namespace ssco::num
+
+template <>
+struct std::hash<ssco::num::Rational> {
+  std::size_t operator()(const ssco::num::Rational& v) const noexcept {
+    return v.hash();
+  }
+};

@@ -1,0 +1,144 @@
+#include "num/reconstruct.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ssco::num {
+
+namespace {
+
+// Continued-fraction expansion with denominator cap. Returns the last
+// convergent h/k with k <= max_den, improved by the final semiconvergent
+// when that is strictly closer.
+Rational best_approximation(double x, std::uint64_t max_den) {
+  const bool negative = x < 0;
+  const double v = std::fabs(x);
+
+  // Convergent recurrence: h_n = a_n h_{n-1} + h_{n-2} (same for k), with
+  // seeds h_{-1}=1, h_{-2}=0, k_{-1}=0, k_{-2}=1.
+  std::uint64_t h_prev2 = 0, k_prev2 = 1;
+  std::uint64_t h_prev = 1, k_prev = 0;
+  std::uint64_t h_best = static_cast<std::uint64_t>(std::floor(v));
+  std::uint64_t k_best = 1;
+
+  double frac = v;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double a_f = std::floor(frac);
+    if (a_f > static_cast<double>(std::numeric_limits<std::int64_t>::max())) {
+      break;
+    }
+    const auto a = static_cast<std::uint64_t>(a_f);
+
+    // Overflow-safe h = a*h_prev + h_prev2, k = a*k_prev + k_prev2.
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    if ((h_prev != 0 && a > (kMax - h_prev2) / h_prev) ||
+        (k_prev != 0 && a > (kMax - k_prev2) / k_prev)) {
+      break;
+    }
+    const std::uint64_t h = a * h_prev + h_prev2;
+    const std::uint64_t k = a * k_prev + k_prev2;
+
+    if (k > max_den) {
+      // Largest semiconvergent with denominator <= max_den: t*k_prev + k_prev2.
+      const std::uint64_t t = (max_den - k_prev2) / k_prev;
+      if (t > 0 && 2 * t >= a) {
+        const std::uint64_t h_semi = t * h_prev + h_prev2;
+        const std::uint64_t k_semi = t * k_prev + k_prev2;
+        const double cur_err = std::fabs(
+            v - static_cast<double>(h_best) / static_cast<double>(k_best));
+        const double semi_err = std::fabs(
+            v - static_cast<double>(h_semi) / static_cast<double>(k_semi));
+        if (semi_err < cur_err) {
+          h_best = h_semi;
+          k_best = k_semi;
+        }
+      }
+      break;
+    }
+
+    h_prev2 = h_prev;
+    k_prev2 = k_prev;
+    h_prev = h;
+    k_prev = k;
+    h_best = h;
+    k_best = k;
+
+    const double rem = frac - a_f;
+    if (rem < 1e-15 * std::max(1.0, v)) break;  // exact to double precision
+    frac = 1.0 / rem;
+  }
+
+  Rational r{BigInt(h_best), BigInt(k_best)};
+  return negative ? -r : r;
+}
+
+}  // namespace
+
+std::optional<Rational> rational_from_double(double x, std::uint64_t max_den) {
+  if (!std::isfinite(x)) return std::nullopt;
+  if (x == 0.0) return Rational(0);
+  if (max_den == 0) return std::nullopt;
+  return best_approximation(x, max_den);
+}
+
+std::optional<Rational> rational_near_double(double x, double tolerance,
+                                             std::uint64_t max_den) {
+  auto r = rational_from_double(x, max_den);
+  if (!r) return std::nullopt;
+  if (std::fabs(r->to_double() - x) > tolerance) return std::nullopt;
+  return r;
+}
+
+Rational exact_rational_from_double(double x) {
+  if (!std::isfinite(x)) {
+    throw std::invalid_argument("exact_rational_from_double: non-finite");
+  }
+  if (x == 0.0) return Rational(0);
+  int exponent = 0;
+  double mantissa = std::frexp(x, &exponent);  // x = mantissa * 2^exponent
+  // Scale the mantissa to a 53-bit integer.
+  auto scaled = static_cast<std::int64_t>(std::ldexp(mantissa, 53));
+  exponent -= 53;
+  BigInt num(scaled);
+  if (exponent >= 0) {
+    return Rational(num * BigInt::pow(BigInt(2), static_cast<unsigned>(exponent)),
+                    BigInt(1));
+  }
+  return Rational(std::move(num),
+                  BigInt::pow(BigInt(2), static_cast<unsigned>(-exponent)));
+}
+
+Rational rational_reconstruct(const Rational& x, const BigInt& max_den) {
+  if (max_den.signum() <= 0) {
+    throw std::invalid_argument("rational_reconstruct: max_den must be >= 1");
+  }
+  const bool negative = x.is_negative();
+  BigInt p = x.num().abs();
+  BigInt q = x.den();
+
+  // Continued-fraction convergents h/k of p/q with exact BigInt arithmetic.
+  BigInt h_prev2(0), k_prev2(1);
+  BigInt h_prev(1), k_prev(0);
+  BigInt h_best = p / q, k_best(1);
+
+  while (!q.is_zero()) {
+    auto dm = p.divmod(q);
+    const BigInt& a = dm.quotient;
+    BigInt h = a * h_prev + h_prev2;
+    BigInt k = a * k_prev + k_prev2;
+    if (k > max_den) break;
+    h_prev2 = h_prev;
+    k_prev2 = k_prev;
+    h_prev = std::move(h);
+    k_prev = std::move(k);
+    h_best = h_prev;
+    k_best = k_prev;
+    p = q;
+    q = dm.remainder;
+  }
+  Rational r{h_best, k_best};
+  return negative ? -r : r;
+}
+
+}  // namespace ssco::num

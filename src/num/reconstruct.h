@@ -1,0 +1,45 @@
+#pragma once
+// Rational reconstruction from floating-point values.
+//
+// The exact LP pipeline (lp/exact_solver.h) solves the steady-state LPs in
+// double precision first and then *rounds* the primal/dual solutions back to
+// exact rationals before verifying an optimality certificate. The throughputs
+// in the paper are small rationals (1/2 in Fig. 2, 2/9 in Sec. 4.7), so a
+// continued-fraction best-approximation with a bounded denominator recovers
+// them exactly from a double that is correct to ~1e-9.
+
+#include <cstdint>
+#include <optional>
+
+#include "num/rational.h"
+
+namespace ssco::num {
+
+/// Best rational approximation of `x` with denominator <= `max_den`,
+/// via the Stern-Brocot / continued-fraction convergents.
+///
+/// Returns nullopt for non-finite input. The result is the convergent (or
+/// semiconvergent) closest to `x`; when `x` is exactly representable with a
+/// denominator <= max_den, that exact value is returned.
+std::optional<Rational> rational_from_double(double x,
+                                             std::uint64_t max_den = 1u << 20);
+
+/// Reconstruct assuming `x` is within `tolerance` of a rational whose
+/// denominator is at most `max_den`; returns nullopt when no convergent gets
+/// within the tolerance (signals the caller to fall back to exact solving).
+std::optional<Rational> rational_near_double(double x, double tolerance,
+                                             std::uint64_t max_den = 1u << 20);
+
+/// The exact rational value of a finite double (mantissa * 2^exponent).
+/// Every finite double is a dyadic rational, so this is lossless.
+Rational exact_rational_from_double(double x);
+
+/// Best rational approximation with denominator <= `max_den` of the EXACT
+/// rational `x`, via its continued-fraction convergents (arbitrary
+/// precision). If some p/q with q <= max_den satisfies
+/// |x - p/q| < 1 / (2 * q * max_den), that p/q is returned exactly — the
+/// classical recovery guarantee used by the iterative-refinement linear
+/// solver (lp/exact_basis.h).
+Rational rational_reconstruct(const Rational& x, const BigInt& max_den);
+
+}  // namespace ssco::num

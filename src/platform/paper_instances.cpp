@@ -1,0 +1,102 @@
+#include "platform/paper_instances.h"
+
+namespace ssco::platform {
+
+ScatterInstance fig2_toy() {
+  PlatformBuilder b;
+  NodeId ps = b.add_node("Ps");
+  NodeId pa = b.add_node("Pa");
+  NodeId pb = b.add_node("Pb");
+  NodeId p0 = b.add_node("P0");
+  NodeId p1 = b.add_node("P1");
+  // Downward directed links exactly as drawn in Fig. 2(a).
+  b.add_directed_link(ps, pa, Rational(1));
+  b.add_directed_link(ps, pb, Rational(1));
+  b.add_directed_link(pa, p0, Rational(2, 3));
+  b.add_directed_link(pb, p0, Rational(4, 3));
+  b.add_directed_link(pb, p1, Rational(4, 3));
+
+  ScatterInstance inst;
+  inst.platform = b.build();
+  inst.source = ps;
+  inst.targets = {p0, p1};
+  inst.message_size = Rational(1);
+  return inst;
+}
+
+ReduceInstance fig6_triangle() {
+  PlatformBuilder b;
+  // "Every processor can process any task in one time-unit, except node 0
+  // which can process any two tasks in one time-unit."
+  NodeId p0 = b.add_node("P0", Rational(2));
+  NodeId p1 = b.add_node("P1", Rational(1));
+  NodeId p2 = b.add_node("P2", Rational(1));
+  b.add_link(p0, p1, Rational(1));
+  b.add_link(p0, p2, Rational(1));
+  b.add_link(p1, p2, Rational(1));
+
+  ReduceInstance inst;
+  inst.platform = b.build();
+  inst.participants = {p0, p1, p2};
+  inst.target = p0;
+  inst.message_size = Rational(1);
+  inst.task_work = Rational(1);
+  return inst;
+}
+
+ReduceInstance fig9_tiers() {
+  PlatformBuilder b;
+  // Node ids follow Fig. 9's labels. Routers keep the default speed; they are
+  // never assigned compute tasks. Host speeds are the s_i printed in Fig. 9.
+  NodeId n0 = b.add_node("router0");
+  NodeId n1 = b.add_node("router1");
+  NodeId n2 = b.add_node("router2");
+  NodeId n3 = b.add_node("router3");
+  NodeId n4 = b.add_node("router4");
+  NodeId n5 = b.add_node("router5");
+  NodeId n6 = b.add_node("host6/idx4", Rational(92));
+  NodeId n7 = b.add_node("host7/idx6", Rational(64));
+  NodeId n8 = b.add_node("host8/idx1", Rational(55));
+  NodeId n9 = b.add_node("host9/idx3", Rational(75));
+  NodeId n10 = b.add_node("host10/idx7", Rational(17));
+  NodeId n11 = b.add_node("host11/idx0", Rational(15));
+  NodeId n12 = b.add_node("host12/idx5", Rational(38));
+  NodeId n13 = b.add_node("host13/idx2", Rational(79));
+
+  // Edge costs are 1/bandwidth: Fig. 9 labels links with speeds (the paper's
+  // LAN stars carry the fast "1000" links; the WAN core the slow single-digit
+  // ones). The adjacency below is recovered from the routes of Figs. 10-12.
+  auto link = [&b](NodeId a, NodeId c, std::int64_t bandwidth) {
+    b.add_link(a, c, Rational(1, bandwidth));
+  };
+  // WAN core.
+  link(n0, n1, 10);
+  link(n0, n5, 5);
+  link(n1, n2, 8);
+  link(n2, n3, 2);
+  link(n4, n5, 14);
+  // MAN / attachment links.
+  link(n4, n10, 4);
+  link(n4, n12, 182);
+  link(n5, n12, 295);
+  link(n2, n6, 266);
+  link(n2, n8, 208);
+  link(n3, n6, 240);
+  link(n3, n8, 144);
+  // LAN links.
+  link(n6, n7, 1000);
+  link(n8, n9, 1000);
+  link(n10, n11, 1000);
+  link(n12, n13, 1000);
+
+  ReduceInstance inst;
+  inst.platform = b.build();
+  // participants[i] = node holding logical value v_i (Fig. 9's "index i").
+  inst.participants = {n11, n8, n13, n9, n6, n12, n7, n10};
+  inst.target = n6;  // logical index 4
+  inst.message_size = Rational(10);
+  inst.task_work = Rational(10);  // task time = 10 / s_i
+  return inst;
+}
+
+}  // namespace ssco::platform

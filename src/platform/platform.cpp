@@ -1,0 +1,64 @@
+#include "platform/platform.h"
+
+#include <stdexcept>
+
+namespace ssco::platform {
+
+Platform::Platform(Digraph graph, std::vector<Rational> edge_cost,
+                   std::vector<Rational> node_speed,
+                   std::vector<std::string> node_name)
+    : graph_(std::move(graph)),
+      edge_cost_(std::move(edge_cost)),
+      node_speed_(std::move(node_speed)),
+      node_names_(std::move(node_name)) {
+  if (edge_cost_.size() != graph_.num_edges()) {
+    throw std::invalid_argument("Platform: edge_cost size mismatch");
+  }
+  if (node_speed_.size() != graph_.num_nodes()) {
+    throw std::invalid_argument("Platform: node_speed size mismatch");
+  }
+  for (const Rational& c : edge_cost_) {
+    if (c.signum() <= 0) {
+      throw std::invalid_argument("Platform: edge costs must be positive");
+    }
+  }
+  for (const Rational& s : node_speed_) {
+    if (s.signum() <= 0) {
+      throw std::invalid_argument("Platform: node speeds must be positive");
+    }
+  }
+  if (node_names_.empty()) {
+    node_names_.reserve(graph_.num_nodes());
+    for (NodeId n = 0; n < graph_.num_nodes(); ++n) {
+      node_names_.push_back("P" + std::to_string(n));
+    }
+  } else if (node_names_.size() != graph_.num_nodes()) {
+    throw std::invalid_argument("Platform: node_name size mismatch");
+  }
+}
+
+NodeId PlatformBuilder::add_node(std::string name, Rational speed) {
+  NodeId id = graph_.add_node();
+  if (name.empty()) name = "P" + std::to_string(id);
+  node_names_.push_back(std::move(name));
+  node_speed_.push_back(std::move(speed));
+  return id;
+}
+
+void PlatformBuilder::add_link(NodeId a, NodeId b, Rational cost) {
+  graph_.add_bidirectional(a, b);
+  edge_cost_.push_back(cost);
+  edge_cost_.push_back(std::move(cost));
+}
+
+void PlatformBuilder::add_directed_link(NodeId src, NodeId dst, Rational cost) {
+  graph_.add_edge(src, dst);
+  edge_cost_.push_back(std::move(cost));
+}
+
+Platform PlatformBuilder::build() {
+  return Platform(std::move(graph_), std::move(edge_cost_),
+                  std::move(node_speed_), std::move(node_names_));
+}
+
+}  // namespace ssco::platform

@@ -1,0 +1,91 @@
+#pragma once
+// Heterogeneous platform model (paper Sec. 2).
+//
+// A Platform is the edge-weighted graph G = (V, E, c): c(e) is the time to
+// move one *unit* of message across edge e (so a message of size s occupies
+// both ports for s * c(e) time). Nodes additionally carry a compute speed:
+// a computation task of `work` units takes work / speed(P) time on P —
+// Sec. 4.7 uses exactly this form (task time 10/s_i). The one-port model
+// semantics themselves live in the LP builders and the simulator; this class
+// only owns the static description and its validation.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "num/rational.h"
+
+namespace ssco::platform {
+
+using graph::Digraph;
+using graph::EdgeId;
+using graph::NodeId;
+using num::Rational;
+
+class Platform {
+ public:
+  Platform() = default;
+  /// Takes ownership of a finished graph and its metric layers.
+  /// `edge_cost[e]` must be positive for every edge; `node_speed[n]` must be
+  /// positive for every node (routers can keep the default speed — they are
+  /// simply never handed compute tasks).
+  Platform(Digraph graph, std::vector<Rational> edge_cost,
+           std::vector<Rational> node_speed,
+           std::vector<std::string> node_name = {});
+
+  [[nodiscard]] const Digraph& graph() const { return graph_; }
+  [[nodiscard]] std::size_t num_nodes() const { return graph_.num_nodes(); }
+  [[nodiscard]] std::size_t num_edges() const { return graph_.num_edges(); }
+
+  /// Time per unit of message on edge e.
+  [[nodiscard]] const Rational& edge_cost(EdgeId e) const {
+    return edge_cost_[e];
+  }
+  /// Compute speed of node n (work units per time unit).
+  [[nodiscard]] const Rational& node_speed(NodeId n) const {
+    return node_speed_[n];
+  }
+  /// Time for `work` units of computation on node n.
+  [[nodiscard]] Rational compute_time(NodeId n, const Rational& work) const {
+    return work / node_speed_[n];
+  }
+  /// Time for a message of size `size` on edge e.
+  [[nodiscard]] Rational transfer_time(EdgeId e, const Rational& size) const {
+    return size * edge_cost_[e];
+  }
+
+  [[nodiscard]] const std::string& node_name(NodeId n) const {
+    return node_names_[n];
+  }
+  [[nodiscard]] const std::vector<Rational>& edge_costs() const {
+    return edge_cost_;
+  }
+
+ private:
+  Digraph graph_;
+  std::vector<Rational> edge_cost_;
+  std::vector<Rational> node_speed_;
+  std::vector<std::string> node_names_;
+};
+
+/// Incremental construction helper used by generators, examples and tests.
+class PlatformBuilder {
+ public:
+  /// Adds a node; default speed 1.
+  NodeId add_node(std::string name = {}, Rational speed = Rational(1));
+  /// Adds a bidirectional physical link with the same cost both ways.
+  void add_link(NodeId a, NodeId b, Rational cost);
+  /// Adds a single directed link (the paper's model allows asymmetry).
+  void add_directed_link(NodeId src, NodeId dst, Rational cost);
+
+  [[nodiscard]] Platform build();
+
+ private:
+  Digraph graph_;
+  std::vector<Rational> edge_cost_;
+  std::vector<Rational> node_speed_;
+  std::vector<std::string> node_names_;
+};
+
+}  // namespace ssco::platform

@@ -1,0 +1,260 @@
+#include "platform/platform_io.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ssco::platform {
+
+namespace {
+
+struct NodeSpec {
+  std::string name;
+  Rational speed{1};
+};
+
+struct LinkSpec {
+  std::string a;
+  std::string b;
+  Rational cost;
+  bool directed = false;
+  std::size_t line = 0;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("platform description line " +
+                              std::to_string(line) + ": " + message);
+}
+
+Rational parse_rational(std::size_t line, const std::string& token) {
+  try {
+    return Rational(token);
+  } catch (const std::exception&) {
+    fail(line, "bad rational '" + token + "'");
+  }
+}
+
+}  // namespace
+
+PlatformDescription parse_platform(std::istream& in) {
+  std::vector<NodeSpec> nodes;
+  std::vector<LinkSpec> links;
+  std::map<std::string, std::size_t> node_index;
+  Rational message_size{1};
+  Rational task_work{1};
+
+  enum class RoleKind { kNone, kScatter, kReduce, kGossip };
+  RoleKind role = RoleKind::kNone;
+  std::vector<std::string> role_tokens;  // raw tokens after the keyword
+  std::size_t role_line = 0;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;
+
+    if (keyword == "node") {
+      NodeSpec spec;
+      if (!(line >> spec.name)) fail(line_no, "node needs a name");
+      std::string speed;
+      if (line >> speed) spec.speed = parse_rational(line_no, speed);
+      if (node_index.contains(spec.name)) {
+        fail(line_no, "duplicate node '" + spec.name + "'");
+      }
+      node_index[spec.name] = nodes.size();
+      nodes.push_back(std::move(spec));
+    } else if (keyword == "link" || keyword == "dlink") {
+      LinkSpec spec;
+      std::string cost;
+      if (!(line >> spec.a >> spec.b >> cost)) {
+        fail(line_no, keyword + " needs <a> <b> <cost>");
+      }
+      spec.cost = parse_rational(line_no, cost);
+      spec.directed = keyword == "dlink";
+      spec.line = line_no;
+      links.push_back(std::move(spec));
+    } else if (keyword == "size") {
+      std::string v;
+      if (!(line >> v)) fail(line_no, "size needs a value");
+      message_size = parse_rational(line_no, v);
+    } else if (keyword == "work") {
+      std::string v;
+      if (!(line >> v)) fail(line_no, "work needs a value");
+      task_work = parse_rational(line_no, v);
+    } else if (keyword == "scatter" || keyword == "reduce" ||
+               keyword == "gossip") {
+      if (role != RoleKind::kNone) {
+        fail(line_no, "only one operation line is allowed");
+      }
+      role = keyword == "scatter"  ? RoleKind::kScatter
+             : keyword == "reduce" ? RoleKind::kReduce
+                                   : RoleKind::kGossip;
+      role_line = line_no;
+      std::string token;
+      while (line >> token) role_tokens.push_back(std::move(token));
+    } else {
+      fail(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+
+  if (nodes.empty()) {
+    throw std::invalid_argument("platform description: no nodes");
+  }
+
+  PlatformBuilder builder;
+  for (const NodeSpec& n : nodes) builder.add_node(n.name, n.speed);
+  auto resolve = [&node_index](std::size_t line, const std::string& name) {
+    auto it = node_index.find(name);
+    if (it == node_index.end()) fail(line, "unknown node '" + name + "'");
+    return it->second;
+  };
+  for (const LinkSpec& l : links) {
+    std::size_t a = resolve(l.line, l.a);
+    std::size_t b = resolve(l.line, l.b);
+    if (l.directed) {
+      builder.add_directed_link(a, b, l.cost);
+    } else {
+      builder.add_link(a, b, l.cost);
+    }
+  }
+
+  PlatformDescription out;
+  out.platform = builder.build();
+
+  switch (role) {
+    case RoleKind::kNone:
+      break;
+    case RoleKind::kScatter: {
+      if (role_tokens.size() < 2) {
+        fail(role_line, "scatter needs <source> <target>...");
+      }
+      ScatterInstance inst;
+      inst.platform = out.platform;
+      inst.source = resolve(role_line, role_tokens[0]);
+      for (std::size_t i = 1; i < role_tokens.size(); ++i) {
+        inst.targets.push_back(resolve(role_line, role_tokens[i]));
+      }
+      inst.message_size = message_size;
+      out.operation = std::move(inst);
+      break;
+    }
+    case RoleKind::kReduce: {
+      if (role_tokens.size() < 2) {
+        fail(role_line, "reduce needs <target> <participant>...");
+      }
+      ReduceInstance inst;
+      inst.platform = out.platform;
+      inst.target = resolve(role_line, role_tokens[0]);
+      for (std::size_t i = 1; i < role_tokens.size(); ++i) {
+        inst.participants.push_back(resolve(role_line, role_tokens[i]));
+      }
+      inst.message_size = message_size;
+      inst.task_work = task_work;
+      out.operation = std::move(inst);
+      break;
+    }
+    case RoleKind::kGossip: {
+      GossipInstance inst;
+      inst.platform = out.platform;
+      bool in_targets = false;
+      bool saw_from = false;
+      for (const std::string& token : role_tokens) {
+        if (token == "from") {
+          saw_from = true;
+        } else if (token == "to") {
+          in_targets = true;
+        } else if (in_targets) {
+          inst.targets.push_back(resolve(role_line, token));
+        } else {
+          inst.sources.push_back(resolve(role_line, token));
+        }
+      }
+      if (!saw_from || !in_targets || inst.sources.empty() ||
+          inst.targets.empty()) {
+        fail(role_line, "gossip needs: from <src>... to <dst>...");
+      }
+      inst.message_size = message_size;
+      out.operation = std::move(inst);
+      break;
+    }
+  }
+  return out;
+}
+
+PlatformDescription parse_platform_text(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_platform(in);
+}
+
+void write_platform(std::ostream& os,
+                    const PlatformDescription& description) {
+  const Platform& p = description.platform;
+  const auto& g = p.graph();
+  for (graph::NodeId n = 0; n < p.num_nodes(); ++n) {
+    os << "node " << p.node_name(n);
+    if (p.node_speed(n) != Rational(1)) os << " " << p.node_speed(n);
+    os << "\n";
+  }
+  std::vector<bool> written(g.num_edges(), false);
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (written[e]) continue;
+    const auto& edge = g.edge(e);
+    graph::EdgeId reverse = g.find_edge(edge.dst, edge.src);
+    if (reverse != graph::kInvalidId && !written[reverse] &&
+        p.edge_cost(reverse) == p.edge_cost(e)) {
+      os << "link " << p.node_name(edge.src) << " " << p.node_name(edge.dst)
+         << " " << p.edge_cost(e) << "\n";
+      written[reverse] = true;
+    } else {
+      os << "dlink " << p.node_name(edge.src) << " " << p.node_name(edge.dst)
+         << " " << p.edge_cost(e) << "\n";
+    }
+    written[e] = true;
+  }
+  if (const auto* scatter =
+          std::get_if<ScatterInstance>(&description.operation)) {
+    if (scatter->message_size != Rational(1)) {
+      os << "size " << scatter->message_size << "\n";
+    }
+    os << "scatter " << p.node_name(scatter->source);
+    for (graph::NodeId t : scatter->targets) os << " " << p.node_name(t);
+    os << "\n";
+  } else if (const auto* reduce =
+                 std::get_if<ReduceInstance>(&description.operation)) {
+    if (reduce->message_size != Rational(1)) {
+      os << "size " << reduce->message_size << "\n";
+    }
+    if (reduce->task_work != Rational(1)) {
+      os << "work " << reduce->task_work << "\n";
+    }
+    os << "reduce " << p.node_name(reduce->target);
+    for (graph::NodeId r : reduce->participants) os << " " << p.node_name(r);
+    os << "\n";
+  } else if (const auto* gossip =
+                 std::get_if<GossipInstance>(&description.operation)) {
+    if (gossip->message_size != Rational(1)) {
+      os << "size " << gossip->message_size << "\n";
+    }
+    os << "gossip from";
+    for (graph::NodeId s : gossip->sources) os << " " << p.node_name(s);
+    os << " to";
+    for (graph::NodeId t : gossip->targets) os << " " << p.node_name(t);
+    os << "\n";
+  }
+}
+
+std::string platform_to_text(const PlatformDescription& description) {
+  std::ostringstream os;
+  write_platform(os, description);
+  return os.str();
+}
+
+}  // namespace ssco::platform

@@ -1,0 +1,58 @@
+#pragma once
+// Text format for platforms and operation roles.
+//
+// Lets users run the library on their own platforms without writing C++
+// (see examples/ssco_solve.cpp). Line-oriented, '#' comments, whitespace
+// separated:
+//
+//   node  <name> [speed]            # speed: rational, default 1
+//   link  <a> <b> <cost>            # bidirectional, same cost both ways
+//   dlink <src> <dst> <cost>        # directed link
+//   scatter <source> <target> [<target> ...]
+//   reduce  <target> <participant> [<participant> ...]   # in rank order
+//   gossip  from <src> [...] to <dst> [...]
+//   size <rational>                 # message size (default 1)
+//   work <rational>                 # reduce task work (default 1)
+//
+// Rationals are "p", "-p", or "p/q". Node names are introduced by `node`
+// lines and referenced everywhere else. Exactly one role line (scatter /
+// reduce / gossip) is allowed per description.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "platform/paper_instances.h"
+
+namespace ssco::platform {
+
+/// A parsed description: the platform plus at most one operation's roles.
+struct PlatformDescription {
+  Platform platform;
+  std::variant<std::monostate, ScatterInstance, ReduceInstance, GossipInstance>
+      operation;
+
+  [[nodiscard]] bool has_scatter() const {
+    return std::holds_alternative<ScatterInstance>(operation);
+  }
+  [[nodiscard]] bool has_reduce() const {
+    return std::holds_alternative<ReduceInstance>(operation);
+  }
+  [[nodiscard]] bool has_gossip() const {
+    return std::holds_alternative<GossipInstance>(operation);
+  }
+};
+
+/// Parses the format above. Throws std::invalid_argument with a line-numbered
+/// message on any syntax or semantic error.
+[[nodiscard]] PlatformDescription parse_platform(std::istream& in);
+[[nodiscard]] PlatformDescription parse_platform_text(std::string_view text);
+
+/// Writes a platform (and optionally roles) back in the same format.
+void write_platform(std::ostream& os, const PlatformDescription& description);
+[[nodiscard]] std::string platform_to_text(
+    const PlatformDescription& description);
+
+}  // namespace ssco::platform

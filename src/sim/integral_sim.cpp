@@ -1,0 +1,108 @@
+#include "sim/integral_sim.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace ssco::sim {
+
+IntegralSimResult simulate_integral_flow(const platform::Platform& platform,
+                                         const core::MultiFlow& flow,
+                                         const core::PeriodicSchedule& schedule,
+                                         std::size_t periods) {
+  IntegralSimResult result;
+  const auto& graph = platform.graph();
+  const std::size_t num_commodities = flow.commodities.size();
+
+  if (!schedule.has_integral_messages()) {
+    result.error = "schedule carries fractional messages; integral execution "
+                   "requires the no-split mode";
+    return result;
+  }
+
+  struct Event {
+    num::Rational time;
+    bool is_deposit;
+    std::size_t activity;
+  };
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < schedule.comms.size(); ++i) {
+    events.push_back({schedule.comms[i].start, false, i});
+    events.push_back({schedule.comms[i].end, true, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.is_deposit && !b.is_deposit;
+  });
+
+  // FIFO of message sequence numbers per (node, commodity). The origin
+  // mints consecutive sequence numbers on demand.
+  std::vector<std::vector<std::deque<std::uint64_t>>> buffers(
+      graph.num_nodes(), std::vector<std::deque<std::uint64_t>>(num_commodities));
+  std::vector<std::uint64_t> next_minted(num_commodities, 0);
+  // Sequence numbers delivered per commodity (must never see duplicates).
+  std::vector<std::set<std::uint64_t>> delivered_sets(num_commodities);
+  std::vector<std::vector<std::uint64_t>> in_flight(schedule.comms.size());
+
+  result.delivered.assign(num_commodities, 0);
+
+  for (std::size_t p = 0; p < periods; ++p) {
+    bool full_volume = true;
+    for (const Event& ev : events) {
+      const core::CommActivity& act = schedule.comms[ev.activity];
+      const auto& edge = graph.edge(act.edge);
+      const std::size_t k = act.type;
+      const auto planned =
+          static_cast<std::uint64_t>(act.messages.num().to_int64());
+      if (!ev.is_deposit) {
+        std::vector<std::uint64_t>& moving = in_flight[ev.activity];
+        moving.clear();
+        if (edge.src == flow.commodities[k].origin) {
+          for (std::uint64_t i = 0; i < planned; ++i) {
+            moving.push_back(next_minted[k]++);
+          }
+        } else {
+          auto& queue = buffers[edge.src][k];
+          while (moving.size() < planned && !queue.empty()) {
+            moving.push_back(queue.front());
+            queue.pop_front();
+          }
+        }
+        if (moving.size() < planned) full_volume = false;
+      } else {
+        for (std::uint64_t seq : in_flight[ev.activity]) {
+          if (edge.dst == flow.commodities[k].destination) {
+            if (!delivered_sets[k].insert(seq).second) {
+              result.error = "message delivered twice (commodity " +
+                             std::to_string(k) + ", seq " +
+                             std::to_string(seq) + ")";
+              return result;
+            }
+            ++result.delivered[k];
+          } else {
+            buffers[edge.dst][k].push_back(seq);
+          }
+        }
+        in_flight[ev.activity].clear();
+      }
+    }
+    if (p + 1 == periods) result.steady_state_reached = full_volume;
+  }
+
+  // Completed operations: longest delivered prefix common to all commodities.
+  std::uint64_t completed = UINT64_MAX;
+  for (std::size_t k = 0; k < num_commodities; ++k) {
+    std::uint64_t prefix = 0;
+    for (std::uint64_t seq : delivered_sets[k]) {
+      if (seq != prefix) break;
+      ++prefix;
+    }
+    completed = std::min(completed, prefix);
+  }
+  result.completed_operations = num_commodities == 0 ? 0 : completed;
+  result.horizon =
+      schedule.period * num::Rational(static_cast<std::int64_t>(periods));
+  return result;
+}
+
+}  // namespace ssco::sim

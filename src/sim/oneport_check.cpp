@@ -1,0 +1,82 @@
+#include "sim/oneport_check.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace ssco::sim {
+
+namespace {
+
+using Interval = std::pair<Rational, Rational>;
+
+std::string check_disjoint(std::vector<Interval>& intervals,
+                           const std::string& what) {
+  std::sort(intervals.begin(), intervals.end());
+  for (std::size_t i = 0; i + 1 < intervals.size(); ++i) {
+    if (intervals[i + 1].first < intervals[i].second) {
+      return what + ": overlapping activities at t = " +
+             intervals[i + 1].first.to_string();
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string check_oneport(const core::PeriodicSchedule& schedule,
+                          const platform::Platform& platform,
+                          const OneportCheckOptions& options) {
+  const auto& graph = platform.graph();
+  if (schedule.period.signum() <= 0) return "non-positive period";
+
+  std::map<graph::NodeId, std::vector<Interval>> out_port, in_port, cpu;
+
+  for (const core::CommActivity& c : schedule.comms) {
+    if (c.edge >= graph.num_edges()) return "comm references unknown edge";
+    if (c.start.is_negative() || c.end > schedule.period || !(c.start < c.end)) {
+      return "comm activity outside [0, period] or empty";
+    }
+    if (c.messages.signum() <= 0) return "comm with non-positive messages";
+    Rational expected =
+        c.messages * options.message_size * platform.edge_cost(c.edge);
+    if (c.end - c.start != expected) {
+      return "comm duration " + (c.end - c.start).to_string() +
+             " != messages*size*c = " + expected.to_string();
+    }
+    out_port[graph.edge(c.edge).src].emplace_back(c.start, c.end);
+    in_port[graph.edge(c.edge).dst].emplace_back(c.start, c.end);
+  }
+  for (const core::CompActivity& c : schedule.comps) {
+    if (c.node >= graph.num_nodes()) return "comp references unknown node";
+    if (c.start.is_negative() || c.end > schedule.period || !(c.start < c.end)) {
+      return "comp activity outside [0, period] or empty";
+    }
+    if (c.count.signum() <= 0) return "comp with non-positive count";
+    Rational expected =
+        c.count * options.task_work / platform.node_speed(c.node);
+    if (c.end - c.start != expected) {
+      return "comp duration != count*work/speed";
+    }
+    cpu[c.node].emplace_back(c.start, c.end);
+  }
+
+  for (auto& [node, intervals] : out_port) {
+    std::string err =
+        check_disjoint(intervals, "out-port of node " + std::to_string(node));
+    if (!err.empty()) return err;
+  }
+  for (auto& [node, intervals] : in_port) {
+    std::string err =
+        check_disjoint(intervals, "in-port of node " + std::to_string(node));
+    if (!err.empty()) return err;
+  }
+  for (auto& [node, intervals] : cpu) {
+    std::string err =
+        check_disjoint(intervals, "cpu of node " + std::to_string(node));
+    if (!err.empty()) return err;
+  }
+  return {};
+}
+
+}  // namespace ssco::sim

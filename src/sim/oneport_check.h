@@ -1,0 +1,39 @@
+#pragma once
+// Static verification of a periodic schedule against the one-port model.
+//
+// The paper's correctness claim for the constructed schedules is structural:
+// inside one period, no processor ever runs two sends, two receives, or two
+// transfers of inconsistent duration. This checker verifies, exactly:
+//  * every activity lies inside [0, period] with positive length;
+//  * communication durations equal messages * size * c(e);
+//  * computation durations equal count * work / speed;
+//  * per node, out-port activities are pairwise disjoint, in-port activities
+//    are pairwise disjoint, and CPU activities are pairwise disjoint
+//    (touching endpoints are fine).
+//
+// Because activities never cross the period boundary by construction, intra-
+// period disjointness implies disjointness of the infinite periodic
+// repetition.
+
+#include <string>
+
+#include "core/schedule.h"
+#include "num/rational.h"
+#include "platform/platform.h"
+
+namespace ssco::sim {
+
+using num::Rational;
+
+struct OneportCheckOptions {
+  Rational message_size{1};
+  Rational task_work{1};
+};
+
+/// Returns a description of the first violation, or empty when the schedule
+/// is one-port valid.
+[[nodiscard]] std::string check_oneport(const core::PeriodicSchedule& schedule,
+                                        const platform::Platform& platform,
+                                        const OneportCheckOptions& options = {});
+
+}  // namespace ssco::sim

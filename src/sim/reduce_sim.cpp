@@ -1,0 +1,112 @@
+#include "sim/reduce_sim.h"
+
+#include <algorithm>
+
+#include "core/intervals.h"
+
+namespace ssco::sim {
+
+ReduceSimResult simulate_reduce_schedule(
+    const platform::ReduceInstance& instance,
+    const core::PeriodicSchedule& schedule, std::size_t periods) {
+  const auto& graph = instance.platform.graph();
+  const core::IntervalSpace sp(instance.participants.size());
+  const std::size_t full = sp.full_interval_id();
+
+  struct Event {
+    Rational time;
+    enum Kind { kDeposit, kWithdraw } kind;
+    bool is_comm;
+    std::size_t activity;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * (schedule.comms.size() + schedule.comps.size()));
+  for (std::size_t i = 0; i < schedule.comms.size(); ++i) {
+    events.push_back({schedule.comms[i].start, Event::kWithdraw, true, i});
+    events.push_back({schedule.comms[i].end, Event::kDeposit, true, i});
+  }
+  for (std::size_t i = 0; i < schedule.comps.size(); ++i) {
+    events.push_back({schedule.comps[i].start, Event::kWithdraw, false, i});
+    events.push_back({schedule.comps[i].end, Event::kDeposit, false, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.kind == Event::kDeposit && b.kind == Event::kWithdraw;
+  });
+
+  // Owned singleton supply is unlimited: buffers track everything else.
+  auto unlimited = [&](graph::NodeId node, std::size_t interval) {
+    auto [k, m] = sp.interval(interval);
+    return k == m && instance.participants[k] == node;
+  };
+  std::vector<std::vector<Rational>> buffers(
+      graph.num_nodes(),
+      std::vector<Rational>(sp.num_intervals(), Rational(0)));
+  std::vector<Rational> comm_in_flight(schedule.comms.size(), Rational(0));
+  std::vector<Rational> comp_in_flight(schedule.comps.size(), Rational(0));
+
+  ReduceSimResult result;
+  Rational completed(0);
+  result.completed_by_period.reserve(periods);
+
+  for (std::size_t p = 0; p < periods; ++p) {
+    bool full_volume = true;
+    for (const Event& ev : events) {
+      if (ev.is_comm) {
+        const core::CommActivity& act = schedule.comms[ev.activity];
+        const auto& edge = graph.edge(act.edge);
+        if (ev.kind == Event::kWithdraw) {
+          Rational amount = act.messages;
+          if (!unlimited(edge.src, act.type)) {
+            amount = Rational::min(amount, buffers[edge.src][act.type]);
+            buffers[edge.src][act.type] -= amount;
+          }
+          if (amount != act.messages) full_volume = false;
+          comm_in_flight[ev.activity] = amount;
+        } else {
+          const Rational& amount = comm_in_flight[ev.activity];
+          if (act.type == full && edge.dst == instance.target) {
+            completed += amount;
+          } else if (!unlimited(edge.dst, act.type)) {
+            buffers[edge.dst][act.type] += amount;
+          }
+        }
+      } else {
+        const core::CompActivity& act = schedule.comps[ev.activity];
+        auto [k, l, m] = sp.task(act.task);
+        const std::size_t left = sp.interval_id(k, l);
+        const std::size_t right = sp.interval_id(l + 1, m);
+        const std::size_t product = sp.interval_id(k, m);
+        if (ev.kind == Event::kWithdraw) {
+          Rational amount = act.count;
+          if (!unlimited(act.node, left)) {
+            amount = Rational::min(amount, buffers[act.node][left]);
+          }
+          if (!unlimited(act.node, right)) {
+            amount = Rational::min(amount, buffers[act.node][right]);
+          }
+          if (!unlimited(act.node, left)) buffers[act.node][left] -= amount;
+          if (!unlimited(act.node, right)) buffers[act.node][right] -= amount;
+          if (amount != act.count) full_volume = false;
+          comp_in_flight[ev.activity] = amount;
+        } else {
+          const Rational& amount = comp_in_flight[ev.activity];
+          if (product == full && act.node == instance.target) {
+            completed += amount;
+          } else {
+            buffers[act.node][product] += amount;
+          }
+        }
+      }
+    }
+    result.completed_by_period.push_back(completed);
+    if (p + 1 == periods) result.steady_state_reached = full_volume;
+  }
+
+  result.horizon =
+      schedule.period * Rational(static_cast<std::int64_t>(periods));
+  result.completed_operations = completed;
+  return result;
+}
+
+}  // namespace ssco::sim

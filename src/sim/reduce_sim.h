@@ -1,0 +1,36 @@
+#pragma once
+// Fluid execution of a reduce periodic schedule.
+//
+// Same lazy-buffer engine as scatter_sim, extended with computation: a merge
+// task T(k,l,m) on node P consumes buffered copies of v[k,l] and v[l+1,m]
+// (each participant has unlimited supply of its own v[i,i]) and deposits
+// v[k,m] when it finishes. Only ADJACENT intervals ever merge — the
+// simulator cannot express a commutativity violation, and its bookkeeping
+// verifies that the schedule's task mix actually assembles v[0,N-1] at the
+// target at the steady-state rate after the pipeline fills (paper Sec. 4.5).
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::sim {
+
+using num::Rational;
+
+struct ReduceSimResult {
+  Rational horizon;
+  /// Cumulative completed reductions (copies of v[0,N-1] absorbed by the
+  /// target), sampled at the end of each period.
+  std::vector<Rational> completed_by_period;
+  Rational completed_operations;
+  /// True when the last period executed every activity at its planned
+  /// volume.
+  bool steady_state_reached = false;
+};
+
+[[nodiscard]] ReduceSimResult simulate_reduce_schedule(
+    const platform::ReduceInstance& instance,
+    const core::PeriodicSchedule& schedule, std::size_t periods);
+
+}  // namespace ssco::sim

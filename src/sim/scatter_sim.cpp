@@ -1,0 +1,79 @@
+#include "sim/scatter_sim.h"
+
+#include <algorithm>
+
+namespace ssco::sim {
+
+ScatterSimResult simulate_flow_schedule(const platform::Platform& platform,
+                                        const core::MultiFlow& flow,
+                                        const core::PeriodicSchedule& schedule,
+                                        std::size_t periods) {
+  const auto& graph = platform.graph();
+  const std::size_t num_commodities = flow.commodities.size();
+
+  // Event order within one period: by time, deposits before withdrawals at
+  // equal instants (a fully received message can be forwarded immediately).
+  struct Event {
+    Rational time;
+    bool is_deposit;
+    std::size_t activity;
+  };
+  std::vector<Event> events;
+  events.reserve(schedule.comms.size() * 2);
+  for (std::size_t i = 0; i < schedule.comms.size(); ++i) {
+    events.push_back({schedule.comms[i].start, false, i});
+    events.push_back({schedule.comms[i].end, true, i});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.is_deposit && !b.is_deposit;  // deposits first
+  });
+
+  // buffers[node][commodity]; origins have unlimited supply (not tracked).
+  std::vector<std::vector<Rational>> buffers(
+      graph.num_nodes(), std::vector<Rational>(num_commodities, Rational(0)));
+  // Amount actually withdrawn by each in-flight activity this period.
+  std::vector<Rational> in_flight(schedule.comms.size(), Rational(0));
+
+  ScatterSimResult result;
+  result.delivered.assign(num_commodities, Rational(0));
+  result.delivered_by_period.reserve(periods);
+
+  for (std::size_t p = 0; p < periods; ++p) {
+    bool full_delivery = true;
+    for (const Event& ev : events) {
+      const core::CommActivity& act = schedule.comms[ev.activity];
+      const auto& edge = graph.edge(act.edge);
+      const std::size_t k = act.type;
+      if (!ev.is_deposit) {
+        Rational amount = act.messages;
+        if (edge.src != flow.commodities[k].origin) {
+          amount = Rational::min(amount, buffers[edge.src][k]);
+          buffers[edge.src][k] -= amount;
+        }
+        if (amount != act.messages) full_delivery = false;
+        in_flight[ev.activity] = amount;
+      } else {
+        const Rational& amount = in_flight[ev.activity];
+        if (edge.dst == flow.commodities[k].destination) {
+          result.delivered[k] += amount;
+        } else {
+          buffers[edge.dst][k] += amount;
+        }
+      }
+    }
+    result.delivered_by_period.push_back(result.delivered);
+    if (p + 1 == periods) result.steady_state_reached = full_delivery;
+  }
+
+  result.horizon = schedule.period * Rational(static_cast<std::int64_t>(periods));
+  if (!result.delivered.empty()) {
+    result.completed_operations = result.delivered[0];
+    for (const Rational& d : result.delivered) {
+      result.completed_operations = Rational::min(result.completed_operations, d);
+    }
+  }
+  return result;
+}
+
+}  // namespace ssco::sim

@@ -1,0 +1,87 @@
+#include "baselines/fixed_route.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/util.h"
+
+namespace ssco::baselines {
+namespace {
+
+using testing::R;
+
+/// 0 - 1 - 2 chain, costs 1 and 1/2.
+platform::Platform chain3() {
+  platform::PlatformBuilder b;
+  auto n0 = b.add_node();
+  auto n1 = b.add_node();
+  auto n2 = b.add_node();
+  b.add_directed_link(n0, n1, R("1"));
+  b.add_directed_link(n1, n2, R("1/2"));
+  return b.build();
+}
+
+TEST(FixedRoute, SingleRouteLoadsEveryHop) {
+  platform::Platform p = chain3();
+  // Route 0 -> 1 -> 2 once per operation.
+  FixedRouteResult r =
+      evaluate_fixed_routes(p, {{0, 1}}, R("1"));
+  // Node 0 out: 1; node 1 in: 1; node 1 out: 1/2; node 2 in: 1/2.
+  EXPECT_EQ(r.throughput, R("1"));
+  EXPECT_EQ(r.bottleneck.busy, R("1"));
+}
+
+TEST(FixedRoute, TwoRoutesStackOnSharedPort) {
+  platform::Platform p = chain3();
+  // Commodity A: 0->1; commodity B: 0->1->2. Node 0's out-port carries both.
+  FixedRouteResult r = evaluate_fixed_routes(p, {{0}, {0, 1}}, R("1"));
+  EXPECT_EQ(r.bottleneck.busy, R("2"));
+  EXPECT_EQ(r.throughput, R("1/2"));
+  EXPECT_EQ(r.bottleneck.node, 0u);
+  EXPECT_TRUE(r.bottleneck.is_send);
+}
+
+TEST(FixedRoute, MessageSizeScales) {
+  platform::Platform p = chain3();
+  FixedRouteResult r = evaluate_fixed_routes(p, {{0, 1}}, R("3"));
+  EXPECT_EQ(r.throughput, R("1/3"));
+}
+
+TEST(FixedRoute, EmptyRoutesAllowedButNoTrafficRejected) {
+  platform::Platform p = chain3();
+  EXPECT_THROW(evaluate_fixed_routes(p, {{}}, R("1")), std::invalid_argument);
+  // One empty (self) route plus one real one is fine.
+  FixedRouteResult r = evaluate_fixed_routes(p, {{}, {0}}, R("1"));
+  EXPECT_EQ(r.throughput, R("1"));
+}
+
+TEST(FixedRoute, RejectsDisconnectedPath) {
+  platform::Platform p = chain3();
+  // Edge 1 (1->2) does not start where edge... {1, 0} means edge 1 then
+  // edge 0: 1->2 followed by 0->1 — not a path.
+  EXPECT_THROW(evaluate_fixed_routes(p, {{1, 0}}, R("1")),
+               std::invalid_argument);
+}
+
+TEST(FixedRoute, RejectsBadEdgeId) {
+  platform::Platform p = chain3();
+  EXPECT_THROW(evaluate_fixed_routes(p, {{99}}, R("1")),
+               std::invalid_argument);
+}
+
+TEST(FixedRoute, InPortCanBeTheBottleneck) {
+  // Two sources funneling into one sink.
+  platform::PlatformBuilder b;
+  auto s1 = b.add_node();
+  auto s2 = b.add_node();
+  auto t = b.add_node();
+  b.add_directed_link(s1, t, R("1"));
+  b.add_directed_link(s2, t, R("1"));
+  platform::Platform p = b.build();
+  FixedRouteResult r = evaluate_fixed_routes(p, {{0}, {1}}, R("1"));
+  EXPECT_EQ(r.throughput, R("1/2"));
+  EXPECT_EQ(r.bottleneck.node, t);
+  EXPECT_FALSE(r.bottleneck.is_send);
+}
+
+}  // namespace
+}  // namespace ssco::baselines

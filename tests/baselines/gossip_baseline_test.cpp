@@ -1,0 +1,65 @@
+#include "baselines/gossip_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/gossip_lp.h"
+#include "graph/generators.h"
+#include "testing/util.h"
+
+namespace ssco::baselines {
+namespace {
+
+using testing::R;
+
+platform::GossipInstance complete_instance(std::size_t n) {
+  platform::GossipInstance inst;
+  graph::Digraph g = graph::complete(n);
+  std::vector<num::Rational> costs(g.num_edges(), R("1"));
+  std::vector<num::Rational> speeds(n, num::Rational(1));
+  inst.platform =
+      platform::Platform(std::move(g), std::move(costs), std::move(speeds));
+  for (graph::NodeId i = 0; i < n; ++i) {
+    inst.sources.push_back(i);
+    inst.targets.push_back(i);
+  }
+  return inst;
+}
+
+TEST(GossipBaseline, CompleteGraphDirectRoutesAreOptimal) {
+  // All-to-all on a complete homogeneous graph: direct single-hop routes
+  // saturate every out-port equally; the LP cannot improve.
+  auto inst = complete_instance(4);
+  auto fixed = gossip_shortest_path(inst);
+  auto lp = core::solve_gossip(inst);
+  EXPECT_EQ(fixed.throughput, R("1/3"));
+  EXPECT_EQ(fixed.throughput, lp.throughput);
+}
+
+TEST(GossipBaseline, CommodityOrderMatchesLpSolver) {
+  auto inst = complete_instance(3);
+  auto fixed = gossip_shortest_path(inst);
+  auto lp = core::solve_gossip(inst);
+  ASSERT_EQ(fixed.routes.size(), lp.commodities.size());
+  const auto& g = inst.platform.graph();
+  for (std::size_t p = 0; p < fixed.routes.size(); ++p) {
+    ASSERT_FALSE(fixed.routes[p].empty());
+    EXPECT_EQ(g.edge(fixed.routes[p].front()).src, lp.commodities[p].origin);
+    EXPECT_EQ(g.edge(fixed.routes[p].back()).dst,
+              lp.commodities[p].destination);
+  }
+}
+
+TEST(GossipBaseline, DominatedByLpOnRandomPlatforms) {
+  for (std::uint64_t seed : {5, 10, 15}) {
+    platform::GossipInstance inst;
+    inst.platform = testing::random_platform(seed, 7);
+    inst.sources = {0, 1};
+    inst.targets = {5, 6};
+    auto fixed = gossip_shortest_path(inst);
+    auto lp = core::solve_gossip(inst);
+    EXPECT_GE(lp.throughput, fixed.throughput) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ssco::baselines

@@ -1,0 +1,142 @@
+#include "baselines/makespan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reduce_lp.h"
+#include "core/scatter_lp.h"
+#include "testing/util.h"
+
+namespace ssco::baselines {
+namespace {
+
+using testing::R;
+
+TEST(ScatterMakespan, StarManualValue) {
+  // Hub scatters to 3 leaves, cost 1 each: the out-port serializes the three
+  // sends -> makespan 3 (greedy EFT achieves the optimum here).
+  platform::ScatterInstance inst;
+  platform::PlatformBuilder b;
+  auto hub = b.add_node();
+  for (int i = 0; i < 3; ++i) {
+    auto leaf = b.add_node();
+    b.add_link(hub, leaf, R("1"));
+    inst.targets.push_back(leaf);
+  }
+  inst.platform = b.build();
+  inst.source = hub;
+  auto result = scatter_makespan(inst);
+  EXPECT_EQ(result.makespan, R("3"));
+  EXPECT_EQ(result.serial_throughput, R("1/3"));
+  EXPECT_EQ(result.transfers, 3u);
+}
+
+TEST(ScatterMakespan, StoreAndForwardChain) {
+  // 0 -> 1 -> 2, costs 1: m1 takes 1; m2 takes 2 hops. Greedy: send m2
+  // first (finishes hop at 1), then m1 (finishes 2), m2 forwarded [1,2]...
+  // port 1 busy receiving m1 at [1,2]; forwarding m2 on node 1's OUT port
+  // can overlap with receiving: m2 hop2 during [1,2]. Makespan 2.
+  platform::ScatterInstance inst;
+  platform::PlatformBuilder b;
+  auto n0 = b.add_node();
+  auto n1 = b.add_node();
+  auto n2 = b.add_node();
+  b.add_directed_link(n0, n1, R("1"));
+  b.add_directed_link(n1, n2, R("1"));
+  inst.platform = b.build();
+  inst.source = n0;
+  inst.targets = {n1, n2};
+  auto result = scatter_makespan(inst);
+  EXPECT_EQ(result.makespan, R("2"));
+  EXPECT_EQ(result.transfers, 3u);
+}
+
+TEST(ScatterMakespan, SerialThroughputNeverBeatsSteadyState) {
+  // The paper's core claim: repeating the best single-operation schedule
+  // back-to-back cannot beat pipelining (TP >= 1/makespan... moreover the
+  // steady state overlaps operations, so TP can exceed it strictly).
+  for (std::uint64_t seed : {2, 4, 8, 16}) {
+    auto inst = testing::random_scatter_instance(seed, 8, 3);
+    auto lp = core::solve_scatter(inst);
+    auto serial = scatter_makespan(inst);
+    EXPECT_GE(lp.throughput, serial.serial_throughput) << "seed " << seed;
+  }
+}
+
+TEST(ScatterMakespan, PipeliningWinsStrictlyBehindARelay) {
+  // Source -> relay -> {t1, t2}, all costs 1. One operation cannot overlap
+  // the relay's forwarding with its own first transfer (makespan 3), but
+  // consecutive operations overlap perfectly: steady state reaches the
+  // source-port bound 1/2 > 1/3.
+  platform::ScatterInstance inst;
+  platform::PlatformBuilder b;
+  auto s = b.add_node();
+  auto r = b.add_node();
+  auto t1 = b.add_node();
+  auto t2 = b.add_node();
+  b.add_directed_link(s, r, R("1"));
+  b.add_directed_link(r, t1, R("1"));
+  b.add_directed_link(r, t2, R("1"));
+  inst.platform = b.build();
+  inst.source = s;
+  inst.targets = {t1, t2};
+  auto lp = core::solve_scatter(inst);
+  auto serial = scatter_makespan(inst);
+  EXPECT_EQ(serial.makespan, R("3"));
+  EXPECT_EQ(lp.throughput, R("1/2"));
+  EXPECT_GT(lp.throughput, serial.serial_throughput);
+}
+
+TEST(ReduceMakespan, TwoNodesManualValue) {
+  // v0 ships to P1 (cost 1), merge takes 1 -> makespan 2.
+  platform::PlatformBuilder b;
+  auto p0 = b.add_node("P0", R("1"));
+  auto p1 = b.add_node("P1", R("1"));
+  b.add_link(p0, p1, R("1"));
+  platform::ReduceInstance inst;
+  inst.platform = b.build();
+  inst.participants = {p0, p1};
+  inst.target = p1;
+  auto result = reduce_makespan(inst);
+  EXPECT_EQ(result.makespan, R("2"));
+  EXPECT_EQ(result.serial_throughput, R("1/2"));
+}
+
+TEST(ReduceMakespan, FinalTransferToNonParticipantTarget) {
+  platform::PlatformBuilder b;
+  auto p0 = b.add_node("P0", R("1"));
+  auto p1 = b.add_node("P1", R("1"));
+  auto t = b.add_node("T", R("1"));
+  b.add_link(p0, p1, R("1"));
+  b.add_link(p1, t, R("1"));
+  platform::ReduceInstance inst;
+  inst.platform = b.build();
+  inst.participants = {p0, p1};
+  inst.target = t;
+  auto result = reduce_makespan(inst);
+  // ship v0 (1) + merge at P1 (1) + ship v[0,1] to T (1) = 3.
+  EXPECT_EQ(result.makespan, R("3"));
+  EXPECT_EQ(result.transfers, 2u);
+}
+
+TEST(ReduceMakespan, SerialThroughputNeverBeatsSteadyState) {
+  for (std::uint64_t seed : {3, 9, 27}) {
+    auto inst = testing::random_reduce_instance(seed, 7, 4);
+    auto lp = core::solve_reduce(inst);
+    auto serial = reduce_makespan(inst);
+    EXPECT_GE(lp.throughput, serial.serial_throughput) << "seed " << seed;
+  }
+}
+
+TEST(ReduceMakespan, Fig6PipeliningDoublesThroughput) {
+  // Single-operation latency on Fig. 6 is at least 2 (one transfer + final
+  // merge cannot overlap within one operation), so serial throughput <= 1/2;
+  // the steady state reaches 1.
+  auto inst = platform::fig6_triangle();
+  auto serial = reduce_makespan(inst);
+  EXPECT_LE(serial.serial_throughput, R("1/2"));
+  auto lp = core::solve_reduce(inst);
+  EXPECT_EQ(lp.throughput / serial.serial_throughput >= R("2"), true);
+}
+
+}  // namespace
+}  // namespace ssco::baselines

@@ -1,0 +1,119 @@
+#include "baselines/reduce_trees.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reduce_lp.h"
+#include "testing/util.h"
+
+namespace ssco::baselines {
+namespace {
+
+using testing::R;
+
+TEST(ReduceBaselines, AllTreesValidOnFig6) {
+  auto inst = platform::fig6_triangle();
+  EXPECT_EQ(flat_reduce_tree(inst).validate(inst), "");
+  EXPECT_EQ(chain_reduce_tree(inst).validate(inst), "");
+  EXPECT_EQ(binomial_reduce_tree(inst).validate(inst), "");
+}
+
+TEST(ReduceBaselines, AllTreesValidOnFig9) {
+  auto inst = platform::fig9_tiers();
+  EXPECT_EQ(flat_reduce_tree(inst).validate(inst), "");
+  EXPECT_EQ(chain_reduce_tree(inst).validate(inst), "");
+  EXPECT_EQ(binomial_reduce_tree(inst).validate(inst), "");
+}
+
+TEST(ReduceBaselines, FlatTreeThroughputOnFig6) {
+  // Flat: P1, P2 ship singletons to P0, which merges twice at speed 2.
+  // P0 in-port: 2 messages (cost 1) -> busy 2; CPU: 2 * 1/2 = 1. TP = 1/2.
+  auto inst = platform::fig6_triangle();
+  auto tree = flat_reduce_tree(inst);
+  EXPECT_EQ(single_tree_throughput(inst, tree), R("1/2"));
+}
+
+TEST(ReduceBaselines, ChainTreeThroughputOnFig6) {
+  // Chain: v[0,0] P0->P1 (merge), v[0,1] P1->P2 (merge), v[0,2] P2->P0.
+  // Every port carries one message; every CPU one task -> TP = 1.
+  auto inst = platform::fig6_triangle();
+  auto tree = chain_reduce_tree(inst);
+  EXPECT_EQ(single_tree_throughput(inst, tree), R("1"));
+}
+
+TEST(ReduceBaselines, ChainMatchesLpOnFig6) {
+  // On Fig. 6 the chain tree achieves the LP optimum (TP = 1): single-tree
+  // schedules are not ALWAYS suboptimal — only in general.
+  auto inst = platform::fig6_triangle();
+  auto sol = core::solve_reduce(inst);
+  EXPECT_EQ(single_tree_throughput(inst, chain_reduce_tree(inst)),
+            sol.throughput);
+}
+
+TEST(ReduceBaselines, BinomialMergesAtFasterEndpoint) {
+  // Two participants with very different speeds: the merge must land on the
+  // faster node.
+  platform::PlatformBuilder b;
+  auto slow = b.add_node("slow", R("1/10"));
+  auto fast = b.add_node("fast", R("10"));
+  b.add_link(slow, fast, R("1"));
+  platform::ReduceInstance inst;
+  inst.platform = b.build();
+  inst.participants = {slow, fast};
+  inst.target = fast;
+  auto tree = binomial_reduce_tree(inst);
+  bool merged_on_fast = false;
+  for (const auto& t : tree.tasks) {
+    if (t.kind == core::TreeTask::Kind::kCompute) {
+      EXPECT_EQ(t.node, fast);
+      merged_on_fast = true;
+    }
+  }
+  EXPECT_TRUE(merged_on_fast);
+}
+
+TEST(ReduceBaselines, TreesAreDominatedByLp) {
+  for (std::uint64_t seed : {4, 8, 16, 32}) {
+    auto inst = testing::random_reduce_instance(seed, 7, 4);
+    auto sol = core::solve_reduce(inst);
+    for (auto tree : {flat_reduce_tree(inst), chain_reduce_tree(inst),
+                      binomial_reduce_tree(inst)}) {
+      EXPECT_EQ(tree.validate(inst), "") << "seed " << seed;
+      EXPECT_GE(sol.throughput, single_tree_throughput(inst, tree))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ReduceBaselines, LpStrictlyBeatsEveryTreeSomewhere) {
+  // On the Tiers reconstruction the LP strictly dominates all three shapes
+  // (the motivating gap of the paper).
+  auto inst = platform::fig9_tiers();
+  auto sol = core::solve_reduce(inst);
+  EXPECT_GT(sol.throughput,
+            single_tree_throughput(inst, flat_reduce_tree(inst)));
+  EXPECT_GT(sol.throughput,
+            single_tree_throughput(inst, chain_reduce_tree(inst)));
+  EXPECT_GT(sol.throughput,
+            single_tree_throughput(inst, binomial_reduce_tree(inst)));
+}
+
+TEST(ReduceBaselines, TargetOutsideParticipants) {
+  platform::PlatformBuilder b;
+  auto p0 = b.add_node("P0");
+  auto p1 = b.add_node("P1");
+  auto t = b.add_node("T");
+  b.add_link(p0, p1, R("1"));
+  b.add_link(p1, t, R("1"));
+  platform::ReduceInstance inst;
+  inst.platform = b.build();
+  inst.participants = {p0, p1};
+  inst.target = t;
+  for (auto tree : {flat_reduce_tree(inst), chain_reduce_tree(inst),
+                    binomial_reduce_tree(inst)}) {
+    EXPECT_EQ(tree.validate(inst), "");
+    EXPECT_GT(single_tree_throughput(inst, tree), R("0"));
+  }
+}
+
+}  // namespace
+}  // namespace ssco::baselines

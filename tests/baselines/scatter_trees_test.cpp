@@ -1,0 +1,91 @@
+#include "baselines/scatter_trees.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scatter_lp.h"
+#include "testing/util.h"
+
+namespace ssco::baselines {
+namespace {
+
+using testing::R;
+
+TEST(ScatterBaselines, StarTopologyMatchesLpOptimum) {
+  // On a star every routing is direct; the source out-port binds everyone
+  // equally, so the fixed routing IS optimal — a tight sanity anchor.
+  platform::ScatterInstance inst;
+  platform::PlatformBuilder b;
+  auto hub = b.add_node();
+  for (int i = 0; i < 3; ++i) {
+    auto leaf = b.add_node();
+    b.add_link(hub, leaf, R("1/3"));
+    inst.targets.push_back(leaf);
+  }
+  inst.platform = b.build();
+  inst.source = hub;
+  auto lp = core::solve_scatter(inst);
+  auto fixed = scatter_shortest_path(inst);
+  auto greedy = scatter_greedy_congestion(inst);
+  EXPECT_EQ(fixed.throughput, lp.throughput);
+  EXPECT_EQ(greedy.throughput, lp.throughput);
+  EXPECT_EQ(fixed.throughput, R("1"));  // 3 msgs * 1/3 = 1 per op
+}
+
+TEST(ScatterBaselines, ShortestPathRoutesAreShortest) {
+  auto inst = platform::fig2_toy();
+  auto fixed = scatter_shortest_path(inst);
+  ASSERT_EQ(fixed.routes.size(), 2u);
+  // Target P0 (node 3): path Ps->Pa->P0 costs 1 + 2/3 < Ps->Pb->P0.
+  const auto& g = inst.platform.graph();
+  ASSERT_EQ(fixed.routes[0].size(), 2u);
+  EXPECT_EQ(g.edge(fixed.routes[0][0]).dst, 1u);
+}
+
+TEST(ScatterBaselines, GreedySpreadsLoadAcrossRelays) {
+  // Diamond with two relays: greedy must split the two targets over the two
+  // relays, beating the all-through-one-relay shortest-path tree.
+  platform::PlatformBuilder b;
+  auto s = b.add_node();
+  auto r1 = b.add_node();
+  auto r2 = b.add_node();
+  auto t1 = b.add_node();
+  auto t2 = b.add_node();
+  b.add_directed_link(s, r1, R("1/2"));
+  b.add_directed_link(s, r2, R("1/2"));
+  b.add_directed_link(r1, t1, R("1"));
+  b.add_directed_link(r2, t1, R("1"));
+  b.add_directed_link(r1, t2, R("1"));
+  b.add_directed_link(r2, t2, R("1"));
+  platform::ScatterInstance inst;
+  inst.platform = b.build();
+  inst.source = s;
+  inst.targets = {t1, t2};
+  auto fixed = scatter_shortest_path(inst);
+  auto greedy = scatter_greedy_congestion(inst);
+  EXPECT_EQ(fixed.throughput, R("1/2"));  // both via one relay
+  EXPECT_EQ(greedy.throughput, R("1"));   // balanced
+}
+
+TEST(ScatterBaselines, BothDominatedByLpEverywhere) {
+  for (std::uint64_t seed : {3, 6, 9, 12}) {
+    auto inst = testing::random_scatter_instance(seed, 8, 3);
+    auto lp = core::solve_scatter(inst);
+    EXPECT_GE(lp.throughput, scatter_shortest_path(inst).throughput);
+    EXPECT_GE(lp.throughput, scatter_greedy_congestion(inst).throughput);
+  }
+}
+
+TEST(ScatterBaselines, RoutesStartAtSourceEndAtTargets) {
+  auto inst = testing::random_scatter_instance(7, 8, 3);
+  auto fixed = scatter_shortest_path(inst);
+  const auto& g = inst.platform.graph();
+  for (std::size_t k = 0; k < inst.targets.size(); ++k) {
+    const auto& route = fixed.routes[k];
+    ASSERT_FALSE(route.empty());
+    EXPECT_EQ(g.edge(route.front()).src, inst.source);
+    EXPECT_EQ(g.edge(route.back()).dst, inst.targets[k]);
+  }
+}
+
+}  // namespace
+}  // namespace ssco::baselines

@@ -1,0 +1,145 @@
+#include "core/edge_coloring.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/rng.h"
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using testing::R;
+
+/// Checks the three decomposition invariants; returns "" when all hold.
+std::string check_coloring(std::size_t num_u, std::size_t num_v,
+                           const std::vector<BipartiteEdge>& edges,
+                           const EdgeColoring& coloring) {
+  // (1) per-edge durations reconstitute the weights exactly.
+  std::vector<Rational> assigned(edges.size(), Rational(0));
+  for (const ColorClass& slice : coloring.slices) {
+    // (2) each slice is a matching on both sides.
+    std::set<std::size_t> us, vs;
+    for (std::size_t idx : slice.edges) {
+      if (idx >= edges.size()) return "bad edge index";
+      if (!us.insert(edges[idx].u).second) return "u used twice in a slice";
+      if (!vs.insert(edges[idx].v).second) return "v used twice in a slice";
+      assigned[idx] += slice.duration;
+    }
+    if (slice.duration.signum() <= 0) return "non-positive slice duration";
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (assigned[i] != edges[i].weight) return "edge weight not reconstituted";
+  }
+  // (3) total duration equals the maximum weighted degree.
+  std::map<std::size_t, Rational> du, dv;
+  for (const BipartiteEdge& e : edges) {
+    du[e.u] += e.weight;
+    dv[e.v] += e.weight;
+  }
+  Rational delta(0);
+  for (auto& [n, d] : du) delta = Rational::max(delta, d);
+  for (auto& [n, d] : dv) delta = Rational::max(delta, d);
+  if (coloring.total_duration != delta) return "total != max degree";
+  (void)num_u;
+  (void)num_v;
+  return "";
+}
+
+TEST(EdgeColoring, EmptyInput) {
+  EdgeColoring c = color_bipartite(3, 3, {});
+  EXPECT_TRUE(c.slices.empty());
+  EXPECT_TRUE(c.total_duration.is_zero());
+}
+
+TEST(EdgeColoring, SingleEdge) {
+  std::vector<BipartiteEdge> edges{{0, 0, R("3/7")}};
+  EdgeColoring c = color_bipartite(1, 1, edges);
+  EXPECT_EQ(check_coloring(1, 1, edges, c), "");
+  ASSERT_EQ(c.slices.size(), 1u);
+  EXPECT_EQ(c.slices[0].duration, R("3/7"));
+}
+
+TEST(EdgeColoring, StarNeedsSequentialSlices) {
+  // One sender to three receivers: no two edges can share a slice.
+  std::vector<BipartiteEdge> edges{
+      {0, 0, R("1/2")}, {0, 1, R("1/3")}, {0, 2, R("1/4")}};
+  EdgeColoring c = color_bipartite(1, 3, edges);
+  EXPECT_EQ(check_coloring(1, 3, edges, c), "");
+  EXPECT_EQ(c.total_duration, R("13/12"));
+  for (const ColorClass& s : c.slices) EXPECT_EQ(s.edges.size(), 1u);
+}
+
+TEST(EdgeColoring, ParallelTransfersShareSlices) {
+  // Two disjoint sender/receiver pairs can overlap fully.
+  std::vector<BipartiteEdge> edges{{0, 0, R("1")}, {1, 1, R("1")}};
+  EdgeColoring c = color_bipartite(2, 2, edges);
+  EXPECT_EQ(check_coloring(2, 2, edges, c), "");
+  EXPECT_EQ(c.total_duration, R("1"));
+  ASSERT_EQ(c.slices.size(), 1u);
+  EXPECT_EQ(c.slices[0].edges.size(), 2u);
+}
+
+TEST(EdgeColoring, ParallelMultigraphEdges) {
+  // Two parallel edges between the same ports (two message types): they
+  // must land in different slices.
+  std::vector<BipartiteEdge> edges{{0, 0, R("1/2")}, {0, 0, R("1/3")}};
+  EdgeColoring c = color_bipartite(1, 1, edges);
+  EXPECT_EQ(check_coloring(1, 1, edges, c), "");
+  EXPECT_EQ(c.total_duration, R("5/6"));
+}
+
+TEST(EdgeColoring, PaperFig3Shape) {
+  // The bipartite graph of Fig. 3(a): Ps sends to Pa (busy 3) and Pb (9);
+  // Pa sends to P0 (2); Pb sends to P0 (4) and P1 (8). Period 12.
+  // Ports: u = {Ps, Pa, Pb} -> 0,1,2; v = {Pa, Pb, P0, P1} -> 0,1,2,3.
+  std::vector<BipartiteEdge> edges{
+      {0, 0, R("3")},   // Ps -> Pa
+      {0, 1, R("9")},   // Ps -> Pb
+      {1, 2, R("2")},   // Pa -> P0
+      {2, 2, R("4")},   // Pb -> P0
+      {2, 3, R("8")},   // Pb -> P1
+  };
+  EdgeColoring c = color_bipartite(3, 4, edges);
+  EXPECT_EQ(check_coloring(3, 4, edges, c), "");
+  EXPECT_EQ(c.total_duration, R("12"));  // Ps out and Pb out both carry 12
+  // The paper decomposes into 4 matchings; our peeling gives a polynomial
+  // number too (not necessarily 4, but small).
+  EXPECT_LE(c.slices.size(), edges.size() + 4);
+}
+
+TEST(EdgeColoring, RejectsNonPositiveWeight) {
+  EXPECT_THROW(color_bipartite(1, 1, {{0, 0, R("0")}}), std::invalid_argument);
+  EXPECT_THROW(color_bipartite(1, 1, {{0, 0, R("-1")}}), std::invalid_argument);
+}
+
+TEST(EdgeColoring, RejectsOutOfRangeNode) {
+  EXPECT_THROW(color_bipartite(1, 1, {{1, 0, R("1")}}), std::invalid_argument);
+}
+
+class EdgeColoringPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EdgeColoringPropertyTest, RandomMultigraphsDecompose) {
+  graph::Rng rng(GetParam());
+  const std::size_t nu = 2 + rng.uniform(0, 4);
+  const std::size_t nv = 2 + rng.uniform(0, 4);
+  std::vector<BipartiteEdge> edges;
+  const std::size_t count = 3 + rng.uniform(0, 12);
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back(BipartiteEdge{
+        rng.uniform(0, nu - 1), rng.uniform(0, nv - 1),
+        Rational(static_cast<std::int64_t>(rng.uniform(1, 9)),
+                 static_cast<std::int64_t>(rng.uniform(1, 5)))});
+  }
+  EdgeColoring c = color_bipartite(nu, nv, edges);
+  EXPECT_EQ(check_coloring(nu, nv, edges, c), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeColoringPropertyTest,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{21}));
+
+}  // namespace
+}  // namespace ssco::core

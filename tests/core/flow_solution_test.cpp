@@ -1,0 +1,137 @@
+#include "core/flow_solution.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using testing::R;
+
+/// Platform: 0 -> 1 -> 2 plus a cycle 1 <-> 3, all cost 1.
+platform::Platform cycle_platform() {
+  platform::PlatformBuilder b;
+  for (int i = 0; i < 4; ++i) b.add_node();
+  b.add_directed_link(0, 1, R("1"));
+  b.add_directed_link(1, 2, R("1"));
+  b.add_directed_link(1, 3, R("1"));
+  b.add_directed_link(3, 1, R("1"));
+  return b.build();
+}
+
+TEST(CancelFlowCycles, RemovesPureCycle) {
+  platform::Platform p = cycle_platform();
+  std::vector<Rational> flow(p.num_edges(), Rational(0));
+  flow[p.graph().find_edge(1, 3)] = R("1/4");
+  flow[p.graph().find_edge(3, 1)] = R("1/4");
+  cancel_flow_cycles(p.graph(), flow);
+  for (const Rational& f : flow) EXPECT_TRUE(f.is_zero());
+}
+
+TEST(CancelFlowCycles, KeepsUsefulFlowExactly) {
+  platform::Platform p = cycle_platform();
+  std::vector<Rational> flow(p.num_edges(), Rational(0));
+  flow[p.graph().find_edge(0, 1)] = R("1/3");
+  flow[p.graph().find_edge(1, 2)] = R("1/3");
+  flow[p.graph().find_edge(1, 3)] = R("1/5");
+  flow[p.graph().find_edge(3, 1)] = R("1/5");
+  cancel_flow_cycles(p.graph(), flow);
+  EXPECT_EQ(flow[p.graph().find_edge(0, 1)], R("1/3"));
+  EXPECT_EQ(flow[p.graph().find_edge(1, 2)], R("1/3"));
+  EXPECT_TRUE(flow[p.graph().find_edge(1, 3)].is_zero());
+  EXPECT_TRUE(flow[p.graph().find_edge(3, 1)].is_zero());
+}
+
+TEST(CancelFlowCycles, PartialCycleBottleneck) {
+  // Cycle carries unequal flow: only the common part cancels.
+  platform::Platform p = cycle_platform();
+  std::vector<Rational> flow(p.num_edges(), Rational(0));
+  flow[p.graph().find_edge(1, 3)] = R("1/2");
+  flow[p.graph().find_edge(3, 1)] = R("1/4");
+  cancel_flow_cycles(p.graph(), flow);
+  EXPECT_EQ(flow[p.graph().find_edge(1, 3)], R("1/4"));
+  EXPECT_TRUE(flow[p.graph().find_edge(3, 1)].is_zero());
+}
+
+MultiFlow valid_flow(const platform::Platform& p) {
+  MultiFlow flow;
+  flow.throughput = R("1/3");
+  flow.message_size = R("1");
+  CommodityFlow c;
+  c.origin = 0;
+  c.destination = 2;
+  c.rate = R("1/3");
+  c.edge_flow.assign(p.num_edges(), Rational(0));
+  c.edge_flow[p.graph().find_edge(0, 1)] = R("1/3");
+  c.edge_flow[p.graph().find_edge(1, 2)] = R("1/3");
+  flow.commodities.push_back(std::move(c));
+  return flow;
+}
+
+TEST(MultiFlowValidate, AcceptsValid) {
+  platform::Platform p = cycle_platform();
+  EXPECT_EQ(valid_flow(p).validate(p), "");
+}
+
+TEST(MultiFlowValidate, DetectsConservationViolation) {
+  platform::Platform p = cycle_platform();
+  MultiFlow flow = valid_flow(p);
+  flow.commodities[0].edge_flow[p.graph().find_edge(1, 2)] = R("1/4");
+  EXPECT_NE(flow.validate(p).find("conservation"), std::string::npos);
+}
+
+TEST(MultiFlowValidate, DetectsRateMismatch) {
+  platform::Platform p = cycle_platform();
+  MultiFlow flow = valid_flow(p);
+  flow.throughput = R("1/2");  // commodities still deliver 1/3
+  EXPECT_NE(flow.validate(p).find("rate"), std::string::npos);
+}
+
+TEST(MultiFlowValidate, DetectsNegativeFlow) {
+  platform::Platform p = cycle_platform();
+  MultiFlow flow = valid_flow(p);
+  flow.commodities[0].edge_flow[p.graph().find_edge(1, 3)] = R("-1/8");
+  EXPECT_NE(flow.validate(p).find("negative"), std::string::npos);
+}
+
+TEST(MultiFlowValidate, DetectsOnePortViolation) {
+  platform::Platform p = cycle_platform();
+  MultiFlow flow = valid_flow(p);
+  // Push 2 messages/unit down 0->1 (cost 1): out-busy 2 > 1.
+  flow.commodities[0].edge_flow[p.graph().find_edge(0, 1)] = R("2");
+  flow.commodities[0].edge_flow[p.graph().find_edge(1, 2)] = R("2");
+  flow.commodities[0].rate = R("2");
+  flow.throughput = R("2");
+  EXPECT_NE(flow.validate(p).find("one-port"), std::string::npos);
+}
+
+TEST(MultiFlowValidate, MessageSizeScalesOccupation) {
+  platform::Platform p = cycle_platform();
+  MultiFlow flow = valid_flow(p);
+  // 1/3 msgs/unit of size 4 on a cost-1 edge: occupation 4/3 > 1.
+  flow.message_size = R("4");
+  EXPECT_NE(flow.validate(p).find("one-port"), std::string::npos);
+}
+
+TEST(MultiFlow, EdgeOccupationComputation) {
+  platform::Platform p = cycle_platform();
+  MultiFlow flow = valid_flow(p);
+  auto occ = flow.edge_occupation(p);
+  EXPECT_EQ(occ[p.graph().find_edge(0, 1)], R("1/3"));
+  EXPECT_EQ(occ[p.graph().find_edge(1, 3)], R("0"));
+}
+
+TEST(MultiFlow, PruneCyclesKeepsValidity) {
+  platform::Platform p = cycle_platform();
+  MultiFlow flow = valid_flow(p);
+  flow.commodities[0].edge_flow[p.graph().find_edge(1, 3)] = R("1/6");
+  flow.commodities[0].edge_flow[p.graph().find_edge(3, 1)] = R("1/6");
+  ASSERT_EQ(flow.validate(p), "");  // cycle does not break conservation
+  flow.prune_cycles(p);
+  EXPECT_EQ(flow.validate(p), "");
+  EXPECT_TRUE(flow.commodities[0].edge_flow[p.graph().find_edge(1, 3)].is_zero());
+}
+
+}  // namespace
+}  // namespace ssco::core

@@ -1,0 +1,88 @@
+#include "core/gather_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scatter_lp.h"
+#include "graph/generators.h"
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using testing::R;
+
+TEST(GatherLp, StarBoundedBySinkInPort) {
+  // 3 leaves gather to the hub, cost 1/3 each: the hub's in-port carries 3
+  // messages per operation -> TP = 1.
+  platform::PlatformBuilder b;
+  auto hub = b.add_node("hub");
+  std::vector<graph::NodeId> leaves;
+  for (int i = 0; i < 3; ++i) {
+    auto leaf = b.add_node();
+    b.add_link(hub, leaf, R("1/3"));
+    leaves.push_back(leaf);
+  }
+  platform::Platform p = b.build();
+  MultiFlow flow = solve_gather(p, leaves, hub, R("1"));
+  EXPECT_EQ(flow.throughput, R("1"));
+  EXPECT_EQ(flow.validate(p), "");
+  ASSERT_EQ(flow.commodities.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(flow.commodities[i].origin, leaves[i]);
+    EXPECT_EQ(flow.commodities[i].destination, hub);
+  }
+}
+
+TEST(GatherLp, MirrorsScatterOnSymmetricPlatforms) {
+  // On a platform with symmetric link costs, gathering to node t has the
+  // same optimal throughput as scattering FROM t to the same partners (the
+  // one-port model is symmetric under edge reversal).
+  for (std::uint64_t seed : {3, 7, 11}) {
+    platform::Platform p = testing::random_platform(seed, 7);
+    std::vector<graph::NodeId> partners{1, 2, 3};
+    MultiFlow gather = solve_gather(p, partners, 6, R("1"));
+
+    platform::ScatterInstance scatter;
+    scatter.platform = p;
+    scatter.source = 6;
+    scatter.targets = partners;
+    MultiFlow scattered = solve_scatter(scatter);
+    EXPECT_EQ(gather.throughput, scattered.throughput) << "seed " << seed;
+  }
+}
+
+TEST(GatherLp, RejectsSinkAsSource) {
+  platform::Platform p = testing::random_platform(1, 5);
+  EXPECT_THROW(solve_gather(p, {0, 4}, 4, R("1")), std::invalid_argument);
+}
+
+TEST(GatherLp, MessageSizeScales) {
+  platform::PlatformBuilder b;
+  auto s = b.add_node();
+  auto t = b.add_node();
+  b.add_link(s, t, R("1"));
+  platform::Platform p = b.build();
+  EXPECT_EQ(solve_gather(p, {s}, t, R("1")).throughput, R("1"));
+  EXPECT_EQ(solve_gather(p, {s}, t, R("4")).throughput, R("1/4"));
+}
+
+TEST(GatherLp, MultipathSinkFeed) {
+  // Two disjoint routes into the sink: the in-port (not the routes) binds.
+  platform::PlatformBuilder b;
+  auto src = b.add_node();
+  auto r1 = b.add_node();
+  auto r2 = b.add_node();
+  auto sink = b.add_node();
+  b.add_directed_link(src, r1, R("1/2"));
+  b.add_directed_link(src, r2, R("1/2"));
+  b.add_directed_link(r1, sink, R("1"));
+  b.add_directed_link(r2, sink, R("1"));
+  platform::Platform p = b.build();
+  MultiFlow flow = solve_gather(p, {src}, sink, R("1"));
+  // src out-port: 1 msg * 1/2 -> <= 2 ops; sink in-port: 1 msg * 1 -> 1 op.
+  EXPECT_EQ(flow.throughput, R("1"));
+  EXPECT_EQ(flow.validate(p), "");
+}
+
+}  // namespace
+}  // namespace ssco::core

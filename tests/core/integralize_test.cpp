@@ -1,0 +1,59 @@
+#include "core/integralize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reduce_lp.h"
+#include "core/scatter_lp.h"
+#include "platform/paper_instances.h"
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using num::BigInt;
+using testing::R;
+
+TEST(Integralize, WeightsVector) {
+  EXPECT_EQ(integral_period(std::vector<Rational>{R("1/2"), R("1/3")}),
+            BigInt(6));
+  EXPECT_EQ(integral_period(std::vector<Rational>{R("2"), R("5")}), BigInt(1));
+  EXPECT_EQ(integral_period(std::vector<Rational>{}), BigInt(1));
+  EXPECT_EQ(integral_period(std::vector<Rational>{R("0"), R("3/4")}),
+            BigInt(4));
+}
+
+TEST(Integralize, Fig2FlowPeriodMakesEverythingIntegral) {
+  auto inst = platform::fig2_toy();
+  MultiFlow flow = solve_scatter(inst);
+  BigInt period = integral_period(flow);
+  Rational p{Rational(period)};
+  EXPECT_TRUE((flow.throughput * p).is_integer());
+  for (const CommodityFlow& c : flow.commodities) {
+    for (const Rational& f : c.edge_flow) {
+      EXPECT_TRUE((f * p).is_integer());
+    }
+  }
+}
+
+TEST(Integralize, Fig6SolutionPeriodMakesEverythingIntegral) {
+  auto inst = platform::fig6_triangle();
+  ReduceSolution sol = solve_reduce(inst);
+  BigInt period = integral_period(sol);
+  Rational p{Rational(period)};
+  EXPECT_TRUE((sol.throughput * p).is_integer());
+  for (const auto& per_edge : sol.send) {
+    for (const Rational& v : per_edge) EXPECT_TRUE((v * p).is_integer());
+  }
+  for (const auto& per_task : sol.cons) {
+    for (const Rational& v : per_task) EXPECT_TRUE((v * p).is_integer());
+  }
+}
+
+TEST(Integralize, PeriodIsMinimal) {
+  // LCM must not overshoot: a pure-1/6 flow has period exactly 6.
+  std::vector<Rational> values{R("1/6"), R("1/3"), R("1/2")};
+  EXPECT_EQ(integral_period(values), BigInt(6));
+}
+
+}  // namespace
+}  // namespace ssco::core

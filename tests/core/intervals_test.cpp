@@ -1,0 +1,89 @@
+#include "core/intervals.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::core {
+namespace {
+
+TEST(IntervalSpace, CountsMatchFormulas) {
+  for (std::size_t n = 1; n <= 10; ++n) {
+    IntervalSpace sp(n);
+    EXPECT_EQ(sp.num_intervals(), n * (n + 1) / 2);
+    // Tasks T(k,l,m), 0 <= k <= l < m < n: C(n+1, 3).
+    EXPECT_EQ(sp.num_tasks(), n * (n + 1) * (n - 1) / 6);
+  }
+}
+
+TEST(IntervalSpace, PaperScaleCounts) {
+  // Sec. 4.7: 8 participants -> 36 interval types, 84 task types.
+  IntervalSpace sp(8);
+  EXPECT_EQ(sp.num_intervals(), 36u);
+  EXPECT_EQ(sp.num_tasks(), 84u);
+}
+
+TEST(IntervalSpace, IntervalBijectionExhaustive) {
+  for (std::size_t n = 1; n <= 8; ++n) {
+    IntervalSpace sp(n);
+    std::vector<bool> seen(sp.num_intervals(), false);
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t m = k; m < n; ++m) {
+        std::size_t id = sp.interval_id(k, m);
+        ASSERT_LT(id, sp.num_intervals());
+        EXPECT_FALSE(seen[id]) << "duplicate id for [" << k << "," << m << "]";
+        seen[id] = true;
+        auto [k2, m2] = sp.interval(id);
+        EXPECT_EQ(k2, k);
+        EXPECT_EQ(m2, m);
+      }
+    }
+    for (bool s : seen) EXPECT_TRUE(s);
+  }
+}
+
+TEST(IntervalSpace, TaskBijectionExhaustive) {
+  for (std::size_t n = 2; n <= 8; ++n) {
+    IntervalSpace sp(n);
+    std::vector<bool> seen(sp.num_tasks(), false);
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t m = k + 1; m < n; ++m) {
+        for (std::size_t l = k; l < m; ++l) {
+          std::size_t id = sp.task_id(k, l, m);
+          ASSERT_LT(id, sp.num_tasks());
+          EXPECT_FALSE(seen[id]);
+          seen[id] = true;
+          auto [k2, l2, m2] = sp.task(id);
+          EXPECT_EQ(k2, k);
+          EXPECT_EQ(l2, l);
+          EXPECT_EQ(m2, m);
+        }
+      }
+    }
+    for (bool s : seen) EXPECT_TRUE(s);
+  }
+}
+
+TEST(IntervalSpace, FullInterval) {
+  IntervalSpace sp(5);
+  auto [k, m] = sp.interval(sp.full_interval_id());
+  EXPECT_EQ(k, 0u);
+  EXPECT_EQ(m, 4u);
+}
+
+TEST(IntervalSpace, RejectsBadArguments) {
+  IntervalSpace sp(4);
+  EXPECT_THROW((void)sp.interval_id(2, 1), std::out_of_range);
+  EXPECT_THROW((void)sp.interval_id(0, 4), std::out_of_range);
+  EXPECT_THROW((void)sp.task_id(1, 0, 2), std::out_of_range);
+  EXPECT_THROW((void)sp.task_id(0, 2, 2), std::out_of_range);
+  EXPECT_THROW(IntervalSpace(0), std::invalid_argument);
+}
+
+TEST(IntervalSpace, SingleParticipantDegenerate) {
+  IntervalSpace sp(1);
+  EXPECT_EQ(sp.num_intervals(), 1u);
+  EXPECT_EQ(sp.num_tasks(), 0u);
+  EXPECT_EQ(sp.full_interval_id(), sp.interval_id(0, 0));
+}
+
+}  // namespace
+}  // namespace ssco::core

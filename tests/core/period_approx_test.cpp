@@ -1,0 +1,91 @@
+#include "core/period_approx.h"
+
+#include <gtest/gtest.h>
+
+#include "core/integralize.h"
+#include "core/reduce_lp.h"
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using num::BigInt;
+using testing::R;
+
+TreeDecomposition fig9_decomposition(platform::ReduceInstance& inst) {
+  inst = platform::fig9_tiers();
+  ReduceSolution sol = solve_reduce(inst);
+  return extract_trees(inst, sol);
+}
+
+TEST(PeriodApprox, LossBoundHolds) {
+  platform::ReduceInstance inst;
+  TreeDecomposition d = fig9_decomposition(inst);
+  for (std::int64_t t : {10, 100, 1000, 100000}) {
+    PeriodApproximation approx = approximate_period(d, Rational(t));
+    EXPECT_LE(approx.achieved_throughput, d.total_weight);
+    EXPECT_GE(approx.achieved_throughput,
+              d.total_weight - approx.loss_bound)
+        << "T_fixed = " << t;
+    EXPECT_EQ(approx.loss_bound,
+              Rational(static_cast<std::int64_t>(d.trees.size()), t));
+  }
+}
+
+TEST(PeriodApprox, ConvergesToOptimal) {
+  platform::ReduceInstance inst;
+  TreeDecomposition d = fig9_decomposition(inst);
+  Rational prev_gap(-1);
+  // Loss shrinks as the fixed period grows through powers of ten.
+  Rational gap10 = d.total_weight -
+                   approximate_period(d, R("10")).achieved_throughput;
+  Rational gap10000 = d.total_weight -
+                      approximate_period(d, R("10000")).achieved_throughput;
+  (void)prev_gap;
+  EXPECT_LE(gap10000, gap10);
+}
+
+TEST(PeriodApprox, ExactWhenPeriodIsMultipleOfLcm) {
+  // With T_fixed = the exact integral period, no rounding happens.
+  auto inst = platform::fig6_triangle();
+  ReduceSolution sol = solve_reduce(inst);
+  TreeDecomposition d = extract_trees(inst, sol);
+  std::vector<Rational> weights;
+  for (const auto& t : d.trees) weights.push_back(t.weight);
+  Rational exact_period{Rational(integral_period(weights))};
+  PeriodApproximation approx = approximate_period(d, exact_period);
+  EXPECT_EQ(approx.achieved_throughput, d.total_weight);
+}
+
+TEST(PeriodApprox, OperationCountsAreFloors) {
+  platform::ReduceInstance inst;
+  TreeDecomposition d = fig9_decomposition(inst);
+  Rational t_fixed(1000);
+  PeriodApproximation approx = approximate_period(d, t_fixed);
+  ASSERT_EQ(approx.operations.size(), d.trees.size());
+  for (std::size_t i = 0; i < d.trees.size(); ++i) {
+    Rational exact = d.trees[i].weight * t_fixed;
+    EXPECT_LE(Rational(approx.operations[i]), exact);
+    EXPECT_GT(Rational(approx.operations[i]) + Rational(1), exact);
+  }
+}
+
+TEST(PeriodApprox, RejectsNonPositivePeriod) {
+  platform::ReduceInstance inst;
+  TreeDecomposition d = fig9_decomposition(inst);
+  EXPECT_THROW(approximate_period(d, R("0")), std::invalid_argument);
+  EXPECT_THROW(approximate_period(d, R("-5")), std::invalid_argument);
+}
+
+TEST(PeriodApprox, TinyPeriodCanDropToZeroThroughput) {
+  platform::ReduceInstance inst;
+  TreeDecomposition d = fig9_decomposition(inst);
+  // With TP ~ 1/6 split over a few trees, a period of 1 floors every count
+  // to 0 — the honest outcome the bound predicts.
+  PeriodApproximation approx = approximate_period(d, R("1"));
+  EXPECT_GE(approx.achieved_throughput, R("0"));
+  EXPECT_LE(approx.achieved_throughput, d.total_weight);
+}
+
+}  // namespace
+}  // namespace ssco::core

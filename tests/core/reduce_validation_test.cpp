@@ -1,0 +1,182 @@
+// Systematic failure injection for ReduceSolution::validate: every class of
+// constraint in SSR(G) gets one targeted mutation of a known-valid solution,
+// and the validator must name the violated family. This guards against the
+// validator silently weakening — it is the referee for every other reduce
+// test.
+
+#include <gtest/gtest.h>
+
+#include "core/reduce_lp.h"
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using testing::R;
+
+class ReduceValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    inst_ = platform::fig6_triangle();
+    sol_ = solve_reduce(inst_);
+    ASSERT_EQ(sol_.validate(inst_), "");
+  }
+
+  /// First (interval, edge) with positive send value.
+  std::pair<std::size_t, graph::EdgeId> some_send() {
+    for (std::size_t iv = 0; iv < sol_.send.size(); ++iv) {
+      for (graph::EdgeId e = 0; e < sol_.send[iv].size(); ++e) {
+        if (sol_.send[iv][e].signum() > 0) return {iv, e};
+      }
+    }
+    ADD_FAILURE() << "no positive send in solution";
+    return {0, 0};
+  }
+
+  /// First (node, task) with positive cons value.
+  std::pair<graph::NodeId, std::size_t> some_cons() {
+    for (graph::NodeId n = 0; n < sol_.cons.size(); ++n) {
+      for (std::size_t t = 0; t < sol_.cons[n].size(); ++t) {
+        if (sol_.cons[n][t].signum() > 0) return {n, t};
+      }
+    }
+    ADD_FAILURE() << "no positive cons in solution";
+    return {0, 0};
+  }
+
+  platform::ReduceInstance inst_;
+  ReduceSolution sol_;
+};
+
+TEST_F(ReduceValidationTest, NegativeSendCaught) {
+  auto [iv, e] = some_send();
+  sol_.send[iv][e] = R("-1/7");
+  EXPECT_NE(sol_.validate(inst_).find("negative send"), std::string::npos);
+}
+
+TEST_F(ReduceValidationTest, NegativeConsCaught) {
+  auto [n, t] = some_cons();
+  sol_.cons[n][t] = R("-1/7");
+  EXPECT_NE(sol_.validate(inst_).find("negative cons"), std::string::npos);
+}
+
+TEST_F(ReduceValidationTest, ConservationBreakCaught) {
+  // Halve first: at the optimum every port is saturated, so the bump below
+  // would trip the one-port check before the conservation check.
+  for (auto& per_edge : sol_.send) {
+    for (auto& v : per_edge) v *= R("1/2");
+  }
+  for (auto& per_task : sol_.cons) {
+    for (auto& v : per_task) v *= R("1/2");
+  }
+  sol_.throughput *= R("1/2");
+  ASSERT_EQ(sol_.validate(inst_), "");
+  auto [iv, e] = some_send();
+  sol_.send[iv][e] += R("1/100");
+  EXPECT_NE(sol_.validate(inst_).find("conservation"), std::string::npos);
+}
+
+TEST_F(ReduceValidationTest, ThroughputMismatchCaught) {
+  sol_.throughput += R("1/100");
+  std::string err = sol_.validate(inst_);
+  EXPECT_NE(err.find("!= TP"), std::string::npos) << err;
+}
+
+TEST_F(ReduceValidationTest, OnePortOverflowCaught) {
+  // Inflate the whole solution: all conservation stays balanced, but ports
+  // overflow. Scale by 3 (fig6 saturates two out-ports at TP = 1).
+  for (auto& per_edge : sol_.send) {
+    for (auto& v : per_edge) v *= R("3");
+  }
+  for (auto& per_task : sol_.cons) {
+    for (auto& v : per_task) v *= R("3");
+  }
+  sol_.throughput *= R("3");
+  EXPECT_NE(sol_.validate(inst_).find("one-port"), std::string::npos);
+}
+
+TEST_F(ReduceValidationTest, ComputeOverloadCaught) {
+  // Add a balanced self-canceling compute load: run T(0,0,1) AND consume
+  // the product via... simpler: overload by adding epsilon-free work both
+  // producing and consuming v[0,1] on node 1 is impossible without breaking
+  // conservation, so instead drive the CPU over 1 by scaling cons of a
+  // cheap solution... build a custom instance where compute binds first.
+  platform::PlatformBuilder b;
+  auto p0 = b.add_node("P0", R("1"));
+  auto p1 = b.add_node("P1", R("1/4"));  // slow CPU: merge takes 4
+  b.add_link(p0, p1, R("1"));
+  platform::ReduceInstance inst;
+  inst.platform = b.build();
+  inst.participants = {p0, p1};
+  inst.target = p1;
+  ReduceLpOptions options;
+  options.compute_nodes = {p1};
+  ReduceSolution sol = solve_reduce(inst, options);
+  ASSERT_EQ(sol.validate(inst), "");
+  // Double everything: port busy reaches 1/2, compute reaches 2 > 1.
+  for (auto& per_edge : sol.send) {
+    for (auto& v : per_edge) v *= R("2");
+  }
+  for (auto& per_task : sol.cons) {
+    for (auto& v : per_task) v *= R("2");
+  }
+  sol.throughput *= R("2");
+  EXPECT_NE(sol.validate(inst).find("compute load"), std::string::npos);
+}
+
+TEST_F(ReduceValidationTest, TableShapeMismatchesCaught) {
+  {
+    ReduceSolution broken = sol_;
+    broken.send.pop_back();
+    EXPECT_NE(broken.validate(inst_).find("send table"), std::string::npos);
+  }
+  {
+    ReduceSolution broken = sol_;
+    broken.send[0].pop_back();
+    EXPECT_NE(broken.validate(inst_).find("send row"), std::string::npos);
+  }
+  {
+    ReduceSolution broken = sol_;
+    broken.cons.pop_back();
+    EXPECT_NE(broken.validate(inst_).find("cons table"), std::string::npos);
+  }
+  {
+    ReduceSolution broken = sol_;
+    broken.cons[0].pop_back();
+    EXPECT_NE(broken.validate(inst_).find("cons row"), std::string::npos);
+  }
+  {
+    ReduceSolution broken = sol_;
+    broken.num_participants = 99;
+    EXPECT_NE(broken.validate(inst_).find("participant count"),
+              std::string::npos);
+  }
+}
+
+TEST_F(ReduceValidationTest, UselessCycleIsLegalButPrunable) {
+  // Halve the optimum (ports gain slack), then add a send cycle of v[1,1]
+  // through 1 -> 0 -> 1: every constraint stays satisfied (the paper's
+  // constraints do not forbid circulation) — validate() accepts,
+  // prune_cycles removes it, and validation still passes.
+  for (auto& per_edge : sol_.send) {
+    for (auto& v : per_edge) v *= R("1/2");
+  }
+  for (auto& per_task : sol_.cons) {
+    for (auto& v : per_task) v *= R("1/2");
+  }
+  sol_.throughput *= R("1/2");
+  ASSERT_EQ(sol_.validate(inst_), "");
+
+  const auto& g = inst_.platform.graph();
+  const IntervalSpace sp(3);
+  std::size_t iv = sp.interval_id(1, 1);
+  sol_.send[iv][g.find_edge(1, 0)] += R("1/10");
+  sol_.send[iv][g.find_edge(0, 1)] += R("1/10");
+  EXPECT_EQ(sol_.validate(inst_), "");
+  sol_.prune_cycles(inst_);
+  EXPECT_EQ(sol_.validate(inst_), "");
+  EXPECT_TRUE(sol_.send[iv][g.find_edge(1, 0)].is_zero());
+}
+
+}  // namespace
+}  // namespace ssco::core

@@ -1,0 +1,129 @@
+#include "core/reduction_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/intervals.h"
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using testing::R;
+
+/// The Fig. 5 schedule as a reduction tree: P2 sends v2 to P1; P1 merges
+/// T(1,1,2); P0 sends v0 to P1; P1 merges T(0,0,2); P1 ships v[0,2] to P0.
+ReductionTree fig5_tree(const platform::ReduceInstance& inst) {
+  const IntervalSpace sp(3);
+  const auto& g = inst.platform.graph();
+  ReductionTree tree;
+  tree.weight = R("1");
+  tree.tasks.push_back(
+      TreeTask::transfer(g.find_edge(2, 1), sp.interval_id(2, 2)));
+  tree.tasks.push_back(TreeTask::compute(1, sp.task_id(1, 1, 2)));
+  tree.tasks.push_back(
+      TreeTask::transfer(g.find_edge(0, 1), sp.interval_id(0, 0)));
+  tree.tasks.push_back(TreeTask::compute(1, sp.task_id(0, 0, 2)));
+  tree.tasks.push_back(
+      TreeTask::transfer(g.find_edge(1, 0), sp.interval_id(0, 2)));
+  return tree;
+}
+
+TEST(ReductionTree, Fig5TreeIsValid) {
+  auto inst = platform::fig6_triangle();
+  EXPECT_EQ(fig5_tree(inst).validate(inst), "");
+}
+
+TEST(ReductionTree, MissingProducerDetected) {
+  auto inst = platform::fig6_triangle();
+  ReductionTree tree = fig5_tree(inst);
+  tree.tasks.erase(tree.tasks.begin());  // drop the v2 transfer
+  EXPECT_NE(tree.validate(inst), "");
+}
+
+TEST(ReductionTree, UnusedProductionDetected) {
+  auto inst = platform::fig6_triangle();
+  const IntervalSpace sp(3);
+  ReductionTree tree = fig5_tree(inst);
+  // An extra merge whose product nobody consumes.
+  tree.tasks.push_back(TreeTask::compute(2, sp.task_id(1, 1, 2)));
+  EXPECT_NE(tree.validate(inst), "");
+}
+
+TEST(ReductionTree, TransferCycleDetected) {
+  auto inst = platform::fig6_triangle();
+  const IntervalSpace sp(3);
+  const auto& g = inst.platform.graph();
+  ReductionTree tree = fig5_tree(inst);
+  // v[2,2] loops 1 -> 2 -> 1 on top of the valid tree: balances cancel but
+  // the chain is cyclic.
+  tree.tasks.push_back(
+      TreeTask::transfer(g.find_edge(1, 2), sp.interval_id(2, 2)));
+  tree.tasks.push_back(
+      TreeTask::transfer(g.find_edge(2, 1), sp.interval_id(2, 2)));
+  std::string err = tree.validate(inst);
+  EXPECT_NE(err, "");
+}
+
+TEST(ReductionTree, ForkDetected) {
+  auto inst = platform::fig6_triangle();
+  const IntervalSpace sp(3);
+  const auto& g = inst.platform.graph();
+  ReductionTree tree;
+  tree.weight = R("1");
+  // v[1,1] leaves node 1 along two edges: a value cannot be in two places.
+  tree.tasks.push_back(
+      TreeTask::transfer(g.find_edge(1, 0), sp.interval_id(1, 1)));
+  tree.tasks.push_back(
+      TreeTask::transfer(g.find_edge(1, 2), sp.interval_id(1, 1)));
+  EXPECT_NE(tree.validate(inst), "");
+}
+
+TEST(ReductionTree, RejectsBadIds) {
+  auto inst = platform::fig6_triangle();
+  ReductionTree tree;
+  tree.tasks.push_back(TreeTask::transfer(999, 0));
+  EXPECT_NE(tree.validate(inst), "");
+  tree.tasks.clear();
+  tree.tasks.push_back(TreeTask::compute(999, 0));
+  EXPECT_NE(tree.validate(inst), "");
+}
+
+TEST(ReductionTree, BottleneckTimeManualComputation) {
+  auto inst = platform::fig6_triangle();
+  ReductionTree tree = fig5_tree(inst);
+  // Node 1: receives 2 messages (cost 1 each) -> in busy 2; sends 1 -> out 1;
+  // computes 2 tasks at speed 1 -> cpu 2. Node 0: out 1, in 1, cpu 0;
+  // node 2: out 1. Worst: 2.
+  EXPECT_EQ(tree.bottleneck_time(inst), R("2"));
+}
+
+TEST(ReductionTree, BottleneckScalesWithMessageSize) {
+  auto inst = platform::fig6_triangle();
+  inst.message_size = R("5");
+  ReductionTree tree = fig5_tree(inst);
+  // in-busy of node 1 becomes 10; cpu stays 2.
+  EXPECT_EQ(tree.bottleneck_time(inst), R("10"));
+}
+
+TEST(ReductionTree, ToStringListsTasks) {
+  auto inst = platform::fig6_triangle();
+  std::string text = fig5_tree(inst).to_string(inst);
+  EXPECT_NE(text.find("transfer [2,2]  2 -> 1"), std::string::npos);
+  EXPECT_NE(text.find("cons[1,1,2] in node 1"), std::string::npos);
+  EXPECT_NE(text.find("transfer [0,2]  1 -> 0"), std::string::npos);
+}
+
+TEST(ReductionTree, SingletonSupplyNeverOverProduced) {
+  auto inst = platform::fig6_triangle();
+  const IntervalSpace sp(3);
+  const auto& g = inst.platform.graph();
+  ReductionTree tree = fig5_tree(inst);
+  // Shipping v[1,1] INTO its owner node 1 makes the supply balance positive.
+  tree.tasks.push_back(
+      TreeTask::transfer(g.find_edge(2, 1), sp.interval_id(1, 1)));
+  std::string err = tree.validate(inst);
+  EXPECT_NE(err, "");
+}
+
+}  // namespace
+}  // namespace ssco::core

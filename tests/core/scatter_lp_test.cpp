@@ -1,0 +1,180 @@
+#include "core/scatter_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/scatter_trees.h"
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using testing::R;
+
+TEST(ScatterLp, Fig2ToyThroughputIsOneHalf) {
+  // The headline number of paper Sec. 3.2.
+  auto inst = platform::fig2_toy();
+  MultiFlow flow = solve_scatter(inst);
+  EXPECT_EQ(flow.throughput, R("1/2"));
+  EXPECT_TRUE(flow.certified);
+  EXPECT_EQ(flow.validate(inst.platform), "");
+}
+
+TEST(ScatterLp, Fig2AllM1TrafficThroughPb) {
+  // P1 is reachable only via Pb: the whole m1 stream must cross Ps->Pb and
+  // Pb->P1 at rate TP.
+  auto inst = platform::fig2_toy();
+  MultiFlow flow = solve_scatter(inst);
+  const auto& g = inst.platform.graph();
+  const CommodityFlow& m1 = flow.commodities[1];
+  EXPECT_EQ(m1.edge_flow[g.find_edge(0, 2)], R("1/2"));
+  EXPECT_EQ(m1.edge_flow[g.find_edge(2, 4)], R("1/2"));
+  EXPECT_TRUE(m1.edge_flow[g.find_edge(0, 1)].is_zero());
+}
+
+TEST(ScatterLp, Fig2SourcePortSaturated) {
+  // TP = 1/2 is forced by Ps's out-port: 2 messages per operation, cost 1
+  // each. The LP must saturate it exactly.
+  auto inst = platform::fig2_toy();
+  MultiFlow flow = solve_scatter(inst);
+  auto occ = flow.edge_occupation(inst.platform);
+  const auto& g = inst.platform.graph();
+  Rational source_busy =
+      occ[g.find_edge(0, 1)] + occ[g.find_edge(0, 2)];
+  EXPECT_EQ(source_busy, R("1"));
+}
+
+TEST(ScatterLp, StarIsBoundedBySourcePort) {
+  // Star hub scattering to n-1 leaves with cost c: TP = 1/((n-1) c).
+  platform::ScatterInstance inst;
+  platform::PlatformBuilder b;
+  auto hub = b.add_node("hub");
+  for (int i = 0; i < 4; ++i) {
+    auto leaf = b.add_node();
+    b.add_link(hub, leaf, R("1/2"));
+    inst.targets.push_back(leaf);
+  }
+  inst.platform = b.build();
+  inst.source = hub;
+  MultiFlow flow = solve_scatter(inst);
+  EXPECT_EQ(flow.throughput, R("1/2"));  // 4 messages * 1/2 per operation
+}
+
+TEST(ScatterLp, ChainThroughputSetByFirstHop) {
+  // 0 -> 1 -> 2 with costs 1 then 1/2; two targets. Source port: each op
+  // sends m1+m2 over edge 0->1: busy 2 -> TP = 1/2. Node 1's out-port only
+  // carries m2 at cost 1/2: not binding.
+  platform::ScatterInstance inst;
+  platform::PlatformBuilder b;
+  auto n0 = b.add_node();
+  auto n1 = b.add_node();
+  auto n2 = b.add_node();
+  b.add_directed_link(n0, n1, R("1"));
+  b.add_directed_link(n1, n2, R("1/2"));
+  inst.platform = b.build();
+  inst.source = n0;
+  inst.targets = {n1, n2};
+  MultiFlow flow = solve_scatter(inst);
+  EXPECT_EQ(flow.throughput, R("1/2"));
+}
+
+TEST(ScatterLp, MessageSizeScalesThroughputInversely) {
+  auto inst = platform::fig2_toy();
+  inst.message_size = R("2");
+  MultiFlow flow = solve_scatter(inst);
+  EXPECT_EQ(flow.throughput, R("1/4"));
+}
+
+TEST(ScatterLp, MultipathBeatsAnySinglePath) {
+  // Diamond: source 0, relays 1 and 2, target 3; all links cost 1. A single
+  // path gives TP = 1/2 (source out-port saturated by... actually 1 message
+  // per op, cost 1 -> 1); multipath cannot help a single commodity beyond
+  // the in-port bound of 1... use two targets at 3,4 hanging under both
+  // relays to see multipath win.
+  platform::PlatformBuilder b;
+  auto s = b.add_node("s");
+  auto r1 = b.add_node();
+  auto r2 = b.add_node();
+  auto t1 = b.add_node();
+  auto t2 = b.add_node();
+  b.add_directed_link(s, r1, R("1/2"));
+  b.add_directed_link(s, r2, R("1/2"));
+  b.add_directed_link(r1, t1, R("1"));
+  b.add_directed_link(r2, t1, R("1"));
+  b.add_directed_link(r1, t2, R("1"));
+  b.add_directed_link(r2, t2, R("1"));
+  platform::ScatterInstance inst;
+  inst.platform = b.build();
+  inst.source = s;
+  inst.targets = {t1, t2};
+
+  MultiFlow flow = solve_scatter(inst);
+  auto single = baselines::scatter_shortest_path(inst);
+  auto greedy = baselines::scatter_greedy_congestion(inst);
+  EXPECT_GE(flow.throughput, single.throughput);
+  EXPECT_GE(flow.throughput, greedy.throughput);
+  // Each target's in-port can absorb 1 msg/unit from two cost-1 links ->
+  // TP = 1 with a 50/50 split; any fixed single path caps at 1/... the
+  // shared relay out-port (2 msgs * 1) = 1/2... greedy splits across relays
+  // and reaches 1 as well only if it balances; assert the LP hits 1.
+  EXPECT_EQ(flow.throughput, R("1"));
+  EXPECT_LE(single.throughput, R("1/2"));
+}
+
+TEST(ScatterLp, RejectsMalformedInstances) {
+  auto inst = platform::fig2_toy();
+  auto bad = inst;
+  bad.targets.push_back(inst.targets[0]);
+  EXPECT_THROW(solve_scatter(bad), std::invalid_argument);
+  bad = inst;
+  bad.targets = {inst.source};
+  EXPECT_THROW(solve_scatter(bad), std::invalid_argument);
+  bad = inst;
+  bad.targets.clear();
+  EXPECT_THROW(solve_scatter(bad), std::invalid_argument);
+  bad = inst;
+  bad.message_size = R("0");
+  EXPECT_THROW(solve_scatter(bad), std::invalid_argument);
+}
+
+TEST(ScatterLp, RejectsUnreachableTarget) {
+  platform::PlatformBuilder b;
+  auto s = b.add_node();
+  b.add_node();  // isolated
+  auto t = b.add_node();
+  b.add_directed_link(s, t, R("1"));
+  platform::ScatterInstance inst;
+  inst.platform = b.build();
+  inst.source = s;
+  inst.targets = {1};
+  EXPECT_THROW(solve_scatter(inst), std::invalid_argument);
+}
+
+TEST(ScatterLp, BuildExposesModelShape) {
+  auto inst = platform::fig2_toy();
+  lp::Model model = build_scatter_lp(inst);
+  // TP + send variables; conservation + throughput + one-port rows.
+  EXPECT_GT(model.num_variables(), 5u);
+  EXPECT_GT(model.num_rows(), 5u);
+}
+
+// Property sweep over random platforms: the solution always validates and
+// dominates the fixed-route baselines.
+class ScatterLpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScatterLpPropertyTest, ValidatesAndDominatesBaselines) {
+  auto inst = testing::random_scatter_instance(GetParam(), 8, 3);
+  MultiFlow flow = solve_scatter(inst);
+  EXPECT_TRUE(flow.certified);
+  EXPECT_EQ(flow.validate(inst.platform), "");
+  EXPECT_GT(flow.throughput, R("0"));
+  auto single = baselines::scatter_shortest_path(inst);
+  auto greedy = baselines::scatter_greedy_congestion(inst);
+  EXPECT_GE(flow.throughput, single.throughput);
+  EXPECT_GE(flow.throughput, greedy.throughput);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPlatforms, ScatterLpPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ssco::core

@@ -1,0 +1,110 @@
+#include "core/tree_extract.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reduce_lp.h"
+#include "testing/util.h"
+
+namespace ssco::core {
+namespace {
+
+using testing::R;
+
+TEST(TreeExtract, Fig6DecomposesExactly) {
+  auto inst = platform::fig6_triangle();
+  ReduceSolution sol = solve_reduce(inst);
+  TreeDecomposition d = extract_trees(inst, sol);
+  EXPECT_EQ(d.total_weight, sol.throughput);
+  EXPECT_EQ(d.verify_reconstitution(inst, sol), "");
+  for (const ReductionTree& t : d.trees) {
+    EXPECT_EQ(t.validate(inst), "");
+    EXPECT_GT(t.weight, R("0"));
+  }
+}
+
+TEST(TreeExtract, Fig9TiersSmallFamilyWithinTheoremBound) {
+  auto inst = platform::fig9_tiers();
+  ReduceSolution sol = solve_reduce(inst);
+  TreeDecomposition d = extract_trees(inst, sol);
+  EXPECT_EQ(d.total_weight, sol.throughput);
+  EXPECT_EQ(d.verify_reconstitution(inst, sol), "");
+  const std::size_t n = inst.platform.num_nodes();
+  EXPECT_LE(d.trees.size(), 2 * n * n * n * n);  // Theorem 1
+  // The paper finds 2 trees on its instance; ours stays a handful.
+  EXPECT_LE(d.trees.size(), 10u);
+  for (const ReductionTree& t : d.trees) {
+    EXPECT_EQ(t.validate(inst), "");
+  }
+}
+
+TEST(TreeExtract, EveryTreeEndsAtTarget) {
+  auto inst = platform::fig6_triangle();
+  ReduceSolution sol = solve_reduce(inst);
+  TreeDecomposition d = extract_trees(inst, sol);
+  const IntervalSpace sp(inst.participants.size());
+  for (const ReductionTree& t : d.trees) {
+    // The root is produced: either a transfer of the full interval into the
+    // target or a final merge on the target.
+    bool root_produced = false;
+    for (const TreeTask& task : t.tasks) {
+      if (task.kind == TreeTask::Kind::kTransfer &&
+          task.interval == sp.full_interval_id() &&
+          inst.platform.graph().edge(task.edge).dst == inst.target) {
+        root_produced = true;
+      }
+      if (task.kind == TreeTask::Kind::kCompute && task.node == inst.target) {
+        auto [k, l, m] = sp.task(task.task);
+        if (k == 0 && m == sp.n() - 1) root_produced = true;
+      }
+    }
+    EXPECT_TRUE(root_produced);
+  }
+}
+
+TEST(TreeExtract, ThrowsOnBrokenConservation) {
+  auto inst = platform::fig6_triangle();
+  ReduceSolution sol = solve_reduce(inst);
+  // Tamper: erase all compute on node holding the final merges while
+  // keeping throughput — FIND_TREE must hit a dead end.
+  for (auto& per_task : sol.cons) {
+    for (auto& v : per_task) v = Rational(0);
+  }
+  for (auto& per_edge : sol.send) {
+    for (auto& v : per_edge) v = Rational(0);
+  }
+  EXPECT_THROW(extract_trees(inst, sol), std::logic_error);
+}
+
+TEST(TreeExtract, WeightsArePositiveAndSumExactly) {
+  auto inst = platform::fig9_tiers();
+  ReduceSolution sol = solve_reduce(inst);
+  TreeDecomposition d = extract_trees(inst, sol);
+  Rational sum(0);
+  for (const ReductionTree& t : d.trees) {
+    EXPECT_GT(t.weight, R("0"));
+    sum += t.weight;
+  }
+  EXPECT_EQ(sum, sol.throughput);
+}
+
+class TreeExtractPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeExtractPropertyTest, RandomInstancesDecompose) {
+  auto inst = testing::random_reduce_instance(GetParam(), 7, 4);
+  ReduceSolution sol = solve_reduce(inst);
+  TreeDecomposition d = extract_trees(inst, sol);
+  EXPECT_EQ(d.total_weight, sol.throughput);
+  EXPECT_EQ(d.verify_reconstitution(inst, sol), "");
+  const std::size_t n = inst.platform.num_nodes();
+  EXPECT_LE(d.trees.size(), 2 * n * n * n * n);
+  for (const ReductionTree& t : d.trees) {
+    EXPECT_EQ(t.validate(inst), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeExtractPropertyTest,
+                         ::testing::Values(1, 3, 5, 7, 9, 11, 13, 15));
+
+}  // namespace
+}  // namespace ssco::core

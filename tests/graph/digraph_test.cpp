@@ -1,0 +1,87 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::graph {
+namespace {
+
+TEST(Digraph, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EdgeId e01 = g.add_edge(0, 1);
+  EdgeId e12 = g.add_edge(1, 2);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(e01).src, 0u);
+  EXPECT_EQ(g.edge(e01).dst, 1u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.in_degree(2), 1u);
+  EXPECT_EQ(g.find_edge(1, 2), e12);
+  EXPECT_EQ(g.find_edge(2, 1), kInvalidId);
+}
+
+TEST(Digraph, DirectionalityMatters) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, BidirectionalAddsBoth) {
+  Digraph g(2);
+  EdgeId forward = g.add_bidirectional(0, 1);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(forward).src, 0u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(Digraph, RejectsSelfLoop) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+}
+
+TEST(Digraph, RejectsParallelEdge) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+}
+
+TEST(Digraph, RejectsOutOfRange) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(5, 0), std::out_of_range);
+}
+
+TEST(Digraph, AdjacencySpansAreConsistent) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(2, 0);
+  auto out = g.out_edges(0);
+  EXPECT_EQ(out.size(), 3u);
+  for (EdgeId e : out) EXPECT_EQ(g.edge(e).src, 0u);
+  auto in = g.in_edges(0);
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(g.edge(in[0]).src, 2u);
+}
+
+TEST(Digraph, IncrementalNodeAddition) {
+  Digraph g;
+  NodeId a = g.add_node();
+  NodeId b = g.add_node();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  g.add_nodes(3);
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+}  // namespace
+}  // namespace ssco::graph

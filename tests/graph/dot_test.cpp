@@ -1,0 +1,58 @@
+#include "graph/dot.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::graph {
+namespace {
+
+TEST(Dot, BasicStructure) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("dir=forward"), std::string::npos);
+}
+
+TEST(Dot, SymmetricEdgesMerge) {
+  Digraph g(2);
+  g.add_bidirectional(0, 1);
+  DotOptions options;
+  options.edge_label = {"1/2", "1/2"};
+  std::string dot = to_dot(g, options);
+  // One rendered edge with dir=none, not two.
+  EXPECT_NE(dot.find("dir=none"), std::string::npos);
+  EXPECT_EQ(dot.find("n1 -> n0"), std::string::npos);
+}
+
+TEST(Dot, AsymmetricLabelsStaySeparate) {
+  Digraph g(2);
+  g.add_bidirectional(0, 1);
+  DotOptions options;
+  options.edge_label = {"fast", "slow"};
+  std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n0"), std::string::npos);
+  EXPECT_EQ(dot.find("dir=none"), std::string::npos);
+}
+
+TEST(Dot, NodeLabelsAndColors) {
+  Digraph g(2);
+  DotOptions options;
+  options.node_label = {"source", "target"};
+  options.node_color = {"", "gray"};
+  std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("\"source\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"gray\""), std::string::npos);
+}
+
+TEST(Dot, QuotesEscaped) {
+  Digraph g(1);
+  DotOptions options;
+  options.node_label = {"a\"b"};
+  std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssco::graph

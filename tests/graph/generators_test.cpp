@@ -1,0 +1,123 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/paths.h"
+
+namespace ssco::graph {
+namespace {
+
+TEST(Generators, CompleteCounts) {
+  Digraph g = complete(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u * 4u);  // directed pairs
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(g.out_degree(i), 4u);
+    EXPECT_EQ(g.in_degree(i), 4u);
+  }
+}
+
+TEST(Generators, StarShape) {
+  Digraph g = star(6);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.out_degree(0), 5u);
+  for (NodeId i = 1; i < 6; ++i) {
+    EXPECT_EQ(g.out_degree(i), 1u);
+    EXPECT_TRUE(g.has_edge(0, i));
+    EXPECT_TRUE(g.has_edge(i, 0));
+  }
+  EXPECT_THROW(star(0), std::invalid_argument);
+}
+
+TEST(Generators, ChainShape) {
+  Digraph g = chain(4);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(chain(1).num_edges(), 0u);
+}
+
+TEST(Generators, RingShape) {
+  Digraph g = ring(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_THROW(ring(2), std::invalid_argument);
+}
+
+TEST(Generators, GridShape) {
+  Digraph g = grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // 3*3 horizontal + 2*4 vertical physical links, two directed edges each.
+  EXPECT_EQ(g.num_edges(), 2u * (3u * 3u + 2u * 4u));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(3, 4));  // row wrap must not exist
+  EXPECT_THROW(grid(0, 3), std::invalid_argument);
+}
+
+TEST(Generators, HypercubeShape) {
+  Digraph g = hypercube(3);
+  EXPECT_EQ(g.num_nodes(), 8u);
+  EXPECT_EQ(g.num_edges(), 2u * 12u);
+  for (NodeId i = 0; i < 8; ++i) EXPECT_EQ(g.out_degree(i), 3u);
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_FALSE(g.has_edge(0, 3));  // differs in two bits
+}
+
+class RandomConnectedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomConnectedTest, AlwaysConnected) {
+  Rng rng(GetParam());
+  for (std::size_t n : {1u, 2u, 5u, 12u, 25u}) {
+    Digraph g = random_connected(n, 0.2, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_GE(g.num_edges(), 2 * (n - 1));  // at least the spanning tree
+    EXPECT_TRUE(is_strongly_connected(g));
+  }
+}
+
+TEST_P(RandomConnectedTest, Deterministic) {
+  Rng rng1(GetParam());
+  Rng rng2(GetParam());
+  Digraph a = random_connected(10, 0.3, rng1);
+  Digraph b = random_connected(10, 0.3, rng2);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).src, b.edge(e).src);
+    EXPECT_EQ(a.edge(e).dst, b.edge(e).dst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConnectedTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace ssco::graph

@@ -1,0 +1,110 @@
+#include "graph/paths.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ssco::graph {
+namespace {
+
+using num::Rational;
+
+TEST(Dijkstra, TriangleWithShortcut) {
+  // 0 -> 1 costs 1, 1 -> 2 costs 1, 0 -> 2 costs 5/2: best 0->2 is via 1.
+  Digraph g(3);
+  EdgeId e01 = g.add_edge(0, 1);
+  EdgeId e12 = g.add_edge(1, 2);
+  EdgeId e02 = g.add_edge(0, 2);
+  std::vector<Rational> cost(3);
+  cost[e01] = Rational(1);
+  cost[e12] = Rational(1);
+  cost[e02] = Rational(5, 2);
+  auto tree = dijkstra(g, cost, 0);
+  EXPECT_EQ(*tree.distance[2], Rational(2));
+  auto path = tree.path_to(2, g);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], e01);
+  EXPECT_EQ(path[1], e12);
+}
+
+TEST(Dijkstra, RationalWeightsExactComparison) {
+  // Two routes of total 1/3 + 1/6 = 1/2 versus 1/2 exactly: tie is fine, but
+  // 1/3 + 1/7 < 1/2 must be picked exactly.
+  Digraph g(3);
+  EdgeId a = g.add_edge(0, 1);
+  EdgeId b = g.add_edge(1, 2);
+  EdgeId c = g.add_edge(0, 2);
+  std::vector<Rational> cost(3);
+  cost[a] = Rational(1, 3);
+  cost[b] = Rational(1, 7);
+  cost[c] = Rational(1, 2);
+  auto tree = dijkstra(g, cost, 0);
+  EXPECT_EQ(*tree.distance[2], Rational(10, 21));
+}
+
+TEST(Dijkstra, UnreachableNodesReportNullopt) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  std::vector<Rational> cost{Rational(1)};
+  auto tree = dijkstra(g, cost, 0);
+  EXPECT_TRUE(tree.reachable(1));
+  EXPECT_FALSE(tree.reachable(2));
+  EXPECT_THROW(tree.path_to(2, g), std::invalid_argument);
+}
+
+TEST(Dijkstra, PathToSourceIsEmpty) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<Rational> cost{Rational(1)};
+  auto tree = dijkstra(g, cost, 0);
+  EXPECT_TRUE(tree.path_to(0, g).empty());
+}
+
+TEST(Dijkstra, RejectsNegativeCosts) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<Rational> cost{Rational(-1)};
+  EXPECT_THROW(dijkstra(g, cost, 0), std::invalid_argument);
+}
+
+TEST(Dijkstra, RejectsSizeMismatch) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  std::vector<Rational> cost;
+  EXPECT_THROW(dijkstra(g, cost, 0), std::invalid_argument);
+}
+
+TEST(Reachability, FollowsEdgeDirection) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 0);
+  auto seen = reachable_from(g, 0);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+}
+
+TEST(StrongConnectivity, DirectedRingIsStronglyConnected) {
+  Digraph g(4);
+  for (NodeId i = 0; i < 4; ++i) g.add_edge(i, (i + 1) % 4);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(StrongConnectivity, DirectedChainIsNot) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(StrongConnectivity, BidirectionalGeneratorsAre) {
+  EXPECT_TRUE(is_strongly_connected(complete(5)));
+  EXPECT_TRUE(is_strongly_connected(star(6)));
+  EXPECT_TRUE(is_strongly_connected(grid(3, 4)));
+  EXPECT_TRUE(is_strongly_connected(hypercube(3)));
+}
+
+}  // namespace
+}  // namespace ssco::graph

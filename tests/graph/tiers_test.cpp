@@ -1,0 +1,118 @@
+#include "graph/tiers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/paths.h"
+
+namespace ssco::graph {
+namespace {
+
+TEST(Tiers, StructureCounts) {
+  TiersParams params;
+  params.wan_nodes = 3;
+  params.mans_per_wan = 1;
+  params.man_nodes = 2;
+  params.lans_per_man = 1;
+  params.hosts_per_lan = 2;
+  Rng rng(11);
+  TiersTopology topo = tiers(params, rng);
+
+  const std::size_t expected_mans = 3 * 1 * 2;       // wan * mans * routers
+  const std::size_t expected_hosts = expected_mans * 1 * 2;
+  EXPECT_EQ(topo.graph.num_nodes(), 3 + expected_mans + expected_hosts);
+  EXPECT_EQ(topo.hosts.size(), expected_hosts);
+  EXPECT_EQ(topo.node_kind.size(), topo.graph.num_nodes());
+  EXPECT_EQ(topo.edge_level.size(), topo.graph.num_edges());
+
+  std::size_t wan_routers = 0, man_routers = 0, lan_hosts = 0;
+  for (TiersNodeKind k : topo.node_kind) {
+    if (k == TiersNodeKind::kWanRouter) ++wan_routers;
+    if (k == TiersNodeKind::kManRouter) ++man_routers;
+    if (k == TiersNodeKind::kLanHost) ++lan_hosts;
+  }
+  EXPECT_EQ(wan_routers, 3u);
+  EXPECT_EQ(man_routers, expected_mans);
+  EXPECT_EQ(lan_hosts, expected_hosts);
+}
+
+TEST(Tiers, AlwaysStronglyConnected) {
+  for (std::uint64_t seed : {1, 2, 3, 17, 99}) {
+    Rng rng(seed);
+    TiersParams params;
+    params.wan_nodes = 4;
+    params.man_nodes = 3;
+    params.hosts_per_lan = 2;
+    TiersTopology topo = tiers(params, rng);
+    EXPECT_TRUE(is_strongly_connected(topo.graph)) << "seed " << seed;
+  }
+}
+
+TEST(Tiers, HostsHangOffManRouters) {
+  Rng rng(7);
+  TiersTopology topo = tiers(TiersParams{}, rng);
+  for (NodeId host : topo.hosts) {
+    EXPECT_EQ(topo.node_kind[host], TiersNodeKind::kLanHost);
+    // Each host has exactly one uplink (a star leaf), to a MAN router.
+    ASSERT_EQ(topo.graph.out_degree(host), 1u);
+    NodeId router = topo.graph.edge(topo.graph.out_edges(host)[0]).dst;
+    EXPECT_EQ(topo.node_kind[router], TiersNodeKind::kManRouter);
+  }
+}
+
+TEST(Tiers, EdgeLevelsMatchEndpoints) {
+  Rng rng(13);
+  TiersTopology topo = tiers(TiersParams{}, rng);
+  for (EdgeId e = 0; e < topo.graph.num_edges(); ++e) {
+    const Edge& edge = topo.graph.edge(e);
+    TiersNodeKind a = topo.node_kind[edge.src];
+    TiersNodeKind b = topo.node_kind[edge.dst];
+    switch (topo.edge_level[e]) {
+      case TiersLinkLevel::kWan:
+        EXPECT_EQ(a, TiersNodeKind::kWanRouter);
+        EXPECT_EQ(b, TiersNodeKind::kWanRouter);
+        break;
+      case TiersLinkLevel::kWanMan:
+        EXPECT_TRUE((a == TiersNodeKind::kWanRouter &&
+                     b == TiersNodeKind::kManRouter) ||
+                    (a == TiersNodeKind::kManRouter &&
+                     b == TiersNodeKind::kWanRouter));
+        break;
+      case TiersLinkLevel::kMan:
+        EXPECT_EQ(a, TiersNodeKind::kManRouter);
+        EXPECT_EQ(b, TiersNodeKind::kManRouter);
+        break;
+      case TiersLinkLevel::kManLan:
+        EXPECT_TRUE((a == TiersNodeKind::kManRouter &&
+                     b == TiersNodeKind::kLanHost) ||
+                    (a == TiersNodeKind::kLanHost &&
+                     b == TiersNodeKind::kManRouter));
+        break;
+    }
+  }
+}
+
+TEST(Tiers, RejectsEmptyWan) {
+  Rng rng(1);
+  TiersParams params;
+  params.wan_nodes = 0;
+  EXPECT_THROW(tiers(params, rng), std::invalid_argument);
+}
+
+TEST(Tiers, PaperScaleInstance) {
+  // A configuration in the ballpark of Fig. 9: 14ish nodes, 8 hosts.
+  TiersParams params;
+  params.wan_nodes = 4;
+  params.mans_per_wan = 1;
+  params.man_nodes = 1;
+  params.lans_per_man = 1;
+  params.hosts_per_lan = 2;
+  Rng rng(4872);
+  TiersTopology topo = tiers(params, rng);
+  EXPECT_EQ(topo.hosts.size(), 8u);
+  EXPECT_TRUE(is_strongly_connected(topo.graph));
+}
+
+}  // namespace
+}  // namespace ssco::graph

@@ -1,0 +1,146 @@
+// Cross-operation consistency properties: relations between the different
+// steady-state LPs that must hold by construction of the model, checked
+// exactly. These catch builder bugs that single-operation tests cannot (a
+// wrong conservation exclusion typically still produces a plausible-looking
+// optimum).
+
+#include <gtest/gtest.h>
+
+#include "core/gossip_lp.h"
+#include "core/reduce_lp.h"
+#include "core/scatter_lp.h"
+#include "testing/util.h"
+
+namespace ssco {
+namespace {
+
+using num::Rational;
+using testing::R;
+
+class GossipScatterEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GossipScatterEquivalenceTest, SingleSourceGossipEqualsScatter) {
+  // SSPA2A with one source and the scatter's target set is exactly SSSP.
+  auto inst = testing::random_scatter_instance(GetParam(), 8, 3);
+  auto scatter = core::solve_scatter(inst);
+
+  platform::GossipInstance gossip;
+  gossip.platform = inst.platform;
+  gossip.sources = {inst.source};
+  gossip.targets = inst.targets;
+  gossip.message_size = inst.message_size;
+  auto gossiped = core::solve_gossip(gossip);
+
+  EXPECT_EQ(scatter.throughput, gossiped.throughput);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GossipScatterEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(CrossOperation, AllowingRoutersToComputeNeverHurtsReduce) {
+  // Widening the compute-node set relaxes the SSR LP, so TP can only grow.
+  // On Fig. 9 the routers are slow (speed 1, task time 10) but legal.
+  auto inst = platform::fig9_tiers();
+  auto restricted = core::solve_reduce(inst);
+
+  core::ReduceLpOptions all_nodes;
+  for (graph::NodeId n = 0; n < inst.platform.num_nodes(); ++n) {
+    all_nodes.compute_nodes.push_back(n);
+  }
+  auto relaxed = core::solve_reduce(inst, all_nodes);
+  EXPECT_GE(relaxed.throughput, restricted.throughput);
+  EXPECT_EQ(relaxed.validate(inst), "");
+}
+
+TEST(CrossOperation, RouterComputeHelpsOnRandomInstancesToo) {
+  for (std::uint64_t seed : {13, 26, 39}) {
+    auto inst = testing::random_reduce_instance(seed, 7, 4);
+    auto restricted = core::solve_reduce(inst);
+    core::ReduceLpOptions all_nodes;
+    for (graph::NodeId n = 0; n < inst.platform.num_nodes(); ++n) {
+      all_nodes.compute_nodes.push_back(n);
+    }
+    auto relaxed = core::solve_reduce(inst, all_nodes);
+    EXPECT_GE(relaxed.throughput, restricted.throughput) << "seed " << seed;
+  }
+}
+
+class ScalingLawTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalingLawTest, ScatterThroughputInverseInMessageSize) {
+  // Every SSSP constraint is linear in (size * flow), so TP(s) = TP(1)/s —
+  // exactly, not approximately.
+  auto inst = testing::random_scatter_instance(GetParam(), 7, 3);
+  inst.message_size = R("1");
+  Rational base = core::solve_scatter(inst).throughput;
+  for (const char* s : {"2", "7/3", "10"}) {
+    inst.message_size = R(s);
+    EXPECT_EQ(core::solve_scatter(inst).throughput, base / R(s));
+  }
+}
+
+TEST_P(ScalingLawTest, ScatterThroughputMonotoneInLinkSpeed) {
+  // Halving every link cost exactly doubles the optimum (uniform speedup);
+  // speeding up a single link can never hurt.
+  auto inst = testing::random_scatter_instance(GetParam(), 7, 3);
+  Rational base = core::solve_scatter(inst).throughput;
+
+  {
+    platform::ScatterInstance faster = inst;
+    graph::Digraph g = inst.platform.graph();
+    std::vector<Rational> costs;
+    for (graph::EdgeId e = 0; e < inst.platform.num_edges(); ++e) {
+      costs.push_back(inst.platform.edge_cost(e) / R("2"));
+    }
+    std::vector<Rational> speeds;
+    for (graph::NodeId n = 0; n < inst.platform.num_nodes(); ++n) {
+      speeds.push_back(inst.platform.node_speed(n));
+    }
+    faster.platform =
+        platform::Platform(std::move(g), std::move(costs), std::move(speeds));
+    EXPECT_EQ(core::solve_scatter(faster).throughput, base * R("2"));
+  }
+  {
+    platform::ScatterInstance one_faster = inst;
+    graph::Digraph g = inst.platform.graph();
+    std::vector<Rational> costs;
+    for (graph::EdgeId e = 0; e < inst.platform.num_edges(); ++e) {
+      costs.push_back(e == 0 ? inst.platform.edge_cost(e) / R("10")
+                             : inst.platform.edge_cost(e));
+    }
+    std::vector<Rational> speeds;
+    for (graph::NodeId n = 0; n < inst.platform.num_nodes(); ++n) {
+      speeds.push_back(inst.platform.node_speed(n));
+    }
+    one_faster.platform =
+        platform::Platform(std::move(g), std::move(costs), std::move(speeds));
+    EXPECT_GE(core::solve_scatter(one_faster).throughput, base);
+  }
+}
+
+TEST_P(ScalingLawTest, AddingATargetNeverIncreasesThroughput) {
+  // More targets = more rows sharing the same ports.
+  auto inst = testing::random_scatter_instance(GetParam(), 8, 2);
+  Rational two_targets = core::solve_scatter(inst).throughput;
+  inst.targets.push_back(5);  // node 5 is never among the last-2 targets
+  Rational three_targets = core::solve_scatter(inst).throughput;
+  EXPECT_LE(three_targets, two_targets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScalingLawTest,
+                         ::testing::Values(17, 34, 51, 68));
+
+TEST(CrossOperation, ReduceThroughputMonotoneInParticipants) {
+  // Reducing over a superset of participants (same target) cannot be faster:
+  // the longer chain strictly contains the shorter one's work.
+  auto inst = testing::random_reduce_instance(77, 8, 3);
+  Rational small = core::solve_reduce(inst).throughput;
+  platform::ReduceInstance bigger = inst;
+  bigger.participants.insert(bigger.participants.begin(), 0);  // new rank 0
+  Rational large = core::solve_reduce(bigger).throughput;
+  EXPECT_LE(large, small);
+}
+
+}  // namespace
+}  // namespace ssco

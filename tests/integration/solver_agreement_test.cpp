@@ -1,0 +1,84 @@
+// Cross-validation of the two independent exact solving paths: the certified
+// double-warm-start solver and the pure exact rational simplex must agree —
+// bit-for-bit on the objective — across randomized steady-state LPs of all
+// three operations. This is the strongest internal-consistency check the
+// library has: the two paths share only the Model.
+
+#include <gtest/gtest.h>
+
+#include "core/gossip_lp.h"
+#include "core/reduce_lp.h"
+#include "core/scatter_lp.h"
+#include "lp/exact_solver.h"
+#include "testing/util.h"
+
+namespace ssco {
+namespace {
+
+using lp::ExactSolver;
+using lp::solve_exact_simplex;
+using num::Rational;
+
+class ScatterAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScatterAgreementTest, CertifiedEqualsExactSimplex) {
+  auto inst = testing::random_scatter_instance(GetParam(), 7, 3);
+  lp::Model model = core::build_scatter_lp(inst);
+  auto certified = ExactSolver().solve(model);
+  auto pure = solve_exact_simplex(model);
+  ASSERT_EQ(certified.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(pure.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(certified.objective, pure.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScatterAgreementTest,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{9}));
+
+class GossipAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GossipAgreementTest, CertifiedEqualsExactSimplex) {
+  platform::GossipInstance inst;
+  inst.platform = testing::random_platform(GetParam(), 6);
+  inst.sources = {0, 1};
+  inst.targets = {4, 5};
+  lp::Model model = core::build_gossip_lp(inst);
+  auto certified = ExactSolver().solve(model);
+  auto pure = solve_exact_simplex(model);
+  ASSERT_EQ(certified.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(pure.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(certified.objective, pure.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GossipAgreementTest,
+                         ::testing::Values(10, 20, 30, 40));
+
+class ReduceAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReduceAgreementTest, CertifiedEqualsExactSimplex) {
+  auto inst = testing::random_reduce_instance(GetParam(), 6, 3);
+  lp::Model model = core::build_reduce_lp(inst);
+  auto certified = ExactSolver().solve(model);
+  auto pure = solve_exact_simplex(model);
+  ASSERT_EQ(certified.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(pure.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(certified.objective, pure.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReduceAgreementTest,
+                         ::testing::Values(5, 15, 25, 35));
+
+TEST(SolverAgreement, PaperInstances) {
+  {
+    auto model = core::build_scatter_lp(platform::fig2_toy());
+    EXPECT_EQ(ExactSolver().solve(model).objective,
+              solve_exact_simplex(model).objective);
+  }
+  {
+    auto model = core::build_reduce_lp(platform::fig6_triangle());
+    EXPECT_EQ(ExactSolver().solve(model).objective,
+              solve_exact_simplex(model).objective);
+  }
+}
+
+}  // namespace
+}  // namespace ssco

@@ -1,0 +1,62 @@
+#include "io/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reduce_lp.h"
+#include "core/tree_extract.h"
+#include "platform/paper_instances.h"
+
+namespace ssco::io {
+namespace {
+
+TEST(PlatformDot, RendersNamesSpeedsCostsAndHighlights) {
+  auto inst = platform::fig6_triangle();
+  std::string dot = platform_to_dot(inst.platform, inst.participants);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("P0"), std::string::npos);
+  EXPECT_NE(dot.find("speed 2"), std::string::npos);  // node 0 is twice as fast
+  EXPECT_NE(dot.find("lightgray"), std::string::npos);
+  // Symmetric unit costs merge into undirected-looking edges.
+  EXPECT_NE(dot.find("dir=none"), std::string::npos);
+}
+
+TEST(PlatformDot, Fig9HighlightsAllEightHosts) {
+  auto inst = platform::fig9_tiers();
+  std::string dot = platform_to_dot(inst.platform, inst.participants);
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find("lightgray"); pos != std::string::npos;
+       pos = dot.find("lightgray", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 8u);
+}
+
+TEST(ReductionTreeDot, RendersTasksAndLeaves) {
+  auto inst = platform::fig6_triangle();
+  auto sol = core::solve_reduce(inst);
+  auto trees = core::extract_trees(inst, sol);
+  ASSERT_FALSE(trees.trees.empty());
+  std::string dot = reduction_tree_to_dot(inst, trees.trees.front());
+  EXPECT_NE(dot.find("digraph reduction_tree"), std::string::npos);
+  EXPECT_NE(dot.find("cons["), std::string::npos);
+  EXPECT_NE(dot.find("transfer ["), std::string::npos);
+  // Leaves: the original values v_i.
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  // Producer -> consumer edges exist.
+  EXPECT_NE(dot.find(" -> t"), std::string::npos);
+}
+
+TEST(ReductionTreeDot, EveryTaskAppearsExactlyOnce) {
+  auto inst = platform::fig9_tiers();
+  auto sol = core::solve_reduce(inst);
+  auto trees = core::extract_trees(inst, sol);
+  const auto& tree = trees.trees.front();
+  std::string dot = reduction_tree_to_dot(inst, tree);
+  for (std::size_t t = 0; t < tree.tasks.size(); ++t) {
+    std::string label = "  t" + std::to_string(t) + " [";
+    EXPECT_NE(dot.find(label), std::string::npos) << "missing task " << t;
+  }
+}
+
+}  // namespace
+}  // namespace ssco::io

@@ -1,0 +1,35 @@
+#include "io/report.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::io {
+namespace {
+
+using num::Rational;
+
+TEST(Report, PrettyIntegersStayPlain) {
+  EXPECT_EQ(pretty(Rational(7)), "7");
+  EXPECT_EQ(pretty(Rational(0)), "0");
+  EXPECT_EQ(pretty(Rational(-3)), "-3");
+}
+
+TEST(Report, PrettyFractionsCarryDecimalHint) {
+  EXPECT_EQ(pretty(Rational(1, 2)), "1/2 (~0.5000)");
+  EXPECT_EQ(pretty(Rational(2, 9)), "2/9 (~0.2222)");
+  EXPECT_EQ(pretty(Rational(2, 9), 2), "2/9 (~0.22)");
+}
+
+TEST(Report, RatioFormatting) {
+  EXPECT_EQ(ratio(Rational(3), Rational(2)), "1.50x");
+  EXPECT_EQ(ratio(Rational(1), Rational(3), 4), "0.3333x");
+  EXPECT_EQ(ratio(Rational(1), Rational(0)), "inf");
+}
+
+TEST(Report, BannerWrapsTitle) {
+  std::string b = banner("hi");
+  EXPECT_NE(b.find("| hi |"), std::string::npos);
+  EXPECT_NE(b.find("======"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssco::io

@@ -1,0 +1,44 @@
+#include "io/table.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::io {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  std::string out = t.to_string();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Every line has the same width for column one: "x" padded to 11 chars.
+  auto x_pos = out.find("\nx");
+  ASSERT_NE(x_pos, std::string::npos);
+  EXPECT_EQ(out.substr(x_pos + 1, 13), "x            ");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(Table, ExtraCellsAreDropped) {
+  Table t({"a"});
+  t.add_row({"x", "overflow"});
+  std::string out = t.to_string();
+  EXPECT_EQ(out.find("overflow"), std::string::npos);
+}
+
+TEST(Table, EmptyTableStillPrintsHeader) {
+  Table t({"alpha", "beta"});
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssco::io

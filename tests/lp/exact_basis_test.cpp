@@ -1,0 +1,140 @@
+#include "lp/exact_basis.h"
+
+#include <gtest/gtest.h>
+
+#include "num/reconstruct.h"
+
+namespace ssco::lp {
+namespace {
+
+SparseColumns dense_to_sparse(const std::vector<std::vector<Rational>>& m) {
+  SparseColumns s;
+  s.n = m.size();
+  s.cols.resize(s.n);
+  for (std::size_t i = 0; i < s.n; ++i) {
+    for (std::size_t j = 0; j < s.n; ++j) {
+      if (!m[i][j].is_zero()) s.cols[j].emplace_back(i, m[i][j]);
+    }
+  }
+  return s;
+}
+
+TEST(SparseColumns, MultiplyAndTranspose) {
+  SparseColumns m = dense_to_sparse({{Rational(1), Rational(2)},
+                                     {Rational(0), Rational(3)}});
+  auto y = m.multiply({Rational(1), Rational(1)});
+  EXPECT_EQ(y[0], Rational(3));
+  EXPECT_EQ(y[1], Rational(3));
+  auto t = m.transposed();
+  auto z = t.multiply({Rational(1), Rational(1)});
+  EXPECT_EQ(z[0], Rational(1));
+  EXPECT_EQ(z[1], Rational(5));
+}
+
+TEST(SolveSparseExact, SmallIntegerSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = (1, 3).
+  SparseColumns m = dense_to_sparse({{Rational(2), Rational(1)},
+                                     {Rational(1), Rational(3)}});
+  auto x = solve_sparse_exact(m, {Rational(5), Rational(10)});
+  ASSERT_TRUE(x);
+  EXPECT_EQ((*x)[0], Rational(1));
+  EXPECT_EQ((*x)[1], Rational(3));
+}
+
+TEST(SolveSparseExact, RationalSolution) {
+  // [3 1; 1 2] x = [1; 1] -> x = (1/5, 2/5).
+  SparseColumns m = dense_to_sparse({{Rational(3), Rational(1)},
+                                     {Rational(1), Rational(2)}});
+  auto x = solve_sparse_exact(m, {Rational(1), Rational(1)});
+  ASSERT_TRUE(x);
+  EXPECT_EQ((*x)[0], Rational(1, 5));
+  EXPECT_EQ((*x)[1], Rational(2, 5));
+}
+
+TEST(SolveSparseExact, HilbertMatrixHugeDenominators) {
+  // Hilbert matrices are the classic ill-conditioned exact-arithmetic test:
+  // H_ij = 1/(i+j+1). Solve H x = e1 for n = 8; the exact solution has large
+  // integer entries; verify by multiplying back exactly.
+  const std::size_t n = 8;
+  std::vector<std::vector<Rational>> h(n, std::vector<Rational>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      h[i][j] = Rational(1, static_cast<std::int64_t>(i + j + 1));
+    }
+  }
+  SparseColumns m = dense_to_sparse(h);
+  std::vector<Rational> rhs(n, Rational(0));
+  rhs[0] = Rational(1);
+  auto x = solve_sparse_exact(m, rhs);
+  ASSERT_TRUE(x);
+  auto back = m.multiply(*x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(back[i], rhs[i]);
+  // Known: the (1,1) entry of inv(H_8) is 64.
+  EXPECT_EQ((*x)[0], Rational(64));
+}
+
+TEST(SolveSparseExact, SingularMatrixRejected) {
+  SparseColumns m = dense_to_sparse({{Rational(1), Rational(2)},
+                                     {Rational(2), Rational(4)}});
+  EXPECT_FALSE(solve_sparse_exact(m, {Rational(1), Rational(1)}));
+}
+
+TEST(SolveSparseExact, IdentityAndEmpty) {
+  SparseColumns id = dense_to_sparse({{Rational(1), Rational(0)},
+                                      {Rational(0), Rational(1)}});
+  auto x = solve_sparse_exact(id, {Rational(7, 3), Rational(-2, 5)});
+  ASSERT_TRUE(x);
+  EXPECT_EQ((*x)[0], Rational(7, 3));
+  EXPECT_EQ((*x)[1], Rational(-2, 5));
+
+  SparseColumns empty;
+  auto e = solve_sparse_exact(empty, {});
+  ASSERT_TRUE(e);
+  EXPECT_TRUE(e->empty());
+}
+
+TEST(SolveSparseExact, SizeMismatchRejected) {
+  SparseColumns m = dense_to_sparse({{Rational(1)}});
+  EXPECT_FALSE(solve_sparse_exact(m, {Rational(1), Rational(2)}));
+}
+
+TEST(SolveSparseExact, ZeroRhsGivesZero) {
+  SparseColumns m = dense_to_sparse({{Rational(2), Rational(1)},
+                                     {Rational(1), Rational(3)}});
+  auto x = solve_sparse_exact(m, {Rational(0), Rational(0)});
+  ASSERT_TRUE(x);
+  EXPECT_TRUE((*x)[0].is_zero());
+  EXPECT_TRUE((*x)[1].is_zero());
+}
+
+TEST(RationalReconstructExact, RecoversLargeDenominators) {
+  using num::BigInt;
+  using num::Rational;
+  // Approximate 355/113 to 60 bits and reconstruct.
+  Rational target(355, 113);
+  Rational noise(1, BigInt::pow(BigInt(2), 80));
+  Rational approx = target + noise;
+  Rational rec = num::rational_reconstruct(approx, BigInt(1000));
+  EXPECT_EQ(rec, target);
+}
+
+TEST(RationalReconstructExact, ExactInputPassesThrough) {
+  using num::BigInt;
+  num::Rational v(22, 7);
+  EXPECT_EQ(num::rational_reconstruct(v, BigInt(100)), v);
+  EXPECT_EQ(num::rational_reconstruct(num::Rational(0), BigInt(10)),
+            num::Rational(0));
+  EXPECT_EQ(num::rational_reconstruct(num::Rational(-5, 3), BigInt(10)),
+            num::Rational(-5, 3));
+}
+
+TEST(ExactRationalFromDouble, IsLossless) {
+  for (double v : {0.5, -0.25, 1.0 / 3.0, 3.141592653589793, 1e-200, -7.0}) {
+    num::Rational r = num::exact_rational_from_double(v);
+    EXPECT_EQ(r.to_double(), v);
+  }
+  EXPECT_TRUE(num::exact_rational_from_double(0.0).is_zero());
+}
+
+}  // namespace
+}  // namespace ssco::lp

@@ -1,0 +1,164 @@
+#include "lp/exact_solver.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::lp {
+namespace {
+
+using num::Rational;
+
+Model classic() {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(2)),
+                   Sense::kLessEqual, Rational(4));
+  m.add_constraint(LinearExpr().add(x, Rational(3)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(6));
+  return m;
+}
+
+TEST(ExactSolver, CertifiesViaDoublePath) {
+  auto sol = ExactSolver().solve(classic());
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(sol.certified);
+  EXPECT_EQ(sol.method, "double+certificate");
+  EXPECT_EQ(sol.objective, Rational(14, 5));
+  EXPECT_EQ(sol.primal[0], Rational(8, 5));
+  EXPECT_GT(sol.float_iterations, 0u);
+  EXPECT_EQ(sol.exact_iterations, 0u);
+}
+
+TEST(ExactSolver, BasisVerificationRescuesFailedReconstruction) {
+  // Denominator cap 2 cannot represent 8/5 or 6/5, so the rounding
+  // certificate fails — but the exact basic solution recovered from the
+  // optimal basis certifies without touching the exact simplex.
+  ExactSolverOptions options;
+  options.denominator_caps = {2};
+  auto sol = ExactSolver(options).solve(classic());
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(sol.certified);
+  EXPECT_EQ(sol.method, "double+basis-verification");
+  EXPECT_EQ(sol.objective, Rational(14, 5));
+  EXPECT_EQ(sol.primal[0], Rational(8, 5));
+  EXPECT_EQ(sol.exact_iterations, 0u);
+}
+
+TEST(ExactSolver, FallsBackWhenReconstructionImpossible) {
+  // With basis verification also disabled, the exact simplex must take over
+  // and still produce the exact optimum.
+  ExactSolverOptions options;
+  options.denominator_caps = {2};
+  options.allow_basis_verification = false;
+  auto sol = ExactSolver(options).solve(classic());
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(sol.certified);
+  EXPECT_EQ(sol.method, "double+exact-simplex");
+  EXPECT_EQ(sol.objective, Rational(14, 5));
+  EXPECT_GT(sol.exact_iterations, 0u);
+}
+
+TEST(ExactSolver, NoFallbackReportsHonestly) {
+  ExactSolverOptions options;
+  options.denominator_caps = {2};
+  options.allow_basis_verification = false;
+  options.allow_exact_fallback = false;
+  auto sol = ExactSolver(options).solve(classic());
+  EXPECT_NE(sol.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(sol.certified);
+}
+
+TEST(ExactSolver, InfeasibleProvenByExactPath) {
+  Model m;
+  VarId x = m.add_variable("x", Rational(0), Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kGreaterEqual,
+                   Rational(2));
+  auto sol = ExactSolver().solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(sol.method, "exact-simplex");
+}
+
+TEST(ExactSolver, UnboundedDetected) {
+  Model m;
+  VarId x = m.add_variable("x");
+  m.set_objective(x, Rational(1));
+  auto sol = ExactSolver().solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kUnbounded);
+}
+
+TEST(ExactSolver, ObjectiveConstantFromShiftedLowerBounds) {
+  // max x + y, x in [2, 3], y in [1, 4], x + y <= 6 -> 6 (e.g. x=2..3).
+  Model m;
+  VarId x = m.add_variable("x", Rational(2), Rational(3));
+  VarId y = m.add_variable("y", Rational(1), Rational(4));
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(6));
+  auto sol = ExactSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, Rational(6));
+  EXPECT_GE(sol.primal[0], Rational(2));
+  EXPECT_LE(sol.primal[0], Rational(3));
+}
+
+TEST(ExactSolver, CertificateRejectsWrongPrimal) {
+  Model m = classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  // Correct duals for the optimum: y = (2/5, 1/5).
+  std::vector<Rational> y{Rational(2, 5), Rational(1, 5)};
+  std::vector<Rational> x_good{Rational(8, 5), Rational(6, 5)};
+  std::vector<Rational> x_bad{Rational(1), Rational(1)};  // feasible, not opt
+  EXPECT_TRUE(ExactSolver::verify_certificate(em, x_good, y));
+  EXPECT_FALSE(ExactSolver::verify_certificate(em, x_bad, y));
+}
+
+TEST(ExactSolver, CertificateRejectsInfeasiblePoint) {
+  Model m = classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  std::vector<Rational> y{Rational(2, 5), Rational(1, 5)};
+  std::vector<Rational> x_infeasible{Rational(10), Rational(10)};
+  EXPECT_FALSE(ExactSolver::verify_certificate(em, x_infeasible, y));
+  std::vector<Rational> x_negative{Rational(-1), Rational(0)};
+  EXPECT_FALSE(ExactSolver::verify_certificate(em, x_negative, y));
+}
+
+TEST(ExactSolver, CertificateRejectsDualSignViolation) {
+  Model m = classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  std::vector<Rational> x{Rational(8, 5), Rational(6, 5)};
+  std::vector<Rational> y_bad{Rational(-2, 5), Rational(1, 5)};
+  EXPECT_FALSE(ExactSolver::verify_certificate(em, x, y_bad));
+}
+
+TEST(ExactSolver, PureExactEntrypoint) {
+  auto sol = solve_exact_simplex(classic());
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(sol.certified);
+  EXPECT_EQ(sol.objective, Rational(14, 5));
+  EXPECT_EQ(sol.method, "exact-simplex");
+}
+
+TEST(ExactSolver, DegenerateVertexStillCertifies) {
+  // Three constraints meeting at one optimal point (degenerate vertex).
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kLessEqual,
+                   Rational(1));
+  m.add_constraint(LinearExpr().add(y, Rational(1)), Sense::kLessEqual,
+                   Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(2));
+  auto sol = ExactSolver().solve(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(sol.certified);
+  EXPECT_EQ(sol.objective, Rational(2));
+}
+
+}  // namespace
+}  // namespace ssco::lp

@@ -1,0 +1,78 @@
+#include "lp/lp_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::lp {
+namespace {
+
+using num::Rational;
+
+TEST(LpWriter, EmitsAllSections) {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y", Rational(1), Rational(5));
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(-2));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(3)),
+                   Sense::kLessEqual, Rational(7), "cap");
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(-1)),
+                   Sense::kEqual, Rational(0), "balance");
+  m.add_constraint(LinearExpr().add(y, Rational(2)), Sense::kGreaterEqual,
+                   Rational(1));
+
+  std::string text = to_lp_string(m, "unit");
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("Bounds"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+  EXPECT_NE(text.find("cap:"), std::string::npos);
+  EXPECT_NE(text.find("balance:"), std::string::npos);
+  EXPECT_NE(text.find("x - 2 y"), std::string::npos);
+  EXPECT_NE(text.find("<= 7"), std::string::npos);
+  EXPECT_NE(text.find("= 0"), std::string::npos);
+  EXPECT_NE(text.find(">= 1"), std::string::npos);
+  EXPECT_NE(text.find("1 <= y <= 5"), std::string::npos);
+}
+
+TEST(LpWriter, DyadicRationalsWriteExactDecimals) {
+  Model m;
+  VarId x = m.add_variable("x");
+  m.set_objective(x, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(3, 4)), Sense::kLessEqual,
+                   Rational(5, 8));
+  std::string text = to_lp_string(m);
+  EXPECT_NE(text.find("0.75 x"), std::string::npos);
+  EXPECT_NE(text.find("<= 0.625"), std::string::npos);
+}
+
+TEST(LpWriter, NonDyadicRhsGetsExactComment) {
+  Model m;
+  VarId x = m.add_variable("x");
+  m.set_objective(x, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kLessEqual,
+                   Rational(2, 9));
+  std::string text = to_lp_string(m);
+  EXPECT_NE(text.find("exact 2/9"), std::string::npos);
+}
+
+TEST(LpWriter, EmptyObjectiveRendersZero) {
+  Model m;
+  VarId x = m.add_variable("x");
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kLessEqual,
+                   Rational(1));
+  std::string text = to_lp_string(m);
+  EXPECT_NE(text.find("obj: 0"), std::string::npos);
+}
+
+TEST(LpWriter, NegativeLeadingCoefficient) {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(-3));
+  m.set_objective(y, Rational(1, 2));
+  std::string text = to_lp_string(m);
+  EXPECT_NE(text.find("- 3 x + 0.5 y"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssco::lp

@@ -1,0 +1,96 @@
+#include "lp/model.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::lp {
+namespace {
+
+TEST(Model, VariablesCarryBoundsAndNames) {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y", Rational(-1), Rational(5));
+  EXPECT_EQ(m.num_variables(), 2u);
+  EXPECT_EQ(m.variable_name(x), "x");
+  EXPECT_EQ(m.lower_bound(x), Rational(0));
+  EXPECT_FALSE(m.upper_bound(x).has_value());
+  EXPECT_EQ(m.lower_bound(y), Rational(-1));
+  EXPECT_EQ(*m.upper_bound(y), Rational(5));
+}
+
+TEST(Model, RejectsInvertedBounds) {
+  Model m;
+  EXPECT_THROW(m.add_variable("bad", Rational(2), Rational(1)),
+               std::invalid_argument);
+}
+
+TEST(Model, ObjectiveDefaultsToZero) {
+  Model m;
+  VarId x = m.add_variable("x");
+  EXPECT_EQ(m.objective_coeff(x), Rational(0));
+  m.set_objective(x, Rational(3));
+  EXPECT_EQ(m.objective_coeff(x), Rational(3));
+}
+
+TEST(Model, ConstraintMergesDuplicatesAndDropsZeros) {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  LinearExpr e;
+  e.add(x, Rational(1)).add(y, Rational(2)).add(x, Rational(3));
+  e.add(y, Rational(-2));  // y cancels out entirely
+  RowId r = m.add_constraint(e, Sense::kLessEqual, Rational(10), "row");
+  const auto& row = m.row(r);
+  ASSERT_EQ(row.coeffs.size(), 1u);
+  EXPECT_EQ(row.coeffs[0].first, x.index);
+  EXPECT_EQ(row.coeffs[0].second, Rational(4));
+  EXPECT_EQ(m.num_nonzeros(), 1u);
+}
+
+TEST(Model, ConstraintRejectsUnknownVariable) {
+  Model m;
+  m.add_variable("x");
+  LinearExpr e;
+  e.add(VarId{5}, Rational(1));
+  EXPECT_THROW(m.add_constraint(e, Sense::kEqual, Rational(0)),
+               std::out_of_range);
+}
+
+TEST(Model, EvalRowAndObjective) {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(2));
+  m.set_objective(y, Rational(-1));
+  RowId r = m.add_constraint(
+      LinearExpr().add(x, Rational(1)).add(y, Rational(3)), Sense::kLessEqual,
+      Rational(10));
+  std::vector<Rational> point{Rational(1, 2), Rational(1, 3)};
+  EXPECT_EQ(m.eval_row(r, point), Rational(3, 2));
+  EXPECT_EQ(m.eval_objective(point), Rational(2, 3));
+}
+
+TEST(Model, FeasibilityChecksBoundsAndRows) {
+  Model m;
+  VarId x = m.add_variable("x", Rational(0), Rational(2));
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kGreaterEqual,
+                   Rational(1));
+  EXPECT_TRUE(m.is_feasible({Rational(1)}));
+  EXPECT_TRUE(m.is_feasible({Rational(2)}));
+  EXPECT_FALSE(m.is_feasible({Rational(3)}));       // upper bound
+  EXPECT_FALSE(m.is_feasible({Rational(1, 2)}));    // row
+  EXPECT_FALSE(m.is_feasible({Rational(-1)}));      // lower bound
+  EXPECT_FALSE(m.is_feasible({}));                  // wrong arity
+}
+
+TEST(Model, EqualityFeasibilityIsExact) {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.add_constraint(LinearExpr().add(x, Rational(3)).add(y, Rational(1)),
+                   Sense::kEqual, Rational(1));
+  EXPECT_TRUE(m.is_feasible({Rational(1, 3), Rational(0)}));
+  EXPECT_FALSE(m.is_feasible({Rational(333333, 1000000), Rational(0)}));
+}
+
+}  // namespace
+}  // namespace ssco::lp

@@ -1,0 +1,227 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/exact_solver.h"
+
+namespace ssco::lp {
+namespace {
+
+using num::Rational;
+
+Model two_var_classic() {
+  // max x + y  s.t. x + 2y <= 4, 3x + y <= 6  ->  (8/5, 6/5), obj 14/5.
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(2)),
+                   Sense::kLessEqual, Rational(4));
+  m.add_constraint(LinearExpr().add(x, Rational(3)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(6));
+  return m;
+}
+
+TEST(SimplexRational, ClassicOptimum) {
+  ExpandedModel em = ExpandedModel::from(two_var_classic());
+  auto r = solve_simplex<Rational>(em);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(14, 5));
+  EXPECT_EQ(r.primal[0], Rational(8, 5));
+  EXPECT_EQ(r.primal[1], Rational(6, 5));
+}
+
+TEST(SimplexDouble, ClassicOptimum) {
+  ExpandedModel em = ExpandedModel::from(two_var_classic());
+  auto r = solve_simplex<double>(em);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.8, 1e-9);
+  EXPECT_NEAR(r.primal[0], 1.6, 1e-9);
+  EXPECT_NEAR(r.primal[1], 1.2, 1e-9);
+}
+
+TEST(SimplexRational, DualsSatisfyStrongDuality) {
+  Model m = two_var_classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  auto r = solve_simplex<Rational>(em);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  ASSERT_EQ(r.dual.size(), em.rows.size());
+  // b'y == c'x at the optimum.
+  Rational dual_obj(0);
+  for (std::size_t i = 0; i < em.rows.size(); ++i) {
+    dual_obj += r.dual[i] * em.rows[i].rhs;
+  }
+  EXPECT_EQ(dual_obj, r.objective);
+  EXPECT_TRUE(ExactSolver::verify_certificate(em, r.primal, r.dual));
+}
+
+TEST(SimplexRational, EqualityConstraint) {
+  // max 2u + v  s.t. u + v == 4, v >= 1, u <= 3  ->  u=3, v=1, obj 7.
+  Model m;
+  VarId u = m.add_variable("u", Rational(0), Rational(3));
+  VarId v = m.add_variable("v");
+  m.set_objective(u, Rational(2));
+  m.set_objective(v, Rational(1));
+  m.add_constraint(LinearExpr().add(u, Rational(1)).add(v, Rational(1)),
+                   Sense::kEqual, Rational(4));
+  m.add_constraint(LinearExpr().add(v, Rational(1)), Sense::kGreaterEqual,
+                   Rational(1));
+  auto r = solve_simplex<Rational>(ExpandedModel::from(m));
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(7));
+}
+
+TEST(SimplexRational, NonzeroLowerBoundsAreShifted) {
+  // max x  s.t. x + y <= 10, y >= 3  ->  x = 7.
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y", Rational(3));
+  m.set_objective(x, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(10));
+  ExpandedModel em = ExpandedModel::from(m);
+  auto r = solve_simplex<Rational>(em);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(7));
+  // Shifted space: y' = y - 3 so the reported primal is in shifted space;
+  // unshift restores the original.
+  auto original = em.unshift(r.primal);
+  EXPECT_EQ(original[0], Rational(7));
+  EXPECT_EQ(original[1], Rational(3));
+}
+
+TEST(SimplexRational, NegativeRhsRowsAreFlipped) {
+  // max x  s.t. -x <= -2 (i.e. x >= 2), x <= 5.
+  Model m;
+  VarId x = m.add_variable("x", Rational(0), Rational(5));
+  m.set_objective(x, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(-1)), Sense::kLessEqual,
+                   Rational(-2));
+  auto r = solve_simplex<Rational>(ExpandedModel::from(m));
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(5));
+}
+
+TEST(SimplexRational, DetectsInfeasible) {
+  Model m;
+  VarId x = m.add_variable("x", Rational(0), Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kGreaterEqual,
+                   Rational(2));
+  auto r = solve_simplex<Rational>(ExpandedModel::from(m));
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexRational, DetectsUnbounded) {
+  Model m;
+  VarId x = m.add_variable("x");
+  m.set_objective(x, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(-1)), Sense::kLessEqual,
+                   Rational(0));
+  auto r = solve_simplex<Rational>(ExpandedModel::from(m));
+  EXPECT_EQ(r.status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexRational, DegenerateBealeExampleTerminates) {
+  // Beale's classic cycling example (cycles under naive Dantzig without
+  // safeguards). Bland fallback must terminate with the optimum 1/20... the
+  // known optimum of this instance is 0.05.
+  Model m;
+  VarId x1 = m.add_variable("x1");
+  VarId x2 = m.add_variable("x2");
+  VarId x3 = m.add_variable("x3");
+  VarId x4 = m.add_variable("x4");
+  m.set_objective(x1, Rational(3, 4));
+  m.set_objective(x2, Rational(-150));
+  m.set_objective(x3, Rational(1, 50));
+  m.set_objective(x4, Rational(-6));
+  m.add_constraint(LinearExpr()
+                       .add(x1, Rational(1, 4))
+                       .add(x2, Rational(-60))
+                       .add(x3, Rational(-1, 25))
+                       .add(x4, Rational(9)),
+                   Sense::kLessEqual, Rational(0));
+  m.add_constraint(LinearExpr()
+                       .add(x1, Rational(1, 2))
+                       .add(x2, Rational(-90))
+                       .add(x3, Rational(-1, 50))
+                       .add(x4, Rational(3)),
+                   Sense::kLessEqual, Rational(0));
+  m.add_constraint(LinearExpr().add(x3, Rational(1)), Sense::kLessEqual,
+                   Rational(1));
+  auto r = solve_simplex<Rational>(ExpandedModel::from(m));
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(1, 20));
+}
+
+TEST(SimplexRational, RedundantEqualityRows) {
+  // Duplicate equality rows leave a basic artificial in a redundant row;
+  // the solver must still finish and report the optimum.
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(2));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kEqual, Rational(3));
+  m.add_constraint(LinearExpr().add(x, Rational(2)).add(y, Rational(2)),
+                   Sense::kEqual, Rational(6));  // same hyperplane
+  auto r = solve_simplex<Rational>(ExpandedModel::from(m));
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(6));  // x=0, y=3
+}
+
+TEST(SimplexRational, FixedVariableViaEqualBounds) {
+  Model m;
+  VarId x = m.add_variable("x", Rational(2), Rational(2));
+  VarId y = m.add_variable("y", Rational(0), Rational(10));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(5));
+  ExpandedModel em = ExpandedModel::from(m);
+  auto r = solve_simplex<Rational>(em);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.objective, Rational(3));
+  EXPECT_EQ(em.unshift(r.primal)[0], Rational(2));
+}
+
+// ---------------------------------------------------------------------------
+// Double and exact simplex agree on a family of randomized dense LPs.
+// ---------------------------------------------------------------------------
+
+class SimplexAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexAgreementTest, DoubleMatchesExact) {
+  std::uint64_t state = GetParam();
+  auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<int>((state >> 33) % 9) - 4;  // in [-4, 4]
+  };
+  Model m;
+  const std::size_t n = 4, rows = 5;
+  std::vector<VarId> vars;
+  for (std::size_t j = 0; j < n; ++j) {
+    vars.push_back(m.add_variable("x" + std::to_string(j)));
+    m.set_objective(vars.back(), Rational(next()));
+  }
+  for (std::size_t i = 0; i < rows; ++i) {
+    LinearExpr e;
+    for (std::size_t j = 0; j < n; ++j) e.add(vars[j], Rational(next()));
+    // Positive rhs keeps the origin feasible: never infeasible, sometimes
+    // unbounded.
+    m.add_constraint(e, Sense::kLessEqual, Rational(std::abs(next()) + 1));
+  }
+  ExpandedModel em = ExpandedModel::from(m);
+  auto exact = solve_simplex<Rational>(em);
+  auto fp = solve_simplex<double>(em);
+  ASSERT_EQ(exact.status, fp.status);
+  if (exact.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(fp.objective, exact.objective.to_double(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexAgreementTest,
+                         ::testing::Range(std::uint64_t{1}, std::uint64_t{25}));
+
+}  // namespace
+}  // namespace ssco::lp

@@ -1,0 +1,274 @@
+#include "num/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace ssco::num {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_negative());
+  EXPECT_EQ(z.signum(), 0);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.bit_length(), 0u);
+}
+
+TEST(BigInt, Int64Construction) {
+  EXPECT_EQ(BigInt(std::int64_t{0}).to_string(), "0");
+  EXPECT_EQ(BigInt(std::int64_t{42}).to_string(), "42");
+  EXPECT_EQ(BigInt(std::int64_t{-42}).to_string(), "-42");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::max()).to_string(),
+            "9223372036854775807");
+  EXPECT_EQ(BigInt(std::numeric_limits<std::int64_t>::min()).to_string(),
+            "-9223372036854775808");
+}
+
+TEST(BigInt, Uint64Construction) {
+  EXPECT_EQ(BigInt(std::uint64_t{18446744073709551615ull}).to_string(),
+            "18446744073709551615");
+}
+
+TEST(BigInt, StringRoundTrip) {
+  const char* cases[] = {"0",
+                         "1",
+                         "-1",
+                         "999999999",
+                         "1000000000",
+                         "123456789012345678901234567890",
+                         "-9876543210987654321098765432109876543210"};
+  for (const char* c : cases) {
+    EXPECT_EQ(BigInt(c).to_string(), c) << c;
+  }
+}
+
+TEST(BigInt, StringWithPlusSign) {
+  EXPECT_EQ(BigInt("+17").to_string(), "17");
+}
+
+TEST(BigInt, StringMinusZeroNormalizes) {
+  EXPECT_EQ(BigInt("-0").to_string(), "0");
+  EXPECT_FALSE(BigInt("-0").is_negative());
+}
+
+TEST(BigInt, StringRejectsGarbage) {
+  EXPECT_THROW(BigInt(""), std::invalid_argument);
+  EXPECT_THROW(BigInt("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt("12a3"), std::invalid_argument);
+  EXPECT_THROW(BigInt("1.5"), std::invalid_argument);
+}
+
+TEST(BigInt, AdditionBasics) {
+  EXPECT_EQ(BigInt(2) + BigInt(3), BigInt(5));
+  EXPECT_EQ(BigInt(-2) + BigInt(3), BigInt(1));
+  EXPECT_EQ(BigInt(2) + BigInt(-3), BigInt(-1));
+  EXPECT_EQ(BigInt(-2) + BigInt(-3), BigInt(-5));
+  EXPECT_EQ(BigInt(5) + BigInt(-5), BigInt(0));
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt almost("4294967295");  // 2^32 - 1
+  EXPECT_EQ((almost + BigInt(1)).to_string(), "4294967296");
+  BigInt big("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((big + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, SubtractionBorrow) {
+  BigInt big("18446744073709551616");  // 2^64
+  EXPECT_EQ((big - BigInt(1)).to_string(), "18446744073709551615");
+  EXPECT_EQ(BigInt(10) - BigInt(42), BigInt(-32));
+}
+
+TEST(BigInt, MultiplicationBasics) {
+  EXPECT_EQ(BigInt(6) * BigInt(7), BigInt(42));
+  EXPECT_EQ(BigInt(-6) * BigInt(7), BigInt(-42));
+  EXPECT_EQ(BigInt(-6) * BigInt(-7), BigInt(42));
+  EXPECT_EQ(BigInt(6) * BigInt(0), BigInt(0));
+}
+
+TEST(BigInt, MultiplicationLarge) {
+  BigInt a("123456789123456789123456789");
+  BigInt b("987654321987654321");
+  EXPECT_EQ((a * b).to_string(),
+            "121932631356500531469135800347203169112635269");
+}
+
+TEST(BigInt, DivisionSmallDivisor) {
+  BigInt a("1000000000000000000000");
+  auto dm = a.divmod(BigInt(7));
+  EXPECT_EQ(dm.quotient * BigInt(7) + dm.remainder, a);
+  EXPECT_EQ(dm.remainder.to_string(), "6");
+}
+
+TEST(BigInt, DivisionMultiLimb) {
+  BigInt a("123456789012345678901234567890123456789");
+  BigInt b("98765432109876543210");
+  auto dm = a.divmod(b);
+  EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+  EXPECT_LT(dm.remainder, b);
+  EXPECT_FALSE(dm.remainder.is_negative());
+}
+
+TEST(BigInt, DivisionSigns) {
+  // Truncation toward zero; remainder follows the dividend.
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+  EXPECT_EQ(BigInt(7) % BigInt(-2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(-2), BigInt(-1));
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1).divmod(BigInt(0)), std::domain_error);
+}
+
+TEST(BigInt, DivisionAddBackCase) {
+  // Exercise the rare Knuth-D "add back" correction: crafted operands where
+  // the trial quotient digit overshoots.
+  BigInt u("340282366920938463426481119284349108225");  // (2^64-1)^2 + ...
+  BigInt v("18446744073709551615");
+  auto dm = u.divmod(v);
+  EXPECT_EQ(dm.quotient * v + dm.remainder, u);
+  EXPECT_LT(dm.remainder, v);
+}
+
+TEST(BigInt, ComparisonTotalOrder) {
+  EXPECT_LT(BigInt(-5), BigInt(-1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(1), BigInt("4294967296"));
+  EXPECT_GT(BigInt("100000000000000000000"), BigInt("99999999999999999999"));
+}
+
+TEST(BigInt, GcdLcm) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_EQ(BigInt::lcm(BigInt(0), BigInt(6)), BigInt(0));
+  EXPECT_EQ(BigInt::lcm(BigInt(-4), BigInt(6)), BigInt(12));
+}
+
+TEST(BigInt, Pow) {
+  EXPECT_EQ(BigInt::pow(BigInt(2), 0), BigInt(1));
+  EXPECT_EQ(BigInt::pow(BigInt(2), 10), BigInt(1024));
+  EXPECT_EQ(BigInt::pow(BigInt(10), 30).to_string(),
+            "1000000000000000000000000000000");
+  EXPECT_EQ(BigInt::pow(BigInt(-3), 3), BigInt(-27));
+}
+
+TEST(BigInt, FitsInt64Boundaries) {
+  EXPECT_TRUE(BigInt("9223372036854775807").fits_int64());
+  EXPECT_FALSE(BigInt("9223372036854775808").fits_int64());
+  EXPECT_TRUE(BigInt("-9223372036854775808").fits_int64());
+  EXPECT_FALSE(BigInt("-9223372036854775809").fits_int64());
+  EXPECT_EQ(BigInt("-9223372036854775808").to_int64(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_THROW((void)BigInt("9223372036854775808").to_int64(),
+               std::overflow_error);
+}
+
+TEST(BigInt, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(42).to_double(), 42.0);
+  EXPECT_DOUBLE_EQ(BigInt(-42).to_double(), -42.0);
+  EXPECT_NEAR(BigInt("1000000000000000000000").to_double(), 1e21, 1e6);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(2).bit_length(), 2u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt("4294967296").bit_length(), 33u);
+}
+
+TEST(BigInt, HashDistinguishesSign) {
+  EXPECT_NE(BigInt(5).hash(), BigInt(-5).hash());
+  EXPECT_EQ(BigInt(5).hash(), BigInt(5).hash());
+}
+
+TEST(BigInt, AbsNegated) {
+  EXPECT_EQ(BigInt(-7).abs(), BigInt(7));
+  EXPECT_EQ(BigInt(7).abs(), BigInt(7));
+  EXPECT_EQ(BigInt(7).negated(), BigInt(-7));
+  EXPECT_EQ(BigInt(0).negated(), BigInt(0));
+  EXPECT_FALSE(BigInt(0).negated().is_negative());
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps: divmod identity and ring laws across magnitude scales.
+// ---------------------------------------------------------------------------
+
+class BigIntPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  // Deterministic pseudo-random operand of roughly `limbs` 32-bit limbs.
+  static BigInt pseudo(std::uint64_t seed, int limbs) {
+    BigInt v(0);
+    std::uint64_t state = seed * 0x9e3779b97f4a7c15ull + 1;
+    for (int i = 0; i < limbs; ++i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      v = v * BigInt(std::uint64_t{1} << 32) + BigInt(state >> 32);
+    }
+    if (seed % 2 == 1) v = v.negated();
+    return v;
+  }
+};
+
+TEST_P(BigIntPropertyTest, DivModIdentity) {
+  const int limbs = GetParam();
+  for (std::uint64_t s = 1; s <= 20; ++s) {
+    BigInt a = pseudo(s, limbs);
+    BigInt b = pseudo(s + 100, (limbs + 1) / 2);
+    if (b.is_zero()) continue;
+    auto dm = a.divmod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder.abs(), b.abs());
+  }
+}
+
+TEST_P(BigIntPropertyTest, RingLaws) {
+  const int limbs = GetParam();
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    BigInt a = pseudo(s, limbs);
+    BigInt b = pseudo(s + 7, limbs);
+    BigInt c = pseudo(s + 13, limbs);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, BigInt(0));
+  }
+}
+
+TEST_P(BigIntPropertyTest, StringRoundTripRandom) {
+  const int limbs = GetParam();
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    BigInt a = pseudo(s, limbs);
+    EXPECT_EQ(BigInt(a.to_string()), a);
+  }
+}
+
+TEST_P(BigIntPropertyTest, GcdDividesBoth) {
+  const int limbs = GetParam();
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    BigInt a = pseudo(s, limbs);
+    BigInt b = pseudo(s + 3, limbs);
+    BigInt g = BigInt::gcd(a, b);
+    if (g.is_zero()) continue;
+    EXPECT_TRUE((a % g).is_zero());
+    EXPECT_TRUE((b % g).is_zero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MagnitudeScales, BigIntPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace ssco::num

@@ -1,0 +1,144 @@
+#include "num/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ssco::num {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.den(), BigInt(1));
+}
+
+TEST(Rational, NormalizationReducesAndFixesSign) {
+  EXPECT_EQ(Rational(2, 4).to_string(), "1/2");
+  EXPECT_EQ(Rational(-2, 4).to_string(), "-1/2");
+  EXPECT_EQ(Rational(2, -4).to_string(), "-1/2");
+  EXPECT_EQ(Rational(-2, -4).to_string(), "1/2");
+  EXPECT_EQ(Rational(0, 5).to_string(), "0");
+  EXPECT_EQ(Rational(0, 5).den(), BigInt(1));
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::domain_error);
+}
+
+TEST(Rational, Parsing) {
+  EXPECT_EQ(Rational("7"), Rational(7));
+  EXPECT_EQ(Rational("-7"), Rational(-7));
+  EXPECT_EQ(Rational("2/9"), Rational(2, 9));
+  EXPECT_EQ(Rational("-4/6"), Rational(-2, 3));
+  EXPECT_THROW(Rational("1/0"), std::domain_error);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(2, 3).reciprocal(), Rational(3, 2));
+  EXPECT_EQ(Rational(-2, 3).reciprocal(), Rational(-3, 2));
+  EXPECT_THROW(Rational(0).reciprocal(), std::domain_error);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 3), Rational(2));
+}
+
+TEST(Rational, FloorCeilTrunc) {
+  EXPECT_EQ(Rational(7, 2).floor(), BigInt(3));
+  EXPECT_EQ(Rational(7, 2).ceil(), BigInt(4));
+  EXPECT_EQ(Rational(7, 2).trunc(), BigInt(3));
+  EXPECT_EQ(Rational(-7, 2).floor(), BigInt(-4));
+  EXPECT_EQ(Rational(-7, 2).ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(-7, 2).trunc(), BigInt(-3));
+  EXPECT_EQ(Rational(4).floor(), BigInt(4));
+  EXPECT_EQ(Rational(4).ceil(), BigInt(4));
+  EXPECT_EQ(Rational(-4).floor(), BigInt(-4));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-1, 4).to_double(), -0.25);
+  EXPECT_NEAR(Rational(2, 9).to_double(), 0.2222222222, 1e-9);
+}
+
+TEST(Rational, ToDoubleHugeOperands) {
+  // num and den individually overflow double; quotient must not.
+  BigInt huge = BigInt::pow(BigInt(10), 400);
+  Rational r{huge * BigInt(3), huge * BigInt(2)};
+  EXPECT_DOUBLE_EQ(r.to_double(), 1.5);
+}
+
+TEST(Rational, MinMax) {
+  Rational a(1, 3), b(1, 2);
+  EXPECT_EQ(Rational::min(a, b), a);
+  EXPECT_EQ(Rational::max(a, b), b);
+  EXPECT_EQ(Rational::min(a, a), a);
+}
+
+TEST(Rational, Signum) {
+  EXPECT_EQ(Rational(3, 7).signum(), 1);
+  EXPECT_EQ(Rational(-3, 7).signum(), -1);
+  EXPECT_EQ(Rational(0).signum(), 0);
+}
+
+TEST(Rational, Hash) {
+  EXPECT_EQ(Rational(2, 4).hash(), Rational(1, 2).hash());
+  EXPECT_NE(Rational(1, 2).hash(), Rational(-1, 2).hash());
+}
+
+TEST(Rational, LcmOfDenominators) {
+  std::vector<Rational> values{Rational(1, 2), Rational(1, 3), Rational(5, 4)};
+  EXPECT_EQ(lcm_of_denominators(values), BigInt(12));
+  std::vector<Rational> empty;
+  EXPECT_EQ(lcm_of_denominators(empty), BigInt(1));
+  std::vector<Rational> integers{Rational(3), Rational(-7)};
+  EXPECT_EQ(lcm_of_denominators(integers), BigInt(1));
+}
+
+// ---------------------------------------------------------------------------
+// Field-law property sweep over a grid of small rationals.
+// ---------------------------------------------------------------------------
+
+class RationalLawsTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RationalLawsTest, FieldLaws) {
+  auto [num, den] = GetParam();
+  Rational a(num, den);
+  Rational b(den, 7);
+  Rational c(num - den, 11);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, Rational(0));
+  if (!a.is_zero()) {
+    EXPECT_EQ(a * a.reciprocal(), Rational(1));
+    EXPECT_EQ(b / a * a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallGrid, RationalLawsTest,
+    ::testing::Values(std::pair{0, 1}, std::pair{1, 1}, std::pair{-1, 2},
+                      std::pair{3, 4}, std::pair{-5, 6}, std::pair{7, 3},
+                      std::pair{-9, 8}, std::pair{100, 101},
+                      std::pair{-1000, 3}, std::pair{17, 1}));
+
+}  // namespace
+}  // namespace ssco::num

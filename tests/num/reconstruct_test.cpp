@@ -1,0 +1,90 @@
+#include "num/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ssco::num {
+namespace {
+
+TEST(Reconstruct, ExactSmallRationals) {
+  // The throughputs appearing in the paper.
+  EXPECT_EQ(*rational_from_double(0.5), Rational(1, 2));
+  EXPECT_EQ(*rational_from_double(2.0 / 9.0), Rational(2, 9));
+  EXPECT_EQ(*rational_from_double(1.0 / 3.0), Rational(1, 3));
+  EXPECT_EQ(*rational_from_double(2.0 / 3.0), Rational(2, 3));
+  EXPECT_EQ(*rational_from_double(1.0), Rational(1));
+}
+
+TEST(Reconstruct, Negatives) {
+  EXPECT_EQ(*rational_from_double(-0.5), Rational(-1, 2));
+  EXPECT_EQ(*rational_from_double(-7.0 / 13.0), Rational(-7, 13));
+}
+
+TEST(Reconstruct, ZeroAndTiny) {
+  EXPECT_EQ(*rational_from_double(0.0), Rational(0));
+  // Noise far below the tolerance must collapse to zero.
+  EXPECT_EQ(*rational_from_double(1e-13), Rational(0));
+  EXPECT_EQ(*rational_from_double(-1e-13), Rational(0));
+}
+
+TEST(Reconstruct, IntegersAndMixed) {
+  EXPECT_EQ(*rational_from_double(42.0), Rational(42));
+  EXPECT_EQ(*rational_from_double(3.25), Rational(13, 4));
+  EXPECT_EQ(*rational_from_double(123.0 + 1.0 / 7.0), Rational(862, 7));
+}
+
+TEST(Reconstruct, NonFiniteReturnsNullopt) {
+  EXPECT_FALSE(rational_from_double(std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(rational_from_double(-std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(rational_from_double(std::nan("")));
+}
+
+TEST(Reconstruct, DenominatorCapRespected) {
+  auto r = rational_from_double(1.0 / 3.0, 2);  // cannot represent 1/3
+  ASSERT_TRUE(r);
+  EXPECT_LE(r->den(), BigInt(2));
+}
+
+TEST(Reconstruct, NearTolerance) {
+  // Within tolerance of 2/9: accepted.
+  auto ok = rational_near_double(2.0 / 9.0 + 1e-10, 1e-6);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(*ok, Rational(2, 9));
+  // An irrational-ish value with a tiny denominator cap: no convergent is
+  // close enough.
+  auto bad = rational_near_double(0.7182818284590452, 1e-12, 16);
+  EXPECT_FALSE(bad);
+}
+
+TEST(Reconstruct, GoldenRatioConvergents) {
+  // phi has the slowest-converging continued fraction — worst case for the
+  // algorithm. The best approximation with den <= 100 is 144/89... check
+  // via the Fibonacci convergent property: result must be a ratio of
+  // consecutive Fibonacci numbers.
+  const double phi = (1.0 + std::sqrt(5.0)) / 2.0;
+  auto r = rational_from_double(phi, 100);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, Rational(144, 89));
+}
+
+// Sweep: reconstruct p/q exactly for all q <= 50, several p per q.
+class ReconstructSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReconstructSweepTest, RecoversExactly) {
+  const int q = GetParam();
+  for (int p = 1; p < 3 * q; p += std::max(1, q / 3)) {
+    double x = static_cast<double>(p) / q;
+    auto r = rational_from_double(x);
+    ASSERT_TRUE(r) << p << "/" << q;
+    EXPECT_EQ(*r * Rational(q), Rational(p)) << p << "/" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Denominators, ReconstructSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 9, 12, 16, 23, 31,
+                                           37, 48, 50, 97, 729, 964020));
+
+}  // namespace
+}  // namespace ssco::num

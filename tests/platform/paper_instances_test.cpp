@@ -1,0 +1,99 @@
+#include "platform/paper_instances.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/paths.h"
+
+namespace ssco::platform {
+namespace {
+
+using num::Rational;
+
+TEST(Fig2Toy, MatchesFigure2a) {
+  ScatterInstance inst = fig2_toy();
+  const auto& g = inst.platform.graph();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);  // strictly the drawn downward links
+  // Ps = 0, Pa = 1, Pb = 2, P0 = 3, P1 = 4.
+  EXPECT_EQ(inst.source, 0u);
+  ASSERT_EQ(inst.targets.size(), 2u);
+  EXPECT_EQ(inst.platform.edge_cost(g.find_edge(0, 1)), Rational(1));
+  EXPECT_EQ(inst.platform.edge_cost(g.find_edge(0, 2)), Rational(1));
+  EXPECT_EQ(inst.platform.edge_cost(g.find_edge(1, 3)), Rational(2, 3));
+  EXPECT_EQ(inst.platform.edge_cost(g.find_edge(2, 3)), Rational(4, 3));
+  EXPECT_EQ(inst.platform.edge_cost(g.find_edge(2, 4)), Rational(4, 3));
+  // No upward links in the figure.
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(3, 1));
+}
+
+TEST(Fig6Triangle, MatchesFigure6a) {
+  ReduceInstance inst = fig6_triangle();
+  const auto& g = inst.platform.graph();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 6u);  // full mesh, both directions
+  EXPECT_EQ(inst.target, 0u);
+  EXPECT_EQ(inst.participants, (std::vector<graph::NodeId>{0, 1, 2}));
+  // "node 0 can process any two tasks in one time-unit".
+  EXPECT_EQ(inst.platform.compute_time(0, inst.task_work), Rational(1, 2));
+  EXPECT_EQ(inst.platform.compute_time(1, inst.task_work), Rational(1));
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(inst.platform.edge_cost(e), Rational(1));
+  }
+  EXPECT_EQ(inst.message_size, Rational(1));
+}
+
+TEST(Fig9Tiers, StructureMatchesFigure9) {
+  ReduceInstance inst = fig9_tiers();
+  const auto& g = inst.platform.graph();
+  EXPECT_EQ(g.num_nodes(), 14u);
+  EXPECT_EQ(g.num_edges(), 32u);  // 16 physical links
+  ASSERT_EQ(inst.participants.size(), 8u);
+  EXPECT_EQ(inst.target, 6u);
+  // Logical index -> node mapping from the figure.
+  EXPECT_EQ(inst.participants[0], 11u);
+  EXPECT_EQ(inst.participants[1], 8u);
+  EXPECT_EQ(inst.participants[2], 13u);
+  EXPECT_EQ(inst.participants[3], 9u);
+  EXPECT_EQ(inst.participants[4], 6u);
+  EXPECT_EQ(inst.participants[5], 12u);
+  EXPECT_EQ(inst.participants[6], 7u);
+  EXPECT_EQ(inst.participants[7], 10u);
+  // Host speeds from the figure.
+  EXPECT_EQ(inst.platform.node_speed(6), Rational(92));
+  EXPECT_EQ(inst.platform.node_speed(10), Rational(17));
+  EXPECT_EQ(inst.platform.node_speed(11), Rational(15));
+  // "task time = 10/s_i" with message size 10.
+  EXPECT_EQ(inst.message_size, Rational(10));
+  EXPECT_EQ(inst.task_work, Rational(10));
+  EXPECT_EQ(inst.platform.compute_time(6, inst.task_work), Rational(10, 92));
+  // LAN links are the fast 1000s.
+  EXPECT_EQ(inst.platform.edge_cost(g.find_edge(6, 7)), Rational(1, 1000));
+  EXPECT_EQ(inst.platform.edge_cost(g.find_edge(10, 11)), Rational(1, 1000));
+}
+
+TEST(Fig9Tiers, RoutesFromFigure11Exist) {
+  // The transfer chains printed in Fig. 11 must exist as edges.
+  ReduceInstance inst = fig9_tiers();
+  const auto& g = inst.platform.graph();
+  const graph::NodeId route[] = {10, 4, 12, 5, 0, 1, 2, 6};
+  for (std::size_t i = 0; i + 1 < std::size(route); ++i) {
+    EXPECT_TRUE(g.has_edge(route[i], route[i + 1]))
+        << route[i] << "->" << route[i + 1];
+  }
+  const graph::NodeId route2[] = {9, 8, 2, 6, 7};
+  for (std::size_t i = 0; i + 1 < std::size(route2); ++i) {
+    EXPECT_TRUE(g.has_edge(route2[i], route2[i + 1]));
+  }
+}
+
+TEST(Fig9Tiers, EveryParticipantReachesTarget) {
+  ReduceInstance inst = fig9_tiers();
+  for (graph::NodeId p : inst.participants) {
+    auto seen = graph::reachable_from(inst.platform.graph(), p);
+    EXPECT_TRUE(seen[inst.target]);
+  }
+}
+
+}  // namespace
+}  // namespace ssco::platform

@@ -1,0 +1,144 @@
+#include "platform/platform_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scatter_lp.h"
+
+namespace ssco::platform {
+namespace {
+
+using num::Rational;
+
+constexpr const char* kScatterText = R"(
+# The Fig. 2 toy platform.
+node Ps
+node Pa
+node Pb
+node P0
+node P1
+dlink Ps Pa 1
+dlink Ps Pb 1
+dlink Pa P0 2/3
+dlink Pb P0 4/3
+dlink Pb P1 4/3
+scatter Ps P0 P1
+)";
+
+TEST(PlatformIo, ParsesScatterDescription) {
+  auto desc = parse_platform_text(kScatterText);
+  EXPECT_EQ(desc.platform.num_nodes(), 5u);
+  EXPECT_EQ(desc.platform.num_edges(), 5u);
+  ASSERT_TRUE(desc.has_scatter());
+  const auto& inst = std::get<ScatterInstance>(desc.operation);
+  EXPECT_EQ(inst.source, 0u);
+  EXPECT_EQ(inst.targets, (std::vector<graph::NodeId>{3, 4}));
+  EXPECT_EQ(desc.platform.edge_cost(2), Rational(2, 3));
+  // The parsed instance is solvable and gives the paper's TP.
+  auto flow = core::solve_scatter(inst);
+  EXPECT_EQ(flow.throughput, Rational(1, 2));
+}
+
+TEST(PlatformIo, ParsesReduceWithSizeAndWork) {
+  auto desc = parse_platform_text(R"(
+node a 2
+node b
+link a b 1/2
+size 10
+work 5
+reduce b a b
+)");
+  ASSERT_TRUE(desc.has_reduce());
+  const auto& inst = std::get<ReduceInstance>(desc.operation);
+  EXPECT_EQ(inst.target, 1u);
+  EXPECT_EQ(inst.participants, (std::vector<graph::NodeId>{0, 1}));
+  EXPECT_EQ(inst.message_size, Rational(10));
+  EXPECT_EQ(inst.task_work, Rational(5));
+  EXPECT_EQ(desc.platform.node_speed(0), Rational(2));
+  EXPECT_EQ(desc.platform.num_edges(), 2u);  // link is bidirectional
+}
+
+TEST(PlatformIo, ParsesGossip) {
+  auto desc = parse_platform_text(R"(
+node a
+node b
+node c
+node d
+link a b 1
+link b c 1
+link c d 1
+gossip from a b to c d
+)");
+  ASSERT_TRUE(desc.has_gossip());
+  const auto& inst = std::get<GossipInstance>(desc.operation);
+  EXPECT_EQ(inst.sources, (std::vector<graph::NodeId>{0, 1}));
+  EXPECT_EQ(inst.targets, (std::vector<graph::NodeId>{2, 3}));
+}
+
+TEST(PlatformIo, CommentsAndBlankLinesIgnored) {
+  auto desc = parse_platform_text(R"(
+# header comment
+
+node x   # trailing comment
+node y
+link x y 3/4
+)");
+  EXPECT_EQ(desc.platform.num_nodes(), 2u);
+  EXPECT_FALSE(desc.has_scatter());
+}
+
+TEST(PlatformIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_platform_text("node a\nnode a\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+}
+
+TEST(PlatformIo, RejectsBadInput) {
+  EXPECT_THROW(parse_platform_text("frobnicate x\n"), std::invalid_argument);
+  EXPECT_THROW(parse_platform_text("node a\nlink a b 1\n"),
+               std::invalid_argument);  // unknown node b
+  EXPECT_THROW(parse_platform_text("node a\nnode b\nlink a b zero\n"),
+               std::invalid_argument);  // bad rational
+  EXPECT_THROW(parse_platform_text(""), std::invalid_argument);  // no nodes
+  EXPECT_THROW(parse_platform_text("node a\nnode b\nlink a b 1\n"
+                                   "scatter a b\nreduce b a b\n"),
+               std::invalid_argument);  // two operations
+  EXPECT_THROW(parse_platform_text("node a\nnode b\nlink a b 1\n"
+                                   "gossip a to b\n"),
+               std::invalid_argument);  // missing 'from'
+}
+
+TEST(PlatformIo, RoundTripPreservesEverything) {
+  auto desc = parse_platform_text(kScatterText);
+  std::string text = platform_to_text(desc);
+  auto desc2 = parse_platform_text(text);
+  EXPECT_EQ(desc2.platform.num_nodes(), desc.platform.num_nodes());
+  EXPECT_EQ(desc2.platform.num_edges(), desc.platform.num_edges());
+  for (graph::EdgeId e = 0; e < desc.platform.num_edges(); ++e) {
+    EXPECT_EQ(desc2.platform.edge_cost(e), desc.platform.edge_cost(e));
+    EXPECT_EQ(desc2.platform.graph().edge(e).src,
+              desc.platform.graph().edge(e).src);
+  }
+  ASSERT_TRUE(desc2.has_scatter());
+  EXPECT_EQ(std::get<ScatterInstance>(desc2.operation).targets,
+            std::get<ScatterInstance>(desc.operation).targets);
+}
+
+TEST(PlatformIo, RoundTripBidirectionalLinksStayMerged) {
+  auto desc = parse_platform_text(
+      "node a 3\nnode b\nlink a b 5/7\nsize 2\nreduce b a b\n");
+  std::string text = platform_to_text(desc);
+  // One 'link' line, not two 'dlink' lines.
+  EXPECT_NE(text.find("link a b 5/7"), std::string::npos);
+  EXPECT_EQ(text.find("dlink"), std::string::npos);
+  EXPECT_NE(text.find("node a 3"), std::string::npos);
+  EXPECT_NE(text.find("size 2"), std::string::npos);
+  auto desc2 = parse_platform_text(text);
+  EXPECT_EQ(desc2.platform.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace ssco::platform

@@ -1,0 +1,77 @@
+#include "platform/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::platform {
+namespace {
+
+using num::Rational;
+
+TEST(PlatformBuilder, BuildsNamedNodesAndLinks) {
+  PlatformBuilder b;
+  NodeId a = b.add_node("alpha", Rational(2));
+  NodeId c = b.add_node();  // default name P1, speed 1
+  b.add_link(a, c, Rational(1, 3));
+  Platform p = b.build();
+  EXPECT_EQ(p.num_nodes(), 2u);
+  EXPECT_EQ(p.num_edges(), 2u);
+  EXPECT_EQ(p.node_name(a), "alpha");
+  EXPECT_EQ(p.node_name(c), "P1");
+  EXPECT_EQ(p.node_speed(a), Rational(2));
+  EXPECT_EQ(p.node_speed(c), Rational(1));
+  EXPECT_EQ(p.edge_cost(0), Rational(1, 3));
+  EXPECT_EQ(p.edge_cost(1), Rational(1, 3));
+}
+
+TEST(PlatformBuilder, DirectedLinkIsOneWay) {
+  PlatformBuilder b;
+  NodeId a = b.add_node();
+  NodeId c = b.add_node();
+  b.add_directed_link(a, c, Rational(2));
+  Platform p = b.build();
+  EXPECT_EQ(p.num_edges(), 1u);
+  EXPECT_TRUE(p.graph().has_edge(a, c));
+  EXPECT_FALSE(p.graph().has_edge(c, a));
+}
+
+TEST(Platform, TransferAndComputeTimes) {
+  PlatformBuilder b;
+  NodeId a = b.add_node("a", Rational(4));
+  NodeId c = b.add_node("c");
+  b.add_link(a, c, Rational(1, 2));
+  Platform p = b.build();
+  EXPECT_EQ(p.transfer_time(0, Rational(10)), Rational(5));
+  EXPECT_EQ(p.compute_time(a, Rational(10)), Rational(5, 2));
+  EXPECT_EQ(p.compute_time(c, Rational(10)), Rational(10));
+}
+
+TEST(Platform, RejectsNonPositiveCost) {
+  graph::Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(Platform(g, {Rational(0)}, {Rational(1), Rational(1)}),
+               std::invalid_argument);
+  EXPECT_THROW(Platform(g, {Rational(-1)}, {Rational(1), Rational(1)}),
+               std::invalid_argument);
+}
+
+TEST(Platform, RejectsNonPositiveSpeed) {
+  graph::Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(Platform(g, {Rational(1)}, {Rational(1), Rational(0)}),
+               std::invalid_argument);
+}
+
+TEST(Platform, RejectsSizeMismatches) {
+  graph::Digraph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(Platform(g, {}, {Rational(1), Rational(1)}),
+               std::invalid_argument);
+  EXPECT_THROW(Platform(g, {Rational(1)}, {Rational(1)}),
+               std::invalid_argument);
+  EXPECT_THROW(Platform(g, {Rational(1)}, {Rational(1), Rational(1)},
+                        {"only-one-name"}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssco::platform

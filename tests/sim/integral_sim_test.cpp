@@ -1,0 +1,89 @@
+#include "sim/integral_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scatter_lp.h"
+#include "core/scatter_schedule.h"
+#include "testing/util.h"
+
+namespace ssco::sim {
+namespace {
+
+using testing::R;
+
+struct Pipeline {
+  platform::ScatterInstance inst;
+  core::MultiFlow flow;
+  core::PeriodicSchedule sched;
+};
+
+Pipeline no_split_pipeline(platform::ScatterInstance inst) {
+  Pipeline p;
+  p.inst = std::move(inst);
+  p.flow = core::solve_scatter(p.inst);
+  core::ScatterScheduleOptions options;
+  options.allow_split_messages = false;
+  p.sched = core::build_flow_schedule(p.inst.platform, p.flow, options);
+  return p;
+}
+
+TEST(IntegralSim, RejectsSplitSchedules) {
+  auto inst = platform::fig2_toy();
+  auto flow = core::solve_scatter(inst);
+  auto split = core::build_flow_schedule(inst.platform, flow);
+  if (!split.has_integral_messages()) {
+    auto result = simulate_integral_flow(inst.platform, flow, split, 5);
+    EXPECT_NE(result.error, "");
+  }
+}
+
+TEST(IntegralSim, Fig2DeliversWholeMessagesAtFullRate) {
+  Pipeline p = no_split_pipeline(platform::fig2_toy());
+  auto result = simulate_integral_flow(p.inst.platform, p.flow, p.sched, 20);
+  ASSERT_EQ(result.error, "");
+  EXPECT_TRUE(result.steady_state_reached);
+  // Whole-message counts only.
+  num::Rational per_period = p.flow.throughput * p.sched.period;
+  for (std::size_t k = 0; k < p.flow.commodities.size(); ++k) {
+    EXPECT_LE(num::Rational(static_cast<std::int64_t>(result.delivered[k])),
+              per_period * R("20"));
+    EXPECT_GT(result.delivered[k], 0u);
+  }
+  EXPECT_GT(result.completed_operations, 0u);
+}
+
+TEST(IntegralSim, CompletedOperationsLagDeliveries) {
+  // Per-operation completion needs EVERY commodity's message i; it can only
+  // trail the per-commodity delivery counts.
+  Pipeline p = no_split_pipeline(platform::fig2_toy());
+  auto result = simulate_integral_flow(p.inst.platform, p.flow, p.sched, 15);
+  ASSERT_EQ(result.error, "");
+  for (std::uint64_t d : result.delivered) {
+    EXPECT_LE(result.completed_operations, d);
+  }
+}
+
+TEST(IntegralSim, MatchesFluidUpToRampAndRounding) {
+  Pipeline p = no_split_pipeline(platform::fig2_toy());
+  auto integral = simulate_integral_flow(p.inst.platform, p.flow, p.sched, 40);
+  ASSERT_EQ(integral.error, "");
+  double bound = (p.flow.throughput * integral.horizon).to_double();
+  double achieved = static_cast<double>(integral.completed_operations);
+  EXPECT_GT(achieved / bound, 0.85);
+  EXPECT_LE(achieved, bound + 1e-9);
+}
+
+TEST(IntegralSim, NoDuplicatesOnRandomPlatforms) {
+  for (std::uint64_t seed : {19, 38, 57}) {
+    Pipeline p = no_split_pipeline(
+        testing::random_scatter_instance(seed, 6, 2));
+    auto result =
+        simulate_integral_flow(p.inst.platform, p.flow, p.sched, 25);
+    EXPECT_EQ(result.error, "") << "seed " << seed;
+    EXPECT_TRUE(result.steady_state_reached) << "seed " << seed;
+    EXPECT_GT(result.completed_operations, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ssco::sim

@@ -1,0 +1,134 @@
+#include "sim/oneport_check.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/util.h"
+
+namespace ssco::sim {
+namespace {
+
+using core::CommActivity;
+using core::CompActivity;
+using core::PeriodicSchedule;
+using testing::R;
+
+/// Two nodes, one link each way, cost 1; speed 1 both.
+platform::Platform tiny() {
+  platform::PlatformBuilder b;
+  auto a = b.add_node();
+  auto c = b.add_node();
+  b.add_link(a, c, R("1"));
+  return b.build();
+}
+
+TEST(OneportCheck, AcceptsCleanSchedule) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("4");
+  s.comms.push_back(CommActivity{0, 0, R("0"), R("1"), R("1")});
+  s.comms.push_back(CommActivity{0, 1, R("1"), R("3"), R("2")});
+  s.comps.push_back(CompActivity{0, 0, R("0"), R("2"), R("2")});
+  EXPECT_EQ(check_oneport(s, p), "");
+}
+
+TEST(OneportCheck, TouchingEndpointsAreFine) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("2");
+  s.comms.push_back(CommActivity{0, 0, R("0"), R("1"), R("1")});
+  s.comms.push_back(CommActivity{0, 1, R("1"), R("2"), R("1")});
+  EXPECT_EQ(check_oneport(s, p), "");
+}
+
+TEST(OneportCheck, DetectsOutPortOverlap) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("4");
+  s.comms.push_back(CommActivity{0, 0, R("0"), R("2"), R("2")});
+  s.comms.push_back(CommActivity{0, 1, R("1"), R("3"), R("2")});
+  std::string err = check_oneport(s, p);
+  EXPECT_NE(err.find("overlapping"), std::string::npos);
+}
+
+TEST(OneportCheck, DetectsInPortOverlapAcrossEdges) {
+  // Three nodes: 0->2 and 1->2 overlap at node 2's in-port.
+  platform::PlatformBuilder b;
+  auto n0 = b.add_node();
+  auto n1 = b.add_node();
+  auto n2 = b.add_node();
+  b.add_directed_link(n0, n2, R("1"));
+  b.add_directed_link(n1, n2, R("1"));
+  platform::Platform p = b.build();
+  PeriodicSchedule s;
+  s.period = R("4");
+  s.comms.push_back(CommActivity{0, 0, R("0"), R("2"), R("2")});
+  s.comms.push_back(CommActivity{1, 0, R("1"), R("3"), R("2")});
+  std::string err = check_oneport(s, p);
+  EXPECT_NE(err.find("in-port"), std::string::npos);
+}
+
+TEST(OneportCheck, SendAndReceiveMayOverlap) {
+  // Full-duplex: node 0 sends to 1 while receiving from 1 — legal.
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("2");
+  s.comms.push_back(CommActivity{0, 0, R("0"), R("1"), R("1")});  // 0 -> 1
+  s.comms.push_back(CommActivity{1, 0, R("0"), R("1"), R("1")});  // 1 -> 0
+  EXPECT_EQ(check_oneport(s, p), "");
+}
+
+TEST(OneportCheck, DetectsWrongCommDuration) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("4");
+  s.comms.push_back(CommActivity{0, 0, R("0"), R("1"), R("2")});  // needs 2
+  std::string err = check_oneport(s, p);
+  EXPECT_NE(err.find("duration"), std::string::npos);
+}
+
+TEST(OneportCheck, DetectsWrongCompDuration) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("4");
+  s.comps.push_back(CompActivity{0, 0, R("0"), R("1"), R("3")});
+  EXPECT_NE(check_oneport(s, p), "");
+}
+
+TEST(OneportCheck, DetectsActivityPastPeriod) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("1");
+  s.comms.push_back(CommActivity{0, 0, R("1/2"), R("3/2"), R("1")});
+  EXPECT_NE(check_oneport(s, p).find("outside"), std::string::npos);
+}
+
+TEST(OneportCheck, DetectsCpuOverlap) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("4");
+  s.comps.push_back(CompActivity{0, 0, R("0"), R("2"), R("2")});
+  s.comps.push_back(CompActivity{0, 1, R("1"), R("3"), R("2")});
+  EXPECT_NE(check_oneport(s, p).find("cpu"), std::string::npos);
+}
+
+TEST(OneportCheck, MessageSizeOptionScalesDurations) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("4");
+  s.comms.push_back(CommActivity{0, 0, R("0"), R("2"), R("1")});
+  OneportCheckOptions options;
+  options.message_size = R("2");
+  EXPECT_EQ(check_oneport(s, p, options), "");
+  EXPECT_NE(check_oneport(s, p, {}), "");  // with size 1, duration is wrong
+}
+
+TEST(OneportCheck, RejectsNonPositiveTraffic) {
+  platform::Platform p = tiny();
+  PeriodicSchedule s;
+  s.period = R("4");
+  s.comms.push_back(CommActivity{0, 0, R("0"), R("0"), R("0")});
+  EXPECT_NE(check_oneport(s, p), "");
+}
+
+}  // namespace
+}  // namespace ssco::sim

@@ -1,0 +1,104 @@
+#include "sim/reduce_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/reduce_lp.h"
+#include "core/reduce_schedule.h"
+#include "core/tree_extract.h"
+#include "testing/util.h"
+
+namespace ssco::sim {
+namespace {
+
+using testing::R;
+
+struct Pipeline {
+  platform::ReduceInstance inst;
+  core::ReduceSolution sol;
+  core::PeriodicSchedule sched;
+};
+
+Pipeline pipeline_for(platform::ReduceInstance inst) {
+  Pipeline p;
+  p.inst = std::move(inst);
+  p.sol = core::solve_reduce(p.inst);
+  auto trees = core::extract_trees(p.inst, p.sol);
+  p.sched = core::build_reduce_schedule(p.inst, trees);
+  return p;
+}
+
+TEST(ReduceSim, Fig6ReachesFullRate) {
+  Pipeline p = pipeline_for(platform::fig6_triangle());
+  auto result = simulate_reduce_schedule(p.inst, p.sched, 30);
+  EXPECT_TRUE(result.steady_state_reached);
+  ASSERT_GE(result.completed_by_period.size(), 2u);
+  Rational last_delta =
+      result.completed_by_period.back() -
+      result.completed_by_period[result.completed_by_period.size() - 2];
+  EXPECT_EQ(last_delta, p.sol.throughput * p.sched.period);
+}
+
+TEST(ReduceSim, CompletionsNeverExceedFluidOptimum) {
+  Pipeline p = pipeline_for(platform::fig6_triangle());
+  auto result = simulate_reduce_schedule(p.inst, p.sched, 30);
+  Rational per_period = p.sol.throughput * p.sched.period;
+  for (std::size_t i = 0; i < result.completed_by_period.size(); ++i) {
+    EXPECT_LE(result.completed_by_period[i],
+              per_period * Rational(static_cast<std::int64_t>(i + 1)));
+  }
+}
+
+TEST(ReduceSim, CompletionsMonotone) {
+  Pipeline p = pipeline_for(platform::fig6_triangle());
+  auto result = simulate_reduce_schedule(p.inst, p.sched, 20);
+  for (std::size_t i = 1; i < result.completed_by_period.size(); ++i) {
+    EXPECT_GE(result.completed_by_period[i],
+              result.completed_by_period[i - 1]);
+  }
+}
+
+TEST(ReduceSim, PipelineDepthDelaysFirstCompletion) {
+  // The Tiers schedule has long transfer chains; the very first period
+  // cannot already deliver the steady rate (the pipeline must fill).
+  Pipeline p = pipeline_for(platform::fig9_tiers());
+  auto result = simulate_reduce_schedule(p.inst, p.sched, 40);
+  Rational per_period = p.sol.throughput * p.sched.period;
+  EXPECT_LT(result.completed_by_period.front(), per_period);
+  // ... but it does converge.
+  Rational last_delta =
+      result.completed_by_period.back() -
+      result.completed_by_period[result.completed_by_period.size() - 2];
+  EXPECT_EQ(last_delta, per_period);
+}
+
+TEST(ReduceSim, AsymptoticRatioApproachesOne) {
+  // Proposition 3 for reduce.
+  Pipeline p = pipeline_for(platform::fig6_triangle());
+  auto short_run = simulate_reduce_schedule(p.inst, p.sched, 5);
+  auto long_run = simulate_reduce_schedule(p.inst, p.sched, 80);
+  auto ratio = [&p](const ReduceSimResult& r) {
+    return (r.completed_operations / (p.sol.throughput * r.horizon))
+        .to_double();
+  };
+  EXPECT_GE(ratio(long_run), ratio(short_run));
+  EXPECT_GT(ratio(long_run), 0.95);
+}
+
+class ReduceSimPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReduceSimPropertyTest, RandomInstancesConverge) {
+  Pipeline p =
+      pipeline_for(testing::random_reduce_instance(GetParam(), 6, 3));
+  auto result = simulate_reduce_schedule(p.inst, p.sched, 40);
+  EXPECT_TRUE(result.steady_state_reached);
+  Rational last_delta =
+      result.completed_by_period.back() -
+      result.completed_by_period[result.completed_by_period.size() - 2];
+  EXPECT_EQ(last_delta, p.sol.throughput * p.sched.period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReduceSimPropertyTest,
+                         ::testing::Values(31, 62, 93, 124));
+
+}  // namespace
+}  // namespace ssco::sim

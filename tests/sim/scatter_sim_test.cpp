@@ -1,0 +1,133 @@
+#include "sim/scatter_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scatter_lp.h"
+#include "core/scatter_schedule.h"
+#include "testing/util.h"
+
+namespace ssco::sim {
+namespace {
+
+using testing::R;
+
+struct Pipeline {
+  platform::ScatterInstance inst;
+  core::MultiFlow flow;
+  core::PeriodicSchedule sched;
+};
+
+Pipeline fig2_pipeline() {
+  Pipeline p;
+  p.inst = platform::fig2_toy();
+  p.flow = core::solve_scatter(p.inst);
+  p.sched = core::build_flow_schedule(p.inst.platform, p.flow);
+  return p;
+}
+
+TEST(ScatterSim, ReachesSteadyStateAtFullRate) {
+  Pipeline p = fig2_pipeline();
+  auto result = simulate_flow_schedule(p.inst.platform, p.flow, p.sched, 20);
+  EXPECT_TRUE(result.steady_state_reached);
+  // In the last period, every target received exactly TP * period.
+  const auto& by_period = result.delivered_by_period;
+  ASSERT_GE(by_period.size(), 2u);
+  Rational per_period_expected = p.flow.throughput * p.sched.period;
+  for (std::size_t k = 0; k < p.flow.commodities.size(); ++k) {
+    Rational last_delta =
+        by_period.back()[k] - by_period[by_period.size() - 2][k];
+    EXPECT_EQ(last_delta, per_period_expected);
+  }
+}
+
+TEST(ScatterSim, RampUpNeverExceedsSteadyRate) {
+  Pipeline p = fig2_pipeline();
+  auto result = simulate_flow_schedule(p.inst.platform, p.flow, p.sched, 20);
+  Rational per_period = p.flow.throughput * p.sched.period;
+  Rational prev(0);
+  for (std::size_t i = 0; i < result.delivered_by_period.size(); ++i) {
+    for (std::size_t k = 0; k < p.flow.commodities.size(); ++k) {
+      Rational cum = result.delivered_by_period[i][k];
+      // Cumulative deliveries can never exceed the fluid optimum TP * t.
+      EXPECT_LE(cum, per_period * Rational(static_cast<std::int64_t>(i + 1)));
+    }
+    (void)prev;
+  }
+}
+
+TEST(ScatterSim, CumulativeDeliveriesMonotone) {
+  Pipeline p = fig2_pipeline();
+  auto result = simulate_flow_schedule(p.inst.platform, p.flow, p.sched, 12);
+  for (std::size_t k = 0; k < p.flow.commodities.size(); ++k) {
+    for (std::size_t i = 1; i < result.delivered_by_period.size(); ++i) {
+      EXPECT_GE(result.delivered_by_period[i][k],
+                result.delivered_by_period[i - 1][k]);
+    }
+  }
+}
+
+TEST(ScatterSim, CompletedOperationsIsMinOverTargets) {
+  Pipeline p = fig2_pipeline();
+  auto result = simulate_flow_schedule(p.inst.platform, p.flow, p.sched, 10);
+  Rational min_delivered = result.delivered[0];
+  for (const Rational& d : result.delivered) {
+    min_delivered = Rational::min(min_delivered, d);
+  }
+  EXPECT_EQ(result.completed_operations, min_delivered);
+}
+
+TEST(ScatterSim, HorizonIsPeriodsTimesPeriod) {
+  Pipeline p = fig2_pipeline();
+  auto result = simulate_flow_schedule(p.inst.platform, p.flow, p.sched, 7);
+  EXPECT_EQ(result.horizon, p.sched.period * Rational(7));
+}
+
+TEST(ScatterSim, AsymptoticRatioApproachesOne) {
+  // Proposition 1: steady(K)/opt(K) -> 1.
+  Pipeline p = fig2_pipeline();
+  auto short_run =
+      simulate_flow_schedule(p.inst.platform, p.flow, p.sched, 4);
+  auto long_run =
+      simulate_flow_schedule(p.inst.platform, p.flow, p.sched, 64);
+  auto ratio = [&p](const ScatterSimResult& r) {
+    return (r.completed_operations / (p.flow.throughput * r.horizon))
+        .to_double();
+  };
+  EXPECT_GE(ratio(long_run), ratio(short_run));
+  EXPECT_GT(ratio(long_run), 0.95);
+}
+
+TEST(ScatterSim, NoSplitScheduleMovesWholeMessages) {
+  Pipeline p = fig2_pipeline();
+  core::ScatterScheduleOptions options;
+  options.allow_split_messages = false;
+  auto sched = core::build_flow_schedule(p.inst.platform, p.flow, options);
+  auto result = simulate_flow_schedule(p.inst.platform, p.flow, sched, 10);
+  EXPECT_TRUE(result.steady_state_reached);
+  for (const Rational& d : result.delivered) {
+    EXPECT_TRUE(d.is_integer());
+  }
+}
+
+class ScatterSimPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScatterSimPropertyTest, RandomPlatformsConverge) {
+  auto inst = testing::random_scatter_instance(GetParam(), 6, 2);
+  auto flow = core::solve_scatter(inst);
+  auto sched = core::build_flow_schedule(inst.platform, flow);
+  auto result = simulate_flow_schedule(inst.platform, flow, sched, 30);
+  EXPECT_TRUE(result.steady_state_reached);
+  Rational per_period = flow.throughput * sched.period;
+  const auto& by_period = result.delivered_by_period;
+  for (std::size_t k = 0; k < flow.commodities.size(); ++k) {
+    EXPECT_EQ(by_period.back()[k] - by_period[by_period.size() - 2][k],
+              per_period);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScatterSimPropertyTest,
+                         ::testing::Values(19, 38, 57, 76, 95));
+
+}  // namespace
+}  // namespace ssco::sim

@@ -22,25 +22,35 @@ namespace {
 void BM_ScatterLp(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto inst = bench_support::random_scatter_instance(42, n, n / 2);
+  std::size_t pivots = 0;
   for (auto _ : state) {
     auto flow = core::solve_scatter(inst);
     benchmark::DoNotOptimize(flow.throughput);
+    pivots += flow.lp_pivots;
   }
   state.counters["nodes"] = static_cast<double>(n);
+  state.counters["pivots_per_sec"] = benchmark::Counter(
+      static_cast<double>(pivots), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_ScatterLp)->Arg(6)->Arg(10)->Arg(14)->Arg(18)->Iterations(3)
-    ->Unit(benchmark::kMillisecond);
+// The args beyond 18 are the regime the dense tableau could not reach; they
+// exercise the revised engine's eta/refactorization cycle at scale.
+BENCHMARK(BM_ScatterLp)->Arg(6)->Arg(10)->Arg(14)->Arg(18)->Arg(32)->Arg(48)
+    ->Arg(64)->Iterations(3)->Unit(benchmark::kMillisecond);
 
 void BM_GossipLp(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto inst = bench_support::random_gossip_instance(43, n);
+  std::size_t pivots = 0;
   for (auto _ : state) {
     auto flow = core::solve_gossip(inst);
     benchmark::DoNotOptimize(flow.throughput);
+    pivots += flow.lp_pivots;
   }
+  state.counters["pivots_per_sec"] = benchmark::Counter(
+      static_cast<double>(pivots), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_GossipLp)->Arg(6)->Arg(9)->Arg(12)->Iterations(3)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GossipLp)->Arg(6)->Arg(9)->Arg(12)->Arg(16)->Arg(24)->Arg(32)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
 
 void BM_ReduceLp(benchmark::State& state) {
   const auto participants = static_cast<std::size_t>(state.range(0));

@@ -44,6 +44,8 @@ struct MultiFlow {
   Rational message_size{1};
   bool certified = false;
   std::string lp_method;
+  /// Simplex pivots spent solving the LP (float + exact passes combined).
+  std::size_t lp_pivots = 0;
 
   /// Busy time per time-unit on each edge: sum_k flow_k(e) * size * c(e).
   [[nodiscard]] std::vector<Rational> edge_occupation(

@@ -169,6 +169,7 @@ MultiFlow solve_gossip(const GossipInstance& instance,
   flow.message_size = instance.message_size;
   flow.certified = sol.certified;
   flow.lp_method = sol.method;
+  flow.lp_pivots = sol.float_iterations + sol.exact_iterations;
   flow.commodities.resize(pairs.size());
   std::size_t next_var = 0;
   for (std::size_t p = 0; p < pairs.size(); ++p) {

@@ -243,6 +243,7 @@ ReduceSolution solve_reduce(const ReduceInstance& instance,
   out.num_participants = instance.participants.size();
   out.certified = sol.certified;
   out.lp_method = sol.method;
+  out.lp_pivots = sol.float_iterations + sol.exact_iterations;
   out.send.assign(sp.num_intervals(),
                   std::vector<Rational>(graph.num_edges(), Rational(0)));
   out.cons.assign(graph.num_nodes(),

@@ -36,6 +36,8 @@ struct ReduceSolution {
   std::vector<std::vector<Rational>> cons;
   bool certified = false;
   std::string lp_method;
+  /// Simplex pivots spent solving the LP (float + exact passes combined).
+  std::size_t lp_pivots = 0;
 
   [[nodiscard]] IntervalSpace space() const {
     return IntervalSpace(num_participants);

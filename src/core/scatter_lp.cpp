@@ -177,6 +177,7 @@ MultiFlow solve_scatter(const ScatterInstance& instance,
   flow.message_size = instance.message_size;
   flow.certified = sol.certified;
   flow.lp_method = sol.method;
+  flow.lp_pivots = sol.float_iterations + sol.exact_iterations;
   std::size_t next_var = 0;
   flow.commodities.resize(instance.targets.size());
   for (std::size_t k = 0; k < instance.targets.size(); ++k) {

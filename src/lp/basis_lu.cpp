@@ -1,0 +1,147 @@
+#include "lp/basis_lu.h"
+
+#include <cmath>
+
+namespace ssco::lp {
+
+std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
+                                       const std::vector<std::size_t>& columns,
+                                       const Options& options) {
+  const std::size_t m = A.num_rows();
+  if (columns.size() != m) return std::nullopt;
+
+  BasisLu lu;
+  lu.options_ = options;
+  lu.pivot_row_.assign(m, 0);
+  lu.lower_.resize(m);
+  lu.upper_.resize(m);
+  lu.diag_.assign(m, 0.0);
+  lu.scratch_.assign(m, 0.0);
+
+  // pivoted_at[i] = elimination step that chose row i, or m if still free.
+  std::vector<std::size_t> pivoted_at(m, m);
+  std::vector<double> x(m, 0.0);
+  std::vector<std::size_t> touched;
+  touched.reserve(m);
+
+  for (std::size_t k = 0; k < m; ++k) {
+    // x = column k of B, scattered dense.
+    for (const CscMatrix::Entry* e = A.col_begin(columns[k]);
+         e != A.col_end(columns[k]); ++e) {
+      x[e->row] = e->value;
+      touched.push_back(e->row);
+    }
+    // Left-looking solve L x' = x against the already-built columns, in
+    // elimination order.
+    for (std::size_t j = 0; j < k; ++j) {
+      const double xp = x[lu.pivot_row_[j]];
+      if (xp == 0.0) continue;
+      for (const auto& [row, l] : lu.lower_[j]) {
+        if (x[row] == 0.0) touched.push_back(row);
+        x[row] -= l * xp;
+      }
+    }
+    // Partial pivoting over the rows not yet chosen.
+    std::size_t pivot = m;
+    double best = 0.0;
+    for (std::size_t row : touched) {
+      if (pivoted_at[row] != m) continue;
+      const double mag = std::fabs(x[row]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    if (pivot == m || best < options.pivot_tolerance) return std::nullopt;
+
+    lu.pivot_row_[k] = pivot;
+    pivoted_at[pivot] = k;
+    const double dk = x[pivot];
+    lu.diag_[k] = dk;
+    auto& ucol = lu.upper_[k];
+    auto& lcol = lu.lower_[k];
+    for (std::size_t row : touched) {
+      const double v = x[row];
+      x[row] = 0.0;  // reset the accumulator as we drain it
+      if (row == pivot || std::fabs(v) <= options.drop_tolerance) continue;
+      if (pivoted_at[row] != m) {
+        ucol.emplace_back(pivoted_at[row], v);
+      } else {
+        lcol.emplace_back(row, v / dk);
+      }
+    }
+    touched.clear();
+  }
+  return lu;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  const std::size_t m = dim();
+  // Apply L^-1 (row space).
+  for (std::size_t k = 0; k < m; ++k) {
+    const double xp = x[pivot_row_[k]];
+    if (xp == 0.0) continue;
+    for (const auto& [row, l] : lower_[k]) x[row] -= l * xp;
+  }
+  // Permute into position space, then backsolve U.
+  std::vector<double>& y = scratch_;
+  for (std::size_t k = 0; k < m; ++k) y[k] = x[pivot_row_[k]];
+  for (std::size_t k = m; k-- > 0;) {
+    const double t = y[k] / diag_[k];
+    y[k] = t;
+    if (t == 0.0) continue;
+    for (const auto& [pos, u] : upper_[k]) y[pos] -= u * t;
+  }
+  x.swap(y);
+  // Product-form updates, oldest first.
+  for (const Eta& eta : etas_) {
+    const double t = x[eta.r] / eta.pivot;
+    x[eta.r] = t;
+    if (t == 0.0) continue;
+    for (const auto& [pos, w] : eta.terms) x[pos] -= w * t;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& x) const {
+  const std::size_t m = dim();
+  // Transposed eta file, newest first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double t = x[it->r];
+    for (const auto& [pos, w] : it->terms) t -= w * x[pos];
+    x[it->r] = t / it->pivot;
+  }
+  // Forward solve U' w = c in position space: every entry of upper_[k] sits
+  // at a position j < k, already final when step k runs.
+  for (std::size_t k = 0; k < m; ++k) {
+    double t = x[k];
+    for (const auto& [pos, u] : upper_[k]) t -= u * x[pos];
+    x[k] = t / diag_[k];
+  }
+  // Permute back to row space and apply L^-T, newest elimination step first.
+  std::vector<double>& y = scratch_;
+  y.assign(m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) y[pivot_row_[k]] = x[k];
+  for (std::size_t k = m; k-- > 0;) {
+    double t = y[pivot_row_[k]];
+    for (const auto& [row, l] : lower_[k]) t -= l * y[row];
+    y[pivot_row_[k]] = t;
+  }
+  x.swap(y);
+}
+
+bool BasisLu::update(std::size_t r, const std::vector<double>& w) {
+  const double pivot = w[r];
+  if (std::fabs(pivot) < options_.pivot_tolerance) return false;
+  Eta eta;
+  eta.r = r;
+  eta.pivot = pivot;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (i != r && std::fabs(w[i]) > options_.drop_tolerance) {
+      eta.terms.emplace_back(i, w[i]);
+    }
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+}  // namespace ssco::lp

@@ -1,0 +1,94 @@
+#pragma once
+// LU-factorized simplex basis with product-form (eta) updates.
+//
+// Factors the m x m basis matrix B — given as a selection of columns of a
+// CSC constraint matrix — into P B = L U by left-looking Gaussian
+// elimination with partial pivoting over a dense accumulator: the factors
+// and all fill-in stay sparse, but each elimination step probes every prior
+// step for a contribution, so factorization costs O(m^2 + flops). (A
+// Gilbert–Peierls symbolic pass would drop the m^2 term; at current basis
+// sizes the probe loop is not the bottleneck.) The factors support
+//   * FTRAN: solve B x = b   (entering-column transform, basic values),
+//   * BTRAN: solve B' y = c  (simplex multipliers, pricing row),
+// each in O(nnz(L) + nnz(U)) plus the eta file.
+//
+// Basis exchanges are absorbed as product-form eta vectors (Forrest-style
+// refactorize-or-update policy is the caller's: `updates()` reports the eta
+// count so the simplex driver can refactorize periodically, which also
+// resets floating-point drift). The same factorization serves as the float
+// kernel of the exact iterative refinement in lp/exact_basis.h.
+//
+// Index spaces: `b` for FTRAN and the BTRAN result `y` live in ROW space;
+// the FTRAN result `x` and the BTRAN input `c` live in BASIS-POSITION space
+// (component k corresponds to the k-th basis column).
+//
+// NOT thread-safe: ftran/btran are const but share one internal scratch
+// buffer, so concurrent solves on the same BasisLu corrupt each other.
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "lp/sparse.h"
+
+namespace ssco::lp {
+
+class BasisLu {
+ public:
+  struct Options {
+    /// A pivot below this (in absolute value) marks the basis singular.
+    double pivot_tolerance = 1e-11;
+    /// Entries below this are dropped from the factors and eta vectors.
+    double drop_tolerance = 1e-14;
+  };
+
+  /// Factors the matrix whose k-th column is A[:, columns[k]].
+  /// `columns.size()` must equal A.num_rows(). Returns nullopt when the
+  /// selection is numerically singular.
+  [[nodiscard]] static std::optional<BasisLu> factor(
+      const CscMatrix& A, const std::vector<std::size_t>& columns,
+      const Options& options);
+  [[nodiscard]] static std::optional<BasisLu> factor(
+      const CscMatrix& A, const std::vector<std::size_t>& columns) {
+    return factor(A, columns, Options{});
+  }
+
+  [[nodiscard]] std::size_t dim() const { return pivot_row_.size(); }
+  [[nodiscard]] std::size_t updates() const { return etas_.size(); }
+
+  /// Solves B x = b in place: on entry `x` holds b (row space), on exit the
+  /// solution in basis-position space.
+  void ftran(std::vector<double>& x) const;
+
+  /// Solves B' y = c in place: on entry `x` holds c (basis-position space),
+  /// on exit the solution in row space.
+  void btran(std::vector<double>& x) const;
+
+  /// Absorbs a basis exchange at position `r` as an eta vector, where `w` is
+  /// the FTRAN-transformed entering column (w = B^-1 a, position space).
+  /// Returns false — leaving the factorization unchanged — when |w[r]| is
+  /// too small to pivot on; the caller should refactorize instead.
+  [[nodiscard]] bool update(std::size_t r, const std::vector<double>& w);
+
+ private:
+  struct Eta {
+    std::size_t r = 0;
+    double pivot = 1.0;                                 // w[r]
+    std::vector<std::pair<std::size_t, double>> terms;  // w[i], i != r
+  };
+
+  Options options_;
+  /// pivot_row_[k]: row chosen as pivot at elimination step k (a permutation).
+  std::vector<std::size_t> pivot_row_;
+  /// Column k of L (unit diagonal implicit): multipliers (row, l_ik) for rows
+  /// not yet pivoted at step k, in original row indices.
+  std::vector<std::vector<std::pair<std::size_t, double>>> lower_;
+  /// Column k of U above the diagonal: (position j < k, u_jk).
+  std::vector<std::vector<std::pair<std::size_t, double>>> upper_;
+  std::vector<double> diag_;  // u_kk
+  std::vector<Eta> etas_;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace ssco::lp

@@ -1,0 +1,55 @@
+#include "lp/column_layout.h"
+
+namespace ssco::lp {
+
+ColumnLayout ColumnLayout::from(const ExpandedModel& em) {
+  const std::size_t m = em.rows.size();
+  ColumnLayout layout;
+  layout.num_vars = em.num_vars;
+  layout.flipped.assign(m, false);
+  layout.sense.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    layout.flipped[i] = em.rows[i].rhs.is_negative();
+    Sense s = em.rows[i].sense;
+    if (layout.flipped[i]) {
+      if (s == Sense::kLessEqual) {
+        s = Sense::kGreaterEqual;
+      } else if (s == Sense::kGreaterEqual) {
+        s = Sense::kLessEqual;
+      }
+    }
+    layout.sense[i] = s;
+  }
+
+  std::size_t next = em.num_vars;
+  layout.slack_col.assign(m, kNone);
+  layout.art_col.assign(m, kNone);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (layout.sense[i] != Sense::kEqual) layout.slack_col[i] = next++;
+  }
+  layout.art_start_col = next;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (layout.sense[i] != Sense::kLessEqual) layout.art_col[i] = next++;
+  }
+  layout.num_cols = next;
+
+  layout.column_identity.resize(layout.num_cols);
+  for (std::size_t j = 0; j < em.num_vars; ++j) {
+    layout.column_identity[j] = {BasisColumn::Kind::kStructural, j};
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (layout.slack_col[i] != kNone) {
+      layout.column_identity[layout.slack_col[i]] = {
+          layout.sense[i] == Sense::kLessEqual ? BasisColumn::Kind::kSlack
+                                               : BasisColumn::Kind::kSurplus,
+          i};
+    }
+    if (layout.art_col[i] != kNone) {
+      layout.column_identity[layout.art_col[i]] = {
+          BasisColumn::Kind::kArtificial, i};
+    }
+  }
+  return layout;
+}
+
+}  // namespace ssco::lp

@@ -1,0 +1,47 @@
+#pragma once
+// Simplex column layout of the expanded model, shared by both engines.
+//
+// The dense exact tableau (lp/simplex.cpp) and the sparse revised engine
+// (lp/revised_simplex.cpp) must agree byte-for-byte on how columns map to
+// structural variables, slacks/surpluses, and artificials: ExactSolver's
+// certificate paths decode the final BasisColumn list against this mapping,
+// so a divergence would silently break basis verification. Keeping the
+// layout in one place makes divergence impossible.
+//
+// Layout: [0, num_vars) structural; then one slack/surplus per inequality
+// row; then one artificial per >=/== row — both groups in row order, against
+// the EFFECTIVE senses (after rows with negative RHS are flipped).
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace ssco::lp {
+
+struct ColumnLayout {
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  std::size_t num_vars = 0;
+  std::size_t num_cols = 0;
+  std::size_t art_start_col = 0;
+  /// True when row i was negated to make its RHS non-negative.
+  std::vector<bool> flipped;
+  /// Sense of each row AFTER flipping.
+  std::vector<Sense> sense;
+  std::vector<std::size_t> slack_col;  // kNone for == rows
+  std::vector<std::size_t> art_col;    // kNone for <= rows
+  /// Expanded-model identity of every column, indexed by column.
+  std::vector<BasisColumn> column_identity;
+
+  [[nodiscard]] static ColumnLayout from(const ExpandedModel& em);
+
+  [[nodiscard]] bool is_artificial(std::size_t col) const {
+    return col >= art_start_col && col < num_cols;
+  }
+  [[nodiscard]] bool has_artificials() const {
+    return art_start_col < num_cols;
+  }
+};
+
+}  // namespace ssco::lp

@@ -3,7 +3,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <numeric>
 
+#include "lp/basis_lu.h"
+#include "lp/sparse.h"
 #include "num/reconstruct.h"
 
 namespace ssco::lp {
@@ -26,87 +29,43 @@ std::vector<Rational> SparseColumns::multiply(
   for (std::size_t j = 0; j < n; ++j) {
     if (x[j].is_zero()) continue;
     for (const auto& [i, v] : cols[j]) {
-      y[i] += v * x[j];
+      y[i].add_product(v, x[j]);
     }
   }
   return y;
 }
 
+std::vector<Rational> SparseColumns::multiply_transposed(
+    const std::vector<Rational>& y) const {
+  std::vector<Rational> x(n, Rational(0));
+  for (std::size_t j = 0; j < n; ++j) {
+    for (const auto& [i, v] : cols[j]) {
+      x[j].add_product(v, y[i]);
+    }
+  }
+  return x;
+}
+
 namespace {
 
-/// Dense double LU with partial pivoting; empty on singularity.
-class DoubleLu {
- public:
-  static std::optional<DoubleLu> factor(const SparseColumns& m) {
-    DoubleLu lu;
-    lu.n_ = m.n;
-    lu.a_.assign(m.n * m.n, 0.0);
-    for (std::size_t j = 0; j < m.n; ++j) {
-      for (const auto& [i, v] : m.cols[j]) {
-        lu.a_[i * m.n + j] = v.to_double();
-      }
+/// Floating-point image of the rational matrix, factored by the shared
+/// sparse LU of the simplex basis (lp/basis_lu.h) — the float kernel the
+/// exact refinement iterates against.
+std::optional<BasisLu> factor_double_image(const SparseColumns& m) {
+  CscMatrix a(m.n);
+  std::size_t nnz = 0;
+  for (const auto& col : m.cols) nnz += col.size();
+  a.reserve(m.n, nnz);
+  for (std::size_t j = 0; j < m.n; ++j) {
+    for (const auto& [i, v] : m.cols[j]) {
+      a.push_entry(i, v.to_double());
     }
-    lu.perm_.resize(m.n);
-    for (std::size_t i = 0; i < m.n; ++i) lu.perm_[i] = i;
-
-    for (std::size_t k = 0; k < m.n; ++k) {
-      // Partial pivot.
-      std::size_t pivot = k;
-      double best = std::fabs(lu.at(k, k));
-      for (std::size_t i = k + 1; i < m.n; ++i) {
-        double cand = std::fabs(lu.at(i, k));
-        if (cand > best) {
-          best = cand;
-          pivot = i;
-        }
-      }
-      if (best < 1e-12) return std::nullopt;  // numerically singular
-      if (pivot != k) {
-        for (std::size_t j = 0; j < m.n; ++j) {
-          std::swap(lu.a_[pivot * m.n + j], lu.a_[k * m.n + j]);
-        }
-        std::swap(lu.perm_[pivot], lu.perm_[k]);
-      }
-      const double inv = 1.0 / lu.at(k, k);
-      for (std::size_t i = k + 1; i < m.n; ++i) {
-        double factor = lu.at(i, k) * inv;
-        lu.a_[i * m.n + k] = factor;
-        if (factor == 0.0) continue;
-        for (std::size_t j = k + 1; j < m.n; ++j) {
-          lu.a_[i * m.n + j] -= factor * lu.at(k, j);
-        }
-      }
-    }
-    return lu;
+    a.end_column();
   }
-
-  /// Solves M x = b (double precision).
-  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const {
-    std::vector<double> x(n_);
-    for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
-    // Forward substitution (unit lower triangle).
-    for (std::size_t i = 1; i < n_; ++i) {
-      double sum = x[i];
-      for (std::size_t j = 0; j < i; ++j) sum -= at(i, j) * x[j];
-      x[i] = sum;
-    }
-    // Back substitution.
-    for (std::size_t i = n_; i-- > 0;) {
-      double sum = x[i];
-      for (std::size_t j = i + 1; j < n_; ++j) sum -= at(i, j) * x[j];
-      x[i] = sum / at(i, i);
-    }
-    return x;
-  }
-
- private:
-  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
-    return a_[i * n_ + j];
-  }
-  std::size_t n_ = 0;
-  std::vector<double> a_;
-  std::vector<std::size_t> perm_;
-};
+  std::vector<std::size_t> columns(m.n);
+  std::iota(columns.begin(), columns.end(), std::size_t{0});
+  return BasisLu::factor(a, columns);
+}
 
 /// Power-of-two magnitude of a rational: ~floor(log2 |x|); 0 for zero.
 int log2_magnitude(const Rational& x) {
@@ -124,16 +83,18 @@ Rational pow2(int k) {
 
 }  // namespace
 
-std::optional<std::vector<Rational>> solve_sparse_exact(
-    const SparseColumns& matrix, const std::vector<Rational>& rhs,
-    const ExactSolveOptions& options) {
-  if (matrix.n != rhs.size()) return std::nullopt;
-  if (matrix.n == 0) return std::vector<Rational>{};
+namespace {
 
-  auto lu = DoubleLu::factor(matrix);
-  if (!lu) return std::nullopt;
-
+/// Exact iterative refinement of one system against a shared factorization:
+/// M x = rhs via FTRAN, or M' x = rhs via BTRAN when `transposed`.
+std::optional<std::vector<Rational>> refine_exact(
+    const SparseColumns& matrix, const BasisLu& lu, bool transposed,
+    const std::vector<Rational>& rhs, const ExactSolveOptions& options) {
   const std::size_t n = matrix.n;
+  auto apply_exact = [&](const std::vector<Rational>& x) {
+    return transposed ? matrix.multiply_transposed(x) : matrix.multiply(x);
+  };
+
   std::vector<Rational> x_acc(n, Rational(0));
   std::vector<Rational> residual = rhs;
 
@@ -153,11 +114,15 @@ std::optional<std::vector<Rational>> solve_sparse_exact(
     Rational scale = pow2(scale_log);
     Rational inv_scale = pow2(-scale_log);
 
-    std::vector<double> r_scaled(n);
+    std::vector<double> correction(n);
     for (std::size_t i = 0; i < n; ++i) {
-      r_scaled[i] = (residual[i] * inv_scale).to_double();
+      correction[i] = (residual[i] * inv_scale).to_double();
     }
-    std::vector<double> correction = lu->solve(r_scaled);
+    if (transposed) {
+      lu.btran(correction);
+    } else {
+      lu.ftran(correction);
+    }
 
     // x += scale * correction (exact: every double is a dyadic rational).
     for (std::size_t i = 0; i < n; ++i) {
@@ -167,7 +132,7 @@ std::optional<std::vector<Rational>> solve_sparse_exact(
     }
     // residual = rhs - M x  (exact).
     residual = rhs;
-    std::vector<Rational> mx = matrix.multiply(x_acc);
+    std::vector<Rational> mx = apply_exact(x_acc);
     for (std::size_t i = 0; i < n; ++i) residual[i] -= mx[i];
     accuracy_bits += 40;  // conservative per-pass gain
 
@@ -182,7 +147,7 @@ std::optional<std::vector<Rational>> solve_sparse_exact(
         candidate[i] = num::rational_reconstruct(x_acc[i], max_den);
       }
       // Unconditional exact verification.
-      std::vector<Rational> check = matrix.multiply(candidate);
+      std::vector<Rational> check = apply_exact(candidate);
       bool ok = true;
       for (std::size_t i = 0; i < n && ok; ++i) {
         ok = check[i] == rhs[i];
@@ -191,6 +156,38 @@ std::optional<std::vector<Rational>> solve_sparse_exact(
     }
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::vector<Rational>> solve_sparse_exact(
+    const SparseColumns& matrix, const std::vector<Rational>& rhs,
+    const ExactSolveOptions& options) {
+  if (matrix.n != rhs.size()) return std::nullopt;
+  if (matrix.n == 0) return std::vector<Rational>{};
+
+  auto lu = factor_double_image(matrix);
+  if (!lu) return std::nullopt;
+  return refine_exact(matrix, *lu, /*transposed=*/false, rhs, options);
+}
+
+std::optional<ExactBasisSolves> solve_sparse_exact_pair(
+    const SparseColumns& matrix, const std::vector<Rational>& rhs,
+    const std::vector<Rational>& rhs_transposed,
+    const ExactSolveOptions& options) {
+  if (matrix.n != rhs.size() || matrix.n != rhs_transposed.size()) {
+    return std::nullopt;
+  }
+  if (matrix.n == 0) return ExactBasisSolves{};
+
+  auto lu = factor_double_image(matrix);
+  if (!lu) return std::nullopt;
+  auto straight = refine_exact(matrix, *lu, /*transposed=*/false, rhs, options);
+  if (!straight) return std::nullopt;
+  auto transposed =
+      refine_exact(matrix, *lu, /*transposed=*/true, rhs_transposed, options);
+  if (!transposed) return std::nullopt;
+  return ExactBasisSolves{std::move(*straight), std::move(*transposed)};
 }
 
 }  // namespace ssco::lp

@@ -5,7 +5,8 @@
 // (degenerate optima whose vertex coordinates have huge denominators), the
 // basis itself is still almost always correct. This module recovers the
 // EXACT basic solution from it: factor the basis matrix once in double
-// precision, then run iterative refinement with exact rational residuals —
+// precision with the shared sparse LU (lp/basis_lu.h), then run iterative
+// refinement with exact rational residuals —
 // each pass gains ~50 bits of accuracy — and reconstruct each component by
 // continued fractions once the accumulated precision exceeds twice the
 // denominator size. The candidate is verified exactly against the system, so
@@ -33,6 +34,10 @@ struct SparseColumns {
   /// Exact matrix-vector product M * x.
   [[nodiscard]] std::vector<Rational> multiply(
       const std::vector<Rational>& x) const;
+  /// Exact matrix-vector product M' * y (column-wise dots; no transpose
+  /// materialized).
+  [[nodiscard]] std::vector<Rational> multiply_transposed(
+      const std::vector<Rational>& y) const;
 };
 
 struct ExactSolveOptions {
@@ -46,6 +51,18 @@ struct ExactSolveOptions {
 /// or refinement fails to converge to a verifiable rational solution.
 [[nodiscard]] std::optional<std::vector<Rational>> solve_sparse_exact(
     const SparseColumns& matrix, const std::vector<Rational>& rhs,
+    const ExactSolveOptions& options = {});
+
+/// Both systems a simplex basis verification needs — M x = rhs and
+/// M' y = rhs_transposed — from ONE shared double LU factorization (FTRAN
+/// for the straight system, BTRAN for the transposed one).
+struct ExactBasisSolves {
+  std::vector<Rational> solution;             // M x = rhs
+  std::vector<Rational> transposed_solution;  // M' y = rhs_transposed
+};
+[[nodiscard]] std::optional<ExactBasisSolves> solve_sparse_exact_pair(
+    const SparseColumns& matrix, const std::vector<Rational>& rhs,
+    const std::vector<Rational>& rhs_transposed,
     const ExactSolveOptions& options = {});
 
 }  // namespace ssco::lp

@@ -79,19 +79,18 @@ std::optional<BasisVerified> verify_from_basis(
   std::vector<Rational> rhs(m, Rational(0));
   for (std::size_t i = 0; i < m; ++i) rhs[i] = em.rows[i].rhs;
 
-  auto x_basic = solve_sparse_exact(b_matrix, rhs);
-  if (!x_basic) return std::nullopt;
-  auto y = solve_sparse_exact(b_matrix.transposed(), cost_basis);
-  if (!y) return std::nullopt;
+  // One shared LU: B x_B = b via FTRAN-refinement, B' y = c_B via BTRAN.
+  auto solves = solve_sparse_exact_pair(b_matrix, rhs, cost_basis);
+  if (!solves) return std::nullopt;
 
   BasisVerified out;
   out.primal.assign(em.num_vars, Rational(0));
   for (std::size_t k = 0; k < m; ++k) {
     if (basis[k].kind == BasisColumn::Kind::kStructural) {
-      out.primal[basis[k].index] = (*x_basic)[k];
+      out.primal[basis[k].index] = solves->solution[k];
     }
   }
-  out.dual = std::move(*y);
+  out.dual = std::move(solves->transposed_solution);
   if (!ExactSolver::verify_certificate(em, out.primal, out.dual)) {
     return std::nullopt;
   }
@@ -112,7 +111,7 @@ bool ExactSolver::verify_certificate(const ExpandedModel& em,
   for (std::size_t i = 0; i < em.rows.size(); ++i) {
     Rational lhs(0);
     for (const auto& [idx, coeff] : em.rows[i].coeffs) {
-      lhs += coeff * x[idx];
+      lhs.add_product(coeff, x[idx]);
     }
     switch (em.rows[i].sense) {
       case Sense::kLessEqual:
@@ -141,7 +140,7 @@ bool ExactSolver::verify_certificate(const ExpandedModel& em,
   for (std::size_t i = 0; i < em.rows.size(); ++i) {
     if (y[i].is_zero()) continue;
     for (const auto& [idx, coeff] : em.rows[i].coeffs) {
-      aty[idx] += y[i] * coeff;
+      aty[idx].add_product(y[i], coeff);
     }
   }
   for (std::size_t j = 0; j < em.num_vars; ++j) {
@@ -151,11 +150,11 @@ bool ExactSolver::verify_certificate(const ExpandedModel& em,
   // Strong duality at the candidate pair: c'x == b'y exactly.
   Rational primal_obj(0);
   for (std::size_t j = 0; j < em.num_vars; ++j) {
-    if (!em.objective[j].is_zero()) primal_obj += em.objective[j] * x[j];
+    if (!em.objective[j].is_zero()) primal_obj.add_product(em.objective[j], x[j]);
   }
   Rational dual_obj(0);
   for (std::size_t i = 0; i < em.rows.size(); ++i) {
-    if (!y[i].is_zero()) dual_obj += y[i] * em.rows[i].rhs;
+    if (!y[i].is_zero()) dual_obj.add_product(y[i], em.rows[i].rhs);
   }
   return primal_obj == dual_obj;
 }
@@ -184,7 +183,7 @@ ExactSolution ExactSolver::solve(const Model& model) const {
         out.dual = std::move(*y);
         Rational obj(0);
         for (std::size_t j = 0; j < em.num_vars; ++j) {
-          if (!em.objective[j].is_zero()) obj += em.objective[j] * (*x)[j];
+          if (!em.objective[j].is_zero()) obj.add_product(em.objective[j], (*x)[j]);
         }
         out.objective = obj + em.objective_constant;
         out.certified = true;
@@ -200,7 +199,7 @@ ExactSolution ExactSolver::solve(const Model& model) const {
         Rational obj(0);
         for (std::size_t j = 0; j < em.num_vars; ++j) {
           if (!em.objective[j].is_zero()) {
-            obj += em.objective[j] * verified->primal[j];
+            obj.add_product(em.objective[j], verified->primal[j]);
           }
         }
         out.primal = em.unshift(verified->primal);

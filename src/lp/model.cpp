@@ -1,8 +1,8 @@
 #include "lp/model.h"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace ssco::lp {
 
@@ -26,22 +26,34 @@ void Model::set_objective(VarId var, Rational coeff) {
 
 RowId Model::add_constraint(const LinearExpr& expr, Sense sense, Rational rhs,
                             std::string name) {
-  // Merge duplicate variables and drop exact zeros.
-  std::map<std::size_t, Rational> merged;
-  for (const auto& [var, coeff] : expr.terms()) {
-    if (var.index >= var_names_.size()) {
+  // Merge duplicate variables and drop exact zeros: argsort pointers to the
+  // terms and fold adjacent runs, copying each coefficient exactly once
+  // (duplicates are rare, so no per-term rational additions or tree nodes).
+  std::vector<const std::pair<VarId, Rational>*> order;
+  order.reserve(expr.terms().size());
+  for (const auto& term : expr.terms()) {
+    if (term.first.index >= var_names_.size()) {
       throw std::out_of_range("Model: constraint references unknown variable");
     }
-    merged[var.index] += coeff;
+    order.push_back(&term);
   }
+  std::stable_sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    return a->first.index < b->first.index;
+  });
   Row row;
   row.name = std::move(name);
   row.sense = sense;
   row.rhs = std::move(rhs);
-  row.coeffs.reserve(merged.size());
-  for (auto& [idx, coeff] : merged) {
-    if (!coeff.is_zero()) row.coeffs.emplace_back(idx, std::move(coeff));
+  row.coeffs.reserve(order.size());
+  for (const auto* term : order) {
+    if (!row.coeffs.empty() && row.coeffs.back().first == term->first.index) {
+      row.coeffs.back().second += term->second;
+    } else {
+      row.coeffs.emplace_back(term->first.index, term->second);
+    }
   }
+  std::erase_if(row.coeffs,
+                [](const auto& entry) { return entry.second.is_zero(); });
   RowId id{rows_.size()};
   rows_.push_back(std::move(row));
   return id;
@@ -57,7 +69,7 @@ Rational Model::eval_row(RowId r, const std::vector<Rational>& x) const {
   const Row& row = rows_.at(r.index);
   Rational acc(0);
   for (const auto& [idx, coeff] : row.coeffs) {
-    acc += coeff * x.at(idx);
+    acc.add_product(coeff, x.at(idx));
   }
   return acc;
 }
@@ -65,7 +77,7 @@ Rational Model::eval_row(RowId r, const std::vector<Rational>& x) const {
 Rational Model::eval_objective(const std::vector<Rational>& x) const {
   Rational acc(0);
   for (std::size_t j = 0; j < objective_.size(); ++j) {
-    if (!objective_[j].is_zero()) acc += objective_[j] * x.at(j);
+    if (!objective_[j].is_zero()) acc.add_product(objective_[j], x.at(j));
   }
   return acc;
 }

@@ -1,0 +1,28 @@
+#pragma once
+// Sparse revised simplex — the double-precision regime of solve_simplex().
+//
+// Same two-phase algorithm and column layout as the dense tableau that still
+// serves the num::Rational exact regime (lp/simplex.cpp), but the basis is
+// held as a sparse LU factorization with product-form eta updates
+// (lp/basis_lu.h) over a CSC copy of the expanded constraint matrix
+// (lp/sparse.h):
+//   * reduced costs come from one BTRAN per iteration plus sparse
+//     column dots, scanned with rotating partial pricing;
+//   * the pivot column comes from one FTRAN;
+//   * a pivot appends one eta vector; the basis is refactorized every
+//     `kRefactorInterval` pivots, which also recomputes the basic values
+//     and damps floating-point drift.
+// Per-iteration cost is O(nnz) instead of the dense tableau's O(m * cols).
+//
+// The result honours the full SimplexResult<double> contract — primal,
+// duals in the original row sign convention, and the final BasisColumn
+// basis that ExactSolver's certificate paths consume.
+
+#include "lp/simplex.h"
+
+namespace ssco::lp {
+
+[[nodiscard]] SimplexResult<double> solve_revised_simplex(
+    const ExpandedModel& em, const SimplexOptions& options);
+
+}  // namespace ssco::lp

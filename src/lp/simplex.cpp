@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "lp/column_layout.h"
+#include "lp/revised_simplex.h"
+
 namespace ssco::lp {
 
 std::string to_string(SolveStatus s) {
@@ -31,7 +34,7 @@ ExpandedModel ExpandedModel::from(const Model& model) {
     em.shift[j] = model.lower_bound(v);
     em.objective[j] = model.objective_coeff(v);
     if (!em.shift[j].is_zero()) {
-      em.objective_constant += em.objective[j] * em.shift[j];
+      em.objective_constant.add_product(em.objective[j], em.shift[j]);
     }
   }
 
@@ -43,7 +46,7 @@ ExpandedModel ExpandedModel::from(const Model& model) {
     r.rhs = row.rhs;
     r.coeffs = row.coeffs;
     for (const auto& [idx, coeff] : r.coeffs) {
-      if (!em.shift[idx].is_zero()) r.rhs -= coeff * em.shift[idx];
+      if (!em.shift[idx].is_zero()) r.rhs.sub_product(coeff, em.shift[idx]);
     }
     em.rows.push_back(std::move(r));
   }
@@ -71,17 +74,11 @@ std::vector<Rational> ExpandedModel::unshift(
 
 namespace {
 
+// The dense tableau below is only instantiated for num::Rational nowadays —
+// the double regime runs the sparse revised simplex (lp/revised_simplex.h) —
+// but it stays templated on the scalar via this trait.
 template <typename T>
 struct Ops;
-
-template <>
-struct Ops<double> {
-  static constexpr double kEps = 1e-9;
-  static double from(const Rational& r) { return r.to_double(); }
-  static bool is_zero(double v) { return std::fabs(v) <= kEps; }
-  static bool is_neg(double v) { return v < -kEps; }
-  static bool is_pos(double v) { return v > kEps; }
-};
 
 template <>
 struct Ops<num::Rational> {
@@ -89,35 +86,23 @@ struct Ops<num::Rational> {
   static bool is_zero(const num::Rational& v) { return v.is_zero(); }
   static bool is_neg(const num::Rational& v) { return v.signum() < 0; }
   static bool is_pos(const num::Rational& v) { return v.signum() > 0; }
+  static void addmul(num::Rational& acc, const num::Rational& a,
+                     const num::Rational& b) {
+    acc.add_product(a, b);
+  }
+  static void submul(num::Rational& acc, const num::Rational& a,
+                     const num::Rational& b) {
+    acc.sub_product(a, b);
+  }
 };
 
 template <typename T>
 class Tableau {
  public:
-  explicit Tableau(const ExpandedModel& em) : em_(em) {
+  explicit Tableau(const ExpandedModel& em)
+      : em_(em), layout_(ColumnLayout::from(em)) {
     const std::size_t m = em.rows.size();
-    const std::size_t n = em.num_vars;
-
-    flipped_.assign(m, false);
-    for (std::size_t i = 0; i < m; ++i) {
-      flipped_[i] = em.rows[i].rhs.is_negative();
-    }
-
-    // Column layout: [0, n) structural; then one slack/surplus per inequality
-    // row; then artificials for >= and == rows.
-    std::size_t next = n;
-    slack_col_.assign(m, kNone);
-    art_col_.assign(m, kNone);
-    for (std::size_t i = 0; i < m; ++i) {
-      Sense s = effective_sense(i);
-      if (s != Sense::kEqual) slack_col_[i] = next++;
-    }
-    art_start_col_ = next;
-    for (std::size_t i = 0; i < m; ++i) {
-      Sense s = effective_sense(i);
-      if (s != Sense::kLessEqual) art_col_[i] = next++;
-    }
-    num_cols_ = next;
+    num_cols_ = layout_.num_cols;
 
     tab_.assign(m, std::vector<T>(num_cols_, T{}));
     b_.assign(m, T{});
@@ -128,30 +113,29 @@ class Tableau {
       const auto& row = em.rows[i];
       for (const auto& [idx, coeff] : row.coeffs) {
         T v = Ops<T>::from(coeff);
-        tab_[i][idx] = flipped_[i] ? -v : v;
+        tab_[i][idx] = layout_.flipped[i] ? -v : v;
       }
-      Rational rhs = flipped_[i] ? -row.rhs : row.rhs;
+      Rational rhs = layout_.flipped[i] ? -row.rhs : row.rhs;
       b_[i] = Ops<T>::from(rhs);
-      Sense s = effective_sense(i);
+      Sense s = layout_.sense[i];
       if (s == Sense::kLessEqual) {
-        tab_[i][slack_col_[i]] = T{1};
-        basis_[i] = slack_col_[i];
+        tab_[i][layout_.slack_col[i]] = T{1};
+        basis_[i] = layout_.slack_col[i];
       } else if (s == Sense::kGreaterEqual) {
-        tab_[i][slack_col_[i]] = T{-1};
-        tab_[i][art_col_[i]] = T{1};
-        basis_[i] = art_col_[i];
-        barred_[art_col_[i]] = true;
+        tab_[i][layout_.slack_col[i]] = T{-1};
+        tab_[i][layout_.art_col[i]] = T{1};
+        basis_[i] = layout_.art_col[i];
+        barred_[layout_.art_col[i]] = true;
       } else {
-        tab_[i][art_col_[i]] = T{1};
-        basis_[i] = art_col_[i];
-        barred_[art_col_[i]] = true;
+        tab_[i][layout_.art_col[i]] = T{1};
+        basis_[i] = layout_.art_col[i];
+        barred_[layout_.art_col[i]] = true;
       }
     }
   }
 
   [[nodiscard]] bool has_artificials() const {
-    return std::any_of(art_col_.begin(), art_col_.end(),
-                       [](std::size_t c) { return c != kNone; });
+    return layout_.has_artificials();
   }
 
   /// Runs the pivot loop for the given column costs. Returns kOptimal when all
@@ -159,9 +143,10 @@ class Tableau {
   SolveStatus optimize(const std::vector<T>& cost, const SimplexOptions& opt,
                        std::size_t& iterations) {
     compute_zrow(cost);
+    std::size_t degenerate_run = 0;
     while (true) {
       if (iterations >= opt.max_iterations) return SolveStatus::kIterationLimit;
-      const bool bland = iterations >= opt.bland_after;
+      const bool bland = degenerate_run >= opt.bland_after;
       std::size_t entering = kNone;
       if (bland) {
         for (std::size_t j = 0; j < num_cols_; ++j) {
@@ -199,12 +184,13 @@ class Tableau {
       }
       if (leaving == kNone) return SolveStatus::kUnbounded;
 
+      if (Ops<T>::is_zero(b_[leaving])) {
+        ++degenerate_run;
+      } else {
+        degenerate_run = 0;
+      }
       pivot(leaving, entering);
       ++iterations;
-      // Periodic refresh limits floating-point drift in the reduced costs.
-      if constexpr (std::is_same_v<T, double>) {
-        if (iterations % 512 == 0) compute_zrow(cost);
-      }
     }
   }
 
@@ -248,7 +234,7 @@ class Tableau {
     T z{};
     for (std::size_t i = 0; i < tab_.size(); ++i) {
       if (basis_[i] != kNone && !Ops<T>::is_zero(cost[basis_[i]])) {
-        z += cost[basis_[i]] * b_[i];
+        Ops<T>::addmul(z, cost[basis_[i]], b_[i]);
       }
     }
     return z;
@@ -260,10 +246,11 @@ class Tableau {
     std::vector<T> y(tab_.size(), T{});
     for (std::size_t i = 0; i < tab_.size(); ++i) {
       // The column that started as e_i: slack for <=, artificial otherwise.
-      std::size_t idcol =
-          effective_sense(i) == Sense::kLessEqual ? slack_col_[i] : art_col_[i];
+      std::size_t idcol = layout_.sense[i] == Sense::kLessEqual
+                              ? layout_.slack_col[i]
+                              : layout_.art_col[i];
       T v = zrow_[idcol];
-      y[i] = flipped_[i] ? -v : v;
+      y[i] = layout_.flipped[i] ? -v : v;
     }
     return y;
   }
@@ -278,7 +265,7 @@ class Tableau {
 
   [[nodiscard]] std::vector<T> phase1_costs() const {
     std::vector<T> cost(num_cols_, T{});
-    for (std::size_t c : art_col_) {
+    for (std::size_t c : layout_.art_col) {
       if (c != kNone) cost[c] = T{-1};
     }
     return cost;
@@ -286,45 +273,18 @@ class Tableau {
 
   /// Describes the current basis in expanded-model terms.
   [[nodiscard]] std::vector<BasisColumn> extract_basis() const {
-    // Invert the column layout: column -> (kind, row/var index).
-    std::vector<BasisColumn> by_col(num_cols_);
-    for (std::size_t j = 0; j < em_.num_vars; ++j) {
-      by_col[j] = {BasisColumn::Kind::kStructural, j};
-    }
-    for (std::size_t i = 0; i < tab_.size(); ++i) {
-      if (slack_col_[i] != kNone) {
-        by_col[slack_col_[i]] = {effective_sense(i) == Sense::kLessEqual
-                                     ? BasisColumn::Kind::kSlack
-                                     : BasisColumn::Kind::kSurplus,
-                                 i};
-      }
-      if (art_col_[i] != kNone) {
-        by_col[art_col_[i]] = {BasisColumn::Kind::kArtificial, i};
-      }
-    }
     std::vector<BasisColumn> basis(tab_.size());
     for (std::size_t i = 0; i < tab_.size(); ++i) {
-      basis[i] = by_col[basis_[i]];
+      basis[i] = layout_.column_identity[basis_[i]];
     }
     return basis;
   }
 
-  /// True when row i was negated to make its RHS non-negative.
-  [[nodiscard]] bool row_flipped(std::size_t i) const { return flipped_[i]; }
-
  private:
-  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-
-  [[nodiscard]] Sense effective_sense(std::size_t i) const {
-    Sense s = em_.rows[i].sense;
-    if (!flipped_[i]) return s;
-    if (s == Sense::kLessEqual) return Sense::kGreaterEqual;
-    if (s == Sense::kGreaterEqual) return Sense::kLessEqual;
-    return Sense::kEqual;
-  }
+  static constexpr std::size_t kNone = ColumnLayout::kNone;
 
   [[nodiscard]] bool is_artificial(std::size_t col) const {
-    return col >= art_start_col_;
+    return layout_.is_artificial(col);
   }
 
   void compute_zrow(const std::vector<T>& cost) {
@@ -334,7 +294,7 @@ class Tableau {
       for (std::size_t i = 0; i < tab_.size(); ++i) {
         if (basis_[i] != kNone && !Ops<T>::is_zero(cost[basis_[i]]) &&
             !Ops<T>::is_zero(tab_[i][j])) {
-          z += cost[basis_[i]] * tab_[i][j];
+          Ops<T>::addmul(z, cost[basis_[i]], tab_[i][j]);
         }
       }
       zrow_[j] = z - cost[j];
@@ -351,29 +311,28 @@ class Tableau {
       b_[r] = b_[r] / pivot_value;
     }
     tab_[r][e] = T{1};
+    // The pivot row is sparse on these LPs; collect its nonzero columns once
+    // so every elimination below touches only those instead of all num_cols_.
+    pivot_cols_.clear();
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (!Ops<T>::is_zero(tab_[r][j])) pivot_cols_.push_back(j);
+    }
     // Eliminate from all other rows and from the reduced-cost row.
     for (std::size_t i = 0; i < tab_.size(); ++i) {
       if (i == r) continue;
       T factor = tab_[i][e];
       if (Ops<T>::is_zero(factor)) continue;
-      for (std::size_t j = 0; j < num_cols_; ++j) {
-        if (!Ops<T>::is_zero(tab_[r][j])) {
-          tab_[i][j] -= factor * tab_[r][j];
-        }
+      for (std::size_t j : pivot_cols_) {
+        Ops<T>::submul(tab_[i][j], factor, tab_[r][j]);
       }
       tab_[i][e] = T{};
-      b_[i] -= factor * b_[r];
-      if constexpr (std::is_same_v<T, double>) {
-        if (std::fabs(b_[i]) < 1e-12) b_[i] = 0.0;
-      }
+      Ops<T>::submul(b_[i], factor, b_[r]);
     }
     {
       T factor = zrow_[e];
       if (!Ops<T>::is_zero(factor)) {
-        for (std::size_t j = 0; j < num_cols_; ++j) {
-          if (!Ops<T>::is_zero(tab_[r][j])) {
-            zrow_[j] -= factor * tab_[r][j];
-          }
+        for (std::size_t j : pivot_cols_) {
+          Ops<T>::submul(zrow_[j], factor, tab_[r][j]);
         }
         zrow_[e] = T{};
       }
@@ -382,16 +341,14 @@ class Tableau {
   }
 
   const ExpandedModel& em_;
+  ColumnLayout layout_;
   std::size_t num_cols_ = 0;
-  std::size_t art_start_col_ = 0;
   std::vector<std::vector<T>> tab_;
   std::vector<T> b_;
   std::vector<T> zrow_;
   std::vector<std::size_t> basis_;
-  std::vector<std::size_t> slack_col_;
-  std::vector<std::size_t> art_col_;
   std::vector<bool> barred_;
-  std::vector<bool> flipped_;
+  std::vector<std::size_t> pivot_cols_;  // scratch for pivot()
 };
 
 }  // namespace
@@ -430,8 +387,13 @@ SimplexResult<T> solve_simplex(const ExpandedModel& em,
   return result;
 }
 
-template SimplexResult<double> solve_simplex<double>(const ExpandedModel&,
-                                                     const SimplexOptions&);
+/// The double regime: sparse revised simplex with an LU-factorized basis.
+template <>
+SimplexResult<double> solve_simplex<double>(const ExpandedModel& em,
+                                            const SimplexOptions& options) {
+  return solve_revised_simplex(em, options);
+}
+
 template SimplexResult<num::Rational> solve_simplex<num::Rational>(
     const ExpandedModel&, const SimplexOptions&);
 

@@ -1,11 +1,12 @@
 #pragma once
-// Dense two-phase primal simplex, templated on the scalar type.
+// Two-phase primal simplex, templated on the scalar type.
 //
-// The same algorithm runs in two arithmetic regimes:
-//  * `double` — fast warm-start pass used by ExactSolver;
-//  * `num::Rational` — exact arithmetic, used directly on small instances and
-//    as the fallback when rational reconstruction of the double solution
-//    fails its optimality certificate.
+// The same algorithm runs in two arithmetic regimes with two engines:
+//  * `double` — fast warm-start pass used by ExactSolver, implemented as a
+//    sparse revised simplex with an LU-factorized basis (lp/revised_simplex.h);
+//  * `num::Rational` — exact arithmetic on a dense tableau, used directly on
+//    small instances and as the fallback when rational reconstruction of the
+//    double solution fails its optimality certificate.
 //
 // Entering-variable selection is Dantzig's rule with an automatic switch to
 // Bland's rule (guaranteed anti-cycling) after a degeneracy threshold.
@@ -83,18 +84,26 @@ struct SimplexResult {
 
 struct SimplexOptions {
   std::size_t max_iterations = 200000;
-  /// Switch from Dantzig to Bland after this many iterations (anti-cycling).
-  std::size_t bland_after = 5000;
+  /// Switch from Dantzig to Bland's rule (guaranteed anti-cycling) after this
+  /// many CONSECUTIVE degenerate pivots; any progress switches back. Cycling
+  /// consists solely of degenerate pivots, so the guarantee is preserved
+  /// without condemning large instances to Bland's crawl.
+  std::size_t bland_after = 1000;
 };
 
 /// Runs two-phase simplex on the expanded model using scalar type T.
 /// T must be `double` or `num::Rational`.
+///
+/// The two scalar types select two different engines behind the same
+/// contract: `double` runs the sparse revised simplex (LU-factorized basis,
+/// lp/revised_simplex.h); `num::Rational` runs the dense exact tableau.
 template <typename T>
 SimplexResult<T> solve_simplex(const ExpandedModel& em,
                                const SimplexOptions& options = {});
 
-extern template SimplexResult<double> solve_simplex<double>(
-    const ExpandedModel&, const SimplexOptions&);
+template <>
+SimplexResult<double> solve_simplex<double>(const ExpandedModel& em,
+                                            const SimplexOptions& options);
 extern template SimplexResult<num::Rational> solve_simplex<num::Rational>(
     const ExpandedModel&, const SimplexOptions&);
 

@@ -200,7 +200,7 @@ BigInt& BigInt::operator*=(const BigInt& rhs) {
     negative_ = false;
     return *this;
   }
-  std::vector<std::uint32_t> result(limbs_.size() + rhs.limbs_.size(), 0);
+  LimbVec result(limbs_.size() + rhs.limbs_.size(), 0);
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     std::uint64_t carry = 0;
     std::uint64_t a = limbs_[i];
@@ -276,8 +276,8 @@ BigIntDivMod BigInt::divmod(const BigInt& divisor) const {
        top <<= 1) {
     ++shift;
   }
-  auto shl = [shift](const std::vector<std::uint32_t>& src) {
-    std::vector<std::uint32_t> dst(src.size() + 1, 0);
+  auto shl = [shift](const LimbVec& src) {
+    LimbVec dst(src.size() + 1, 0);
     for (std::size_t i = 0; i < src.size(); ++i) {
       dst[i] |= src[i] << shift;
       if (shift != 0) {
@@ -287,11 +287,11 @@ BigIntDivMod BigInt::divmod(const BigInt& divisor) const {
     }
     return dst;
   };
-  std::vector<std::uint32_t> u = shl(limbs_);          // size limbs+1
-  std::vector<std::uint32_t> v = shl(divisor.limbs_);  // top limb may be 0
+  LimbVec u = shl(limbs_);          // size limbs+1
+  LimbVec v = shl(divisor.limbs_);  // top limb may be 0
   v.resize(n);  // normalized divisor has exactly n significant limbs
 
-  std::vector<std::uint32_t> q(m + 1, 0);
+  LimbVec q(m + 1, 0);
   for (std::size_t j = m + 1; j-- > 0;) {
     std::uint64_t numer =
         (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];

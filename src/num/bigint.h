@@ -19,7 +19,8 @@
 #include <iosfwd>
 #include <string>
 #include <string_view>
-#include <vector>
+
+#include "num/limb_vec.h"
 
 namespace ssco::num {
 
@@ -32,6 +33,19 @@ class BigInt {
   BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor)
   BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}  // NOLINT
   explicit BigInt(std::string_view decimal);
+
+  /// Replaces the value, reusing existing limb storage (no allocation once
+  /// the capacity is there) — the workhorse of Rational's fast paths.
+  void assign(std::int64_t v) {
+    limbs_.clear();
+    negative_ = v < 0;
+    if (v == 0) return;
+    // Avoid UB on INT64_MIN: negate in unsigned space.
+    std::uint64_t mag = negative_ ? ~static_cast<std::uint64_t>(v) + 1
+                                  : static_cast<std::uint64_t>(v);
+    limbs_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    if (mag >> 32) limbs_.push_back(static_cast<std::uint32_t>(mag >> 32));
+  }
 
   /// True when the value is exactly zero.
   [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
@@ -106,7 +120,7 @@ class BigInt {
   void mul_small_add_inplace(std::uint32_t factor, std::uint32_t addend);
 
   bool negative_ = false;
-  std::vector<std::uint32_t> limbs_;
+  LimbVec limbs_;
 };
 
 struct BigIntDivMod {

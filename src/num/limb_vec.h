@@ -1,0 +1,142 @@
+#pragma once
+// Small-buffer limb storage for BigInt.
+//
+// Nearly every rational in the LP pipeline fits in one or two 32-bit limbs,
+// so storing limbs in a std::vector means a heap allocation per value — the
+// dominant cost of exact arithmetic once the word-size fast paths are in
+// place. LimbVec keeps up to kInline limbs (a 128-bit magnitude) inline and
+// only falls back to the heap beyond that, exposing just the slice of the
+// vector interface BigInt uses.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+
+namespace ssco::num {
+
+class LimbVec {
+ public:
+  using value_type = std::uint32_t;
+
+  LimbVec() = default;
+  LimbVec(std::size_t n, std::uint32_t v) { assign(n, v); }
+  LimbVec(const LimbVec& other) { *this = other; }
+  LimbVec(LimbVec&& other) noexcept { steal(other); }
+  LimbVec& operator=(const LimbVec& other) {
+    if (this == &other) return *this;
+    size_ = 0;  // keep capacity
+    reserve(other.size_);
+    std::memcpy(data(), other.data(), other.size_ * sizeof(std::uint32_t));
+    size_ = other.size_;
+    return *this;
+  }
+  LimbVec& operator=(LimbVec&& other) noexcept {
+    if (this == &other) return *this;
+    release();
+    steal(other);
+    return *this;
+  }
+  ~LimbVec() { delete[] heap_; }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::uint32_t* data() { return heap_ ? heap_ : inline_; }
+  [[nodiscard]] const std::uint32_t* data() const {
+    return heap_ ? heap_ : inline_;
+  }
+
+  std::uint32_t& operator[](std::size_t i) { return data()[i]; }
+  const std::uint32_t& operator[](std::size_t i) const { return data()[i]; }
+  [[nodiscard]] std::uint32_t& back() { return data()[size_ - 1]; }
+  [[nodiscard]] const std::uint32_t& back() const { return data()[size_ - 1]; }
+
+  [[nodiscard]] std::uint32_t* begin() { return data(); }
+  [[nodiscard]] std::uint32_t* end() { return data() + size_; }
+  [[nodiscard]] const std::uint32_t* begin() const { return data(); }
+  [[nodiscard]] const std::uint32_t* end() const { return data() + size_; }
+  [[nodiscard]] auto rbegin() const {
+    return std::reverse_iterator<const std::uint32_t*>(end());
+  }
+  [[nodiscard]] auto rend() const {
+    return std::reverse_iterator<const std::uint32_t*>(begin());
+  }
+
+  void clear() { size_ = 0; }
+  void push_back(std::uint32_t v) {
+    if (size_ == cap_) grow(size_ + 1);
+    data()[size_++] = v;
+  }
+  void pop_back() { --size_; }
+  void resize(std::size_t n, std::uint32_t v = 0) {
+    if (n > size_) {
+      reserve(n);
+      std::fill(data() + size_, data() + n, v);
+    }
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  void assign(std::size_t n, std::uint32_t v) {
+    size_ = 0;
+    reserve(n);
+    std::fill(data(), data() + n, v);
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  /// Range assign from another buffer (must not alias this one).
+  void assign(const std::uint32_t* first, const std::uint32_t* last) {
+    const auto n = static_cast<std::size_t>(last - first);
+    size_ = 0;
+    reserve(n);
+    std::memcpy(data(), first, n * sizeof(std::uint32_t));
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  friend bool operator==(const LimbVec& a, const LimbVec& b) {
+    return a.size_ == b.size_ &&
+           std::memcmp(a.data(), b.data(), a.size_ * sizeof(std::uint32_t)) == 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kInline = 4;
+
+  void grow(std::size_t need) {
+    const std::size_t new_cap = std::max<std::size_t>(2 * cap_, need);
+    auto* p = new std::uint32_t[new_cap];
+    std::memcpy(p, data(), size_ * sizeof(std::uint32_t));
+    delete[] heap_;
+    heap_ = p;
+    cap_ = static_cast<std::uint32_t>(new_cap);
+  }
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+    cap_ = kInline;
+    size_ = 0;
+  }
+  /// Takes other's contents; requires *this to be released/fresh.
+  void steal(LimbVec& other) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      size_ = other.size_;
+      cap_ = other.cap_;
+      other.heap_ = nullptr;
+      other.cap_ = kInline;
+    } else {
+      heap_ = nullptr;
+      cap_ = kInline;
+      size_ = other.size_;
+      std::memcpy(inline_, other.inline_, size_ * sizeof(std::uint32_t));
+    }
+    other.size_ = 0;
+  }
+
+  std::uint32_t* heap_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInline;
+  std::uint32_t inline_[kInline];
+};
+
+}  // namespace ssco::num

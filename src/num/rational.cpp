@@ -1,10 +1,42 @@
 #include "num/rational.h"
 
 #include <cmath>
+#include <limits>
+#include <numeric>
 #include <ostream>
 #include <stdexcept>
 
 namespace ssco::num {
+
+namespace {
+
+// Fast path for the arithmetic operators: when every component's magnitude is
+// below 2^31, all cross products fit in int64 (products < 2^62, sums < 2^63)
+// and the whole operation — including gcd normalization — runs on machine
+// words instead of BigInt temporaries. LP coefficient data lives here almost
+// exclusively; simplex-pivot blowup falls back to the BigInt path.
+inline bool is_small(const BigInt& v) { return v.bit_length() <= 31; }
+
+inline bool small_pair(const Rational& a, const Rational& b) {
+  return is_small(a.num()) && is_small(a.den()) && is_small(b.num()) &&
+         is_small(b.den());
+}
+
+inline unsigned __int128 gcd_u128(unsigned __int128 a, unsigned __int128 b) {
+  while (b != 0) {
+    unsigned __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+inline bool fits_int64(__int128 v) {
+  return v >= static_cast<__int128>(std::numeric_limits<std::int64_t>::min()) &&
+         v <= static_cast<__int128>(std::numeric_limits<std::int64_t>::max());
+}
+
+}  // namespace
 
 Rational::Rational(std::int64_t num, std::int64_t den)
     : num_(num), den_(den) {
@@ -94,7 +126,66 @@ BigInt Rational::ceil() const {
   return dm.quotient + BigInt(1);
 }
 
+void Rational::assign_small(std::int64_t num, std::int64_t den) {
+  // den > 0 guaranteed by the callers; reduce and store.
+  const std::int64_t g = std::gcd(num, den);
+  if (g > 1) {
+    num /= g;
+    den /= g;
+  }
+  num_.assign(num);
+  den_.assign(den);
+}
+
+Rational& Rational::fused_accumulate(const Rational& a, const Rational& b,
+                                     bool subtract) {
+  if (a.is_zero() || b.is_zero()) return *this;
+  if (is_small(num_) && is_small(den_) && small_pair(a, b)) {
+    const std::int64_t tn = num_.to_int64(), td = den_.to_int64();
+    const std::int64_t an = a.num_.to_int64(), ad = a.den_.to_int64();
+    const std::int64_t bn = b.num_.to_int64(), bd = b.den_.to_int64();
+    // Every product of three 31-bit components stays under 2^94: exact in
+    // int128, reduced back below before storing.
+    const __int128 pd = static_cast<__int128>(ad) * bd;
+    const __int128 product_num = static_cast<__int128>(an) * bn * td;
+    __int128 num = static_cast<__int128>(tn) * pd +
+                   (subtract ? -product_num : product_num);
+    __int128 den = static_cast<__int128>(td) * pd;
+    const unsigned __int128 mag =
+        num < 0 ? static_cast<unsigned __int128>(-num)
+                : static_cast<unsigned __int128>(num);
+    const unsigned __int128 g =
+        gcd_u128(mag, static_cast<unsigned __int128>(den));
+    if (g > 1) {
+      num /= static_cast<__int128>(g);
+      den /= static_cast<__int128>(g);
+    }
+    if (num == 0) den = 1;
+    if (fits_int64(num) && fits_int64(den)) {
+      num_.assign(static_cast<std::int64_t>(num));
+      den_.assign(static_cast<std::int64_t>(den));
+      return *this;
+    }
+    // Reduced value still too wide for the word path; fall through.
+  }
+  return subtract ? *this -= a * b : *this += a * b;
+}
+
+Rational& Rational::add_product(const Rational& a, const Rational& b) {
+  return fused_accumulate(a, b, /*subtract=*/false);
+}
+
+Rational& Rational::sub_product(const Rational& a, const Rational& b) {
+  return fused_accumulate(a, b, /*subtract=*/true);
+}
+
 Rational& Rational::operator+=(const Rational& rhs) {
+  if (small_pair(*this, rhs)) {
+    const std::int64_t an = num_.to_int64(), ad = den_.to_int64();
+    const std::int64_t bn = rhs.num_.to_int64(), bd = rhs.den_.to_int64();
+    assign_small(an * bd + bn * ad, ad * bd);
+    return *this;
+  }
   num_ = num_ * rhs.den_ + rhs.num_ * den_;
   den_ *= rhs.den_;
   normalize();
@@ -102,6 +193,12 @@ Rational& Rational::operator+=(const Rational& rhs) {
 }
 
 Rational& Rational::operator-=(const Rational& rhs) {
+  if (small_pair(*this, rhs)) {
+    const std::int64_t an = num_.to_int64(), ad = den_.to_int64();
+    const std::int64_t bn = rhs.num_.to_int64(), bd = rhs.den_.to_int64();
+    assign_small(an * bd - bn * ad, ad * bd);
+    return *this;
+  }
   num_ = num_ * rhs.den_ - rhs.num_ * den_;
   den_ *= rhs.den_;
   normalize();
@@ -109,6 +206,11 @@ Rational& Rational::operator-=(const Rational& rhs) {
 }
 
 Rational& Rational::operator*=(const Rational& rhs) {
+  if (small_pair(*this, rhs)) {
+    assign_small(num_.to_int64() * rhs.num_.to_int64(),
+                 den_.to_int64() * rhs.den_.to_int64());
+    return *this;
+  }
   num_ *= rhs.num_;
   den_ *= rhs.den_;
   normalize();
@@ -117,6 +219,16 @@ Rational& Rational::operator*=(const Rational& rhs) {
 
 Rational& Rational::operator/=(const Rational& rhs) {
   if (rhs.is_zero()) throw std::domain_error("Rational: division by zero");
+  if (small_pair(*this, rhs)) {
+    std::int64_t num = num_.to_int64() * rhs.den_.to_int64();
+    std::int64_t den = den_.to_int64() * rhs.num_.to_int64();
+    if (den < 0) {
+      num = -num;
+      den = -den;
+    }
+    assign_small(num, den);
+    return *this;
+  }
   num_ *= rhs.den_;
   den_ *= rhs.num_;
   normalize();
@@ -131,6 +243,10 @@ Rational Rational::operator-() const {
 
 std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
   // Cross-multiplication: denominators are positive.
+  if (small_pair(a, b)) {
+    return a.num_.to_int64() * b.den_.to_int64() <=>
+           b.num_.to_int64() * a.den_.to_int64();
+  }
   return a.num_ * b.den_ <=> b.num_ * a.den_;
 }
 

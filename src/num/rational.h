@@ -54,6 +54,12 @@ class Rational {
   Rational& operator*=(const Rational& rhs);
   Rational& operator/=(const Rational& rhs);
 
+  /// Fused accumulate, *this ± a*b, without materializing the product — the
+  /// workhorse of sparse dot products (certificate checks, row evaluation,
+  /// exact tableau pivots). Small operands run entirely on machine words.
+  Rational& add_product(const Rational& a, const Rational& b);
+  Rational& sub_product(const Rational& a, const Rational& b);
+
   friend Rational operator+(Rational a, const Rational& b) { return a += b; }
   friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
   friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
@@ -83,6 +89,12 @@ class Rational {
 
  private:
   void normalize();
+  /// Reduces and stores a machine-word result of the operators' fast path
+  /// (all cross products known to fit in int64). Requires den > 0.
+  void assign_small(std::int64_t num, std::int64_t den);
+  /// Shared body of add_product/sub_product.
+  Rational& fused_accumulate(const Rational& a, const Rational& b,
+                             bool subtract);
 
   BigInt num_;
   BigInt den_;  // > 0 always

@@ -1,0 +1,172 @@
+#include "lp/basis_lu.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "lp/sparse.h"
+
+namespace ssco::lp {
+namespace {
+
+/// Dense column-major helper: builds a CscMatrix from a dense matrix given
+/// as columns[j][i].
+CscMatrix from_dense(const std::vector<std::vector<double>>& columns) {
+  const std::size_t n = columns.size();
+  CscMatrix m(n);
+  for (const auto& col : columns) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (col[i] != 0.0) m.push_entry(i, col[i]);
+    }
+    m.end_column();
+  }
+  return m;
+}
+
+std::vector<std::size_t> identity_selection(std::size_t n) {
+  std::vector<std::size_t> cols(n);
+  std::iota(cols.begin(), cols.end(), std::size_t{0});
+  return cols;
+}
+
+/// Dense mat-vec of the column-major matrix (for verification).
+std::vector<double> mat_vec(const std::vector<std::vector<double>>& columns,
+                          const std::vector<double>& x) {
+  std::vector<double> y(columns.size(), 0.0);
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      y[i] += columns[j][i] * x[j];
+    }
+  }
+  return y;
+}
+
+std::vector<double> mat_tvec(
+    const std::vector<std::vector<double>>& columns,
+    const std::vector<double>& y) {
+  std::vector<double> c(columns.size(), 0.0);
+  for (std::size_t j = 0; j < columns.size(); ++j) {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      c[j] += columns[j][i] * y[i];
+    }
+  }
+  return c;
+}
+
+// B stored column-major: B = [[2,0,1],[1,3,0],[0,1,1]] as rows.
+const std::vector<std::vector<double>> kB = {
+    {2.0, 0.0, 1.0}, {1.0, 3.0, 0.0}, {0.0, 1.0, 1.0}};
+
+TEST(BasisLu, FtranSolvesBxEqualsB) {
+  CscMatrix m = from_dense(kB);
+  auto lu = BasisLu::factor(m, identity_selection(3));
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> x = {1.0, -2.0, 4.0};  // rhs in row space
+  std::vector<double> rhs = x;
+  lu->ftran(x);
+  std::vector<double> back = mat_vec(kB, x);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(back[i], rhs[i], 1e-12) << "component " << i;
+  }
+}
+
+TEST(BasisLu, BtranSolvesTransposedSystem) {
+  CscMatrix m = from_dense(kB);
+  auto lu = BasisLu::factor(m, identity_selection(3));
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> c = {3.0, 0.5, -1.0};  // cost in position space
+  std::vector<double> y = c;
+  lu->btran(y);
+  std::vector<double> back = mat_tvec(kB, y);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(back[k], c[k], 1e-12) << "component " << k;
+  }
+}
+
+TEST(BasisLu, ColumnSelectionPermutesBasis) {
+  // Select columns (2, 0, 1) of B: position k must line up with cols[k].
+  CscMatrix m = from_dense(kB);
+  std::vector<std::size_t> cols = {2, 0, 1};
+  auto lu = BasisLu::factor(m, cols);
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> rhs = {1.0, 2.0, 3.0};
+  std::vector<double> x = rhs;
+  lu->ftran(x);
+  // Recompose: sum_k x[k] * B[:, cols[k]] == rhs.
+  std::vector<double> back(3, 0.0);
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < 3; ++i) back[i] += kB[cols[k]][i] * x[k];
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(back[i], rhs[i], 1e-12);
+}
+
+TEST(BasisLu, SingularMatrixIsRejected) {
+  // Two proportional columns.
+  CscMatrix m = from_dense({{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_FALSE(BasisLu::factor(m, identity_selection(2)).has_value());
+}
+
+TEST(BasisLu, WrongSelectionSizeIsRejected) {
+  CscMatrix m = from_dense(kB);
+  EXPECT_FALSE(BasisLu::factor(m, {0, 1}).has_value());
+}
+
+TEST(BasisLu, EtaUpdateMatchesFreshFactorization) {
+  // Replace basis position 1 with a new column and check FTRAN/BTRAN against
+  // a from-scratch factorization of the updated matrix.
+  CscMatrix m(3);
+  for (const auto& col : kB) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (col[i] != 0.0) m.push_entry(i, col[i]);
+    }
+    m.end_column();
+  }
+  m.add_column({{0, 1.0}, {1, 1.0}, {2, 2.0}});  // column index 3
+
+  auto lu = BasisLu::factor(m, identity_selection(3));
+  ASSERT_TRUE(lu.has_value());
+  // w = B^-1 a for the entering column.
+  std::vector<double> w(3, 0.0);
+  m.scatter_column(3, w);
+  lu->ftran(w);
+  ASSERT_TRUE(lu->update(1, w));
+  EXPECT_EQ(lu->updates(), 1u);
+
+  auto fresh = BasisLu::factor(m, {0, 3, 2});
+  ASSERT_TRUE(fresh.has_value());
+
+  std::vector<double> rhs = {0.5, -1.0, 2.0};
+  std::vector<double> x1 = rhs, x2 = rhs;
+  lu->ftran(x1);
+  fresh->ftran(x2);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_NEAR(x1[k], x2[k], 1e-12);
+
+  std::vector<double> c = {1.0, 2.0, -0.5};
+  std::vector<double> y1 = c, y2 = c;
+  lu->btran(y1);
+  fresh->btran(y2);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(BasisLu, UpdateRejectsTinyPivot) {
+  CscMatrix m = from_dense(kB);
+  auto lu = BasisLu::factor(m, identity_selection(3));
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> w = {1.0, 1e-14, 3.0};  // pivot at position 1 is ~0
+  EXPECT_FALSE(lu->update(1, w));
+  EXPECT_EQ(lu->updates(), 0u);
+}
+
+TEST(BasisLu, EmptyBasis) {
+  CscMatrix m(0);
+  auto lu = BasisLu::factor(m, {});
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> x;
+  lu->ftran(x);
+  lu->btran(x);
+  EXPECT_TRUE(x.empty());
+}
+
+}  // namespace
+}  // namespace ssco::lp

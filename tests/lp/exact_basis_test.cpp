@@ -136,5 +136,38 @@ TEST(ExactRationalFromDouble, IsLossless) {
   EXPECT_TRUE(num::exact_rational_from_double(0.0).is_zero());
 }
 
+TEST(SparseColumns, MultiplyTransposedMatchesExplicitTranspose) {
+  SparseColumns m = dense_to_sparse({{Rational(1), Rational(2)},
+                                     {Rational(-3), Rational(1, 2)}});
+  std::vector<Rational> y = {Rational(2, 3), Rational(-1)};
+  auto direct = m.multiply_transposed(y);
+  auto via_transpose = m.transposed().multiply(y);
+  ASSERT_EQ(direct.size(), via_transpose.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i], via_transpose[i]) << i;
+  }
+}
+
+TEST(SolveSparseExactPair, SolvesBothSystemsFromOneFactorization) {
+  // M = [2 1; 1 3]: M x = [5; 10] -> x = (1, 3);
+  //                 M' y = [4; 7]  -> y = (1, 2).
+  SparseColumns m = dense_to_sparse({{Rational(2), Rational(1)},
+                                     {Rational(1), Rational(3)}});
+  auto solves = solve_sparse_exact_pair(m, {Rational(5), Rational(10)},
+                                        {Rational(4), Rational(7)});
+  ASSERT_TRUE(solves);
+  EXPECT_EQ(solves->solution[0], Rational(1));
+  EXPECT_EQ(solves->solution[1], Rational(3));
+  EXPECT_EQ(solves->transposed_solution[0], Rational(1));
+  EXPECT_EQ(solves->transposed_solution[1], Rational(2));
+}
+
+TEST(SolveSparseExactPair, RejectsSingularMatrix) {
+  SparseColumns m = dense_to_sparse({{Rational(1), Rational(2)},
+                                     {Rational(2), Rational(4)}});
+  EXPECT_FALSE(solve_sparse_exact_pair(m, {Rational(1), Rational(1)},
+                                       {Rational(1), Rational(1)}));
+}
+
 }  // namespace
 }  // namespace ssco::lp

@@ -186,6 +186,98 @@ TEST(SimplexRational, FixedVariableViaEqualBounds) {
 }
 
 // ---------------------------------------------------------------------------
+// Robustness of the double (revised) engine: the same degenerate / edge-case
+// instances the exact tableau handles must terminate with matching statuses.
+// ---------------------------------------------------------------------------
+
+TEST(SimplexDouble, DegenerateBealeExampleTerminates) {
+  // Cycling-prone under naive Dantzig; the degeneracy-triggered Bland switch
+  // must terminate at the optimum 1/20.
+  Model m;
+  VarId x1 = m.add_variable("x1");
+  VarId x2 = m.add_variable("x2");
+  VarId x3 = m.add_variable("x3");
+  VarId x4 = m.add_variable("x4");
+  m.set_objective(x1, Rational(3, 4));
+  m.set_objective(x2, Rational(-150));
+  m.set_objective(x3, Rational(1, 50));
+  m.set_objective(x4, Rational(-6));
+  m.add_constraint(LinearExpr()
+                       .add(x1, Rational(1, 4))
+                       .add(x2, Rational(-60))
+                       .add(x3, Rational(-1, 25))
+                       .add(x4, Rational(9)),
+                   Sense::kLessEqual, Rational(0));
+  m.add_constraint(LinearExpr()
+                       .add(x1, Rational(1, 2))
+                       .add(x2, Rational(-90))
+                       .add(x3, Rational(-1, 50))
+                       .add(x4, Rational(3)),
+                   Sense::kLessEqual, Rational(0));
+  m.add_constraint(LinearExpr().add(x3, Rational(1)), Sense::kLessEqual,
+                   Rational(1));
+  // A tight Bland threshold forces the anti-cycling path itself to run.
+  SimplexOptions opt;
+  opt.bland_after = 2;
+  auto r = solve_simplex<double>(ExpandedModel::from(m), opt);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 0.05, 1e-9);
+}
+
+TEST(SimplexDouble, DetectsInfeasible) {
+  Model m;
+  VarId x = m.add_variable("x", Rational(0), Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kGreaterEqual,
+                   Rational(2));
+  auto r = solve_simplex<double>(ExpandedModel::from(m));
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexDouble, DetectsUnbounded) {
+  Model m;
+  VarId x = m.add_variable("x");
+  m.set_objective(x, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(-1)), Sense::kLessEqual,
+                   Rational(0));
+  auto r = solve_simplex<double>(ExpandedModel::from(m));
+  EXPECT_EQ(r.status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexDouble, RedundantEqualityRows) {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(2));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kEqual, Rational(3));
+  m.add_constraint(LinearExpr().add(x, Rational(2)).add(y, Rational(2)),
+                   Sense::kEqual, Rational(6));  // same hyperplane
+  auto r = solve_simplex<double>(ExpandedModel::from(m));
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 6.0, 1e-9);
+}
+
+TEST(SimplexDouble, FinalBasisReconstructsSolution) {
+  // The returned basis must identify exactly one column per expanded row and
+  // carry the structural columns of the optimal vertex.
+  ExpandedModel em = ExpandedModel::from(two_var_classic());
+  auto r = solve_simplex<double>(em);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  ASSERT_EQ(r.basis.size(), em.rows.size());
+  std::size_t structural = 0;
+  for (const BasisColumn& c : r.basis) {
+    if (c.kind == BasisColumn::Kind::kStructural) {
+      ++structural;
+      EXPECT_LT(c.index, em.num_vars);
+    } else {
+      EXPECT_LT(c.index, em.rows.size());
+    }
+  }
+  EXPECT_EQ(structural, 2u);  // both x and y are basic at (8/5, 6/5)
+}
+
+// ---------------------------------------------------------------------------
 // Double and exact simplex agree on a family of randomized dense LPs.
 // ---------------------------------------------------------------------------
 

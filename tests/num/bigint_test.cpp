@@ -270,5 +270,17 @@ TEST_P(BigIntPropertyTest, GcdDividesBoth) {
 INSTANTIATE_TEST_SUITE_P(MagnitudeScales, BigIntPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 16));
 
+TEST(BigInt, GrowsAcrossTheInlineLimbBoundary) {
+  // Repeated squaring walks the limb count 2 -> 4 -> 8 -> 16, crossing the
+  // small-buffer boundary of the limb storage; division walks it back down.
+  const BigInt base(std::uint64_t{0xfedcba9876543210ull});
+  BigInt x = base;
+  for (int i = 0; i < 3; ++i) x *= x;  // base^8, ~512 bits
+  BigInt y = x;
+  for (int i = 0; i < 7; ++i) y /= base;
+  EXPECT_EQ(y, base);
+  EXPECT_EQ((x % base).to_string(), "0");
+}
+
 }  // namespace
 }  // namespace ssco::num

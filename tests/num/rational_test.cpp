@@ -140,5 +140,73 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{-9, 8}, std::pair{100, 101},
                       std::pair{-1000, 3}, std::pair{17, 1}));
 
+// ---------------------------------------------------------------------------
+// Fused accumulate (add_product / sub_product): must agree with the plain
+// operator path on small values, at the word-size fast-path boundary, and on
+// operands far beyond 64 bits.
+// ---------------------------------------------------------------------------
+
+TEST(RationalFused, AddProductMatchesOperators) {
+  Rational acc(5, 6);
+  Rational a(-3, 4), b(7, 9);
+  Rational expected = Rational(5, 6) + a * b;
+  acc.add_product(a, b);
+  EXPECT_EQ(acc, expected);
+}
+
+TEST(RationalFused, SubProductMatchesOperators) {
+  Rational acc(1, 3);
+  Rational a(11, 5), b(-2, 7);
+  Rational expected = Rational(1, 3) - a * b;
+  acc.sub_product(a, b);
+  EXPECT_EQ(acc, expected);
+}
+
+TEST(RationalFused, ZeroProductLeavesAccumulator) {
+  Rational acc(4, 9);
+  acc.add_product(Rational(0), Rational(123, 7));
+  EXPECT_EQ(acc, Rational(4, 9));
+}
+
+TEST(RationalFused, FastPathBoundary) {
+  // Components just under / at / over 2^31 so both the word path and the
+  // BigInt fallback run; all must agree with the operator path.
+  const std::int64_t near = (std::int64_t{1} << 31) - 1;
+  for (std::int64_t num : {near - 1, near, near + 1, -near}) {
+    Rational acc(num, 3);
+    Rational a(num, 7), b(5, num);
+    Rational expected = Rational(num, 3) + a * b;
+    acc.add_product(a, b);
+    EXPECT_EQ(acc, expected) << "num=" << num;
+    Rational acc2(num, 3);
+    Rational expected2 = Rational(num, 3) - a * b;
+    acc2.sub_product(a, b);
+    EXPECT_EQ(acc2, expected2) << "num=" << num;
+  }
+}
+
+TEST(RationalFused, HugeOperandsUseBigPath) {
+  Rational big(BigInt("123456789012345678901234567890"), BigInt(7));
+  Rational acc(1, 2);
+  Rational expected = Rational(1, 2) + big * Rational(3, 5);
+  acc.add_product(big, Rational(3, 5));
+  EXPECT_EQ(acc, expected);
+  acc.sub_product(big, Rational(3, 5));
+  EXPECT_EQ(acc, Rational(1, 2));
+}
+
+TEST(RationalFused, LongAccumulationStaysExact) {
+  // Sparse-dot style accumulation over many mixed-denominator terms.
+  Rational fused(0);
+  Rational plain(0);
+  for (int i = 1; i <= 200; ++i) {
+    Rational a(i % 13 - 6, 1 + i % 7);
+    Rational b(i % 11 - 5, 1 + i % 5);
+    fused.add_product(a, b);
+    plain += a * b;
+  }
+  EXPECT_EQ(fused, plain);
+}
+
 }  // namespace
 }  // namespace ssco::num

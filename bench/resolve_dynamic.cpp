@@ -1,0 +1,179 @@
+// Dynamic-platform re-solve benchmark: how cheaply does the incremental
+// engine (dual-simplex warm start, lp/dual_simplex.h) track a drifting
+// platform compared to cold solves?
+//
+// Scenarios, each one delta per iteration, warm-started from the previous
+// plan:
+//   * BandwidthDrift — one random edge cost changes by ±5% (the steady hum
+//     of a real network);
+//   * EdgeChurn — a link disappears or a new one appears;
+//   * NodeJoin — a fresh node attaches to the platform (the plan keeps
+//     serving the old roles while routing may shift onto the newcomer).
+//
+// Counters: resolve_pivots (warm, per delta), cold_pivots (cold baseline on
+// the same instance), warm_hit (fraction of deltas where the warm path
+// engaged rather than falling back cold).
+
+#include <benchmark/benchmark.h>
+
+#include "core/scatter_lp.h"
+#include "graph/paths.h"
+#include "graph/rng.h"
+#include "platform/delta.h"
+#include "testing_support.h"
+
+using namespace ssco;
+
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using graph::Rng;
+using platform::PlatformDelta;
+
+num::Rational drift_cost(const num::Rational& cost, bool up) {
+  return cost * (up ? num::Rational(21, 20) : num::Rational(19, 20));
+}
+
+struct Tally {
+  std::size_t resolve_pivots = 0;
+  std::size_t cold_pivots = 0;
+  std::size_t warm_hits = 0;
+  std::size_t deltas = 0;
+
+  void account(const core::MultiFlow& warm, const core::MultiFlow& cold) {
+    resolve_pivots += warm.lp_pivots;
+    cold_pivots += cold.lp_pivots;
+    warm_hits += warm.warm_started ? 1 : 0;
+    ++deltas;
+  }
+
+  void report(benchmark::State& state) const {
+    const double denom = deltas ? static_cast<double>(deltas) : 1.0;
+    state.counters["resolve_pivots"] =
+        static_cast<double>(resolve_pivots) / denom;
+    state.counters["cold_pivots"] = static_cast<double>(cold_pivots) / denom;
+    state.counters["warm_hit"] = static_cast<double>(warm_hits) / denom;
+  }
+};
+
+void BM_ResolveBandwidthDrift(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_scatter_instance(42, n, n / 2);
+  auto plan = core::solve_scatter(inst);
+  Rng rng(7);
+  Tally tally;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlatformDelta delta;
+    EdgeId e = static_cast<EdgeId>(rng.uniform(0, inst.platform.num_edges() - 1));
+    delta.cost_changes.push_back(
+        {e, drift_cost(inst.platform.edge_cost(e), rng.bernoulli(0.5))});
+    auto mutated = platform::apply_delta(inst.platform, delta);
+    inst.platform = std::move(mutated.platform);
+    state.ResumeTiming();
+
+    auto warm = core::solve_scatter(inst, {}, &plan);
+    benchmark::DoNotOptimize(warm.throughput);
+
+    state.PauseTiming();
+    tally.account(warm, core::solve_scatter(inst));
+    plan = std::move(warm);
+    state.ResumeTiming();
+  }
+  tally.report(state);
+}
+BENCHMARK(BM_ResolveBandwidthDrift)->Arg(16)->Arg(32)->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ResolveEdgeChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_scatter_instance(43, n, n / 2);
+  auto plan = core::solve_scatter(inst);
+  Rng rng(11);
+  Tally tally;
+  bool remove_turn = true;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Alternate removing a non-bridge edge and adding a fresh one, so the
+    // platform churns around a stable edge count instead of shrinking.
+    PlatformDelta delta;
+    bool mutated_platform = false;
+    if (remove_turn) {
+      for (int attempt = 0; attempt < 16 && !mutated_platform; ++attempt) {
+        EdgeId e =
+            static_cast<EdgeId>(rng.uniform(0, inst.platform.num_edges() - 1));
+        if (!graph::reaches_all_after_removal(inst.platform.graph(),
+                                              inst.source, inst.targets, e)) {
+          continue;
+        }
+        delta.edge_removes.push_back(e);
+        mutated_platform = true;
+      }
+    } else {
+      for (int attempt = 0; attempt < 16 && !mutated_platform; ++attempt) {
+        NodeId a = static_cast<NodeId>(rng.uniform(0, n - 1));
+        NodeId b = static_cast<NodeId>(rng.uniform(0, n - 1));
+        if (a == b || inst.platform.graph().has_edge(a, b)) continue;
+        delta.edge_adds.push_back({a, b, num::Rational(1)});
+        mutated_platform = true;
+      }
+    }
+    remove_turn = !remove_turn;
+    if (!mutated_platform) {
+      delta.cost_changes.push_back(
+          {0, drift_cost(inst.platform.edge_cost(0), true)});
+    }
+    auto mutated = platform::apply_delta(inst.platform, delta);
+    inst.platform = std::move(mutated.platform);
+    state.ResumeTiming();
+
+    auto warm = core::solve_scatter(inst, {}, &plan);
+    benchmark::DoNotOptimize(warm.throughput);
+
+    state.PauseTiming();
+    tally.account(warm, core::solve_scatter(inst));
+    plan = std::move(warm);
+    state.ResumeTiming();
+  }
+  tally.report(state);
+}
+BENCHMARK(BM_ResolveEdgeChurn)->Arg(16)->Arg(24)->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ResolveNodeJoin(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_scatter_instance(44, n, n / 2);
+  auto plan = core::solve_scatter(inst);
+  Rng rng(13);
+  Tally tally;
+  std::size_t joined = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlatformDelta delta;
+    NodeId anchor = static_cast<NodeId>(rng.uniform(0, n - 1));
+    delta.node_adds.push_back(
+        {"J" + std::to_string(joined++), num::Rational(1)});
+    NodeId fresh = inst.platform.num_nodes();
+    delta.edge_adds.push_back({anchor, fresh, num::Rational(1, 2)});
+    delta.edge_adds.push_back({fresh, anchor, num::Rational(1, 2)});
+    auto mutated = platform::apply_delta(inst.platform, delta);
+    inst.platform = std::move(mutated.platform);
+    state.ResumeTiming();
+
+    auto warm = core::solve_scatter(inst, {}, &plan);
+    benchmark::DoNotOptimize(warm.throughput);
+
+    state.PauseTiming();
+    tally.account(warm, core::solve_scatter(inst));
+    plan = std::move(warm);
+    state.ResumeTiming();
+  }
+  tally.report(state);
+}
+BENCHMARK(BM_ResolveNodeJoin)->Arg(16)->Iterations(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

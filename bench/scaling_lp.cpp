@@ -2,16 +2,22 @@
 // exact-arithmetic ablation called out in DESIGN.md:
 //   * scatter/gossip/reduce LP build+solve time vs platform size;
 //   * double-solve + rational certificate (our default) vs pure exact
-//     simplex — the design choice that makes exact results affordable.
+//     simplex — the design choice that makes exact results affordable;
+//   * incremental re-solve after a single-edge cost perturbation (warm
+//     dual-simplex start vs cold), tracked in BENCH_lp.json as the
+//     resolve_pivots / resolve_ms / cold_pivots counters.
 //
 // Iteration counts are pinned so the full harness stays fast on one core.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "core/gossip_lp.h"
 #include "core/reduce_lp.h"
 #include "core/scatter_lp.h"
 #include "lp/exact_solver.h"
+#include "platform/delta.h"
 #include "platform/paper_instances.h"
 #include "testing_support.h"
 
@@ -36,6 +42,63 @@ void BM_ScatterLp(benchmark::State& state) {
 // exercise the revised engine's eta/refactorization cycle at scale.
 BENCHMARK(BM_ScatterLp)->Arg(6)->Arg(10)->Arg(14)->Arg(18)->Arg(32)->Arg(48)
     ->Arg(64)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+// Incremental re-solve: perturb one edge cost per iteration and warm-start
+// from the previous plan's basis. `resolve_pivots`/`resolve_ms` are the
+// per-re-solve averages; `cold_pivots`/`cold_ms` the cold baseline on the
+// same mutated instances — their ratio is the re-solve speedup tracked
+// across PRs.
+void BM_ScatterResolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_scatter_instance(42, n, n / 2);
+  auto plan = core::solve_scatter(inst);
+  std::size_t resolve_pivots = 0;
+  std::size_t cold_pivots = 0;
+  double resolve_ms = 0.0;
+  double cold_ms = 0.0;
+  std::size_t resolves = 0;
+  ssco::graph::EdgeId edge = 0;
+  using clock = std::chrono::steady_clock;
+  auto ms_since = [](clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(clock::now() - t0)
+        .count();
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    ssco::platform::PlatformDelta delta;
+    edge = (edge + 7) % inst.platform.num_edges();
+    delta.cost_changes.push_back(
+        {edge, inst.platform.edge_cost(edge) * num::Rational(21, 20)});
+    auto mutated = ssco::platform::apply_delta(inst.platform, delta);
+    auto changed = inst;
+    changed.platform = std::move(mutated.platform);
+    state.ResumeTiming();
+
+    auto warm_t0 = clock::now();
+    auto warm = core::solve_scatter(changed, {}, &plan);
+    resolve_ms += ms_since(warm_t0);
+    benchmark::DoNotOptimize(warm.throughput);
+    resolve_pivots += warm.lp_pivots;
+    ++resolves;
+
+    state.PauseTiming();
+    auto cold_t0 = clock::now();
+    auto cold = core::solve_scatter(changed);
+    cold_ms += ms_since(cold_t0);
+    cold_pivots += cold.lp_pivots;
+    plan = std::move(warm);
+    inst = std::move(changed);
+    state.ResumeTiming();
+  }
+  const double denom = resolves ? static_cast<double>(resolves) : 1.0;
+  state.counters["resolve_pivots"] =
+      static_cast<double>(resolve_pivots) / denom;
+  state.counters["cold_pivots"] = static_cast<double>(cold_pivots) / denom;
+  state.counters["resolve_ms"] = resolve_ms / denom;
+  state.counters["cold_ms"] = cold_ms / denom;
+}
+BENCHMARK(BM_ScatterResolve)->Arg(18)->Arg(32)->Arg(48)->Iterations(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GossipLp(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "lp/warm_start.h"
 #include "num/rational.h"
 #include "platform/platform.h"
 
@@ -46,6 +47,11 @@ struct MultiFlow {
   std::string lp_method;
   /// Simplex pivots spent solving the LP (float + exact passes combined).
   std::size_t lp_pivots = 0;
+  /// Optimal-basis snapshot; pass this solution as `previous` to the next
+  /// solve on a mutated platform to re-solve incrementally.
+  lp::WarmStart lp_basis;
+  /// True when this solution came from a warm-started re-solve.
+  bool warm_started = false;
 
   /// Busy time per time-unit on each edge: sum_k flow_k(e) * size * c(e).
   [[nodiscard]] std::vector<Rational> edge_occupation(

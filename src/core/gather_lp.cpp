@@ -7,7 +7,8 @@ namespace ssco::core {
 MultiFlow solve_gather(const platform::Platform& platform,
                        const std::vector<NodeId>& sources, NodeId sink,
                        const Rational& message_size,
-                       const GatherLpOptions& options) {
+                       const GatherLpOptions& options,
+                       const MultiFlow* previous) {
   for (NodeId s : sources) {
     if (s == sink) {
       throw std::invalid_argument("gather: the sink cannot be a source");
@@ -24,7 +25,7 @@ MultiFlow solve_gather(const platform::Platform& platform,
   gossip_options.prune_cycles = options.prune_cycles;
   // Commodity order from solve_gossip is (source, target) pairs with the
   // single sink: exactly one commodity per source, in source order.
-  return solve_gossip(gossip, gossip_options);
+  return solve_gossip(gossip, gossip_options, previous);
 }
 
 }  // namespace ssco::core

@@ -21,9 +21,12 @@ struct GatherLpOptions {
 
 /// Commodity i of the result carries sources[i]'s message type.
 /// Requires the sink to be distinct from every source and reachable.
+/// `previous` (optional) warm-starts the solve from that solution's optimal
+/// basis — see solve_scatter.
 [[nodiscard]] MultiFlow solve_gather(const platform::Platform& platform,
                                      const std::vector<NodeId>& sources,
                                      NodeId sink, const Rational& message_size,
-                                     const GatherLpOptions& options = {});
+                                     const GatherLpOptions& options = {},
+                                     const MultiFlow* previous = nullptr);
 
 }  // namespace ssco::core

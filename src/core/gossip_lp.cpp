@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/lp_names.h"
 #include "graph/paths.h"
 
 namespace ssco::core {
@@ -80,7 +81,9 @@ lp::Model build_gossip_lp(const GossipInstance& instance) {
       const auto& edge = graph.edge(e);
       if (edge.src == pairs[p].dst || edge.dst == pairs[p].src) continue;
       VarId v = model.add_variable(
-          "send_e" + std::to_string(e) + "_p" + std::to_string(p));
+          "send_" + edge_tag(instance.platform, e) + "_p" +
+          node_tag(instance.platform, pairs[p].src) + "." +
+          node_tag(instance.platform, pairs[p].dst));
       var_of[p][e] = v.index;
     }
   }
@@ -104,11 +107,11 @@ lp::Model build_gossip_lp(const GossipInstance& instance) {
     }
     if (!out_busy.empty()) {
       model.add_constraint(out_busy, Sense::kLessEqual, Rational(1),
-                           "oneport_out_" + std::to_string(n));
+                           "oneport_out_" + node_tag(instance.platform, n));
     }
     if (!in_busy.empty()) {
       model.add_constraint(in_busy, Sense::kLessEqual, Rational(1),
-                           "oneport_in_" + std::to_string(n));
+                           "oneport_in_" + node_tag(instance.platform, n));
     }
   }
 
@@ -131,9 +134,11 @@ lp::Model build_gossip_lp(const GossipInstance& instance) {
         }
       }
       if (any) {
-        model.add_constraint(net, Sense::kEqual, Rational(0),
-                             "conserve_p" + std::to_string(p) + "_n" +
-                                 std::to_string(n));
+        model.add_constraint(
+            net, Sense::kEqual, Rational(0),
+            "conserve_p" + node_tag(instance.platform, pairs[p].src) + "." +
+                node_tag(instance.platform, pairs[p].dst) + "_n" +
+                node_tag(instance.platform, n));
       }
     }
   }
@@ -145,19 +150,24 @@ lp::Model build_gossip_lp(const GossipInstance& instance) {
       if (var_of[p][e] != kNoVar) delivered.add(VarId{var_of[p][e]}, Rational(1));
     }
     delivered.add(tp, Rational(-1));
-    model.add_constraint(delivered, Sense::kEqual, Rational(0),
-                         "throughput_p" + std::to_string(p));
+    model.add_constraint(
+        delivered, Sense::kEqual, Rational(0),
+        "throughput_p" + node_tag(instance.platform, pairs[p].src) + "." +
+            node_tag(instance.platform, pairs[p].dst));
   }
   return model;
 }
 
 MultiFlow solve_gossip(const GossipInstance& instance,
-                       const GossipLpOptions& options) {
+                       const GossipLpOptions& options,
+                       const MultiFlow* previous) {
   check_instance(instance);
   Model model = build_gossip_lp(instance);
 
   lp::ExactSolver solver(options.solver);
-  lp::ExactSolution sol = solver.solve(model);
+  lp::SolveContext context;
+  if (previous) context.warm = previous->lp_basis;
+  lp::ExactSolution sol = solver.solve(model, &context);
   if (sol.status != lp::SolveStatus::kOptimal) {
     throw std::runtime_error("gossip LP did not reach optimality: " +
                              lp::to_string(sol.status));
@@ -170,6 +180,8 @@ MultiFlow solve_gossip(const GossipInstance& instance,
   flow.certified = sol.certified;
   flow.lp_method = sol.method;
   flow.lp_pivots = sol.float_iterations + sol.exact_iterations;
+  flow.lp_basis = std::move(context.warm);
+  flow.warm_started = sol.warm_started;
   flow.commodities.resize(pairs.size());
   std::size_t next_var = 0;
   for (std::size_t p = 0; p < pairs.size(); ++p) {

@@ -23,7 +23,10 @@ struct GossipLpOptions {
 
 /// Commodity order in the result: for each source (in instance order), each
 /// distinct target in instance order.
+/// `previous` (optional) warm-starts the solve from that solution's optimal
+/// basis — see solve_scatter.
 [[nodiscard]] MultiFlow solve_gossip(const platform::GossipInstance& instance,
-                                     const GossipLpOptions& options = {});
+                                     const GossipLpOptions& options = {},
+                                     const MultiFlow* previous = nullptr);
 
 }  // namespace ssco::core

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/lp_names.h"
 #include "graph/paths.h"
 
 namespace ssco::core {
@@ -93,7 +94,7 @@ lp::Model build_prefix_lp(const ReduceInstance& instance,
     for (EdgeId e = 0; e < graph.num_edges(); ++e) {
       if (suppressed_send(instance, sp, iv, graph.edge(e))) continue;
       send_var[iv][e] = model
-                            .add_variable("send_e" + std::to_string(e) + "_v" +
+                            .add_variable("send_" + edge_tag(instance.platform, e) + "_v" +
                                           std::to_string(k) + "_" +
                                           std::to_string(m))
                             .index;
@@ -104,7 +105,7 @@ lp::Model build_prefix_lp(const ReduceInstance& instance,
   for (NodeId n : compute_nodes) {
     for (std::size_t t = 0; t < sp.num_tasks(); ++t) {
       cons_var[n][t] =
-          model.add_variable("cons_n" + std::to_string(n) + "_t" +
+          model.add_variable("cons_" + node_tag(instance.platform, n) + "_t" +
                              std::to_string(t))
               .index;
     }
@@ -129,11 +130,11 @@ lp::Model build_prefix_lp(const ReduceInstance& instance,
     }
     if (!out_busy.empty()) {
       model.add_constraint(out_busy, Sense::kLessEqual, Rational(1),
-                           "oneport_out_" + std::to_string(n));
+                           "oneport_out_" + node_tag(instance.platform, n));
     }
     if (!in_busy.empty()) {
       model.add_constraint(in_busy, Sense::kLessEqual, Rational(1),
-                           "oneport_in_" + std::to_string(n));
+                           "oneport_in_" + node_tag(instance.platform, n));
     }
   }
   // Compute rows.
@@ -144,7 +145,7 @@ lp::Model build_prefix_lp(const ReduceInstance& instance,
       busy.add(VarId{cons_var[n][t]}, unit);
     }
     model.add_constraint(busy, Sense::kLessEqual, Rational(1),
-                         "compute_" + std::to_string(n));
+                         "compute_" + node_tag(instance.platform, n));
   }
 
   // Conservation with per-prefix demands: at (v[0,i], participants[i]) the
@@ -194,7 +195,7 @@ lp::Model build_prefix_lp(const ReduceInstance& instance,
         model.add_constraint(net, Sense::kEqual, Rational(0),
                              "conserve_v" + std::to_string(k) + "_" +
                                  std::to_string(m) + "_n" +
-                                 std::to_string(node));
+                                 node_tag(instance.platform, node));
       }
     }
   }
@@ -202,13 +203,16 @@ lp::Model build_prefix_lp(const ReduceInstance& instance,
 }
 
 ReduceSolution solve_prefix(const ReduceInstance& instance,
-                            const PrefixLpOptions& options) {
+                            const PrefixLpOptions& options,
+                            const ReduceSolution* previous) {
   check_instance(instance);
   const auto compute_nodes = resolve_compute_nodes(instance, options);
   Model model = build_prefix_lp(instance, options);
 
   lp::ExactSolver solver(options.solver);
-  lp::ExactSolution sol = solver.solve(model);
+  lp::SolveContext context;
+  if (previous) context.warm = previous->lp_basis;
+  lp::ExactSolution sol = solver.solve(model, &context);
   if (sol.status != lp::SolveStatus::kOptimal) {
     throw std::runtime_error("prefix LP did not reach optimality: " +
                              lp::to_string(sol.status));
@@ -221,6 +225,8 @@ ReduceSolution solve_prefix(const ReduceInstance& instance,
   out.certified = sol.certified;
   out.lp_method = sol.method;
   out.lp_pivots = sol.float_iterations + sol.exact_iterations;
+  out.lp_basis = std::move(context.warm);
+  out.warm_started = sol.warm_started;
   out.send.assign(sp.num_intervals(),
                   std::vector<Rational>(graph.num_edges(), Rational(0)));
   out.cons.assign(graph.num_nodes(),

@@ -30,9 +30,12 @@ struct PrefixLpOptions {
 /// Result: a ReduceSolution-shaped table (send/cons/throughput). The
 /// conservation exclusions differ from reduce (prefix sinks), so use
 /// validate_prefix() below rather than ReduceSolution::validate().
+/// `previous` (optional) warm-starts the solve from that solution's optimal
+/// basis — see solve_scatter.
 [[nodiscard]] ReduceSolution solve_prefix(
     const platform::ReduceInstance& instance,
-    const PrefixLpOptions& options = {});
+    const PrefixLpOptions& options = {},
+    const ReduceSolution* previous = nullptr);
 
 [[nodiscard]] lp::Model build_prefix_lp(
     const platform::ReduceInstance& instance,

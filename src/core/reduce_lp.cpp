@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/lp_names.h"
 #include "graph/paths.h"
 
 namespace ssco::core {
@@ -92,7 +93,7 @@ ReduceVars declare_variables(const ReduceInstance& instance,
     auto [k, m] = sp.interval(iv);
     for (EdgeId e = 0; e < graph.num_edges(); ++e) {
       if (suppressed_send(instance, sp, iv, graph.edge(e))) continue;
-      VarId v = model.add_variable("send_e" + std::to_string(e) + "_v" +
+      VarId v = model.add_variable("send_" + edge_tag(instance.platform, e) + "_v" +
                                    std::to_string(k) + "_" +
                                    std::to_string(m));
       vars.send_var[iv][e] = v.index;
@@ -104,7 +105,7 @@ ReduceVars declare_variables(const ReduceInstance& instance,
     for (std::size_t t = 0; t < sp.num_tasks(); ++t) {
       auto [k, l, m] = sp.task(t);
       VarId v = model.add_variable(
-          "cons_n" + std::to_string(n) + "_T" + std::to_string(k) + "_" +
+          "cons_" + node_tag(instance.platform, n) + "_T" + std::to_string(k) + "_" +
           std::to_string(l) + "_" + std::to_string(m));
       vars.cons_var[n][t] = v.index;
     }
@@ -147,11 +148,11 @@ lp::Model build_reduce_lp(const ReduceInstance& instance,
     }
     if (!out_busy.empty()) {
       model.add_constraint(out_busy, Sense::kLessEqual, Rational(1),
-                           "oneport_out_" + std::to_string(n));
+                           "oneport_out_" + node_tag(instance.platform, n));
     }
     if (!in_busy.empty()) {
       model.add_constraint(in_busy, Sense::kLessEqual, Rational(1),
-                           "oneport_in_" + std::to_string(n));
+                           "oneport_in_" + node_tag(instance.platform, n));
     }
   }
 
@@ -163,7 +164,7 @@ lp::Model build_reduce_lp(const ReduceInstance& instance,
       busy.add(VarId{vars.cons_var[n][t]}, unit);
     }
     model.add_constraint(busy, Sense::kLessEqual, Rational(1),
-                         "compute_" + std::to_string(n));
+                         "compute_" + node_tag(instance.platform, n));
   }
 
   // Conservation law (eq. 10) + throughput row (eq. 11).
@@ -217,7 +218,7 @@ lp::Model build_reduce_lp(const ReduceInstance& instance,
         model.add_constraint(net, Sense::kEqual, Rational(0),
                              "conserve_v" + std::to_string(k) + "_" +
                                  std::to_string(m) + "_n" +
-                                 std::to_string(node));
+                                 node_tag(instance.platform, node));
       }
     }
   }
@@ -225,13 +226,16 @@ lp::Model build_reduce_lp(const ReduceInstance& instance,
 }
 
 ReduceSolution solve_reduce(const ReduceInstance& instance,
-                            const ReduceLpOptions& options) {
+                            const ReduceLpOptions& options,
+                            const ReduceSolution* previous) {
   check_instance(instance);
   const auto compute_nodes = resolve_compute_nodes(instance, options);
   Model model = build_reduce_lp(instance, options);
 
   lp::ExactSolver solver(options.solver);
-  lp::ExactSolution sol = solver.solve(model);
+  lp::SolveContext context;
+  if (previous) context.warm = previous->lp_basis;
+  lp::ExactSolution sol = solver.solve(model, &context);
   if (sol.status != lp::SolveStatus::kOptimal) {
     throw std::runtime_error("reduce LP did not reach optimality: " +
                              lp::to_string(sol.status));
@@ -244,6 +248,8 @@ ReduceSolution solve_reduce(const ReduceInstance& instance,
   out.certified = sol.certified;
   out.lp_method = sol.method;
   out.lp_pivots = sol.float_iterations + sol.exact_iterations;
+  out.lp_basis = std::move(context.warm);
+  out.warm_started = sol.warm_started;
   out.send.assign(sp.num_intervals(),
                   std::vector<Rational>(graph.num_edges(), Rational(0)));
   out.cons.assign(graph.num_nodes(),

@@ -32,8 +32,11 @@ struct ReduceLpOptions {
     const platform::ReduceInstance& instance,
     const ReduceLpOptions& options = {});
 
+/// `previous` (optional) warm-starts the solve from that solution's optimal
+/// basis — see solve_scatter.
 [[nodiscard]] ReduceSolution solve_reduce(
     const platform::ReduceInstance& instance,
-    const ReduceLpOptions& options = {});
+    const ReduceLpOptions& options = {},
+    const ReduceSolution* previous = nullptr);
 
 }  // namespace ssco::core

@@ -13,6 +13,7 @@
 
 #include "core/intervals.h"
 #include "graph/digraph.h"
+#include "lp/warm_start.h"
 #include "num/rational.h"
 #include "platform/paper_instances.h"
 
@@ -38,6 +39,11 @@ struct ReduceSolution {
   std::string lp_method;
   /// Simplex pivots spent solving the LP (float + exact passes combined).
   std::size_t lp_pivots = 0;
+  /// Optimal-basis snapshot; pass this solution as `previous` to the next
+  /// solve on a mutated platform to re-solve incrementally.
+  lp::WarmStart lp_basis;
+  /// True when this solution came from a warm-started re-solve.
+  bool warm_started = false;
 
   [[nodiscard]] IntervalSpace space() const {
     return IntervalSpace(num_participants);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "core/lp_names.h"
 #include "graph/paths.h"
 
 namespace ssco::core {
@@ -64,8 +65,8 @@ ScatterVars declare_variables(const ScatterInstance& instance, Model& model) {
       // Useless variables: m_k leaving its target, anything entering the
       // source.
       if (edge.src == target || edge.dst == instance.source) continue;
-      VarId v = model.add_variable(
-          "send_e" + std::to_string(e) + "_m" + std::to_string(k));
+      VarId v = model.add_variable("send_" + edge_tag(instance.platform, e) +
+                                   "_m" + node_tag(instance.platform, target));
       vars.var_of[k][e] = v.index;
     }
   }
@@ -106,11 +107,11 @@ lp::Model build_scatter_lp(const ScatterInstance& instance) {
     }
     if (!out_busy.empty()) {
       model.add_constraint(out_busy, Sense::kLessEqual, Rational(1),
-                           "oneport_out_" + std::to_string(n));
+                           "oneport_out_" + node_tag(instance.platform, n));
     }
     if (!in_busy.empty()) {
       model.add_constraint(in_busy, Sense::kLessEqual, Rational(1),
-                           "oneport_in_" + std::to_string(n));
+                           "oneport_in_" + node_tag(instance.platform, n));
     }
   }
 
@@ -135,9 +136,10 @@ lp::Model build_scatter_lp(const ScatterInstance& instance) {
         }
       }
       if (any) {
-        model.add_constraint(net, Sense::kEqual, Rational(0),
-                             "conserve_m" + std::to_string(k) + "_n" +
-                                 std::to_string(n));
+        model.add_constraint(
+            net, Sense::kEqual, Rational(0),
+            "conserve_m" + node_tag(instance.platform, target) + "_n" +
+                node_tag(instance.platform, n));
       }
     }
   }
@@ -153,18 +155,21 @@ lp::Model build_scatter_lp(const ScatterInstance& instance) {
     }
     delivered.add(vars.throughput, Rational(-1));
     model.add_constraint(delivered, Sense::kEqual, Rational(0),
-                         "throughput_m" + std::to_string(k));
+                         "throughput_m" + node_tag(instance.platform, target));
   }
   return model;
 }
 
 MultiFlow solve_scatter(const ScatterInstance& instance,
-                        const ScatterLpOptions& options) {
+                        const ScatterLpOptions& options,
+                        const MultiFlow* previous) {
   check_instance(instance);
   Model model = build_scatter_lp(instance);
 
   lp::ExactSolver solver(options.solver);
-  lp::ExactSolution sol = solver.solve(model);
+  lp::SolveContext context;
+  if (previous) context.warm = previous->lp_basis;
+  lp::ExactSolution sol = solver.solve(model, &context);
   if (sol.status != lp::SolveStatus::kOptimal) {
     throw std::runtime_error("scatter LP did not reach optimality: " +
                              lp::to_string(sol.status));
@@ -178,6 +183,8 @@ MultiFlow solve_scatter(const ScatterInstance& instance,
   flow.certified = sol.certified;
   flow.lp_method = sol.method;
   flow.lp_pivots = sol.float_iterations + sol.exact_iterations;
+  flow.lp_basis = std::move(context.warm);
+  flow.warm_started = sol.warm_started;
   std::size_t next_var = 0;
   flow.commodities.resize(instance.targets.size());
   for (std::size_t k = 0; k < instance.targets.size(); ++k) {

@@ -36,7 +36,13 @@ struct ScatterLpOptions {
 /// instance.targets[i]'s message type.
 /// Throws std::invalid_argument when some target is unreachable (the LP would
 /// be feasible only with TP = 0) or roles are malformed.
+///
+/// `previous` (optional) warm-starts the solve from that solution's optimal
+/// basis (lp/dual_simplex.h) — the incremental path for a platform that
+/// changed under a live plan. Exactness is unaffected: the result passes
+/// the same certificates as a cold solve.
 [[nodiscard]] MultiFlow solve_scatter(const platform::ScatterInstance& instance,
-                                      const ScatterLpOptions& options = {});
+                                      const ScatterLpOptions& options = {},
+                                      const MultiFlow* previous = nullptr);
 
 }  // namespace ssco::core

@@ -3,11 +3,13 @@
 namespace ssco::core {
 
 FlowPlan optimize_scatter(const platform::ScatterInstance& instance,
-                          const PlanOptions& options) {
+                          const PlanOptions& options,
+                          const FlowPlan* previous) {
   ScatterLpOptions lp_options;
   lp_options.solver = options.solver;
   FlowPlan plan;
-  plan.flow = solve_scatter(instance, lp_options);
+  plan.flow =
+      solve_scatter(instance, lp_options, previous ? &previous->flow : nullptr);
   ScatterScheduleOptions sched_options;
   sched_options.allow_split_messages = options.allow_split_messages;
   plan.schedule =
@@ -16,11 +18,13 @@ FlowPlan optimize_scatter(const platform::ScatterInstance& instance,
 }
 
 FlowPlan optimize_gossip(const platform::GossipInstance& instance,
-                         const PlanOptions& options) {
+                         const PlanOptions& options,
+                         const FlowPlan* previous) {
   GossipLpOptions lp_options;
   lp_options.solver = options.solver;
   FlowPlan plan;
-  plan.flow = solve_gossip(instance, lp_options);
+  plan.flow =
+      solve_gossip(instance, lp_options, previous ? &previous->flow : nullptr);
   ScatterScheduleOptions sched_options;
   sched_options.allow_split_messages = options.allow_split_messages;
   plan.schedule =
@@ -29,11 +33,13 @@ FlowPlan optimize_gossip(const platform::GossipInstance& instance,
 }
 
 ReducePlan optimize_reduce(const platform::ReduceInstance& instance,
-                           const PlanOptions& options) {
+                           const PlanOptions& options,
+                           const ReducePlan* previous) {
   ReduceLpOptions lp_options;
   lp_options.solver = options.solver;
   ReducePlan plan;
-  plan.solution = solve_reduce(instance, lp_options);
+  plan.solution = solve_reduce(instance, lp_options,
+                               previous ? &previous->solution : nullptr);
   plan.trees = extract_trees(instance, plan.solution);
   ReduceScheduleOptions sched_options;
   sched_options.allow_split_messages = options.allow_split_messages;

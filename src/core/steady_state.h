@@ -49,15 +49,27 @@ struct PlanOptions {
 };
 
 /// solve_scatter + build_flow_schedule in one call.
+///
+/// `previous` (optional) re-solves INCREMENTALLY from that plan's optimal
+/// basis — the intended loop for a live platform: keep the returned plan,
+/// mutate the platform (platform::apply_delta), and pass the old plan back
+/// in. The LP warm-starts through the dual simplex and the result is
+/// re-certified exactly, so an incremental plan is indistinguishable from a
+/// cold one (besides being much cheaper to compute).
 [[nodiscard]] FlowPlan optimize_scatter(
-    const platform::ScatterInstance& instance, const PlanOptions& options = {});
+    const platform::ScatterInstance& instance, const PlanOptions& options = {},
+    const FlowPlan* previous = nullptr);
 
-/// solve_gossip + build_flow_schedule in one call.
+/// solve_gossip + build_flow_schedule in one call (incremental like
+/// optimize_scatter when `previous` is given).
 [[nodiscard]] FlowPlan optimize_gossip(const platform::GossipInstance& instance,
-                                       const PlanOptions& options = {});
+                                       const PlanOptions& options = {},
+                                       const FlowPlan* previous = nullptr);
 
-/// solve_reduce + extract_trees + build_reduce_schedule in one call.
+/// solve_reduce + extract_trees + build_reduce_schedule in one call
+/// (incremental like optimize_scatter when `previous` is given).
 [[nodiscard]] ReducePlan optimize_reduce(
-    const platform::ReduceInstance& instance, const PlanOptions& options = {});
+    const platform::ReduceInstance& instance, const PlanOptions& options = {},
+    const ReducePlan* previous = nullptr);
 
 }  // namespace ssco::core

@@ -107,4 +107,30 @@ bool is_strongly_connected(const Digraph& graph) {
   return std::all_of(seen.begin(), seen.end(), [](bool b) { return b; });
 }
 
+bool reaches_all_after_removal(const Digraph& graph, NodeId root,
+                               const std::vector<NodeId>& keep,
+                               EdgeId removed_edge, NodeId removed_node) {
+  if (root == removed_node) return keep.empty();
+  // BFS over surviving edges; no graph copy.
+  std::vector<bool> seen(graph.num_nodes(), false);
+  std::queue<NodeId> frontier;
+  seen[root] = true;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    NodeId node = frontier.front();
+    frontier.pop();
+    for (EdgeId e : graph.out_edges(node)) {
+      if (e == removed_edge) continue;
+      NodeId next = graph.edge(e).dst;
+      if (next == removed_node || seen[next]) continue;
+      seen[next] = true;
+      frontier.push(next);
+    }
+  }
+  for (NodeId n : keep) {
+    if (n == removed_node || !seen[n]) return false;
+  }
+  return true;
+}
+
 }  // namespace ssco::graph

@@ -42,6 +42,16 @@ struct ShortestPathTree {
 [[nodiscard]] std::vector<bool> reachable_from(const Digraph& graph,
                                                NodeId source);
 
+/// True when `root` still reaches every node of `keep` after hypothetically
+/// dropping `removed_edge` and/or `removed_node` (pass kInvalidId to drop
+/// nothing; removing a node drops its incident edges). The guard used by
+/// the dynamic-platform sweeps to pick deltas that keep roles servable.
+[[nodiscard]] bool reaches_all_after_removal(const Digraph& graph,
+                                             NodeId root,
+                                             const std::vector<NodeId>& keep,
+                                             EdgeId removed_edge,
+                                             NodeId removed_node = kInvalidId);
+
 /// True when every node can reach every other following edge directions.
 [[nodiscard]] bool is_strongly_connected(const Digraph& graph);
 

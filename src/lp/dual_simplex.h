@@ -1,0 +1,59 @@
+#pragma once
+// Dual revised simplex and the incremental re-solve driver.
+//
+// A platform delta (edge cost drift, node churn) turns yesterday's optimal
+// basis into today's excellent guess: refactoring the old basis against the
+// new constraint matrix typically leaves it a handful of pivots from the new
+// optimum, where a cold solve would pay the full two-phase price. The warm
+// path is the classic cost-shifting scheme (as in modern LP codes):
+//
+//   1. load the previous basis into the revised engine (lp/revised_simplex.h)
+//      and refactorize it against the NEW matrix — bail to a cold solve when
+//      the selection went singular;
+//   2. wherever the basis is dual infeasible for the new costs, shift the
+//      offending reduced costs to zero (a bounded cost perturbation that
+//      makes the basis dual feasible BY CONSTRUCTION — the "after cost
+//      perturbation" start the dual simplex requires);
+//   3. run the DUAL simplex — bound-flipping dual ratio test over the same
+//      BasisLU FTRAN/BTRAN kernel — until the basis is primal feasible
+//      again. Dual unboundedness here proves the new LP primal infeasible;
+//   4. if step 2 shifted anything, finish with ordinary primal phase 2 under
+//      the true costs (warm too: the basis is primal feasible, so no
+//      artificials and no phase 1).
+//
+// The result honours the full SimplexResult<double> contract, so ExactSolver
+// certifies a warm solution through exactly the same paths as a cold one —
+// warm starting is purely an accelerator, never a correctness assumption.
+
+#include <cstddef>
+
+#include "lp/revised_simplex.h"
+#include "lp/simplex.h"
+
+namespace ssco::lp {
+
+/// Per-solve telemetry of the warm path (for benches and tests).
+struct DualSolveInfo {
+  /// Reduced costs shifted in step 2 (0 = basis was already dual feasible).
+  std::size_t cost_shifts = 0;
+  std::size_t dual_pivots = 0;
+  std::size_t primal_pivots = 0;
+};
+
+/// Re-solves `em` starting from the given basis column selection (expanded
+/// column indices, one per row). Returns kIterationLimit when the basis is
+/// unusable (singular / malformed / out of iterations) — the caller should
+/// fall back to a cold solve; kInfeasible and kUnbounded are genuine
+/// (tolerance-level) verdicts about the new LP.
+[[nodiscard]] SimplexResult<double> solve_from_basis(
+    const ExpandedModel& em, const std::vector<std::size_t>& basis_columns,
+    const SimplexOptions& options, DualSolveInfo* info = nullptr);
+
+/// Same, reusing a layout the caller already built (the warm-start mapping
+/// needs one anyway; `layout` must equal ColumnLayout::from(em)).
+[[nodiscard]] SimplexResult<double> solve_from_basis(
+    const ExpandedModel& em, ColumnLayout layout,
+    const std::vector<std::size_t>& basis_columns,
+    const SimplexOptions& options, DualSolveInfo* info = nullptr);
+
+}  // namespace ssco::lp

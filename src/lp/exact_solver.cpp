@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "lp/column_layout.h"
+#include "lp/dual_simplex.h"
 #include "lp/exact_basis.h"
 #include "num/reconstruct.h"
 
@@ -160,13 +162,31 @@ bool ExactSolver::verify_certificate(const ExpandedModel& em,
 }
 
 ExactSolution ExactSolver::solve(const Model& model) const {
+  return solve(model, nullptr);
+}
+
+ExactSolution ExactSolver::solve(const Model& model,
+                                 SolveContext* context) const {
   ExactSolution out;
   ExpandedModel em = ExpandedModel::from(model);
 
-  SimplexResult<double> fp = solve_simplex<double>(em, options_.simplex);
-  out.float_iterations = fp.iterations;
+  if (context) {
+    context->warm_attempted = false;
+    context->warm_used = false;
+    context->cost_shifts = 0;
+  }
 
-  if (fp.status == SolveStatus::kOptimal) {
+  // Remember the basis that produced the final answer so the NEXT solve in
+  // this context starts warm.
+  auto remember = [&](const std::vector<BasisColumn>& basis) {
+    if (context && !basis.empty()) {
+      context->warm = capture_warm_start(model, basis);
+    }
+  };
+
+  // Tries both exact certification paths on a float-optimal result; fills
+  // and returns `out` on success.
+  auto certify = [&](const SimplexResult<double>& fp) -> bool {
     for (std::uint64_t cap : options_.denominator_caps) {
       auto x = reconstruct_vector(fp.primal, cap,
                                   options_.reconstruct_tolerance);
@@ -188,7 +208,8 @@ ExactSolution ExactSolver::solve(const Model& model) const {
         out.objective = obj + em.objective_constant;
         out.certified = true;
         out.method = "double+certificate";
-        return out;
+        remember(fp.basis);
+        return true;
       }
     }
     // Second stage: exact recovery from the optimal basis (degenerate
@@ -207,10 +228,51 @@ ExactSolution ExactSolver::solve(const Model& model) const {
         out.objective = obj + em.objective_constant;
         out.certified = true;
         out.method = "double+basis-verification";
-        return out;
+        remember(fp.basis);
+        return true;
       }
     }
+    return false;
+  };
+
+  // Warm attempt: replay the context basis through the dual simplex. ANY
+  // inconclusive or non-optimal warm outcome — including a tolerance-level
+  // infeasible verdict, which a drifted stale basis can fake — falls back
+  // to the cold float pass, so a warm start costs at most one extra
+  // (cheap) float solve, never a wrong answer and never an unnecessary
+  // trip through the exact simplex.
+  SimplexResult<double> fp;
+  if (context && !context->warm.empty()) {
+    ColumnLayout layout = ColumnLayout::from(em);
+    if (auto columns = map_warm_basis(context->warm, model, em, layout)) {
+      context->warm_attempted = true;
+      SimplexOptions warm_options = options_.simplex;
+      const std::size_t budget = options_.warm_pivot_budget != 0
+                                     ? options_.warm_pivot_budget
+                                     : 2 * em.rows.size() + 100;
+      warm_options.max_iterations =
+          std::min(warm_options.max_iterations, budget);
+      DualSolveInfo info;
+      SimplexResult<double> warm = solve_from_basis(
+          em, std::move(layout), *columns, warm_options, &info);
+      out.float_iterations += warm.iterations;
+      context->cost_shifts = info.cost_shifts;
+      if (warm.status == SolveStatus::kOptimal) {
+        if (certify(warm)) {
+          context->warm_used = true;
+          out.warm_started = true;
+          return out;
+        }
+      }
+      // Anything else — basis singular, stale past the pivot budget,
+      // numerically hopeless, or a float-level infeasible/unbounded
+      // verdict: fall through to the cold solve.
+    }
   }
+
+  fp = solve_simplex<double>(em, options_.simplex);
+  out.float_iterations += fp.iterations;
+  if (fp.status == SolveStatus::kOptimal && certify(fp)) return out;
 
   if (!options_.allow_exact_fallback) {
     out.status = fp.status == SolveStatus::kOptimal
@@ -232,6 +294,7 @@ ExactSolution ExactSolver::solve(const Model& model) const {
   out.dual = std::move(ex.dual);
   out.objective = ex.objective + em.objective_constant;
   out.certified = true;
+  remember(ex.basis);
   return out;
 }
 

@@ -30,6 +30,7 @@
 
 #include "lp/model.h"
 #include "lp/simplex.h"
+#include "lp/warm_start.h"
 
 namespace ssco::lp {
 
@@ -50,6 +51,22 @@ struct ExactSolution {
   std::string method;
   std::size_t float_iterations = 0;
   std::size_t exact_iterations = 0;
+  /// True when the float pass was a warm re-solve from a previous basis
+  /// (lp/dual_simplex.h) instead of a cold two-phase solve.
+  bool warm_started = false;
+};
+
+/// Carries warm-start state between consecutive solves: after a successful
+/// solve the optimal basis is snapshotted into `warm` (keyed by names, so a
+/// rebuilt model maps it back — lp/warm_start.h); the next solve made with
+/// the same context replays it through the dual simplex. A default
+/// constructed context is an empty (cold) one.
+struct SolveContext {
+  WarmStart warm;
+  /// Telemetry of the most recent solve() made with this context.
+  bool warm_attempted = false;
+  bool warm_used = false;
+  std::size_t cost_shifts = 0;
 };
 
 struct ExactSolverOptions {
@@ -65,6 +82,11 @@ struct ExactSolverOptions {
   /// Allow falling back to the exact rational simplex (can be slow on large
   /// instances but is always correct).
   bool allow_exact_fallback = true;
+  /// Pivot budget for a warm-started float pass before giving up and going
+  /// cold (0 = automatic: 2m + 100 for an m-row expanded model). A stale
+  /// basis on a heavily mutated platform can cost more pivots than a cold
+  /// solve; the budget bounds the downside of trying.
+  std::size_t warm_pivot_budget = 0;
   SimplexOptions simplex;
 };
 
@@ -77,6 +99,14 @@ class ExactSolver {
   /// internal invariant violations; infeasible/unbounded models are reported
   /// through `status`.
   [[nodiscard]] ExactSolution solve(const Model& model) const;
+
+  /// Same, threading warm-start state through `context` (may be null): a
+  /// non-empty context basis warm-starts the float pass via the dual
+  /// simplex, and the new optimal basis is written back on success. The
+  /// certificate paths are identical to the cold solve — a warm start can
+  /// cost a fallback, never a wrong answer.
+  [[nodiscard]] ExactSolution solve(const Model& model,
+                                    SolveContext* context) const;
 
   /// Verifies an exact primal/dual optimality certificate for the expanded
   /// model: returns true iff `x` is primal feasible, `y` is dual feasible,

@@ -2,345 +2,306 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 #include <vector>
-
-#include "lp/basis_lu.h"
-#include "lp/column_layout.h"
-#include "lp/sparse.h"
 
 namespace ssco::lp {
 
-namespace {
+RevisedSimplex::RevisedSimplex(const ExpandedModel& em, ColumnLayout layout,
+                               bool defer_initial_factor)
+    : em_(em), layout_(std::move(layout)) {
+  const std::size_t m = em.rows.size();
+  const std::size_t n = em.num_vars;
+  m_ = m;
+  num_cols_ = layout_.num_cols;
 
-constexpr std::size_t kNone = static_cast<std::size_t>(-1);
-/// Reduced-cost / ratio-test tolerances, matching the dense double tableau.
-constexpr double kEps = 1e-9;
-/// Absolute tie window of the ratio test.
-constexpr double kTieTol = 1e-10;
-/// Basic values / primal noise below this snap to zero.
-constexpr double kZeroTol = 1e-12;
-/// Feasibility threshold on the phase-1 artificial residual.
-constexpr double kFeasTol = 1e-7;
-/// A pivot whose leaving value is below this counts as degenerate.
-constexpr double kDegenTol = 1e-10;
-/// Eta updates absorbed before the basis is refactorized from scratch.
-constexpr std::size_t kRefactorInterval = 96;
-
-class RevisedSimplex {
- public:
-  explicit RevisedSimplex(const ExpandedModel& em)
-      : em_(em), layout_(ColumnLayout::from(em)) {
-    const std::size_t m = em.rows.size();
-    const std::size_t n = em.num_vars;
-    m_ = m;
-    num_cols_ = layout_.num_cols;
-
-    // Structural columns, gathered from the row-major expanded model.
-    std::vector<std::vector<CscMatrix::Entry>> buckets(n);
-    for (std::size_t i = 0; i < m; ++i) {
-      for (const auto& [idx, coeff] : em.rows[i].coeffs) {
-        const double v = coeff.to_double();
-        buckets[idx].push_back({i, layout_.flipped[i] ? -v : v});
-      }
-    }
-    A_ = CscMatrix(m);
-    std::size_t nnz = 0;
-    for (const auto& b : buckets) nnz += b.size();
-    A_.reserve(num_cols_, nnz + 2 * m);
-    for (std::size_t j = 0; j < n; ++j) A_.add_column(buckets[j]);
-    for (std::size_t i = 0; i < m; ++i) {
-      if (layout_.slack_col[i] == kNone) continue;
-      A_.push_entry(i, layout_.sense[i] == Sense::kLessEqual ? 1.0 : -1.0);
-      A_.end_column();
-    }
-    for (std::size_t i = 0; i < m; ++i) {
-      if (layout_.art_col[i] == kNone) continue;
-      A_.push_entry(i, 1.0);
-      A_.end_column();
-    }
-
-    rhs_.assign(m, 0.0);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double v = em.rows[i].rhs.to_double();
-      rhs_[i] = layout_.flipped[i] ? -v : v;
-    }
-
-    // Initial basis: slack for <=, artificial otherwise — the identity.
-    barred_.assign(num_cols_, false);
-    pos_of_col_.assign(num_cols_, kNone);
-    basis_.assign(m, kNone);
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::size_t c = layout_.sense[i] == Sense::kLessEqual
-                                ? layout_.slack_col[i]
-                                : layout_.art_col[i];
-      basis_[i] = c;
-      pos_of_col_[c] = i;
-      if (is_artificial(c)) barred_[c] = true;
-    }
-    ok_ = refactor();
-  }
-
-  [[nodiscard]] bool ok() const { return ok_; }
-
-  [[nodiscard]] bool has_artificials() const {
-    return layout_.has_artificials();
-  }
-
-  [[nodiscard]] std::vector<double> phase1_costs() const {
-    std::vector<double> cost(num_cols_, 0.0);
-    for (std::size_t c = layout_.art_start_col; c < num_cols_; ++c) {
-      cost[c] = -1.0;
-    }
-    return cost;
-  }
-
-  [[nodiscard]] std::vector<double> phase2_costs() const {
-    std::vector<double> cost(num_cols_, 0.0);
-    for (std::size_t j = 0; j < em_.num_vars; ++j) {
-      cost[j] = em_.objective[j].to_double();
-    }
-    return cost;
-  }
-
-  SolveStatus optimize(const std::vector<double>& cost,
-                       const SimplexOptions& opt, std::size_t& iterations) {
-    std::size_t degenerate_run = 0;
-    while (true) {
-      if (!ok_) return SolveStatus::kIterationLimit;
-      if (iterations >= opt.max_iterations) return SolveStatus::kIterationLimit;
-      const bool bland = degenerate_run >= opt.bland_after;
-
-      compute_multipliers(cost);
-      const std::size_t entering = pick_entering(cost, bland);
-      if (entering == kNone) return SolveStatus::kOptimal;
-
-      // Pivot column through the basis inverse.
-      work_.assign(m_, 0.0);
-      A_.scatter_column(entering, work_);
-      lu_->ftran(work_);
-
-      // Ratio test; ties go to the largest pivot (stability), or to the
-      // smallest basic column index under Bland's rule (anti-cycling).
-      std::size_t leaving = kNone;
-      double best_ratio = 0.0;
-      for (std::size_t k = 0; k < m_; ++k) {
-        if (work_[k] <= kEps) continue;
-        const double ratio = std::max(xb_[k], 0.0) / work_[k];
-        if (leaving == kNone || ratio < best_ratio - kTieTol) {
-          leaving = k;
-          best_ratio = ratio;
-        } else if (ratio <= best_ratio + kTieTol) {
-          const bool take = bland ? basis_[k] < basis_[leaving]
-                                  : work_[k] > work_[leaving];
-          if (take) {
-            leaving = k;
-            best_ratio = std::min(best_ratio, ratio);
-          }
-        }
-      }
-      if (leaving == kNone) return SolveStatus::kUnbounded;
-
-      if (std::max(xb_[leaving], 0.0) <= kDegenTol) {
-        ++degenerate_run;
-      } else {
-        degenerate_run = 0;
-      }
-      pivot(leaving, entering);
-      ++iterations;
+  // Structural columns, gathered from the row-major expanded model.
+  std::vector<std::vector<CscMatrix::Entry>> buckets(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+      const double v = coeff.to_double();
+      buckets[idx].push_back({i, layout_.flipped[i] ? -v : v});
     }
   }
-
-  /// Refactorizes and recomputes the basic values — called once at the
-  /// optimum so the extracted primal/duals come from a fresh factorization
-  /// instead of through the accumulated eta file (tighter values make the
-  /// rational reconstruction of the certificate far more likely to land).
-  /// A basis with no absorbed updates is already fresh.
-  void refresh() {
-    if (lu_->updates() > 0) ok_ = refactor();
+  A_ = CscMatrix(m);
+  std::size_t nnz = 0;
+  for (const auto& b : buckets) nnz += b.size();
+  A_.reserve(num_cols_, nnz + 2 * m);
+  for (std::size_t j = 0; j < n; ++j) A_.add_column(buckets[j]);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (layout_.slack_col[i] == kNone) continue;
+    A_.push_entry(i, layout_.sense[i] == Sense::kLessEqual ? 1.0 : -1.0);
+    A_.end_column();
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (layout_.art_col[i] == kNone) continue;
+    A_.push_entry(i, 1.0);
+    A_.end_column();
   }
 
-  /// Sum of basic artificial values (the phase-1 residual).
-  [[nodiscard]] double infeasibility() const {
-    double total = 0.0;
-    for (std::size_t k = 0; k < m_; ++k) {
-      if (is_artificial(basis_[k])) total += std::max(xb_[k], 0.0);
-    }
-    return total;
+  rhs_.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double v = em.rows[i].rhs.to_double();
+    rhs_[i] = layout_.flipped[i] ? -v : v;
   }
 
-  /// After a feasible phase 1, drive basic artificials out of the basis
-  /// wherever a non-artificial column can replace them; artificials stuck in
-  /// redundant rows stay basic at value zero (and are barred from entering).
-  void expel_artificials() {
-    for (std::size_t r = 0; r < m_ && ok_; ++r) {
-      if (!is_artificial(basis_[r])) continue;
-      // rho = r-th row of the basis inverse; rho' A_j is the pivot weight.
-      rho_.assign(m_, 0.0);
-      rho_[r] = 1.0;
-      lu_->btran(rho_);
-      std::size_t entering = kNone;
-      for (std::size_t j = 0; j < layout_.art_start_col; ++j) {
-        if (pos_of_col_[j] != kNone) continue;
-        if (std::fabs(A_.dot_column(j, rho_)) > kFeasTol) {
-          entering = j;
-          break;
-        }
-      }
-      if (entering == kNone) continue;  // redundant row
-      work_.assign(m_, 0.0);
-      A_.scatter_column(entering, work_);
-      lu_->ftran(work_);
-      if (std::fabs(work_[r]) <= kFeasTol) continue;
-      pivot(r, entering);
-    }
-  }
+  // Columns are unbounded above except the artificials, which only ever
+  // carry a nonzero value while primal-infeasible; fixing them at zero lets
+  // the dual loop treat a warm-start completion artificial like any other
+  // out-of-bounds basic variable.
+  ub_.assign(num_cols_, std::numeric_limits<double>::infinity());
+  for (std::size_t c = layout_.art_start_col; c < num_cols_; ++c) ub_[c] = 0.0;
+  at_upper_.assign(num_cols_, false);
 
-  [[nodiscard]] std::vector<double> extract_primal() const {
-    std::vector<double> x(em_.num_vars, 0.0);
-    for (std::size_t k = 0; k < m_; ++k) {
-      if (basis_[k] < em_.num_vars) {
-        x[basis_[k]] = std::fabs(xb_[k]) < kZeroTol ? 0.0 : xb_[k];
-      }
-    }
-    return x;
+  // Initial basis: slack for <=, artificial otherwise — the identity.
+  barred_.assign(num_cols_, false);
+  pos_of_col_.assign(num_cols_, kNone);
+  basis_.assign(m, kNone);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t c = layout_.sense[i] == Sense::kLessEqual
+                              ? layout_.slack_col[i]
+                              : layout_.art_col[i];
+    basis_[i] = c;
+    pos_of_col_[c] = i;
+    if (is_artificial(c)) barred_[c] = true;
   }
+  if (!defer_initial_factor) ok_ = refactor();
+}
 
-  [[nodiscard]] double objective_value(const std::vector<double>& cost) const {
-    double z = 0.0;
-    for (std::size_t k = 0; k < m_; ++k) {
-      if (cost[basis_[k]] != 0.0) z += cost[basis_[k]] * xb_[k];
-    }
-    return z;
+std::vector<double> RevisedSimplex::phase1_costs() const {
+  std::vector<double> cost(num_cols_, 0.0);
+  for (std::size_t c = layout_.art_start_col; c < num_cols_; ++c) {
+    cost[c] = -1.0;
   }
+  return cost;
+}
 
-  /// Duals in the sign convention of the ORIGINAL (unflipped) rows; valid at
-  /// the phase-2 optimum (the multipliers of the last compute_multipliers).
-  [[nodiscard]] std::vector<double> extract_duals(
-      const std::vector<double>& cost) {
+std::vector<double> RevisedSimplex::phase2_costs() const {
+  std::vector<double> cost(num_cols_, 0.0);
+  for (std::size_t j = 0; j < em_.num_vars; ++j) {
+    cost[j] = em_.objective[j].to_double();
+  }
+  return cost;
+}
+
+SolveStatus RevisedSimplex::optimize(const std::vector<double>& cost,
+                                     const SimplexOptions& opt,
+                                     std::size_t& iterations) {
+  std::size_t degenerate_run = 0;
+  while (true) {
+    if (!ok_) return SolveStatus::kIterationLimit;
+    if (iterations >= opt.max_iterations) return SolveStatus::kIterationLimit;
+    const bool bland = degenerate_run >= opt.bland_after;
+
     compute_multipliers(cost);
-    std::vector<double> duals(m_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) {
-      duals[i] = layout_.flipped[i] ? -y_[i] : y_[i];
-    }
-    return duals;
-  }
+    const std::size_t entering = pick_entering(cost, bland);
+    if (entering == kNone) return SolveStatus::kOptimal;
 
-  [[nodiscard]] std::vector<BasisColumn> extract_basis() const {
-    std::vector<BasisColumn> basis(m_);
+    // Pivot column through the basis inverse.
+    work_.assign(m_, 0.0);
+    A_.scatter_column(entering, work_);
+    lu_->ftran(work_);
+
+    // Ratio test; ties go to the largest pivot (stability), or to the
+    // smallest basic column index under Bland's rule (anti-cycling).
+    std::size_t leaving = kNone;
+    double best_ratio = 0.0;
     for (std::size_t k = 0; k < m_; ++k) {
-      basis[k] = layout_.column_identity[basis_[k]];
-    }
-    return basis;
-  }
-
- private:
-  [[nodiscard]] bool is_artificial(std::size_t col) const {
-    return col != kNone && layout_.is_artificial(col);
-  }
-
-  /// y_ = B^-T c_B (row space): the simplex multipliers for `cost`.
-  void compute_multipliers(const std::vector<double>& cost) {
-    y_.assign(m_, 0.0);
-    for (std::size_t k = 0; k < m_; ++k) y_[k] = cost[basis_[k]];
-    lu_->btran(y_);
-  }
-
-  /// Rotating partial pricing: scan chunks of columns starting at a cursor
-  /// that persists across iterations; take the most negative reduced cost in
-  /// the first chunk that has one. Optimality needs one full silent sweep.
-  /// Bland mode scans everything in index order for anti-cycling.
-  [[nodiscard]] std::size_t pick_entering(const std::vector<double>& cost,
-                                          bool bland) {
-    if (bland) {
-      for (std::size_t j = 0; j < num_cols_; ++j) {
-        if (pos_of_col_[j] != kNone || barred_[j]) continue;
-        if (A_.dot_column(j, y_) - cost[j] < -kEps) return j;
-      }
-      return kNone;
-    }
-    const std::size_t chunk =
-        std::min(num_cols_, std::max<std::size_t>(64, num_cols_ / 8));
-    std::size_t scanned = 0;
-    while (scanned < num_cols_) {
-      double best = -kEps;
-      std::size_t best_col = kNone;
-      // One chunk starting at the cursor, as up to two contiguous spans.
-      std::size_t begin = cursor_;
-      std::size_t remaining = chunk;
-      while (remaining > 0) {
-        const std::size_t end = std::min(begin + remaining, num_cols_);
-        for (std::size_t j = begin; j < end; ++j) {
-          if (pos_of_col_[j] != kNone || barred_[j]) continue;
-          const double d = A_.dot_column(j, y_) - cost[j];
-          if (d < best) {
-            best = d;
-            best_col = j;
-          }
+      if (work_[k] <= kEps) continue;
+      const double ratio = std::max(xb_[k], 0.0) / work_[k];
+      if (leaving == kNone || ratio < best_ratio - kTieTol) {
+        leaving = k;
+        best_ratio = ratio;
+      } else if (ratio <= best_ratio + kTieTol) {
+        const bool take = bland ? basis_[k] < basis_[leaving]
+                                : work_[k] > work_[leaving];
+        if (take) {
+          leaving = k;
+          best_ratio = std::min(best_ratio, ratio);
         }
-        remaining -= end - begin;
-        begin = end == num_cols_ ? 0 : end;
       }
-      cursor_ = begin;
-      scanned += chunk;
-      if (best_col != kNone) return best_col;
+    }
+    if (leaving == kNone) return SolveStatus::kUnbounded;
+
+    if (std::max(xb_[leaving], 0.0) <= kDegenTol) {
+      ++degenerate_run;
+    } else {
+      degenerate_run = 0;
+    }
+    pivot(leaving, entering);
+    ++iterations;
+  }
+}
+
+void RevisedSimplex::refresh() {
+  if (lu_->updates() > 0) ok_ = refactor();
+}
+
+double RevisedSimplex::infeasibility() const {
+  double total = 0.0;
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (is_artificial(basis_[k])) total += std::max(xb_[k], 0.0);
+  }
+  return total;
+}
+
+void RevisedSimplex::expel_artificials() {
+  for (std::size_t r = 0; r < m_ && ok_; ++r) {
+    if (!is_artificial(basis_[r])) continue;
+    // rho = r-th row of the basis inverse; rho' A_j is the pivot weight.
+    rho_.assign(m_, 0.0);
+    rho_[r] = 1.0;
+    lu_->btran(rho_);
+    std::size_t entering = kNone;
+    for (std::size_t j = 0; j < layout_.art_start_col; ++j) {
+      if (pos_of_col_[j] != kNone) continue;
+      if (std::fabs(A_.dot_column(j, rho_)) > kFeasTol) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering == kNone) continue;  // redundant row
+    work_.assign(m_, 0.0);
+    A_.scatter_column(entering, work_);
+    lu_->ftran(work_);
+    if (std::fabs(work_[r]) <= kFeasTol) continue;
+    pivot(r, entering);
+  }
+}
+
+std::vector<double> RevisedSimplex::extract_primal() const {
+  std::vector<double> x(em_.num_vars, 0.0);
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (basis_[k] < em_.num_vars) {
+      x[basis_[k]] = std::fabs(xb_[k]) < kZeroTol ? 0.0 : xb_[k];
+    }
+  }
+  for (std::size_t j = 0; j < em_.num_vars; ++j) {
+    if (at_upper_[j] && pos_of_col_[j] == kNone) x[j] = ub_[j];
+  }
+  return x;
+}
+
+double RevisedSimplex::objective_value(const std::vector<double>& cost) const {
+  double z = 0.0;
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (cost[basis_[k]] != 0.0) z += cost[basis_[k]] * xb_[k];
+  }
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (at_upper_[j] && pos_of_col_[j] == kNone && cost[j] != 0.0) {
+      z += cost[j] * ub_[j];
+    }
+  }
+  return z;
+}
+
+std::vector<double> RevisedSimplex::extract_duals(
+    const std::vector<double>& cost) {
+  compute_multipliers(cost);
+  std::vector<double> duals(m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    duals[i] = layout_.flipped[i] ? -y_[i] : y_[i];
+  }
+  return duals;
+}
+
+std::vector<BasisColumn> RevisedSimplex::extract_basis() const {
+  std::vector<BasisColumn> basis(m_);
+  for (std::size_t k = 0; k < m_; ++k) {
+    basis[k] = layout_.column_identity[basis_[k]];
+  }
+  return basis;
+}
+
+void RevisedSimplex::compute_multipliers(const std::vector<double>& cost) {
+  y_.assign(m_, 0.0);
+  for (std::size_t k = 0; k < m_; ++k) y_[k] = cost[basis_[k]];
+  lu_->btran(y_);
+}
+
+std::size_t RevisedSimplex::pick_entering(const std::vector<double>& cost,
+                                          bool bland) {
+  // Rotating partial pricing: scan chunks of columns starting at a cursor
+  // that persists across iterations; take the most negative reduced cost in
+  // the first chunk that has one. Optimality needs one full silent sweep.
+  // Bland mode scans everything in index order for anti-cycling.
+  if (bland) {
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (pos_of_col_[j] != kNone || barred_[j]) continue;
+      if (A_.dot_column(j, y_) - cost[j] < -kEps) return j;
     }
     return kNone;
   }
+  const std::size_t chunk =
+      std::min(num_cols_, std::max<std::size_t>(64, num_cols_ / 8));
+  std::size_t scanned = 0;
+  while (scanned < num_cols_) {
+    double best = -kEps;
+    std::size_t best_col = kNone;
+    // One chunk starting at the cursor, as up to two contiguous spans.
+    std::size_t begin = cursor_;
+    std::size_t remaining = chunk;
+    while (remaining > 0) {
+      const std::size_t end = std::min(begin + remaining, num_cols_);
+      for (std::size_t j = begin; j < end; ++j) {
+        if (pos_of_col_[j] != kNone || barred_[j]) continue;
+        const double d = A_.dot_column(j, y_) - cost[j];
+        if (d < best) {
+          best = d;
+          best_col = j;
+        }
+      }
+      remaining -= end - begin;
+      begin = end == num_cols_ ? 0 : end;
+    }
+    cursor_ = begin;
+    scanned += chunk;
+    if (best_col != kNone) return best_col;
+  }
+  return kNone;
+}
 
-  /// Applies the basis exchange: position `r` leaves, column `e` enters.
-  /// `work_` must hold the FTRAN-transformed entering column.
-  void pivot(std::size_t r, std::size_t e) {
-    double theta = std::max(xb_[r], 0.0) / work_[r];
-    if (std::fabs(xb_[r]) < kEps && is_artificial(basis_[r])) {
-      theta = 0.0;  // degenerate expel: the artificial's true value is zero
-    }
-    for (std::size_t k = 0; k < m_; ++k) {
-      if (k == r || work_[k] == 0.0) continue;
-      xb_[k] -= theta * work_[k];
-      if (std::fabs(xb_[k]) < kZeroTol) xb_[k] = 0.0;
-    }
-    xb_[r] = theta;
-    pos_of_col_[basis_[r]] = kNone;
-    basis_[r] = e;
-    pos_of_col_[e] = r;
-    if (!lu_->update(r, work_) || lu_->updates() >= kRefactorInterval) {
-      ok_ = refactor();
+void RevisedSimplex::pivot(std::size_t r, std::size_t e) {
+  // Applies the basis exchange: position `r` leaves, column `e` enters.
+  // `work_` must hold the FTRAN-transformed entering column.
+  double theta = std::max(xb_[r], 0.0) / work_[r];
+  if (std::fabs(xb_[r]) < kEps && is_artificial(basis_[r])) {
+    theta = 0.0;  // degenerate expel: the artificial's true value is zero
+  }
+  for (std::size_t k = 0; k < m_; ++k) {
+    if (k == r || work_[k] == 0.0) continue;
+    xb_[k] -= theta * work_[k];
+    if (std::fabs(xb_[k]) < kZeroTol) xb_[k] = 0.0;
+  }
+  xb_[r] = theta;
+  pos_of_col_[basis_[r]] = kNone;
+  basis_[r] = e;
+  pos_of_col_[e] = r;
+  if (!lu_->update(r, work_) || lu_->updates() >= kRefactorInterval) {
+    ok_ = refactor();
+  }
+}
+
+bool RevisedSimplex::refactor() {
+  // Factors the current basis from scratch and recomputes the basic values,
+  // resetting accumulated floating-point drift. Nonbasic columns parked at
+  // a finite upper bound contribute like a shifted right-hand side.
+  auto lu = BasisLu::factor(A_, basis_);
+  if (!lu) return false;
+  lu_ = std::move(*lu);
+  xb_ = rhs_;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (at_upper_[j] && pos_of_col_[j] == kNone && ub_[j] > 0.0) {
+      A_.add_scaled_column(j, -ub_[j], xb_);
     }
   }
-
-  /// Factors the current basis from scratch and recomputes the basic values,
-  /// resetting accumulated floating-point drift.
-  [[nodiscard]] bool refactor() {
-    auto lu = BasisLu::factor(A_, basis_);
-    if (!lu) return false;
-    lu_ = std::move(*lu);
-    xb_ = rhs_;
-    lu_->ftran(xb_);
-    for (double& v : xb_) {
-      if (std::fabs(v) < kZeroTol) v = 0.0;
-    }
-    return true;
+  lu_->ftran(xb_);
+  for (double& v : xb_) {
+    if (std::fabs(v) < kZeroTol) v = 0.0;
   }
-
-  const ExpandedModel& em_;
-  ColumnLayout layout_;
-  CscMatrix A_;
-  std::size_t m_ = 0;
-  std::size_t num_cols_ = 0;
-  std::vector<bool> barred_;
-  std::vector<double> rhs_;
-  std::vector<double> xb_;        // basic values, position space
-  std::vector<std::size_t> basis_;       // position -> column
-  std::vector<std::size_t> pos_of_col_;  // column -> position or kNone
-  std::optional<BasisLu> lu_;
-  std::size_t cursor_ = 0;
-  bool ok_ = false;
-  std::vector<double> y_;     // simplex multipliers, row space
-  std::vector<double> work_;  // FTRAN scratch
-  std::vector<double> rho_;   // BTRAN scratch for expel_artificials
-};
-
-}  // namespace
+  return true;
+}
 
 SimplexResult<double> solve_revised_simplex(const ExpandedModel& em,
                                             const SimplexOptions& options) {
@@ -355,7 +316,7 @@ SimplexResult<double> solve_revised_simplex(const ExpandedModel& em,
       result.status = s1;
       return result;
     }
-    if (simplex.infeasibility() > kFeasTol) {
+    if (simplex.infeasibility() > RevisedSimplex::kFeasTol) {
       result.status = SolveStatus::kInfeasible;
       return result;
     }

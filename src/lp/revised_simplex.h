@@ -14,15 +14,171 @@
 //     and damps floating-point drift.
 // Per-iteration cost is O(nnz) instead of the dense tableau's O(m * cols).
 //
+// The engine class is exposed here (not just the solve_* driver) because the
+// incremental re-solve path (lp/dual_simplex.h) drives the same state
+// machine from a caller-supplied basis: load_basis() replaces the slack/
+// artificial identity start, dual_optimize() runs the dual simplex until the
+// basis is primal feasible again, and optimize() finishes with the ordinary
+// primal phase 2. Columns additionally carry an upper bound so the dual
+// ratio test can bound-flip (and so completion artificials are fixed at 0);
+// the primal pricing loop ignores bounds, which is sound because the warm-
+// start driver never hands it a basis with a boxed column parked at its
+// upper bound.
+//
 // The result honours the full SimplexResult<double> contract — primal,
 // duals in the original row sign convention, and the final BasisColumn
 // basis that ExactSolver's certificate paths consume.
 
+#include <optional>
+#include <vector>
+
+#include "lp/basis_lu.h"
+#include "lp/column_layout.h"
 #include "lp/simplex.h"
+#include "lp/sparse.h"
 
 namespace ssco::lp {
 
 [[nodiscard]] SimplexResult<double> solve_revised_simplex(
     const ExpandedModel& em, const SimplexOptions& options);
+
+class RevisedSimplex {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  /// Reduced-cost / ratio-test tolerances, matching the dense double tableau.
+  static constexpr double kEps = 1e-9;
+  /// Absolute tie window of the ratio test.
+  static constexpr double kTieTol = 1e-10;
+  /// Basic values / primal noise below this snap to zero.
+  static constexpr double kZeroTol = 1e-12;
+  /// Feasibility threshold on the phase-1 artificial residual; also the
+  /// primal-infeasibility threshold of the dual simplex leaving test.
+  static constexpr double kFeasTol = 1e-7;
+  /// A pivot whose leaving value (primal) or ratio (dual) is below this
+  /// counts as degenerate.
+  static constexpr double kDegenTol = 1e-10;
+  /// Eta updates absorbed before the basis is refactorized from scratch.
+  static constexpr std::size_t kRefactorInterval = 96;
+
+  explicit RevisedSimplex(const ExpandedModel& em)
+      : RevisedSimplex(em, false) {}
+  /// `defer_initial_factor` skips LU-factoring the slack/artificial identity
+  /// start — the warm path discards it immediately via load_basis(), which
+  /// factors its own selection. The engine reports !ok() until then.
+  RevisedSimplex(const ExpandedModel& em, bool defer_initial_factor)
+      : RevisedSimplex(em, ColumnLayout::from(em), defer_initial_factor) {}
+  /// Takes a prebuilt layout (must equal ColumnLayout::from(em)) so callers
+  /// that already computed one — the warm-start mapping — don't pay twice.
+  RevisedSimplex(const ExpandedModel& em, ColumnLayout layout,
+                 bool defer_initial_factor);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool has_artificials() const {
+    return layout_.has_artificials();
+  }
+  [[nodiscard]] const ColumnLayout& layout() const { return layout_; }
+
+  [[nodiscard]] std::vector<double> phase1_costs() const;
+  [[nodiscard]] std::vector<double> phase2_costs() const;
+
+  /// Primal simplex pivot loop for the given column costs, from the current
+  /// (primal-feasible) basis.
+  SolveStatus optimize(const std::vector<double>& cost,
+                       const SimplexOptions& opt, std::size_t& iterations);
+
+  /// Refactorizes and recomputes the basic values — called once at the
+  /// optimum so the extracted primal/duals come from a fresh factorization
+  /// instead of through the accumulated eta file (tighter values make the
+  /// rational reconstruction of the certificate far more likely to land).
+  /// A basis with no absorbed updates is already fresh.
+  void refresh();
+
+  /// Sum of basic artificial values (the phase-1 residual).
+  [[nodiscard]] double infeasibility() const;
+
+  /// After a feasible phase 1, drive basic artificials out of the basis
+  /// wherever a non-artificial column can replace them; artificials stuck in
+  /// redundant rows stay basic at value zero (and are barred from entering).
+  void expel_artificials();
+
+  [[nodiscard]] std::vector<double> extract_primal() const;
+  [[nodiscard]] double objective_value(const std::vector<double>& cost) const;
+  /// Duals in the sign convention of the ORIGINAL (unflipped) rows; valid at
+  /// the phase-2 optimum (the multipliers of the last compute_multipliers).
+  [[nodiscard]] std::vector<double> extract_duals(
+      const std::vector<double>& cost);
+  [[nodiscard]] std::vector<BasisColumn> extract_basis() const;
+
+  // --- Warm-start / dual-simplex extensions (defined in dual_simplex.cpp) --
+
+  /// Replaces the current basis with the given column selection (one column
+  /// per row, duplicates rejected) and refactorizes. All nonbasic columns
+  /// are reset to their lower bound. Returns false — leaving the engine
+  /// unusable — when the selection is malformed or numerically singular.
+  [[nodiscard]] bool load_basis(const std::vector<std::size_t>& columns);
+
+  /// Sets the upper bound of a column ([0, ub]; ub == 0 fixes the column at
+  /// zero, which is how completion artificials are neutralized). Bounds are
+  /// honoured by the DUAL pivot loop only; see the file comment. Call only
+  /// while `col` is nonbasic at its lower bound — i.e. set bounds up front,
+  /// before load_basis()/dual_optimize() — a mid-solve change would leave
+  /// the cached basic values stale (asserted in debug builds).
+  void set_column_upper_bound(std::size_t col, double ub);
+
+  /// Shifts costs down (at-lower) or up (at-upper) wherever the current
+  /// basis is dual infeasible, making it dual feasible by construction.
+  /// Returns the number of shifted columns. `cost` is modified in place.
+  std::size_t make_dual_feasible(std::vector<double>& cost);
+
+  /// Dual simplex pivot loop: from a dual-feasible basis, restores primal
+  /// feasibility (kOptimal for the given costs). Uses the bound-flipping
+  /// dual ratio test; switches to a Bland-style rule after a degenerate run.
+  /// kInfeasible means the PRIMAL is infeasible (dual unbounded).
+  SolveStatus dual_optimize(const std::vector<double>& cost,
+                            const SimplexOptions& opt,
+                            std::size_t& iterations);
+
+  /// Largest violation of [0, ub] over the basic values.
+  [[nodiscard]] double primal_infeasibility() const;
+
+  /// True when some non-fixed boxed column is parked at its upper bound —
+  /// the one state the primal pricing loop must not be handed.
+  [[nodiscard]] bool has_boxed_at_upper() const;
+
+ private:
+  [[nodiscard]] bool is_artificial(std::size_t col) const {
+    return col != kNone && layout_.is_artificial(col);
+  }
+
+  /// y_ = B^-T c_B (row space): the simplex multipliers for `cost`.
+  void compute_multipliers(const std::vector<double>& cost);
+  [[nodiscard]] std::size_t pick_entering(const std::vector<double>& cost,
+                                          bool bland);
+  void pivot(std::size_t r, std::size_t e);
+  [[nodiscard]] bool refactor();
+
+  /// Flips nonbasic column j to the opposite bound and folds the jump into
+  /// the basic values (one FTRAN). Dual-loop helper.
+  void flip_bound(std::size_t j);
+
+  const ExpandedModel& em_;
+  ColumnLayout layout_;
+  CscMatrix A_;
+  std::size_t m_ = 0;
+  std::size_t num_cols_ = 0;
+  std::vector<bool> barred_;
+  std::vector<double> rhs_;
+  std::vector<double> ub_;        // per-column upper bound (inf = unbounded)
+  std::vector<bool> at_upper_;    // nonbasic-at-upper-bound marker
+  std::vector<double> xb_;        // basic values, position space
+  std::vector<std::size_t> basis_;       // position -> column
+  std::vector<std::size_t> pos_of_col_;  // column -> position or kNone
+  std::optional<BasisLu> lu_;
+  std::size_t cursor_ = 0;
+  bool ok_ = false;
+  std::vector<double> y_;     // simplex multipliers, row space
+  std::vector<double> work_;  // FTRAN scratch
+  std::vector<double> rho_;   // BTRAN scratch (expel / dual pricing row)
+};
 
 }  // namespace ssco::lp

@@ -22,4 +22,11 @@ void CscMatrix::scatter_column(std::size_t j, std::vector<double>& x) const {
   }
 }
 
+void CscMatrix::add_scaled_column(std::size_t j, double scale,
+                                  std::vector<double>& x) const {
+  for (const Entry* e = col_begin(j); e != col_end(j); ++e) {
+    x[e->row] += scale * e->value;
+  }
+}
+
 }  // namespace ssco::lp

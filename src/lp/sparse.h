@@ -61,6 +61,10 @@ class CscMatrix {
   /// Writes column j into a dense vector; `x` must be zeroed beforehand.
   void scatter_column(std::size_t j, std::vector<double>& x) const;
 
+  /// x += scale * column j (dense accumulate).
+  void add_scaled_column(std::size_t j, double scale,
+                         std::vector<double>& x) const;
+
  private:
   std::size_t num_rows_ = 0;
   std::vector<std::size_t> col_start_{0};

@@ -1,0 +1,176 @@
+#include "lp/warm_start.h"
+
+#include <unordered_map>
+
+namespace ssco::lp {
+
+namespace {
+
+constexpr std::size_t kNone = ColumnLayout::kNone;
+
+/// Variables with a finite upper bound, in declaration order — the order in
+/// which ExpandedModel::from materializes their bound rows.
+std::vector<std::size_t> bounded_vars(const Model& model) {
+  std::vector<std::size_t> vars;
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    if (model.upper_bound(VarId{j})) vars.push_back(j);
+  }
+  return vars;
+}
+
+}  // namespace
+
+WarmStart capture_warm_start(const Model& model,
+                             const std::vector<BasisColumn>& basis) {
+  WarmStart warm;
+  const std::vector<std::size_t> bounded = bounded_vars(model);
+  warm.entries.reserve(basis.size());
+  for (const BasisColumn& column : basis) {
+    WarmStart::Entry entry;
+    entry.kind = column.kind;
+    if (column.kind == BasisColumn::Kind::kStructural) {
+      if (column.index >= model.num_variables()) continue;
+      entry.name = model.variable_name(VarId{column.index});
+    } else if (column.index < model.num_rows()) {
+      entry.name = model.row(RowId{column.index}).name;
+    } else {
+      const std::size_t k = column.index - model.num_rows();
+      if (k >= bounded.size()) continue;
+      entry.bound_row = true;
+      entry.name = model.variable_name(VarId{bounded[k]});
+    }
+    if (entry.name.empty()) continue;  // unnamed entities cannot be re-keyed
+    warm.entries.push_back(std::move(entry));
+  }
+  return warm;
+}
+
+std::optional<std::vector<std::size_t>> map_warm_basis(
+    const WarmStart& warm, const Model& model, const ExpandedModel& em,
+    const ColumnLayout& layout) {
+  if (warm.empty()) return std::nullopt;
+  const std::size_t m = em.rows.size();
+
+  std::unordered_map<std::string, std::size_t> var_by_name;
+  var_by_name.reserve(model.num_variables());
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    var_by_name.emplace(model.variable_name(VarId{j}), j);
+  }
+  std::unordered_map<std::string, std::size_t> row_by_name;
+  row_by_name.reserve(model.num_rows());
+  for (std::size_t i = 0; i < model.num_rows(); ++i) {
+    row_by_name.emplace(model.row(RowId{i}).name, i);
+  }
+  // Variable index -> its materialized bound-row index, when one exists.
+  std::unordered_map<std::size_t, std::size_t> bound_row_of_var;
+  {
+    const std::vector<std::size_t> bounded = bounded_vars(model);
+    for (std::size_t k = 0; k < bounded.size(); ++k) {
+      bound_row_of_var.emplace(bounded[k], em.num_model_rows + k);
+    }
+  }
+
+  std::vector<std::size_t> columns;
+  columns.reserve(m);
+  std::vector<char> used(layout.num_cols, 0);
+  auto take = [&](std::size_t col) {
+    if (col == kNone || col >= layout.num_cols || used[col]) return;
+    if (columns.size() == m) return;
+    used[col] = 1;
+    columns.push_back(col);
+  };
+
+  for (const WarmStart::Entry& entry : warm.entries) {
+    if (columns.size() == m) break;
+    if (entry.kind == BasisColumn::Kind::kStructural) {
+      auto it = var_by_name.find(entry.name);
+      if (it != var_by_name.end()) take(it->second);
+      continue;
+    }
+    std::size_t row = kNone;
+    if (entry.bound_row) {
+      auto var = var_by_name.find(entry.name);
+      if (var != var_by_name.end()) {
+        auto bound = bound_row_of_var.find(var->second);
+        if (bound != bound_row_of_var.end()) row = bound->second;
+      }
+    } else {
+      auto it = row_by_name.find(entry.name);
+      if (it != row_by_name.end()) row = it->second;
+    }
+    if (row == kNone) continue;
+    // A sense change (e.g. a flipped RHS sign) may have swapped which
+    // identity columns the row owns; take whichever exists, slack first.
+    if (entry.kind == BasisColumn::Kind::kArtificial) {
+      take(layout.art_col[row] != kNone ? layout.art_col[row]
+                                        : layout.slack_col[row]);
+    } else {
+      take(layout.slack_col[row] != kNone ? layout.slack_col[row]
+                                          : layout.art_col[row]);
+    }
+  }
+
+  // Complete with identity columns, starting with rows no chosen column can
+  // reach at all (a brand-new row with none of the mapped variables in its
+  // support NEEDS its own slack/artificial or the basis is singular), then
+  // any remaining rows in order. Every row owns a slack or an artificial,
+  // so this always reaches m.
+  std::vector<char> reachable(m, 0);
+  {
+    std::vector<char> chosen_var(em.num_vars, 0);
+    for (std::size_t col : columns) {
+      if (col < layout.num_vars) {
+        chosen_var[col] = 1;
+      } else {
+        reachable[layout.column_identity[col].index] = 1;
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+        if (chosen_var[idx] && !coeff.is_zero()) {
+          reachable[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < m && columns.size() < m; ++i) {
+    if (reachable[i]) continue;
+    take(layout.slack_col[i] != kNone ? layout.slack_col[i]
+                                      : layout.art_col[i]);
+  }
+  for (std::size_t i = 0; i < m && columns.size() < m; ++i) {
+    take(layout.slack_col[i]);
+  }
+  for (std::size_t i = 0; i < m && columns.size() < m; ++i) {
+    take(layout.art_col[i]);
+  }
+  if (columns.size() != m) return std::nullopt;
+  return columns;
+}
+
+std::optional<std::vector<std::size_t>> columns_from_basis(
+    const ColumnLayout& layout, const std::vector<BasisColumn>& basis) {
+  std::vector<std::size_t> columns;
+  columns.reserve(basis.size());
+  for (const BasisColumn& b : basis) {
+    std::size_t col = kNone;
+    switch (b.kind) {
+      case BasisColumn::Kind::kStructural:
+        if (b.index < layout.num_vars) col = b.index;
+        break;
+      case BasisColumn::Kind::kSlack:
+      case BasisColumn::Kind::kSurplus:
+        if (b.index < layout.slack_col.size()) col = layout.slack_col[b.index];
+        break;
+      case BasisColumn::Kind::kArtificial:
+        if (b.index < layout.art_col.size()) col = layout.art_col[b.index];
+        break;
+    }
+    if (col == kNone) return std::nullopt;
+    columns.push_back(col);
+  }
+  return columns;
+}
+
+}  // namespace ssco::lp

@@ -1,0 +1,64 @@
+#pragma once
+// Basis snapshots that survive model rebuilds.
+//
+// A steady-state model is rebuilt from scratch after every platform delta,
+// so raw column indices from the previous solve are meaningless — but the
+// builders name every variable ("send_P3.P5_mP11") and row
+// ("oneport_out_P3") deterministically on delta-stable node names
+// (core/lp_names.h), and those names survive a delta untouched. A
+// WarmStart therefore records the optimal basis as (kind, NAME) pairs;
+// map_warm_basis() resolves the names against the NEW model, drops what no
+// longer exists, and completes the selection with slack/artificial columns
+// of uncovered rows so the dual simplex (lp/dual_simplex.h) always receives
+// a full, loadable basis.
+//
+// Mapping is best-effort by design: a renamed or re-indexed entity pairs
+// with the wrong column at worst, which costs extra pivots, never
+// correctness — every warm solution still passes the exact certificate.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lp/column_layout.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace ssco::lp {
+
+struct WarmStart {
+  struct Entry {
+    BasisColumn::Kind kind = BasisColumn::Kind::kStructural;
+    /// True when the entry's row is a materialized variable upper bound, in
+    /// which case `name` is the VARIABLE's name.
+    bool bound_row = false;
+    /// Variable name for kStructural / bound rows; row name otherwise.
+    std::string name;
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+};
+
+/// Snapshots `basis` (one BasisColumn per expanded row of `model`) into
+/// name-keyed form.
+[[nodiscard]] WarmStart capture_warm_start(
+    const Model& model, const std::vector<BasisColumn>& basis);
+
+/// Resolves a snapshot against a new model: returns one expanded-column
+/// index per row of `em`, duplicate-free, completed with slack/artificial
+/// identity columns where the snapshot has no surviving answer. Returns
+/// nullopt when the snapshot is empty or when completion cannot assemble a
+/// full m-column selection (callers fall back to a cold solve; a returned
+/// selection can still be numerically singular — load_basis decides).
+[[nodiscard]] std::optional<std::vector<std::size_t>> map_warm_basis(
+    const WarmStart& warm, const Model& model, const ExpandedModel& em,
+    const ColumnLayout& layout);
+
+/// Index-space translation of a BasisColumn list under `layout`, for warm
+/// starts within one UNCHANGED model shape (no name round-trip). Returns
+/// nullopt when some column has no representative under the layout.
+[[nodiscard]] std::optional<std::vector<std::size_t>> columns_from_basis(
+    const ColumnLayout& layout, const std::vector<BasisColumn>& basis);
+
+}  // namespace ssco::lp

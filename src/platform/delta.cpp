@@ -1,0 +1,174 @@
+#include "platform/delta.h"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace ssco::platform {
+
+namespace {
+
+using graph::kInvalidId;
+
+void check_node(const Platform& base, NodeId n, const char* what) {
+  if (n >= base.num_nodes()) {
+    throw std::invalid_argument(
+        std::string("apply_delta: dangling node id in ") + what);
+  }
+}
+
+}  // namespace
+
+DeltaResult apply_delta(const Platform& base, const PlatformDelta& delta) {
+  const std::size_t base_nodes = base.num_nodes();
+  const std::size_t base_edges = base.num_edges();
+  // Ids addressable by the delta: base ids plus this delta's own additions.
+  const std::size_t addressable_nodes = base_nodes + delta.node_adds.size();
+
+  // ---- validation ---------------------------------------------------------
+  std::unordered_set<EdgeId> cost_changed;
+  for (const auto& change : delta.cost_changes) {
+    if (change.edge >= base_edges) {
+      throw std::invalid_argument("apply_delta: dangling edge id in cost change");
+    }
+    if (change.cost.signum() <= 0) {
+      throw std::invalid_argument("apply_delta: edge cost must be positive");
+    }
+    if (!cost_changed.insert(change.edge).second) {
+      throw std::invalid_argument("apply_delta: edge cost changed twice");
+    }
+  }
+  std::unordered_set<NodeId> speed_changed;
+  for (const auto& change : delta.speed_changes) {
+    check_node(base, change.node, "speed change");
+    if (change.speed.signum() <= 0) {
+      throw std::invalid_argument("apply_delta: node speed must be positive");
+    }
+    if (!speed_changed.insert(change.node).second) {
+      throw std::invalid_argument("apply_delta: node speed changed twice");
+    }
+  }
+  std::unordered_set<EdgeId> removed_edges;
+  for (EdgeId e : delta.edge_removes) {
+    if (e >= base_edges) {
+      throw std::invalid_argument("apply_delta: dangling edge id in removal");
+    }
+    if (!removed_edges.insert(e).second) {
+      throw std::invalid_argument("apply_delta: edge removed twice");
+    }
+  }
+  std::unordered_set<NodeId> removed_nodes;
+  for (NodeId n : delta.node_removes) {
+    check_node(base, n, "node removal");
+    if (!removed_nodes.insert(n).second) {
+      throw std::invalid_argument("apply_delta: node removed twice");
+    }
+  }
+  for (const auto& add : delta.node_adds) {
+    if (add.speed.signum() <= 0) {
+      throw std::invalid_argument("apply_delta: node speed must be positive");
+    }
+    // '.' joins node names into edge tags in the LP builders
+    // (core/lp_names.h); a dotted node name could alias two distinct edges
+    // into one LP entity name and silently degrade warm-start mapping.
+    if (add.name.find('.') != std::string::npos) {
+      throw std::invalid_argument(
+          "apply_delta: node name must not contain '.'");
+    }
+  }
+  for (const auto& add : delta.edge_adds) {
+    if (add.src >= addressable_nodes || add.dst >= addressable_nodes) {
+      throw std::invalid_argument("apply_delta: dangling node id in edge add");
+    }
+    if (add.src == add.dst) {
+      throw std::invalid_argument("apply_delta: self-loop edge add");
+    }
+    if (removed_nodes.count(add.src) || removed_nodes.count(add.dst)) {
+      throw std::invalid_argument("apply_delta: edge add touches removed node");
+    }
+    if (add.cost.signum() <= 0) {
+      throw std::invalid_argument("apply_delta: edge cost must be positive");
+    }
+  }
+
+  // ---- rebuild ------------------------------------------------------------
+  DeltaResult out;
+  out.node_map.assign(base_nodes, kInvalidId);
+  out.edge_map.assign(base_edges, kInvalidId);
+
+  graph::Digraph topo;
+  std::vector<Rational> costs;
+  std::vector<Rational> speeds;
+  std::vector<std::string> names;
+  std::unordered_set<std::string> name_set;
+
+  // Effective per-base-id metrics after point changes.
+  std::vector<Rational> base_costs = base.edge_costs();
+  for (const auto& change : delta.cost_changes) {
+    base_costs[change.edge] = change.cost;
+  }
+  std::vector<Rational> base_speeds;
+  base_speeds.reserve(base_nodes);
+  for (NodeId n = 0; n < base_nodes; ++n) base_speeds.push_back(base.node_speed(n));
+  for (const auto& change : delta.speed_changes) {
+    base_speeds[change.node] = change.speed;
+  }
+
+  // Surviving base nodes, in base order; then additions.
+  for (NodeId n = 0; n < base_nodes; ++n) {
+    if (removed_nodes.count(n)) continue;
+    out.node_map[n] = topo.add_node();
+    speeds.push_back(base_speeds[n]);
+    names.push_back(base.node_name(n));
+    name_set.insert(base.node_name(n));
+  }
+  // Delta-address (base id space extended by additions) -> new id.
+  std::vector<NodeId> address_map = out.node_map;
+  std::size_t auto_name_counter = 0;
+  for (const auto& add : delta.node_adds) {
+    NodeId id = topo.add_node();
+    address_map.push_back(id);
+    speeds.push_back(add.speed);
+    std::string name = add.name;
+    if (name.empty()) {
+      // Auto-name like PlatformBuilder, but collision-free: after a
+      // non-tail removal the surviving "P<k>" names no longer match their
+      // new ids, so probe upward until a free name appears.
+      auto_name_counter = std::max<std::size_t>(auto_name_counter, id);
+      do {
+        name = "P" + std::to_string(auto_name_counter++);
+      } while (name_set.count(name));
+      name_set.insert(name);
+    } else if (!name_set.insert(name).second) {
+      throw std::invalid_argument("apply_delta: duplicate node name \"" + name +
+                                  "\"");
+    }
+    names.push_back(std::move(name));
+  }
+
+  // Surviving base edges, in base order; then additions.
+  for (EdgeId e = 0; e < base_edges; ++e) {
+    if (removed_edges.count(e)) continue;
+    const auto& edge = base.graph().edge(e);
+    const NodeId src = out.node_map[edge.src];
+    const NodeId dst = out.node_map[edge.dst];
+    if (src == kInvalidId || dst == kInvalidId) continue;  // endpoint removed
+    out.edge_map[e] = topo.add_edge(src, dst);
+    costs.push_back(base_costs[e]);
+  }
+  for (const auto& add : delta.edge_adds) {
+    const NodeId src = address_map[add.src];
+    const NodeId dst = address_map[add.dst];
+    if (topo.has_edge(src, dst)) {
+      throw std::invalid_argument("apply_delta: edge add duplicates an edge");
+    }
+    topo.add_edge(src, dst);
+    costs.push_back(add.cost);
+  }
+
+  out.platform = Platform(std::move(topo), std::move(costs), std::move(speeds),
+                          std::move(names));
+  return out;
+}
+
+}  // namespace ssco::platform

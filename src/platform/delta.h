@@ -1,0 +1,81 @@
+#pragma once
+// Platform mutation layer for dynamic re-optimization.
+//
+// The paper models a static platform, but a serving system tracks a live
+// one: link bandwidths drift, links fail, machines join and leave. A
+// PlatformDelta describes one batch of such changes against a base
+// Platform; apply_delta() validates it (positive costs/speeds, no dangling
+// ids, consistent name map) and rebuilds the platform, returning id remap
+// tables so role assignments (sources, targets, participants) and cached
+// solutions can follow the surviving nodes and edges.
+//
+// Id conventions:
+//  * all node/edge ids in the delta refer to the BASE platform's id space;
+//  * the k-th added node is addressed as base.num_nodes() + k (so an added
+//    edge can connect a node added in the same delta);
+//  * removing a node removes every incident edge implicitly.
+//
+// The rebuilt platform keeps surviving nodes and edges in base id order
+// (then additions), which keeps most LP variable/row names stable across a
+// delta — exactly what the warm-start name mapping (lp/warm_start.h) needs
+// to pay off.
+
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+
+namespace ssco::platform {
+
+struct PlatformDelta {
+  struct CostChange {
+    EdgeId edge = graph::kInvalidId;
+    Rational cost;
+  };
+  struct SpeedChange {
+    NodeId node = graph::kInvalidId;
+    Rational speed;
+  };
+  struct EdgeAdd {
+    NodeId src = graph::kInvalidId;
+    NodeId dst = graph::kInvalidId;
+    Rational cost;
+  };
+  struct NodeAdd {
+    std::string name;  // empty: auto-named like PlatformBuilder
+    Rational speed{1};
+  };
+
+  std::vector<CostChange> cost_changes;
+  std::vector<SpeedChange> speed_changes;
+  std::vector<EdgeId> edge_removes;
+  std::vector<NodeId> node_removes;
+  std::vector<NodeAdd> node_adds;
+  std::vector<EdgeAdd> edge_adds;
+
+  [[nodiscard]] bool empty() const {
+    return cost_changes.empty() && speed_changes.empty() &&
+           edge_removes.empty() && node_removes.empty() &&
+           node_adds.empty() && edge_adds.empty();
+  }
+};
+
+struct DeltaResult {
+  Platform platform;
+  /// Base NodeId -> new NodeId, kInvalidId for removed nodes. Added nodes
+  /// occupy ids [survivors, survivors + node_adds).
+  std::vector<NodeId> node_map;
+  /// Base EdgeId -> new EdgeId, kInvalidId for removed edges (explicitly or
+  /// via an endpoint's removal).
+  std::vector<EdgeId> edge_map;
+};
+
+/// Applies `delta` to `base` and returns the rebuilt platform plus id maps.
+/// Throws std::invalid_argument on any invalid delta: non-positive cost or
+/// speed, dangling node/edge id, duplicate removal, an added edge that
+/// duplicates an existing one or touches a removed node, or an added node
+/// name that collides with a surviving name.
+[[nodiscard]] DeltaResult apply_delta(const Platform& base,
+                                      const PlatformDelta& delta);
+
+}  // namespace ssco::platform

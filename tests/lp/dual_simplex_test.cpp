@@ -1,0 +1,365 @@
+#include "lp/dual_simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/column_layout.h"
+#include "lp/exact_solver.h"
+#include "lp/warm_start.h"
+
+namespace ssco::lp {
+namespace {
+
+using num::Rational;
+
+Model two_var_classic() {
+  // max x + y  s.t. x + 2y <= 4, 3x + y <= 6  ->  (8/5, 6/5), obj 14/5.
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(2)),
+                   Sense::kLessEqual, Rational(4), "r0");
+  m.add_constraint(LinearExpr().add(x, Rational(3)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(6), "r1");
+  return m;
+}
+
+/// Cold-solves `em` and returns the optimal basis as expanded column
+/// indices, ready for solve_from_basis.
+std::vector<std::size_t> optimal_columns(const ExpandedModel& em) {
+  auto cold = solve_simplex<double>(em);
+  EXPECT_EQ(cold.status, SolveStatus::kOptimal);
+  auto columns = columns_from_basis(ColumnLayout::from(em), cold.basis);
+  EXPECT_TRUE(columns.has_value());
+  return *columns;
+}
+
+TEST(DualSimplex, RhsTighteningResolvesWithoutCostShifts) {
+  // Shrinking a RHS leaves the basis dual feasible (costs untouched) but
+  // primal infeasible — the textbook dual-simplex start: no shifted costs,
+  // no primal cleanup, just dual pivots.
+  Model m = two_var_classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  auto columns = optimal_columns(em);
+
+  em.rows[0].rhs = Rational(1);  // 4 -> 1: the old basis point turns negative
+  auto reference = solve_simplex<double>(em);
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+
+  DualSolveInfo info;
+  auto warm = solve_from_basis(em, columns, {}, &info);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_EQ(info.cost_shifts, 0u);
+  EXPECT_EQ(info.primal_pivots, 0u);
+  EXPECT_GE(info.dual_pivots, 1u);
+  EXPECT_NEAR(warm.objective, reference.objective, 1e-9);
+  EXPECT_NEAR(warm.primal[0], reference.primal[0], 1e-9);
+  EXPECT_NEAR(warm.primal[1], reference.primal[1], 1e-9);
+}
+
+TEST(DualSimplex, UnchangedModelReplaysInZeroPivots) {
+  Model m = two_var_classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  auto columns = optimal_columns(em);
+
+  DualSolveInfo info;
+  auto warm = solve_from_basis(em, columns, {}, &info);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_EQ(warm.iterations, 0u);
+  EXPECT_NEAR(warm.objective, 2.8, 1e-9);
+}
+
+TEST(DualSimplex, CoefficientPerturbationResolvesViaCostShifting) {
+  // Changing a matrix coefficient breaks primal AND dual feasibility of the
+  // old basis; the driver must shift costs, run the dual phase, then clean
+  // up with true-cost primal pivots — and land on the fresh optimum.
+  Model m = two_var_classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  auto columns = optimal_columns(em);
+
+  em.rows[1].coeffs[0].second = Rational(5);  // 3x -> 5x
+  em.rows[0].rhs = Rational(3);
+  auto reference = solve_simplex<double>(em);
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+
+  DualSolveInfo info;
+  auto warm = solve_from_basis(em, columns, {}, &info);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, reference.objective, 1e-9);
+}
+
+TEST(DualSimplex, WarmSolutionCarriesFullResultContract) {
+  // The warm result must be certifiable exactly like a cold one: primal,
+  // duals and basis all present and mutually consistent.
+  Model m = two_var_classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  auto columns = optimal_columns(em);
+
+  em.rows[0].rhs = Rational(3);
+  auto warm = solve_from_basis(em, columns, {});
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  ASSERT_EQ(warm.dual.size(), em.rows.size());
+  ASSERT_EQ(warm.basis.size(), em.rows.size());
+  // Strong duality at double precision.
+  double dual_obj = 0.0;
+  for (std::size_t i = 0; i < em.rows.size(); ++i) {
+    dual_obj += warm.dual[i] * em.rows[i].rhs.to_double();
+  }
+  EXPECT_NEAR(dual_obj, warm.objective, 1e-7);
+}
+
+TEST(DualSimplex, InfeasibleDeltaReportsInfeasibleNotLoop) {
+  // max x1 + x2  s.t. x1 + x2 <= 5, x1 + x2 >= 3. Tightening the first RHS
+  // to 1 contradicts the second row: the dual simplex must prove primal
+  // infeasibility (dual unboundedness), not cycle or stall.
+  Model m;
+  VarId x1 = m.add_variable("x1");
+  VarId x2 = m.add_variable("x2");
+  m.set_objective(x1, Rational(1));
+  m.set_objective(x2, Rational(1));
+  m.add_constraint(LinearExpr().add(x1, Rational(1)).add(x2, Rational(1)),
+                   Sense::kLessEqual, Rational(5), "cap");
+  m.add_constraint(LinearExpr().add(x1, Rational(1)).add(x2, Rational(1)),
+                   Sense::kGreaterEqual, Rational(3), "demand");
+  ExpandedModel em = ExpandedModel::from(m);
+  auto columns = optimal_columns(em);
+
+  em.rows[0].rhs = Rational(1);
+  SimplexOptions options;
+  options.max_iterations = 1000;  // a loop would hit this and fail the test
+  auto warm = solve_from_basis(em, columns, options);
+  EXPECT_EQ(warm.status, SolveStatus::kInfeasible);
+}
+
+TEST(DualSimplex, DegenerateTiedRowsTerminate) {
+  // Duplicated rows make every dual ratio tie and most pivots degenerate;
+  // the degenerate-run Bland switch must still terminate at the optimum.
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(1));
+  for (int i = 0; i < 4; ++i) {
+    m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                     Sense::kLessEqual, Rational(2), "dup" + std::to_string(i));
+  }
+  ExpandedModel em = ExpandedModel::from(m);
+  auto columns = optimal_columns(em);
+
+  for (auto& row : em.rows) row.rhs = Rational(3, 2);
+  SimplexOptions options;
+  options.max_iterations = 1000;
+  options.bland_after = 4;
+  auto warm = solve_from_basis(em, columns, options);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, 1.5, 1e-9);
+}
+
+TEST(DualSimplex, BoundFlipRatioTestParksColumnAtUpperBound) {
+  // Engine-level boxed instance: max -x1 - 2*x2 s.t. x1 + x2 >= 3 with
+  // x1 <= 1 as a COLUMN bound (no bound row). From the all-surplus basis
+  // the bound-flipping ratio test must flip x1 to its upper bound (its
+  // capacity 1 cannot absorb the infeasibility 3) and then bring x2 in:
+  // x1 = 1, x2 = 2, objective -5. An engine that ignored the box would
+  // answer x1 = 3, objective -3.
+  ExpandedModel em;
+  em.num_vars = 2;
+  em.objective = {Rational(-1), Rational(-2)};
+  em.shift = {Rational(0), Rational(0)};
+  ExpandedModel::Row row;
+  row.coeffs = {{0, Rational(1)}, {1, Rational(1)}};
+  row.sense = Sense::kGreaterEqual;
+  row.rhs = Rational(3);
+  em.rows.push_back(row);
+  em.num_model_rows = 1;
+
+  RevisedSimplex engine(em);
+  ASSERT_TRUE(engine.ok());
+  engine.set_column_upper_bound(0, 1.0);
+  const ColumnLayout& layout = engine.layout();
+  ASSERT_NE(layout.slack_col[0], ColumnLayout::kNone);
+  ASSERT_TRUE(engine.load_basis({layout.slack_col[0]}));
+
+  std::size_t iterations = 0;
+  auto cost = engine.phase2_costs();
+  ASSERT_EQ(engine.make_dual_feasible(cost), 0u);  // already dual feasible
+  ASSERT_EQ(engine.dual_optimize(cost, {}, iterations),
+            SolveStatus::kOptimal);
+  EXPECT_EQ(iterations, 1u);  // the flip is free; one pivot brings x2 in
+  auto x = engine.extract_primal();
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+  EXPECT_NEAR(engine.objective_value(cost), -5.0, 1e-9);
+  EXPECT_TRUE(engine.has_boxed_at_upper());
+  EXPECT_LE(engine.primal_infeasibility(), 1e-9);
+}
+
+TEST(DualSimplex, BoundFlipSkipsWhenCapacitySuffices) {
+  // Same shape but x1 <= 5: now x1's capacity absorbs the whole
+  // infeasibility, so it must ENTER (no flip): x1 = 3, x2 = 0, obj -3.
+  ExpandedModel em;
+  em.num_vars = 2;
+  em.objective = {Rational(-1), Rational(-2)};
+  em.shift = {Rational(0), Rational(0)};
+  ExpandedModel::Row row;
+  row.coeffs = {{0, Rational(1)}, {1, Rational(1)}};
+  row.sense = Sense::kGreaterEqual;
+  row.rhs = Rational(3);
+  em.rows.push_back(row);
+  em.num_model_rows = 1;
+
+  RevisedSimplex engine(em);
+  ASSERT_TRUE(engine.ok());
+  engine.set_column_upper_bound(0, 5.0);
+  ASSERT_TRUE(engine.load_basis({engine.layout().slack_col[0]}));
+
+  std::size_t iterations = 0;
+  auto cost = engine.phase2_costs();
+  ASSERT_EQ(engine.dual_optimize(cost, {}, iterations),
+            SolveStatus::kOptimal);
+  auto x = engine.extract_primal();
+  EXPECT_NEAR(x[0], 3.0, 1e-9);
+  EXPECT_NEAR(x[1], 0.0, 1e-9);
+  EXPECT_FALSE(engine.has_boxed_at_upper());
+}
+
+TEST(DualSimplex, FixedColumnsNeverEnter) {
+  // An artificial completing a warm basis is fixed at zero; the dual loop
+  // must treat a positive basic artificial as infeasible and drive it out,
+  // landing on the true optimum of the == row system.
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(2));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kEqual, Rational(4), "sum");
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kLessEqual,
+                   Rational(3), "xcap");
+  ExpandedModel em = ExpandedModel::from(m);
+  auto columns = optimal_columns(em);
+
+  em.rows[1].rhs = Rational(2);  // x <= 2 now binds differently
+  auto reference = solve_simplex<double>(em);
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+
+  auto warm = solve_from_basis(em, columns, {});
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, reference.objective, 1e-9);
+}
+
+TEST(WarmStartMapping, RoundTripOnUnchangedModel) {
+  Model m = two_var_classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  auto cold = solve_simplex<double>(em);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+
+  WarmStart warm = capture_warm_start(m, cold.basis);
+  ASSERT_FALSE(warm.empty());
+  auto columns = map_warm_basis(warm, m, em, ColumnLayout::from(em));
+  ASSERT_TRUE(columns.has_value());
+  auto direct = columns_from_basis(ColumnLayout::from(em), cold.basis);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(*columns, *direct);
+
+  DualSolveInfo info;
+  auto replay = solve_from_basis(em, *columns, {}, &info);
+  ASSERT_EQ(replay.status, SolveStatus::kOptimal);
+  EXPECT_EQ(replay.iterations, 0u);
+}
+
+TEST(WarmStartMapping, SurvivesStructuralModelChange) {
+  // Re-key the old basis against a model with one more variable and one
+  // more row: mapping must still produce a loadable, full-size basis.
+  Model m = two_var_classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  auto cold = solve_simplex<double>(em);
+  WarmStart warm = capture_warm_start(m, cold.basis);
+
+  Model grown = two_var_classic();
+  VarId z = grown.add_variable("z");
+  grown.set_objective(z, Rational(1, 2));
+  grown.add_constraint(LinearExpr().add(z, Rational(1)), Sense::kLessEqual,
+                       Rational(1), "zcap");
+  ExpandedModel grown_em = ExpandedModel::from(grown);
+  auto columns =
+      map_warm_basis(warm, grown, grown_em, ColumnLayout::from(grown_em));
+  ASSERT_TRUE(columns.has_value());
+  ASSERT_EQ(columns->size(), grown_em.rows.size());
+
+  auto reference = solve_simplex<double>(grown_em);
+  auto warm_result = solve_from_basis(grown_em, *columns, {});
+  ASSERT_EQ(warm_result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm_result.objective, reference.objective, 1e-9);
+}
+
+TEST(WarmStartMapping, DroppedEntitiesFallBackToIdentityColumns) {
+  // Shrink the model instead: entries keyed to vanished names are skipped
+  // and completion fills with slack columns.
+  Model m = two_var_classic();
+  ExpandedModel em = ExpandedModel::from(m);
+  auto cold = solve_simplex<double>(em);
+  WarmStart warm = capture_warm_start(m, cold.basis);
+
+  Model shrunk;
+  VarId x = shrunk.add_variable("x");
+  shrunk.set_objective(x, Rational(1));
+  shrunk.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kLessEqual,
+                        Rational(2), "r0");
+  ExpandedModel shrunk_em = ExpandedModel::from(shrunk);
+  auto columns =
+      map_warm_basis(warm, shrunk, shrunk_em, ColumnLayout::from(shrunk_em));
+  ASSERT_TRUE(columns.has_value());
+  ASSERT_EQ(columns->size(), shrunk_em.rows.size());
+  auto warm_result = solve_from_basis(shrunk_em, *columns, {});
+  ASSERT_EQ(warm_result.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm_result.objective, 2.0, 1e-9);
+}
+
+TEST(ExactSolverContext, WarmResolveIsCertifiedAndCheap) {
+  Model m = two_var_classic();
+  ExactSolver solver;
+  SolveContext context;
+  auto first = solver.solve(m, &context);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(first.warm_started);
+  ASSERT_FALSE(context.warm.empty());
+
+  // Same model again: the context replays the basis in zero pivots.
+  auto again = solver.solve(m, &context);
+  ASSERT_EQ(again.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(again.warm_started);
+  EXPECT_TRUE(again.certified);
+  EXPECT_EQ(again.float_iterations, 0u);
+  EXPECT_EQ(again.objective, first.objective);
+}
+
+TEST(ExactSolverContext, InfeasibleAfterDeltaIsProvenExactly) {
+  Model m;
+  VarId x = m.add_variable("x");
+  m.set_objective(x, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kLessEqual,
+                   Rational(5), "cap");
+  m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kGreaterEqual,
+                   Rational(3), "demand");
+  ExactSolver solver;
+  SolveContext context;
+  auto first = solver.solve(m, &context);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+
+  Model changed;
+  VarId x2 = changed.add_variable("x");
+  changed.set_objective(x2, Rational(1));
+  changed.add_constraint(LinearExpr().add(x2, Rational(1)), Sense::kLessEqual,
+                         Rational(1), "cap");
+  changed.add_constraint(LinearExpr().add(x2, Rational(1)),
+                         Sense::kGreaterEqual, Rational(3), "demand");
+  auto resolved = solver.solve(changed, &context);
+  EXPECT_EQ(resolved.status, SolveStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace ssco::lp

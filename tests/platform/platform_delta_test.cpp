@@ -1,0 +1,291 @@
+#include "platform/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "testing/util.h"
+
+namespace ssco::platform {
+namespace {
+
+using graph::kInvalidId;
+using testing::R;
+
+/// Triangle platform P0 <-> P1 <-> P2 <-> P0 with distinct costs/speeds.
+Platform triangle() {
+  PlatformBuilder b;
+  NodeId p0 = b.add_node("alpha", R("2"));
+  NodeId p1 = b.add_node("beta", R("3"));
+  NodeId p2 = b.add_node("gamma", R("5"));
+  b.add_link(p0, p1, R("1"));       // edges 0, 1
+  b.add_link(p1, p2, R("1/2"));     // edges 2, 3
+  b.add_link(p2, p0, R("1/3"));     // edges 4, 5
+  return b.build();
+}
+
+TEST(PlatformDelta, EmptyDeltaIsIdentity) {
+  Platform base = triangle();
+  DeltaResult out = apply_delta(base, {});
+  EXPECT_EQ(out.platform.num_nodes(), base.num_nodes());
+  EXPECT_EQ(out.platform.num_edges(), base.num_edges());
+  for (NodeId n = 0; n < base.num_nodes(); ++n) {
+    EXPECT_EQ(out.node_map[n], n);
+    EXPECT_EQ(out.platform.node_name(n), base.node_name(n));
+    EXPECT_EQ(out.platform.node_speed(n), base.node_speed(n));
+  }
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    EXPECT_EQ(out.edge_map[e], e);
+    EXPECT_EQ(out.platform.edge_cost(e), base.edge_cost(e));
+  }
+}
+
+TEST(PlatformDelta, CostAndSpeedChangesAreApplied) {
+  Platform base = triangle();
+  PlatformDelta delta;
+  delta.cost_changes.push_back({2, R("7/4")});
+  delta.speed_changes.push_back({1, R("9")});
+  DeltaResult out = apply_delta(base, delta);
+  EXPECT_EQ(out.platform.edge_cost(2), R("7/4"));
+  EXPECT_EQ(out.platform.node_speed(1), R("9"));
+  // Untouched metrics survive.
+  EXPECT_EQ(out.platform.edge_cost(3), R("1/2"));
+  EXPECT_EQ(out.platform.node_speed(0), R("2"));
+}
+
+TEST(PlatformDelta, NonPositiveCostOrSpeedRejected) {
+  Platform base = triangle();
+  {
+    PlatformDelta delta;
+    delta.cost_changes.push_back({0, R("-1")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.cost_changes.push_back({0, R("0")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.speed_changes.push_back({0, R("-2")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.edge_adds.push_back({0, 2, R("0")});
+    // 0 -> 2 already exists in the triangle, but the cost check also fires;
+    // use a fresh pair to isolate the cost rule.
+    delta.edge_adds.back() = {0, 2, R("-1/2")};
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.node_adds.push_back({"delta", R("0")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+}
+
+TEST(PlatformDelta, DanglingIdsRejected) {
+  Platform base = triangle();
+  {
+    PlatformDelta delta;
+    delta.cost_changes.push_back({99, R("1")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.edge_removes.push_back(99);
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.node_removes.push_back(99);
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.speed_changes.push_back({99, R("1")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    // Edge add may address base nodes plus this delta's own additions, but
+    // nothing beyond.
+    PlatformDelta delta;
+    delta.node_adds.push_back({"delta", R("1")});
+    delta.edge_adds.push_back({0, 5, R("1")});  // only ids 0..3 exist
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+}
+
+TEST(PlatformDelta, DuplicateRemovalsRejected) {
+  Platform base = triangle();
+  {
+    PlatformDelta delta;
+    delta.edge_removes = {2, 2};
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.node_removes = {1, 1};
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+}
+
+TEST(PlatformDelta, DuplicatePointChangesRejected) {
+  // Two changes to the same edge/node in one delta is a caller bug
+  // (silently applying 'last wins' would drop an intended change).
+  Platform base = triangle();
+  {
+    PlatformDelta delta;
+    delta.cost_changes = {{2, R("5")}, {2, R("7")}};
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    PlatformDelta delta;
+    delta.speed_changes = {{1, R("5")}, {1, R("7")}};
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+}
+
+TEST(PlatformDelta, EdgeAddValidation) {
+  Platform base = triangle();
+  {
+    // Parallel to an existing edge.
+    PlatformDelta delta;
+    delta.edge_adds.push_back({0, 1, R("1")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    // Self loop.
+    PlatformDelta delta;
+    delta.edge_adds.push_back({1, 1, R("1")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+  {
+    // Touches a node removed in the same delta.
+    PlatformDelta delta;
+    delta.node_removes = {2};
+    delta.edge_adds.push_back({0, 2, R("1")});
+    EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+  }
+}
+
+TEST(PlatformDelta, NodeRemovalDropsIncidentEdgesAndRemaps) {
+  Platform base = triangle();
+  PlatformDelta delta;
+  delta.node_removes = {1};  // "beta": kills edges 0,1,2,3
+  DeltaResult out = apply_delta(base, delta);
+
+  ASSERT_EQ(out.platform.num_nodes(), 2u);
+  EXPECT_EQ(out.node_map[0], 0u);
+  EXPECT_EQ(out.node_map[1], kInvalidId);
+  EXPECT_EQ(out.node_map[2], 1u);
+  // Name map follows the survivors.
+  EXPECT_EQ(out.platform.node_name(0), "alpha");
+  EXPECT_EQ(out.platform.node_name(1), "gamma");
+  EXPECT_EQ(out.platform.node_speed(1), R("5"));
+
+  ASSERT_EQ(out.platform.num_edges(), 2u);
+  for (EdgeId e : {0, 1, 2, 3}) EXPECT_EQ(out.edge_map[e], kInvalidId);
+  // Surviving edges keep base order: 4 (gamma->alpha), 5 (alpha->gamma).
+  EXPECT_EQ(out.edge_map[4], 0u);
+  EXPECT_EQ(out.edge_map[5], 1u);
+  EXPECT_EQ(out.platform.edge_cost(0), R("1/3"));
+  const auto& e0 = out.platform.graph().edge(0);
+  EXPECT_EQ(out.platform.node_name(e0.src), "gamma");
+  EXPECT_EQ(out.platform.node_name(e0.dst), "alpha");
+}
+
+TEST(PlatformDelta, NodeJoinWithEdgesToNewNode) {
+  Platform base = triangle();
+  PlatformDelta delta;
+  delta.node_adds.push_back({"delta", R("4")});
+  // The new node is addressable as base.num_nodes() + 0 == 3.
+  delta.edge_adds.push_back({0, 3, R("2")});
+  delta.edge_adds.push_back({3, 0, R("2")});
+  DeltaResult out = apply_delta(base, delta);
+
+  ASSERT_EQ(out.platform.num_nodes(), 4u);
+  EXPECT_EQ(out.platform.node_name(3), "delta");
+  EXPECT_EQ(out.platform.node_speed(3), R("4"));
+  ASSERT_EQ(out.platform.num_edges(), 8u);
+  EXPECT_EQ(out.platform.edge_cost(6), R("2"));
+  EXPECT_TRUE(out.platform.graph().has_edge(0, 3));
+  EXPECT_TRUE(out.platform.graph().has_edge(3, 0));
+}
+
+TEST(PlatformDelta, DuplicateNodeNameRejected) {
+  Platform base = triangle();
+  PlatformDelta delta;
+  delta.node_adds.push_back({"beta", R("1")});
+  EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+}
+
+TEST(PlatformDelta, DottedNodeNameRejected) {
+  // '.' composes edge tags in the LP builders; a dotted name could alias
+  // two distinct edges into one LP entity name.
+  Platform base = triangle();
+  PlatformDelta delta;
+  delta.node_adds.push_back({"bad.name", R("1")});
+  EXPECT_THROW(apply_delta(base, delta), std::invalid_argument);
+}
+
+TEST(PlatformDelta, AutoNamedNodeAvoidsRebuiltPlatformCollisions) {
+  // Default-named platforms use "P<id>"; an auto-named addition must get a
+  // name consistent with its new id (and thus collision-free).
+  PlatformBuilder b;
+  NodeId p0 = b.add_node();
+  NodeId p1 = b.add_node();
+  b.add_link(p0, p1, R("1"));
+  Platform base = b.build();
+
+  PlatformDelta delta;
+  delta.node_adds.push_back({"", R("1")});
+  DeltaResult out = apply_delta(base, delta);
+  EXPECT_EQ(out.platform.node_name(2), "P2");
+}
+
+TEST(PlatformDelta, AutoNamedNodeSkipsSurvivorNamesAfterRemoval) {
+  // Removing P0 shifts the survivors to ids 0,1 while they keep names
+  // P1,P2; the unnamed addition gets id 2 and must NOT reuse "P2".
+  PlatformBuilder b;
+  NodeId p0 = b.add_node();
+  NodeId p1 = b.add_node();
+  NodeId p2 = b.add_node();
+  b.add_link(p0, p1, R("1"));
+  b.add_link(p1, p2, R("1"));
+  Platform base = b.build();
+
+  PlatformDelta delta;
+  delta.node_removes = {0};
+  delta.node_adds.push_back({"", R("1")});
+  DeltaResult out = apply_delta(base, delta);
+  ASSERT_EQ(out.platform.num_nodes(), 3u);
+  EXPECT_EQ(out.platform.node_name(0), "P1");
+  EXPECT_EQ(out.platform.node_name(1), "P2");
+  EXPECT_EQ(out.platform.node_name(2), "P3");
+}
+
+TEST(PlatformDelta, CombinedChurnKeepsMapsConsistent) {
+  Platform base = triangle();
+  PlatformDelta delta;
+  delta.cost_changes.push_back({4, R("6")});
+  delta.node_removes = {1};
+  delta.node_adds.push_back({"delta", R("1")});
+  delta.edge_adds.push_back({0, 3, R("1")});
+  DeltaResult out = apply_delta(base, delta);
+
+  ASSERT_EQ(out.platform.num_nodes(), 3u);
+  // Every surviving base edge's endpoints, mapped, match the new edge.
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    if (out.edge_map[e] == kInvalidId) continue;
+    const auto& old_edge = base.graph().edge(e);
+    const auto& new_edge = out.platform.graph().edge(out.edge_map[e]);
+    EXPECT_EQ(out.node_map[old_edge.src], new_edge.src);
+    EXPECT_EQ(out.node_map[old_edge.dst], new_edge.dst);
+  }
+  EXPECT_EQ(out.platform.edge_cost(out.edge_map[4]), R("6"));
+}
+
+}  // namespace
+}  // namespace ssco::platform

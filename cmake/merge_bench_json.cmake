@@ -1,0 +1,38 @@
+# Merges two google-benchmark JSON outputs: appends IN2's `benchmarks`
+# array onto IN1's and writes the result to OUT. Used by the bench_lp_json
+# target so BENCH_lp.json carries both the LP scaling and the plan-service
+# throughput trajectories in one tracked file.
+#
+#   cmake -DIN1=a.json -DIN2=b.json -DOUT=merged.json -P merge_bench_json.cmake
+#
+# Requires CMake >= 3.19 (string(JSON)); on older CMake, IN1 is copied
+# through unchanged so the target still produces a valid file.
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+  message(WARNING "merge_bench_json: CMake ${CMAKE_VERSION} lacks string(JSON); "
+                  "writing ${IN1} only")
+  configure_file(${IN1} ${OUT} COPYONLY)
+  return()
+endif()
+
+# Quoted expansions throughout: benchmark names/context strings may contain
+# semicolons, which unquoted CMake arguments would split and silently drop.
+file(READ "${IN1}" base)
+file(READ "${IN2}" extra)
+
+string(JSON base_len LENGTH "${base}" benchmarks)
+string(JSON extra_len LENGTH "${extra}" benchmarks)
+
+set(merged "${base}")
+if(extra_len GREATER 0)
+  math(EXPR last "${extra_len} - 1")
+  foreach(i RANGE 0 ${last})
+    string(JSON item GET "${extra}" benchmarks ${i})
+    math(EXPR at "${base_len} + ${i}")
+    # Setting at index == current length appends.
+    string(JSON merged SET "${merged}" benchmarks ${at} "${item}")
+  endforeach()
+endif()
+
+file(WRITE "${OUT}" "${merged}")
+message(STATUS "merge_bench_json: ${base_len} + ${extra_len} benchmarks -> ${OUT}")

@@ -32,4 +32,20 @@ std::string banner(const std::string& title) {
   return bar + "\n| " + title + " |\n" + bar + "\n";
 }
 
+std::string percent(double fraction, int digits) {
+  std::ostringstream os;
+  os << std::fixed;
+  os.precision(digits);
+  os << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string fixed(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed;
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
 }  // namespace ssco::io

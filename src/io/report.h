@@ -18,4 +18,10 @@ namespace ssco::io {
 /// Section banner for bench output.
 [[nodiscard]] std::string banner(const std::string& title);
 
+/// "93.1%" — percentage rendering of a [0, 1] fraction.
+[[nodiscard]] std::string percent(double fraction, int digits = 1);
+
+/// Fixed-point decimal, e.g. fixed(12.345, 2) == "12.35".
+[[nodiscard]] std::string fixed(double value, int digits = 2);
+
 }  // namespace ssco::io

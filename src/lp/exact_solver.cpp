@@ -165,8 +165,42 @@ ExactSolution ExactSolver::solve(const Model& model) const {
   return solve(model, nullptr);
 }
 
+SolverStats ExactSolver::stats() const {
+  SolverStats out;
+  out.solves = stats_.solves.load(std::memory_order_relaxed);
+  out.warm_attempts = stats_.warm_attempts.load(std::memory_order_relaxed);
+  out.warm_solves = stats_.warm_solves.load(std::memory_order_relaxed);
+  out.float_pivots = stats_.float_pivots.load(std::memory_order_relaxed);
+  out.exact_pivots = stats_.exact_pivots.load(std::memory_order_relaxed);
+  out.exact_fallbacks =
+      stats_.exact_fallbacks.load(std::memory_order_relaxed);
+  return out;
+}
+
 ExactSolution ExactSolver::solve(const Model& model,
                                  SolveContext* context) const {
+  ExactSolution out = solve_impl(model, context);
+  // Aggregate telemetry: relaxed atomics, safe under concurrent solves (see
+  // the thread-safety contract in the header).
+  stats_.solves.fetch_add(1, std::memory_order_relaxed);
+  stats_.float_pivots.fetch_add(out.float_iterations,
+                                std::memory_order_relaxed);
+  stats_.exact_pivots.fetch_add(out.exact_iterations,
+                                std::memory_order_relaxed);
+  if (context && context->warm_attempted) {
+    stats_.warm_attempts.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (out.warm_started) {
+    stats_.warm_solves.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (out.exact_iterations > 0) {
+    stats_.exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+ExactSolution ExactSolver::solve_impl(const Model& model,
+                                      SolveContext* context) const {
   ExactSolution out;
   ExpandedModel em = ExpandedModel::from(model);
 

@@ -24,6 +24,7 @@
 // The result is bit-exact and carries a `certified` flag describing which
 // path proved it.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -90,6 +91,31 @@ struct ExactSolverOptions {
   SimplexOptions simplex;
 };
 
+/// Aggregate solve telemetry, accumulated across every solve() made on one
+/// ExactSolver with relaxed atomics — safe to bump from concurrent solves
+/// and to read at any time (each counter is individually consistent; the
+/// set is not a snapshot). Per-solve numbers live in ExactSolution.
+struct SolverStats {
+  std::uint64_t solves = 0;
+  std::uint64_t warm_attempts = 0;
+  /// Warm attempts that produced the certified answer (no cold fallback).
+  std::uint64_t warm_solves = 0;
+  std::uint64_t float_pivots = 0;
+  std::uint64_t exact_pivots = 0;
+  /// Solves that needed the exact rational simplex.
+  std::uint64_t exact_fallbacks = 0;
+};
+
+/// Thread-safety contract:
+///  * An ExactSolver is immutable after construction apart from its atomic
+///    stats block; solve() is const and re-entrant, so ONE solver may run
+///    ANY number of concurrent solves (the plan service's worker pool does
+///    exactly this).
+///  * Each concurrent solve must use its OWN SolveContext (or none) — a
+///    SolveContext is the single-threaded warm-start thread of one request
+///    stream, and sharing one across threads is a data race.
+///  * Per-solve statistics are returned by value in ExactSolution;
+///    stats() aggregates across threads with relaxed atomics.
 class ExactSolver {
  public:
   explicit ExactSolver(ExactSolverOptions options = {})
@@ -108,6 +134,10 @@ class ExactSolver {
   [[nodiscard]] ExactSolution solve(const Model& model,
                                     SolveContext* context) const;
 
+  /// Consistent-per-counter snapshot of the aggregate stats (see
+  /// SolverStats; values only grow).
+  [[nodiscard]] SolverStats stats() const;
+
   /// Verifies an exact primal/dual optimality certificate for the expanded
   /// model: returns true iff `x` is primal feasible, `y` is dual feasible,
   /// and c'x == b'y (all exact). Exposed for tests.
@@ -116,7 +146,19 @@ class ExactSolver {
                                                const std::vector<Rational>& y);
 
  private:
+  [[nodiscard]] ExactSolution solve_impl(const Model& model,
+                                         SolveContext* context) const;
+
   ExactSolverOptions options_;
+  struct AtomicStats {
+    std::atomic<std::uint64_t> solves{0};
+    std::atomic<std::uint64_t> warm_attempts{0};
+    std::atomic<std::uint64_t> warm_solves{0};
+    std::atomic<std::uint64_t> float_pivots{0};
+    std::atomic<std::uint64_t> exact_pivots{0};
+    std::atomic<std::uint64_t> exact_fallbacks{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 /// Convenience: solve `model` purely with the exact rational simplex

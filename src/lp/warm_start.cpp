@@ -1,6 +1,8 @@
 #include "lp/warm_start.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <string_view>
+#include <utility>
 
 namespace ssco::lp {
 
@@ -17,6 +19,34 @@ std::vector<std::size_t> bounded_vars(const Model& model) {
   }
   return vars;
 }
+
+/// Sorted name -> index table. Deliberately NOT a hash map: lookup results
+/// and tie-breaking (duplicate names resolve to the smallest index) are
+/// fully determined by the sorted order, so basis snapshot mapping — and
+/// therefore every fingerprint/cache interaction built on top of it — is
+/// reproducible across runs, platforms and standard libraries.
+class NameIndex {
+ public:
+  explicit NameIndex(std::size_t expected) { entries_.reserve(expected); }
+
+  void add(std::string_view name, std::size_t index) {
+    entries_.emplace_back(name, index);
+  }
+  void finish() { std::sort(entries_.begin(), entries_.end()); }
+
+  /// Smallest index carrying `name`, or kNone. Requires finish() first.
+  [[nodiscard]] std::size_t find(std::string_view name) const {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), name,
+        [](const auto& entry, std::string_view n) { return entry.first < n; });
+    if (it == entries_.end() || it->first != name) return kNone;
+    return it->second;
+  }
+
+ private:
+  // string_views into the Model's stored names; valid for this pass only.
+  std::vector<std::pair<std::string_view, std::size_t>> entries_;
+};
 
 }  // namespace
 
@@ -51,24 +81,19 @@ std::optional<std::vector<std::size_t>> map_warm_basis(
   if (warm.empty()) return std::nullopt;
   const std::size_t m = em.rows.size();
 
-  std::unordered_map<std::string, std::size_t> var_by_name;
-  var_by_name.reserve(model.num_variables());
+  NameIndex var_by_name(model.num_variables());
   for (std::size_t j = 0; j < model.num_variables(); ++j) {
-    var_by_name.emplace(model.variable_name(VarId{j}), j);
+    var_by_name.add(model.variable_name(VarId{j}), j);
   }
-  std::unordered_map<std::string, std::size_t> row_by_name;
-  row_by_name.reserve(model.num_rows());
+  var_by_name.finish();
+  NameIndex row_by_name(model.num_rows());
   for (std::size_t i = 0; i < model.num_rows(); ++i) {
-    row_by_name.emplace(model.row(RowId{i}).name, i);
+    row_by_name.add(model.row(RowId{i}).name, i);
   }
-  // Variable index -> its materialized bound-row index, when one exists.
-  std::unordered_map<std::size_t, std::size_t> bound_row_of_var;
-  {
-    const std::vector<std::size_t> bounded = bounded_vars(model);
-    for (std::size_t k = 0; k < bounded.size(); ++k) {
-      bound_row_of_var.emplace(bounded[k], em.num_model_rows + k);
-    }
-  }
+  row_by_name.finish();
+  // Bounded variables are collected in increasing variable order, so the
+  // bound-row of variable j is em.num_model_rows + its rank in `bounded`.
+  const std::vector<std::size_t> bounded = bounded_vars(model);
 
   std::vector<std::size_t> columns;
   columns.reserve(m);
@@ -83,20 +108,21 @@ std::optional<std::vector<std::size_t>> map_warm_basis(
   for (const WarmStart::Entry& entry : warm.entries) {
     if (columns.size() == m) break;
     if (entry.kind == BasisColumn::Kind::kStructural) {
-      auto it = var_by_name.find(entry.name);
-      if (it != var_by_name.end()) take(it->second);
+      take(var_by_name.find(entry.name));
       continue;
     }
     std::size_t row = kNone;
     if (entry.bound_row) {
-      auto var = var_by_name.find(entry.name);
-      if (var != var_by_name.end()) {
-        auto bound = bound_row_of_var.find(var->second);
-        if (bound != bound_row_of_var.end()) row = bound->second;
+      const std::size_t var = var_by_name.find(entry.name);
+      if (var != kNone) {
+        auto it = std::lower_bound(bounded.begin(), bounded.end(), var);
+        if (it != bounded.end() && *it == var) {
+          row = em.num_model_rows +
+                static_cast<std::size_t>(it - bounded.begin());
+        }
       }
     } else {
-      auto it = row_by_name.find(entry.name);
-      if (it != row_by_name.end()) row = it->second;
+      row = row_by_name.find(entry.name);
     }
     if (row == kNone) continue;
     // A sense change (e.g. a flipped RHS sign) may have swapped which

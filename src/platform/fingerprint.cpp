@@ -1,0 +1,209 @@
+#include "platform/fingerprint.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ssco::platform {
+
+namespace {
+
+// splitmix64 finalizer — the same bijective mixer graph/rng.h builds on.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Order-DEPENDENT combine; multisets are sorted before folding so the
+// result is canonical.
+std::uint64_t combine(std::uint64_t h, std::uint64_t v) {
+  return mix(h + 0x9e3779b97f4a7c15ull + v);
+}
+
+std::uint64_t hash_rational(const num::Rational& v) {
+  // Rational::hash() is deterministic (FNV over limbs), so fingerprints are
+  // stable across processes and runs.
+  return mix(static_cast<std::uint64_t>(v.hash()) + 0xa24baed4963ee407ull);
+}
+
+// Domain-separation tags for the different hash ingredients.
+constexpr std::uint64_t kNodeInit = 0x736e6f64ull;   // node color seed
+constexpr std::uint64_t kOutTag = 0x6f757401ull;     // out-neighbor fold
+constexpr std::uint64_t kInTag = 0x696e5f02ull;      // in-neighbor fold
+constexpr std::uint64_t kEdgeTag = 0x65646765ull;    // edge signature
+constexpr std::uint64_t kFinalTag = 0x73736366ull;   // final fold
+constexpr std::uint64_t kBlankCost = 0x626c6e6bull;  // metric-blind cost
+constexpr std::uint64_t kSourceTag = 0x73726301ull;
+constexpr std::uint64_t kTargetTag = 0x74677402ull;
+constexpr std::uint64_t kParticipantTag = 0x70727403ull;
+constexpr std::uint64_t kReduceTargetTag = 0x72647404ull;
+constexpr std::uint64_t kGossipSourceTag = 0x67737205ull;
+constexpr std::uint64_t kScatterOp = 0x6f702d73ull;
+constexpr std::uint64_t kGossipOp = 0x6f702d67ull;
+constexpr std::uint64_t kReduceOp = 0x6f702d72ull;
+
+/// One Weisfeiler-Leman refinement digest. Node ids never enter the hash:
+/// colors start from role seeds (+ speeds when `with_metrics`), each round
+/// folds the SORTED multiset of neighbor (color, cost) pairs, and the final
+/// digest folds the sorted multiset of node colors and edge signatures.
+std::uint64_t wl_digest(const Platform& p,
+                        const std::vector<std::uint64_t>& role_seed,
+                        bool with_metrics) {
+  const graph::Digraph& g = p.graph();
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+
+  auto cost_hash = [&](graph::EdgeId e) {
+    return with_metrics ? hash_rational(p.edge_cost(e)) : kBlankCost;
+  };
+
+  std::vector<std::uint64_t> color(n), next(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    std::uint64_t c = combine(kNodeInit, role_seed.empty() ? 0 : role_seed[v]);
+    if (with_metrics) c = combine(c, hash_rational(p.node_speed(v)));
+    color[v] = c;
+  }
+
+  // Enough rounds for a color to see past the graph's likely diameter;
+  // refinement past stabilization is a no-op for discrimination but keeps
+  // the digest deterministic and cheap (m ~ hundreds here).
+  const std::size_t rounds =
+      std::max<std::size_t>(4, std::bit_width(n + 1) + 1);
+  std::vector<std::uint64_t> nbr;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      nbr.clear();
+      for (graph::EdgeId e : g.out_edges(v)) {
+        nbr.push_back(combine(kOutTag,
+                              combine(color[g.edge(e).dst], cost_hash(e))));
+      }
+      for (graph::EdgeId e : g.in_edges(v)) {
+        nbr.push_back(combine(kInTag,
+                              combine(color[g.edge(e).src], cost_hash(e))));
+      }
+      std::sort(nbr.begin(), nbr.end());
+      std::uint64_t h = color[v];
+      for (std::uint64_t x : nbr) h = combine(h, x);
+      next[v] = h;
+    }
+    color.swap(next);
+  }
+
+  std::vector<std::uint64_t> items;
+  items.reserve(n + m);
+  for (graph::NodeId v = 0; v < n; ++v) items.push_back(color[v]);
+  for (graph::EdgeId e = 0; e < m; ++e) {
+    std::uint64_t sig = combine(kEdgeTag, color[g.edge(e).src]);
+    sig = combine(sig, color[g.edge(e).dst]);
+    items.push_back(combine(sig, cost_hash(e)));
+  }
+  std::sort(items.begin(), items.end());
+
+  std::uint64_t h = combine(combine(kFinalTag, n), m);
+  for (std::uint64_t x : items) h = combine(h, x);
+  return h;
+}
+
+void seed(std::vector<std::uint64_t>& seeds, graph::NodeId v,
+          std::uint64_t tag, std::uint64_t position = 0) {
+  seeds[v] = combine(seeds[v], combine(tag, position));
+}
+
+}  // namespace
+
+Fingerprint fingerprint_platform(const Platform& platform,
+                                 const std::vector<std::uint64_t>& role_seed) {
+  Fingerprint fp;
+  fp.full = wl_digest(platform, role_seed, /*with_metrics=*/true);
+  fp.structure = wl_digest(platform, role_seed, /*with_metrics=*/false);
+  return fp;
+}
+
+Fingerprint fingerprint(const ScatterInstance& instance) {
+  std::vector<std::uint64_t> seeds(instance.platform.num_nodes(), 0);
+  seed(seeds, instance.source, kSourceTag);
+  for (std::size_t i = 0; i < instance.targets.size(); ++i) {
+    seed(seeds, instance.targets[i], kTargetTag, i + 1);
+  }
+  Fingerprint fp = fingerprint_platform(instance.platform, seeds);
+  fp.full = combine(combine(fp.full, kScatterOp),
+                    hash_rational(instance.message_size));
+  fp.structure = combine(fp.structure, kScatterOp);
+  return fp;
+}
+
+Fingerprint fingerprint(const GossipInstance& instance) {
+  std::vector<std::uint64_t> seeds(instance.platform.num_nodes(), 0);
+  for (std::size_t i = 0; i < instance.sources.size(); ++i) {
+    seed(seeds, instance.sources[i], kGossipSourceTag, i + 1);
+  }
+  for (std::size_t i = 0; i < instance.targets.size(); ++i) {
+    seed(seeds, instance.targets[i], kTargetTag, i + 1);
+  }
+  Fingerprint fp = fingerprint_platform(instance.platform, seeds);
+  fp.full = combine(combine(fp.full, kGossipOp),
+                    hash_rational(instance.message_size));
+  fp.structure = combine(fp.structure, kGossipOp);
+  return fp;
+}
+
+Fingerprint fingerprint(const ReduceInstance& instance) {
+  std::vector<std::uint64_t> seeds(instance.platform.num_nodes(), 0);
+  for (std::size_t i = 0; i < instance.participants.size(); ++i) {
+    seed(seeds, instance.participants[i], kParticipantTag, i + 1);
+  }
+  seed(seeds, instance.target, kReduceTargetTag);
+  Fingerprint fp = fingerprint_platform(instance.platform, seeds);
+  fp.full = combine(combine(fp.full, kReduceOp),
+                    hash_rational(instance.message_size));
+  fp.full = combine(fp.full, hash_rational(instance.task_work));
+  fp.structure = combine(fp.structure, kReduceOp);
+  return fp;
+}
+
+bool same_shape(const Platform& a, const Platform& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    if (a.node_name(v) != b.node_name(v)) return false;
+  }
+  for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    if (a.graph().edge(e).src != b.graph().edge(e).src ||
+        a.graph().edge(e).dst != b.graph().edge(e).dst) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool same_platform(const Platform& a, const Platform& b) {
+  if (!same_shape(a, b)) return false;
+  for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
+    if (a.edge_cost(e) != b.edge_cost(e)) return false;
+  }
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    if (a.node_speed(v) != b.node_speed(v)) return false;
+  }
+  return true;
+}
+
+bool same_instance(const ScatterInstance& a, const ScatterInstance& b) {
+  return a.source == b.source && a.targets == b.targets &&
+         a.message_size == b.message_size &&
+         same_platform(a.platform, b.platform);
+}
+
+bool same_instance(const GossipInstance& a, const GossipInstance& b) {
+  return a.sources == b.sources && a.targets == b.targets &&
+         a.message_size == b.message_size &&
+         same_platform(a.platform, b.platform);
+}
+
+bool same_instance(const ReduceInstance& a, const ReduceInstance& b) {
+  return a.participants == b.participants && a.target == b.target &&
+         a.message_size == b.message_size && a.task_work == b.task_work &&
+         same_platform(a.platform, b.platform);
+}
+
+}  // namespace ssco::platform

@@ -1,0 +1,41 @@
+#include "service/metrics.h"
+
+#include <sstream>
+
+#include "io/report.h"
+#include "io/table.h"
+
+namespace ssco::service {
+
+std::string format_metrics(const ServiceMetrics& metrics) {
+  std::ostringstream os;
+  os << io::banner("plan service");
+
+  io::Table shards({"shard", "size", "cap", "exact", "warm", "miss", "evict"});
+  for (std::size_t i = 0; i < metrics.shards.size(); ++i) {
+    const CacheShardMetrics& s = metrics.shards[i];
+    shards.add_row({std::to_string(i), std::to_string(s.size),
+                    std::to_string(s.capacity), std::to_string(s.exact_hits),
+                    std::to_string(s.warm_hits), std::to_string(s.misses),
+                    std::to_string(s.evictions)});
+  }
+  os << shards.to_string() << "\n";
+
+  io::Table totals({"metric", "value"});
+  totals.add_row({"submitted", std::to_string(metrics.submitted)});
+  totals.add_row({"deduplicated", std::to_string(metrics.deduplicated)});
+  totals.add_row({"exact hits", std::to_string(metrics.exact_hits)});
+  totals.add_row({"warm hits", std::to_string(metrics.warm_hits)});
+  totals.add_row({"cold solves", std::to_string(metrics.cold_solves)});
+  totals.add_row({"failed", std::to_string(metrics.failed)});
+  totals.add_row({"hit rate", io::percent(metrics.hit_rate())});
+  totals.add_row({"queue depth", std::to_string(metrics.queue_depth)});
+  totals.add_row({"max queue depth", std::to_string(metrics.max_queue_depth)});
+  totals.add_row({"latency p50", io::fixed(metrics.p50_ms, 3) + " ms"});
+  totals.add_row({"latency p90", io::fixed(metrics.p90_ms, 3) + " ms"});
+  totals.add_row({"latency p99", io::fixed(metrics.p99_ms, 3) + " ms"});
+  os << totals.to_string();
+  return os.str();
+}
+
+}  // namespace ssco::service

@@ -1,0 +1,64 @@
+#pragma once
+// Observability surface of the plan service.
+//
+// Every counter is captured atomically-enough for operations dashboards
+// (shard counters are read under the shard lock, service counters are
+// relaxed atomics), not for cross-counter invariants: a snapshot taken
+// while requests are in flight may momentarily show e.g. submitted >
+// exact_hits + warm_hits + cold_solves + queued. After drain() the books
+// balance exactly — the tests rely on that.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ssco::service {
+
+/// One cache shard's view (see plan_cache.h).
+struct CacheShardMetrics {
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+  std::size_t exact_hits = 0;
+  std::size_t warm_hits = 0;    // warm candidates handed out
+  std::size_t misses = 0;       // exact lookups that found nothing
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+};
+
+struct ServiceMetrics {
+  std::vector<CacheShardMetrics> shards;
+
+  // Request accounting (whole service).
+  std::size_t submitted = 0;
+  std::size_t deduplicated = 0;  // attached to an identical in-flight solve
+  std::size_t exact_hits = 0;    // answered from cache (inline or queued)
+  std::size_t warm_hits = 0;     // solved incrementally from a cached basis
+  std::size_t cold_solves = 0;   // solved from scratch
+  std::size_t failed = 0;        // solve threw; exception forwarded
+
+  // Queue health.
+  std::size_t queue_depth = 0;
+  std::size_t max_queue_depth = 0;
+
+  // Submit-to-fulfillment latency over a bounded reservoir of recent
+  // requests (exact hits included — they are what a client sees).
+  std::size_t latency_samples = 0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+
+  /// (exact + warm) / solved-or-served requests; the bench's headline.
+  [[nodiscard]] double hit_rate() const {
+    const std::size_t served = exact_hits + warm_hits + cold_solves;
+    return served == 0
+               ? 0.0
+               : static_cast<double>(exact_hits + warm_hits) /
+                     static_cast<double>(served);
+  }
+};
+
+/// Renders the metrics as io/report tables (shard table + totals) for
+/// benches and examples.
+[[nodiscard]] std::string format_metrics(const ServiceMetrics& metrics);
+
+}  // namespace ssco::service

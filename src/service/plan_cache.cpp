@@ -1,0 +1,104 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+
+namespace ssco::service {
+
+PlanCache::PlanCache(std::size_t num_shards, std::size_t shard_capacity)
+    : shards_(std::max<std::size_t>(1, num_shards)),
+      shard_capacity_(std::max<std::size_t>(1, shard_capacity)) {
+  for (Shard& s : shards_) s.stats.capacity = shard_capacity_;
+}
+
+std::shared_ptr<const PlanPayload> PlanCache::find_exact(
+    const CacheKey& key, std::uint64_t structure, const Verify& verify,
+    bool count_miss) {
+  Shard& s = shard_for(structure);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.by_key.find(key);
+  if (it == s.by_key.end() || !verify(*it->second->payload)) {
+    if (count_miss) ++s.stats.misses;
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote
+  ++s.stats.exact_hits;
+  return it->second->payload;
+}
+
+std::shared_ptr<const PlanPayload> PlanCache::find_warm(
+    Operation op, std::uint64_t structure, const Verify& verify) {
+  Shard& s = shard_for(structure);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto hit = [&](std::list<Entry>::iterator it) {
+    s.lru.splice(s.lru.begin(), s.lru, it);
+    s.warm_index[structure] = it->key;
+    ++s.stats.warm_hits;
+    return it->payload;
+  };
+  if (auto idx = s.warm_index.find(structure); idx != s.warm_index.end()) {
+    auto it = s.by_key.find(idx->second);
+    if (it != s.by_key.end() && it->second->key.op == op &&
+        verify(*it->second->payload)) {
+      return hit(it->second);
+    }
+  }
+  // Index stale (evicted or verifier-rejected entry): scan the shard in
+  // recency order for any compatible same-structure entry.
+  for (auto it = s.lru.begin(); it != s.lru.end(); ++it) {
+    if (it->structure == structure && it->key.op == op &&
+        verify(*it->payload)) {
+      return hit(it);
+    }
+  }
+  return nullptr;
+}
+
+void PlanCache::insert(const CacheKey& key, std::uint64_t structure,
+                       std::shared_ptr<const PlanPayload> payload) {
+  Shard& s = shard_for(structure);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (auto it = s.by_key.find(key); it != s.by_key.end()) {
+    it->second->payload = std::move(payload);
+    it->second->structure = structure;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+  } else {
+    s.lru.push_front(Entry{key, structure, std::move(payload)});
+    s.by_key.emplace(key, s.lru.begin());
+    ++s.stats.insertions;
+    while (s.by_key.size() > shard_capacity_) {
+      const Entry& victim = s.lru.back();
+      if (auto idx = s.warm_index.find(victim.structure);
+          idx != s.warm_index.end() && idx->second == victim.key) {
+        s.warm_index.erase(idx);  // find_warm's scan recovers survivors
+      }
+      s.by_key.erase(victim.key);
+      s.lru.pop_back();
+      ++s.stats.evictions;
+    }
+  }
+  s.warm_index[structure] = key;
+  s.stats.size = s.by_key.size();
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.by_key.size();
+  }
+  return total;
+}
+
+std::vector<CacheShardMetrics> PlanCache::shard_metrics() const {
+  std::vector<CacheShardMetrics> out;
+  out.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    CacheShardMetrics m = s.stats;
+    m.size = s.by_key.size();
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace ssco::service

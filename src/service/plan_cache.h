@@ -1,0 +1,93 @@
+#pragma once
+// Sharded LRU plan cache.
+//
+// Keyed by CacheKey (operation × full fingerprint × option bits); shard
+// chosen by the STRUCTURE fingerprint, so every metric-drifted variant of
+// one platform shape lands in the same shard — a warm-start candidate
+// lookup never crosses a shard boundary and therefore never takes more
+// than one lock. Each shard is an independent mutex + LRU list + hash
+// index sized at `shard_capacity` entries; eviction is strict LRU.
+//
+// Lookups take a verifier callback: a 64-bit fingerprint match is treated
+// as a CANDIDATE, and only a verifier-approved entry (exact request
+// equality for exact hits, warm compatibility for warm candidates) is
+// returned. A hash collision therefore costs a miss, never a wrong plan.
+//
+// Thread safety: all public methods are safe to call concurrently; the
+// returned payloads are shared immutable snapshots.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "service/metrics.h"
+#include "service/plan_types.h"
+
+namespace ssco::service {
+
+class PlanCache {
+ public:
+  using Verify = std::function<bool(const PlanPayload&)>;
+
+  /// `num_shards` is rounded up to at least 1; `shard_capacity` is the max
+  /// entry count PER SHARD (>= 1).
+  PlanCache(std::size_t num_shards, std::size_t shard_capacity);
+
+  /// Exact lookup: entry under `key` whose payload passes `verify`.
+  /// Promotes the entry to most-recently-used. `count_miss` lets the
+  /// worker-side re-check avoid double-billing a miss the submit path
+  /// already counted.
+  [[nodiscard]] std::shared_ptr<const PlanPayload> find_exact(
+      const CacheKey& key, std::uint64_t structure, const Verify& verify,
+      bool count_miss = true);
+
+  /// Warm-candidate lookup: most-recently-used entry in the shard with the
+  /// same operation and structure fingerprint whose payload passes
+  /// `verify`. The caller re-solves incrementally from the returned plan's
+  /// basis.
+  [[nodiscard]] std::shared_ptr<const PlanPayload> find_warm(
+      Operation op, std::uint64_t structure, const Verify& verify);
+
+  /// Inserts (or refreshes) an entry; evicts the shard's LRU tail when the
+  /// shard is full.
+  void insert(const CacheKey& key, std::uint64_t structure,
+              std::shared_ptr<const PlanPayload> payload);
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(std::uint64_t structure) const {
+    return static_cast<std::size_t>(structure) % shards_.size();
+  }
+  /// Total entries across shards (momentary).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<CacheShardMetrics> shard_metrics() const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::uint64_t structure = 0;
+    std::shared_ptr<const PlanPayload> payload;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+        by_key;
+    // structure fp -> key of the most recent same-structure entry (warm
+    // fast path; falls back to an LRU scan when stale after an eviction).
+    std::unordered_map<std::uint64_t, CacheKey> warm_index;
+    CacheShardMetrics stats;
+  };
+
+  Shard& shard_for(std::uint64_t structure) {
+    return shards_[shard_of(structure)];
+  }
+
+  std::vector<Shard> shards_;
+  std::size_t shard_capacity_;
+};
+
+}  // namespace ssco::service

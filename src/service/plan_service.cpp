@@ -1,0 +1,266 @@
+#include "service/plan_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssco::service {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+PlanService::PlanService(PlanServiceOptions options)
+    : options_(options),
+      cache_(options.num_shards, options.shard_capacity) {
+  std::size_t workers = options_.num_workers;
+  if (workers == 0) {
+    workers = std::max(2u, std::thread::hardware_concurrency());
+  }
+  options_.latency_reservoir =
+      std::max<std::size_t>(1, options_.latency_reservoir);
+  latency_ms_.reserve(std::min<std::size_t>(options_.latency_reservoir, 4096));
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PlanService::~PlanService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<PlanResult> PlanService::submit(PlanRequest request) {
+  const auto start = std::chrono::steady_clock::now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const RequestDigest d = digest(request);
+
+  // Exact-hit fast path: answered inline, no queue, no solve.
+  auto verify_exact = [&request](const PlanPayload& p) {
+    return same_request(request, p.request);
+  };
+  if (auto payload =
+          cache_.find_exact(d.key, d.fingerprint.structure, verify_exact)) {
+    exact_hits_.fetch_add(1, std::memory_order_relaxed);
+    PlanResult result;
+    result.payload = std::move(payload);
+    result.source = PlanResult::Source::kExactHit;
+    result.fingerprint = d.fingerprint;
+    result.latency_ms = ms_since(start);
+    record_latency(result.latency_ms);
+    std::promise<PlanResult> ready;
+    auto future = ready.get_future();
+    ready.set_value(std::move(result));
+    return future;
+  }
+
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (stopping_) {
+    throw std::runtime_error("PlanService::submit after shutdown");
+  }
+  // Single-flight: attach to an identical request already being solved.
+  if (auto it = inflight_.find(d.key);
+      it != inflight_.end() && same_request(request, it->second->request)) {
+    deduplicated_.fetch_add(1, std::memory_order_relaxed);
+    it->second->waiters.emplace_back();
+    return it->second->waiters.back().get_future();
+  }
+  auto job = std::make_shared<Inflight>();
+  job->key = d.key;
+  job->fingerprint = d.fingerprint;
+  job->request = std::move(request);
+  job->submitted = start;
+  job->waiters.emplace_back();
+  auto future = job->waiters.back().get_future();
+  inflight_[d.key] = job;
+  queue_.push_back(std::move(job));
+  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  queue_cv_.notify_one();
+  return future;
+}
+
+void PlanService::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Inflight> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_jobs_;
+    }
+    process(job);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --active_jobs_;
+      if (queue_.empty() && active_jobs_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void PlanService::process(const std::shared_ptr<Inflight>& job) {
+  auto drop_inflight = [&] {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (auto it = inflight_.find(job->key);
+        it != inflight_.end() && it->second == job) {
+      inflight_.erase(it);
+    }
+  };
+  auto fulfill = [&](std::shared_ptr<const PlanPayload> payload,
+                     PlanResult::Source source) {
+    drop_inflight();
+    PlanResult result;
+    result.payload = std::move(payload);
+    result.source = source;
+    result.fingerprint = job->fingerprint;
+    result.latency_ms = ms_since(job->submitted);
+    // One sample per waiter: each deduplicated waiter is a request a
+    // client is blocked on (their true wait started at most this long
+    // ago, so the reservoir over-reports dedup latency slightly).
+    for (std::promise<PlanResult>& waiter : job->waiters) {
+      record_latency(result.latency_ms);
+      waiter.set_value(result);
+    }
+  };
+
+  try {
+    // Re-check the cache: a racing worker (or a submit that lost the
+    // inflight-registration race) may have filled this key meanwhile.
+    auto verify_exact = [&job](const PlanPayload& p) {
+      return same_request(job->request, p.request);
+    };
+    if (auto payload =
+            cache_.find_exact(job->key, job->fingerprint.structure,
+                              verify_exact, /*count_miss=*/false)) {
+      exact_hits_.fetch_add(1, std::memory_order_relaxed);
+      fulfill(std::move(payload), PlanResult::Source::kExactHit);
+      return;
+    }
+
+    std::shared_ptr<const PlanPayload> warm_from;
+    if (options_.enable_warm_start) {
+      warm_from = cache_.find_warm(
+          job->key.op, job->fingerprint.structure,
+          [&job](const PlanPayload& p) {
+            return warm_compatible(job->request, p.request);
+          });
+    }
+    std::shared_ptr<PlanPayload> payload = solve(job->request, warm_from);
+    const bool warm = warm_from != nullptr && payload->warm_started();
+    (warm ? warm_hits_ : cold_solves_).fetch_add(1, std::memory_order_relaxed);
+    cache_.insert(job->key, job->fingerprint.structure, payload);
+    fulfill(std::move(payload), warm ? PlanResult::Source::kWarmHit
+                                     : PlanResult::Source::kColdSolve);
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    drop_inflight();
+    for (std::promise<PlanResult>& waiter : job->waiters) {
+      waiter.set_exception(std::current_exception());
+    }
+  }
+}
+
+std::shared_ptr<PlanPayload> PlanService::solve(
+    const PlanRequest& request,
+    const std::shared_ptr<const PlanPayload>& warm_from) const {
+  auto payload = std::make_shared<PlanPayload>();
+  payload->op = request.operation();
+  payload->request = request;
+  std::visit(
+      [&](const auto& instance) {
+        using T = std::decay_t<decltype(instance)>;
+        if constexpr (std::is_same_v<T, platform::ReduceInstance>) {
+          const core::ReducePlan* previous =
+              warm_from && warm_from->reduce ? warm_from->reduce.get()
+                                             : nullptr;
+          payload->reduce = std::make_shared<core::ReducePlan>(
+              core::optimize_reduce(instance, request.options, previous));
+        } else {
+          const core::FlowPlan* previous =
+              warm_from && warm_from->flow ? warm_from->flow.get() : nullptr;
+          if constexpr (std::is_same_v<T, platform::ScatterInstance>) {
+            payload->flow = std::make_shared<core::FlowPlan>(
+                core::optimize_scatter(instance, request.options, previous));
+          } else {
+            payload->flow = std::make_shared<core::FlowPlan>(
+                core::optimize_gossip(instance, request.options, previous));
+          }
+        }
+      },
+      request.instance);
+  return payload;
+}
+
+void PlanService::record_latency(double ms) {
+  // One global reservoir lock is fine at this tier: the critical section is
+  // a single vector write, and the exact-hit submit path it sits on is
+  // dominated by the WL fingerprint digest (tens of microseconds), not by
+  // this mutex. Revisit (striped reservoirs or 1-in-N sampling) only if a
+  // profile ever shows hand-off here.
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (latency_ms_.size() < options_.latency_reservoir) {
+    latency_ms_.push_back(ms);
+  } else {
+    latency_ms_[latency_next_] = ms;
+    latency_next_ = (latency_next_ + 1) % latency_ms_.size();
+  }
+}
+
+void PlanService::drain() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  idle_cv_.wait(lock, [this] {
+    return queue_.empty() && active_jobs_ == 0 && inflight_.empty();
+  });
+}
+
+ServiceMetrics PlanService::metrics() const {
+  ServiceMetrics m;
+  m.shards = cache_.shard_metrics();
+  m.submitted = submitted_.load(std::memory_order_relaxed);
+  m.deduplicated = deduplicated_.load(std::memory_order_relaxed);
+  m.exact_hits = exact_hits_.load(std::memory_order_relaxed);
+  m.warm_hits = warm_hits_.load(std::memory_order_relaxed);
+  m.cold_solves = cold_solves_.load(std::memory_order_relaxed);
+  m.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    m.queue_depth = queue_.size();
+    m.max_queue_depth = max_queue_depth_;
+  }
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    samples = latency_ms_;
+  }
+  m.latency_samples = samples.size();
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    auto pct = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          std::ceil(q * static_cast<double>(samples.size() - 1)));
+      return samples[idx];
+    };
+    m.p50_ms = pct(0.50);
+    m.p90_ms = pct(0.90);
+    m.p99_ms = pct(0.99);
+  }
+  return m;
+}
+
+}  // namespace ssco::service

@@ -1,0 +1,127 @@
+#pragma once
+// Concurrent steady-state plan service.
+//
+// Turns the solver library into a servable system: many clients submit
+// planning requests (operation × platform × options) concurrently and get
+// back futures of shared, immutable plans. The serving pipeline:
+//
+//   submit(request)
+//     ├─ exact cache hit (same fingerprint + verified identical request)
+//     │    → ready future, O(1), no solve                     [exact hit]
+//     ├─ identical request already in flight
+//     │    → attach to it (single-flight dedup), one solve serves all
+//     └─ otherwise → enqueue on the batching request queue
+//          worker pool (fixed size) pops:
+//            ├─ re-check cache (a racing worker may have filled it)
+//            ├─ warm candidate (same structure fingerprint, verified same
+//            │   shape) → incremental re-solve from its basis via the
+//            │   dual-simplex warm path (lp/warm_start.h)      [warm hit]
+//            └─ cold solve                                     [cold solve]
+//          then insert into the cache and fulfill every waiter.
+//
+// Warm and cold solves run through the identical ExactSolver certificate
+// paths, so every served plan is exact and certified regardless of how it
+// was produced — a warm hit is indistinguishable from a cold solve except
+// in latency.
+//
+// Thread-safety contract: every public method may be called from any
+// thread. Shutdown (destructor) stops intake, finishes every queued job,
+// and joins the workers — futures obtained from submit() are always
+// fulfilled (with a plan or an exception), never abandoned.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.h"
+#include "service/plan_cache.h"
+#include "service/plan_types.h"
+
+namespace ssco::service {
+
+struct PlanServiceOptions {
+  /// Solver worker threads; 0 = max(2, hardware_concurrency()).
+  std::size_t num_workers = 0;
+  std::size_t num_shards = 8;
+  /// Cached plans per shard.
+  std::size_t shard_capacity = 128;
+  /// Serve near hits by warm-starting from a same-structure cached basis;
+  /// off = every miss solves cold (the bench's baseline mode).
+  bool enable_warm_start = true;
+  /// Submit-to-fulfillment latency samples kept for the percentile report.
+  std::size_t latency_reservoir = 1 << 14;
+};
+
+class PlanService {
+ public:
+  explicit PlanService(PlanServiceOptions options = {});
+  ~PlanService();
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// Submits one planning request. Returns immediately; the future is
+  /// fulfilled inline on an exact cache hit, else by a worker. Throws
+  /// std::runtime_error if called during/after shutdown. A request whose
+  /// solve throws (e.g. unreachable target) forwards the exception through
+  /// the future to every deduplicated waiter.
+  [[nodiscard]] std::future<PlanResult> submit(PlanRequest request);
+
+  /// Blocks until every submitted request has been fulfilled and the
+  /// queue is empty. (New submissions during drain() extend the wait.)
+  void drain();
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+
+ private:
+  struct Inflight {
+    CacheKey key;
+    platform::Fingerprint fingerprint;
+    PlanRequest request;
+    std::vector<std::promise<PlanResult>> waiters;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void worker_loop();
+  void process(const std::shared_ptr<Inflight>& job);
+  /// Solves `request` (warm from `warm_from` when given); returns the
+  /// cache-ready payload.
+  std::shared_ptr<PlanPayload> solve(
+      const PlanRequest& request,
+      const std::shared_ptr<const PlanPayload>& warm_from) const;
+  void record_latency(double ms);
+
+  PlanServiceOptions options_;
+  PlanCache cache_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<Inflight>> queue_;
+  std::unordered_map<CacheKey, std::shared_ptr<Inflight>, CacheKeyHash>
+      inflight_;
+  bool stopping_ = false;
+  std::size_t active_jobs_ = 0;
+
+  // Service counters (queue_mu_ for queue stats; the rest relaxed atomics).
+  std::size_t max_queue_depth_ = 0;
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> deduplicated_{0};
+  std::atomic<std::size_t> exact_hits_{0};
+  std::atomic<std::size_t> warm_hits_{0};
+  std::atomic<std::size_t> cold_solves_{0};
+  std::atomic<std::size_t> failed_{0};
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ms_;
+  std::size_t latency_next_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ssco::service

@@ -1,0 +1,119 @@
+#include "service/plan_types.h"
+
+namespace ssco::service {
+
+namespace {
+
+std::uint64_t option_bits(const core::PlanOptions& options) {
+  return options.allow_split_messages ? 1 : 0;
+}
+
+}  // namespace
+
+const char* to_string(Operation op) {
+  switch (op) {
+    case Operation::kScatter:
+      return "scatter";
+    case Operation::kGossip:
+      return "gossip";
+    case Operation::kReduce:
+      return "reduce";
+  }
+  return "?";
+}
+
+const char* to_string(PlanResult::Source source) {
+  switch (source) {
+    case PlanResult::Source::kExactHit:
+      return "exact-hit";
+    case PlanResult::Source::kWarmHit:
+      return "warm-hit";
+    case PlanResult::Source::kColdSolve:
+      return "cold-solve";
+  }
+  return "?";
+}
+
+const platform::Platform& PlanRequest::platform() const {
+  return std::visit(
+      [](const auto& instance) -> const platform::Platform& {
+        return instance.platform;
+      },
+      instance);
+}
+
+RequestDigest digest(const PlanRequest& request) {
+  RequestDigest d;
+  d.fingerprint = std::visit(
+      [](const auto& instance) { return platform::fingerprint(instance); },
+      request.instance);
+  d.key.op = request.operation();
+  d.key.fingerprint = d.fingerprint.full;
+  d.key.option_bits = option_bits(request.options);
+  return d;
+}
+
+bool same_request(const PlanRequest& a, const PlanRequest& b) {
+  if (a.operation() != b.operation()) return false;
+  if (option_bits(a.options) != option_bits(b.options)) return false;
+  return std::visit(
+      [&](const auto& ia) {
+        using T = std::decay_t<decltype(ia)>;
+        return platform::same_instance(ia, std::get<T>(b.instance));
+      },
+      a.instance);
+}
+
+namespace {
+
+bool same_roles(const platform::ScatterInstance& a,
+                const platform::ScatterInstance& b) {
+  return a.source == b.source && a.targets == b.targets;
+}
+bool same_roles(const platform::GossipInstance& a,
+                const platform::GossipInstance& b) {
+  return a.sources == b.sources && a.targets == b.targets;
+}
+bool same_roles(const platform::ReduceInstance& a,
+                const platform::ReduceInstance& b) {
+  return a.participants == b.participants && a.target == b.target;
+}
+
+}  // namespace
+
+bool warm_compatible(const PlanRequest& request, const PlanRequest& cached) {
+  if (request.operation() != cached.operation()) return false;
+  if (option_bits(request.options) != option_bits(cached.options)) {
+    return false;
+  }
+  return std::visit(
+      [&](const auto& ia) {
+        using T = std::decay_t<decltype(ia)>;
+        const auto& ib = std::get<T>(cached.instance);
+        return same_roles(ia, ib) &&
+               platform::same_shape(ia.platform, ib.platform);
+      },
+      request.instance);
+}
+
+const num::Rational& PlanPayload::throughput() const {
+  return op == Operation::kReduce ? reduce->solution.throughput
+                                  : flow->flow.throughput;
+}
+
+bool PlanPayload::certified() const {
+  return op == Operation::kReduce ? reduce->solution.certified
+                                  : flow->flow.certified;
+}
+
+bool PlanPayload::warm_started() const {
+  return op == Operation::kReduce ? reduce->solution.warm_started
+                                  : flow->flow.warm_started;
+}
+
+std::size_t PlanPayload::lp_pivots() const {
+  return op == Operation::kReduce ? reduce->solution.lp_pivots
+                                  : flow->flow.lp_pivots;
+}
+
+}  // namespace ssco::service

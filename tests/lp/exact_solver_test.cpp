@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 namespace ssco::lp {
 namespace {
 
@@ -158,6 +162,38 @@ TEST(ExactSolver, DegenerateVertexStillCertifies) {
   ASSERT_EQ(sol.status, SolveStatus::kOptimal);
   EXPECT_TRUE(sol.certified);
   EXPECT_EQ(sol.objective, Rational(2));
+}
+
+TEST(ExactSolver, StatsAggregateAcrossConcurrentSolves) {
+  // The documented contract: one solver, many concurrent solve() calls,
+  // each with its own SolveContext; the atomic stats must not lose counts.
+  const ExactSolver solver;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSolvesPerThread = 16;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<std::size_t> optimal{0};
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      SolveContext context;
+      for (std::size_t i = 0; i < kSolvesPerThread; ++i) {
+        auto sol = solver.solve(classic(), &context);
+        if (sol.status == SolveStatus::kOptimal && sol.certified &&
+            sol.objective == Rational(14, 5)) {
+          optimal.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(optimal.load(), kThreads * kSolvesPerThread);
+  const SolverStats stats = solver.stats();
+  EXPECT_EQ(stats.solves, kThreads * kSolvesPerThread);
+  // Every solve after a thread's first replays that thread's context basis.
+  EXPECT_EQ(stats.warm_attempts, kThreads * (kSolvesPerThread - 1));
+  EXPECT_EQ(stats.warm_solves, stats.warm_attempts);
+  EXPECT_GT(stats.float_pivots, 0u);
+  EXPECT_EQ(stats.exact_fallbacks, 0u);
 }
 
 }  // namespace

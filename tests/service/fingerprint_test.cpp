@@ -1,0 +1,192 @@
+// Fingerprint unit tests: isomorphism stability (node relabeling and edge
+// reordering must not move the digest), sensitivity (costs, speeds, roles,
+// topology and sizes must), structure/full separation for the warm path,
+// and collision sanity over a family of random platforms.
+
+#include "platform/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "platform/delta.h"
+#include "testing/util.h"
+
+namespace ssco::platform {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using num::Rational;
+using testing::random_platform;
+using testing::random_scatter_instance;
+
+/// Rebuilds `p` with node ids permuted (`new_of[old]`) and the edge list
+/// reversed, i.e. an isomorphic copy whose every identifier differs.
+Platform relabel(const Platform& p, const std::vector<NodeId>& new_of) {
+  const std::size_t n = p.num_nodes();
+  graph::Digraph g(n);
+  std::vector<Rational> costs;
+  costs.reserve(p.num_edges());
+  for (std::size_t i = p.num_edges(); i-- > 0;) {
+    const auto& e = p.graph().edge(i);
+    g.add_edge(new_of[e.src], new_of[e.dst]);
+    costs.push_back(p.edge_cost(i));
+  }
+  std::vector<Rational> speeds(n, Rational(1));
+  for (NodeId v = 0; v < n; ++v) speeds[new_of[v]] = p.node_speed(v);
+  return Platform(std::move(g), std::move(costs), std::move(speeds));
+}
+
+std::vector<NodeId> rotation(std::size_t n, std::size_t shift) {
+  std::vector<NodeId> new_of(n);
+  for (NodeId v = 0; v < n; ++v) new_of[v] = (v + shift) % n;
+  return new_of;
+}
+
+TEST(FingerprintTest, RelabeledPlatformFingerprintsIdentically) {
+  for (std::uint64_t seed : {7u, 21u, 99u}) {
+    ScatterInstance a = random_scatter_instance(seed, 12, 5);
+    const std::vector<NodeId> new_of = rotation(12, 5);
+    ScatterInstance b;
+    b.platform = relabel(a.platform, new_of);
+    b.source = new_of[a.source];
+    for (NodeId t : a.targets) b.targets.push_back(new_of[t]);
+    b.message_size = a.message_size;
+    EXPECT_EQ(fingerprint(a), fingerprint(b)) << "seed " << seed;
+  }
+}
+
+TEST(FingerprintTest, RoleRelabelingMustFollowTheNodes) {
+  // Permuting the platform but NOT the roles is a different problem.
+  ScatterInstance a = random_scatter_instance(5, 10, 4);
+  ScatterInstance b = a;
+  b.platform = relabel(a.platform, rotation(10, 3));
+  EXPECT_NE(fingerprint(a).full, fingerprint(b).full);
+}
+
+TEST(FingerprintTest, CostDriftMovesFullKeepsStructure) {
+  ScatterInstance a = random_scatter_instance(11, 10, 4);
+  ScatterInstance b = a;
+  // Drift one edge cost by 5%.
+  std::vector<Rational> costs = a.platform.edge_costs();
+  PlatformDelta delta;
+  delta.cost_changes.push_back({0, costs[0] * Rational(21, 20)});
+  b.platform = apply_delta(a.platform, delta).platform;
+  const Fingerprint fa = fingerprint(a);
+  const Fingerprint fb = fingerprint(b);
+  EXPECT_NE(fa.full, fb.full);
+  EXPECT_EQ(fa.structure, fb.structure);
+  EXPECT_TRUE(same_shape(a.platform, b.platform));
+  EXPECT_FALSE(same_platform(a.platform, b.platform));
+}
+
+TEST(FingerprintTest, SpeedChangeMovesFullKeepsStructure) {
+  ScatterInstance a = random_scatter_instance(13, 10, 4);
+  ScatterInstance b = a;
+  PlatformDelta delta;
+  delta.speed_changes.push_back({3, a.platform.node_speed(3) + Rational(1)});
+  b.platform = apply_delta(a.platform, delta).platform;
+  EXPECT_NE(fingerprint(a).full, fingerprint(b).full);
+  EXPECT_EQ(fingerprint(a).structure, fingerprint(b).structure);
+}
+
+TEST(FingerprintTest, TopologyChangeMovesBothDigests) {
+  ScatterInstance a = random_scatter_instance(17, 10, 4);
+  ScatterInstance b = a;
+  // Add an edge between two previously unlinked nodes.
+  bool added = false;
+  for (NodeId u = 0; u < 10 && !added; ++u) {
+    for (NodeId v = 0; v < 10 && !added; ++v) {
+      if (u == v || a.platform.graph().has_edge(u, v)) continue;
+      PlatformDelta delta;
+      delta.edge_adds.push_back({u, v, Rational(1)});
+      b.platform = apply_delta(a.platform, delta).platform;
+      added = true;
+    }
+  }
+  ASSERT_TRUE(added);
+  EXPECT_NE(fingerprint(a).full, fingerprint(b).full);
+  EXPECT_NE(fingerprint(a).structure, fingerprint(b).structure);
+  EXPECT_FALSE(same_shape(a.platform, b.platform));
+}
+
+TEST(FingerprintTest, RolesAndSizesAreLoadBearing) {
+  ScatterInstance a = random_scatter_instance(23, 10, 4);
+
+  ScatterInstance other_source = a;
+  other_source.source = 1;
+  EXPECT_NE(fingerprint(a).full, fingerprint(other_source).full);
+  EXPECT_NE(fingerprint(a).structure, fingerprint(other_source).structure);
+
+  ScatterInstance reordered = a;
+  std::swap(reordered.targets[0], reordered.targets[1]);
+  EXPECT_NE(fingerprint(a).full, fingerprint(reordered).full);
+
+  ScatterInstance resized = a;
+  resized.message_size = Rational(2);
+  EXPECT_NE(fingerprint(a).full, fingerprint(resized).full);
+  // Message size is metric, not structure: warm-start still applies.
+  EXPECT_EQ(fingerprint(a).structure, fingerprint(resized).structure);
+}
+
+TEST(FingerprintTest, OperationsSeparateOnTheSamePlatform) {
+  Platform p = random_platform(31, 10);
+  ScatterInstance s;
+  s.platform = p;
+  s.source = 0;
+  s.targets = {8, 9};
+  ReduceInstance r;
+  r.platform = p;
+  r.participants = {8, 9};
+  r.target = 9;
+  GossipInstance g;
+  g.platform = p;
+  g.sources = {0};
+  g.targets = {8, 9};
+  const std::set<std::uint64_t> fps = {fingerprint(s).full,
+                                       fingerprint(r).full,
+                                       fingerprint(g).full};
+  EXPECT_EQ(fps.size(), 3u);
+}
+
+TEST(FingerprintTest, ReduceParticipantOrderIsLoadBearing) {
+  // The paper's reduce operator is non-commutative; swapping the logical
+  // order of two participants is a different problem.
+  ReduceInstance a = testing::random_reduce_instance(37, 10, 4);
+  ReduceInstance b = a;
+  std::swap(b.participants[0], b.participants[1]);
+  EXPECT_NE(fingerprint(a).full, fingerprint(b).full);
+  EXPECT_FALSE(same_instance(a, b));
+}
+
+TEST(FingerprintTest, NoCollisionsAcrossRandomFamily) {
+  std::set<std::uint64_t> full_digests;
+  std::set<std::uint64_t> structure_digests;
+  std::size_t count = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    for (std::size_t n : {8u, 12u}) {
+      ScatterInstance inst = random_scatter_instance(seed, n, 3);
+      const Fingerprint fp = fingerprint(inst);
+      full_digests.insert(fp.full);
+      structure_digests.insert(fp.structure);
+      ++count;
+    }
+  }
+  EXPECT_EQ(full_digests.size(), count);
+  // Distinct random topologies must also separate structurally (same-seed
+  // platforms differ in edges, not just costs).
+  EXPECT_EQ(structure_digests.size(), count);
+}
+
+TEST(FingerprintTest, DeterministicAcrossCalls) {
+  ScatterInstance inst = random_scatter_instance(41, 12, 5);
+  const Fingerprint first = fingerprint(inst);
+  EXPECT_EQ(first, fingerprint(inst));
+  EXPECT_TRUE(same_instance(inst, inst));
+}
+
+}  // namespace
+}  // namespace ssco::platform

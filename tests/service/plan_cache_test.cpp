@@ -1,0 +1,152 @@
+// Sharded-LRU plan cache unit tests: hit/miss/verify semantics, strict LRU
+// eviction at capacity, warm-index behavior across evictions, and shard
+// metric accounting. Payloads here are synthetic (no LP solves) — the cache
+// never looks inside a plan.
+
+#include "service/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testing/util.h"
+
+namespace ssco::service {
+namespace {
+
+PlanRequest scatter_request(std::uint64_t seed) {
+  PlanRequest request;
+  request.instance = testing::random_scatter_instance(seed, 8, 3);
+  return request;
+}
+
+std::shared_ptr<const PlanPayload> payload_for(const PlanRequest& request) {
+  auto payload = std::make_shared<PlanPayload>();
+  payload->op = request.operation();
+  payload->flow = std::make_shared<core::FlowPlan>();
+  payload->request = request;
+  return payload;
+}
+
+CacheKey key_of(Operation op, std::uint64_t fp) {
+  CacheKey key;
+  key.op = op;
+  key.fingerprint = fp;
+  return key;
+}
+
+const PlanCache::Verify kAny = [](const PlanPayload&) { return true; };
+const PlanCache::Verify kNone = [](const PlanPayload&) { return false; };
+
+TEST(PlanCacheTest, InsertFindRoundtrip) {
+  PlanCache cache(4, 8);
+  const PlanRequest request = scatter_request(1);
+  const CacheKey key = key_of(Operation::kScatter, 100);
+  EXPECT_EQ(cache.find_exact(key, 5, kAny), nullptr);
+  cache.insert(key, 5, payload_for(request));
+  auto hit = cache.find_exact(key, 5, kAny);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(same_request(hit->request, request));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, VerifierRejectsCollisions) {
+  // Same 64-bit key, different underlying request: the verifier is the
+  // collision guard and must turn the lookup into a miss.
+  PlanCache cache(1, 8);
+  const CacheKey key = key_of(Operation::kScatter, 100);
+  cache.insert(key, 5, payload_for(scatter_request(1)));
+  EXPECT_EQ(cache.find_exact(key, 5, kNone), nullptr);
+  EXPECT_NE(cache.find_exact(key, 5, kAny), nullptr);
+}
+
+TEST(PlanCacheTest, LruEvictionAtCapacity) {
+  PlanCache cache(1, 3);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    cache.insert(key_of(Operation::kScatter, i), i, payload_for(scatter_request(i)));
+  }
+  // Touch key 0 so key 1 becomes the LRU tail.
+  EXPECT_NE(cache.find_exact(key_of(Operation::kScatter, 0), 0, kAny), nullptr);
+  cache.insert(key_of(Operation::kScatter, 9), 9, payload_for(scatter_request(9)));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.find_exact(key_of(Operation::kScatter, 1), 1, kAny), nullptr);
+  EXPECT_NE(cache.find_exact(key_of(Operation::kScatter, 0), 0, kAny), nullptr);
+  EXPECT_NE(cache.find_exact(key_of(Operation::kScatter, 2), 2, kAny), nullptr);
+  EXPECT_NE(cache.find_exact(key_of(Operation::kScatter, 9), 9, kAny), nullptr);
+}
+
+TEST(PlanCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  PlanCache cache(1, 2);
+  const CacheKey key = key_of(Operation::kScatter, 7);
+  cache.insert(key, 7, payload_for(scatter_request(1)));
+  cache.insert(key, 7, payload_for(scatter_request(2)));
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.find_exact(key, 7, kAny);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(same_request(hit->request, scatter_request(2)));
+}
+
+TEST(PlanCacheTest, WarmLookupFindsSameStructureEntry) {
+  PlanCache cache(2, 8);
+  const std::uint64_t structure = 42;
+  cache.insert(key_of(Operation::kScatter, 1), structure,
+               payload_for(scatter_request(1)));
+  cache.insert(key_of(Operation::kScatter, 2), structure,
+               payload_for(scatter_request(2)));
+  // Most recent same-structure entry wins.
+  auto warm = cache.find_warm(Operation::kScatter, structure, kAny);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_TRUE(same_request(warm->request, scatter_request(2)));
+  // Wrong operation or structure: no candidate.
+  EXPECT_EQ(cache.find_warm(Operation::kReduce, structure, kAny), nullptr);
+  EXPECT_EQ(cache.find_warm(Operation::kScatter, 43, kAny), nullptr);
+}
+
+TEST(PlanCacheTest, WarmIndexSurvivesEvictionOfLatestEntry) {
+  // Evicting the entry the warm index points at must fall back to an older
+  // same-structure survivor, not to a miss.
+  PlanCache cache(1, 2);
+  const std::uint64_t structure = 42;
+  cache.insert(key_of(Operation::kScatter, 1), structure,
+               payload_for(scatter_request(1)));
+  cache.insert(key_of(Operation::kScatter, 2), structure,
+               payload_for(scatter_request(2)));
+  // Touch key 1, then insert a different-structure entry: key 2 (the warm
+  // index target for `structure`) is the LRU victim.
+  EXPECT_NE(cache.find_exact(key_of(Operation::kScatter, 1), structure, kAny),
+            nullptr);
+  cache.insert(key_of(Operation::kScatter, 3), 99,
+               payload_for(scatter_request(3)));
+  auto warm = cache.find_warm(Operation::kScatter, structure, kAny);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_TRUE(same_request(warm->request, scatter_request(1)));
+}
+
+TEST(PlanCacheTest, ShardMetricsAccount) {
+  PlanCache cache(2, 4);
+  const std::uint64_t structure = 6;  // shard 6 % 2 == 0
+  const CacheKey key = key_of(Operation::kScatter, 11);
+  EXPECT_EQ(cache.find_exact(key, structure, kAny), nullptr);
+  cache.insert(key, structure, payload_for(scatter_request(1)));
+  EXPECT_NE(cache.find_exact(key, structure, kAny), nullptr);
+  // Worker-side re-check: misses with count_miss=false are not billed.
+  EXPECT_EQ(cache.find_exact(key_of(Operation::kScatter, 12), structure, kAny,
+                             /*count_miss=*/false),
+            nullptr);
+  EXPECT_NE(cache.find_warm(Operation::kScatter, structure, kAny), nullptr);
+
+  const auto metrics = cache.shard_metrics();
+  ASSERT_EQ(metrics.size(), 2u);
+  const std::size_t shard = cache.shard_of(structure);
+  EXPECT_EQ(metrics[shard].exact_hits, 1u);
+  EXPECT_EQ(metrics[shard].warm_hits, 1u);
+  EXPECT_EQ(metrics[shard].misses, 1u);
+  EXPECT_EQ(metrics[shard].insertions, 1u);
+  EXPECT_EQ(metrics[shard].evictions, 0u);
+  EXPECT_EQ(metrics[shard].size, 1u);
+  EXPECT_EQ(metrics[shard].capacity, 4u);
+  EXPECT_EQ(metrics[1 - shard].size, 0u);
+}
+
+}  // namespace
+}  // namespace ssco::service

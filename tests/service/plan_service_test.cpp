@@ -1,0 +1,230 @@
+// PlanService integration tests: cold→exact-hit serving, warm re-solve on
+// metric drift (certificate-identical to a cold solve), multi-threaded
+// single-flight deduplication (N identical concurrent requests → exactly
+// one cold solve), per-operation coverage, failure propagation and metric
+// bookkeeping. This suite is the TSan CI target — keep everything here
+// data-race-clean by construction.
+
+#include "service/plan_service.h"
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/steady_state.h"
+#include "platform/delta.h"
+#include "service/metrics.h"
+#include "testing/util.h"
+
+namespace ssco::service {
+namespace {
+
+using num::Rational;
+
+PlanRequest scatter_request(std::uint64_t seed, std::size_t n = 10,
+                            std::size_t targets = 4) {
+  PlanRequest request;
+  request.instance = testing::random_scatter_instance(seed, n, targets);
+  return request;
+}
+
+const platform::ScatterInstance& scatter_of(const PlanRequest& request) {
+  return std::get<platform::ScatterInstance>(request.instance);
+}
+
+TEST(PlanServiceTest, ColdSolveThenExactHit) {
+  PlanServiceOptions options;
+  options.num_workers = 2;
+  PlanService service(options);
+
+  const PlanRequest request = scatter_request(3);
+  PlanResult first = service.submit(request).get();
+  EXPECT_EQ(first.source, PlanResult::Source::kColdSolve);
+  ASSERT_NE(first.payload, nullptr);
+  EXPECT_TRUE(first.payload->certified());
+
+  const core::FlowPlan direct = core::optimize_scatter(scatter_of(request));
+  EXPECT_EQ(first.throughput(), direct.flow.throughput);
+
+  PlanResult second = service.submit(request).get();
+  EXPECT_EQ(second.source, PlanResult::Source::kExactHit);
+  // An exact hit hands out the SAME immutable plan, not a copy.
+  EXPECT_EQ(second.payload, first.payload);
+
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.cold_solves, 1u);
+  EXPECT_EQ(metrics.exact_hits, 1u);
+  EXPECT_EQ(metrics.submitted, 2u);
+}
+
+TEST(PlanServiceTest, WarmHitOnDriftIsCertificateIdenticalToCold) {
+  PlanServiceOptions options;
+  options.num_workers = 2;
+  PlanService service(options);
+
+  const PlanRequest base = scatter_request(5);
+  (void)service.submit(base).get();
+
+  // Drift one link cost by 5% — same structure fingerprint, new metrics.
+  PlanRequest drifted = base;
+  platform::PlatformDelta delta;
+  delta.cost_changes.push_back(
+      {0, scatter_of(base).platform.edge_cost(0) * Rational(21, 20)});
+  std::get<platform::ScatterInstance>(drifted.instance).platform =
+      platform::apply_delta(scatter_of(base).platform, delta).platform;
+
+  PlanResult warm = service.submit(drifted).get();
+  EXPECT_EQ(warm.source, PlanResult::Source::kWarmHit);
+  EXPECT_TRUE(warm.payload->certified());
+  EXPECT_EQ(warm.fingerprint.structure, digest(base).fingerprint.structure);
+  EXPECT_NE(warm.fingerprint.full, digest(base).fingerprint.full);
+
+  // The warm plan must be indistinguishable from a cold solve of the same
+  // instance: identical exact throughput and per-commodity flows.
+  const core::FlowPlan cold = core::optimize_scatter(scatter_of(drifted));
+  EXPECT_EQ(warm.throughput(), cold.flow.throughput);
+  ASSERT_EQ(warm.payload->flow->flow.commodities.size(),
+            cold.flow.commodities.size());
+  EXPECT_EQ(service.metrics().warm_hits, 1u);
+}
+
+TEST(PlanServiceTest, SingleFlightManyThreadsOneColdSolve) {
+  PlanServiceOptions options;
+  options.num_workers = 3;
+  PlanService service(options);
+
+  const PlanRequest request = scatter_request(7);
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 25;
+
+  std::vector<Rational> throughputs(kThreads * kPerThread);
+  std::barrier gate(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      gate.arrive_and_wait();
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        throughputs[t * kPerThread + i] =
+            service.submit(request).get().throughput();
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  service.drain();
+
+  for (const Rational& tp : throughputs) {
+    EXPECT_EQ(tp, throughputs.front());
+  }
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.cold_solves, 1u) << "single-flight must dedup";
+  EXPECT_EQ(metrics.warm_hits, 0u);
+  EXPECT_EQ(metrics.submitted, kThreads * kPerThread);
+  // Every other request was deduplicated onto the in-flight solve or
+  // answered from the cache.
+  EXPECT_EQ(metrics.exact_hits + metrics.deduplicated,
+            kThreads * kPerThread - 1);
+  EXPECT_EQ(metrics.failed, 0u);
+}
+
+TEST(PlanServiceTest, ServesAllThreeOperations) {
+  PlanServiceOptions options;
+  options.num_workers = 2;
+  PlanService service(options);
+
+  PlanRequest gossip;
+  {
+    platform::GossipInstance inst;
+    inst.platform = testing::random_platform(11, 8);
+    inst.sources = {0, 1};
+    inst.targets = {6, 7};
+    gossip.instance = inst;
+  }
+  PlanRequest reduce;
+  reduce.instance = testing::random_reduce_instance(13, 8, 3);
+
+  auto gossip_future = service.submit(gossip);
+  auto reduce_future = service.submit(reduce);
+  const PlanResult g = gossip_future.get();
+  const PlanResult r = reduce_future.get();
+
+  EXPECT_TRUE(g.payload->certified());
+  EXPECT_TRUE(r.payload->certified());
+  ASSERT_NE(g.payload->flow, nullptr);
+  ASSERT_NE(r.payload->reduce, nullptr);
+  EXPECT_EQ(g.throughput(),
+            core::optimize_gossip(
+                std::get<platform::GossipInstance>(gossip.instance))
+                .flow.throughput);
+  EXPECT_EQ(r.throughput(),
+            core::optimize_reduce(
+                std::get<platform::ReduceInstance>(reduce.instance))
+                .solution.throughput);
+  // Same platform, different operations: distinct cache keys.
+  EXPECT_EQ(service.metrics().cold_solves, 2u);
+}
+
+TEST(PlanServiceTest, SolveFailurePropagatesToEveryWaiter) {
+  PlanServiceOptions options;
+  options.num_workers = 2;
+  PlanService service(options);
+
+  // Target 1 is unreachable from source 0 (only a 1 -> 0 link exists).
+  platform::PlatformBuilder builder;
+  const auto a = builder.add_node();
+  const auto b = builder.add_node();
+  builder.add_directed_link(b, a, Rational(1));
+  platform::ScatterInstance inst;
+  inst.platform = builder.build();
+  inst.source = a;
+  inst.targets = {b};
+  PlanRequest request;
+  request.instance = inst;
+
+  auto f1 = service.submit(request);
+  auto f2 = service.submit(request);
+  EXPECT_THROW((void)f1.get(), std::invalid_argument);
+  EXPECT_THROW((void)f2.get(), std::invalid_argument);
+  service.drain();
+  EXPECT_GE(service.metrics().failed, 1u);
+  EXPECT_EQ(service.metrics().cold_solves, 0u);
+}
+
+TEST(PlanServiceTest, MetricsBalanceAfterDrain) {
+  PlanServiceOptions options;
+  options.num_workers = 2;
+  options.num_shards = 4;
+  PlanService service(options);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    (void)service.submit(scatter_request(seed, 8, 3));
+  }
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    (void)service.submit(scatter_request(seed, 8, 3));
+  }
+  service.drain();
+
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.submitted, 8u);
+  EXPECT_EQ(metrics.exact_hits + metrics.warm_hits + metrics.cold_solves +
+                metrics.deduplicated + metrics.failed,
+            8u);
+  EXPECT_EQ(metrics.cold_solves, 4u);
+  EXPECT_EQ(metrics.queue_depth, 0u);
+  EXPECT_GE(metrics.latency_samples, 8u);
+  EXPECT_LE(metrics.p50_ms, metrics.p99_ms);
+  EXPECT_EQ(metrics.shards.size(), 4u);
+  std::size_t cached = 0;
+  for (const CacheShardMetrics& s : metrics.shards) cached += s.size;
+  EXPECT_EQ(cached, 4u);
+  // The renderer must mention every headline counter.
+  const std::string report = format_metrics(metrics);
+  EXPECT_NE(report.find("hit rate"), std::string::npos);
+  EXPECT_NE(report.find("cold solves"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssco::service

@@ -1,6 +1,13 @@
 // Timing benchmark (google-benchmark) for the LP pipeline, plus the
 // exact-arithmetic ablation called out in DESIGN.md:
-//   * scatter/gossip/reduce LP build+solve time vs platform size;
+//   * scatter/gossip/reduce LP build+solve time vs platform size, with the
+//     per-solve pivot count as a machine-comparable counter (wall-clock is
+//     noisy on this container; pivots are not);
+//   * the n=128/256 sparse-platform regime (wafer-scale-like density) for
+//     scatter and reduce — the sizes the presolve+pricing+scaling stack
+//     exists for;
+//   * a phase breakdown of one n=64 solve (FTRAN/BTRAN/pricing/factor) so
+//     future pricing work is measurable from BENCH_lp.json;
 //   * double-solve + rational certificate (our default) vs pure exact
 //     simplex — the design choice that makes exact results affordable;
 //   * incremental re-solve after a single-edge cost perturbation (warm
@@ -12,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <iostream>
 
 #include "core/gossip_lp.h"
 #include "core/reduce_lp.h"
@@ -19,6 +27,7 @@
 #include "lp/exact_solver.h"
 #include "platform/delta.h"
 #include "platform/paper_instances.h"
+#include "service/metrics.h"
 #include "testing_support.h"
 
 using namespace ssco;
@@ -29,12 +38,16 @@ void BM_ScatterLp(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto inst = bench_support::random_scatter_instance(42, n, n / 2);
   std::size_t pivots = 0;
+  std::size_t solves = 0;
   for (auto _ : state) {
     auto flow = core::solve_scatter(inst);
     benchmark::DoNotOptimize(flow.throughput);
     pivots += flow.lp_pivots;
+    ++solves;
   }
   state.counters["nodes"] = static_cast<double>(n);
+  state.counters["pivots"] =
+      static_cast<double>(pivots) / static_cast<double>(solves ? solves : 1);
   state.counters["pivots_per_sec"] = benchmark::Counter(
       static_cast<double>(pivots), benchmark::Counter::kIsRate);
 }
@@ -42,6 +55,78 @@ void BM_ScatterLp(benchmark::State& state) {
 // exercise the revised engine's eta/refactorization cycle at scale.
 BENCHMARK(BM_ScatterLp)->Arg(6)->Arg(10)->Arg(14)->Arg(18)->Arg(32)->Arg(48)
     ->Arg(64)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+// Large sparse platforms (~6n arcs, the density of wafer-scale fabrics):
+// the n=128/256 regime the presolve+pricing+scaling stack targets. One
+// iteration — a single solve at this size is signal enough, and the pivot
+// counter is deterministic.
+void BM_ScatterLpLarge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_sparse_scatter_instance(42, n, 16);
+  std::size_t pivots = 0;
+  std::size_t certified = 1;
+  for (auto _ : state) {
+    auto flow = core::solve_scatter(inst);
+    benchmark::DoNotOptimize(flow.throughput);
+    pivots += flow.lp_pivots;
+    certified = certified && flow.certified ? 1 : 0;
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+  state.counters["pivots"] = static_cast<double>(pivots);
+  state.counters["certified"] = static_cast<double>(certified);
+}
+BENCHMARK(BM_ScatterLpLarge)->Arg(128)->Arg(256)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReduceLpLarge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_sparse_reduce_instance(44, n, 8);
+  std::size_t pivots = 0;
+  std::size_t certified = 1;
+  for (auto _ : state) {
+    auto sol = core::solve_reduce(inst);
+    benchmark::DoNotOptimize(sol.throughput);
+    pivots += sol.lp_pivots;
+    certified = certified && sol.certified ? 1 : 0;
+  }
+  state.counters["nodes"] = static_cast<double>(n);
+  state.counters["pivots"] = static_cast<double>(pivots);
+  state.counters["certified"] = static_cast<double>(certified);
+}
+BENCHMARK(BM_ReduceLpLarge)->Arg(128)->Arg(256)->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// One direct ExactSolver run at n=64 with the phase timers surfaced as
+// counters (and the io/report rendering printed to stderr): the
+// FTRAN/BTRAN/pricing/factorization split that makes future pricing work
+// measurable across PRs.
+void BM_ScatterLpBreakdown(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto inst = bench_support::random_scatter_instance(42, n, n / 2);
+  auto model = core::build_scatter_lp(inst);
+  lp::ExactSolver solver;
+  for (auto _ : state) {
+    auto sol = solver.solve(model);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+  const lp::SolverStats stats = solver.stats();
+  const double solves = static_cast<double>(stats.solves ? stats.solves : 1);
+  state.counters["ftran_ms"] =
+      static_cast<double>(stats.ftran_ns) / 1e6 / solves;
+  state.counters["btran_ms"] =
+      static_cast<double>(stats.btran_ns) / 1e6 / solves;
+  state.counters["pricing_ms"] =
+      static_cast<double>(stats.pricing_ns) / 1e6 / solves;
+  state.counters["factor_ms"] =
+      static_cast<double>(stats.factor_ns) / 1e6 / solves;
+  state.counters["presolve_rows_removed"] =
+      static_cast<double>(stats.presolve_rows_removed) / solves;
+  state.counters["presolve_cols_removed"] =
+      static_cast<double>(stats.presolve_cols_removed) / solves;
+  std::cerr << service::format_solver_stats(stats);
+}
+BENCHMARK(BM_ScatterLpBreakdown)->Arg(64)->Iterations(2)
+    ->Unit(benchmark::kMillisecond);
 
 // Incremental re-solve: perturb one edge cost per iteration and warm-start
 // from the previous plan's basis. `resolve_pivots`/`resolve_ms` are the
@@ -104,11 +189,15 @@ void BM_GossipLp(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto inst = bench_support::random_gossip_instance(43, n);
   std::size_t pivots = 0;
+  std::size_t solves = 0;
   for (auto _ : state) {
     auto flow = core::solve_gossip(inst);
     benchmark::DoNotOptimize(flow.throughput);
     pivots += flow.lp_pivots;
+    ++solves;
   }
+  state.counters["pivots"] =
+      static_cast<double>(pivots) / static_cast<double>(solves ? solves : 1);
   state.counters["pivots_per_sec"] = benchmark::Counter(
       static_cast<double>(pivots), benchmark::Counter::kIsRate);
 }
@@ -119,11 +208,17 @@ void BM_ReduceLp(benchmark::State& state) {
   const auto participants = static_cast<std::size_t>(state.range(0));
   auto inst =
       bench_support::random_reduce_instance(44, participants + 3, participants);
+  std::size_t pivots = 0;
+  std::size_t solves = 0;
   for (auto _ : state) {
     auto sol = core::solve_reduce(inst);
     benchmark::DoNotOptimize(sol.throughput);
+    pivots += sol.lp_pivots;
+    ++solves;
   }
   state.counters["participants"] = static_cast<double>(participants);
+  state.counters["pivots"] =
+      static_cast<double>(pivots) / static_cast<double>(solves ? solves : 1);
 }
 BENCHMARK(BM_ReduceLp)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Iterations(3)
     ->Unit(benchmark::kMillisecond);

@@ -55,6 +55,33 @@ inline ssco::platform::ScatterInstance random_scatter_instance(
   return inst;
 }
 
+/// Sparse variant for the n=128/256 scaling regime: ~4 extra arcs per node
+/// on top of the random spanning tree, the edge density of wafer-scale /
+/// torus-like fabrics, instead of the dense ~0.3*n^2 default that would
+/// put hundreds of variables in every one-port row.
+inline ssco::platform::ScatterInstance random_sparse_scatter_instance(
+    std::uint64_t seed, std::size_t n, std::size_t num_targets) {
+  ssco::platform::ScatterInstance inst;
+  inst.platform = random_platform(seed, n, 4.0 / static_cast<double>(n));
+  inst.source = 0;
+  for (std::size_t i = 0; i < num_targets; ++i) {
+    inst.targets.push_back(n - 1 - i);
+  }
+  return inst;
+}
+
+/// Sparse large-platform reduce, same density rationale as above.
+inline ssco::platform::ReduceInstance random_sparse_reduce_instance(
+    std::uint64_t seed, std::size_t n, std::size_t participants) {
+  ssco::platform::ReduceInstance inst;
+  inst.platform = random_platform(seed, n, 4.0 / static_cast<double>(n));
+  for (std::size_t i = 0; i < participants; ++i) {
+    inst.participants.push_back(n - participants + i);
+  }
+  inst.target = inst.participants.back();
+  return inst;
+}
+
 inline ssco::platform::ReduceInstance random_reduce_instance(
     std::uint64_t seed, std::size_t n, std::size_t participants) {
   ssco::platform::ReduceInstance inst;

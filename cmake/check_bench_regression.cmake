@@ -1,0 +1,157 @@
+# Compares a freshly generated google-benchmark JSON against the committed
+# BENCH_lp.json baseline and FAILS (non-zero exit) when a key counter
+# regresses by more than TOLERANCE (default 25%).
+#
+#   cmake -DFRESH=fresh.json -DBASELINE=BENCH_lp.json [-DTOLERANCE=0.25]
+#         [-DCHECK_TIME=ON] -P check_bench_regression.cmake
+#
+# Checked per benchmark present in BOTH files:
+#   * the `pivots` counter — deterministic on a given instance, so any
+#     growth beyond TOLERANCE is a genuine algorithmic regression;
+#   * `real_time` — only when CHECK_TIME=ON, under its own (looser)
+#     TIME_TOLERANCE (default 0.5) and only for benchmarks whose baseline
+#     is at least TIME_FLOOR_MS (default 50): wall-clock compares a fresh
+#     run against a baseline possibly recorded on different hardware, and
+#     sub-floor benchmarks are scheduling-noise dominated. The pivot gate
+#     is the precise one; the time gate catches order-of-magnitude breaks.
+# Benchmarks found in only one file are reported and skipped, so adding or
+# retiring benchmarks does not break the gate.
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+  message(WARNING "check_bench_regression: CMake ${CMAKE_VERSION} lacks "
+                  "string(JSON); skipping the check")
+  return()
+endif()
+
+if(NOT DEFINED TOLERANCE)
+  set(TOLERANCE 0.25)
+endif()
+if(NOT DEFINED TIME_TOLERANCE)
+  set(TIME_TOLERANCE 0.5)
+endif()
+if(NOT DEFINED TIME_FLOOR_MS)
+  set(TIME_FLOOR_MS 50)
+endif()
+if(NOT DEFINED CHECK_TIME)
+  set(CHECK_TIME OFF)
+endif()
+
+file(READ "${FRESH}" fresh)
+file(READ "${BASELINE}" baseline)
+
+# name -> index map of the baseline benchmarks.
+string(JSON base_len LENGTH "${baseline}" benchmarks)
+string(JSON fresh_total LENGTH "${fresh}" benchmarks)
+if(base_len EQUAL 0 OR fresh_total EQUAL 0)
+  message(STATUS "check_bench_regression: empty benchmark list; nothing to do")
+  return()
+endif()
+set(base_names)
+math(EXPR base_last "${base_len} - 1")
+foreach(i RANGE 0 ${base_last})
+  string(JSON name GET "${baseline}" benchmarks ${i} name)
+  list(APPEND base_names "${name}")
+endforeach()
+
+set(failures 0)
+set(checked 0)
+
+function(check_counter bench_name key fresh_value base_value tol_permille
+         tol_label)
+  if(base_value LESS_EQUAL 0)
+    return()
+  endif()
+  math(EXPR permille_limit "1000 + ${tol_permille}")
+  # Integer-safe ratio test: fresh/base > 1 + tolerance ?
+  # fresh * 1000 > base * (1000 + tol_permille)
+  # CMake math is 64-bit integer only; counters fit comfortably.
+  math(EXPR lhs "(${fresh_value} * 1000)")
+  math(EXPR rhs "(${base_value} * ${permille_limit})")
+  if(lhs GREATER rhs)
+    message(SEND_ERROR
+            "REGRESSION ${bench_name} ${key}: ${fresh_value} vs baseline "
+            "${base_value} (>${tol_label} worse)")
+    math(EXPR f "${failures} + 1")
+    set(failures ${f} PARENT_SCOPE)
+  endif()
+endfunction()
+
+# Converts a decimal fraction like 0.25 into permille (250).
+macro(to_permille fraction out_var)
+  set(${out_var} 0)
+  string(REGEX MATCH "^0?\\.([0-9]+)" _frac "${fraction}")
+  if(_frac)
+    set(_digits "${CMAKE_MATCH_1}000")
+    string(SUBSTRING "${_digits}" 0 3 _permille)
+    # The 1### trick strips leading zeros so math() does not parse octal.
+    math(EXPR ${out_var} "1${_permille} - 1000")
+  else()
+    math(EXPR ${out_var} "${fraction} * 1000")
+  endif()
+endmacro()
+
+to_permille("${TOLERANCE}" TOLERANCE_PERMILLE)
+to_permille("${TIME_TOLERANCE}" TIME_TOLERANCE_PERMILLE)
+
+# Converts a millisecond decimal like "17.38" into integer microseconds
+# (17380), so short benchmarks are not quantized to death by integer math.
+macro(ms_to_us value out_var)
+  set(${out_var} 0)
+  string(REGEX MATCH "^([0-9]+)(\\.([0-9]*))?" _ "${value}")
+  set(_whole "${CMAKE_MATCH_1}")
+  set(_frac "${CMAKE_MATCH_3}000")
+  string(SUBSTRING "${_frac}" 0 3 _frac)
+  # The 1### trick strips leading zeros so math() does not parse octal.
+  math(EXPR ${out_var} "${_whole} * 1000 + 1${_frac} - 1000")
+endmacro()
+
+string(JSON fresh_len LENGTH "${fresh}" benchmarks)
+math(EXPR fresh_last "${fresh_len} - 1")
+foreach(i RANGE 0 ${fresh_last})
+  string(JSON name GET "${fresh}" benchmarks ${i} name)
+  list(FIND base_names "${name}" base_idx)
+  if(base_idx EQUAL -1)
+    message(STATUS "check_bench_regression: '${name}' has no baseline; skipped")
+    continue()
+  endif()
+
+  string(JSON fresh_pivots ERROR_VARIABLE noent GET "${fresh}" benchmarks ${i}
+         pivots)
+  string(JSON base_pivots ERROR_VARIABLE noent2 GET "${baseline}" benchmarks
+         ${base_idx} pivots)
+  if(NOT noent AND NOT noent2)
+    # Round the doubles to integers for CMake's integer math().
+    string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_pivots}")
+    string(REGEX MATCH "^[0-9]+" base_int "${base_pivots}")
+    check_counter("${name}" pivots "${fresh_int}" "${base_int}"
+                  "${TOLERANCE_PERMILLE}" "${TOLERANCE}")
+    math(EXPR checked "${checked} + 1")
+  endif()
+
+  if(CHECK_TIME)
+    string(JSON fresh_ms ERROR_VARIABLE noent3 GET "${fresh}" benchmarks ${i}
+           real_time)
+    string(JSON base_ms ERROR_VARIABLE noent4 GET "${baseline}" benchmarks
+           ${base_idx} real_time)
+    if(NOT noent3 AND NOT noent4)
+      # Compare in microseconds so short benchmarks are not quantized to
+      # death, and skip anything under the noise floor entirely.
+      string(REGEX MATCH "^[0-9]+" base_floor "${base_ms}")
+      if(base_floor GREATER_EQUAL ${TIME_FLOOR_MS})
+        ms_to_us("${fresh_ms}" fresh_int)
+        ms_to_us("${base_ms}" base_int)
+        check_counter("${name}" real_time_us "${fresh_int}" "${base_int}"
+                      "${TIME_TOLERANCE_PERMILLE}" "${TIME_TOLERANCE}")
+        math(EXPR checked "${checked} + 1")
+      endif()
+    endif()
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR
+          "check_bench_regression: ${failures} counter(s) regressed beyond "
+          "${TOLERANCE}")
+endif()
+message(STATUS "check_bench_regression: ${checked} counters within "
+               "${TOLERANCE} of baseline")

@@ -48,4 +48,8 @@ std::string fixed(double value, int digits) {
   return os.str();
 }
 
+std::string millis(std::uint64_t nanos, int digits) {
+  return fixed(static_cast<double>(nanos) / 1e6, digits) + " ms";
+}
+
 }  // namespace ssco::io

@@ -1,6 +1,7 @@
 #pragma once
 // Small formatting helpers shared by benches and examples.
 
+#include <cstdint>
 #include <string>
 
 #include "num/rational.h"
@@ -23,5 +24,10 @@ namespace ssco::io {
 
 /// Fixed-point decimal, e.g. fixed(12.345, 2) == "12.35".
 [[nodiscard]] std::string fixed(double value, int digits = 2);
+
+/// Milliseconds rendering of a nanosecond count, e.g. millis(12'345'678)
+/// == "12.35 ms" — used for the solver's FTRAN/BTRAN/pricing/factor
+/// wall-clock breakdown (lp::SolverStats).
+[[nodiscard]] std::string millis(std::uint64_t nanos, int digits = 2);
 
 }  // namespace ssco::io

@@ -72,6 +72,21 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
     }
     touched.clear();
   }
+  lu.factor_nnz_ = m;  // the diagonal
+  for (std::size_t k = 0; k < m; ++k) {
+    lu.factor_nnz_ += lu.lower_[k].size() + lu.upper_[k].size();
+  }
+  // Transposed mirrors for the push-form BTRAN solves.
+  lu.urows_.assign(m, {});
+  lu.ltrans_.assign(m, {});
+  for (std::size_t k = 0; k < m; ++k) {
+    for (const auto& [pos, u] : lu.upper_[k]) {
+      lu.urows_[pos].emplace_back(k, u);
+    }
+    for (const auto& [row, l] : lu.lower_[k]) {
+      lu.ltrans_[row].emplace_back(lu.pivot_row_[k], l);
+    }
+  }
   return lu;
 }
 
@@ -110,21 +125,29 @@ void BasisLu::btran(std::vector<double>& x) const {
     for (const auto& [pos, w] : it->terms) t -= w * x[pos];
     x[it->r] = t / it->pivot;
   }
-  // Forward solve U' w = c in position space: every entry of upper_[k] sits
-  // at a position j < k, already final when step k runs.
+  // Forward solve U' w = c in position space, PUSH form: once w_k is final
+  // its contributions scatter along row k of U, and a zero w_k — the
+  // overwhelmingly common case for the near-singleton vectors the simplex
+  // prices with — costs nothing.
   for (std::size_t k = 0; k < m; ++k) {
-    double t = x[k];
-    for (const auto& [pos, u] : upper_[k]) t -= u * x[pos];
-    x[k] = t / diag_[k];
+    const double t = x[k];
+    if (t == 0.0) continue;
+    const double wk = t / diag_[k];
+    x[k] = wk;
+    for (const auto& [pos, u] : urows_[k]) x[pos] -= u * wk;
   }
-  // Permute back to row space and apply L^-T, newest elimination step first.
+  // Permute back to row space and apply L^-T, newest elimination step
+  // first, again in push form: y[pivot_row_[k]] is final when step k runs
+  // (ltrans_ only targets earlier elimination steps).
   std::vector<double>& y = scratch_;
   y.assign(m, 0.0);
   for (std::size_t k = 0; k < m; ++k) y[pivot_row_[k]] = x[k];
   for (std::size_t k = m; k-- > 0;) {
-    double t = y[pivot_row_[k]];
-    for (const auto& [row, l] : lower_[k]) t -= l * y[row];
-    y[pivot_row_[k]] = t;
+    const double z = y[pivot_row_[k]];
+    if (z == 0.0) continue;
+    for (const auto& [target, l] : ltrans_[pivot_row_[k]]) {
+      y[target] -= l * z;
+    }
   }
   x.swap(y);
 }
@@ -140,6 +163,7 @@ bool BasisLu::update(std::size_t r, const std::vector<double>& w) {
       eta.terms.emplace_back(i, w[i]);
     }
   }
+  eta_nnz_ += eta.terms.size() + 1;
   etas_.push_back(std::move(eta));
   return true;
 }

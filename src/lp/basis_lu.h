@@ -57,6 +57,13 @@ class BasisLu {
   [[nodiscard]] std::size_t dim() const { return pivot_row_.size(); }
   [[nodiscard]] std::size_t updates() const { return etas_.size(); }
 
+  /// Nonzeros in L + U + diagonal — the per-solve cost of the bare factors.
+  [[nodiscard]] std::size_t factor_nonzeros() const { return factor_nnz_; }
+  /// Nonzeros accumulated in the eta file; every FTRAN/BTRAN pays this on
+  /// top of the factors, so the simplex drivers refactorize once the eta
+  /// fill rivals the factor fill instead of on a fixed pivot count.
+  [[nodiscard]] std::size_t eta_nonzeros() const { return eta_nnz_; }
+
   /// Solves B x = b in place: on entry `x` holds b (row space), on exit the
   /// solution in basis-position space.
   void ftran(std::vector<double>& x) const;
@@ -86,8 +93,20 @@ class BasisLu {
   std::vector<std::vector<std::pair<std::size_t, double>>> lower_;
   /// Column k of U above the diagonal: (position j < k, u_jk).
   std::vector<std::vector<std::pair<std::size_t, double>>> upper_;
+  /// Transposed mirrors built once per factorization so BTRAN can run its
+  /// triangular solves in PUSH form, skipping all work below a zero — the
+  /// simplex feeds BTRAN near-singleton inputs (a lone nonzero objective
+  /// entry, the e_r pricing row), and the pull form paid the full O(nnz)
+  /// regardless.
+  /// urows_[j]: (position k > j, u_jk) — row j of U above the diagonal.
+  std::vector<std::vector<std::pair<std::size_t, double>>> urows_;
+  /// ltrans_[row]: (target original row = pivot_row_[k], l) for every
+  /// column k of L containing `row` — where row's final L^T value pushes.
+  std::vector<std::vector<std::pair<std::size_t, double>>> ltrans_;
   std::vector<double> diag_;  // u_kk
   std::vector<Eta> etas_;
+  std::size_t factor_nnz_ = 0;
+  std::size_t eta_nnz_ = 0;
   mutable std::vector<double> scratch_;
 };
 

@@ -33,7 +33,9 @@ bool RevisedSimplex::load_basis(const std::vector<std::size_t>& columns) {
 void RevisedSimplex::set_column_upper_bound(std::size_t col, double ub) {
   assert(col < num_cols_);
   assert(pos_of_col_[col] == kNone && !at_upper_[col]);
-  ub_[col] = ub;
+  // Callers speak original units; the engine stores the scaled bound
+  // (x~ = x / c_j, so ub~ = ub / c_j).
+  ub_[col] = ub / col_scale_[col];
 }
 
 std::size_t RevisedSimplex::make_dual_feasible(std::vector<double>& cost) {
@@ -73,7 +75,7 @@ bool RevisedSimplex::has_boxed_at_upper() const {
 void RevisedSimplex::flip_bound(std::size_t j) {
   work_.assign(m_, 0.0);
   A_.scatter_column(j, work_);
-  lu_->ftran(work_);
+  timed_ftran(work_);
   // Moving the nonbasic value from bound to bound shifts the effective RHS:
   // lower->upper subtracts ub * B^-1 A_j from the basic values.
   const double step = at_upper_[j] ? ub_[j] : -ub_[j];
@@ -96,23 +98,35 @@ SolveStatus RevisedSimplex::dual_optimize(const std::vector<double>& cost,
   std::vector<Cand> cands;
   std::vector<std::size_t> flips;
   std::size_t degenerate_run = 0;
+  // Dual Devex: reference weights per basis POSITION. The leaving row is
+  // the most violating row in the weighted norm viol^2 / w; weights update
+  // from the FTRAN-transformed entering column, which the exchange computes
+  // anyway, so dual Devex is essentially free per pivot.
+  const bool devex = opt.pricing == PricingRule::kDevex;
+  std::vector<double> row_w(m_, 1.0);
 
   while (true) {
     if (!ok_) return SolveStatus::kIterationLimit;
     if (iterations >= opt.max_iterations) return SolveStatus::kIterationLimit;
     const bool bland = degenerate_run >= opt.bland_after;
 
-    // 1. Leaving row: the basic value violating [0, ub] the most (Bland
-    // mode: the violated one with the smallest column index).
+    // 1. Leaving row: the basic value violating [0, ub] the most — in the
+    // Devex-weighted norm unless degeneracy forced Bland mode (then: the
+    // violated row with the smallest column index).
     std::size_t r = kNone;
-    double worst = kFeasTol;
+    double worst = 0.0;
     for (std::size_t k = 0; k < m_; ++k) {
       const double viol = std::max(-xb_[k], xb_[k] - ub_[basis_[k]]);
+      if (viol <= kFeasTol) continue;
       if (bland) {
-        if (viol > kFeasTol && (r == kNone || basis_[k] < basis_[r])) r = k;
-      } else if (viol > worst) {
-        worst = viol;
-        r = k;
+        if (r == kNone || basis_[k] < basis_[r]) r = k;
+      } else {
+        const double score =
+            devex ? viol * viol / row_w[k] : viol;
+        if (r == kNone || score > worst) {
+          worst = score;
+          r = k;
+        }
       }
     }
     if (r == kNone) return SolveStatus::kOptimal;
@@ -122,7 +136,7 @@ SolveStatus RevisedSimplex::dual_optimize(const std::vector<double>& cost,
     // 2. Pricing row rho = r-th row of B^-1, and multipliers for d_j.
     rho_.assign(m_, 0.0);
     rho_[r] = 1.0;
-    lu_->btran(rho_);
+    timed_btran(rho_);
     compute_multipliers(cost);
 
     // 3. Dual ratio test candidates: nonbasic columns whose movement can
@@ -131,9 +145,10 @@ SolveStatus RevisedSimplex::dual_optimize(const std::vector<double>& cost,
     // below/above cases into one sign test.
     const double dir = below ? -1.0 : 1.0;
     cands.clear();
-    for (std::size_t j = 0; j < num_cols_; ++j) {
+    compute_pivot_row(rho_);  // columns it misses have alpha == 0: no cand
+    for (std::size_t j : touched_cols_) {
       if (pos_of_col_[j] != kNone || barred_[j] || ub_[j] <= 0.0) continue;
-      const double alpha = A_.dot_column(j, rho_);
+      const double alpha = alpha_[j];
       const double abar = dir * alpha;
       if (at_upper_[j] ? abar >= -kEps : abar <= kEps) continue;
       double d = A_.dot_column(j, y_) - cost[j];
@@ -209,7 +224,7 @@ SolveStatus RevisedSimplex::dual_optimize(const std::vector<double>& cost,
     // 4. Exchange. The FTRAN-transformed entering column gives the step.
     work_.assign(m_, 0.0);
     A_.scatter_column(entering, work_);
-    lu_->ftran(work_);
+    timed_ftran(work_);
     if (std::fabs(work_[r]) <= kEps) {
       // Pivot weight vanished under the accumulated eta file: refresh and
       // retry; if even a fresh factorization disagrees with the pricing
@@ -217,6 +232,21 @@ SolveStatus RevisedSimplex::dual_optimize(const std::vector<double>& cost,
       if (lu_->updates() == 0) return SolveStatus::kIterationLimit;
       ok_ = refactor();
       continue;
+    }
+
+    if (devex && !bland) {
+      // Dual Devex weight update from the transformed entering column.
+      const double arq = work_[r];
+      const double wr_over = row_w[r] / (arq * arq);
+      for (std::size_t k = 0; k < m_; ++k) {
+        if (k == r || work_[k] == 0.0) continue;
+        const double cand = work_[k] * work_[k] * wr_over;
+        if (cand > row_w[k]) row_w[k] = cand;
+      }
+      row_w[r] = std::max(wr_over, 1.0);
+      if (wr_over > kDevexReset) {
+        std::fill(row_w.begin(), row_w.end(), 1.0);
+      }
     }
 
     const double target = below ? 0.0 : ub_[basis_[r]];
@@ -236,7 +266,7 @@ SolveStatus RevisedSimplex::dual_optimize(const std::vector<double>& cost,
     basis_[r] = entering;
     pos_of_col_[entering] = r;
     at_upper_[entering] = false;
-    if (!lu_->update(r, work_) || lu_->updates() >= kRefactorInterval) {
+    if (!lu_->update(r, work_) || should_refactor()) {
       ok_ = refactor();
     }
 
@@ -264,7 +294,8 @@ SimplexResult<double> solve_from_basis(
     const SimplexOptions& options, DualSolveInfo* info) {
   SimplexResult<double> result;
   // Defer the identity-basis factorization: load_basis replaces it anyway.
-  RevisedSimplex simplex(em, std::move(layout), /*defer_initial_factor=*/true);
+  RevisedSimplex simplex(em, std::move(layout), /*defer_initial_factor=*/true,
+                         options.equilibrate);
   if (!simplex.load_basis(basis_columns)) return result;  // caller goes cold
 
   const std::vector<double> cost = simplex.phase2_costs();
@@ -275,6 +306,7 @@ SimplexResult<double> solve_from_basis(
   std::size_t dual_iters = 0;
   const SolveStatus dual = simplex.dual_optimize(shifted, options, dual_iters);
   result.iterations += dual_iters;
+  result.phase_times = simplex.phase_times();
   if (info) info->dual_pivots = dual_iters;
   if (dual != SolveStatus::kOptimal) {
     result.status = dual;
@@ -309,6 +341,7 @@ SimplexResult<double> solve_from_basis(
     const SolveStatus primal =
         simplex.optimize(cost, primal_options, primal_iters);
     result.iterations += primal_iters;
+    result.phase_times = simplex.phase_times();
     if (info) info->primal_pivots = primal_iters;
     result.status = primal;
     if (primal != SolveStatus::kOptimal) return result;
@@ -323,6 +356,7 @@ SimplexResult<double> solve_from_basis(
   result.dual = simplex.extract_duals(cost);
   result.objective = simplex.objective_value(cost);
   result.basis = simplex.extract_basis();
+  result.phase_times = simplex.phase_times();
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "lp/column_layout.h"
 #include "lp/dual_simplex.h"
 #include "lp/exact_basis.h"
+#include "lp/presolve.h"
 #include "num/reconstruct.h"
 
 namespace ssco::lp {
@@ -174,6 +175,14 @@ SolverStats ExactSolver::stats() const {
   out.exact_pivots = stats_.exact_pivots.load(std::memory_order_relaxed);
   out.exact_fallbacks =
       stats_.exact_fallbacks.load(std::memory_order_relaxed);
+  out.presolve_rows_removed =
+      stats_.presolve_rows_removed.load(std::memory_order_relaxed);
+  out.presolve_cols_removed =
+      stats_.presolve_cols_removed.load(std::memory_order_relaxed);
+  out.ftran_ns = stats_.ftran_ns.load(std::memory_order_relaxed);
+  out.btran_ns = stats_.btran_ns.load(std::memory_order_relaxed);
+  out.pricing_ns = stats_.pricing_ns.load(std::memory_order_relaxed);
+  out.factor_ns = stats_.factor_ns.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -196,6 +205,18 @@ ExactSolution ExactSolver::solve(const Model& model,
   if (out.exact_iterations > 0) {
     stats_.exact_fallbacks.fetch_add(1, std::memory_order_relaxed);
   }
+  stats_.presolve_rows_removed.fetch_add(out.presolve_rows_removed,
+                                         std::memory_order_relaxed);
+  stats_.presolve_cols_removed.fetch_add(out.presolve_cols_removed,
+                                         std::memory_order_relaxed);
+  stats_.ftran_ns.fetch_add(out.phase_times.ftran_ns,
+                            std::memory_order_relaxed);
+  stats_.btran_ns.fetch_add(out.phase_times.btran_ns,
+                            std::memory_order_relaxed);
+  stats_.pricing_ns.fetch_add(out.phase_times.pricing_ns,
+                              std::memory_order_relaxed);
+  stats_.factor_ns.fetch_add(out.phase_times.factor_ns,
+                             std::memory_order_relaxed);
   return out;
 }
 
@@ -290,6 +311,7 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
       SimplexResult<double> warm = solve_from_basis(
           em, std::move(layout), *columns, warm_options, &info);
       out.float_iterations += warm.iterations;
+      out.phase_times += warm.phase_times;
       context->cost_shifts = info.cost_shifts;
       if (warm.status == SolveStatus::kOptimal) {
         if (certify(warm)) {
@@ -304,9 +326,96 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
     }
   }
 
-  fp = solve_simplex<double>(em, options_.simplex);
-  out.float_iterations += fp.iterations;
-  if (fp.status == SolveStatus::kOptimal && certify(fp)) return out;
+  // Cold solve: exact presolve first, float solve and certification on the
+  // REDUCED model, exact postsolve back to the full one. The lifted pair is
+  // re-verified against the full model below, so presolve can cost at most
+  // a fallback, never a wrong answer.
+  bool presolve_skip_cold = false;
+  if (options_.presolve) {
+    Presolved pre = presolve(em);
+    if (pre.status == PresolveStatus::kInfeasible) {
+      // The reductions run in exact rational arithmetic: this verdict is a
+      // proof, no float or exact simplex pass needed.
+      out.status = SolveStatus::kInfeasible;
+      out.method = "presolve";
+      out.presolve_rows_removed = pre.stats.rows_removed;
+      out.presolve_cols_removed = pre.stats.cols_removed;
+      return out;
+    }
+    if (!pre.identity()) {
+      out.presolve_rows_removed = pre.stats.rows_removed;
+      out.presolve_cols_removed = pre.stats.cols_removed;
+      SimplexResult<double> fr =
+          solve_simplex<double>(pre.reduced, options_.simplex);
+      out.float_iterations += fr.iterations;
+      out.phase_times += fr.phase_times;
+
+      // Lifts an exact reduced-model optimum to the full model and runs
+      // the full certificate as the final gate.
+      auto lift_and_verify = [&](const std::vector<Rational>& x_reduced,
+                                 const std::vector<Rational>& y_reduced,
+                                 const std::vector<BasisColumn>& basis,
+                                 const char* method) -> bool {
+        Presolved::Lifted lifted =
+            pre.postsolve(x_reduced, y_reduced, basis);
+        if (!verify_certificate(em, lifted.primal, lifted.dual)) return false;
+        out.status = SolveStatus::kOptimal;
+        Rational obj(0);
+        for (std::size_t j = 0; j < em.num_vars; ++j) {
+          if (!em.objective[j].is_zero()) {
+            obj.add_product(em.objective[j], lifted.primal[j]);
+          }
+        }
+        out.primal = em.unshift(lifted.primal);
+        out.dual = std::move(lifted.dual);
+        out.objective = obj + em.objective_constant;
+        out.certified = true;
+        out.method = method;
+        remember(lifted.basis);
+        return true;
+      };
+
+      if (fr.status == SolveStatus::kOptimal) {
+        for (std::uint64_t cap : options_.denominator_caps) {
+          auto x = reconstruct_vector(fr.primal, cap,
+                                      options_.reconstruct_tolerance);
+          auto y = reconstruct_vector(fr.dual, cap,
+                                      options_.reconstruct_tolerance);
+          if (!x || !y) continue;
+          for (Rational& v : *x) {
+            if (v.is_negative()) v = Rational(0);
+          }
+          if (!verify_certificate(pre.reduced, *x, *y)) continue;
+          if (lift_and_verify(*x, *y, fr.basis, "double+certificate")) {
+            return out;
+          }
+        }
+        if (options_.allow_basis_verification) {
+          if (auto verified = verify_from_basis(pre.reduced, fr.basis)) {
+            if (lift_and_verify(verified->primal, verified->dual, fr.basis,
+                                "double+basis-verification")) {
+              return out;
+            }
+          }
+        }
+      }
+      // Reduced-model certification failed (or the reduced float solve was
+      // not optimal): fall through to the shared full-model paths. A
+      // non-optimal reduced verdict skips the redundant full float solve
+      // and lets the exact fallback prove it, exactly like a cold float
+      // verdict did before presolve existed; an optimal-but-uncertifiable
+      // one retries cold on the full model first, mirroring the warm path.
+      fp.status = fr.status;
+      presolve_skip_cold = fr.status != SolveStatus::kOptimal;
+    }
+  }
+
+  if (!presolve_skip_cold) {
+    fp = solve_simplex<double>(em, options_.simplex);
+    out.float_iterations += fp.iterations;
+    out.phase_times += fp.phase_times;
+    if (fp.status == SolveStatus::kOptimal && certify(fp)) return out;
+  }
 
   if (!options_.allow_exact_fallback) {
     out.status = fp.status == SolveStatus::kOptimal

@@ -55,6 +55,13 @@ struct ExactSolution {
   /// True when the float pass was a warm re-solve from a previous basis
   /// (lp/dual_simplex.h) instead of a cold two-phase solve.
   bool warm_started = false;
+  /// Rows/columns the exact presolve removed before the float solve
+  /// (lp/presolve.h); zero when presolve was off or found nothing.
+  std::size_t presolve_rows_removed = 0;
+  std::size_t presolve_cols_removed = 0;
+  /// FTRAN/BTRAN/pricing/factorization split of the float engine work this
+  /// solve performed (warm attempt + cold pass combined).
+  SolvePhaseTimes phase_times;
 };
 
 /// Carries warm-start state between consecutive solves: after a successful
@@ -83,6 +90,11 @@ struct ExactSolverOptions {
   /// Allow falling back to the exact rational simplex (can be slow on large
   /// instances but is always correct).
   bool allow_exact_fallback = true;
+  /// Run the exact presolve (lp/presolve.h) before a cold float solve and
+  /// certify against the REDUCED model; the lifted full-model pair is
+  /// re-verified, so presolve can never cost correctness. Warm re-solves
+  /// and the exact fallback always see the full model.
+  bool presolve = true;
   /// Pivot budget for a warm-started float pass before giving up and going
   /// cold (0 = automatic: 2m + 100 for an m-row expanded model). A stale
   /// basis on a heavily mutated platform can cost more pivots than a cold
@@ -104,6 +116,16 @@ struct SolverStats {
   std::uint64_t exact_pivots = 0;
   /// Solves that needed the exact rational simplex.
   std::uint64_t exact_fallbacks = 0;
+  /// Rows/columns removed by presolve, summed over solves.
+  std::uint64_t presolve_rows_removed = 0;
+  std::uint64_t presolve_cols_removed = 0;
+  /// Float-engine wall-clock split, summed over solves (render with
+  /// io::millis): where the simplex time actually goes — FTRAN, BTRAN,
+  /// pricing scans, LU refactorization.
+  std::uint64_t ftran_ns = 0;
+  std::uint64_t btran_ns = 0;
+  std::uint64_t pricing_ns = 0;
+  std::uint64_t factor_ns = 0;
 };
 
 /// Thread-safety contract:
@@ -157,6 +179,12 @@ class ExactSolver {
     std::atomic<std::uint64_t> float_pivots{0};
     std::atomic<std::uint64_t> exact_pivots{0};
     std::atomic<std::uint64_t> exact_fallbacks{0};
+    std::atomic<std::uint64_t> presolve_rows_removed{0};
+    std::atomic<std::uint64_t> presolve_cols_removed{0};
+    std::atomic<std::uint64_t> ftran_ns{0};
+    std::atomic<std::uint64_t> btran_ns{0};
+    std::atomic<std::uint64_t> pricing_ns{0};
+    std::atomic<std::uint64_t> factor_ns{0};
   };
   mutable AtomicStats stats_;
 };

@@ -1,0 +1,568 @@
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+namespace ssco::lp {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Effective sense of an original row once a negative RHS is flipped — the
+/// convention under which ColumnLayout assigns slack/surplus/artificial
+/// identity columns.
+Sense effective_sense(Sense s, bool flipped) {
+  if (!flipped) return s;
+  if (s == Sense::kLessEqual) return Sense::kGreaterEqual;
+  if (s == Sense::kGreaterEqual) return Sense::kLessEqual;
+  return Sense::kEqual;
+}
+
+}  // namespace
+
+BasisColumn Presolved::identity_column(std::size_t row) const {
+  switch (effective_sense(row_sense_[row], row_flipped_[row] != 0)) {
+    case Sense::kLessEqual:
+      return {BasisColumn::Kind::kSlack, row};
+    case Sense::kGreaterEqual:
+      return {BasisColumn::Kind::kSurplus, row};
+    case Sense::kEqual:
+      break;
+  }
+  return {BasisColumn::Kind::kArtificial, row};
+}
+
+Presolved presolve(const ExpandedModel& em) {
+  Presolved out;
+  const std::size_t m = em.rows.size();
+  const std::size_t n = em.num_vars;
+  out.orig_rows_ = m;
+  out.orig_vars_ = n;
+  out.row_sense_.resize(m);
+  out.row_flipped_.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.row_sense_[i] = em.rows[i].sense;
+    out.row_flipped_[i] = em.rows[i].rhs.is_negative() ? 1 : 0;
+  }
+
+  // Working state. Coefficients are never modified — substituting a fixed
+  // variable only adjusts the RHS and the live count, so original coeff
+  // data can be shared by reference throughout.
+  std::vector<Rational> rhs(m);
+  for (std::size_t i = 0; i < m; ++i) rhs[i] = em.rows[i].rhs;
+  std::vector<char> row_alive(m, 1);
+  std::vector<char> var_fixed(n, 0);
+  std::vector<std::size_t> live_count(m, 0);
+  std::vector<std::vector<std::size_t>> col_rows(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    live_count[i] = em.rows[i].coeffs.size();
+    for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+      col_rows[idx].push_back(i);
+    }
+  }
+
+  std::vector<std::size_t> worklist;
+  std::vector<char> in_work(m, 0);
+  worklist.reserve(m);
+  for (std::size_t i = m; i-- > 0;) {
+    worklist.push_back(i);
+    in_work[i] = 1;
+  }
+  auto push_work = [&](std::size_t row) {
+    if (!in_work[row] && row_alive[row]) {
+      in_work[row] = 1;
+      worklist.push_back(row);
+    }
+  };
+
+  bool infeasible = false;
+
+  auto coeff_in_row = [&](std::size_t row, std::size_t var) -> const Rational* {
+    const auto& coeffs = em.rows[row].coeffs;
+    auto it = std::lower_bound(
+        coeffs.begin(), coeffs.end(), var,
+        [](const auto& entry, std::size_t v) { return entry.first < v; });
+    return (it != coeffs.end() && it->first == var) ? &it->second : nullptr;
+  };
+
+  auto record_fixed = [&](std::size_t var, Rational value) {
+    Presolved::FixedVar fv;
+    fv.var = var;
+    fv.value = std::move(value);
+    fv.objective = em.objective[var];
+    fv.column.reserve(col_rows[var].size());
+    for (std::size_t r : col_rows[var]) {
+      fv.column.emplace_back(r, *coeff_in_row(r, var));
+    }
+    out.fixed_.push_back(std::move(fv));
+    return out.fixed_.size() - 1;
+  };
+
+  /// Substitutes a just-fixed variable out of every live row.
+  auto apply_fix = [&](std::size_t var, const Rational& value) {
+    var_fixed[var] = 1;
+    for (std::size_t r : col_rows[var]) {
+      if (!row_alive[r]) continue;
+      if (!value.is_zero()) {
+        rhs[r].sub_product(*coeff_in_row(r, var), value);
+      }
+      --live_count[r];
+      push_work(r);
+    }
+  };
+
+  auto drop_redundant = [&](std::size_t row) {
+    row_alive[row] = 0;
+    out.actions_.push_back(
+        {Presolved::Action::Kind::kDropRedundantRow, row, {}});
+  };
+
+  std::vector<std::pair<std::size_t, const Rational*>> live;
+
+  while (!worklist.empty() && !infeasible) {
+    const std::size_t row = worklist.back();
+    worklist.pop_back();
+    in_work[row] = 0;
+    if (!row_alive[row]) continue;
+
+    live.clear();
+    for (const auto& [idx, coeff] : em.rows[row].coeffs) {
+      if (!var_fixed[idx]) live.emplace_back(idx, &coeff);
+    }
+    const Sense s = em.rows[row].sense;
+    const int rsig = rhs[row].signum();
+
+    if (live.empty()) {
+      // 0 <sense> rhs: either vacuous or an exact proof of infeasibility.
+      const bool ok = s == Sense::kLessEqual   ? rsig >= 0
+                      : s == Sense::kEqual     ? rsig == 0
+                                               : rsig <= 0;
+      if (ok) {
+        drop_redundant(row);
+      } else {
+        infeasible = true;
+      }
+      continue;
+    }
+
+    if (live.size() == 1) {
+      const auto [var, coeff] = live.front();
+      if (s == Sense::kEqual) {
+        Rational value = rhs[row] / *coeff;
+        if (value.is_negative()) {
+          infeasible = true;
+          continue;
+        }
+        const std::size_t fi = record_fixed(var, std::move(value));
+        out.actions_.push_back(
+            {Presolved::Action::Kind::kFixByEquality, row, {fi}});
+        row_alive[row] = 0;
+        apply_fix(var, out.fixed_[fi].value);
+        continue;
+      }
+      // One-sided singleton: a*x <sense> rhs over x >= 0.
+      const bool upper = (s == Sense::kLessEqual) == (coeff->signum() > 0);
+      const Rational bound = rhs[row] / *coeff;
+      const int bsig = bound.signum();
+      if (upper) {
+        if (bsig < 0) {
+          infeasible = true;
+        } else if (bsig == 0) {
+          // x <= 0 over x >= 0: a single-variable forcing row.
+          const std::size_t fi = record_fixed(var, Rational(0));
+          out.actions_.push_back(
+              {Presolved::Action::Kind::kDropForcingRow, row, {fi}});
+          row_alive[row] = 0;
+          apply_fix(var, out.fixed_[fi].value);
+        }
+        // else: a live upper bound; the row stays.
+      } else {
+        if (bsig <= 0) drop_redundant(row);  // x >= nonpositive: vacuous
+        // else: a live lower bound; the row stays.
+      }
+      continue;
+    }
+
+    // Multi-entry rows: sign analysis for forcing / vacuous / infeasible.
+    bool all_pos = true;
+    bool all_neg = true;
+    for (const auto& [idx, coeff] : live) {
+      (void)idx;
+      if (coeff->signum() > 0) {
+        all_neg = false;
+      } else {
+        all_pos = false;
+      }
+    }
+    if (!all_pos && !all_neg) continue;
+    // The attainable extreme of the live LHS over x >= 0 is zero (from
+    // below when all positive, from above when all negative).
+    bool forcing = false;
+    if (all_pos) {
+      if (s == Sense::kGreaterEqual) {
+        if (rsig <= 0) drop_redundant(row);
+      } else if (rsig < 0) {
+        infeasible = true;
+      } else if (rsig == 0) {
+        forcing = true;
+      }
+    } else {  // all_neg
+      if (s == Sense::kLessEqual) {
+        if (rsig >= 0) drop_redundant(row);
+      } else if (rsig > 0) {
+        infeasible = true;
+      } else if (rsig == 0) {
+        forcing = true;
+      }
+    }
+    if (!forcing) continue;
+    Presolved::Action action{Presolved::Action::Kind::kDropForcingRow, row, {}};
+    action.fixed.reserve(live.size());
+    for (const auto& [idx, coeff] : live) {
+      (void)coeff;
+      action.fixed.push_back(record_fixed(idx, Rational(0)));
+    }
+    row_alive[row] = 0;
+    for (std::size_t fi : action.fixed) {
+      apply_fix(out.fixed_[fi].var, out.fixed_[fi].value);
+    }
+    out.actions_.push_back(std::move(action));
+  }
+
+  // Duplicate / proportional rows: group by an order-insensitive signature
+  // of the normalized live pattern, verify proportionality exactly, keep
+  // only the tightest row per direction. Runs once after the fixpoint —
+  // dropping a row cannot enable further reductions.
+  if (!infeasible) {
+    auto live_of = [&](std::size_t row,
+                       std::vector<std::pair<std::size_t, const Rational*>>&
+                           entries) {
+      entries.clear();
+      for (const auto& [idx, coeff] : em.rows[row].coeffs) {
+        if (!var_fixed[idx]) entries.emplace_back(idx, &coeff);
+      }
+    };
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+    std::vector<std::pair<std::size_t, const Rational*>> a_live, b_live;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!row_alive[i]) continue;
+      live_of(i, a_live);
+      if (a_live.empty()) continue;
+      std::uint64_t h = 0xcbf29ce484222325ull ^ a_live.size();
+      const double first = a_live.front().second->to_double();
+      for (const auto& [idx, coeff] : a_live) {
+        h ^= idx + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        const double ratio = coeff->to_double() / first;
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(ratio));
+        __builtin_memcpy(&bits, &ratio, sizeof(bits));
+        h ^= bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      }
+      buckets[h].push_back(i);
+    }
+    for (auto& [hash, rows] : buckets) {
+      (void)hash;
+      if (rows.size() < 2) continue;
+      // Exact-proportionality subgroups within the bucket.
+      std::vector<std::vector<std::size_t>> groups;
+      std::vector<Rational> factors;  // factor of each row vs its group rep
+      std::vector<std::vector<Rational>> group_factors;
+      for (std::size_t row : rows) {
+        live_of(row, b_live);
+        bool placed = false;
+        for (std::size_t g = 0; g < groups.size() && !placed; ++g) {
+          live_of(groups[g].front(), a_live);
+          if (a_live.size() != b_live.size()) continue;
+          bool same_vars = true;
+          for (std::size_t k = 0; k < a_live.size(); ++k) {
+            if (a_live[k].first != b_live[k].first) {
+              same_vars = false;
+              break;
+            }
+          }
+          if (!same_vars) continue;
+          const Rational factor =
+              *b_live.front().second / *a_live.front().second;
+          bool proportional = true;
+          for (std::size_t k = 1; k < a_live.size(); ++k) {
+            if (*b_live[k].second != factor * *a_live[k].second) {
+              proportional = false;
+              break;
+            }
+          }
+          if (proportional) {
+            groups[g].push_back(row);
+            group_factors[g].push_back(factor);
+            placed = true;
+          }
+        }
+        if (!placed) {
+          groups.push_back({row});
+          group_factors.push_back({Rational(1)});
+        }
+      }
+      for (std::size_t g = 0; g < groups.size() && !infeasible; ++g) {
+        if (groups[g].size() < 2) continue;
+        // Every row in the group constrains t = (rep row LHS): normalize
+        // each to `t <sense'> beta`, the sense flipping with a negative
+        // proportionality factor.
+        struct Bound {
+          std::size_t row;
+          Sense sense;
+          Rational beta;
+        };
+        std::vector<Bound> bounds;
+        bounds.reserve(groups[g].size());
+        for (std::size_t k = 0; k < groups[g].size(); ++k) {
+          const std::size_t row = groups[g][k];
+          const Rational& f = group_factors[g][k];
+          Sense s = em.rows[row].sense;
+          if (f.is_negative() && s != Sense::kEqual) {
+            s = s == Sense::kLessEqual ? Sense::kGreaterEqual
+                                       : Sense::kLessEqual;
+          }
+          bounds.push_back({row, s, rhs[row] / f});
+        }
+        std::size_t keep_eq = kNone;
+        std::size_t keep_le = kNone;
+        std::size_t keep_ge = kNone;
+        for (std::size_t k = 0; k < bounds.size(); ++k) {
+          const Bound& b = bounds[k];
+          if (b.sense == Sense::kEqual) {
+            if (keep_eq == kNone) {
+              keep_eq = k;
+            } else if (bounds[keep_eq].beta != b.beta) {
+              infeasible = true;
+              break;
+            }
+          } else if (b.sense == Sense::kLessEqual) {
+            if (keep_le == kNone || b.beta < bounds[keep_le].beta) keep_le = k;
+          } else {
+            if (keep_ge == kNone || b.beta > bounds[keep_ge].beta) keep_ge = k;
+          }
+        }
+        if (infeasible) break;
+        if (keep_eq != kNone) {
+          if ((keep_le != kNone &&
+               bounds[keep_eq].beta > bounds[keep_le].beta) ||
+              (keep_ge != kNone &&
+               bounds[keep_ge].beta > bounds[keep_eq].beta)) {
+            infeasible = true;
+            break;
+          }
+          keep_le = kNone;
+          keep_ge = kNone;
+        } else if (keep_le != kNone && keep_ge != kNone &&
+                   bounds[keep_ge].beta > bounds[keep_le].beta) {
+          infeasible = true;
+          break;
+        }
+        for (std::size_t k = 0; k < bounds.size(); ++k) {
+          if (k == keep_eq || k == keep_le || k == keep_ge) continue;
+          drop_redundant(bounds[k].row);
+        }
+      }
+      if (infeasible) break;
+    }
+  }
+
+  if (infeasible) {
+    out.status = PresolveStatus::kInfeasible;
+    return out;
+  }
+
+  // Columns no live row mentions: a nonpositive objective coefficient pins
+  // them at zero; a positive one is an unbounded ray the solver must get
+  // to see, so such a column survives (empty) into the reduced model.
+  {
+    std::vector<char> occurs(n, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!row_alive[i]) continue;
+      for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+        (void)coeff;
+        if (!var_fixed[idx]) occurs[idx] = 1;
+      }
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (var_fixed[v] || occurs[v]) continue;
+      if (em.objective[v].signum() <= 0) {
+        const std::size_t fi = record_fixed(v, Rational(0));
+        out.actions_.push_back(
+            {Presolved::Action::Kind::kFixFree, kNone, {fi}});
+        var_fixed[v] = 1;
+      }
+    }
+  }
+
+  // Identity early-out: nothing fired, so spare the full rational copy of
+  // the model — callers solve the original directly.
+  if (out.actions_.empty() && out.fixed_.empty()) {
+    return out;
+  }
+
+  // Assemble the reduced model and the maps.
+  std::vector<std::size_t> var_to_reduced(n, kNone);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (var_fixed[v]) continue;
+    var_to_reduced[v] = out.var_map_.size();
+    out.var_map_.push_back(v);
+  }
+  out.reduced.num_vars = out.var_map_.size();
+  out.reduced.shift.assign(out.reduced.num_vars, Rational(0));
+  out.reduced.objective.reserve(out.reduced.num_vars);
+  for (std::size_t v : out.var_map_) {
+    out.reduced.objective.push_back(em.objective[v]);
+  }
+  out.reduced.objective_constant = em.objective_constant;
+  for (const auto& fv : out.fixed_) {
+    if (!fv.value.is_zero()) {
+      out.reduced.objective_constant.add_product(fv.objective, fv.value);
+    }
+  }
+  out.reduced.num_model_rows = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!row_alive[i]) continue;
+    out.row_map_.push_back(i);
+    if (i < em.num_model_rows) ++out.reduced.num_model_rows;
+    ExpandedModel::Row row;
+    row.sense = em.rows[i].sense;
+    row.rhs = rhs[i];
+    row.coeffs.reserve(live_count[i]);
+    for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+      if (!var_fixed[idx]) row.coeffs.emplace_back(var_to_reduced[idx], coeff);
+    }
+    out.reduced.rows.push_back(std::move(row));
+  }
+
+  out.stats.rows_removed = m - out.row_map_.size();
+  out.stats.cols_removed = n - out.var_map_.size();
+  return out;
+}
+
+Presolved::Lifted Presolved::postsolve(
+    const std::vector<Rational>& primal, const std::vector<Rational>& dual,
+    const std::vector<BasisColumn>& reduced_basis) const {
+  Lifted out;
+  out.primal.assign(orig_vars_, Rational(0));
+  for (const FixedVar& fv : fixed_) out.primal[fv.var] = fv.value;
+  for (std::size_t k = 0; k < var_map_.size() && k < primal.size(); ++k) {
+    out.primal[var_map_[k]] = primal[k];
+  }
+  out.dual.assign(orig_rows_, Rational(0));
+  for (std::size_t k = 0; k < row_map_.size() && k < dual.size(); ++k) {
+    out.dual[row_map_[k]] = dual[k];
+  }
+
+  // Basis: surviving rows carry the reduced engine's columns (kinds
+  // re-derived against the ORIGINAL row's effective sense — substitution
+  // can change the RHS sign and with it which identity column a row owns).
+  out.basis.assign(orig_rows_, BasisColumn{});
+  for (std::size_t i = 0; i < orig_rows_; ++i) {
+    out.basis[i] = identity_column(i);
+  }
+  for (std::size_t k = 0; k < row_map_.size() && k < reduced_basis.size();
+       ++k) {
+    const BasisColumn& b = reduced_basis[k];
+    const std::size_t orig_row = row_map_[k];
+    if (b.kind == BasisColumn::Kind::kStructural) {
+      out.basis[orig_row] = {BasisColumn::Kind::kStructural,
+                             var_map_[b.index]};
+      continue;
+    }
+    const std::size_t identity_row = row_map_[b.index];
+    const Sense eff = effective_sense(row_sense_[identity_row],
+                                      row_flipped_[identity_row] != 0);
+    if (b.kind == BasisColumn::Kind::kArtificial) {
+      out.basis[orig_row] =
+          eff == Sense::kLessEqual
+              ? BasisColumn{BasisColumn::Kind::kSlack, identity_row}
+              : BasisColumn{BasisColumn::Kind::kArtificial, identity_row};
+    } else {
+      out.basis[orig_row] =
+          eff == Sense::kGreaterEqual
+              ? BasisColumn{BasisColumn::Kind::kSurplus, identity_row}
+              : BasisColumn{BasisColumn::Kind::kSlack, identity_row};
+    }
+  }
+
+  // Eliminated rows, newest first: reconstruct duals so every fixed
+  // column's reduced cost lands on the feasible side (exactly zero for a
+  // variable fixed at a nonzero value — complementary slackness), which is
+  // what makes the lifted pair pass the full-model certificate.
+  for (auto it = actions_.rbegin(); it != actions_.rend(); ++it) {
+    const Action& a = *it;
+    switch (a.kind) {
+      case Action::Kind::kDropRedundantRow:
+      case Action::Kind::kFixFree:
+        break;  // dual stays zero; identity column already assigned
+      case Action::Kind::kFixByEquality: {
+        const FixedVar& fv = fixed_[a.fixed.front()];
+        Rational num = fv.objective;
+        const Rational* diag = nullptr;
+        for (const auto& [row, coeff] : fv.column) {
+          if (row == a.row) {
+            diag = &coeff;
+          } else if (!out.dual[row].is_zero()) {
+            num.sub_product(out.dual[row], coeff);
+          }
+        }
+        out.dual[a.row] = num / *diag;
+        out.basis[a.row] = {BasisColumn::Kind::kStructural, fv.var};
+        break;
+      }
+      case Action::Kind::kDropForcingRow: {
+        // One free dual must cover every column the row fixed:
+        // y * a_rj >= r_j for all j, where r_j is the residual reduced
+        // cost. All a_rj share one sign, so the binding ratio is a max
+        // (positive coefficients) or min (negative); inequality rows
+        // additionally clamp the dual to their feasible sign, falling back
+        // to the row's own identity column when the clamp wins.
+        bool first = true;
+        bool want_max = true;
+        Rational best;
+        std::size_t best_var = kNone;
+        for (std::size_t fi : a.fixed) {
+          const FixedVar& fv = fixed_[fi];
+          Rational num = fv.objective;
+          const Rational* diag = nullptr;
+          for (const auto& [row, coeff] : fv.column) {
+            if (row == a.row) {
+              diag = &coeff;
+            } else if (!out.dual[row].is_zero()) {
+              num.sub_product(out.dual[row], coeff);
+            }
+          }
+          const Rational ratio = num / *diag;
+          if (first) {
+            want_max = diag->signum() > 0;
+            best = ratio;
+            best_var = fv.var;
+            first = false;
+          } else if (want_max ? best < ratio : ratio < best) {
+            best = ratio;
+            best_var = fv.var;
+          }
+        }
+        bool clamped = false;
+        if (row_sense_[a.row] == Sense::kLessEqual && best.is_negative()) {
+          clamped = true;  // y >= 0 required; 0 already covers every column
+        }
+        if (row_sense_[a.row] == Sense::kGreaterEqual && best.signum() > 0) {
+          clamped = true;  // y <= 0 required
+        }
+        if (!clamped) {
+          out.dual[a.row] = best;
+          out.basis[a.row] = {BasisColumn::Kind::kStructural, best_var};
+        }
+        // else: dual stays zero, identity column already assigned.
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ssco::lp

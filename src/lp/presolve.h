@@ -1,0 +1,119 @@
+#pragma once
+// Exact presolve / postsolve for the expanded model.
+//
+// The steady-state LPs carry a long tail of structure a simplex engine pays
+// for on every pivot: conservation rows whose variables are all forced to
+// zero (dead-end subgraphs of one commodity), rows that become empty or
+// singleton once those variables leave, duplicate/proportional rows from
+// symmetric platform regions, and columns no surviving row mentions.
+// Presolve removes them BEFORE the float solve — in exact rational
+// arithmetic, so every verdict (including infeasibility) is a proof, not a
+// tolerance call.
+//
+// Reductions, iterated to a fixpoint then closed with a duplicate pass:
+//   * empty row        -> feasibility check, drop (dual 0, identity column)
+//   * singleton row    -> == fixes the variable (its structural column later
+//                         carries the row in the postsolved basis; the row's
+//                         dual is reconstructed so the column prices to
+//                         exactly zero); redundant one-sided bounds drop
+//   * forcing row      -> rhs at the row's attainable extreme fixes every
+//                         variable in it at zero
+//   * empty column     -> fixed at zero when its objective coefficient is
+//                         <= 0 (a positive one is a certified unbounded ray,
+//                         which is left for the solver to report)
+//   * duplicate rows   -> exact proportionality groups keep only the
+//                         tightest row per direction; conflicts are proofs
+//                         of infeasibility
+//
+// postsolve() lifts an exact reduced-model (primal, dual, basis) triple
+// back to the full model, reconstructing the duals of eliminated rows so
+// that complementary slackness — and therefore ExactSolver's certificate —
+// holds on the full model whenever it held on the reduced one. The lifted
+// basis has one column per original row (eliminated rows get their own
+// slack/artificial, or the structural column of the variable they fixed),
+// so warm starts captured from a presolved solve map exactly like cold
+// ones. ExactSolver re-verifies the lifted pair against the FULL model, so
+// a presolve defect can cost a fallback, never a wrong answer.
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace ssco::lp {
+
+enum class PresolveStatus {
+  kReduced,     // `reduced` is ready to solve (possibly untouched)
+  kInfeasible,  // exact proof of primal infeasibility found
+};
+
+struct PresolveStats {
+  std::size_t rows_removed = 0;
+  /// Variables eliminated (fixed by rows, forced to zero, or dead columns).
+  std::size_t cols_removed = 0;
+};
+
+class Presolved {
+ public:
+  PresolveStatus status = PresolveStatus::kReduced;
+  ExpandedModel reduced;
+  PresolveStats stats;
+
+  /// True when no reduction fired — callers can skip postsolve entirely.
+  [[nodiscard]] bool identity() const {
+    return stats.rows_removed == 0 && stats.cols_removed == 0;
+  }
+
+  struct Lifted {
+    std::vector<Rational> primal;      // full shifted space
+    std::vector<Rational> dual;        // one per original expanded row
+    std::vector<BasisColumn> basis;    // one column per original row
+  };
+
+  /// Lifts an exact optimal (primal, dual, basis) triple of `reduced` back
+  /// to the original expanded model (see file comment). `reduced_basis`
+  /// must have one entry per reduced row (engine position order).
+  [[nodiscard]] Lifted postsolve(
+      const std::vector<Rational>& primal, const std::vector<Rational>& dual,
+      const std::vector<BasisColumn>& reduced_basis) const;
+
+ private:
+  friend Presolved presolve(const ExpandedModel& em);
+
+  struct FixedVar {
+    std::size_t var = 0;   // original index
+    Rational value;        // exact fixed value (>= 0)
+    Rational objective;    // original objective coefficient
+    /// Original column: every original row mentioning the variable.
+    std::vector<std::pair<std::size_t, Rational>> column;
+  };
+
+  struct Action {
+    enum class Kind {
+      kDropRedundantRow,  // y = 0, own identity column
+      kFixFree,           // empty column fixed at 0, no row involved
+      kFixByEquality,     // singleton == row fixed `fixed[0]`
+      kDropForcingRow,    // row at its attainable extreme fixed `fixed`
+    };
+    Kind kind = Kind::kDropRedundantRow;
+    std::size_t row = static_cast<std::size_t>(-1);  // original row index
+    std::vector<std::size_t> fixed;  // indices into fixed_
+  };
+
+  [[nodiscard]] BasisColumn identity_column(std::size_t row) const;
+
+  std::size_t orig_rows_ = 0;
+  std::size_t orig_vars_ = 0;
+  std::vector<std::size_t> var_map_;  // reduced var -> original var
+  std::vector<std::size_t> row_map_;  // reduced row -> original row
+  std::vector<Sense> row_sense_;      // original senses
+  std::vector<char> row_flipped_;     // original rhs sign (effective sense)
+  std::vector<FixedVar> fixed_;
+  std::vector<Action> actions_;       // chronological; postsolve walks back
+};
+
+/// Runs the reduction pipeline on `em`. The returned object keeps no
+/// reference to `em`.
+[[nodiscard]] Presolved presolve(const ExpandedModel& em);
+
+}  // namespace ssco::lp

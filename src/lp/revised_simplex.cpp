@@ -1,26 +1,63 @@
 #include "lp/revised_simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
 #include <vector>
 
+#include "lp/scaling.h"
+
 namespace ssco::lp {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
 RevisedSimplex::RevisedSimplex(const ExpandedModel& em, ColumnLayout layout,
-                               bool defer_initial_factor)
+                               bool defer_initial_factor, bool equilibrate)
     : em_(em), layout_(std::move(layout)) {
   const std::size_t m = em.rows.size();
   const std::size_t n = em.num_vars;
   m_ = m;
   num_cols_ = layout_.num_cols;
 
-  // Structural columns, gathered from the row-major expanded model.
+  row_scale_.assign(m, 1.0);
+  col_scale_.assign(num_cols_, 1.0);
+  if (equilibrate) {
+    Equilibration eq = Equilibration::geometric_mean(em);
+    if (!eq.identity) {
+      row_scale_ = std::move(eq.row_scale);
+      for (std::size_t j = 0; j < n; ++j) col_scale_[j] = eq.col_scale[j];
+      // Slack and artificial columns counter-scale so they stay exactly ±1:
+      // the identity start basis and every eta built on it keep the
+      // conditioning the equilibration just bought.
+      for (std::size_t i = 0; i < m; ++i) {
+        if (layout_.slack_col[i] != kNone) {
+          col_scale_[layout_.slack_col[i]] = 1.0 / row_scale_[i];
+        }
+        if (layout_.art_col[i] != kNone) {
+          col_scale_[layout_.art_col[i]] = 1.0 / row_scale_[i];
+        }
+      }
+    }
+  }
+
+  // Structural columns, gathered from the row-major expanded model, scaled.
   std::vector<std::vector<CscMatrix::Entry>> buckets(n);
   for (std::size_t i = 0; i < m; ++i) {
     for (const auto& [idx, coeff] : em.rows[i].coeffs) {
-      const double v = coeff.to_double();
+      const double v =
+          coeff.to_double() * row_scale_[i] * col_scale_[idx];
       buckets[idx].push_back({i, layout_.flipped[i] ? -v : v});
     }
   }
@@ -42,7 +79,7 @@ RevisedSimplex::RevisedSimplex(const ExpandedModel& em, ColumnLayout layout,
 
   rhs_.assign(m, 0.0);
   for (std::size_t i = 0; i < m; ++i) {
-    const double v = em.rows[i].rhs.to_double();
+    const double v = em.rows[i].rhs.to_double() * row_scale_[i];
     rhs_[i] = layout_.flipped[i] ? -v : v;
   }
 
@@ -80,56 +117,121 @@ std::vector<double> RevisedSimplex::phase1_costs() const {
 std::vector<double> RevisedSimplex::phase2_costs() const {
   std::vector<double> cost(num_cols_, 0.0);
   for (std::size_t j = 0; j < em_.num_vars; ++j) {
-    cost[j] = em_.objective[j].to_double();
+    cost[j] = em_.objective[j].to_double() * col_scale_[j];
   }
   return cost;
+}
+
+void RevisedSimplex::timed_ftran(std::vector<double>& x) {
+  const auto t0 = Clock::now();
+  lu_->ftran(x);
+  times_.ftran_ns += ns_since(t0);
+}
+
+void RevisedSimplex::timed_btran(std::vector<double>& x) {
+  const auto t0 = Clock::now();
+  lu_->btran(x);
+  times_.btran_ns += ns_since(t0);
 }
 
 SolveStatus RevisedSimplex::optimize(const std::vector<double>& cost,
                                      const SimplexOptions& opt,
                                      std::size_t& iterations) {
+  const bool devex = opt.pricing == PricingRule::kDevex;
+  if (devex) {
+    devex_w_.assign(num_cols_, 1.0);
+    recompute_reduced_costs(cost);
+  }
+  candidates_.clear();  // stale under a different cost vector
   std::size_t degenerate_run = 0;
   while (true) {
     if (!ok_) return SolveStatus::kIterationLimit;
     if (iterations >= opt.max_iterations) return SolveStatus::kIterationLimit;
     const bool bland = degenerate_run >= opt.bland_after;
 
-    compute_multipliers(cost);
-    const std::size_t entering = pick_entering(cost, bland);
+    std::size_t entering = kNone;
+    if (bland) {
+      compute_multipliers(cost);
+      entering = pick_bland(cost);
+      d_fresh_ = false;  // Bland pivots below bypass the update pass
+    } else if (devex) {
+      if (!d_fresh_) recompute_reduced_costs(cost);
+      entering = pick_devex();
+      if (entering == kNone && lu_->updates() > 0) {
+        // The updated reduced costs say optimal; confirm against a fresh
+        // factorization before believing them.
+        ok_ = refactor();
+        if (!ok_) return SolveStatus::kIterationLimit;
+        recompute_reduced_costs(cost);
+        entering = pick_devex();
+      }
+    } else {
+      compute_multipliers(cost);
+      entering = pick_dantzig(cost);
+    }
     if (entering == kNone) return SolveStatus::kOptimal;
 
     // Pivot column through the basis inverse.
     work_.assign(m_, 0.0);
     A_.scatter_column(entering, work_);
-    lu_->ftran(work_);
+    timed_ftran(work_);
 
     // Ratio test; ties go to the largest pivot (stability), or to the
     // smallest basic column index under Bland's rule (anti-cycling).
+    // A basic artificial (upper bound 0) whose value the step would RAISE
+    // blocks at ratio zero: that is how artificials parked at zero by a
+    // skipped phase 1 retire lazily instead of drifting positive.
     std::size_t leaving = kNone;
     double best_ratio = 0.0;
     for (std::size_t k = 0; k < m_; ++k) {
-      if (work_[k] <= kEps) continue;
-      const double ratio = std::max(xb_[k], 0.0) / work_[k];
+      double ratio;
+      if (work_[k] > kEps) {
+        ratio = std::max(xb_[k], 0.0) / work_[k];
+      } else if (work_[k] < -kEps && ub_[basis_[k]] == 0.0 &&
+                 xb_[k] <= kFeasTol) {
+        // Only a variable AT its zero bound blocks this way; a genuinely
+        // positive artificial mid-phase-1 is priced by the objective, not
+        // the ratio test.
+        ratio = 0.0;
+      } else {
+        continue;
+      }
       if (leaving == kNone || ratio < best_ratio - kTieTol) {
         leaving = k;
         best_ratio = ratio;
       } else if (ratio <= best_ratio + kTieTol) {
-        const bool take = bland ? basis_[k] < basis_[leaving]
-                                : work_[k] > work_[leaving];
+        const bool take = bland
+                              ? basis_[k] < basis_[leaving]
+                              : std::fabs(work_[k]) > std::fabs(work_[leaving]);
         if (take) {
           leaving = k;
           best_ratio = std::min(best_ratio, ratio);
         }
       }
     }
-    if (leaving == kNone) return SolveStatus::kUnbounded;
+    if (leaving == kNone) {
+      if (devex && lu_->updates() > 0) {
+        // An unbounded verdict through a long eta file may be drift;
+        // re-derive everything from a fresh factorization and retry.
+        ok_ = refactor();
+        if (!ok_) return SolveStatus::kIterationLimit;
+        recompute_reduced_costs(cost);
+        continue;
+      }
+      return SolveStatus::kUnbounded;
+    }
 
     if (std::max(xb_[leaving], 0.0) <= kDegenTol) {
       ++degenerate_run;
     } else {
       degenerate_run = 0;
     }
+    if (devex && !bland) update_pricing(leaving, entering);
     pivot(leaving, entering);
+    if (devex && lu_->updates() == 0) {
+      // pivot() refactorized: reduced-cost drift resets alongside it.
+      recompute_reduced_costs(cost);
+    }
     ++iterations;
   }
 }
@@ -152,7 +254,7 @@ void RevisedSimplex::expel_artificials() {
     // rho = r-th row of the basis inverse; rho' A_j is the pivot weight.
     rho_.assign(m_, 0.0);
     rho_[r] = 1.0;
-    lu_->btran(rho_);
+    timed_btran(rho_);
     std::size_t entering = kNone;
     for (std::size_t j = 0; j < layout_.art_start_col; ++j) {
       if (pos_of_col_[j] != kNone) continue;
@@ -164,7 +266,7 @@ void RevisedSimplex::expel_artificials() {
     if (entering == kNone) continue;  // redundant row
     work_.assign(m_, 0.0);
     A_.scatter_column(entering, work_);
-    lu_->ftran(work_);
+    timed_ftran(work_);
     if (std::fabs(work_[r]) <= kFeasTol) continue;
     pivot(r, entering);
   }
@@ -174,16 +276,19 @@ std::vector<double> RevisedSimplex::extract_primal() const {
   std::vector<double> x(em_.num_vars, 0.0);
   for (std::size_t k = 0; k < m_; ++k) {
     if (basis_[k] < em_.num_vars) {
-      x[basis_[k]] = std::fabs(xb_[k]) < kZeroTol ? 0.0 : xb_[k];
+      x[basis_[k]] =
+          std::fabs(xb_[k]) < kZeroTol ? 0.0 : xb_[k] * col_scale_[basis_[k]];
     }
   }
   for (std::size_t j = 0; j < em_.num_vars; ++j) {
-    if (at_upper_[j] && pos_of_col_[j] == kNone) x[j] = ub_[j];
+    if (at_upper_[j] && pos_of_col_[j] == kNone) x[j] = ub_[j] * col_scale_[j];
   }
   return x;
 }
 
 double RevisedSimplex::objective_value(const std::vector<double>& cost) const {
+  // Scaled costs against scaled values: the scale factors cancel, so this
+  // is the true (unscaled) objective.
   double z = 0.0;
   for (std::size_t k = 0; k < m_; ++k) {
     if (cost[basis_[k]] != 0.0) z += cost[basis_[k]] * xb_[k];
@@ -201,7 +306,8 @@ std::vector<double> RevisedSimplex::extract_duals(
   compute_multipliers(cost);
   std::vector<double> duals(m_, 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
-    duals[i] = layout_.flipped[i] ? -y_[i] : y_[i];
+    const double y = y_[i] * row_scale_[i];
+    duals[i] = layout_.flipped[i] ? -y : y;
   }
   return duals;
 }
@@ -217,49 +323,205 @@ std::vector<BasisColumn> RevisedSimplex::extract_basis() const {
 void RevisedSimplex::compute_multipliers(const std::vector<double>& cost) {
   y_.assign(m_, 0.0);
   for (std::size_t k = 0; k < m_; ++k) y_[k] = cost[basis_[k]];
-  lu_->btran(y_);
+  timed_btran(y_);
 }
 
-std::size_t RevisedSimplex::pick_entering(const std::vector<double>& cost,
-                                          bool bland) {
-  // Rotating partial pricing: scan chunks of columns starting at a cursor
-  // that persists across iterations; take the most negative reduced cost in
-  // the first chunk that has one. Optimality needs one full silent sweep.
-  // Bland mode scans everything in index order for anti-cycling.
-  if (bland) {
-    for (std::size_t j = 0; j < num_cols_; ++j) {
-      if (pos_of_col_[j] != kNone || barred_[j]) continue;
-      if (A_.dot_column(j, y_) - cost[j] < -kEps) return j;
-    }
-    return kNone;
+void RevisedSimplex::recompute_reduced_costs(const std::vector<double>& cost) {
+  compute_multipliers(cost);
+  const auto t0 = Clock::now();
+  d_.assign(num_cols_, 0.0);
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (pos_of_col_[j] != kNone || barred_[j]) continue;
+    d_[j] = A_.dot_column(j, y_) - cost[j];
   }
-  const std::size_t chunk =
-      std::min(num_cols_, std::max<std::size_t>(64, num_cols_ / 8));
-  std::size_t scanned = 0;
-  while (scanned < num_cols_) {
-    double best = -kEps;
-    std::size_t best_col = kNone;
-    // One chunk starting at the cursor, as up to two contiguous spans.
-    std::size_t begin = cursor_;
-    std::size_t remaining = chunk;
-    while (remaining > 0) {
-      const std::size_t end = std::min(begin + remaining, num_cols_);
-      for (std::size_t j = begin; j < end; ++j) {
-        if (pos_of_col_[j] != kNone || barred_[j]) continue;
-        const double d = A_.dot_column(j, y_) - cost[j];
-        if (d < best) {
-          best = d;
-          best_col = j;
-        }
+  d_fresh_ = true;
+  times_.pricing_ns += ns_since(t0);
+}
+
+std::size_t RevisedSimplex::pick_devex() const {
+  const auto t0 = Clock::now();
+  // Maximize d_j^2 / w_j over eligible columns with d_j < -kEps; compare by
+  // cross-multiplication to keep the scan division-free.
+  std::size_t best = kNone;
+  double best_num = 0.0;
+  double best_w = 1.0;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (pos_of_col_[j] != kNone || barred_[j]) continue;
+    const double d = d_[j];
+    if (d >= -kEps) continue;
+    const double num = d * d;
+    if (best == kNone || num * best_w > best_num * devex_w_[j]) {
+      best = j;
+      best_num = num;
+      best_w = devex_w_[j];
+    }
+  }
+  times_.pricing_ns += ns_since(t0);
+  return best;
+}
+
+std::size_t RevisedSimplex::pick_dantzig(const std::vector<double>& cost) {
+  const auto t0 = Clock::now();
+  // Multiple pricing (Orchard-Hays): a MAJOR full sweep collects the most
+  // negative reduced-cost columns into a candidate list; MINOR iterations
+  // then price only those few dozen columns against the fresh multipliers
+  // — a few hundred flops instead of a matrix-wide scan — until the list
+  // runs dry and the next major sweep refills it. Optimality is still
+  // decided by a full silent sweep.
+  constexpr std::size_t kCandidates = 64;
+
+  // Minor pass: reprice the surviving candidates exactly.
+  double best = -kEps;
+  std::size_t best_col = kNone;
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    const std::size_t j = candidates_[c];
+    if (pos_of_col_[j] != kNone || barred_[j]) continue;
+    const double d = A_.dot_column(j, y_) - cost[j];
+    if (d >= -kEps) continue;  // turned non-improving: drop from the list
+    candidates_[kept++] = j;
+    if (d < best) {
+      best = d;
+      best_col = j;
+    }
+  }
+  candidates_.resize(kept);
+  if (best_col != kNone) {
+    times_.pricing_ns += ns_since(t0);
+    return best_col;
+  }
+
+  // Major pass: full sweep, keeping the kCandidates most negative.
+  candidates_.clear();
+  candidate_d_.clear();
+  double worst_kept = 0.0;  // largest (least negative) d in the list
+  std::size_t worst_at = 0;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (pos_of_col_[j] != kNone || barred_[j]) continue;
+    const double d = A_.dot_column(j, y_) - cost[j];
+    if (d >= -kEps) continue;
+    if (candidates_.size() < kCandidates) {
+      candidates_.push_back(j);
+      candidate_d_.push_back(d);
+    } else if (d < worst_kept) {
+      candidates_[worst_at] = j;
+      candidate_d_[worst_at] = d;
+    } else {
+      continue;
+    }
+    worst_kept = candidate_d_[0];
+    worst_at = 0;
+    for (std::size_t c = 1; c < candidate_d_.size(); ++c) {
+      if (candidate_d_[c] > worst_kept) {
+        worst_kept = candidate_d_[c];
+        worst_at = c;
       }
-      remaining -= end - begin;
-      begin = end == num_cols_ ? 0 : end;
     }
-    cursor_ = begin;
-    scanned += chunk;
-    if (best_col != kNone) return best_col;
   }
-  return kNone;
+  for (std::size_t c = 0; c < candidate_d_.size(); ++c) {
+    if (best_col == kNone || candidate_d_[c] < best) {
+      best = candidate_d_[c];
+      best_col = candidates_[c];
+    }
+  }
+  times_.pricing_ns += ns_since(t0);
+  return best_col;
+}
+
+std::size_t RevisedSimplex::pick_bland(const std::vector<double>& cost) {
+  const auto t0 = Clock::now();
+  std::size_t found = kNone;
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    if (pos_of_col_[j] != kNone || barred_[j]) continue;
+    if (A_.dot_column(j, y_) - cost[j] < -kEps) {
+      found = j;
+      break;
+    }
+  }
+  times_.pricing_ns += ns_since(t0);
+  return found;
+}
+
+void RevisedSimplex::ensure_row_mirror() {
+  // Built on first use: only the dual loop and Devex pricing walk the
+  // matrix row-wise, so a cold Dantzig solve never pays the O(nnz) copy.
+  if (!row_start_.empty()) return;
+  row_start_.assign(m_ + 1, 0);
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    for (const CscMatrix::Entry* e = A_.col_begin(j); e != A_.col_end(j);
+         ++e) {
+      ++row_start_[e->row + 1];
+    }
+  }
+  for (std::size_t i = 0; i < m_; ++i) row_start_[i + 1] += row_start_[i];
+  row_entries_.resize(A_.num_nonzeros());
+  std::vector<std::size_t> fill(row_start_.begin(), row_start_.end() - 1);
+  for (std::size_t j = 0; j < num_cols_; ++j) {
+    for (const CscMatrix::Entry* e = A_.col_begin(j); e != A_.col_end(j);
+         ++e) {
+      row_entries_[fill[e->row]++] = {j, e->value};
+    }
+  }
+  alpha_.assign(num_cols_, 0.0);
+  alpha_seen_.assign(num_cols_, 0);
+}
+
+void RevisedSimplex::compute_pivot_row(const std::vector<double>& rho) {
+  ensure_row_mirror();
+  for (std::size_t j : touched_cols_) {
+    alpha_[j] = 0.0;
+    alpha_seen_[j] = 0;
+  }
+  touched_cols_.clear();
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double ri = rho[i];
+    if (ri == 0.0) continue;
+    const std::size_t end = row_start_[i + 1];
+    for (std::size_t k = row_start_[i]; k < end; ++k) {
+      const auto& [col, value] = row_entries_[k];
+      if (!alpha_seen_[col]) {
+        alpha_seen_[col] = 1;
+        touched_cols_.push_back(col);
+      }
+      alpha_[col] += ri * value;
+    }
+  }
+}
+
+void RevisedSimplex::update_pricing(std::size_t r, std::size_t e) {
+  // One BTRAN of the leaving unit vector gives the pivot row; a single
+  // row-major pass over its nonzeros then updates every affected reduced
+  // cost (d_j -= theta_d * alpha_rj) and Devex weight (w_j = max(w_j,
+  // (alpha_rj/alpha_rq)^2 w_q)) — columns the pivot row misses keep both
+  // unchanged, so the whole pricing refresh costs only the intersected
+  // part of the matrix.
+  rho_.assign(m_, 0.0);
+  rho_[r] = 1.0;
+  timed_btran(rho_);
+
+  const auto t0 = Clock::now();
+  compute_pivot_row(rho_);
+  const double arq = work_[r];
+  const double theta_d = d_[e] / arq;
+  const double wq_over = devex_w_[e] / (arq * arq);
+  for (std::size_t j : touched_cols_) {
+    if (pos_of_col_[j] != kNone || barred_[j] || j == e) continue;
+    const double arj = alpha_[j];
+    if (arj == 0.0) continue;
+    d_[j] -= theta_d * arj;
+    const double cand = arj * arj * wq_over;
+    if (cand > devex_w_[j]) devex_w_[j] = cand;
+  }
+  // The leaving column exits with alpha_r,leaving == 1 exactly.
+  const std::size_t leaving_col = basis_[r];
+  d_[leaving_col] = -theta_d;
+  devex_w_[leaving_col] = std::max(wq_over, 1.0);
+  d_[e] = 0.0;
+  if (wq_over > kDevexReset) {
+    // Reference framework drifted too far: restart it.
+    std::fill(devex_w_.begin(), devex_w_.end(), 1.0);
+  }
+  times_.pricing_ns += ns_since(t0);
 }
 
 void RevisedSimplex::pivot(std::size_t r, std::size_t e) {
@@ -268,6 +530,13 @@ void RevisedSimplex::pivot(std::size_t r, std::size_t e) {
   double theta = std::max(xb_[r], 0.0) / work_[r];
   if (std::fabs(xb_[r]) < kEps && is_artificial(basis_[r])) {
     theta = 0.0;  // degenerate expel: the artificial's true value is zero
+  }
+  if (theta < 0.0) {
+    // A zero-upper-bound column leaving on a NEGATIVE pivot weight (the
+    // bounded ratio-test case) steps by (xb - 0)/work, which rounds to a
+    // tiny negative value when xb sits just above its bound; the true
+    // step is zero.
+    theta = 0.0;
   }
   for (std::size_t k = 0; k < m_; ++k) {
     if (k == r || work_[k] == 0.0) continue;
@@ -278,17 +547,34 @@ void RevisedSimplex::pivot(std::size_t r, std::size_t e) {
   pos_of_col_[basis_[r]] = kNone;
   basis_[r] = e;
   pos_of_col_[e] = r;
-  if (!lu_->update(r, work_) || lu_->updates() >= kRefactorInterval) {
+  if (!lu_->update(r, work_) || should_refactor()) {
     ok_ = refactor();
   }
+}
+
+bool RevisedSimplex::should_refactor() const {
+  const std::size_t updates = lu_->updates();
+  if (updates < kMinRefactorInterval) return false;
+  if (updates >= kMaxRefactorInterval) return true;
+  // Adaptive trigger: refactorize once applying the eta file costs clearly
+  // more than applying the factors themselves — then a fresh factorization
+  // pays for itself within a few iterations (and resets drift). The m term
+  // keeps a sparse identity-like factorization from triggering after a
+  // handful of dense etas; the factor of two accounts for refactorization
+  // costing several applications' worth of work.
+  return lu_->eta_nonzeros() > 4 * (lu_->factor_nonzeros() + 2 * m_);
 }
 
 bool RevisedSimplex::refactor() {
   // Factors the current basis from scratch and recomputes the basic values,
   // resetting accumulated floating-point drift. Nonbasic columns parked at
   // a finite upper bound contribute like a shifted right-hand side.
+  const auto t0 = Clock::now();
   auto lu = BasisLu::factor(A_, basis_);
-  if (!lu) return false;
+  if (!lu) {
+    times_.factor_ns += ns_since(t0);
+    return false;
+  }
   lu_ = std::move(*lu);
   xb_ = rhs_;
   for (std::size_t j = 0; j < num_cols_; ++j) {
@@ -300,24 +586,36 @@ bool RevisedSimplex::refactor() {
   for (double& v : xb_) {
     if (std::fabs(v) < kZeroTol) v = 0.0;
   }
+  times_.factor_ns += ns_since(t0);
   return true;
 }
 
 SimplexResult<double> solve_revised_simplex(const ExpandedModel& em,
                                             const SimplexOptions& options) {
   SimplexResult<double> result;
-  RevisedSimplex simplex(em);
+  RevisedSimplex simplex(em, ColumnLayout::from(em),
+                         /*defer_initial_factor=*/false, options.equilibrate);
   if (!simplex.ok()) return result;  // kIterationLimit: certify paths bail out
 
-  if (simplex.has_artificials()) {
+  // Zero-RHS == rows (flow conservation, throughput coupling — the bulk of
+  // every steady-state model here) start with their artificial basic at
+  // exactly zero, so the identity basis is already primal feasible and the
+  // whole phase-1 pivot storm plus the eager artificial expulsion would be
+  // pure degenerate churn. Skip both: the artificials stay basic at zero
+  // behind their zero upper bound, and the bounded ratio test retires one
+  // the moment a phase-2 step would lift it.
+  if (simplex.has_artificials() &&
+      simplex.infeasibility() > RevisedSimplex::kFeasTol) {
     SolveStatus s1 =
         simplex.optimize(simplex.phase1_costs(), options, result.iterations);
     if (s1 == SolveStatus::kIterationLimit) {
       result.status = s1;
+      result.phase_times = simplex.phase_times();
       return result;
     }
     if (simplex.infeasibility() > RevisedSimplex::kFeasTol) {
       result.status = SolveStatus::kInfeasible;
+      result.phase_times = simplex.phase_times();
       return result;
     }
     simplex.expel_artificials();
@@ -326,6 +624,7 @@ SimplexResult<double> solve_revised_simplex(const ExpandedModel& em,
   const std::vector<double> cost = simplex.phase2_costs();
   SolveStatus s2 = simplex.optimize(cost, options, result.iterations);
   result.status = s2;
+  result.phase_times = simplex.phase_times();
   if (s2 != SolveStatus::kOptimal) return result;
 
   simplex.refresh();
@@ -337,6 +636,7 @@ SimplexResult<double> solve_revised_simplex(const ExpandedModel& em,
   result.dual = simplex.extract_duals(cost);
   result.objective = simplex.objective_value(cost);
   result.basis = simplex.extract_basis();
+  result.phase_times = simplex.phase_times();
   return result;
 }
 

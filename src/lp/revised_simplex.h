@@ -6,13 +6,23 @@
 // held as a sparse LU factorization with product-form eta updates
 // (lp/basis_lu.h) over a CSC copy of the expanded constraint matrix
 // (lp/sparse.h):
-//   * reduced costs come from one BTRAN per iteration plus sparse
-//     column dots, scanned with rotating partial pricing;
+//   * the entering variable comes from Devex reference-framework pricing
+//     over reduced costs that are UPDATED each pivot from the pivot row
+//     (one BTRAN of the leaving unit vector plus one sparse pass), with
+//     rotating partial Dantzig available behind SimplexOptions::pricing
+//     and Bland's rule as the automatic degeneracy fallback for both;
 //   * the pivot column comes from one FTRAN;
-//   * a pivot appends one eta vector; the basis is refactorized every
-//     `kRefactorInterval` pivots, which also recomputes the basic values
-//     and damps floating-point drift.
+//   * a pivot appends one eta vector; the basis is refactorized when the
+//     eta-file fill rivals the LU factor fill (see should_refactor()),
+//     which also recomputes the basic values and damps floating-point
+//     drift.
 // Per-iteration cost is O(nnz) instead of the dense tableau's O(m * cols).
+//
+// The constraint matrix is equilibrated at construction (lp/scaling.h,
+// power-of-two geometric-mean factors, exactly undone on extraction) unless
+// the caller opts out; all tolerances therefore apply in the scaled space,
+// which is the point — heterogeneous-platform models mix coefficient
+// magnitudes across many orders.
 //
 // The engine class is exposed here (not just the solve_* driver) because the
 // incremental re-solve path (lp/dual_simplex.h) drives the same state
@@ -57,8 +67,14 @@ class RevisedSimplex {
   /// A pivot whose leaving value (primal) or ratio (dual) is below this
   /// counts as degenerate.
   static constexpr double kDegenTol = 1e-10;
-  /// Eta updates absorbed before the basis is refactorized from scratch.
-  static constexpr std::size_t kRefactorInterval = 96;
+  /// Eta-update count below which refactorization is never considered and
+  /// hard cap at which it always happens; between the two, the trigger is
+  /// eta fill exceeding LU factor fill (adaptive — sparse etas on a big
+  /// factorization run much longer than the old fixed period of 96).
+  static constexpr std::size_t kMinRefactorInterval = 24;
+  static constexpr std::size_t kMaxRefactorInterval = 256;
+  /// A Devex weight grown past this restarts the reference framework.
+  static constexpr double kDevexReset = 1e8;
 
   explicit RevisedSimplex(const ExpandedModel& em)
       : RevisedSimplex(em, false) {}
@@ -69,8 +85,9 @@ class RevisedSimplex {
       : RevisedSimplex(em, ColumnLayout::from(em), defer_initial_factor) {}
   /// Takes a prebuilt layout (must equal ColumnLayout::from(em)) so callers
   /// that already computed one — the warm-start mapping — don't pay twice.
+  /// `equilibrate` toggles geometric-mean scaling of the internal matrix.
   RevisedSimplex(const ExpandedModel& em, ColumnLayout layout,
-                 bool defer_initial_factor);
+                 bool defer_initial_factor, bool equilibrate = true);
 
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] bool has_artificials() const {
@@ -79,6 +96,10 @@ class RevisedSimplex {
   [[nodiscard]] const ColumnLayout& layout() const { return layout_; }
 
   [[nodiscard]] std::vector<double> phase1_costs() const;
+  /// Objective costs in the engine's SCALED space — the vector every
+  /// optimize()/dual_optimize()/extract_duals()/objective_value() call
+  /// expects. objective_value() is scale-invariant, so it reports the true
+  /// (unscaled) objective.
   [[nodiscard]] std::vector<double> phase2_costs() const;
 
   /// Primal simplex pivot loop for the given column costs, from the current
@@ -93,7 +114,7 @@ class RevisedSimplex {
   /// A basis with no absorbed updates is already fresh.
   void refresh();
 
-  /// Sum of basic artificial values (the phase-1 residual).
+  /// Sum of basic artificial values (the phase-1 residual, scaled space).
   [[nodiscard]] double infeasibility() const;
 
   /// After a feasible phase 1, drive basic artificials out of the basis
@@ -109,6 +130,10 @@ class RevisedSimplex {
       const std::vector<double>& cost);
   [[nodiscard]] std::vector<BasisColumn> extract_basis() const;
 
+  /// FTRAN/BTRAN/pricing/factorization wall-clock accumulated over every
+  /// loop run on this engine.
+  [[nodiscard]] const SolvePhaseTimes& phase_times() const { return times_; }
+
   // --- Warm-start / dual-simplex extensions (defined in dual_simplex.cpp) --
 
   /// Replaces the current basis with the given column selection (one column
@@ -117,12 +142,13 @@ class RevisedSimplex {
   /// unusable — when the selection is malformed or numerically singular.
   [[nodiscard]] bool load_basis(const std::vector<std::size_t>& columns);
 
-  /// Sets the upper bound of a column ([0, ub]; ub == 0 fixes the column at
-  /// zero, which is how completion artificials are neutralized). Bounds are
-  /// honoured by the DUAL pivot loop only; see the file comment. Call only
-  /// while `col` is nonbasic at its lower bound — i.e. set bounds up front,
-  /// before load_basis()/dual_optimize() — a mid-solve change would leave
-  /// the cached basic values stale (asserted in debug builds).
+  /// Sets the upper bound of a column ([0, ub] in ORIGINAL units; ub == 0
+  /// fixes the column at zero, which is how completion artificials are
+  /// neutralized). Bounds are honoured by the DUAL pivot loop only; see the
+  /// file comment. Call only while `col` is nonbasic at its lower bound —
+  /// i.e. set bounds up front, before load_basis()/dual_optimize() — a
+  /// mid-solve change would leave the cached basic values stale (asserted
+  /// in debug builds).
   void set_column_upper_bound(std::size_t col, double ub);
 
   /// Shifts costs down (at-lower) or up (at-upper) wherever the current
@@ -132,13 +158,14 @@ class RevisedSimplex {
 
   /// Dual simplex pivot loop: from a dual-feasible basis, restores primal
   /// feasibility (kOptimal for the given costs). Uses the bound-flipping
-  /// dual ratio test; switches to a Bland-style rule after a degenerate run.
-  /// kInfeasible means the PRIMAL is infeasible (dual unbounded).
+  /// dual ratio test with dual Devex row pricing; switches to a Bland-style
+  /// rule after a degenerate run. kInfeasible means the PRIMAL is
+  /// infeasible (dual unbounded).
   SolveStatus dual_optimize(const std::vector<double>& cost,
                             const SimplexOptions& opt,
                             std::size_t& iterations);
 
-  /// Largest violation of [0, ub] over the basic values.
+  /// Largest violation of [0, ub] over the basic values (scaled space).
   [[nodiscard]] double primal_infeasibility() const;
 
   /// True when some non-fixed boxed column is parked at its upper bound —
@@ -152,14 +179,37 @@ class RevisedSimplex {
 
   /// y_ = B^-T c_B (row space): the simplex multipliers for `cost`.
   void compute_multipliers(const std::vector<double>& cost);
-  [[nodiscard]] std::size_t pick_entering(const std::vector<double>& cost,
-                                          bool bland);
+  /// Fills d_ with exact reduced costs (one BTRAN + one sparse pass).
+  void recompute_reduced_costs(const std::vector<double>& cost);
+  /// Devex candidate: most negative d_j^2 / w_j, or kNone.
+  [[nodiscard]] std::size_t pick_devex() const;
+  /// Rotating partial Dantzig candidate (needs fresh multipliers in y_).
+  [[nodiscard]] std::size_t pick_dantzig(const std::vector<double>& cost);
+  /// Bland candidate: first negative reduced cost in index order (needs
+  /// fresh multipliers in y_).
+  [[nodiscard]] std::size_t pick_bland(const std::vector<double>& cost);
+  /// Pivot-row pass run BEFORE the exchange: updates reduced costs and
+  /// Devex weights from row `r` with entering column `e` (work_ must hold
+  /// the FTRAN-transformed entering column).
+  void update_pricing(std::size_t r, std::size_t e);
+  /// alpha_r = rho' A computed row-major over rho's nonzeros only: fills
+  /// alpha_ for the columns in touched_cols_ (previous contents cleared).
+  /// Much cheaper than a per-column dot pass while rho is sparse — which,
+  /// fresh after a refactorization, it usually is.
+  void compute_pivot_row(const std::vector<double>& rho);
+  /// Builds the CSR mirror on first compute_pivot_row use.
+  void ensure_row_mirror();
   void pivot(std::size_t r, std::size_t e);
   [[nodiscard]] bool refactor();
+  [[nodiscard]] bool should_refactor() const;
 
   /// Flips nonbasic column j to the opposite bound and folds the jump into
   /// the basic values (one FTRAN). Dual-loop helper.
   void flip_bound(std::size_t j);
+
+  // Timed kernel wrappers (accumulate into times_).
+  void timed_ftran(std::vector<double>& x);
+  void timed_btran(std::vector<double>& x);
 
   const ExpandedModel& em_;
   ColumnLayout layout_;
@@ -174,11 +224,33 @@ class RevisedSimplex {
   std::vector<std::size_t> basis_;       // position -> column
   std::vector<std::size_t> pos_of_col_;  // column -> position or kNone
   std::optional<BasisLu> lu_;
-  std::size_t cursor_ = 0;
   bool ok_ = false;
   std::vector<double> y_;     // simplex multipliers, row space
   std::vector<double> work_;  // FTRAN scratch
-  std::vector<double> rho_;   // BTRAN scratch (expel / dual pricing row)
+  std::vector<double> rho_;   // BTRAN scratch (pricing row / expel / dual)
+  // Equilibration state: scaled value = original * row_scale * col_scale;
+  // identity vectors when scaling is off or a no-op.
+  std::vector<double> row_scale_;
+  std::vector<double> col_scale_;  // full column space (slacks/artificials
+                                   // carry 1/row_scale so they stay ±1)
+  // Row-major copy of A_ for pivot-row computation (CSR: one entry list
+  // per row, including the slack/artificial identity entries).
+  std::vector<std::size_t> row_start_;
+  std::vector<CscMatrix::Entry> row_entries_;  // .row field holds the COLUMN
+  // Pivot-row scratch: alpha_ holds values for the columns listed in
+  // touched_cols_; zeroed again after each use.
+  std::vector<double> alpha_;
+  std::vector<char> alpha_seen_;
+  std::vector<std::size_t> touched_cols_;
+  // Multiple-pricing candidate list (kDantzig; valid within one
+  // optimize() run).
+  std::vector<std::size_t> candidates_;
+  std::vector<double> candidate_d_;
+  // Devex pricing state (valid during one optimize() run).
+  std::vector<double> d_;        // reduced costs, updated per pivot
+  std::vector<double> devex_w_;  // reference-framework weights
+  bool d_fresh_ = false;
+  mutable SolvePhaseTimes times_;
 };
 
 }  // namespace ssco::lp

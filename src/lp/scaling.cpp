@@ -1,0 +1,87 @@
+#include "lp/scaling.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ssco::lp {
+
+namespace {
+
+/// Nearest power of two to `v` (v > 0), exact in double arithmetic.
+double pow2_round(double v) {
+  int exp = 0;
+  const double mantissa = std::frexp(v, &exp);  // v = mantissa * 2^exp
+  // mantissa in [0.5, 1): round to 0.5 (exp - 1) or 1.0 (exp) by the
+  // geometric midpoint 1/sqrt(2) ~ 0.7071.
+  return std::ldexp(1.0, mantissa < 0.70710678118654752 ? exp - 1 : exp);
+}
+
+}  // namespace
+
+Equilibration Equilibration::geometric_mean(const ExpandedModel& em,
+                                            int rounds) {
+  const std::size_t m = em.rows.size();
+  const std::size_t n = em.num_vars;
+  Equilibration eq;
+  eq.row_scale.assign(m, 1.0);
+  eq.col_scale.assign(n, 1.0);
+
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> lo, hi;
+  for (int round = 0; round < rounds; ++round) {
+    // Row sweep: r_i <- r_i / sqrt(min * max) of the current scaled row.
+    lo.assign(m, inf);
+    hi.assign(m, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+        const double a =
+            std::fabs(coeff.to_double()) * eq.row_scale[i] * eq.col_scale[idx];
+        if (a == 0.0 || !std::isfinite(a)) continue;
+        lo[i] = std::min(lo[i], a);
+        hi[i] = std::max(hi[i], a);
+      }
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (hi[i] > 0.0) {
+        eq.row_scale[i] = pow2_round(eq.row_scale[i] / std::sqrt(lo[i] * hi[i]));
+      }
+    }
+    // Column sweep over the row-major storage.
+    lo.assign(n, inf);
+    hi.assign(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+        const double a =
+            std::fabs(coeff.to_double()) * eq.row_scale[i] * eq.col_scale[idx];
+        if (a == 0.0 || !std::isfinite(a)) continue;
+        lo[idx] = std::min(lo[idx], a);
+        hi[idx] = std::max(hi[idx], a);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (hi[j] > 0.0) {
+        eq.col_scale[j] =
+            pow2_round(eq.col_scale[j] / std::sqrt(lo[j] * hi[j]));
+      }
+    }
+  }
+
+  eq.identity = true;
+  for (double r : eq.row_scale) {
+    if (r != 1.0) {
+      eq.identity = false;
+      break;
+    }
+  }
+  if (eq.identity) {
+    for (double c : eq.col_scale) {
+      if (c != 1.0) {
+        eq.identity = false;
+        break;
+      }
+    }
+  }
+  return eq;
+}
+
+}  // namespace ssco::lp

@@ -1,0 +1,49 @@
+#pragma once
+// Geometric-mean equilibration scaling for the double simplex regime.
+//
+// Heterogeneous platforms put wildly different magnitudes into one LP: a
+// WAN link costs 1/2 while a LAN link costs 1/1000, and message sizes
+// multiply on top, so one-port rows mix coefficients across six orders of
+// magnitude. The float engine's fixed tolerances (kEps, kFeasTol) are then
+// simultaneously too loose for the small entries and too tight for the
+// large ones, which costs pivots and — worse — produces drifted optima the
+// rational certificate rejects. Equilibration rescales rows and columns so
+// every nonzero is near 1: a~_ij = r_i * a_ij * c_j, with r and c chosen by
+// the classic alternating geometric-mean rule r_i = 1/sqrt(min_j|a_ij| *
+// max_j|a_ij|) (then the same per column).
+//
+// Every factor is rounded to a power of two, so applying and undoing the
+// scaling is EXACT in double arithmetic: the unscaled primal/dual values
+// the certificate reconstructs are bit-identical to what an unscaled solve
+// of a perfectly conditioned model would produce, and the scaled model's
+// rationals stay exactly representable (a power-of-two multiple of a
+// rational has the same continued-fraction structure).
+//
+// The scaling is an engine-internal change of variables: RevisedSimplex
+// applies it when building its CSC matrix and unscales on extraction, so
+// the SimplexResult contract (and everything above it — certificates, warm
+// starts, basis identities) is unchanged. The exact rational tableau never
+// scales; it does not need to.
+
+#include <vector>
+
+#include "lp/simplex.h"
+
+namespace ssco::lp {
+
+struct Equilibration {
+  /// Per expanded-row factor r_i (power of two, > 0).
+  std::vector<double> row_scale;
+  /// Per structural-variable factor c_j (power of two, > 0).
+  std::vector<double> col_scale;
+  /// True when every factor is exactly 1 (scaling is a no-op).
+  bool identity = true;
+
+  /// Alternating geometric-mean equilibration over the expanded model's
+  /// structural coefficients, `rounds` row/column sweeps, factors rounded
+  /// to powers of two.
+  [[nodiscard]] static Equilibration geometric_mean(const ExpandedModel& em,
+                                                    int rounds = 2);
+};
+
+}  // namespace ssco::lp

@@ -38,4 +38,26 @@ std::string format_metrics(const ServiceMetrics& metrics) {
   return os.str();
 }
 
+std::string format_solver_stats(const lp::SolverStats& stats) {
+  std::ostringstream os;
+  os << io::banner("exact solver");
+  io::Table table({"metric", "value"});
+  table.add_row({"solves", std::to_string(stats.solves)});
+  table.add_row({"float pivots", std::to_string(stats.float_pivots)});
+  table.add_row({"exact pivots", std::to_string(stats.exact_pivots)});
+  table.add_row({"warm attempts", std::to_string(stats.warm_attempts)});
+  table.add_row({"warm solves", std::to_string(stats.warm_solves)});
+  table.add_row({"exact fallbacks", std::to_string(stats.exact_fallbacks)});
+  table.add_row(
+      {"presolve rows removed", std::to_string(stats.presolve_rows_removed)});
+  table.add_row(
+      {"presolve cols removed", std::to_string(stats.presolve_cols_removed)});
+  table.add_row({"ftran time", io::millis(stats.ftran_ns)});
+  table.add_row({"btran time", io::millis(stats.btran_ns)});
+  table.add_row({"pricing time", io::millis(stats.pricing_ns)});
+  table.add_row({"factorization time", io::millis(stats.factor_ns)});
+  os << table.to_string();
+  return os.str();
+}
+
 }  // namespace ssco::service

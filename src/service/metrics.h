@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "lp/exact_solver.h"
+
 namespace ssco::service {
 
 /// One cache shard's view (see plan_cache.h).
@@ -60,5 +62,10 @@ struct ServiceMetrics {
 /// Renders the metrics as io/report tables (shard table + totals) for
 /// benches and examples.
 [[nodiscard]] std::string format_metrics(const ServiceMetrics& metrics);
+
+/// Renders an ExactSolver's aggregate telemetry — solve/pivot counters plus
+/// the FTRAN/BTRAN/pricing/factorization wall-clock breakdown and presolve
+/// reductions — as an io/report table for benches and examples.
+[[nodiscard]] std::string format_solver_stats(const lp::SolverStats& stats);
 
 }  // namespace ssco::service

@@ -179,16 +179,21 @@ TEST(ReduceLp, TargetNeedNotParticipate) {
   EXPECT_EQ(sol.validate(inst), "");
 }
 
-TEST(ReduceLp, DegenerateInstanceCertifiesViaBasisVerification) {
-  // Regression: this instance's optimal vertex has coordinates whose
-  // denominators exceed float-reconstruction range; the certificate must be
-  // produced by the basis-verification stage, never by the (hours-slow)
-  // exact-simplex fallback.
+TEST(ReduceLp, DegenerateInstanceCertifiesWithoutExactFallback) {
+  // Regression: this instance's optimal vertex is heavily degenerate; the
+  // certificate must come from one of the float-warm-started stages
+  // (reconstruction, or basis verification when the vertex denominators
+  // exceed float-reconstruction range), never from the (hours-slow)
+  // exact-simplex fallback. Which of the two float stages lands depends on
+  // the vertex the engine picks — equilibration moved this instance from
+  // basis verification to plain reconstruction.
   auto inst = testing::random_reduce_instance(44, 9, 6);
   ReduceSolution sol = solve_reduce(inst);
   EXPECT_EQ(sol.throughput, R("3/4"));
   EXPECT_TRUE(sol.certified);
-  EXPECT_EQ(sol.lp_method, "double+basis-verification");
+  EXPECT_TRUE(sol.lp_method == "double+certificate" ||
+              sol.lp_method == "double+basis-verification")
+      << sol.lp_method;
   EXPECT_EQ(sol.validate(inst), "");
 }
 

@@ -168,5 +168,23 @@ TEST(BasisLu, EmptyBasis) {
   EXPECT_TRUE(x.empty());
 }
 
+TEST(BasisLu, FillAccountingDrivesAdaptiveRefactorization) {
+  // factor_nonzeros() counts L + U + diagonal; eta_nonzeros() grows by one
+  // pivot term plus the off-pivot entries per absorbed update. The simplex
+  // drivers compare the two to decide when a refactorization pays.
+  CscMatrix m = from_dense(kB);
+  auto lu = BasisLu::factor(m, identity_selection(3));
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_GE(lu->factor_nonzeros(), 3u);  // at least the diagonal
+  EXPECT_EQ(lu->eta_nonzeros(), 0u);
+
+  std::vector<double> w = {1.0, 2.0, 0.0};  // two nonzeros: pivot + 1 term
+  ASSERT_TRUE(lu->update(0, w));
+  EXPECT_EQ(lu->eta_nonzeros(), 2u);
+  std::vector<double> w2 = {0.5, 1.5, 2.5};
+  ASSERT_TRUE(lu->update(2, w2));
+  EXPECT_EQ(lu->eta_nonzeros(), 5u);
+}
+
 }  // namespace
 }  // namespace ssco::lp

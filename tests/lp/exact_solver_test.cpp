@@ -75,13 +75,22 @@ TEST(ExactSolver, NoFallbackReportsHonestly) {
 }
 
 TEST(ExactSolver, InfeasibleProvenByExactPath) {
+  // x <= 1 (bound row) conflicts with x >= 2: the exact presolve proves
+  // this directly (conflicting proportional singleton rows); with presolve
+  // off, the rational simplex must be the prover — never a float verdict.
   Model m;
   VarId x = m.add_variable("x", Rational(0), Rational(1));
   m.add_constraint(LinearExpr().add(x, Rational(1)), Sense::kGreaterEqual,
                    Rational(2));
   auto sol = ExactSolver().solve(m);
   EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
-  EXPECT_EQ(sol.method, "exact-simplex");
+  EXPECT_EQ(sol.method, "presolve");
+
+  ExactSolverOptions no_presolve;
+  no_presolve.presolve = false;
+  auto exact = ExactSolver(no_presolve).solve(m);
+  EXPECT_EQ(exact.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(exact.method, "exact-simplex");
 }
 
 TEST(ExactSolver, UnboundedDetected) {

@@ -1,0 +1,319 @@
+#include "lp/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/rng.h"
+#include "lp/exact_solver.h"
+
+namespace ssco::lp {
+namespace {
+
+using num::Rational;
+
+/// Solves `model` twice — presolve on and off — and asserts both certify
+/// the identical exact objective; returns the presolved solution.
+ExactSolution assert_presolve_agrees(const Model& model) {
+  ExactSolverOptions with;
+  with.presolve = true;
+  ExactSolverOptions without;
+  without.presolve = false;
+  auto a = ExactSolver(with).solve(model);
+  auto b = ExactSolver(without).solve(model);
+  EXPECT_EQ(a.status, b.status);
+  if (a.status == SolveStatus::kOptimal) {
+    EXPECT_TRUE(a.certified);
+    EXPECT_TRUE(b.certified);
+    EXPECT_EQ(a.objective, b.objective);
+  }
+  return a;
+}
+
+TEST(Presolve, IdentityOnIrreducibleModel) {
+  // The classic 2x2 has nothing to remove; presolve must report identity
+  // and the solver must behave exactly as without it.
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(2)),
+                   Sense::kLessEqual, Rational(4));
+  m.add_constraint(LinearExpr().add(x, Rational(3)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(6));
+  ExpandedModel em = ExpandedModel::from(m);
+  Presolved pre = presolve(em);
+  EXPECT_EQ(pre.status, PresolveStatus::kReduced);
+  EXPECT_TRUE(pre.identity());
+  auto sol = assert_presolve_agrees(m);
+  EXPECT_EQ(sol.objective, Rational(14, 5));
+  EXPECT_EQ(sol.presolve_rows_removed, 0u);
+}
+
+TEST(Presolve, SingletonEqualityFixesVariableAndReconstructsDual) {
+  // max 3a + b  s.t.  a == 2, a + b <= 5  ->  a=2, b=3, obj 9.
+  // Presolve fixes a and drops its row; the postsolved dual of that row
+  // must price column a to exactly zero so the full certificate holds.
+  Model m;
+  VarId a = m.add_variable("a");
+  VarId b = m.add_variable("b");
+  m.set_objective(a, Rational(3));
+  m.set_objective(b, Rational(1));
+  m.add_constraint(LinearExpr().add(a, Rational(2)), Sense::kEqual,
+                   Rational(4), "fix_a");
+  m.add_constraint(LinearExpr().add(a, Rational(1)).add(b, Rational(1)),
+                   Sense::kLessEqual, Rational(5), "cap");
+  ExpandedModel em = ExpandedModel::from(m);
+  Presolved pre = presolve(em);
+  ASSERT_EQ(pre.status, PresolveStatus::kReduced);
+  EXPECT_EQ(pre.stats.rows_removed, 1u);
+  EXPECT_EQ(pre.stats.cols_removed, 1u);
+  EXPECT_EQ(pre.reduced.rows.size(), 1u);
+  EXPECT_EQ(pre.reduced.num_vars, 1u);
+
+  auto sol = assert_presolve_agrees(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, Rational(9));
+  EXPECT_EQ(sol.primal[0], Rational(2));
+  EXPECT_EQ(sol.primal[1], Rational(3));
+  // Duals: cap row prices b (y2 = 1); the fix_a row must absorb the rest
+  // of a's objective: 2*y1 + 1*y2 = 3 -> y1 = 1.
+  ASSERT_EQ(sol.dual.size(), 2u);
+  EXPECT_EQ(sol.dual[0], Rational(1));
+  EXPECT_EQ(sol.dual[1], Rational(1));
+}
+
+TEST(Presolve, ForcingRowCascadeFixesChain) {
+  // u + v == 0 forces u = v = 0; substituting empties w's coupling row to
+  // w <= 0 ... actually: w - u <= 0 becomes singleton w <= 0, fixing w
+  // too. The objective rewards all three, so without the rows the optimum
+  // would be unbounded — the cascade is what makes it finite.
+  Model m;
+  VarId u = m.add_variable("u");
+  VarId v = m.add_variable("v");
+  VarId w = m.add_variable("w");
+  VarId z = m.add_variable("z");
+  m.set_objective(u, Rational(1));
+  m.set_objective(v, Rational(1));
+  m.set_objective(w, Rational(1));
+  m.set_objective(z, Rational(1));
+  m.add_constraint(LinearExpr().add(u, Rational(1)).add(v, Rational(1)),
+                   Sense::kEqual, Rational(0), "force_uv");
+  m.add_constraint(LinearExpr().add(w, Rational(1)).add(u, Rational(-1)),
+                   Sense::kLessEqual, Rational(0), "couple_wu");
+  m.add_constraint(LinearExpr().add(z, Rational(1)), Sense::kLessEqual,
+                   Rational(7), "cap_z");
+  ExpandedModel em = ExpandedModel::from(m);
+  Presolved pre = presolve(em);
+  ASSERT_EQ(pre.status, PresolveStatus::kReduced);
+  EXPECT_EQ(pre.stats.cols_removed, 3u);  // u, v, w
+  EXPECT_EQ(pre.stats.rows_removed, 2u);
+
+  auto sol = assert_presolve_agrees(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, Rational(7));
+  EXPECT_EQ(sol.primal[0], Rational(0));
+  EXPECT_EQ(sol.primal[1], Rational(0));
+  EXPECT_EQ(sol.primal[2], Rational(0));
+  EXPECT_EQ(sol.primal[3], Rational(7));
+}
+
+TEST(Presolve, DuplicateRowsKeepTightest) {
+  // Three proportional capacity rows; only x + y <= 3 binds. A negated
+  // duplicate (-x - y >= -4) exercises the sense-flip normalization.
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.set_objective(x, Rational(1));
+  m.set_objective(y, Rational(1));
+  m.add_constraint(LinearExpr().add(x, Rational(2)).add(y, Rational(2)),
+                   Sense::kLessEqual, Rational(10), "loose");
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kLessEqual, Rational(3), "tight");
+  m.add_constraint(LinearExpr().add(x, Rational(-1)).add(y, Rational(-1)),
+                   Sense::kGreaterEqual, Rational(-4), "negated");
+  ExpandedModel em = ExpandedModel::from(m);
+  Presolved pre = presolve(em);
+  ASSERT_EQ(pre.status, PresolveStatus::kReduced);
+  EXPECT_EQ(pre.stats.rows_removed, 2u);
+  EXPECT_EQ(pre.reduced.rows.size(), 1u);
+
+  auto sol = assert_presolve_agrees(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, Rational(3));
+}
+
+TEST(Presolve, DuplicateEqualityConflictProvesInfeasible) {
+  Model m;
+  VarId x = m.add_variable("x");
+  VarId y = m.add_variable("y");
+  m.add_constraint(LinearExpr().add(x, Rational(1)).add(y, Rational(1)),
+                   Sense::kEqual, Rational(2));
+  m.add_constraint(LinearExpr().add(x, Rational(2)).add(y, Rational(2)),
+                   Sense::kEqual, Rational(6));  // says x + y == 3
+  ExpandedModel em = ExpandedModel::from(m);
+  EXPECT_EQ(presolve(em).status, PresolveStatus::kInfeasible);
+
+  auto sol = ExactSolver().solve(m);
+  EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(sol.method, "presolve");
+  // The exact simplex agrees with the presolve proof.
+  ExactSolverOptions off;
+  off.presolve = false;
+  EXPECT_EQ(ExactSolver(off).solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Presolve, EmptyRowInfeasibilityAfterSubstitution) {
+  // a == 1 substituted into a <= 1/2 leaves the empty row 0 <= -1/2.
+  Model m;
+  VarId a = m.add_variable("a");
+  m.set_objective(a, Rational(1));
+  m.add_constraint(LinearExpr().add(a, Rational(1)), Sense::kEqual,
+                   Rational(1));
+  m.add_constraint(LinearExpr().add(a, Rational(2)), Sense::kLessEqual,
+                   Rational(1));
+  ExpandedModel em = ExpandedModel::from(m);
+  EXPECT_EQ(presolve(em).status, PresolveStatus::kInfeasible);
+  EXPECT_EQ(ExactSolver().solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Presolve, NegativeFixProvesInfeasible) {
+  // 2a == -3 would need a < 0.
+  Model m;
+  VarId a = m.add_variable("a");
+  VarId b = m.add_variable("b");
+  m.set_objective(b, Rational(1));
+  m.add_constraint(LinearExpr().add(a, Rational(2)), Sense::kEqual,
+                   Rational(-3));
+  m.add_constraint(LinearExpr().add(b, Rational(1)), Sense::kLessEqual,
+                   Rational(1));
+  ExpandedModel em = ExpandedModel::from(m);
+  EXPECT_EQ(presolve(em).status, PresolveStatus::kInfeasible);
+}
+
+TEST(Presolve, DegenerateModelRoundTrip) {
+  // A degenerate optimum (redundant tight rows, zero-valued basics) plus
+  // every reduction class at once: fixed variable, forcing row, duplicate
+  // rows, dead column. The postsolved basis must still verify and feed a
+  // warm start.
+  Model m;
+  VarId a = m.add_variable("a");
+  VarId b = m.add_variable("b");
+  VarId c = m.add_variable("c");
+  VarId dead = m.add_variable("dead");
+  m.set_objective(a, Rational(2));
+  m.set_objective(b, Rational(1));
+  m.set_objective(dead, Rational(-1));
+  m.add_constraint(LinearExpr().add(a, Rational(1)), Sense::kEqual,
+                   Rational(1), "fix_a");
+  m.add_constraint(LinearExpr().add(b, Rational(1)).add(c, Rational(1)),
+                   Sense::kEqual, Rational(0), "force_bc");
+  m.add_constraint(LinearExpr().add(a, Rational(1)).add(b, Rational(1)),
+                   Sense::kLessEqual, Rational(1), "tight1");
+  m.add_constraint(LinearExpr().add(a, Rational(2)).add(b, Rational(2)),
+                   Sense::kLessEqual, Rational(2), "tight2");
+  auto sol = assert_presolve_agrees(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, Rational(2));
+  EXPECT_GT(sol.presolve_rows_removed, 0u);
+  EXPECT_GT(sol.presolve_cols_removed, 0u);
+
+  // The lifted basis must be warm-startable: re-solving with the captured
+  // context certifies without falling back to the exact simplex.
+  SolveContext context;
+  auto first = ExactSolver().solve(m, &context);
+  ASSERT_TRUE(first.certified);
+  ASSERT_FALSE(context.warm.empty());
+  auto warm = ExactSolver().solve(m, &context);
+  EXPECT_TRUE(warm.certified);
+  EXPECT_TRUE(context.warm_attempted);
+  EXPECT_EQ(warm.objective, first.objective);
+}
+
+TEST(Presolve, PostsolveLiftIsExact) {
+  // Direct postsolve check against the exact simplex on the reduced model:
+  // the lifted pair must pass the full-model certificate verbatim.
+  Model m;
+  VarId a = m.add_variable("a");
+  VarId b = m.add_variable("b");
+  VarId c = m.add_variable("c");
+  m.set_objective(a, Rational(1));
+  m.set_objective(b, Rational(2));
+  m.set_objective(c, Rational(1));
+  m.add_constraint(LinearExpr().add(a, Rational(3)), Sense::kEqual,
+                   Rational(2), "fix_a");
+  m.add_constraint(LinearExpr().add(b, Rational(1)).add(c, Rational(2)),
+                   Sense::kLessEqual, Rational(4), "cap");
+  ExpandedModel em = ExpandedModel::from(m);
+  Presolved pre = presolve(em);
+  ASSERT_EQ(pre.status, PresolveStatus::kReduced);
+  ASSERT_FALSE(pre.identity());
+
+  SimplexResult<Rational> reduced = solve_simplex<Rational>(pre.reduced);
+  ASSERT_EQ(reduced.status, SolveStatus::kOptimal);
+  Presolved::Lifted lifted =
+      pre.postsolve(reduced.primal, reduced.dual, reduced.basis);
+  ASSERT_EQ(lifted.primal.size(), em.num_vars);
+  ASSERT_EQ(lifted.dual.size(), em.rows.size());
+  ASSERT_EQ(lifted.basis.size(), em.rows.size());
+  EXPECT_TRUE(ExactSolver::verify_certificate(em, lifted.primal, lifted.dual));
+  EXPECT_EQ(lifted.primal[0], Rational(2, 3));
+}
+
+TEST(Presolve, RandomizedAgreementSweep) {
+  // Random small models salted with presolvable structure: every solve
+  // with presolve on must certify the same exact objective as the pure
+  // exact simplex.
+  graph::Rng rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    Model m;
+    const std::size_t nv = 3 + rng.uniform(0, 4);
+    std::vector<VarId> vars;
+    for (std::size_t j = 0; j < nv; ++j) {
+      vars.push_back(m.add_variable("v" + std::to_string(j)));
+      m.set_objective(vars.back(),
+                      Rational(static_cast<std::int64_t>(rng.uniform(0, 4))));
+    }
+    const std::size_t nr = 2 + rng.uniform(0, 4);
+    for (std::size_t i = 0; i < nr; ++i) {
+      LinearExpr expr;
+      for (const VarId v : vars) {
+        if (rng.uniform(0, 2) == 0) continue;
+        expr.add(v, Rational(static_cast<std::int64_t>(rng.uniform(1, 5))));
+      }
+      if (expr.empty()) expr.add(vars[0], Rational(1));
+      const int kind = static_cast<int>(rng.uniform(0, 3));
+      const Sense sense = kind == 0 ? Sense::kLessEqual
+                          : kind == 1 ? Sense::kGreaterEqual
+                                      : Sense::kEqual;
+      // Mostly feasible right-hand sides; occasional zero RHS to trigger
+      // forcing rows.
+      const Rational rhs(
+          static_cast<std::int64_t>(rng.uniform(0, 3) == 0 ? 0
+                                                           : rng.uniform(1, 9)));
+      m.add_constraint(expr, sense, rhs, "r" + std::to_string(i));
+    }
+    // Singleton == row to trigger a fix on some trials.
+    if (rng.uniform(0, 2) == 0) {
+      m.add_constraint(LinearExpr().add(vars[0], Rational(2)), Sense::kEqual,
+                       Rational(static_cast<std::int64_t>(rng.uniform(0, 5))),
+                       "fix");
+    }
+    // Cap everything so the model cannot be unbounded.
+    LinearExpr cap;
+    for (const VarId v : vars) cap.add(v, Rational(1));
+    m.add_constraint(cap, Sense::kLessEqual, Rational(20), "cap_all");
+
+    ExactSolverOptions with;
+    with.presolve = true;
+    auto fast = ExactSolver(with).solve(m);
+    auto exact = solve_exact_simplex(m);
+    ASSERT_EQ(fast.status, exact.status) << "trial " << trial;
+    if (exact.status == SolveStatus::kOptimal) {
+      EXPECT_TRUE(fast.certified) << "trial " << trial;
+      EXPECT_EQ(fast.objective, exact.objective) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssco::lp

@@ -78,20 +78,34 @@ void BM_ScatterLpLarge(benchmark::State& state) {
 BENCHMARK(BM_ScatterLpLarge)->Arg(128)->Arg(256)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
+// The reduce-family colgen showcase (kAuto turns column generation on at
+// these sizes): columns_generated / columns_total is the fraction of the
+// quadratic variable space ever materialized, colgen_rounds the pricing
+// loop length — both deterministic on a given instance and tracked in
+// BENCH_lp.json alongside the wall-clock the CI gate watches.
 void BM_ReduceLpLarge(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   auto inst = bench_support::random_sparse_reduce_instance(44, n, 8);
   std::size_t pivots = 0;
   std::size_t certified = 1;
+  std::size_t rounds = 0;
+  std::size_t generated = 0;
+  std::size_t total = 0;
   for (auto _ : state) {
     auto sol = core::solve_reduce(inst);
     benchmark::DoNotOptimize(sol.throughput);
     pivots += sol.lp_pivots;
     certified = certified && sol.certified ? 1 : 0;
+    rounds += sol.lp_colgen_rounds;
+    generated += sol.lp_columns_generated;
+    total = sol.lp_columns_total;
   }
   state.counters["nodes"] = static_cast<double>(n);
   state.counters["pivots"] = static_cast<double>(pivots);
   state.counters["certified"] = static_cast<double>(certified);
+  state.counters["colgen_rounds"] = static_cast<double>(rounds);
+  state.counters["columns_generated"] = static_cast<double>(generated);
+  state.counters["columns_total"] = static_cast<double>(total);
 }
 BENCHMARK(BM_ReduceLpLarge)->Arg(128)->Arg(256)->Iterations(1)
     ->Unit(benchmark::kMillisecond);

@@ -6,8 +6,11 @@
 #         [-DCHECK_TIME=ON] -P check_bench_regression.cmake
 #
 # Checked per benchmark present in BOTH files:
-#   * the `pivots` counter — deterministic on a given instance, so any
-#     growth beyond TOLERANCE is a genuine algorithmic regression;
+#   * the `pivots`, `colgen_rounds` and `columns_generated` counters —
+#     deterministic on a given instance, so any growth beyond TOLERANCE is
+#     a genuine algorithmic regression (the colgen pair watches the
+#     restricted-master loop: more rounds or more materialized columns
+#     means the pricing quality slipped);
 #   * `real_time` — only when CHECK_TIME=ON, under its own (looser)
 #     TIME_TOLERANCE (default 0.5) and only for benchmarks whose baseline
 #     is at least TIME_FLOOR_MS (default 50): wall-clock compares a fresh
@@ -115,18 +118,20 @@ foreach(i RANGE 0 ${fresh_last})
     continue()
   endif()
 
-  string(JSON fresh_pivots ERROR_VARIABLE noent GET "${fresh}" benchmarks ${i}
-         pivots)
-  string(JSON base_pivots ERROR_VARIABLE noent2 GET "${baseline}" benchmarks
-         ${base_idx} pivots)
-  if(NOT noent AND NOT noent2)
-    # Round the doubles to integers for CMake's integer math().
-    string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_pivots}")
-    string(REGEX MATCH "^[0-9]+" base_int "${base_pivots}")
-    check_counter("${name}" pivots "${fresh_int}" "${base_int}"
-                  "${TOLERANCE_PERMILLE}" "${TOLERANCE}")
-    math(EXPR checked "${checked} + 1")
-  endif()
+  foreach(counter pivots colgen_rounds columns_generated)
+    string(JSON fresh_value ERROR_VARIABLE noent GET "${fresh}" benchmarks
+           ${i} ${counter})
+    string(JSON base_value ERROR_VARIABLE noent2 GET "${baseline}" benchmarks
+           ${base_idx} ${counter})
+    if(NOT noent AND NOT noent2)
+      # Round the doubles to integers for CMake's integer math().
+      string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_value}")
+      string(REGEX MATCH "^[0-9]+" base_int "${base_value}")
+      check_counter("${name}" ${counter} "${fresh_int}" "${base_int}"
+                    "${TOLERANCE_PERMILLE}" "${TOLERANCE}")
+      math(EXPR checked "${checked} + 1")
+    endif()
+  endforeach()
 
   if(CHECK_TIME)
     string(JSON fresh_ms ERROR_VARIABLE noent3 GET "${fresh}" benchmarks ${i}

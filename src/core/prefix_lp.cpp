@@ -202,48 +202,89 @@ lp::Model build_prefix_lp(const ReduceInstance& instance,
   return model;
 }
 
+namespace {
+
+/// Chain-of-prefixes seed: v[0,i-1] forwarded from participant i-1 to
+/// participant i along shortest paths and merged with v[i,i] on arrival —
+/// one complete feasible prefix plan, the analogue of the reduce solver's
+/// reduction-tree seeds.
+IntervalSeeds chain_seeds(const ReduceInstance& instance) {
+  const IntervalSpace sp(instance.participants.size());
+  IntervalSeeds seeds;
+  for (std::size_t i = 1; i < instance.participants.size(); ++i) {
+    const NodeId from = instance.participants[i - 1];
+    const NodeId to = instance.participants[i];
+    if (from != to) {
+      auto tree = graph::dijkstra(instance.platform.graph(),
+                                  instance.platform.edge_costs(), from);
+      for (EdgeId e : tree.path_to(to, instance.platform.graph())) {
+        seeds.send.emplace_back(sp.interval_id(0, i - 1), e);
+      }
+    }
+    seeds.cons.emplace_back(to, sp.task_id(0, i - 1, i));
+  }
+  return seeds;
+}
+
+}  // namespace
+
 ReduceSolution solve_prefix(const ReduceInstance& instance,
                             const PrefixLpOptions& options,
                             const ReduceSolution* previous) {
   check_instance(instance);
   const auto compute_nodes = resolve_compute_nodes(instance, options);
-  Model model = build_prefix_lp(instance, options);
+  const auto& graph = instance.platform.graph();
+  const IntervalSpace sp(instance.participants.size());
 
   lp::ExactSolver solver(options.solver);
   lp::SolveContext context;
   if (previous) context.warm = previous->lp_basis;
-  lp::ExactSolution sol = solver.solve(model, &context);
+
+  lp::ExactSolution sol;
+  ReduceSolution out;
+  auto colgen = IntervalFlowOracle::try_solve(
+      instance, IntervalFlowOracle::Family::kPrefix, compute_nodes,
+      options.colgen, options.colgen_min_columns, options.colgen_options,
+      solver, context, [&] { return chain_seeds(instance); }, previous, out);
+  if (colgen) {
+    sol = std::move(*colgen);
+  } else {
+    Model model = build_prefix_lp(instance, options);
+    sol = solver.solve(model, &context);
+  }
   if (sol.status != lp::SolveStatus::kOptimal) {
     throw std::runtime_error("prefix LP did not reach optimality: " +
                              lp::to_string(sol.status));
   }
+  if (!colgen) {
+    out.num_participants = instance.participants.size();
+    out.send.assign(sp.num_intervals(),
+                    std::vector<Rational>(graph.num_edges(), Rational(0)));
+    out.cons.assign(graph.num_nodes(),
+                    std::vector<Rational>(sp.num_tasks(), Rational(0)));
+    std::size_t next = 0;
+    for (std::size_t iv = 0; iv < sp.num_intervals(); ++iv) {
+      for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+        if (suppressed_send(instance, sp, iv, graph.edge(e))) continue;
+        out.send[iv][e] = sol.primal[next++];
+      }
+    }
+    for (NodeId n : compute_nodes) {
+      for (std::size_t t = 0; t < sp.num_tasks(); ++t) {
+        out.cons[n][t] = sol.primal[next++];
+      }
+    }
+    out.throughput = sol.primal[next];
+  }
 
-  const auto& graph = instance.platform.graph();
-  const IntervalSpace sp(instance.participants.size());
-  ReduceSolution out;
-  out.num_participants = instance.participants.size();
   out.certified = sol.certified;
   out.lp_method = sol.method;
   out.lp_pivots = sol.float_iterations + sol.exact_iterations;
   out.lp_basis = std::move(context.warm);
   out.warm_started = sol.warm_started;
-  out.send.assign(sp.num_intervals(),
-                  std::vector<Rational>(graph.num_edges(), Rational(0)));
-  out.cons.assign(graph.num_nodes(),
-                  std::vector<Rational>(sp.num_tasks(), Rational(0)));
-  std::size_t next = 0;
-  for (std::size_t iv = 0; iv < sp.num_intervals(); ++iv) {
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      if (suppressed_send(instance, sp, iv, graph.edge(e))) continue;
-      out.send[iv][e] = sol.primal[next++];
-    }
-  }
-  for (NodeId n : compute_nodes) {
-    for (std::size_t t = 0; t < sp.num_tasks(); ++t) {
-      out.cons[n][t] = sol.primal[next++];
-    }
-  }
-  out.throughput = sol.primal[next];
+  out.lp_colgen_rounds = sol.colgen_rounds;
+  out.lp_columns_generated = sol.colgen_columns_generated;
+  out.lp_columns_total = sol.colgen_columns_total;
 
   if (options.prune_cycles) out.prune_cycles(instance);
   return out;

@@ -15,7 +15,9 @@
 // certificate); schedule realization for prefix (a DAG rather than a tree
 // decomposition) is out of the paper's scope and ours.
 
+#include "core/interval_colgen.h"
 #include "core/reduce_solution.h"
+#include "lp/colgen.h"
 #include "lp/exact_solver.h"
 
 namespace ssco::core {
@@ -25,6 +27,13 @@ struct PrefixLpOptions {
   bool prune_cycles = true;
   /// Nodes allowed to compute; empty = participants.
   std::vector<NodeId> compute_nodes;
+  /// Column generation over the shared reduce-family variable space — see
+  /// ReduceLpOptions; the prefix master is seeded from a chain-of-prefixes
+  /// plan (v[0,i-1] forwarded participant to participant, merged on
+  /// arrival) plus the support of `previous`.
+  ColGenMode colgen = ColGenMode::kAuto;
+  std::size_t colgen_min_columns = 8192;
+  lp::ColGenOptions colgen_options;
 };
 
 /// Result: a ReduceSolution-shaped table (send/cons/throughput). The

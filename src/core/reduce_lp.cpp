@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
+#include "baselines/reduce_trees.h"
 #include "core/lp_names.h"
+#include "core/reduction_tree.h"
 #include "graph/paths.h"
 
 namespace ssco::core {
@@ -225,50 +228,89 @@ lp::Model build_reduce_lp(const ReduceInstance& instance,
   return model;
 }
 
+namespace {
+
+/// Heuristic master seeds: every transfer and merge of the three classic
+/// reduction trees (paper Sec. 5's conventional schemes) — a complete
+/// feasible plan each, so the first restricted master already sustains a
+/// positive throughput.
+IntervalSeeds tree_seeds(const ReduceInstance& instance) {
+  IntervalSeeds seeds;
+  for (const ReductionTree& tree :
+       {baselines::flat_reduce_tree(instance),
+        baselines::chain_reduce_tree(instance),
+        baselines::binomial_reduce_tree(instance)}) {
+    for (const TreeTask& task : tree.tasks) {
+      if (task.kind == TreeTask::Kind::kTransfer) {
+        seeds.send.emplace_back(task.interval, task.edge);
+      } else {
+        seeds.cons.emplace_back(task.node, task.task);
+      }
+    }
+  }
+  return seeds;
+}
+
+}  // namespace
+
 ReduceSolution solve_reduce(const ReduceInstance& instance,
                             const ReduceLpOptions& options,
                             const ReduceSolution* previous) {
   check_instance(instance);
   const auto compute_nodes = resolve_compute_nodes(instance, options);
-  Model model = build_reduce_lp(instance, options);
+  const auto& graph = instance.platform.graph();
+  const IntervalSpace sp(instance.participants.size());
 
   lp::ExactSolver solver(options.solver);
   lp::SolveContext context;
   if (previous) context.warm = previous->lp_basis;
-  lp::ExactSolution sol = solver.solve(model, &context);
+
+  lp::ExactSolution sol;
+  ReduceSolution out;
+  auto colgen = IntervalFlowOracle::try_solve(
+      instance, IntervalFlowOracle::Family::kReduce, compute_nodes,
+      options.colgen, options.colgen_min_columns, options.colgen_options,
+      solver, context, [&] { return tree_seeds(instance); }, previous, out);
+  if (colgen) {
+    sol = std::move(*colgen);
+  } else {
+    Model model = build_reduce_lp(instance, options);
+    sol = solver.solve(model, &context);
+  }
   if (sol.status != lp::SolveStatus::kOptimal) {
     throw std::runtime_error("reduce LP did not reach optimality: " +
                              lp::to_string(sol.status));
   }
+  if (!colgen) {
+    out.num_participants = instance.participants.size();
+    out.send.assign(sp.num_intervals(),
+                    std::vector<Rational>(graph.num_edges(), Rational(0)));
+    out.cons.assign(graph.num_nodes(),
+                    std::vector<Rational>(sp.num_tasks(), Rational(0)));
+    // Same declaration order as declare_variables.
+    std::size_t next = 0;
+    for (std::size_t iv = 0; iv < sp.num_intervals(); ++iv) {
+      for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+        if (suppressed_send(instance, sp, iv, graph.edge(e))) continue;
+        out.send[iv][e] = sol.primal[next++];
+      }
+    }
+    for (NodeId n : compute_nodes) {
+      for (std::size_t t = 0; t < sp.num_tasks(); ++t) {
+        out.cons[n][t] = sol.primal[next++];
+      }
+    }
+    out.throughput = sol.primal[next];
+  }
 
-  const auto& graph = instance.platform.graph();
-  const IntervalSpace sp(instance.participants.size());
-  ReduceSolution out;
-  out.num_participants = instance.participants.size();
   out.certified = sol.certified;
   out.lp_method = sol.method;
   out.lp_pivots = sol.float_iterations + sol.exact_iterations;
   out.lp_basis = std::move(context.warm);
   out.warm_started = sol.warm_started;
-  out.send.assign(sp.num_intervals(),
-                  std::vector<Rational>(graph.num_edges(), Rational(0)));
-  out.cons.assign(graph.num_nodes(),
-                  std::vector<Rational>(sp.num_tasks(), Rational(0)));
-
-  // Same declaration order as declare_variables.
-  std::size_t next = 0;
-  for (std::size_t iv = 0; iv < sp.num_intervals(); ++iv) {
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      if (suppressed_send(instance, sp, iv, graph.edge(e))) continue;
-      out.send[iv][e] = sol.primal[next++];
-    }
-  }
-  for (NodeId n : compute_nodes) {
-    for (std::size_t t = 0; t < sp.num_tasks(); ++t) {
-      out.cons[n][t] = sol.primal[next++];
-    }
-  }
-  out.throughput = sol.primal[next];
+  out.lp_colgen_rounds = sol.colgen_rounds;
+  out.lp_columns_generated = sol.colgen_columns_generated;
+  out.lp_columns_total = sol.colgen_columns_total;
 
   if (options.prune_cycles) out.prune_cycles(instance);
   return out;

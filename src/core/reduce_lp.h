@@ -16,7 +16,9 @@
 //    participants) — routers forward but do not compute;
 //  * send variables for the full result leaving the target are suppressed.
 
+#include "core/interval_colgen.h"
 #include "core/reduce_solution.h"
+#include "lp/colgen.h"
 #include "lp/exact_solver.h"
 
 namespace ssco::core {
@@ -26,6 +28,16 @@ struct ReduceLpOptions {
   bool prune_cycles = true;
   /// Nodes allowed to execute merge tasks; empty = instance participants.
   std::vector<NodeId> compute_nodes;
+  /// Delayed column generation over the quadratic send/cons space
+  /// (core/interval_colgen.h): the restricted master is seeded from the
+  /// flat/chain/binomial reduction-tree plans (baselines/reduce_trees.h)
+  /// plus the support of `previous` on a warm re-solve, and grows by
+  /// pricing until one exact sweep certifies the COMPLETE paper LP. kAuto
+  /// switches it on once the full model exceeds `colgen_min_columns`
+  /// columns; the certified objective is bit-identical either way.
+  ColGenMode colgen = ColGenMode::kAuto;
+  std::size_t colgen_min_columns = 8192;
+  lp::ColGenOptions colgen_options;
 };
 
 [[nodiscard]] lp::Model build_reduce_lp(

@@ -39,6 +39,12 @@ struct ReduceSolution {
   std::string lp_method;
   /// Simplex pivots spent solving the LP (float + exact passes combined).
   std::size_t lp_pivots = 0;
+  /// Column-generation telemetry (zero on dense solves): pricing rounds,
+  /// columns generated beyond the seed, and the implicit full model's
+  /// column count — generated/total is the fraction ever materialized.
+  std::size_t lp_colgen_rounds = 0;
+  std::size_t lp_columns_generated = 0;
+  std::size_t lp_columns_total = 0;
   /// Optimal-basis snapshot; pass this solution as `previous` to the next
   /// solve on a mutated platform to re-solve incrementally.
   lp::WarmStart lp_basis;

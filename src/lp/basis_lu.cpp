@@ -16,7 +16,6 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
   lu.lower_.resize(m);
   lu.upper_.resize(m);
   lu.diag_.assign(m, 0.0);
-  lu.scratch_.assign(m, 0.0);
 
   // pivoted_at[i] = elimination step that chose row i, or m if still free.
   std::vector<std::size_t> pivoted_at(m, m);
@@ -90,7 +89,7 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
   return lu;
 }
 
-void BasisLu::ftran(std::vector<double>& x) const {
+void BasisLu::ftran(std::vector<double>& x, Workspace& ws) const {
   const std::size_t m = dim();
   // Apply L^-1 (row space).
   for (std::size_t k = 0; k < m; ++k) {
@@ -99,7 +98,8 @@ void BasisLu::ftran(std::vector<double>& x) const {
     for (const auto& [row, l] : lower_[k]) x[row] -= l * xp;
   }
   // Permute into position space, then backsolve U.
-  std::vector<double>& y = scratch_;
+  std::vector<double>& y = ws.scratch;
+  y.resize(m);
   for (std::size_t k = 0; k < m; ++k) y[k] = x[pivot_row_[k]];
   for (std::size_t k = m; k-- > 0;) {
     const double t = y[k] / diag_[k];
@@ -117,7 +117,7 @@ void BasisLu::ftran(std::vector<double>& x) const {
   }
 }
 
-void BasisLu::btran(std::vector<double>& x) const {
+void BasisLu::btran(std::vector<double>& x, Workspace& ws) const {
   const std::size_t m = dim();
   // Transposed eta file, newest first.
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
@@ -139,7 +139,7 @@ void BasisLu::btran(std::vector<double>& x) const {
   // Permute back to row space and apply L^-T, newest elimination step
   // first, again in push form: y[pivot_row_[k]] is final when step k runs
   // (ltrans_ only targets earlier elimination steps).
-  std::vector<double>& y = scratch_;
+  std::vector<double>& y = ws.scratch;
   y.assign(m, 0.0);
   for (std::size_t k = 0; k < m; ++k) y[pivot_row_[k]] = x[k];
   for (std::size_t k = m; k-- > 0;) {

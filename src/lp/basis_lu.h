@@ -22,8 +22,12 @@
 // the FTRAN result `x` and the BTRAN input `c` live in BASIS-POSITION space
 // (component k corresponds to the k-th basis column).
 //
-// NOT thread-safe: ftran/btran are const but share one internal scratch
-// buffer, so concurrent solves on the same BasisLu corrupt each other.
+// Thread-safety: a BasisLu is immutable through ftran/btran, which write
+// only into the CALLER-OWNED workspace, so any number of threads may solve
+// against one factorization concurrently as long as each brings its own
+// Workspace — the contract that unblocks parallelizing certificate
+// verification (a ROADMAP open item). update() is the only mutating call
+// and requires external exclusion.
 
 #include <cstddef>
 #include <optional>
@@ -64,13 +68,31 @@ class BasisLu {
   /// fill rivals the factor fill instead of on a fixed pivot count.
   [[nodiscard]] std::size_t eta_nonzeros() const { return eta_nnz_; }
 
+  /// Per-call scratch of ftran/btran. Caller-owned (a per-thread or
+  /// per-engine member, reused across calls so the hot loops never
+  /// allocate); contents are meaningless between calls.
+  struct Workspace {
+    std::vector<double> scratch;
+  };
+
   /// Solves B x = b in place: on entry `x` holds b (row space), on exit the
   /// solution in basis-position space.
-  void ftran(std::vector<double>& x) const;
+  void ftran(std::vector<double>& x, Workspace& ws) const;
 
   /// Solves B' y = c in place: on entry `x` holds c (basis-position space),
   /// on exit the solution in row space.
-  void btran(std::vector<double>& x) const;
+  void btran(std::vector<double>& x, Workspace& ws) const;
+
+  /// Convenience overloads with a throwaway workspace (tests, one-shot
+  /// solves); hot paths should hold a Workspace instead.
+  void ftran(std::vector<double>& x) const {
+    Workspace ws;
+    ftran(x, ws);
+  }
+  void btran(std::vector<double>& x) const {
+    Workspace ws;
+    btran(x, ws);
+  }
 
   /// Absorbs a basis exchange at position `r` as an eta vector, where `w` is
   /// the FTRAN-transformed entering column (w = B^-1 a, position space).
@@ -107,7 +129,6 @@ class BasisLu {
   std::vector<Eta> etas_;
   std::size_t factor_nnz_ = 0;
   std::size_t eta_nnz_ = 0;
-  mutable std::vector<double> scratch_;
 };
 
 }  // namespace ssco::lp

@@ -1,0 +1,353 @@
+#include "lp/colgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "lp/column_layout.h"
+#include "lp/revised_simplex.h"
+#include "lp/warm_start.h"
+
+namespace ssco::lp {
+
+namespace {
+
+/// Largest restricted master the inline exact-rational tableau may be asked
+/// to rescue (rows); beyond it the dense tableau's O(m * cols) rational
+/// storage is a memory bomb and the full-model fallback is the safer net.
+constexpr std::size_t kExactMasterRowLimit = 1500;
+
+/// Float reduced cost A'y - c of a not-yet-materialized column (`y` indexed
+/// by model row) — the driver's cheap reprice of pooled candidates.
+double reduced_cost(const GeneratedColumn& gc, const std::vector<double>& y) {
+  double d = -gc.objective.to_double();
+  for (const auto& [row, coeff] : gc.entries) {
+    d += coeff.to_double() * y[row];
+  }
+  return d;
+}
+
+/// Most violated first, name as the deterministic tie-break.
+void sort_by_violation(std::vector<std::pair<double, GeneratedColumn>>& cols) {
+  std::sort(cols.begin(), cols.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.name < b.second.name;
+  });
+}
+
+std::vector<std::pair<RowId, Rational>> row_entries(
+    const GeneratedColumn& gc) {
+  std::vector<std::pair<RowId, Rational>> entries;
+  entries.reserve(gc.entries.size());
+  for (const auto& [row, coeff] : gc.entries) {
+    entries.emplace_back(RowId{row}, coeff);
+  }
+  return entries;
+}
+
+}  // namespace
+
+ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
+                                        const ColGenOptions& colgen,
+                                        SolveContext* context) const {
+  ExactSolution out;
+  const std::size_t seeded = master.num_variables();
+  out.colgen_columns_seeded = seeded;
+  out.colgen_columns_total = oracle.total_columns();
+
+  if (context) {
+    context->warm_attempted = false;
+    context->warm_used = false;
+    context->cost_shifts = 0;
+  }
+
+  ExpandedModel em = ExpandedModel::from(master);
+  const std::size_t num_model_rows = em.num_model_rows;
+
+  // Times of engines already torn down (an abandoned warm attempt); the
+  // live engine's cumulative clock is added on top at every exit.
+  SolvePhaseTimes retired_times;
+  std::optional<RevisedSimplex> engine;
+  auto sync_times = [&] {
+    out.phase_times = retired_times;
+    if (engine) out.phase_times += engine->phase_times();
+  };
+
+  // Correctness net for every inconclusive outcome: materialize the full
+  // model and run the dense paths (which also own the exact infeasibility /
+  // unboundedness proofs). Column generation may only ever cost this
+  // fallback, never a wrong or silently-restricted answer.
+  auto full_fallback = [&]() -> ExactSolution {
+    sync_times();
+    out.colgen_columns_generated = master.num_variables() - seeded;
+    std::vector<GeneratedColumn> rest;
+    oracle.materialize_all(rest);
+    for (GeneratedColumn& gc : rest) {
+      VarId v = master.add_column(gc.name, gc.objective, row_entries(gc));
+      oracle.added(gc, v);
+    }
+    ExactSolution dense = solve_impl(master, context);
+    dense.float_iterations += out.float_iterations;
+    dense.exact_iterations += out.exact_iterations;
+    dense.phase_times += out.phase_times;
+    dense.colgen_rounds = out.colgen_rounds;
+    dense.colgen_columns_seeded = seeded;
+    dense.colgen_columns_generated = out.colgen_columns_generated;
+    dense.colgen_columns_total = out.colgen_columns_total;
+    dense.colgen_round_log = std::move(out.colgen_round_log);
+    dense.method = "colgen-fallback+" + dense.method;
+    record_solve(dense, context);
+    return dense;
+  };
+
+  // --- Engine setup: warm replay of the context basis, else cold. ---------
+  bool warm_live = false;
+  if (context && !context->warm.empty()) {
+    ColumnLayout layout = ColumnLayout::from(em);
+    if (auto columns = map_warm_basis(context->warm, master, em, layout)) {
+      context->warm_attempted = true;
+      engine.emplace(em, std::move(layout), /*defer_initial_factor=*/true,
+                     options_.simplex.equilibrate);
+      if (engine->load_basis(*columns)) {
+        const std::size_t budget = options_.warm_pivot_budget != 0
+                                       ? options_.warm_pivot_budget
+                                       : 2 * em.rows.size() + 100;
+        SimplexOptions warm_options = options_.simplex;
+        warm_options.max_iterations =
+            std::min(warm_options.max_iterations, budget);
+        std::vector<double> shifted = engine->phase2_costs();
+        context->cost_shifts = engine->make_dual_feasible(shifted);
+        std::size_t warm_iters = 0;
+        SolveStatus dual =
+            engine->dual_optimize(shifted, warm_options, warm_iters);
+        out.float_iterations += warm_iters;
+        // The first loop round's true-cost primal sweep repairs any dual-
+        // tolerance drift and resumes seamlessly into column generation; a
+        // boxed-at-upper vertex is the one state that sweep cannot price,
+        // so hand it back to the cold start.
+        warm_live = dual == SolveStatus::kOptimal && engine->ok() &&
+                    !engine->has_boxed_at_upper();
+      }
+      if (!warm_live) {
+        retired_times += engine->phase_times();
+        engine.reset();
+      }
+    }
+  }
+  if (!engine) {
+    engine.emplace(em, ColumnLayout::from(em), /*defer_initial_factor=*/false,
+                   options_.simplex.equilibrate);
+    if (!engine->ok()) return full_fallback();
+    if (engine->has_artificials() &&
+        engine->infeasibility() > RevisedSimplex::kFeasTol) {
+      SolveStatus s1 = engine->optimize(engine->phase1_costs(),
+                                        options_.simplex,
+                                        out.float_iterations);
+      if (s1 == SolveStatus::kIterationLimit) return full_fallback();
+      if (engine->infeasibility() > RevisedSimplex::kFeasTol) {
+        // An infeasible RESTRICTED master proves nothing — absent columns
+        // can restore feasibility — so only the full model may judge.
+        return full_fallback();
+      }
+      engine->expel_artificials();
+    }
+  }
+
+  // --- The solve -> price -> append loop. ---------------------------------
+  // `pool` holds oracle-emitted candidates that did not make a batch; the
+  // driver reprices them against fresh duals (cheap — it has the entries)
+  // before asking the oracle for more.
+  std::vector<GeneratedColumn> pool;
+  std::unordered_set<std::string> pooled;
+  std::size_t batch = std::max<std::size_t>(1, colgen.batch);
+  double last_objective = -std::numeric_limits<double>::infinity();
+  std::size_t stagnant = 0;
+
+  auto append_all = [&](std::vector<GeneratedColumn>& cols) -> bool {
+    for (GeneratedColumn& gc : cols) {
+      VarId v = master.add_column(gc.name, gc.objective, row_entries(gc));
+      const std::size_t var = em.append_column(gc.objective, gc.entries);
+      if (var != v.index) return false;
+      if (engine->append_column(var, gc.entries) == RevisedSimplex::kNone ||
+          !engine->ok()) {
+        return false;
+      }
+      oracle.added(gc, v);
+    }
+    return true;
+  };
+
+  const std::size_t round_budget =
+      colgen.round_pivot_factor > 0.0
+          ? std::max(colgen.round_pivot_floor,
+                     static_cast<std::size_t>(
+                         colgen.round_pivot_factor *
+                         static_cast<double>(em.rows.size())))
+          : 0;
+
+  for (std::size_t round = 0; round < colgen.max_rounds; ++round) {
+    std::vector<double> cost = engine->phase2_costs();
+    const std::size_t pivots_before = out.float_iterations;
+    SimplexOptions round_options = options_.simplex;
+    if (round_budget != 0) {
+      round_options.max_iterations = std::min(
+          round_options.max_iterations, out.float_iterations + round_budget);
+    }
+    SolveStatus status =
+        engine->optimize(cost, round_options, out.float_iterations);
+    out.colgen_round_log.push_back({master.num_variables(),
+                                    out.float_iterations - pivots_before,
+                                    engine->objective_value(cost)});
+    // A budget-capped round is NOT a failure: the current basis's duals
+    // price absent columns perfectly well (only final optimality claims
+    // need an optimal, cleanly-priced master), and better columns usually
+    // short-circuit the degenerate plateau the cap interrupted.
+    const bool round_optimal = status == SolveStatus::kOptimal;
+    if (!round_optimal && (round_budget == 0 ||
+                           status != SolveStatus::kIterationLimit ||
+                           out.float_iterations >=
+                               options_.simplex.max_iterations)) {
+      return full_fallback();
+    }
+    engine->refresh();
+    if (!engine->ok()) return full_fallback();
+    ++out.colgen_rounds;
+
+    const std::vector<double> duals = engine->extract_duals(cost);
+    const std::vector<double> y(duals.begin(),
+                                duals.begin() + num_model_rows);
+
+    // Reprice the pool, then top up from the oracle.
+    std::vector<std::pair<double, GeneratedColumn>> candidates;
+    for (GeneratedColumn& gc : pool) {
+      const double d = reduced_cost(gc, y);
+      if (d < -colgen.pricing_tolerance) {
+        candidates.emplace_back(d, std::move(gc));
+      } else {
+        pooled.erase(gc.name);  // priced out; the oracle may re-emit later
+      }
+    }
+    pool.clear();
+    if (candidates.size() < batch) {
+      std::vector<GeneratedColumn> emitted;
+      oracle.price(y, colgen.pricing_tolerance,
+                   std::max(colgen.emit, batch), emitted);
+      for (GeneratedColumn& gc : emitted) {
+        if (pooled.contains(gc.name)) continue;  // already a candidate
+        candidates.emplace_back(reduced_cost(gc, y), std::move(gc));
+      }
+    }
+    sort_by_violation(candidates);
+
+    if (!candidates.empty()) {
+      // Append the best `batch`; pool the rest for later rounds.
+      std::vector<GeneratedColumn> fresh;
+      for (auto& [d, gc] : candidates) {
+        if (fresh.size() < batch) {
+          pooled.erase(gc.name);
+          fresh.push_back(std::move(gc));
+        } else {
+          pooled.insert(gc.name);
+          pool.push_back(std::move(gc));
+        }
+      }
+      // Stall detection: a degenerate tail (columns keep coming, objective
+      // does not move) converges faster with bigger batches. Read the
+      // objective BEFORE the append: new columns enter nonbasic at zero, so
+      // it cannot change — and after the append `cost` no longer covers
+      // every column.
+      const double objective = out.colgen_round_log.back().objective;
+      if (!append_all(fresh)) return full_fallback();
+      out.colgen_columns_generated = master.num_variables() - seeded;
+      if (objective <=
+          last_objective + 1e-12 * (1.0 + std::fabs(last_objective))) {
+        if (++stagnant >= colgen.stall_rounds) {
+          batch *= 2;
+          stagnant = 0;
+        }
+      } else {
+        stagnant = 0;
+      }
+      last_objective = objective;
+      continue;
+    }
+
+    if (!round_optimal) continue;  // nothing to add: spend the next round's
+                                   // budget driving the master onward
+
+    // Float pricing is clean AND the master is optimal: certify it exactly,
+    // then let the exact sweep over the implicit column set have the final
+    // word.
+    SimplexResult<double> fp;
+    fp.status = SolveStatus::kOptimal;
+    fp.primal = engine->extract_primal();
+    fp.dual = duals;
+    fp.objective = engine->objective_value(cost);
+    fp.basis = engine->extract_basis();
+
+    ExactSolution candidate;
+    std::vector<Rational> exact_duals;
+    std::string method;
+    if (certify_float_result(em, fp, options_, candidate)) {
+      exact_duals.assign(candidate.dual.begin(),
+                         candidate.dual.begin() + num_model_rows);
+      method = candidate.method == "double+certificate"
+                   ? "colgen+certificate"
+                   : "colgen+basis-verification";
+    } else if (options_.allow_exact_fallback &&
+               em.rows.size() <= kExactMasterRowLimit) {
+      // Uncertifiable float optimum: the exact rational simplex on the
+      // (still small) restricted master recovers an exact pair.
+      SimplexResult<Rational> ex =
+          solve_simplex<Rational>(em, options_.simplex);
+      out.exact_iterations += ex.iterations;
+      if (ex.status != SolveStatus::kOptimal) return full_fallback();
+      candidate.status = SolveStatus::kOptimal;
+      candidate.primal = em.unshift(ex.primal);
+      candidate.dual = std::move(ex.dual);
+      candidate.objective = ex.objective + em.objective_constant;
+      candidate.certified = true;
+      fp.basis = ex.basis;
+      exact_duals.assign(candidate.dual.begin(),
+                         candidate.dual.begin() + num_model_rows);
+      method = "colgen+exact-simplex";
+    } else {
+      return full_fallback();
+    }
+
+    std::vector<GeneratedColumn> violated;
+    oracle.price_exact(exact_duals, std::max(colgen.emit, batch), violated);
+    if (!violated.empty()) {
+      // The float duals were optimistic; the exact sweep caught it. Append
+      // the witnesses and keep iterating — this is what makes the float
+      // loop an accelerator rather than a correctness assumption.
+      if (!append_all(violated)) return full_fallback();
+      out.colgen_columns_generated = master.num_variables() - seeded;
+      continue;
+    }
+
+    // Every absent column prices non-negative under the exact duals: the
+    // restricted certificate extends to the complete model.
+    out.status = SolveStatus::kOptimal;
+    out.objective = std::move(candidate.objective);
+    out.primal = std::move(candidate.primal);
+    out.dual = std::move(candidate.dual);
+    out.certified = true;
+    out.method = std::move(method);
+    out.warm_started = warm_live;
+    out.colgen_columns_generated = master.num_variables() - seeded;
+    sync_times();
+    if (context) {
+      context->warm = capture_warm_start(master, fp.basis);
+      context->warm_used = warm_live;
+    }
+    record_solve(out, context);
+    return out;
+  }
+  return full_fallback();  // round budget exhausted
+}
+
+}  // namespace ssco::lp

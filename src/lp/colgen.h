@@ -1,0 +1,140 @@
+#pragma once
+// Delayed column generation — restricted masters over an implicit model.
+//
+// The reduce-family LPs (core/reduce_lp.cpp, core/prefix_lp.cpp) are
+// quadratic by construction: one send variable per (adjacent interval,
+// edge) plus merge-task placements puts ~50k columns into an n=256 model
+// whose optimum touches a few hundred of them. Column generation never
+// materializes the rest. The pieces:
+//
+//  * the RESTRICTED MASTER is an ordinary lp::Model holding ALL rows of the
+//    full model but only a seed subset of its columns (heuristic plans make
+//    good seeds). Row parity is what makes the mathematics work: a master
+//    solution extended with zeros is feasible for the full model, and the
+//    master's duals price every absent column;
+//  * the PricingOracle knows the implicit column set structurally. Each
+//    round it prices absent columns against the master's duals in one
+//    structured pass and returns the most violated ones;
+//  * the driver (ExactSolver::solve_colgen, implemented here) appends those
+//    columns to the master, the expanded model and the live revised-simplex
+//    engine — which resumes primal phase 2 from its current basis: a column
+//    append leaves a primal-feasible basis primal feasible, so there is no
+//    phase 1 and no refactorization, just more columns to price (the
+//    classic restricted-master iteration);
+//  * termination is EXACT: once float pricing finds nothing, the usual
+//    certificate ladder proves the restricted master optimal in rational
+//    arithmetic, and one exact-rational pricing sweep over the implicit set
+//    proves every never-materialized column has non-negative reduced cost.
+//    Together that is a bit-exact optimality certificate for the COMPLETE
+//    model — `certified == true` never means "optimal for the columns we
+//    happened to look at". A sweep that does find a violated column (float
+//    duals can be degenerate) appends it and re-enters the loop, so the
+//    float pricing pass is an accelerator, never a correctness assumption;
+//  * every inconclusive outcome (master infeasible — which proves nothing
+//    about the full model, columns can restore feasibility —, stalled or
+//    budget-exhausted loops, uncertifiable masters) falls back to
+//    materializing the full model and running the dense ExactSolver paths.
+//
+// Generated columns are appended in a deterministic order (violation, then
+// name) and keyed by the same names a dense build would use, so warm-start
+// snapshots (lp/warm_start.h) and plan-service basis caches map exactly
+// onto colgen-built models and vice versa.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lp/exact_solver.h"
+#include "lp/model.h"
+
+namespace ssco::lp {
+
+/// One column of the implicit model, priced out by an oracle. Zero lower
+/// bound, no upper bound — both load-bearing: the column enters the master
+/// nonbasic at zero without disturbing primal feasibility, and no bound row
+/// is materialized, so the row space (and any live basis over it) keeps its
+/// dimension.
+struct GeneratedColumn {
+  /// Deterministic, model-unique name — the key under which warm-start
+  /// snapshots keep mapping; must equal what a dense build of the full
+  /// model would call this variable.
+  std::string name;
+  Rational objective;
+  /// (model row index, coefficient), rows strictly increasing.
+  std::vector<std::pair<std::size_t, Rational>> entries;
+  /// Oracle-private identity, handed back verbatim through added() so the
+  /// oracle can update its presence bookkeeping without parsing names.
+  std::uint64_t tag = 0;
+};
+
+/// Structural description of the implicit column set. Implementations own
+/// the presence bookkeeping: a column is ABSENT until the driver reports it
+/// appended via added(); emitting a column from price()/price_exact() does
+/// NOT mark it present (the driver may pool it for a later round).
+class PricingOracle {
+ public:
+  virtual ~PricingOracle() = default;
+
+  /// Columns of the FULL model, materialized or not.
+  [[nodiscard]] virtual std::size_t total_columns() const = 0;
+
+  /// Float pricing pass: appends to `out` up to `max_columns` absent
+  /// columns with reduced cost (A'y - c) below -tolerance against duals
+  /// `y` (one per MODEL row, SimplexResult sign convention), most violated
+  /// first, ties broken deterministically by name.
+  virtual void price(const std::vector<double>& y, double tolerance,
+                     std::size_t max_columns,
+                     std::vector<GeneratedColumn>& out) = 0;
+
+  /// Exact pricing sweep over the same absent set: appends up to
+  /// `max_columns` columns whose EXACT reduced cost is negative. Leaving
+  /// `out` empty is a proof that every absent column prices non-negative —
+  /// the step that extends a restricted-master certificate to the full
+  /// model, so implementations must sweep the entire absent set before
+  /// returning nothing.
+  virtual void price_exact(const std::vector<Rational>& y,
+                           std::size_t max_columns,
+                           std::vector<GeneratedColumn>& out) = 0;
+
+  /// The driver appended `column` to the master as variable `var`; treat it
+  /// as present from now on.
+  virtual void added(const GeneratedColumn& column, VarId var) = 0;
+
+  /// Materializes every still-absent column — the driver's dense-fallback
+  /// completion.
+  virtual void materialize_all(std::vector<GeneratedColumn>& out) = 0;
+};
+
+struct ColGenOptions {
+  /// Pricing rounds before giving up and materializing the full model.
+  std::size_t max_rounds = 64;
+  /// Columns appended to the master per round. Doubles after `stall_rounds`
+  /// objective-stagnant rounds (degenerate colgen tails shrink with bigger
+  /// batches), so the effective batch adapts to the instance.
+  std::size_t batch = 512;
+  /// Columns the oracle may emit per float pricing call; the surplus beyond
+  /// `batch` feeds the driver's column pool, which repriced-and-recycles
+  /// them in later rounds without another oracle scan.
+  std::size_t emit = 2048;
+  /// Float reduced-cost threshold for "violated". Termination never depends
+  /// on it — the exact sweep has the final word at tolerance zero.
+  double pricing_tolerance = 1e-7;
+  /// Objective-stagnant rounds before the batch doubles.
+  std::size_t stall_rounds = 4;
+  /// Per-round pivot cap as a fraction of the row count (plus a constant
+  /// floor), after which the round prices on the CURRENT basis's duals
+  /// instead of driving the master to optimality first. Unstabilized column
+  /// generation oscillates — successive restricted optima can be tens of
+  /// thousands of degenerate pivots apart while better columns would
+  /// short-circuit the plateau — and intermediate pricing only needs *some*
+  /// dual vector, not an optimal one: optimality is only ever claimed from
+  /// a round that reached the optimum AND priced clean, and the exact sweep
+  /// still has the final word. 0 disables the cap. (Measured on the n=128
+  /// sparse reduce: an uncapped loop burns 50k+ degenerate pivots chasing
+  /// successive restricted optima; 0.25 cuts the total 6x.)
+  double round_pivot_factor = 0.25;
+  std::size_t round_pivot_floor = 256;
+};
+
+}  // namespace ssco::lp

@@ -32,6 +32,7 @@ ColumnLayout ColumnLayout::from(const ExpandedModel& em) {
     if (layout.sense[i] != Sense::kLessEqual) layout.art_col[i] = next++;
   }
   layout.num_cols = next;
+  layout.art_end_col = next;
 
   layout.column_identity.resize(layout.num_cols);
   for (std::size_t j = 0; j < em.num_vars; ++j) {

@@ -11,6 +11,14 @@
 // Layout: [0, num_vars) structural; then one slack/surplus per inequality
 // row; then one artificial per >=/== row — both groups in row order, against
 // the EFFECTIVE senses (after rows with negative RHS are flipped).
+//
+// Column generation appends structural columns AFTER the artificial block
+// (append_structural): the identity columns keep their indices, so a live
+// basis — and every eta built on it — survives the append untouched. The
+// expanded-model identity of an appended column is carried explicitly in
+// column_identity, which is what the certificate and warm-start paths
+// decode; only the artificial range test needs the explicit [art_start_col,
+// art_end_col) bounds instead of "everything past art_start_col".
 
 #include <cstddef>
 #include <vector>
@@ -25,6 +33,9 @@ struct ColumnLayout {
   std::size_t num_vars = 0;
   std::size_t num_cols = 0;
   std::size_t art_start_col = 0;
+  /// One past the artificial block; columns in [art_end_col, num_cols) are
+  /// structurals appended by column generation.
+  std::size_t art_end_col = 0;
   /// True when row i was negated to make its RHS non-negative.
   std::vector<bool> flipped;
   /// Sense of each row AFTER flipping.
@@ -36,11 +47,18 @@ struct ColumnLayout {
 
   [[nodiscard]] static ColumnLayout from(const ExpandedModel& em);
 
+  /// Registers a structural column for expanded variable `var` appended
+  /// after the identity blocks; returns its column index.
+  std::size_t append_structural(std::size_t var) {
+    column_identity.push_back({BasisColumn::Kind::kStructural, var});
+    return num_cols++;
+  }
+
   [[nodiscard]] bool is_artificial(std::size_t col) const {
-    return col >= art_start_col && col < num_cols;
+    return col >= art_start_col && col < art_end_col;
   }
   [[nodiscard]] bool has_artificials() const {
-    return art_start_col < num_cols;
+    return art_start_col < art_end_col;
   }
 };
 

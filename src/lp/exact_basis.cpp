@@ -97,6 +97,7 @@ std::optional<std::vector<Rational>> refine_exact(
 
   std::vector<Rational> x_acc(n, Rational(0));
   std::vector<Rational> residual = rhs;
+  BasisLu::Workspace lu_ws;
 
   // Bits of accuracy gained so far (estimate; verification is exact anyway).
   int accuracy_bits = 0;
@@ -119,9 +120,9 @@ std::optional<std::vector<Rational>> refine_exact(
       correction[i] = (residual[i] * inv_scale).to_double();
     }
     if (transposed) {
-      lu.btran(correction);
+      lu.btran(correction, lu_ws);
     } else {
-      lu.ftran(correction);
+      lu.ftran(correction, lu_ws);
     }
 
     // x += scale * correction (exact: every double is a dyadic rational).

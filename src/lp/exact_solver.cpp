@@ -166,6 +166,54 @@ ExactSolution ExactSolver::solve(const Model& model) const {
   return solve(model, nullptr);
 }
 
+bool certify_float_result(const ExpandedModel& em,
+                          const SimplexResult<double>& fp,
+                          const ExactSolverOptions& options,
+                          ExactSolution& out) {
+  for (std::uint64_t cap : options.denominator_caps) {
+    auto x = reconstruct_vector(fp.primal, cap, options.reconstruct_tolerance);
+    auto y = reconstruct_vector(fp.dual, cap, options.reconstruct_tolerance);
+    if (!x || !y) continue;
+    // Clamp reconstruction noise: tiny negatives are infeasible exactly.
+    for (Rational& v : *x) {
+      if (v.is_negative()) v = Rational(0);
+    }
+    if (ExactSolver::verify_certificate(em, *x, *y)) {
+      out.status = SolveStatus::kOptimal;
+      Rational obj(0);
+      for (std::size_t j = 0; j < em.num_vars; ++j) {
+        if (!em.objective[j].is_zero()) obj.add_product(em.objective[j], (*x)[j]);
+      }
+      out.primal = em.unshift(*x);
+      out.dual = std::move(*y);
+      out.objective = obj + em.objective_constant;
+      out.certified = true;
+      out.method = "double+certificate";
+      return true;
+    }
+  }
+  // Second stage: exact recovery from the optimal basis (degenerate optima
+  // with large vertex denominators land here).
+  if (options.allow_basis_verification) {
+    if (auto verified = verify_from_basis(em, fp.basis)) {
+      out.status = SolveStatus::kOptimal;
+      Rational obj(0);
+      for (std::size_t j = 0; j < em.num_vars; ++j) {
+        if (!em.objective[j].is_zero()) {
+          obj.add_product(em.objective[j], verified->primal[j]);
+        }
+      }
+      out.primal = em.unshift(verified->primal);
+      out.dual = std::move(verified->dual);
+      out.objective = obj + em.objective_constant;
+      out.certified = true;
+      out.method = "double+basis-verification";
+      return true;
+    }
+  }
+  return false;
+}
+
 SolverStats ExactSolver::stats() const {
   SolverStats out;
   out.solves = stats_.solves.load(std::memory_order_relaxed);
@@ -183,12 +231,22 @@ SolverStats ExactSolver::stats() const {
   out.btran_ns = stats_.btran_ns.load(std::memory_order_relaxed);
   out.pricing_ns = stats_.pricing_ns.load(std::memory_order_relaxed);
   out.factor_ns = stats_.factor_ns.load(std::memory_order_relaxed);
+  out.colgen_solves = stats_.colgen_solves.load(std::memory_order_relaxed);
+  out.colgen_rounds = stats_.colgen_rounds.load(std::memory_order_relaxed);
+  out.colgen_columns_generated =
+      stats_.colgen_columns_generated.load(std::memory_order_relaxed);
   return out;
 }
 
 ExactSolution ExactSolver::solve(const Model& model,
                                  SolveContext* context) const {
   ExactSolution out = solve_impl(model, context);
+  record_solve(out, context);
+  return out;
+}
+
+void ExactSolver::record_solve(const ExactSolution& out,
+                               const SolveContext* context) const {
   // Aggregate telemetry: relaxed atomics, safe under concurrent solves (see
   // the thread-safety contract in the header).
   stats_.solves.fetch_add(1, std::memory_order_relaxed);
@@ -217,7 +275,13 @@ ExactSolution ExactSolver::solve(const Model& model,
                               std::memory_order_relaxed);
   stats_.factor_ns.fetch_add(out.phase_times.factor_ns,
                              std::memory_order_relaxed);
-  return out;
+  if (out.colgen_rounds > 0 || out.colgen_columns_total > 0) {
+    stats_.colgen_solves.fetch_add(1, std::memory_order_relaxed);
+    stats_.colgen_rounds.fetch_add(out.colgen_rounds,
+                                   std::memory_order_relaxed);
+    stats_.colgen_columns_generated.fetch_add(out.colgen_columns_generated,
+                                              std::memory_order_relaxed);
+  }
 }
 
 ExactSolution ExactSolver::solve_impl(const Model& model,
@@ -240,54 +304,11 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
   };
 
   // Tries both exact certification paths on a float-optimal result; fills
-  // and returns `out` on success.
+  // and returns `out` on success (certify_float_result above).
   auto certify = [&](const SimplexResult<double>& fp) -> bool {
-    for (std::uint64_t cap : options_.denominator_caps) {
-      auto x = reconstruct_vector(fp.primal, cap,
-                                  options_.reconstruct_tolerance);
-      auto y =
-          reconstruct_vector(fp.dual, cap, options_.reconstruct_tolerance);
-      if (!x || !y) continue;
-      // Clamp reconstruction noise: tiny negatives are infeasible exactly.
-      for (Rational& v : *x) {
-        if (v.is_negative()) v = Rational(0);
-      }
-      if (verify_certificate(em, *x, *y)) {
-        out.status = SolveStatus::kOptimal;
-        out.primal = em.unshift(*x);
-        out.dual = std::move(*y);
-        Rational obj(0);
-        for (std::size_t j = 0; j < em.num_vars; ++j) {
-          if (!em.objective[j].is_zero()) obj.add_product(em.objective[j], (*x)[j]);
-        }
-        out.objective = obj + em.objective_constant;
-        out.certified = true;
-        out.method = "double+certificate";
-        remember(fp.basis);
-        return true;
-      }
-    }
-    // Second stage: exact recovery from the optimal basis (degenerate
-    // optima with large vertex denominators land here).
-    if (options_.allow_basis_verification) {
-      if (auto verified = verify_from_basis(em, fp.basis)) {
-        out.status = SolveStatus::kOptimal;
-        Rational obj(0);
-        for (std::size_t j = 0; j < em.num_vars; ++j) {
-          if (!em.objective[j].is_zero()) {
-            obj.add_product(em.objective[j], verified->primal[j]);
-          }
-        }
-        out.primal = em.unshift(verified->primal);
-        out.dual = std::move(verified->dual);
-        out.objective = obj + em.objective_constant;
-        out.certified = true;
-        out.method = "double+basis-verification";
-        remember(fp.basis);
-        return true;
-      }
-    }
-    return false;
+    if (!certify_float_result(em, fp, options_, out)) return false;
+    remember(fp.basis);
+    return true;
   };
 
   // Warm attempt: replay the context basis through the dual simplex. ANY

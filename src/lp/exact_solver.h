@@ -35,6 +35,15 @@
 
 namespace ssco::lp {
 
+/// One restricted-master round of a column-generation solve (lp/colgen.h):
+/// master size when the round priced, pivots it spent, and the float
+/// objective it reached — the growth curve the examples/ walkthrough plots.
+struct ColGenRoundStat {
+  std::size_t columns = 0;
+  std::size_t pivots = 0;
+  double objective = 0.0;
+};
+
 struct ExactSolution {
   SolveStatus status = SolveStatus::kIterationLimit;
   /// Exact optimal objective value (valid when status == kOptimal).
@@ -55,6 +64,16 @@ struct ExactSolution {
   /// True when the float pass was a warm re-solve from a previous basis
   /// (lp/dual_simplex.h) instead of a cold two-phase solve.
   bool warm_started = false;
+  /// Column-generation telemetry (lp/colgen.h); all zero for dense solves.
+  /// `colgen_columns_total` counts the IMPLICIT full model's columns, so
+  /// total - seeded - generated columns were priced out without ever being
+  /// materialized.
+  std::size_t colgen_rounds = 0;
+  std::size_t colgen_columns_seeded = 0;
+  std::size_t colgen_columns_generated = 0;
+  std::size_t colgen_columns_total = 0;
+  /// Per-round trace of the restricted master's growth (colgen solves only).
+  std::vector<ColGenRoundStat> colgen_round_log;
   /// Rows/columns the exact presolve removed before the float solve
   /// (lp/presolve.h); zero when presolve was off or found nothing.
   std::size_t presolve_rows_removed = 0;
@@ -126,6 +145,10 @@ struct SolverStats {
   std::uint64_t btran_ns = 0;
   std::uint64_t pricing_ns = 0;
   std::uint64_t factor_ns = 0;
+  /// Column-generation totals (solve_colgen calls only).
+  std::uint64_t colgen_solves = 0;
+  std::uint64_t colgen_rounds = 0;
+  std::uint64_t colgen_columns_generated = 0;
 };
 
 /// Thread-safety contract:
@@ -138,6 +161,9 @@ struct SolverStats {
 ///    stream, and sharing one across threads is a data race.
 ///  * Per-solve statistics are returned by value in ExactSolution;
 ///    stats() aggregates across threads with relaxed atomics.
+struct ColGenOptions;   // lp/colgen.h
+class PricingOracle;    // lp/colgen.h
+
 class ExactSolver {
  public:
   explicit ExactSolver(ExactSolverOptions options = {})
@@ -156,6 +182,20 @@ class ExactSolver {
   [[nodiscard]] ExactSolution solve(const Model& model,
                                     SolveContext* context) const;
 
+  /// Delayed column generation against the implicit model the oracle
+  /// describes (lp/colgen.h, defined in colgen.cpp): `master` holds the
+  /// restricted master — ALL rows of the full model, a seed subset of its
+  /// columns — and GROWS as pricing finds violated columns. `certified ==
+  /// true` still means bit-exact optimality of the COMPLETE model: on top
+  /// of the restricted certificate, one exact-rational pricing sweep proves
+  /// every never-materialized column has non-negative reduced cost. Falls
+  /// back to materializing the full model (correctness is never entrusted
+  /// to the float pricing loop).
+  [[nodiscard]] ExactSolution solve_colgen(Model& master,
+                                           PricingOracle& oracle,
+                                           const ColGenOptions& colgen,
+                                           SolveContext* context = nullptr) const;
+
   /// Consistent-per-counter snapshot of the aggregate stats (see
   /// SolverStats; values only grow).
   [[nodiscard]] SolverStats stats() const;
@@ -167,9 +207,15 @@ class ExactSolver {
                                                const std::vector<Rational>& x,
                                                const std::vector<Rational>& y);
 
+  [[nodiscard]] const ExactSolverOptions& options() const { return options_; }
+
  private:
   [[nodiscard]] ExactSolution solve_impl(const Model& model,
                                          SolveContext* context) const;
+  /// Folds one finished solve into the atomic stats block (shared by
+  /// solve() and solve_colgen()).
+  void record_solve(const ExactSolution& solution,
+                    const SolveContext* context) const;
 
   ExactSolverOptions options_;
   struct AtomicStats {
@@ -185,9 +231,24 @@ class ExactSolver {
     std::atomic<std::uint64_t> btran_ns{0};
     std::atomic<std::uint64_t> pricing_ns{0};
     std::atomic<std::uint64_t> factor_ns{0};
+    std::atomic<std::uint64_t> colgen_solves{0};
+    std::atomic<std::uint64_t> colgen_rounds{0};
+    std::atomic<std::uint64_t> colgen_columns_generated{0};
   };
   mutable AtomicStats stats_;
 };
+
+/// Runs the exact certification ladder — rational reconstruction of the
+/// float primal/dual pair at the configured denominator caps, then exact
+/// recovery from the optimal basis (lp/exact_basis.h) — on a float-OPTIMAL
+/// SimplexResult for `em`. On success fills `out`'s status / objective /
+/// primal (original variable space) / dual / certified / method and
+/// returns true; `out` is untouched on failure. Shared by ExactSolver's
+/// cold, warm and column-generation paths.
+[[nodiscard]] bool certify_float_result(const ExpandedModel& em,
+                                        const SimplexResult<double>& fp,
+                                        const ExactSolverOptions& options,
+                                        ExactSolution& out);
 
 /// Convenience: solve `model` purely with the exact rational simplex
 /// (no floating-point involved). Used as ground truth in tests.

@@ -59,6 +59,29 @@ RowId Model::add_constraint(const LinearExpr& expr, Sense sense, Rational rhs,
   return id;
 }
 
+VarId Model::add_column(std::string name, Rational objective,
+                        const std::vector<std::pair<RowId, Rational>>& entries) {
+  // Validate everything before touching the model: a throw below this
+  // block would leave a half-added column behind.
+  for (std::size_t a = 0; a < entries.size(); ++a) {
+    if (entries[a].first.index >= rows_.size()) {
+      throw std::out_of_range("Model: column references unknown row");
+    }
+    for (std::size_t b = a + 1; b < entries.size(); ++b) {
+      if (entries[a].first == entries[b].first) {
+        throw std::invalid_argument("Model: duplicate row in column entries");
+      }
+    }
+  }
+  VarId id = add_variable(std::move(name));
+  set_objective(id, std::move(objective));
+  for (const auto& [row, coeff] : entries) {
+    if (coeff.is_zero()) continue;
+    rows_[row.index].coeffs.emplace_back(id.index, coeff);
+  }
+  return id;
+}
+
 std::size_t Model::num_nonzeros() const {
   std::size_t nnz = 0;
   for (const Row& r : rows_) nnz += r.coeffs.size();

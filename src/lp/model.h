@@ -74,6 +74,14 @@ class Model {
   RowId add_constraint(const LinearExpr& expr, Sense sense, Rational rhs,
                        std::string name = {});
 
+  /// Column-generation append: a new variable (lower bound 0, no upper
+  /// bound) whose coefficients land in EXISTING rows. `entries` must name
+  /// distinct valid rows; zero coefficients are dropped. Because the new
+  /// variable has the largest index, every touched row's sorted coefficient
+  /// list stays sorted — the append is O(|entries|).
+  VarId add_column(std::string name, Rational objective,
+                   const std::vector<std::pair<RowId, Rational>>& entries);
+
   [[nodiscard]] std::size_t num_variables() const { return var_names_.size(); }
   [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t num_nonzeros() const;

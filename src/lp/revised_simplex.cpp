@@ -30,7 +30,9 @@ RevisedSimplex::RevisedSimplex(const ExpandedModel& em, ColumnLayout layout,
   const std::size_t n = em.num_vars;
   m_ = m;
   num_cols_ = layout_.num_cols;
+  build_num_vars_ = n;
 
+  equilibrate_ = equilibrate;
   row_scale_.assign(m, 1.0);
   col_scale_.assign(num_cols_, 1.0);
   if (equilibrate) {
@@ -108,7 +110,7 @@ RevisedSimplex::RevisedSimplex(const ExpandedModel& em, ColumnLayout layout,
 
 std::vector<double> RevisedSimplex::phase1_costs() const {
   std::vector<double> cost(num_cols_, 0.0);
-  for (std::size_t c = layout_.art_start_col; c < num_cols_; ++c) {
+  for (std::size_t c = layout_.art_start_col; c < layout_.art_end_col; ++c) {
     cost[c] = -1.0;
   }
   return cost;
@@ -117,20 +119,21 @@ std::vector<double> RevisedSimplex::phase1_costs() const {
 std::vector<double> RevisedSimplex::phase2_costs() const {
   std::vector<double> cost(num_cols_, 0.0);
   for (std::size_t j = 0; j < em_.num_vars; ++j) {
-    cost[j] = em_.objective[j].to_double() * col_scale_[j];
+    const std::size_t col = column_of_var(j);
+    cost[col] = em_.objective[j].to_double() * col_scale_[col];
   }
   return cost;
 }
 
 void RevisedSimplex::timed_ftran(std::vector<double>& x) {
   const auto t0 = Clock::now();
-  lu_->ftran(x);
+  lu_->ftran(x, lu_ws_);
   times_.ftran_ns += ns_since(t0);
 }
 
 void RevisedSimplex::timed_btran(std::vector<double>& x) {
   const auto t0 = Clock::now();
-  lu_->btran(x);
+  lu_->btran(x, lu_ws_);
   times_.btran_ns += ns_since(t0);
 }
 
@@ -275,13 +278,17 @@ void RevisedSimplex::expel_artificials() {
 std::vector<double> RevisedSimplex::extract_primal() const {
   std::vector<double> x(em_.num_vars, 0.0);
   for (std::size_t k = 0; k < m_; ++k) {
-    if (basis_[k] < em_.num_vars) {
-      x[basis_[k]] =
+    const BasisColumn& id = layout_.column_identity[basis_[k]];
+    if (id.kind == BasisColumn::Kind::kStructural) {
+      x[id.index] =
           std::fabs(xb_[k]) < kZeroTol ? 0.0 : xb_[k] * col_scale_[basis_[k]];
     }
   }
   for (std::size_t j = 0; j < em_.num_vars; ++j) {
-    if (at_upper_[j] && pos_of_col_[j] == kNone) x[j] = ub_[j] * col_scale_[j];
+    const std::size_t col = column_of_var(j);
+    if (at_upper_[col] && pos_of_col_[col] == kNone) {
+      x[j] = ub_[col] * col_scale_[col];
+    }
   }
   return x;
 }
@@ -318,6 +325,50 @@ std::vector<BasisColumn> RevisedSimplex::extract_basis() const {
     basis[k] = layout_.column_identity[basis_[k]];
   }
   return basis;
+}
+
+std::size_t RevisedSimplex::append_column(
+    std::size_t var,
+    const std::vector<std::pair<std::size_t, Rational>>& entries) {
+  if (var != build_num_vars_ + appended_cols_.size()) {
+    // Variables must be appended densely, in model order, or column_of_var
+    // lookups would lie.
+    ok_ = false;
+    return kNone;
+  }
+  const double cs =
+      equilibrate_ ? column_equilibration_factor(entries, row_scale_) : 1.0;
+  std::vector<CscMatrix::Entry> scaled;
+  scaled.reserve(entries.size());
+  for (const auto& [i, coeff] : entries) {
+    const double v = coeff.to_double() * row_scale_[i] * cs;
+    scaled.push_back({i, layout_.flipped[i] ? -v : v});
+  }
+  const std::size_t col = A_.add_column(scaled);
+  const std::size_t layout_col = layout_.append_structural(var);
+  if (col != layout_col) {
+    // The CSC matrix and the layout must extend in lockstep; a divergence
+    // here would silently corrupt every index-based lookup.
+    ok_ = false;
+    return kNone;
+  }
+  num_cols_ = layout_.num_cols;
+  barred_.push_back(false);
+  pos_of_col_.push_back(kNone);
+  ub_.push_back(std::numeric_limits<double>::infinity());
+  at_upper_.push_back(false);
+  col_scale_.push_back(cs);
+  appended_cols_.push_back(col);
+  // Pricing state is column-indexed and now undersized; the CSR mirror no
+  // longer covers the new entries. Both rebuild lazily on next use.
+  d_fresh_ = false;
+  candidates_.clear();
+  row_start_.clear();
+  row_entries_.clear();
+  alpha_.clear();
+  alpha_seen_.clear();
+  touched_cols_.clear();
+  return col;
 }
 
 void RevisedSimplex::compute_multipliers(const std::vector<double>& cost) {
@@ -582,7 +633,7 @@ bool RevisedSimplex::refactor() {
       A_.add_scaled_column(j, -ub_[j], xb_);
     }
   }
-  lu_->ftran(xb_);
+  lu_->ftran(xb_, lu_ws_);
   for (double& v : xb_) {
     if (std::fabs(v) < kZeroTol) v = 0.0;
   }

@@ -35,6 +35,15 @@
 // start driver never hands it a basis with a boxed column parked at its
 // upper bound.
 //
+// Column generation drives one more entry point: append_column() grows the
+// matrix by a structural column AFTER the identity blocks (so no existing
+// column index — and no basis position — moves), leaves the LU factors and
+// basic values untouched, and the next optimize() call resumes primal
+// phase 2 from the current basis. A primal-feasible basis stays primal
+// feasible under a column append (the new column enters nonbasic at zero),
+// which is exactly the restricted-master iteration: no phase 1, no
+// refactorization, just more columns to price.
+//
 // The result honours the full SimplexResult<double> contract — primal,
 // duals in the original row sign convention, and the final BasisColumn
 // basis that ExactSolver's certificate paths consume.
@@ -172,6 +181,26 @@ class RevisedSimplex {
   /// the one state the primal pricing loop must not be handed.
   [[nodiscard]] bool has_boxed_at_upper() const;
 
+  // --- Column generation (defined in revised_simplex.cpp) -----------------
+
+  /// Appends a structural column for expanded variable `var`, which must
+  /// already have been appended to the ExpandedModel this engine was built
+  /// from (zero lower bound, no upper bound — ExpandedModel::append_column's
+  /// contract). `entries` are (expanded row, coefficient) pairs. The column
+  /// arrives nonbasic at zero: basis, LU factors and basic values are
+  /// untouched, so optimize() resumes from the current vertex. Returns the
+  /// engine column index.
+  std::size_t append_column(
+      std::size_t var,
+      const std::vector<std::pair<std::size_t, Rational>>& entries);
+
+  /// Engine column representing expanded variable `var` (identity for
+  /// build-time variables, past the artificial block for appended ones).
+  [[nodiscard]] std::size_t column_of_var(std::size_t var) const {
+    return var < build_num_vars_ ? var
+                                 : appended_cols_[var - build_num_vars_];
+  }
+
  private:
   [[nodiscard]] bool is_artificial(std::size_t col) const {
     return col != kNone && layout_.is_artificial(col);
@@ -216,6 +245,10 @@ class RevisedSimplex {
   CscMatrix A_;
   std::size_t m_ = 0;
   std::size_t num_cols_ = 0;
+  /// Structural count at construction; variables past it were appended by
+  /// column generation and live at appended_cols_[var - build_num_vars_].
+  std::size_t build_num_vars_ = 0;
+  std::vector<std::size_t> appended_cols_;
   std::vector<bool> barred_;
   std::vector<double> rhs_;
   std::vector<double> ub_;        // per-column upper bound (inf = unbounded)
@@ -225,9 +258,11 @@ class RevisedSimplex {
   std::vector<std::size_t> pos_of_col_;  // column -> position or kNone
   std::optional<BasisLu> lu_;
   bool ok_ = false;
+  bool equilibrate_ = true;  // whether appended columns get scaled too
   std::vector<double> y_;     // simplex multipliers, row space
   std::vector<double> work_;  // FTRAN scratch
   std::vector<double> rho_;   // BTRAN scratch (pricing row / expel / dual)
+  BasisLu::Workspace lu_ws_;  // caller-owned FTRAN/BTRAN workspace
   // Equilibration state: scaled value = original * row_scale * col_scale;
   // identity vectors when scaling is off or a no-op.
   std::vector<double> row_scale_;

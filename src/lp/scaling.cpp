@@ -18,6 +18,21 @@ double pow2_round(double v) {
 
 }  // namespace
 
+double column_equilibration_factor(
+    const std::vector<std::pair<std::size_t, Rational>>& entries,
+    const std::vector<double>& row_scale) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (const auto& [row, coeff] : entries) {
+    const double a = std::fabs(coeff.to_double()) * row_scale[row];
+    if (a == 0.0 || !std::isfinite(a)) continue;
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  if (hi == 0.0) return 1.0;
+  return pow2_round(1.0 / std::sqrt(lo * hi));
+}
+
 Equilibration Equilibration::geometric_mean(const ExpandedModel& em,
                                             int rounds) {
   const std::size_t m = em.rows.size();

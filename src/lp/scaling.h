@@ -46,4 +46,13 @@ struct Equilibration {
                                                     int rounds = 2);
 };
 
+/// Power-of-two factor for ONE new column against FIXED row scales — the
+/// single-column instance of the geometric-mean rule, applied when column
+/// generation appends to an already-equilibrated matrix (the rows keep
+/// their factors; only the newcomer gets balanced). Returns 1.0 for an
+/// empty/zero column.
+[[nodiscard]] double column_equilibration_factor(
+    const std::vector<std::pair<std::size_t, Rational>>& entries,
+    const std::vector<double>& row_scale);
+
 }  // namespace ssco::lp

@@ -63,6 +63,21 @@ ExpandedModel ExpandedModel::from(const Model& model) {
   return em;
 }
 
+std::size_t ExpandedModel::append_column(
+    const Rational& objective,
+    const std::vector<std::pair<std::size_t, Rational>>& entries) {
+  const std::size_t var = num_vars++;
+  shift.emplace_back(0);
+  this->objective.push_back(objective);
+  for (const auto& [row, coeff] : entries) {
+    if (row >= num_model_rows) {
+      throw std::out_of_range("ExpandedModel: column entry past model rows");
+    }
+    if (!coeff.is_zero()) rows[row].coeffs.emplace_back(var, coeff);
+  }
+  return var;
+}
+
 std::vector<Rational> ExpandedModel::unshift(
     const std::vector<Rational>& x_shifted) const {
   std::vector<Rational> x(num_vars, Rational(0));

@@ -58,6 +58,17 @@ struct ExpandedModel {
 
   static ExpandedModel from(const Model& model);
 
+  /// Column-generation append, mirroring Model::add_column: a new variable
+  /// with zero lower bound, no upper bound, and coefficients in EXISTING
+  /// model rows (entries indexed by model row, all < num_model_rows, in
+  /// increasing row order per contract of the pricing oracle). Shift is
+  /// zero, so the objective constant and every existing row's RHS are
+  /// untouched; no bound row is materialized, so the row space — and any
+  /// live basis over it — keeps its dimension. Returns the variable index.
+  std::size_t append_column(
+      const Rational& objective,
+      const std::vector<std::pair<std::size_t, Rational>>& entries);
+
   /// Maps a shifted-space point back to original variable space.
   [[nodiscard]] std::vector<Rational> unshift(
       const std::vector<Rational>& x_shifted) const;

@@ -2,11 +2,18 @@
 // Compressed-sparse-column (CSC) matrix over doubles.
 //
 // Storage backbone of the revised simplex (lp/revised_simplex.h) and of the
-// LU-factorized basis (lp/basis_lu.h): the constraint matrix is built once,
-// column by column, and afterwards only read through per-column entry spans
-// (sparse dot products against dense vectors, dense scatters of single
-// columns). Rows within a column are unordered; duplicate rows are not
-// allowed; exact zeros may be stored and are treated like any other entry.
+// LU-factorized basis (lp/basis_lu.h): the constraint matrix is built
+// column by column and read through per-column entry spans (sparse dot
+// products against dense vectors, dense scatters of single columns).
+// Because the storage is strictly column-major, add_column also serves the
+// column-generation path mid-solve: appending a column leaves every
+// existing column's data and index untouched (entry spans are fetched per
+// use and must not be held across an append — the backing vector may
+// reallocate), and a BasisLu factored from a subset of columns owns its
+// factors, so it survives appends unchanged. Row-major mirrors — the
+// engine's CSR copy — cannot be appended in place and are rebuilt instead.
+// Rows within a column are unordered; duplicate rows are not allowed;
+// exact zeros may be stored and are treated like any other entry.
 
 #include <cstddef>
 #include <vector>

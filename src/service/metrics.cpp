@@ -52,6 +52,10 @@ std::string format_solver_stats(const lp::SolverStats& stats) {
       {"presolve rows removed", std::to_string(stats.presolve_rows_removed)});
   table.add_row(
       {"presolve cols removed", std::to_string(stats.presolve_cols_removed)});
+  table.add_row({"colgen solves", std::to_string(stats.colgen_solves)});
+  table.add_row({"colgen rounds", std::to_string(stats.colgen_rounds)});
+  table.add_row({"colgen columns generated",
+                 std::to_string(stats.colgen_columns_generated)});
   table.add_row({"ftran time", io::millis(stats.ftran_ns)});
   table.add_row({"btran time", io::millis(stats.btran_ns)});
   table.add_row({"pricing time", io::millis(stats.pricing_ns)});

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "lp/sparse.h"
@@ -184,6 +185,47 @@ TEST(BasisLu, FillAccountingDrivesAdaptiveRefactorization) {
   std::vector<double> w2 = {0.5, 1.5, 2.5};
   ASSERT_TRUE(lu->update(2, w2));
   EXPECT_EQ(lu->eta_nonzeros(), 5u);
+}
+
+TEST(BasisLu, ConcurrentSolvesWithOwnWorkspacesAgree) {
+  // ftran/btran write only into the caller-owned workspace, so many threads
+  // may solve against one factorization concurrently — the contract that
+  // unblocks parallel certificate verification. Hammer one BasisLu from
+  // several threads and compare every result against a sequential solve.
+  CscMatrix m = from_dense(kB);
+  auto lu = BasisLu::factor(m, identity_selection(3));
+  ASSERT_TRUE(lu.has_value());
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::vector<double>> expected_f(kThreads), expected_b(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    std::vector<double> x = {1.0 + t, -2.0, 4.0 + t};
+    expected_f[t] = x;
+    lu->ftran(expected_f[t]);
+    expected_b[t] = x;
+    lu->btran(expected_b[t]);
+  }
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      BasisLu::Workspace ws;
+      for (int iter = 0; iter < kIters; ++iter) {
+        std::vector<double> x = {1.0 + t, -2.0, 4.0 + t};
+        std::vector<double> f = x;
+        lu->ftran(f, ws);
+        std::vector<double> b = x;
+        lu->btran(b, ws);
+        if (f != expected_f[t] || b != expected_b[t]) ++mismatches[t];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
 }
 
 }  // namespace

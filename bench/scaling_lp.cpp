@@ -25,6 +25,7 @@
 #include "core/reduce_lp.h"
 #include "core/scatter_lp.h"
 #include "lp/exact_solver.h"
+#include "lp/parallel.h"
 #include "platform/delta.h"
 #include "platform/paper_instances.h"
 #include "service/metrics.h"
@@ -91,14 +92,27 @@ void BM_ReduceLpLarge(benchmark::State& state) {
   std::size_t rounds = 0;
   std::size_t generated = 0;
   std::size_t total = 0;
+  std::uint64_t certify_ns = 0;
+  std::uint64_t sweep_ns = 0;
+  std::uint64_t ftran_ns = 0;
+  std::uint64_t btran_ns = 0;
+  std::uint64_t pricing_ns = 0;
+  std::uint64_t factor_ns = 0;
+  core::ReduceLpOptions options;
   for (auto _ : state) {
-    auto sol = core::solve_reduce(inst);
+    auto sol = core::solve_reduce(inst, options);
     benchmark::DoNotOptimize(sol.throughput);
     pivots += sol.lp_pivots;
     certified = certified && sol.certified ? 1 : 0;
     rounds += sol.lp_colgen_rounds;
     generated += sol.lp_columns_generated;
     total = sol.lp_columns_total;
+    certify_ns += sol.lp_phase_times.certify_ns;
+    sweep_ns += sol.lp_phase_times.pricing_sweep_ns;
+    ftran_ns += sol.lp_phase_times.ftran_ns;
+    btran_ns += sol.lp_phase_times.btran_ns;
+    pricing_ns += sol.lp_phase_times.pricing_ns;
+    factor_ns += sol.lp_phase_times.factor_ns;
   }
   state.counters["nodes"] = static_cast<double>(n);
   state.counters["pivots"] = static_cast<double>(pivots);
@@ -106,6 +120,14 @@ void BM_ReduceLpLarge(benchmark::State& state) {
   state.counters["colgen_rounds"] = static_cast<double>(rounds);
   state.counters["columns_generated"] = static_cast<double>(generated);
   state.counters["columns_total"] = static_cast<double>(total);
+  state.counters["certify_ms"] = static_cast<double>(certify_ns) / 1e6;
+  state.counters["pricing_sweep_ms"] = static_cast<double>(sweep_ns) / 1e6;
+  state.counters["ftran_ms"] = static_cast<double>(ftran_ns) / 1e6;
+  state.counters["btran_ms"] = static_cast<double>(btran_ns) / 1e6;
+  state.counters["pricing_ms"] = static_cast<double>(pricing_ns) / 1e6;
+  state.counters["factor_ms"] = static_cast<double>(factor_ns) / 1e6;
+  state.counters["threads"] =
+      static_cast<double>(lp::resolve_threads(options.solver.threads));
 }
 BENCHMARK(BM_ReduceLpLarge)->Arg(128)->Arg(256)->Iterations(1)
     ->Unit(benchmark::kMillisecond);
@@ -137,6 +159,12 @@ void BM_ScatterLpBreakdown(benchmark::State& state) {
       static_cast<double>(stats.presolve_rows_removed) / solves;
   state.counters["presolve_cols_removed"] =
       static_cast<double>(stats.presolve_cols_removed) / solves;
+  state.counters["certify_ms"] =
+      static_cast<double>(stats.certify_ns) / 1e6 / solves;
+  state.counters["pricing_sweep_ms"] =
+      static_cast<double>(stats.pricing_sweep_ns) / 1e6 / solves;
+  state.counters["threads"] =
+      static_cast<double>(lp::resolve_threads(solver.options().threads));
   std::cerr << service::format_solver_stats(stats);
 }
 BENCHMARK(BM_ScatterLpBreakdown)->Arg(64)->Iterations(2)

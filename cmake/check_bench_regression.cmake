@@ -17,6 +17,12 @@
 #     run against a baseline possibly recorded on different hardware, and
 #     sub-floor benchmarks are scheduling-noise dominated. The pivot gate
 #     is the precise one; the time gate catches order-of-magnitude breaks.
+#   * the `certify_ms` / `pricing_sweep_ms` phase counters — wall-clock of
+#     the two column loops the parallel solve fabric shards (lp/parallel.h),
+#     gated exactly like real_time (CHECK_TIME=ON, TIME_TOLERANCE,
+#     TIME_FLOOR_MS) so a serialization or determinism-merge regression in
+#     the fabric shows up even when total time hides it. The `threads`
+#     counter is recorded for context, never gated — it is hardware-dependent.
 # Benchmarks found in only one file are reported and skipped, so adding or
 # retiring benchmarks does not break the gate.
 
@@ -134,22 +140,24 @@ foreach(i RANGE 0 ${fresh_last})
   endforeach()
 
   if(CHECK_TIME)
-    string(JSON fresh_ms ERROR_VARIABLE noent3 GET "${fresh}" benchmarks ${i}
-           real_time)
-    string(JSON base_ms ERROR_VARIABLE noent4 GET "${baseline}" benchmarks
-           ${base_idx} real_time)
-    if(NOT noent3 AND NOT noent4)
-      # Compare in microseconds so short benchmarks are not quantized to
-      # death, and skip anything under the noise floor entirely.
-      string(REGEX MATCH "^[0-9]+" base_floor "${base_ms}")
-      if(base_floor GREATER_EQUAL ${TIME_FLOOR_MS})
-        ms_to_us("${fresh_ms}" fresh_int)
-        ms_to_us("${base_ms}" base_int)
-        check_counter("${name}" real_time_us "${fresh_int}" "${base_int}"
-                      "${TIME_TOLERANCE_PERMILLE}" "${TIME_TOLERANCE}")
-        math(EXPR checked "${checked} + 1")
+    foreach(time_key real_time certify_ms pricing_sweep_ms)
+      string(JSON fresh_ms ERROR_VARIABLE noent3 GET "${fresh}" benchmarks ${i}
+             ${time_key})
+      string(JSON base_ms ERROR_VARIABLE noent4 GET "${baseline}" benchmarks
+             ${base_idx} ${time_key})
+      if(NOT noent3 AND NOT noent4)
+        # Compare in microseconds so short benchmarks are not quantized to
+        # death, and skip anything under the noise floor entirely.
+        string(REGEX MATCH "^[0-9]+" base_floor "${base_ms}")
+        if(base_floor GREATER_EQUAL ${TIME_FLOOR_MS})
+          ms_to_us("${fresh_ms}" fresh_int)
+          ms_to_us("${base_ms}" base_int)
+          check_counter("${name}" ${time_key}_us "${fresh_int}" "${base_int}"
+                        "${TIME_TOLERANCE_PERMILLE}" "${TIME_TOLERANCE}")
+          math(EXPR checked "${checked} + 1")
+        endif()
       endif()
-    endif()
+    endforeach()
   endif()
 endforeach()
 

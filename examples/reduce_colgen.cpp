@@ -17,7 +17,9 @@
 //      with an exact-rational pricing sweep over every column it never
 //      materialized.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "baselines/reduce_trees.h"
@@ -65,15 +67,17 @@ platform::ReduceInstance large_sparse_reduce(std::uint64_t seed,
   return inst;
 }
 
-}  // namespace
+/// One colgen pass at the given thread budget: fresh oracle + master (the
+/// master grows during the solve, so passes cannot share one), wall-clock
+/// around the whole call, the solver's own per-phase split returned inside
+/// the solution.
+struct ColgenPass {
+  lp::ExactSolution solution;
+  double wall_ms = 0;
+};
 
-int main() {
-  // The BM_ReduceLpLarge/256 instance: ~53k implicit columns, of which the
-  // loop below materializes roughly a fifth (the dense pass at the end
-  // takes ~4x the colgen wall-clock — that ratio is the whole point).
-  const auto inst = large_sparse_reduce(44, 256, 8);
-
-  // --- 1. Column generation, driven by hand so the round log is ours. -----
+ColgenPass run_colgen(const platform::ReduceInstance& inst,
+                      std::size_t threads) {
   core::IntervalFlowOracle oracle(inst,
                                   core::IntervalFlowOracle::Family::kReduce,
                                   inst.participants);
@@ -91,12 +95,43 @@ int main() {
     }
   }
   lp::Model master = oracle.build_master(send_seed, cons_seed);
-  std::printf("full model: %zu columns implicit; master seeded with %zu\n",
-              oracle.total_columns(), master.num_variables());
+  lp::ExactSolverOptions options;
+  options.threads = threads;
+  lp::ExactSolver solver(options);
+  ColgenPass pass;
+  const auto start = std::chrono::steady_clock::now();
+  pass.solution = solver.solve_colgen(master, oracle, lp::ColGenOptions{});
+  pass.wall_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  return pass;
+}
 
-  lp::ExactSolver solver;
-  lp::ExactSolution colgen =
-      solver.solve_colgen(master, oracle, lp::ColGenOptions{});
+double ms(std::uint64_t ns) { return static_cast<double>(ns) * 1e-6; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional argv[1]: thread budget for the parallel pass (default 8).
+  // Results are bit-identical at every setting — the fabric's determinism
+  // contract — so the comparison below is purely about where the
+  // wall-clock goes.
+  const std::size_t threads =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+
+  // The BM_ReduceLpLarge/256 instance: ~53k implicit columns, of which the
+  // loop below materializes roughly a fifth (the dense pass at the end
+  // takes ~4x the colgen wall-clock — that ratio is the whole point).
+  const auto inst = large_sparse_reduce(44, 256, 8);
+  std::printf("colgen pass 1: serial; pass 2: %zu-thread budget\n", threads);
+
+  // --- 1. Column generation, serial then parallel. ------------------------
+  const ColgenPass serial = run_colgen(inst, 1);
+  const ColgenPass parallel = run_colgen(inst, threads);
+  const lp::ExactSolution& colgen = serial.solution;
+  std::printf("full model: %zu columns implicit; %zu ever materialized\n",
+              colgen.colgen_columns_total,
+              colgen.colgen_columns_seeded + colgen.colgen_columns_generated);
   std::printf("\n round | master cols | pivots | float objective\n");
   for (std::size_t r = 0; r < colgen.colgen_round_log.size(); ++r) {
     const auto& row = colgen.colgen_round_log[r];
@@ -111,6 +146,32 @@ int main() {
       colgen.method.c_str(),
       colgen.colgen_columns_seeded + colgen.colgen_columns_generated,
       colgen.colgen_columns_total, colgen.colgen_columns_generated);
+
+  // Per-phase wall-clock split, serial vs parallel. The serial-equal float
+  // simplex phases (ftran/btran/pricing/factor) should match to noise;
+  // the sharded buckets — certification and the colgen pricing sweeps —
+  // are where the thread budget shows up on multi-core hosts.
+  const lp::SolvePhaseTimes& s = serial.solution.phase_times;
+  const lp::SolvePhaseTimes& p = parallel.solution.phase_times;
+  std::printf("\n phase         | serial ms | %2zu-thread ms\n", threads);
+  std::printf(" factor        | %9.1f | %9.1f\n", ms(s.factor_ns),
+              ms(p.factor_ns));
+  std::printf(" ftran         | %9.1f | %9.1f\n", ms(s.ftran_ns),
+              ms(p.ftran_ns));
+  std::printf(" btran         | %9.1f | %9.1f\n", ms(s.btran_ns),
+              ms(p.btran_ns));
+  std::printf(" pricing       | %9.1f | %9.1f\n", ms(s.pricing_ns),
+              ms(p.pricing_ns));
+  std::printf(" pricing sweep | %9.1f | %9.1f   (sharded)\n",
+              ms(s.pricing_sweep_ns), ms(p.pricing_sweep_ns));
+  std::printf(" certify       | %9.1f | %9.1f   (sharded)\n",
+              ms(s.certify_ns), ms(p.certify_ns));
+  std::printf(" total wall    | %9.1f | %9.1f\n", serial.wall_ms,
+              parallel.wall_ms);
+  std::printf("serial == %zu-thread objective: %s\n", threads,
+              serial.solution.objective == parallel.solution.objective
+                  ? "bit-identical"
+                  : "MISMATCH");
 
   // --- 2. The dense build: every column up front, same exact answer. ------
   core::ReduceLpOptions dense_options;

@@ -407,34 +407,66 @@ void IntervalFlowOracle::price(const std::vector<double>& y, double tolerance,
   std::vector<Cand> cands;
   auto dual = [&](std::size_t row) { return row == kNoRow ? 0.0 : y[row]; };
 
-  for (std::size_t iv = 0; iv < sp_.num_intervals(); ++iv) {
-    const auto& present = send_var_[iv];
-    const auto& conserve = conserve_row_[iv];
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      if (present[e] != kAbsent) continue;
-      const auto& edge = graph.edge(e);
-      const double d =
-          edge_unit_d_[e] * (dual(op_out_row_[edge.src]) +
-                             dual(op_in_row_[edge.dst])) +
-          dual(conserve[edge.dst]) - dual(conserve[edge.src]);
-      if (d < -tolerance) cands.push_back({d, make_tag(kSendTag, iv, e)});
+  // Both grids shard over their OUTER dimension (interval rows of the send
+  // grid, compute nodes of the cons grid); every candidate's reduced cost
+  // is computed independently, and the shard-major merge below reproduces
+  // the serial scan order exactly, so the emitted list is bit-identical to
+  // a serial sweep at any thread count.
+  const std::size_t n_iv = sp_.num_intervals();
+  {
+    const std::size_t shards = par_.shard_count(n_iv, 8);
+    std::vector<lp::ShardLocal<std::vector<Cand>>> parts(shards);
+    par_.for_shards(
+        n_iv, 8, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          auto& local = parts[shard].value;
+          for (std::size_t iv = begin; iv < end; ++iv) {
+            const auto& present = send_var_[iv];
+            const auto& conserve = conserve_row_[iv];
+            for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+              if (present[e] != kAbsent) continue;
+              const auto& edge = graph.edge(e);
+              const double d =
+                  edge_unit_d_[e] * (dual(op_out_row_[edge.src]) +
+                                     dual(op_in_row_[edge.dst])) +
+                  dual(conserve[edge.dst]) - dual(conserve[edge.src]);
+              if (d < -tolerance) {
+                local.push_back({d, make_tag(kSendTag, iv, e)});
+              }
+            }
+          }
+        });
+    for (auto& part : parts) {
+      cands.insert(cands.end(), part.value.begin(), part.value.end());
     }
   }
-  for (NodeId node : compute_nodes_) {
-    const double yc = dual(compute_row_[node]);
-    for (std::size_t iv = 0; iv < sp_.num_intervals(); ++iv) {
-      auto [k, m] = sp_.interval(iv);
-      for (std::size_t l = k; l < m; ++l) {
-        const std::size_t task = sp_.task_id(k, l, m);
-        if (cons_var_[node][task] != kAbsent) continue;
-        const double d = node_unit_d_[node] * yc +
-                         dual(conserve_row_[iv][node]) -
-                         dual(conserve_row_[sp_.interval_id(k, l)][node]) -
-                         dual(conserve_row_[sp_.interval_id(l + 1, m)][node]);
-        if (d < -tolerance) {
-          cands.push_back({d, make_tag(kConsTag, node, task)});
-        }
-      }
+  {
+    const std::size_t shards = par_.shard_count(compute_nodes_.size(), 1);
+    std::vector<lp::ShardLocal<std::vector<Cand>>> parts(shards);
+    par_.for_shards(
+        compute_nodes_.size(), 1,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          auto& local = parts[shard].value;
+          for (std::size_t c = begin; c < end; ++c) {
+            const NodeId node = compute_nodes_[c];
+            const double yc = dual(compute_row_[node]);
+            for (std::size_t iv = 0; iv < n_iv; ++iv) {
+              auto [k, m] = sp_.interval(iv);
+              for (std::size_t l = k; l < m; ++l) {
+                const std::size_t task = sp_.task_id(k, l, m);
+                if (cons_var_[node][task] != kAbsent) continue;
+                const double d =
+                    node_unit_d_[node] * yc + dual(conserve_row_[iv][node]) -
+                    dual(conserve_row_[sp_.interval_id(k, l)][node]) -
+                    dual(conserve_row_[sp_.interval_id(l + 1, m)][node]);
+                if (d < -tolerance) {
+                  local.push_back({d, make_tag(kConsTag, node, task)});
+                }
+              }
+            }
+          }
+        });
+    for (auto& part : parts) {
+      cands.insert(cands.end(), part.value.begin(), part.value.end());
     }
   }
 
@@ -470,59 +502,111 @@ void IntervalFlowOracle::price_exact(const std::vector<Rational>& y,
   auto is_zero = [&](std::size_t row) {
     return row == kNoRow || y[row].is_zero();
   };
-  auto emit = [&](std::uint64_t tag) {
+  // How many more columns this call may emit. A serial sweep stops the
+  // moment `out` reaches max_columns; the sharded sweep below caps every
+  // shard at `needed` and truncates the shard-major merge to `needed`,
+  // which provably reproduces the serial prefix: the serial output is the
+  // first `needed` violated tags in global scan order, each shard's
+  // contribution to that prefix is at most `needed`, and the merge
+  // preserves the global order.
+  const std::size_t needed =
+      max_columns > out.size() ? max_columns - out.size() : 1;
+
+  // Violation test per grid cell, exact.
+  auto send_violated = [&](std::size_t iv, EdgeId e) {
+    const auto& edge = graph.edge(e);
+    const std::size_t r_out = op_out_row_[edge.src];
+    const std::size_t r_in = op_in_row_[edge.dst];
+    const std::size_t r_dst = conserve_row_[iv][edge.dst];
+    const std::size_t r_src = conserve_row_[iv][edge.src];
+    if (is_zero(r_out) && is_zero(r_in) && is_zero(r_dst) && is_zero(r_src)) {
+      return false;
+    }
+    Rational rc(0);
+    if (!is_zero(r_out)) rc.add_product(edge_unit_[e], y[r_out]);
+    if (!is_zero(r_in)) rc.add_product(edge_unit_[e], y[r_in]);
+    if (!is_zero(r_dst)) rc += y[r_dst];
+    if (!is_zero(r_src)) rc -= y[r_src];
+    return rc.signum() < 0;
+  };
+  auto cons_violated = [&](NodeId node, std::size_t iv, std::size_t l) {
+    auto [k, m] = sp_.interval(iv);
+    const std::size_t r_comp = compute_row_[node];
+    const std::size_t r_prod = conserve_row_[iv][node];
+    const std::size_t r_left = conserve_row_[sp_.interval_id(k, l)][node];
+    const std::size_t r_right = conserve_row_[sp_.interval_id(l + 1, m)][node];
+    if (is_zero(r_comp) && is_zero(r_prod) && is_zero(r_left) &&
+        is_zero(r_right)) {
+      return false;
+    }
+    Rational rc(0);
+    if (!is_zero(r_comp)) rc.add_product(node_unit_[node], y[r_comp]);
+    if (!is_zero(r_prod)) rc += y[r_prod];
+    if (!is_zero(r_left)) rc -= y[r_left];
+    if (!is_zero(r_right)) rc -= y[r_right];
+    return rc.signum() < 0;
+  };
+
+  // Sharded sweep collecting violated TAGS (cheap); columns materialize
+  // only for the merged, truncated survivors.
+  std::vector<std::uint64_t> tags;
+  const std::size_t n_iv = sp_.num_intervals();
+  {
+    const std::size_t shards = par_.shard_count(n_iv, 8);
+    std::vector<lp::ShardLocal<std::vector<std::uint64_t>>> parts(shards);
+    par_.for_shards(
+        n_iv, 8, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          auto& local = parts[shard].value;
+          for (std::size_t iv = begin; iv < end && local.size() < needed;
+               ++iv) {
+            const auto& present = send_var_[iv];
+            for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+              if (present[e] != kAbsent) continue;
+              if (send_violated(iv, e)) {
+                local.push_back(make_tag(kSendTag, iv, e));
+                if (local.size() >= needed) break;
+              }
+            }
+          }
+        });
+    for (auto& part : parts) {
+      tags.insert(tags.end(), part.value.begin(), part.value.end());
+    }
+  }
+  if (tags.size() < needed) {
+    const std::size_t shards = par_.shard_count(compute_nodes_.size(), 1);
+    std::vector<lp::ShardLocal<std::vector<std::uint64_t>>> parts(shards);
+    par_.for_shards(
+        compute_nodes_.size(), 1,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          auto& local = parts[shard].value;
+          for (std::size_t c = begin; c < end && local.size() < needed; ++c) {
+            const NodeId node = compute_nodes_[c];
+            for (std::size_t iv = 0; iv < n_iv && local.size() < needed;
+                 ++iv) {
+              auto [k, m] = sp_.interval(iv);
+              for (std::size_t l = k; l < m; ++l) {
+                const std::size_t task = sp_.task_id(k, l, m);
+                if (cons_var_[node][task] != kAbsent) continue;
+                if (cons_violated(node, iv, l)) {
+                  local.push_back(make_tag(kConsTag, node, task));
+                  if (local.size() >= needed) break;
+                }
+              }
+            }
+          }
+        });
+    for (auto& part : parts) {
+      tags.insert(tags.end(), part.value.begin(), part.value.end());
+    }
+  }
+  if (tags.size() > needed) tags.resize(needed);
+  out.reserve(out.size() + tags.size());
+  for (std::uint64_t tag : tags) {
     if (tag_kind(tag) == kSendTag) {
       out.push_back(make_send(tag_a(tag), tag_b(tag)));
     } else {
       out.push_back(make_cons(tag_a(tag), tag_b(tag)));
-    }
-    return out.size() >= max_columns;  // cap reached: stop scanning
-  };
-
-  for (std::size_t iv = 0; iv < sp_.num_intervals(); ++iv) {
-    const auto& present = send_var_[iv];
-    const auto& conserve = conserve_row_[iv];
-    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
-      if (present[e] != kAbsent) continue;
-      const auto& edge = graph.edge(e);
-      const std::size_t r_out = op_out_row_[edge.src];
-      const std::size_t r_in = op_in_row_[edge.dst];
-      const std::size_t r_dst = conserve[edge.dst];
-      const std::size_t r_src = conserve[edge.src];
-      if (is_zero(r_out) && is_zero(r_in) && is_zero(r_dst) &&
-          is_zero(r_src)) {
-        continue;
-      }
-      Rational rc(0);
-      if (!is_zero(r_out)) rc.add_product(edge_unit_[e], y[r_out]);
-      if (!is_zero(r_in)) rc.add_product(edge_unit_[e], y[r_in]);
-      if (!is_zero(r_dst)) rc += y[r_dst];
-      if (!is_zero(r_src)) rc -= y[r_src];
-      if (rc.signum() < 0 && emit(make_tag(kSendTag, iv, e))) return;
-    }
-  }
-  for (NodeId node : compute_nodes_) {
-    const std::size_t r_comp = compute_row_[node];
-    for (std::size_t iv = 0; iv < sp_.num_intervals(); ++iv) {
-      auto [k, m] = sp_.interval(iv);
-      for (std::size_t l = k; l < m; ++l) {
-        const std::size_t task = sp_.task_id(k, l, m);
-        if (cons_var_[node][task] != kAbsent) continue;
-        const std::size_t r_prod = conserve_row_[iv][node];
-        const std::size_t r_left = conserve_row_[sp_.interval_id(k, l)][node];
-        const std::size_t r_right =
-            conserve_row_[sp_.interval_id(l + 1, m)][node];
-        if (is_zero(r_comp) && is_zero(r_prod) && is_zero(r_left) &&
-            is_zero(r_right)) {
-          continue;
-        }
-        Rational rc(0);
-        if (!is_zero(r_comp)) rc.add_product(node_unit_[node], y[r_comp]);
-        if (!is_zero(r_prod)) rc += y[r_prod];
-        if (!is_zero(r_left)) rc -= y[r_left];
-        if (!is_zero(r_right)) rc -= y[r_right];
-        if (rc.signum() < 0 && emit(make_tag(kConsTag, node, task))) return;
-      }
     }
   }
 }

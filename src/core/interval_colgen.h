@@ -91,6 +91,14 @@ class IntervalFlowOracle final : public lp::PricingOracle {
                    std::vector<lp::GeneratedColumn>& out) override;
   void added(const lp::GeneratedColumn& column, lp::VarId var) override;
   void materialize_all(std::vector<lp::GeneratedColumn>& out) override;
+  /// Shards the price()/price_exact() grid scans across the solve's pool.
+  /// Candidates are collected per shard and merged shard-major — the exact
+  /// serial scan order — so the emitted column list is bit-identical to a
+  /// serial sweep at every thread count (see price_exact for the truncation
+  /// argument).
+  void set_parallel(const lp::Parallel& parallel) override {
+    par_ = parallel;
+  }
 
   /// Maps a master-space primal onto the solution tables (send, cons,
   /// throughput); absent columns are zero.
@@ -154,6 +162,7 @@ class IntervalFlowOracle final : public lp::PricingOracle {
   const platform::ReduceInstance& instance_;
   Family family_;
   IntervalSpace sp_;
+  lp::Parallel par_;  // serial unless the colgen driver hands us a pool
   std::vector<NodeId> compute_nodes_;
   std::vector<char> is_compute_;
 

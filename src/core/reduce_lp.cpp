@@ -311,6 +311,7 @@ ReduceSolution solve_reduce(const ReduceInstance& instance,
   out.lp_colgen_rounds = sol.colgen_rounds;
   out.lp_columns_generated = sol.colgen_columns_generated;
   out.lp_columns_total = sol.colgen_columns_total;
+  out.lp_phase_times = sol.phase_times;
 
   if (options.prune_cycles) out.prune_cycles(instance);
   return out;

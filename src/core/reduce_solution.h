@@ -13,6 +13,7 @@
 
 #include "core/intervals.h"
 #include "graph/digraph.h"
+#include "lp/simplex.h"
 #include "lp/warm_start.h"
 #include "num/rational.h"
 #include "platform/paper_instances.h"
@@ -45,6 +46,10 @@ struct ReduceSolution {
   std::size_t lp_colgen_rounds = 0;
   std::size_t lp_columns_generated = 0;
   std::size_t lp_columns_total = 0;
+  /// Wall-clock phase split of the LP solve (FTRAN/BTRAN/pricing/factor from
+  /// the float engine, certification + colgen pricing sweeps from
+  /// ExactSolver) — what BENCH_lp.json's certify_ms/pricing_sweep_ms track.
+  lp::SolvePhaseTimes lp_phase_times;
   /// Optimal-basis snapshot; pass this solution as `previous` to the next
   /// solve on a mutated platform to re-solve incrementally.
   lp::WarmStart lp_basis;

@@ -1,8 +1,21 @@
 #include "lp/basis_lu.h"
 
+#include <bit>
 #include <cmath>
 
 namespace ssco::lp {
+
+namespace {
+
+inline void set_bit(std::vector<std::uint64_t>& bits, std::size_t i) {
+  bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+inline void clear_bit(std::vector<std::uint64_t>& bits, std::size_t i) {
+  bits[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+}
+
+}  // namespace
 
 std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
                                        const std::vector<std::size_t>& columns,
@@ -13,8 +26,14 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
   BasisLu lu;
   lu.options_ = options;
   lu.pivot_row_.assign(m, 0);
-  lu.lower_.resize(m);
-  lu.upper_.resize(m);
+  lu.l_start_.assign(1, 0);
+  lu.u_start_.assign(1, 0);
+  lu.l_start_.reserve(m + 1);
+  lu.u_start_.reserve(m + 1);
+  lu.l_idx_.reserve(A.num_nonzeros());
+  lu.l_val_.reserve(A.num_nonzeros());
+  lu.u_idx_.reserve(A.num_nonzeros());
+  lu.u_val_.reserve(A.num_nonzeros());
   lu.diag_.assign(m, 0.0);
 
   // pivoted_at[i] = elimination step that chose row i, or m if still free.
@@ -22,6 +41,12 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
   std::vector<double> x(m, 0.0);
   std::vector<std::size_t> touched;
   touched.reserve(m);
+  // live[j] set <=> x[pivot_row_[j]] may be nonzero: the only steps the
+  // left-looking probe loop below has to visit. Maintained alongside every
+  // write into x (scatter and elimination updates both set it; the
+  // end-of-column drain clears it), so the probe walks set bits instead of
+  // all k prior steps — same float operations, same order, O(k/64) scan.
+  std::vector<std::uint64_t> live((m + 64) / 64, 0);
 
   for (std::size_t k = 0; k < m; ++k) {
     // x = column k of B, scattered dense.
@@ -29,15 +54,32 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
          e != A.col_end(columns[k]); ++e) {
       x[e->row] = e->value;
       touched.push_back(e->row);
+      if (pivoted_at[e->row] != m) set_bit(live, pivoted_at[e->row]);
     }
     // Left-looking solve L x' = x against the already-built columns, in
-    // elimination order.
-    for (std::size_t j = 0; j < k; ++j) {
-      const double xp = x[lu.pivot_row_[j]];
-      if (xp == 0.0) continue;
-      for (const auto& [row, l] : lu.lower_[j]) {
-        if (x[row] == 0.0) touched.push_back(row);
-        x[row] -= l * xp;
+    // elimination order. Updates only ever mark steps LATER than the one
+    // being processed (an L column never contains its own or an earlier
+    // pivot row), so draining each word lowest-bit-first with a done-mask
+    // — which picks up bits set mid-word — still visits steps in strictly
+    // increasing order.
+    const std::size_t words = (k + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t done = 0;
+      for (;;) {
+        const std::uint64_t pending = live[w] & ~done;
+        if (pending == 0) break;
+        const int bit = std::countr_zero(pending);
+        done |= std::uint64_t{1} << bit;
+        const std::size_t j = (w << 6) | static_cast<std::size_t>(bit);
+        const double xp = x[lu.pivot_row_[j]];
+        if (xp == 0.0) continue;
+        const std::size_t lend = lu.l_start_[j + 1];
+        for (std::size_t t = lu.l_start_[j]; t < lend; ++t) {
+          const auto row = static_cast<std::size_t>(lu.l_idx_[t]);
+          if (x[row] == 0.0) touched.push_back(row);
+          x[row] -= lu.l_val_[t] * xp;
+          if (pivoted_at[row] != m) set_bit(live, pivoted_at[row]);
+        }
       }
     }
     // Partial pivoting over the rows not yet chosen.
@@ -57,33 +99,55 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
     pivoted_at[pivot] = k;
     const double dk = x[pivot];
     lu.diag_[k] = dk;
-    auto& ucol = lu.upper_[k];
-    auto& lcol = lu.lower_[k];
     for (std::size_t row : touched) {
       const double v = x[row];
       x[row] = 0.0;  // reset the accumulator as we drain it
+      const std::size_t p = pivoted_at[row];
+      if (p != m) clear_bit(live, p);
       if (row == pivot || std::fabs(v) <= options.drop_tolerance) continue;
-      if (pivoted_at[row] != m) {
-        ucol.emplace_back(pivoted_at[row], v);
+      if (p != m) {
+        lu.u_idx_.push_back(static_cast<Index>(p));
+        lu.u_val_.push_back(v);
       } else {
-        lcol.emplace_back(row, v / dk);
+        lu.l_idx_.push_back(static_cast<Index>(row));
+        lu.l_val_.push_back(v / dk);
       }
     }
+    lu.l_start_.push_back(lu.l_idx_.size());
+    lu.u_start_.push_back(lu.u_idx_.size());
     touched.clear();
   }
-  lu.factor_nnz_ = m;  // the diagonal
-  for (std::size_t k = 0; k < m; ++k) {
-    lu.factor_nnz_ += lu.lower_[k].size() + lu.upper_[k].size();
-  }
-  // Transposed mirrors for the push-form BTRAN solves.
-  lu.urows_.assign(m, {});
-  lu.ltrans_.assign(m, {});
-  for (std::size_t k = 0; k < m; ++k) {
-    for (const auto& [pos, u] : lu.upper_[k]) {
-      lu.urows_[pos].emplace_back(k, u);
-    }
-    for (const auto& [row, l] : lu.lower_[k]) {
-      lu.ltrans_[row].emplace_back(lu.pivot_row_[k], l);
+  lu.factor_nnz_ = m + lu.l_idx_.size() + lu.u_idx_.size();
+
+  // Transposed mirrors for the push-form BTRAN solves, by counting sort —
+  // entries of row j (ur) / original row r (ltrans) end up ordered by
+  // elimination step, exactly the order the old per-row push lists held.
+  lu.ur_start_.assign(m + 1, 0);
+  for (const Index pos : lu.u_idx_) ++lu.ur_start_[pos + 1];
+  for (std::size_t i = 0; i < m; ++i) lu.ur_start_[i + 1] += lu.ur_start_[i];
+  lu.ur_idx_.resize(lu.u_idx_.size());
+  lu.ur_val_.resize(lu.u_idx_.size());
+  lu.lt_start_.assign(m + 1, 0);
+  for (const Index row : lu.l_idx_) ++lu.lt_start_[row + 1];
+  for (std::size_t i = 0; i < m; ++i) lu.lt_start_[i + 1] += lu.lt_start_[i];
+  lu.lt_idx_.resize(lu.l_idx_.size());
+  lu.lt_val_.resize(lu.l_idx_.size());
+  {
+    std::vector<std::size_t> ufill(lu.ur_start_.begin(),
+                                   lu.ur_start_.end() - 1);
+    std::vector<std::size_t> lfill(lu.lt_start_.begin(),
+                                   lu.lt_start_.end() - 1);
+    for (std::size_t k = 0; k < m; ++k) {
+      for (std::size_t t = lu.u_start_[k]; t < lu.u_start_[k + 1]; ++t) {
+        const std::size_t at = ufill[lu.u_idx_[t]]++;
+        lu.ur_idx_[at] = static_cast<Index>(k);
+        lu.ur_val_[at] = lu.u_val_[t];
+      }
+      for (std::size_t t = lu.l_start_[k]; t < lu.l_start_[k + 1]; ++t) {
+        const std::size_t at = lfill[lu.l_idx_[t]]++;
+        lu.lt_idx_[at] = static_cast<Index>(lu.pivot_row_[k]);
+        lu.lt_val_[at] = lu.l_val_[t];
+      }
     }
   }
   return lu;
@@ -92,61 +156,109 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
 void BasisLu::ftran(std::vector<double>& x, Workspace& ws) const {
   const std::size_t m = dim();
   // Apply L^-1 (row space).
-  for (std::size_t k = 0; k < m; ++k) {
-    const double xp = x[pivot_row_[k]];
-    if (xp == 0.0) continue;
-    for (const auto& [row, l] : lower_[k]) x[row] -= l * xp;
+  {
+    const Index* const idx = l_idx_.data();
+    const double* const val = l_val_.data();
+    for (std::size_t k = 0; k < m; ++k) {
+      const double xp = x[pivot_row_[k]];
+      if (xp == 0.0) continue;
+      const std::size_t end = l_start_[k + 1];
+      for (std::size_t t = l_start_[k]; t < end; ++t) {
+        x[idx[t]] -= val[t] * xp;
+      }
+    }
   }
   // Permute into position space, then backsolve U.
   std::vector<double>& y = ws.scratch;
   y.resize(m);
   for (std::size_t k = 0; k < m; ++k) y[k] = x[pivot_row_[k]];
-  for (std::size_t k = m; k-- > 0;) {
-    const double t = y[k] / diag_[k];
-    y[k] = t;
-    if (t == 0.0) continue;
-    for (const auto& [pos, u] : upper_[k]) y[pos] -= u * t;
+  {
+    const Index* const idx = u_idx_.data();
+    const double* const val = u_val_.data();
+    for (std::size_t k = m; k-- > 0;) {
+      const double t = y[k] / diag_[k];
+      y[k] = t;
+      if (t == 0.0) continue;
+      const std::size_t end = u_start_[k + 1];
+      for (std::size_t tt = u_start_[k]; tt < end; ++tt) {
+        y[idx[tt]] -= val[tt] * t;
+      }
+    }
   }
   x.swap(y);
   // Product-form updates, oldest first.
-  for (const Eta& eta : etas_) {
-    const double t = x[eta.r] / eta.pivot;
-    x[eta.r] = t;
-    if (t == 0.0) continue;
-    for (const auto& [pos, w] : eta.terms) x[pos] -= w * t;
+  {
+    const Index* const idx = eta_idx_.data();
+    const double* const val = eta_val_.data();
+    for (std::size_t e = 0; e < eta_r_.size(); ++e) {
+      const auto r = static_cast<std::size_t>(eta_r_[e]);
+      const double t = x[r] / eta_pivot_[e];
+      x[r] = t;
+      if (t == 0.0) continue;
+      const std::size_t end = eta_start_[e + 1];
+      for (std::size_t tt = eta_start_[e]; tt < end; ++tt) {
+        x[idx[tt]] -= val[tt] * t;
+      }
+    }
   }
 }
 
 void BasisLu::btran(std::vector<double>& x, Workspace& ws) const {
   const std::size_t m = dim();
-  // Transposed eta file, newest first.
-  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-    double t = x[it->r];
-    for (const auto& [pos, w] : it->terms) t -= w * x[pos];
-    x[it->r] = t / it->pivot;
+  // Transposed eta file, newest first: each eta contributes a gather dot
+  // product. Accumulation stays in strict term order — NOT unrolled into
+  // independent accumulators — because reassociating it perturbs the pivot
+  // path and thereby which optimal VERTEX degenerate models land on;
+  // downstream consumers (tree extraction, schedules) are vertex-sensitive
+  // even though the objective is not. The SoA layout still pipelines the
+  // index/value streams.
+  {
+    const Index* const idx = eta_idx_.data();
+    const double* const val = eta_val_.data();
+    for (std::size_t e = eta_r_.size(); e-- > 0;) {
+      const std::size_t end = eta_start_[e + 1];
+      double t = x[eta_r_[e]];
+      for (std::size_t tt = eta_start_[e]; tt < end; ++tt) {
+        t -= val[tt] * x[idx[tt]];
+      }
+      x[eta_r_[e]] = t / eta_pivot_[e];
+    }
   }
   // Forward solve U' w = c in position space, PUSH form: once w_k is final
   // its contributions scatter along row k of U, and a zero w_k — the
   // overwhelmingly common case for the near-singleton vectors the simplex
   // prices with — costs nothing.
-  for (std::size_t k = 0; k < m; ++k) {
-    const double t = x[k];
-    if (t == 0.0) continue;
-    const double wk = t / diag_[k];
-    x[k] = wk;
-    for (const auto& [pos, u] : urows_[k]) x[pos] -= u * wk;
+  {
+    const Index* const idx = ur_idx_.data();
+    const double* const val = ur_val_.data();
+    for (std::size_t k = 0; k < m; ++k) {
+      const double t = x[k];
+      if (t == 0.0) continue;
+      const double wk = t / diag_[k];
+      x[k] = wk;
+      const std::size_t end = ur_start_[k + 1];
+      for (std::size_t tt = ur_start_[k]; tt < end; ++tt) {
+        x[idx[tt]] -= val[tt] * wk;
+      }
+    }
   }
   // Permute back to row space and apply L^-T, newest elimination step
   // first, again in push form: y[pivot_row_[k]] is final when step k runs
-  // (ltrans_ only targets earlier elimination steps).
+  // (ltrans only targets earlier elimination steps).
   std::vector<double>& y = ws.scratch;
   y.assign(m, 0.0);
   for (std::size_t k = 0; k < m; ++k) y[pivot_row_[k]] = x[k];
-  for (std::size_t k = m; k-- > 0;) {
-    const double z = y[pivot_row_[k]];
-    if (z == 0.0) continue;
-    for (const auto& [target, l] : ltrans_[pivot_row_[k]]) {
-      y[target] -= l * z;
+  {
+    const Index* const idx = lt_idx_.data();
+    const double* const val = lt_val_.data();
+    for (std::size_t k = m; k-- > 0;) {
+      const std::size_t row = pivot_row_[k];
+      const double z = y[row];
+      if (z == 0.0) continue;
+      const std::size_t end = lt_start_[row + 1];
+      for (std::size_t tt = lt_start_[row]; tt < end; ++tt) {
+        y[idx[tt]] -= val[tt] * z;
+      }
     }
   }
   x.swap(y);
@@ -155,16 +267,16 @@ void BasisLu::btran(std::vector<double>& x, Workspace& ws) const {
 bool BasisLu::update(std::size_t r, const std::vector<double>& w) {
   const double pivot = w[r];
   if (std::fabs(pivot) < options_.pivot_tolerance) return false;
-  Eta eta;
-  eta.r = r;
-  eta.pivot = pivot;
   for (std::size_t i = 0; i < w.size(); ++i) {
     if (i != r && std::fabs(w[i]) > options_.drop_tolerance) {
-      eta.terms.emplace_back(i, w[i]);
+      eta_idx_.push_back(static_cast<Index>(i));
+      eta_val_.push_back(w[i]);
     }
   }
-  eta_nnz_ += eta.terms.size() + 1;
-  etas_.push_back(std::move(eta));
+  eta_nnz_ += eta_idx_.size() - eta_start_.back() + 1;
+  eta_start_.push_back(eta_idx_.size());
+  eta_r_.push_back(static_cast<Index>(r));
+  eta_pivot_.push_back(pivot);
   return true;
 }
 

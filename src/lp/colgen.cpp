@@ -1,6 +1,7 @@
 #include "lp/colgen.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -14,6 +15,14 @@
 namespace ssco::lp {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
 
 /// Largest restricted master the inline exact-rational tableau may be asked
 /// to rescue (rows); beyond it the dense tableau's O(m * cols) rational
@@ -66,14 +75,22 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
 
   ExpandedModel em = ExpandedModel::from(master);
   const std::size_t num_model_rows = em.num_model_rows;
+  const Parallel par = solve_parallel(context);
+  oracle.set_parallel(par);
 
   // Times of engines already torn down (an abandoned warm attempt); the
-  // live engine's cumulative clock is added on top at every exit.
+  // live engine's cumulative clock is added on top at every exit. The
+  // certification / pricing-sweep buckets are the driver's own (the engine
+  // never touches them) and are carried across the resync.
   SolvePhaseTimes retired_times;
+  std::uint64_t certify_ns = 0;
+  std::uint64_t sweep_ns = 0;
   std::optional<RevisedSimplex> engine;
   auto sync_times = [&] {
     out.phase_times = retired_times;
     if (engine) out.phase_times += engine->phase_times();
+    out.phase_times.certify_ns = certify_ns;
+    out.phase_times.pricing_sweep_ns = sweep_ns;
   };
 
   // Correctness net for every inconclusive outcome: materialize the full
@@ -221,6 +238,7 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
                                 duals.begin() + num_model_rows);
 
     // Reprice the pool, then top up from the oracle.
+    const auto sweep_t0 = Clock::now();
     std::vector<std::pair<double, GeneratedColumn>> candidates;
     for (GeneratedColumn& gc : pool) {
       const double d = reduced_cost(gc, y);
@@ -241,6 +259,7 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
       }
     }
     sort_by_violation(candidates);
+    sweep_ns += ns_since(sweep_t0);
 
     if (!candidates.empty()) {
       // Append the best `batch`; pool the rest for later rounds.
@@ -291,7 +310,8 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
     ExactSolution candidate;
     std::vector<Rational> exact_duals;
     std::string method;
-    if (certify_float_result(em, fp, options_, candidate)) {
+    const auto certify_t0 = Clock::now();
+    if (certify_float_result(em, fp, options_, candidate, par)) {
       exact_duals.assign(candidate.dual.begin(),
                          candidate.dual.begin() + num_model_rows);
       method = candidate.method == "double+certificate"
@@ -315,11 +335,15 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
                          candidate.dual.begin() + num_model_rows);
       method = "colgen+exact-simplex";
     } else {
+      certify_ns += ns_since(certify_t0);
       return full_fallback();
     }
+    certify_ns += ns_since(certify_t0);
 
     std::vector<GeneratedColumn> violated;
+    const auto exact_sweep_t0 = Clock::now();
     oracle.price_exact(exact_duals, std::max(colgen.emit, batch), violated);
+    sweep_ns += ns_since(exact_sweep_t0);
     if (!violated.empty()) {
       // The float duals were optimistic; the exact sweep caught it. Append
       // the witnesses and keep iterating — this is what makes the float

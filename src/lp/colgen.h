@@ -104,6 +104,13 @@ class PricingOracle {
   /// Materializes every still-absent column — the driver's dense-fallback
   /// completion.
   virtual void materialize_all(std::vector<GeneratedColumn>& out) = 0;
+
+  /// Offers the solve's Parallel handle (lp/parallel.h) before the pricing
+  /// loop starts. Implementations MAY shard their price()/price_exact()
+  /// scans across it, PROVIDED the emitted column list stays bit-identical
+  /// to their serial scan (deterministic shard merge); the default ignores
+  /// it. The handle outlives the solve — oracles may keep a copy.
+  virtual void set_parallel(const Parallel& parallel) { (void)parallel; }
 };
 
 struct ColGenOptions {

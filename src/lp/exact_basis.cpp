@@ -85,14 +85,69 @@ Rational pow2(int k) {
 
 namespace {
 
+/// Shard granularities for the exact element loops: rational big-int work is
+/// expensive per item, so shards can be fine; plain element updates need
+/// coarser slices before forking pays for itself.
+constexpr std::size_t kMinReconstructPerShard = 8;
+constexpr std::size_t kMinColumnsPerShard = 32;
+constexpr std::size_t kMinElementsPerShard = 128;
+
+/// M * x with per-shard partial outputs merged shard-major — exact
+/// arithmetic makes every grouping produce the canonical value, so this is
+/// bit-identical to SparseColumns::multiply at any shard count.
+std::vector<Rational> multiply_parallel(const SparseColumns& m,
+                                        const std::vector<Rational>& x,
+                                        const Parallel& par) {
+  const std::size_t shards = par.shard_count(m.n, kMinColumnsPerShard);
+  if (shards <= 1) return m.multiply(x);
+  std::vector<ShardLocal<std::vector<Rational>>> partial(shards);
+  par.for_shards(m.n, kMinColumnsPerShard,
+                 [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                   auto& y = partial[shard].value;
+                   y.assign(m.n, Rational(0));
+                   for (std::size_t j = begin; j < end; ++j) {
+                     if (x[j].is_zero()) continue;
+                     for (const auto& [i, v] : m.cols[j]) {
+                       y[i].add_product(v, x[j]);
+                     }
+                   }
+                 });
+  std::vector<Rational> y = std::move(partial[0].value);
+  for (std::size_t s = 1; s < shards; ++s) {
+    for (std::size_t i = 0; i < m.n; ++i) {
+      if (!partial[s].value[i].is_zero()) y[i] += partial[s].value[i];
+    }
+  }
+  return y;
+}
+
+/// M' * y: each output component is one independent column dot, so plain
+/// range sharding preserves bit-identity for free.
+std::vector<Rational> multiply_transposed_parallel(
+    const SparseColumns& m, const std::vector<Rational>& y,
+    const Parallel& par) {
+  std::vector<Rational> x(m.n, Rational(0));
+  par.for_shards(m.n, kMinColumnsPerShard,
+                 [&](std::size_t, std::size_t begin, std::size_t end) {
+                   for (std::size_t j = begin; j < end; ++j) {
+                     for (const auto& [i, v] : m.cols[j]) {
+                       x[j].add_product(v, y[i]);
+                     }
+                   }
+                 });
+  return x;
+}
+
 /// Exact iterative refinement of one system against a shared factorization:
 /// M x = rhs via FTRAN, or M' x = rhs via BTRAN when `transposed`.
 std::optional<std::vector<Rational>> refine_exact(
     const SparseColumns& matrix, const BasisLu& lu, bool transposed,
-    const std::vector<Rational>& rhs, const ExactSolveOptions& options) {
+    const std::vector<Rational>& rhs, const ExactSolveOptions& options,
+    const Parallel& par = {}) {
   const std::size_t n = matrix.n;
   auto apply_exact = [&](const std::vector<Rational>& x) {
-    return transposed ? matrix.multiply_transposed(x) : matrix.multiply(x);
+    return transposed ? multiply_transposed_parallel(matrix, x, par)
+                      : multiply_parallel(matrix, x, par);
   };
 
   std::vector<Rational> x_acc(n, Rational(0));
@@ -116,25 +171,38 @@ std::optional<std::vector<Rational>> refine_exact(
     Rational inv_scale = pow2(-scale_log);
 
     std::vector<double> correction(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      correction[i] = (residual[i] * inv_scale).to_double();
-    }
+    par.for_shards(n, kMinElementsPerShard,
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       correction[i] = (residual[i] * inv_scale).to_double();
+                     }
+                   });
     if (transposed) {
       lu.btran(correction, lu_ws);
     } else {
       lu.ftran(correction, lu_ws);
     }
 
-    // x += scale * correction (exact: every double is a dyadic rational).
-    for (std::size_t i = 0; i < n; ++i) {
-      if (correction[i] != 0.0) {
-        x_acc[i] += scale * num::exact_rational_from_double(correction[i]);
-      }
-    }
-    // residual = rhs - M x  (exact).
-    residual = rhs;
+    // x += scale * correction (exact: every double is a dyadic rational);
+    // residual = rhs - M x (exact). Both element-independent, so sharding
+    // cannot change a single bit.
+    par.for_shards(n, kMinElementsPerShard,
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       if (correction[i] != 0.0) {
+                         x_acc[i] +=
+                             scale * num::exact_rational_from_double(correction[i]);
+                       }
+                     }
+                   });
     std::vector<Rational> mx = apply_exact(x_acc);
-    for (std::size_t i = 0; i < n; ++i) residual[i] -= mx[i];
+    residual = rhs;
+    par.for_shards(n, kMinElementsPerShard,
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       residual[i] -= mx[i];
+                     }
+                   });
     accuracy_bits += 40;  // conservative per-pass gain
 
     const bool last = iteration + 1 == options.max_refinements;
@@ -144,9 +212,13 @@ std::optional<std::vector<Rational>> refine_exact(
       if (den_bits < 4) continue;
       BigInt max_den = BigInt::pow(BigInt(2), static_cast<unsigned>(den_bits));
       std::vector<Rational> candidate(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        candidate[i] = num::rational_reconstruct(x_acc[i], max_den);
-      }
+      par.for_shards(n, kMinReconstructPerShard,
+                     [&](std::size_t, std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         candidate[i] =
+                             num::rational_reconstruct(x_acc[i], max_den);
+                       }
+                     });
       // Unconditional exact verification.
       std::vector<Rational> check = apply_exact(candidate);
       bool ok = true;
@@ -175,7 +247,7 @@ std::optional<std::vector<Rational>> solve_sparse_exact(
 std::optional<ExactBasisSolves> solve_sparse_exact_pair(
     const SparseColumns& matrix, const std::vector<Rational>& rhs,
     const std::vector<Rational>& rhs_transposed,
-    const ExactSolveOptions& options) {
+    const ExactSolveOptions& options, const Parallel& parallel) {
   if (matrix.n != rhs.size() || matrix.n != rhs_transposed.size()) {
     return std::nullopt;
   }
@@ -183,11 +255,33 @@ std::optional<ExactBasisSolves> solve_sparse_exact_pair(
 
   auto lu = factor_double_image(matrix);
   if (!lu) return std::nullopt;
-  auto straight = refine_exact(matrix, *lu, /*transposed=*/false, rhs, options);
-  if (!straight) return std::nullopt;
-  auto transposed =
-      refine_exact(matrix, *lu, /*transposed=*/true, rhs_transposed, options);
-  if (!transposed) return std::nullopt;
+  if (parallel.is_serial()) {
+    auto straight =
+        refine_exact(matrix, *lu, /*transposed=*/false, rhs, options);
+    if (!straight) return std::nullopt;
+    auto transposed = refine_exact(matrix, *lu, /*transposed=*/true,
+                                   rhs_transposed, options);
+    if (!transposed) return std::nullopt;
+    return ExactBasisSolves{std::move(*straight), std::move(*transposed)};
+  }
+  // The two refinements are independent (each brings its own
+  // BasisLu::Workspace; the LU is const-shared), so run them concurrently
+  // and split the thread budget between their internal shard loops.
+  Parallel half = parallel;
+  half.threads = std::max<std::size_t>(1, parallel.threads / 2);
+  std::optional<std::vector<Rational>> straight;
+  std::optional<std::vector<Rational>> transposed;
+  parallel.invoke_all({
+      [&] {
+        straight =
+            refine_exact(matrix, *lu, /*transposed=*/false, rhs, options, half);
+      },
+      [&] {
+        transposed = refine_exact(matrix, *lu, /*transposed=*/true,
+                                  rhs_transposed, options, half);
+      },
+  });
+  if (!straight || !transposed) return std::nullopt;
   return ExactBasisSolves{std::move(*straight), std::move(*transposed)};
 }
 

@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "lp/parallel.h"
 #include "num/rational.h"
 
 namespace ssco::lp {
@@ -60,9 +61,15 @@ struct ExactBasisSolves {
   std::vector<Rational> solution;             // M x = rhs
   std::vector<Rational> transposed_solution;  // M' y = rhs_transposed
 };
+/// `parallel` shards the per-component rational work (residuals,
+/// reconstruction, verification) and runs the two refinements concurrently
+/// (each with its own BasisLu::Workspace against the one shared const LU),
+/// splitting the thread budget between them. Every sharded loop is
+/// element-independent or merged with exact arithmetic, so the result is
+/// bit-identical to the serial solve at any budget.
 [[nodiscard]] std::optional<ExactBasisSolves> solve_sparse_exact_pair(
     const SparseColumns& matrix, const std::vector<Rational>& rhs,
     const std::vector<Rational>& rhs_transposed,
-    const ExactSolveOptions& options = {});
+    const ExactSolveOptions& options = {}, const Parallel& parallel = {});
 
 }  // namespace ssco::lp

@@ -1,5 +1,6 @@
 #include "lp/exact_solver.h"
 
+#include <chrono>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -14,16 +15,42 @@ namespace ssco::lp {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+/// Shard granularity of the certification loops: each item is big-int
+/// rational work, so fairly fine shards still amortize the fork.
+constexpr std::size_t kMinCertifyPerShard = 16;
+
 /// Rounds every entry of `values` to a rational with denominator <= cap;
-/// returns nullopt when any entry fails the tolerance test.
+/// returns nullopt when any entry fails the tolerance test. Entries are
+/// independent, so the sharded fill is bit-identical to the serial scan.
 std::optional<std::vector<Rational>> reconstruct_vector(
-    const std::vector<double>& values, std::uint64_t cap, double tolerance) {
-  std::vector<Rational> out;
-  out.reserve(values.size());
-  for (double v : values) {
-    auto r = num::rational_near_double(v, tolerance, cap);
-    if (!r) return std::nullopt;
-    out.push_back(std::move(*r));
+    const std::vector<double>& values, std::uint64_t cap, double tolerance,
+    const Parallel& par = {}) {
+  std::vector<Rational> out(values.size());
+  const std::size_t shards = par.shard_count(values.size(), kMinCertifyPerShard);
+  std::vector<ShardLocal<bool>> ok(shards);
+  par.for_shards(values.size(), kMinCertifyPerShard,
+                 [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                   bool all = true;
+                   for (std::size_t i = begin; i < end && all; ++i) {
+                     auto r = num::rational_near_double(values[i], tolerance, cap);
+                     if (r) {
+                       out[i] = std::move(*r);
+                     } else {
+                       all = false;
+                     }
+                   }
+                   ok[shard].value = all;
+                 });
+  for (const auto& flag : ok) {
+    if (!flag.value) return std::nullopt;
   }
   return out;
 }
@@ -38,7 +65,8 @@ struct BasisVerified {
 };
 
 std::optional<BasisVerified> verify_from_basis(
-    const ExpandedModel& em, const std::vector<BasisColumn>& basis) {
+    const ExpandedModel& em, const std::vector<BasisColumn>& basis,
+    const Parallel& par = {}) {
   const std::size_t m = em.rows.size();
   if (basis.size() != m) return std::nullopt;
 
@@ -83,7 +111,7 @@ std::optional<BasisVerified> verify_from_basis(
   for (std::size_t i = 0; i < m; ++i) rhs[i] = em.rows[i].rhs;
 
   // One shared LU: B x_B = b via FTRAN-refinement, B' y = c_B via BTRAN.
-  auto solves = solve_sparse_exact_pair(b_matrix, rhs, cost_basis);
+  auto solves = solve_sparse_exact_pair(b_matrix, rhs, cost_basis, {}, par);
   if (!solves) return std::nullopt;
 
   BasisVerified out;
@@ -94,7 +122,7 @@ std::optional<BasisVerified> verify_from_basis(
     }
   }
   out.dual = std::move(solves->transposed_solution);
-  if (!ExactSolver::verify_certificate(em, out.primal, out.dual)) {
+  if (!ExactSolver::verify_certificate(em, out.primal, out.dual, par)) {
     return std::nullopt;
   }
   return out;
@@ -162,6 +190,128 @@ bool ExactSolver::verify_certificate(const ExpandedModel& em,
   return primal_obj == dual_obj;
 }
 
+bool ExactSolver::verify_certificate(const ExpandedModel& em,
+                                     const std::vector<Rational>& x,
+                                     const std::vector<Rational>& y,
+                                     const Parallel& parallel) {
+  if (parallel.is_serial()) return verify_certificate(em, x, y);
+  if (x.size() != em.num_vars || y.size() != em.rows.size()) return false;
+  const std::size_t m = em.rows.size();
+  const Parallel& par = parallel;
+
+  // Sign scans are cheap comparisons; keep them serial.
+  for (const Rational& xj : x) {
+    if (xj.is_negative()) return false;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (em.rows[i].sense == Sense::kLessEqual && y[i].is_negative())
+      return false;
+    if (em.rows[i].sense == Sense::kGreaterEqual && y[i].signum() > 0)
+      return false;
+  }
+
+  // Primal feasibility: every row check is independent — shard the rows.
+  // The verdict is a conjunction, so evaluation order cannot change it.
+  {
+    const std::size_t shards = par.shard_count(m, kMinCertifyPerShard);
+    std::vector<ShardLocal<bool>> ok(shards);
+    par.for_shards(m, kMinCertifyPerShard,
+                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                     bool all = true;
+                     Rational lhs;
+                     for (std::size_t i = begin; i < end && all; ++i) {
+                       lhs = Rational(0);
+                       for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+                         lhs.add_product(coeff, x[idx]);
+                       }
+                       switch (em.rows[i].sense) {
+                         case Sense::kLessEqual:
+                           all = !(lhs > em.rows[i].rhs);
+                           break;
+                         case Sense::kEqual:
+                           all = lhs == em.rows[i].rhs;
+                           break;
+                         case Sense::kGreaterEqual:
+                           all = !(lhs < em.rows[i].rhs);
+                           break;
+                       }
+                     }
+                     ok[shard].value = all;
+                   });
+    for (const auto& flag : ok) {
+      if (!flag.value) return false;
+    }
+  }
+
+  // Dual feasibility, A'y >= c per column: build a column view of the
+  // row-major model once (index/pointer copies only), then shard the
+  // per-column reduced-cost checks. Each column's dot runs in the same row
+  // order as the serial scatter — and is exact anyway.
+  {
+    std::vector<std::vector<std::pair<std::size_t, const Rational*>>> by_var(
+        em.num_vars);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (y[i].is_zero()) continue;
+      for (const auto& [idx, coeff] : em.rows[i].coeffs) {
+        by_var[idx].emplace_back(i, &coeff);
+      }
+    }
+    const std::size_t shards = par.shard_count(em.num_vars, kMinCertifyPerShard);
+    std::vector<ShardLocal<bool>> ok(shards);
+    par.for_shards(em.num_vars, kMinCertifyPerShard,
+                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                     bool all = true;
+                     Rational aty;
+                     for (std::size_t j = begin; j < end && all; ++j) {
+                       aty = Rational(0);
+                       for (const auto& [i, coeff] : by_var[j]) {
+                         aty.add_product(y[i], *coeff);
+                       }
+                       all = !(aty < em.objective[j]);
+                     }
+                     ok[shard].value = all;
+                   });
+    for (const auto& flag : ok) {
+      if (!flag.value) return false;
+    }
+  }
+
+  // Strong duality: per-shard exact partial objectives, merged shard-major
+  // (exact addition is associative, so the sums are canonical).
+  Rational primal_obj(0);
+  Rational dual_obj(0);
+  {
+    const std::size_t pshards = par.shard_count(em.num_vars, kMinCertifyPerShard);
+    std::vector<ShardLocal<Rational>> ppart(pshards);
+    par.for_shards(em.num_vars, kMinCertifyPerShard,
+                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                     Rational sum(0);
+                     for (std::size_t j = begin; j < end; ++j) {
+                       if (!em.objective[j].is_zero()) {
+                         sum.add_product(em.objective[j], x[j]);
+                       }
+                     }
+                     ppart[shard].value = std::move(sum);
+                   });
+    for (auto& part : ppart) primal_obj += part.value;
+
+    const std::size_t dshards = par.shard_count(m, kMinCertifyPerShard);
+    std::vector<ShardLocal<Rational>> dpart(dshards);
+    par.for_shards(m, kMinCertifyPerShard,
+                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                     Rational sum(0);
+                     for (std::size_t i = begin; i < end; ++i) {
+                       if (!y[i].is_zero()) {
+                         sum.add_product(y[i], em.rows[i].rhs);
+                       }
+                     }
+                     dpart[shard].value = std::move(sum);
+                   });
+    for (auto& part : dpart) dual_obj += part.value;
+  }
+  return primal_obj == dual_obj;
+}
+
 ExactSolution ExactSolver::solve(const Model& model) const {
   return solve(model, nullptr);
 }
@@ -169,16 +319,18 @@ ExactSolution ExactSolver::solve(const Model& model) const {
 bool certify_float_result(const ExpandedModel& em,
                           const SimplexResult<double>& fp,
                           const ExactSolverOptions& options,
-                          ExactSolution& out) {
+                          ExactSolution& out, const Parallel& parallel) {
   for (std::uint64_t cap : options.denominator_caps) {
-    auto x = reconstruct_vector(fp.primal, cap, options.reconstruct_tolerance);
-    auto y = reconstruct_vector(fp.dual, cap, options.reconstruct_tolerance);
+    auto x = reconstruct_vector(fp.primal, cap, options.reconstruct_tolerance,
+                                parallel);
+    auto y = reconstruct_vector(fp.dual, cap, options.reconstruct_tolerance,
+                                parallel);
     if (!x || !y) continue;
     // Clamp reconstruction noise: tiny negatives are infeasible exactly.
     for (Rational& v : *x) {
       if (v.is_negative()) v = Rational(0);
     }
-    if (ExactSolver::verify_certificate(em, *x, *y)) {
+    if (ExactSolver::verify_certificate(em, *x, *y, parallel)) {
       out.status = SolveStatus::kOptimal;
       Rational obj(0);
       for (std::size_t j = 0; j < em.num_vars; ++j) {
@@ -195,7 +347,7 @@ bool certify_float_result(const ExpandedModel& em,
   // Second stage: exact recovery from the optimal basis (degenerate optima
   // with large vertex denominators land here).
   if (options.allow_basis_verification) {
-    if (auto verified = verify_from_basis(em, fp.basis)) {
+    if (auto verified = verify_from_basis(em, fp.basis, parallel)) {
       out.status = SolveStatus::kOptimal;
       Rational obj(0);
       for (std::size_t j = 0; j < em.num_vars; ++j) {
@@ -231,6 +383,9 @@ SolverStats ExactSolver::stats() const {
   out.btran_ns = stats_.btran_ns.load(std::memory_order_relaxed);
   out.pricing_ns = stats_.pricing_ns.load(std::memory_order_relaxed);
   out.factor_ns = stats_.factor_ns.load(std::memory_order_relaxed);
+  out.certify_ns = stats_.certify_ns.load(std::memory_order_relaxed);
+  out.pricing_sweep_ns =
+      stats_.pricing_sweep_ns.load(std::memory_order_relaxed);
   out.colgen_solves = stats_.colgen_solves.load(std::memory_order_relaxed);
   out.colgen_rounds = stats_.colgen_rounds.load(std::memory_order_relaxed);
   out.colgen_columns_generated =
@@ -243,6 +398,15 @@ ExactSolution ExactSolver::solve(const Model& model,
   ExactSolution out = solve_impl(model, context);
   record_solve(out, context);
   return out;
+}
+
+Parallel ExactSolver::solve_parallel(const SolveContext* context) const {
+  const std::size_t requested =
+      context && context->threads != 0 ? context->threads : options_.threads;
+  const std::size_t budget = resolve_threads(requested);
+  if (budget <= 1) return Parallel::serial();
+  ThreadPool& pool = options_.pool ? *options_.pool : ThreadPool::shared();
+  return Parallel::with(pool, budget);
 }
 
 void ExactSolver::record_solve(const ExactSolution& out,
@@ -275,6 +439,10 @@ void ExactSolver::record_solve(const ExactSolution& out,
                               std::memory_order_relaxed);
   stats_.factor_ns.fetch_add(out.phase_times.factor_ns,
                              std::memory_order_relaxed);
+  stats_.certify_ns.fetch_add(out.phase_times.certify_ns,
+                              std::memory_order_relaxed);
+  stats_.pricing_sweep_ns.fetch_add(out.phase_times.pricing_sweep_ns,
+                                    std::memory_order_relaxed);
   if (out.colgen_rounds > 0 || out.colgen_columns_total > 0) {
     stats_.colgen_solves.fetch_add(1, std::memory_order_relaxed);
     stats_.colgen_rounds.fetch_add(out.colgen_rounds,
@@ -305,8 +473,12 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
 
   // Tries both exact certification paths on a float-optimal result; fills
   // and returns `out` on success (certify_float_result above).
+  const Parallel par = solve_parallel(context);
   auto certify = [&](const SimplexResult<double>& fp) -> bool {
-    if (!certify_float_result(em, fp, options_, out)) return false;
+    const auto t0 = Clock::now();
+    const bool ok = certify_float_result(em, fp, options_, out, par);
+    out.phase_times.certify_ns += ns_since(t0);
+    if (!ok) return false;
     remember(fp.basis);
     return true;
   };
@@ -379,7 +551,9 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
                                  const char* method) -> bool {
         Presolved::Lifted lifted =
             pre.postsolve(x_reduced, y_reduced, basis);
-        if (!verify_certificate(em, lifted.primal, lifted.dual)) return false;
+        if (!verify_certificate(em, lifted.primal, lifted.dual, par)) {
+          return false;
+        }
         out.status = SolveStatus::kOptimal;
         Rational obj(0);
         for (std::size_t j = 0; j < em.num_vars; ++j) {
@@ -397,28 +571,32 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
       };
 
       if (fr.status == SolveStatus::kOptimal) {
+        const auto t0 = Clock::now();
         for (std::uint64_t cap : options_.denominator_caps) {
           auto x = reconstruct_vector(fr.primal, cap,
-                                      options_.reconstruct_tolerance);
+                                      options_.reconstruct_tolerance, par);
           auto y = reconstruct_vector(fr.dual, cap,
-                                      options_.reconstruct_tolerance);
+                                      options_.reconstruct_tolerance, par);
           if (!x || !y) continue;
           for (Rational& v : *x) {
             if (v.is_negative()) v = Rational(0);
           }
-          if (!verify_certificate(pre.reduced, *x, *y)) continue;
+          if (!verify_certificate(pre.reduced, *x, *y, par)) continue;
           if (lift_and_verify(*x, *y, fr.basis, "double+certificate")) {
+            out.phase_times.certify_ns += ns_since(t0);
             return out;
           }
         }
         if (options_.allow_basis_verification) {
-          if (auto verified = verify_from_basis(pre.reduced, fr.basis)) {
+          if (auto verified = verify_from_basis(pre.reduced, fr.basis, par)) {
             if (lift_and_verify(verified->primal, verified->dual, fr.basis,
                                 "double+basis-verification")) {
+              out.phase_times.certify_ns += ns_since(t0);
               return out;
             }
           }
         }
+        out.phase_times.certify_ns += ns_since(t0);
       }
       // Reduced-model certification failed (or the reduced float solve was
       // not optimal): fall through to the shared full-model paths. A

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "lp/model.h"
+#include "lp/parallel.h"
 #include "lp/simplex.h"
 #include "lp/warm_start.h"
 
@@ -90,6 +91,11 @@ struct ExactSolution {
 /// constructed context is an empty (cold) one.
 struct SolveContext {
   WarmStart warm;
+  /// Per-request thread-budget override: 0 = use ExactSolverOptions::
+  /// threads. The plan service sets this so that num_workers concurrent
+  /// cold solves cannot oversubscribe the shared pool (each request gets
+  /// roughly hardware / num_workers shards).
+  std::size_t threads = 0;
   /// Telemetry of the most recent solve() made with this context.
   bool warm_attempted = false;
   bool warm_used = false;
@@ -119,6 +125,16 @@ struct ExactSolverOptions {
   /// basis on a heavily mutated platform can cost more pivots than a cold
   /// solve; the budget bounds the downside of trying.
   std::size_t warm_pivot_budget = 0;
+  /// Thread budget for the parallel column loops — certificate
+  /// verification, exact basis recovery, colgen pricing sweeps
+  /// (lp/parallel.h). 0 = all hardware threads, 1 = fully serial. Results
+  /// are bit-identical at every setting (the fabric's determinism
+  /// contract), so this is purely a wall-clock knob. Shards run on the
+  /// process-wide shared pool unless `pool` overrides it.
+  std::size_t threads = 0;
+  /// Pool override, mainly for tests that want a private pool of a given
+  /// size; null = ThreadPool::shared(). Not owned; must outlive the solver.
+  ThreadPool* pool = nullptr;
   SimplexOptions simplex;
 };
 
@@ -145,6 +161,11 @@ struct SolverStats {
   std::uint64_t btran_ns = 0;
   std::uint64_t pricing_ns = 0;
   std::uint64_t factor_ns = 0;
+  /// Exact-certification wall-clock (certificate reconstruction + basis
+  /// verification), and the colgen pricing-sweep wall-clock (float rounds +
+  /// the final exact sweep) — the two buckets the parallel fabric shards.
+  std::uint64_t certify_ns = 0;
+  std::uint64_t pricing_sweep_ns = 0;
   /// Column-generation totals (solve_colgen calls only).
   std::uint64_t colgen_solves = 0;
   std::uint64_t colgen_rounds = 0;
@@ -156,11 +177,25 @@ struct SolverStats {
 ///    stats block; solve() is const and re-entrant, so ONE solver may run
 ///    ANY number of concurrent solves (the plan service's worker pool does
 ///    exactly this).
+///  * Each solve may itself be INTERNALLY parallel: the certificate
+///    verification and pricing sweeps shard across the process-wide
+///    ThreadPool (lp/parallel.h) under the solve's thread budget
+///    (ExactSolverOptions::threads, overridable per request via
+///    SolveContext::threads). Shards touch only solve-local state — each
+///    carries its own BasisLu::Workspace and rational scratch — so
+///    concurrent solves sharing the pool never share mutable data, and a
+///    request's budget bounds its concurrency (the plan service budgets
+///    hardware / num_workers per request so cold-solve parallelism cannot
+///    oversubscribe the pool).
 ///  * Each concurrent solve must use its OWN SolveContext (or none) — a
 ///    SolveContext is the single-threaded warm-start thread of one request
 ///    stream, and sharing one across threads is a data race.
 ///  * Per-solve statistics are returned by value in ExactSolution;
 ///    stats() aggregates across threads with relaxed atomics.
+///  * Results are BIT-IDENTICAL at every thread budget: shard boundaries
+///    are deterministic and merges are ordered (exact rational partials are
+///    grouping-invariant; float candidate lists merge in serial scan
+///    order). See DESIGN.md "Parallel solve fabric".
 struct ColGenOptions;   // lp/colgen.h
 class PricingOracle;    // lp/colgen.h
 
@@ -206,12 +241,22 @@ class ExactSolver {
   [[nodiscard]] static bool verify_certificate(const ExpandedModel& em,
                                                const std::vector<Rational>& x,
                                                const std::vector<Rational>& y);
+  /// Same, sharding the per-row feasibility checks and per-column
+  /// reduced-cost checks across `parallel` (bit-identical verdict — every
+  /// check is independent and the objective partials combine exactly).
+  [[nodiscard]] static bool verify_certificate(const ExpandedModel& em,
+                                               const std::vector<Rational>& x,
+                                               const std::vector<Rational>& y,
+                                               const Parallel& parallel);
 
   [[nodiscard]] const ExactSolverOptions& options() const { return options_; }
 
  private:
   [[nodiscard]] ExactSolution solve_impl(const Model& model,
                                          SolveContext* context) const;
+  /// Resolves this solve's Parallel handle: the context's thread budget if
+  /// set, else the options', on the injected pool or the shared one.
+  [[nodiscard]] Parallel solve_parallel(const SolveContext* context) const;
   /// Folds one finished solve into the atomic stats block (shared by
   /// solve() and solve_colgen()).
   void record_solve(const ExactSolution& solution,
@@ -231,6 +276,8 @@ class ExactSolver {
     std::atomic<std::uint64_t> btran_ns{0};
     std::atomic<std::uint64_t> pricing_ns{0};
     std::atomic<std::uint64_t> factor_ns{0};
+    std::atomic<std::uint64_t> certify_ns{0};
+    std::atomic<std::uint64_t> pricing_sweep_ns{0};
     std::atomic<std::uint64_t> colgen_solves{0};
     std::atomic<std::uint64_t> colgen_rounds{0};
     std::atomic<std::uint64_t> colgen_columns_generated{0};
@@ -248,7 +295,8 @@ class ExactSolver {
 [[nodiscard]] bool certify_float_result(const ExpandedModel& em,
                                         const SimplexResult<double>& fp,
                                         const ExactSolverOptions& options,
-                                        ExactSolution& out);
+                                        ExactSolution& out,
+                                        const Parallel& parallel = {});
 
 /// Convenience: solve `model` purely with the exact rational simplex
 /// (no floating-point involved). Used as ground truth in tests.

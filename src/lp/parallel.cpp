@@ -1,0 +1,101 @@
+#include "lp/parallel.h"
+
+#include <utility>
+
+namespace ssco::lp {
+
+std::size_t hardware_threads() {
+  static const std::size_t n = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? std::size_t{1} : static_cast<std::size_t>(hw);
+  }();
+  return n;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::execute_some(Job& job, std::unique_lock<std::mutex>& lock) {
+  ++job.active;
+  while (job.next < job.shards) {
+    const std::size_t shard = job.next++;
+    if (job.next >= job.shards) {
+      // Exhausted: retire the job from the queue so later arrivals skip it.
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (*it == &job) {
+          queue_.erase(it);
+          break;
+        }
+      }
+    }
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*job.fn)(shard);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && (!job.error || shard < job.error_shard)) {
+      job.error = error;
+      job.error_shard = shard;
+    }
+    ++job.done;
+  }
+  --job.active;
+  if (job.done == job.shards && job.active == 0) job.done_cv.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    Job& job = *queue_.front();
+    execute_some(job, lock);
+  }
+}
+
+void ThreadPool::run(std::size_t shards,
+                     const std::function<void(std::size_t)>& fn) {
+  if (shards == 0) return;
+  if (shards == 1 || threads_.empty()) {
+    for (std::size_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.shards = shards;
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&job);
+  work_cv_.notify_all();
+  // The caller works too, then waits for stragglers. `active == 0` ensures
+  // no helper still holds a pointer into this stack frame.
+  execute_some(job, lock);
+  job.done_cv.wait(lock,
+                   [&] { return job.done == job.shards && job.active == 0; });
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(hardware_threads() - 1);
+  return pool;
+}
+
+}  // namespace ssco::lp

@@ -1,0 +1,183 @@
+#pragma once
+// Parallel solve fabric: a fixed worker pool plus a deterministic
+// range-splitting harness for the LP engine's embarrassingly parallel
+// column loops (exact certificate verification, colgen pricing sweeps).
+//
+// Determinism contract — the reason parallel results are BIT-IDENTICAL to
+// serial at every thread count (DESIGN.md "Parallel solve fabric"):
+//  * shard boundaries are a pure function of (items, shard count), never of
+//    pool occupancy or scheduling;
+//  * call sites either compute independent per-item values merged in shard-
+//    major order (= the serial scan order), or combine per-shard partials
+//    with EXACT rational arithmetic, where every grouping yields the same
+//    canonical value. No floating-point reduction is ever reassociated.
+//
+// The pool runs shards on helper threads AND the calling thread: a pool
+// with zero workers (or a Parallel with threads == 1) degenerates to an
+// inline serial loop with no synchronization beyond one mutex round-trip,
+// so single-core containers pay essentially nothing for the plumbing.
+//
+// Budgeting: concurrency of one for_shards call is bounded by the
+// Parallel's `threads` budget, because at most `threads` shards exist.
+// Several solves may share one pool (the plan service's workers do); each
+// brings its own budget, so intra-solve parallelism cannot oversubscribe
+// the machine beyond pool-size + callers.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssco::lp {
+
+/// Cached std::thread::hardware_concurrency(), never less than 1.
+[[nodiscard]] std::size_t hardware_threads();
+
+/// Resolves a thread-count knob: 0 means "all hardware threads".
+[[nodiscard]] inline std::size_t resolve_threads(std::size_t requested) {
+  return requested == 0 ? hardware_threads() : requested;
+}
+
+/// Cache-line-aligned wrapper for per-shard scratch state, so neighbouring
+/// shards' hot writes never false-share (idiom per the in-network
+/// aggregation exemplar in SNIPPETS.md).
+inline constexpr std::size_t kCacheLineSize = 64;
+template <typename T>
+struct alignas(kCacheLineSize) ShardLocal {
+  T value{};
+};
+
+/// Contiguous half-open slice of the item range owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Deterministic contiguous split of [0, items) into `shards` pieces whose
+/// sizes differ by at most one: shard s gets [s*items/shards,
+/// (s+1)*items/shards). Depends on nothing but its arguments.
+[[nodiscard]] inline ShardRange shard_range(std::size_t items,
+                                            std::size_t shards,
+                                            std::size_t shard) {
+  return {shard * items / shards, (shard + 1) * items / shards};
+}
+
+/// Fixed pool of helper threads executing shard jobs. The CALLER of run()
+/// participates too, so a pool with `workers == 0` still makes progress
+/// (everything runs inline on the caller). run() is safe to call from any
+/// number of threads concurrently — jobs share the helpers fairly via a
+/// FIFO of active jobs. Nested run() from inside a shard body cannot
+/// deadlock (every caller drains its own job's shards itself), but nested
+/// concurrency counts against no budget — callers that fork inside shards
+/// must split their budget explicitly (see solve_sparse_exact_pair).
+class ThreadPool {
+ public:
+  /// Spawns `workers` helper threads (0 is valid and cheap).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const { return threads_.size(); }
+
+  /// Executes fn(shard) for every shard in [0, shards), distributing shards
+  /// over the helpers and the calling thread; blocks until all complete.
+  /// Exceptions: the one thrown by the LOWEST shard index is rethrown
+  /// (deterministic); remaining shards still run to completion.
+  void run(std::size_t shards, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool with hardware_threads() - 1 helpers, created
+  /// on first use. Intra-solve parallelism and the plan service both draw
+  /// from this one pool so the machine is never oversubscribed by design.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t shards = 0;
+    std::size_t next = 0;    // next shard index to hand out (guarded by mu_)
+    std::size_t done = 0;    // completed shard count (guarded by mu_)
+    std::size_t active = 0;  // threads currently inside this job
+    std::size_t error_shard = 0;  // lowest failing shard, valid iff error
+    std::exception_ptr error;
+    std::condition_variable done_cv;
+  };
+
+  void worker_loop();
+  /// Drains shard indices from `job` until none are left. Called with mu_
+  /// held; returns with mu_ held.
+  void execute_some(Job& job, std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<Job*> queue_;  // jobs that may still have shards to hand out
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+/// Handle a solve carries into its column loops: which pool to use and how
+/// many shards may run concurrently. Copyable, cheap, never owns the pool.
+struct Parallel {
+  ThreadPool* pool = nullptr;  // null or threads <= 1: run inline, serial
+  std::size_t threads = 1;     // concurrency budget for this solve
+
+  /// Fully serial execution (the default-constructed state).
+  [[nodiscard]] static Parallel serial() { return {}; }
+  /// Budgeted execution on `pool` (budget 0 resolves to all hardware).
+  [[nodiscard]] static Parallel with(ThreadPool& pool, std::size_t budget) {
+    return {&pool, resolve_threads(budget)};
+  }
+
+  [[nodiscard]] bool is_serial() const {
+    return pool == nullptr || threads <= 1;
+  }
+
+  /// Number of shards a loop over `items` items splits into: at most
+  /// `threads`, at least 1, and never so many that a shard holds fewer than
+  /// `min_per_shard` items (tiny loops stay serial — the fork overhead
+  /// would dominate).
+  [[nodiscard]] std::size_t shard_count(std::size_t items,
+                                        std::size_t min_per_shard = 1) const {
+    if (is_serial() || items == 0) return 1;
+    const std::size_t cap =
+        min_per_shard == 0 ? items : items / std::max<std::size_t>(min_per_shard, 1);
+    const std::size_t shards = std::min(threads, std::max<std::size_t>(cap, 1));
+    return std::max<std::size_t>(shards, 1);
+  }
+
+  /// Deterministically splits [0, items) into shard_count(items,
+  /// min_per_shard) contiguous ranges and runs fn(shard, begin, end) for
+  /// each, possibly concurrently; blocks until all are done and rethrows
+  /// the lowest-shard exception. With one shard, runs fn inline — no pool,
+  /// no allocation, no synchronization.
+  template <typename Fn>
+  void for_shards(std::size_t items, std::size_t min_per_shard,
+                  Fn&& fn) const {
+    const std::size_t shards = shard_count(items, min_per_shard);
+    if (shards <= 1) {
+      fn(std::size_t{0}, std::size_t{0}, items);
+      return;
+    }
+    pool->run(shards, [&](std::size_t shard) {
+      const ShardRange r = shard_range(items, shards, shard);
+      fn(shard, r.begin, r.end);
+    });
+  }
+
+  /// Runs a fixed list of independent closures (e.g. the FTRAN and BTRAN
+  /// halves of a basis verification), inline when serial.
+  void invoke_all(const std::vector<std::function<void()>>& tasks) const {
+    if (is_serial() || tasks.size() <= 1) {
+      for (const auto& t : tasks) t();
+      return;
+    }
+    pool->run(tasks.size(), [&](std::size_t i) { tasks[i](); });
+  }
+};
+
+}  // namespace ssco::lp

@@ -364,7 +364,8 @@ std::size_t RevisedSimplex::append_column(
   d_fresh_ = false;
   candidates_.clear();
   row_start_.clear();
-  row_entries_.clear();
+  row_cols_.clear();
+  row_vals_.clear();
   alpha_.clear();
   alpha_seen_.clear();
   touched_cols_.clear();
@@ -505,12 +506,15 @@ void RevisedSimplex::ensure_row_mirror() {
     }
   }
   for (std::size_t i = 0; i < m_; ++i) row_start_[i + 1] += row_start_[i];
-  row_entries_.resize(A_.num_nonzeros());
+  row_cols_.resize(A_.num_nonzeros());
+  row_vals_.resize(A_.num_nonzeros());
   std::vector<std::size_t> fill(row_start_.begin(), row_start_.end() - 1);
   for (std::size_t j = 0; j < num_cols_; ++j) {
     for (const CscMatrix::Entry* e = A_.col_begin(j); e != A_.col_end(j);
          ++e) {
-      row_entries_[fill[e->row]++] = {j, e->value};
+      const std::size_t at = fill[e->row]++;
+      row_cols_[at] = static_cast<std::int32_t>(j);
+      row_vals_[at] = e->value;
     }
   }
   alpha_.assign(num_cols_, 0.0);
@@ -524,17 +528,19 @@ void RevisedSimplex::compute_pivot_row(const std::vector<double>& rho) {
     alpha_seen_[j] = 0;
   }
   touched_cols_.clear();
+  const std::int32_t* const cols = row_cols_.data();
+  const double* const vals = row_vals_.data();
   for (std::size_t i = 0; i < m_; ++i) {
     const double ri = rho[i];
     if (ri == 0.0) continue;
     const std::size_t end = row_start_[i + 1];
     for (std::size_t k = row_start_[i]; k < end; ++k) {
-      const auto& [col, value] = row_entries_[k];
+      const auto col = static_cast<std::size_t>(cols[k]);
       if (!alpha_seen_[col]) {
         alpha_seen_[col] = 1;
         touched_cols_.push_back(col);
       }
-      alpha_[col] += ri * value;
+      alpha_[col] += ri * vals[k];
     }
   }
 }

@@ -48,9 +48,11 @@
 // duals in the original row sign convention, and the final BasisColumn
 // basis that ExactSolver's certificate paths consume.
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "lp/aligned.h"
 #include "lp/basis_lu.h"
 #include "lp/column_layout.h"
 #include "lp/simplex.h"
@@ -268,10 +270,13 @@ class RevisedSimplex {
   std::vector<double> row_scale_;
   std::vector<double> col_scale_;  // full column space (slacks/artificials
                                    // carry 1/row_scale so they stay ±1)
-  // Row-major copy of A_ for pivot-row computation (CSR: one entry list
-  // per row, including the slack/artificial identity entries).
+  // Row-major copy of A_ for pivot-row computation (CSR, including the
+  // slack/artificial identity entries), stored SoA — 32-bit column ids and
+  // cache-line-aligned values — so the alpha accumulation pass streams two
+  // flat arrays instead of 16-byte pairs.
   std::vector<std::size_t> row_start_;
-  std::vector<CscMatrix::Entry> row_entries_;  // .row field holds the COLUMN
+  AlignedVector<std::int32_t> row_cols_;
+  AlignedVector<double> row_vals_;
   // Pivot-row scratch: alpha_ holds values for the columns listed in
   // touched_cols_; zeroed again after each use.
   std::vector<double> alpha_;

@@ -86,18 +86,27 @@ struct BasisColumn {
 /// Wall-clock breakdown of one float solve, accumulated by the revised
 /// engine (the exact tableau leaves it zero). `pricing_ns` covers entering
 /// selection plus the pivot-row pass that maintains reduced costs and Devex
-/// weights; `factor_ns` is LU (re)factorization.
+/// weights; `factor_ns` is LU (re)factorization. The last two buckets are
+/// filled by ExactSolver, not the engines: `certify_ns` is the exact
+/// certificate ladder (rational reconstruction + basis verification) and
+/// `pricing_sweep_ns` the column-generation pricing sweeps (float rounds
+/// plus the final exact sweep) — the two column loops the parallel solve
+/// fabric (lp/parallel.h) shards across threads.
 struct SolvePhaseTimes {
   std::uint64_t ftran_ns = 0;
   std::uint64_t btran_ns = 0;
   std::uint64_t pricing_ns = 0;
   std::uint64_t factor_ns = 0;
+  std::uint64_t certify_ns = 0;
+  std::uint64_t pricing_sweep_ns = 0;
 
   SolvePhaseTimes& operator+=(const SolvePhaseTimes& o) {
     ftran_ns += o.ftran_ns;
     btran_ns += o.btran_ns;
     pricing_ns += o.pricing_ns;
     factor_ns += o.factor_ns;
+    certify_ns += o.certify_ns;
+    pricing_sweep_ns += o.pricing_sweep_ns;
     return *this;
   }
 };

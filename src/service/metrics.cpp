@@ -60,6 +60,8 @@ std::string format_solver_stats(const lp::SolverStats& stats) {
   table.add_row({"btran time", io::millis(stats.btran_ns)});
   table.add_row({"pricing time", io::millis(stats.pricing_ns)});
   table.add_row({"factorization time", io::millis(stats.factor_ns)});
+  table.add_row({"certify time", io::millis(stats.certify_ns)});
+  table.add_row({"pricing sweep time", io::millis(stats.pricing_sweep_ns)});
   os << table.to_string();
   return os.str();
 }

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "lp/parallel.h"
+
 namespace ssco::service {
 
 namespace {
@@ -24,6 +26,10 @@ PlanService::PlanService(PlanServiceOptions options)
   if (workers == 0) {
     workers = std::max(2u, std::thread::hardware_concurrency());
   }
+  solve_budget_ =
+      options_.solve_threads != 0
+          ? options_.solve_threads
+          : std::max<std::size_t>(1, lp::hardware_threads() / workers);
   options_.latency_reservoir =
       std::max<std::size_t>(1, options_.latency_reservoir);
   latency_ms_.reserve(std::min<std::size_t>(options_.latency_reservoir, 4096));
@@ -182,6 +188,13 @@ std::shared_ptr<PlanPayload> PlanService::solve(
   auto payload = std::make_shared<PlanPayload>();
   payload->op = request.operation();
   payload->request = request;
+  // Clamp the request's intra-solve parallelism to this service's
+  // per-request budget (a request's own SMALLER ask wins; 0 = all hardware
+  // resolves to the budget). Tuning-only: the cache key ignores it and the
+  // solve is bit-identical at any thread count.
+  core::PlanOptions options = request.options;
+  options.solver.threads = std::max<std::size_t>(
+      1, std::min(lp::resolve_threads(options.solver.threads), solve_budget_));
   std::visit(
       [&](const auto& instance) {
         using T = std::decay_t<decltype(instance)>;
@@ -190,16 +203,16 @@ std::shared_ptr<PlanPayload> PlanService::solve(
               warm_from && warm_from->reduce ? warm_from->reduce.get()
                                              : nullptr;
           payload->reduce = std::make_shared<core::ReducePlan>(
-              core::optimize_reduce(instance, request.options, previous));
+              core::optimize_reduce(instance, options, previous));
         } else {
           const core::FlowPlan* previous =
               warm_from && warm_from->flow ? warm_from->flow.get() : nullptr;
           if constexpr (std::is_same_v<T, platform::ScatterInstance>) {
             payload->flow = std::make_shared<core::FlowPlan>(
-                core::optimize_scatter(instance, request.options, previous));
+                core::optimize_scatter(instance, options, previous));
           } else {
             payload->flow = std::make_shared<core::FlowPlan>(
-                core::optimize_gossip(instance, request.options, previous));
+                core::optimize_gossip(instance, options, previous));
           }
         }
       },

@@ -47,6 +47,15 @@ namespace ssco::service {
 struct PlanServiceOptions {
   /// Solver worker threads; 0 = max(2, hardware_concurrency()).
   std::size_t num_workers = 0;
+  /// Intra-solve thread budget stamped onto every request's
+  /// ExactSolverOptions::threads (lp/parallel.h). 0 = auto:
+  /// hardware_threads() / num_workers, at least 1 — so all workers solving
+  /// cold at once exactly saturate the shared pool and inter-request
+  /// parallelism can never be oversubscribed by intra-solve parallelism. A
+  /// request asking for FEWER threads than the budget keeps its smaller
+  /// ask; asking for more is clamped. Parallel solves stay bit-identical
+  /// to serial ones, so the budget never changes a served plan.
+  std::size_t solve_threads = 0;
   std::size_t num_shards = 8;
   /// Cached plans per shard.
   std::size_t shard_capacity = 128;
@@ -98,6 +107,9 @@ class PlanService {
 
   PlanServiceOptions options_;
   PlanCache cache_;
+  /// Resolved per-request intra-solve budget (see
+  /// PlanServiceOptions::solve_threads); fixed at construction.
+  std::size_t solve_budget_ = 1;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

@@ -226,5 +226,53 @@ TEST(PlanServiceTest, MetricsBalanceAfterDrain) {
   EXPECT_NE(report.find("cold solves"), std::string::npos);
 }
 
+TEST(PlanServiceTest, IntraSolveParallelismUnderConcurrentLoad) {
+  // Stress inter-request concurrency COMBINED with intra-solve parallelism:
+  // workers solve distinct cold requests while each solve shards its
+  // certification and pricing loops across the shared pool under a
+  // per-request budget. Served plans must equal the serial direct solves
+  // exactly — parallel certification is bit-identical by contract — and
+  // every future must be fulfilled.
+  PlanServiceOptions options;
+  options.num_workers = 3;
+  options.solve_threads = 2;  // explicit budget > 1 even on 1-core runners
+  options.enable_warm_start = false;  // every distinct request solves cold
+  PlanService service(options);
+
+  constexpr std::uint64_t kSeeds = 6;
+  constexpr std::size_t kClients = 4;
+  std::vector<std::future<PlanResult>> futures(kClients * kSeeds);
+  std::barrier gate(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      gate.arrive_and_wait();
+      for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        futures[t * kSeeds + seed] =
+            service.submit(scatter_request(seed + 1, 9, 3));
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  service.drain();
+
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const core::FlowPlan direct =
+        core::optimize_scatter(scatter_of(scatter_request(seed + 1, 9, 3)));
+    for (std::size_t t = 0; t < kClients; ++t) {
+      PlanResult result = futures[t * kSeeds + seed].get();
+      ASSERT_NE(result.payload, nullptr);
+      EXPECT_TRUE(result.payload->certified());
+      EXPECT_EQ(result.throughput(), direct.flow.throughput)
+          << "seed " << seed + 1;
+    }
+  }
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(metrics.submitted, kClients * kSeeds);
+  EXPECT_EQ(metrics.cold_solves, kSeeds);
+  EXPECT_EQ(metrics.failed, 0u);
+}
+
 }  // namespace
 }  // namespace ssco::service

@@ -17,6 +17,11 @@
 #     run against a baseline possibly recorded on different hardware, and
 #     sub-floor benchmarks are scheduling-noise dominated. The pivot gate
 #     is the precise one; the time gate catches order-of-magnitude breaks.
+#   * `efficiency_permille` (executor benches) — a FLOOR: fails when the
+#     fresh achieved/certified ratio drops more than TOLERANCE below the
+#     baseline (lower is worse, the inverse of the count gates);
+#   * `oneport_violations` / `delivery_errors` (executor benches) — hard
+#     zero gates: any fresh violation fails regardless of baseline;
 #   * the `certify_ms` / `pricing_sweep_ms` phase counters — wall-clock of
 #     the two column loops the parallel solve fabric shards (lp/parallel.h),
 #     gated exactly like real_time (CHECK_TIME=ON, TIME_TOLERANCE,
@@ -85,6 +90,25 @@ function(check_counter bench_name key fresh_value base_value tol_permille
   endif()
 endfunction()
 
+# Floor gate: fails when fresh < base * (1 - tolerance). For counters where
+# LOWER is the regression (executor efficiency).
+function(check_floor bench_name key fresh_value base_value tol_permille
+         tol_label)
+  if(base_value LESS_EQUAL 0)
+    return()
+  endif()
+  math(EXPR permille_limit "1000 - ${tol_permille}")
+  math(EXPR lhs "(${fresh_value} * 1000)")
+  math(EXPR rhs "(${base_value} * ${permille_limit})")
+  if(lhs LESS rhs)
+    message(SEND_ERROR
+            "REGRESSION ${bench_name} ${key}: ${fresh_value} vs baseline "
+            "${base_value} (>${tol_label} below)")
+    math(EXPR f "${failures} + 1")
+    set(failures ${f} PARENT_SCOPE)
+  endif()
+endfunction()
+
 # Converts a decimal fraction like 0.25 into permille (250).
 macro(to_permille fraction out_var)
   set(${out_var} 0)
@@ -135,6 +159,33 @@ foreach(i RANGE 0 ${fresh_last})
       string(REGEX MATCH "^[0-9]+" base_int "${base_value}")
       check_counter("${name}" ${counter} "${fresh_int}" "${base_int}"
                     "${TOLERANCE_PERMILLE}" "${TOLERANCE}")
+      math(EXPR checked "${checked} + 1")
+    endif()
+  endforeach()
+
+  # Executor gates: efficiency may not drop below baseline - TOLERANCE,
+  # and a single one-port violation or delivery error fails outright.
+  string(JSON fresh_eff ERROR_VARIABLE no_eff GET "${fresh}" benchmarks ${i}
+         efficiency_permille)
+  string(JSON base_eff ERROR_VARIABLE no_base_eff GET "${baseline}" benchmarks
+         ${base_idx} efficiency_permille)
+  if(NOT no_eff AND NOT no_base_eff)
+    string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_eff}")
+    string(REGEX MATCH "^[0-9]+" base_int "${base_eff}")
+    check_floor("${name}" efficiency_permille "${fresh_int}" "${base_int}"
+                "${TOLERANCE_PERMILLE}" "${TOLERANCE}")
+    math(EXPR checked "${checked} + 1")
+  endif()
+  foreach(counter oneport_violations delivery_errors)
+    string(JSON fresh_value ERROR_VARIABLE noent GET "${fresh}" benchmarks
+           ${i} ${counter})
+    if(NOT noent)
+      string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_value}")
+      if(fresh_int GREATER 0)
+        message(SEND_ERROR
+                "REGRESSION ${name} ${counter}: ${fresh_int} (must be 0)")
+        math(EXPR failures "${failures} + 1")
+      endif()
       math(EXPR checked "${checked} + 1")
     endif()
   endforeach()

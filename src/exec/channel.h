@@ -1,0 +1,63 @@
+#pragma once
+// Bounded per-edge chunk channel.
+//
+// One channel per platform edge carries the actual bytes of the threaded
+// executor: the sender side memcpys a chunk's payload in and the receiver
+// side drains it into its node buffer. Capacity is a fixed number of chunk
+// slots — a full channel exerts backpressure on the sending port exactly
+// like a bounded network buffer, which is what keeps a fast sender from
+// running arbitrarily far ahead of a slow receiver.
+//
+// Synchronization note: the executor serializes all admission decisions
+// under its scheduler lock (a chunk is only pushed/popped by the worker
+// currently holding the corresponding port), so the channel itself needs no
+// internal locking — it is a plain bounded FIFO whose push/pop are called
+// with the scheduler lock held, while the payload memcpy happens outside
+// the lock on memory owned exclusively by the in-flight chunk.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace ssco::exec {
+
+/// One in-flight chunk: a slice of a transfer's messages plus its payload
+/// bytes. `msg_ranges` carries message identities (begin, count pairs) for
+/// exactly-once verification; empty when verification is off.
+struct Chunk {
+  std::size_t type = 0;
+  std::uint64_t bytes = 0;
+  /// Wall (or virtual) time at which the chunk has fully crossed the link —
+  /// the receive side may not consume it earlier.
+  double arrive_time = 0.0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> msg_ranges;
+  std::vector<std::uint8_t> payload;
+};
+
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(std::size_t capacity = 8) : capacity_(capacity) {}
+
+  [[nodiscard]] bool full() const { return chunks_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const { return chunks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return chunks_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void push(Chunk chunk) { chunks_.push_back(std::move(chunk)); }
+
+  [[nodiscard]] const Chunk& front() const { return chunks_.front(); }
+
+  Chunk pop() {
+    Chunk chunk = std::move(chunks_.front());
+    chunks_.pop_front();
+    return chunk;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Chunk> chunks_;
+};
+
+}  // namespace ssco::exec

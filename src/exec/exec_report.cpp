@@ -1,0 +1,78 @@
+#include "exec/exec_report.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "io/report.h"
+#include "io/table.h"
+
+namespace ssco::exec {
+
+std::string ExecReport::to_string(const platform::Platform& platform) const {
+  std::ostringstream os;
+  os << io::banner(simulated ? "execution (discrete-event)"
+                             : "execution (threaded)");
+
+  io::Table head({"metric", "value"});
+  head.add_row({"workers", std::to_string(workers)});
+  head.add_row({"steady window", io::fixed(elapsed_seconds * 1e3, 2) + " ms"});
+  head.add_row({"operations", std::to_string(operations)});
+  head.add_row(
+      {"achieved ops/sec", io::fixed(achieved_ops_per_sec, 2)});
+  head.add_row(
+      {"certified ops/sec", io::fixed(certified_ops_per_sec, 2)});
+  head.add_row({"achieved bytes/sec",
+                io::fixed(achieved_bytes_per_sec / 1e6, 2) + " MB/s"});
+  head.add_row({"certified bytes/sec",
+                io::fixed(certified_bytes_per_sec / 1e6, 2) + " MB/s"});
+  head.add_row({"efficiency", io::percent(efficiency)});
+  head.add_row({"one-port violations", std::to_string(oneport_violations)});
+  head.add_row({"delivery errors", std::to_string(delivery_errors)});
+  if (!error.empty()) head.add_row({"error", error});
+  os << head.to_string() << "\n";
+
+  io::Table traffic({"edge", "wire bytes", "busy ms", "effective MB/s",
+                     "modeled MB/s", "utilization"});
+  const auto& graph = platform.graph();
+  for (const EdgeTraffic& t : edges) {
+    if (t.wire_bytes == 0) continue;
+    const auto& e = graph.edge(t.edge);
+    traffic.add_row(
+        {platform.node_name(e.src) + "->" + platform.node_name(e.dst),
+         std::to_string(t.wire_bytes), io::fixed(t.busy_seconds * 1e3, 2),
+         io::fixed(t.effective_bytes_per_sec / 1e6, 2),
+         io::fixed(t.modeled_bytes_per_sec / 1e6, 2),
+         io::percent(elapsed_seconds > 0 ? t.busy_seconds / elapsed_seconds
+                                         : 0.0)});
+  }
+  os << traffic.to_string();
+  return os.str();
+}
+
+platform::PlatformDelta infer_cost_drift(const platform::Platform& platform,
+                                         const ExecReport& report,
+                                         double threshold,
+                                         std::uint64_t min_bytes) {
+  platform::PlatformDelta delta;
+  for (const EdgeTraffic& t : report.edges) {
+    if (t.wire_bytes < min_bytes || t.busy_seconds <= 0.0 ||
+        t.effective_bytes_per_sec <= 0.0 || t.modeled_bytes_per_sec <= 0.0) {
+      continue;
+    }
+    const double ratio = t.modeled_bytes_per_sec / t.effective_bytes_per_sec;
+    if (std::abs(ratio - 1.0) <= threshold) continue;
+    // cost' = cost * modeled/effective, quantized so the Rational stays
+    // small: a slower link (ratio > 1) gets a proportionally larger
+    // time-per-unit cost.
+    const auto num = static_cast<std::int64_t>(std::llround(ratio * 4096.0));
+    if (num <= 0) continue;
+    platform::PlatformDelta::CostChange change;
+    change.edge = t.edge;
+    change.cost =
+        platform.edge_cost(t.edge) * num::Rational(num, std::int64_t{4096});
+    delta.cost_changes.push_back(std::move(change));
+  }
+  return delta;
+}
+
+}  // namespace ssco::exec

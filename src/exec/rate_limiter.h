@@ -1,0 +1,58 @@
+#pragma once
+// Token-bucket link pacing.
+//
+// Every edge gets a bucket whose refill rate is the link's bandwidth under
+// the platform model — bytes_per_message / (message_size * c(e) *
+// seconds_per_unit) — optionally scaled by an injected drift factor (the
+// executor's way of emulating a link that no longer performs as the solver
+// believes). A chunk may start crossing the link only when the bucket holds
+// its byte count; the burst capacity bounds how far a link can catch up
+// after an admission stall, so the long-run rate can never exceed
+// rate * (1 + burst/window) — pacing granularity (chunk size vs burst) is
+// the fidelity/efficiency tradeoff documented in DESIGN.md.
+//
+// Buckets are only touched under the executor's scheduler lock; time is an
+// externally supplied monotonic double (wall seconds for the threaded
+// executor, virtual seconds for the discrete-event one), which is what lets
+// both engines share this type.
+
+#include <algorithm>
+
+namespace ssco::exec {
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  /// rate: bytes per second; burst: maximum accumulated bytes.
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(burst), tokens_(burst) {}
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+  /// Earliest time >= now at which `bytes` tokens are available.
+  [[nodiscard]] double ready_time(double now, double bytes) const {
+    const double tokens = tokens_at(now);
+    if (tokens >= bytes) return now;
+    return now + (bytes - tokens) / rate_;
+  }
+
+  /// Consumes `bytes` tokens at time `now`; callers must have checked
+  /// ready_time. Going slightly negative (sub-chunk rounding) is harmless —
+  /// the debt is repaid by the next refill.
+  void consume(double now, double bytes) {
+    tokens_ = tokens_at(now) - bytes;
+    last_refill_ = now;
+  }
+
+ private:
+  [[nodiscard]] double tokens_at(double now) const {
+    return std::min(burst_, tokens_ + rate_ * (now - last_refill_));
+  }
+
+  double rate_ = 1.0;
+  double burst_ = 1.0;
+  double tokens_ = 0.0;
+  double last_refill_ = 0.0;
+};
+
+}  // namespace ssco::exec

@@ -1,0 +1,27 @@
+#include "exec/threaded_executor.h"
+
+#include "exec/engine.h"
+
+namespace ssco::exec {
+
+ExecReport execute(const ExecProgram& program, const ExecOptions& options) {
+  return run_threaded(program, options);
+}
+
+ExecReport execute_flow(const platform::Platform& platform,
+                        const core::FlowPlan& plan,
+                        const ExecOptions& options) {
+  const ExecProgram program =
+      compile_flow_program(platform, plan.flow, plan.schedule, options);
+  return run_threaded(program, options);
+}
+
+ExecReport execute_reduce(const platform::ReduceInstance& instance,
+                          const core::ReducePlan& plan,
+                          const ExecOptions& options) {
+  const ExecProgram program = compile_reduce_program(
+      instance, plan.solution.throughput, plan.schedule, options);
+  return run_threaded(program, options);
+}
+
+}  // namespace ssco::exec

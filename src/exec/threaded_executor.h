@@ -1,0 +1,33 @@
+#pragma once
+// Threaded execution backend: real worker threads, real payload buffers.
+//
+// Takes an extracted periodic schedule (core/schedule.h), compiles it to an
+// ExecProgram and runs it with ExecOptions::workers threads pushing actual
+// bytes through per-edge bounded channels, paced by per-link token buckets
+// derived from the platform's edge costs and by per-node one-port admission.
+// The returned ExecReport measures achieved bytes/sec over the steady
+// window against the LP-certified bound.
+
+#include "core/steady_state.h"
+#include "exec/exec_report.h"
+#include "exec/program.h"
+#include "platform/paper_instances.h"
+#include "platform/platform.h"
+
+namespace ssco::exec {
+
+/// Runs an already-compiled program.
+[[nodiscard]] ExecReport execute(const ExecProgram& program,
+                                 const ExecOptions& options = {});
+
+/// Compiles and runs a scatter/gossip flow plan.
+[[nodiscard]] ExecReport execute_flow(const platform::Platform& platform,
+                                      const core::FlowPlan& plan,
+                                      const ExecOptions& options = {});
+
+/// Compiles and runs a reduce plan.
+[[nodiscard]] ExecReport execute_reduce(
+    const platform::ReduceInstance& instance, const core::ReducePlan& plan,
+    const ExecOptions& options = {});
+
+}  // namespace ssco::exec

@@ -35,6 +35,27 @@ std::string format_metrics(const ServiceMetrics& metrics) {
   totals.add_row({"latency p90", io::fixed(metrics.p90_ms, 3) + " ms"});
   totals.add_row({"latency p99", io::fixed(metrics.p99_ms, 3) + " ms"});
   os << totals.to_string();
+
+  if (metrics.executions > 0) {
+    os << "\n";
+    io::Table dataplane({"metric", "value"});
+    dataplane.add_row({"executions", std::to_string(metrics.executions)});
+    dataplane.add_row(
+        {"drift re-solves", std::to_string(metrics.drift_resolves)});
+    dataplane.add_row({"one-port violations",
+                       std::to_string(metrics.exec_oneport_violations)});
+    dataplane.add_row(
+        {"delivery errors", std::to_string(metrics.exec_delivery_errors)});
+    dataplane.add_row(
+        {"last efficiency", io::percent(metrics.last_efficiency)});
+    dataplane.add_row(
+        {"last achieved",
+         io::fixed(metrics.last_achieved_bytes_per_sec / 1e6, 2) + " MB/s"});
+    dataplane.add_row(
+        {"last certified",
+         io::fixed(metrics.last_certified_bytes_per_sec / 1e6, 2) + " MB/s"});
+    os << dataplane.to_string();
+  }
   return os.str();
 }
 

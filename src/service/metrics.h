@@ -8,6 +8,8 @@
 // exact_hits + warm_hits + cold_solves + queued. After drain() the books
 // balance exactly — the tests rely on that.
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -15,6 +17,49 @@
 #include "lp/exact_solver.h"
 
 namespace ssco::service {
+
+/// Index of the q-quantile (0 < q <= 1) of n ascending samples under the
+/// NEAREST-RANK definition: the smallest index i such that (i+1)/n >= q,
+/// i.e. ceil(q*n) - 1. The epsilon guards binary-float products like
+/// 0.9 * 100 = 90.000000000000014, which would otherwise push the ceiling
+/// one rank too high — exactly the off-by-one this replaces (the old code
+/// used ceil(q * (n-1)), which reports p50 of 100 samples at rank 51).
+[[nodiscard]] inline std::size_t nearest_rank_index(double q, std::size_t n) {
+  if (n == 0) return 0;
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n) - 1e-9));
+  return std::min(n - 1, rank == 0 ? 0 : rank - 1);
+}
+
+/// Bounded latency sample store with deterministic replacement: fills to
+/// capacity, then overwrites in strict arrival order (the slot cursor wraps
+/// from capacity-1 back to 0), so after k > capacity records the reservoir
+/// holds exactly the most recent `capacity` samples. Not synchronized —
+/// callers bring their own lock.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(std::size_t capacity = 1 << 14)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(double ms) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(ms);
+      return;
+    }
+    samples_[next_] = ms;
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Samples in storage order (unsorted).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<double> samples_;
+};
 
 /// One cache shard's view (see plan_cache.h).
 struct CacheShardMetrics {
@@ -48,6 +93,16 @@ struct ServiceMetrics {
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
+
+  // Execution data plane (PlanService::execute): cumulative counters plus
+  // the most recent run's achieved-vs-certified snapshot.
+  std::size_t executions = 0;       // plans run through an executor
+  std::size_t drift_resolves = 0;   // observed drift -> warm re-solve
+  std::size_t exec_oneport_violations = 0;  // summed over all runs
+  std::size_t exec_delivery_errors = 0;     // summed over all runs
+  double last_efficiency = 0.0;
+  double last_achieved_bytes_per_sec = 0.0;
+  double last_certified_bytes_per_sec = 0.0;
 
   /// (exact + warm) / solved-or-served requests; the bench's headline.
   [[nodiscard]] double hit_rate() const {

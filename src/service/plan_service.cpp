@@ -5,7 +5,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/threaded_executor.h"
 #include "lp/parallel.h"
+#include "sim/event_exec.h"
 
 namespace ssco::service {
 
@@ -21,7 +23,8 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 PlanService::PlanService(PlanServiceOptions options)
     : options_(options),
-      cache_(options.num_shards, options.shard_capacity) {
+      cache_(options.num_shards, options.shard_capacity),
+      latency_(std::max<std::size_t>(1, options.latency_reservoir)) {
   std::size_t workers = options_.num_workers;
   if (workers == 0) {
     workers = std::max(2u, std::thread::hardware_concurrency());
@@ -30,26 +33,38 @@ PlanService::PlanService(PlanServiceOptions options)
       options_.solve_threads != 0
           ? options_.solve_threads
           : std::max<std::size_t>(1, lp::hardware_threads() / workers);
-  options_.latency_reservoir =
-      std::max<std::size_t>(1, options_.latency_reservoir);
-  latency_ms_.reserve(std::min<std::size_t>(options_.latency_reservoir, 4096));
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
-PlanService::~PlanService() {
+PlanService::~PlanService() { shutdown(); }
+
+void PlanService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) return;
     stopping_ = true;
   }
   queue_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  workers_.clear();
 }
 
 std::future<PlanResult> PlanService::submit(PlanRequest request) {
   const auto start = std::chrono::steady_clock::now();
+  // Honor the shutdown contract BEFORE any fast path or counter: the
+  // exact-hit path used to answer from cache after stopping_ was set, so a
+  // submit racing the destructor could sneak past intake. The authoritative
+  // re-check below (under the same lock as queue intake) closes the window
+  // between this check and enqueue.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      throw std::runtime_error("PlanService::submit after shutdown");
+    }
+  }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   const RequestDigest d = digest(request);
 
@@ -77,19 +92,20 @@ std::future<PlanResult> PlanService::submit(PlanRequest request) {
     throw std::runtime_error("PlanService::submit after shutdown");
   }
   // Single-flight: attach to an identical request already being solved.
+  // The follower's waiter carries its OWN submit stamp — its reported
+  // latency is the time IT waited, not the leader's.
   if (auto it = inflight_.find(d.key);
       it != inflight_.end() && same_request(request, it->second->request)) {
     deduplicated_.fetch_add(1, std::memory_order_relaxed);
-    it->second->waiters.emplace_back();
-    return it->second->waiters.back().get_future();
+    it->second->waiters.push_back(Waiter{{}, start});
+    return it->second->waiters.back().promise.get_future();
   }
   auto job = std::make_shared<Inflight>();
   job->key = d.key;
   job->fingerprint = d.fingerprint;
   job->request = std::move(request);
-  job->submitted = start;
-  job->waiters.emplace_back();
-  auto future = job->waiters.back().get_future();
+  job->waiters.push_back(Waiter{{}, start});
+  auto future = job->waiters.back().promise.get_future();
   inflight_[d.key] = job;
   queue_.push_back(std::move(job));
   max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
@@ -135,13 +151,13 @@ void PlanService::process(const std::shared_ptr<Inflight>& job) {
     result.payload = std::move(payload);
     result.source = source;
     result.fingerprint = job->fingerprint;
-    result.latency_ms = ms_since(job->submitted);
-    // One sample per waiter: each deduplicated waiter is a request a
-    // client is blocked on (their true wait started at most this long
-    // ago, so the reservoir over-reports dedup latency slightly).
-    for (std::promise<PlanResult>& waiter : job->waiters) {
+    // One sample per waiter, each measured from that waiter's OWN submit
+    // time: a follower that deduplicated onto this solve halfway through
+    // waited half as long as the leader and reports exactly that.
+    for (Waiter& waiter : job->waiters) {
+      result.latency_ms = ms_since(waiter.submitted);
       record_latency(result.latency_ms);
-      waiter.set_value(result);
+      waiter.promise.set_value(result);
     }
   };
 
@@ -176,8 +192,8 @@ void PlanService::process(const std::shared_ptr<Inflight>& job) {
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     drop_inflight();
-    for (std::promise<PlanResult>& waiter : job->waiters) {
-      waiter.set_exception(std::current_exception());
+    for (Waiter& waiter : job->waiters) {
+      waiter.promise.set_exception(std::current_exception());
     }
   }
 }
@@ -227,12 +243,7 @@ void PlanService::record_latency(double ms) {
   // this mutex. Revisit (striped reservoirs or 1-in-N sampling) only if a
   // profile ever shows hand-off here.
   std::lock_guard<std::mutex> lock(latency_mu_);
-  if (latency_ms_.size() < options_.latency_reservoir) {
-    latency_ms_.push_back(ms);
-  } else {
-    latency_ms_[latency_next_] = ms;
-    latency_next_ = (latency_next_ + 1) % latency_ms_.size();
-  }
+  latency_.record(ms);
 }
 
 void PlanService::drain() {
@@ -259,21 +270,80 @@ ServiceMetrics PlanService::metrics() const {
   std::vector<double> samples;
   {
     std::lock_guard<std::mutex> lock(latency_mu_);
-    samples = latency_ms_;
+    samples = latency_.samples();
   }
   m.latency_samples = samples.size();
   if (!samples.empty()) {
     std::sort(samples.begin(), samples.end());
     auto pct = [&](double q) {
-      const auto idx = static_cast<std::size_t>(
-          std::ceil(q * static_cast<double>(samples.size() - 1)));
-      return samples[idx];
+      return samples[nearest_rank_index(q, samples.size())];
     };
     m.p50_ms = pct(0.50);
     m.p90_ms = pct(0.90);
     m.p99_ms = pct(0.99);
   }
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    m.executions = executions_;
+    m.drift_resolves = drift_resolves_;
+    m.exec_oneport_violations = exec_oneport_violations_;
+    m.exec_delivery_errors = exec_delivery_errors_;
+    m.last_efficiency = last_efficiency_;
+    m.last_achieved_bytes_per_sec = last_achieved_bytes_per_sec_;
+    m.last_certified_bytes_per_sec = last_certified_bytes_per_sec_;
+  }
   return m;
+}
+
+PlanService::ExecuteResult PlanService::execute(const PlanRequest& request,
+                                                const ExecuteOptions& options) {
+  ExecuteResult out;
+  out.plan = submit(request).get();
+
+  const platform::Platform& pf = request.platform();
+  const PlanPayload& payload = *out.plan.payload;
+  if (payload.flow) {
+    out.report = options.simulate
+                     ? sim::simulate_flow_execution(pf, *payload.flow,
+                                                    options.exec)
+                     : exec::execute_flow(pf, *payload.flow, options.exec);
+  } else {
+    const auto& inst = std::get<platform::ReduceInstance>(request.instance);
+    out.report = options.simulate
+                     ? sim::simulate_reduce_execution(inst, *payload.reduce,
+                                                      options.exec)
+                     : exec::execute_reduce(inst, *payload.reduce,
+                                            options.exec);
+  }
+
+  // Observe: feed measured per-edge rates back as a platform correction.
+  if (options.resolve_on_drift && out.report.error.empty()) {
+    out.drift = exec::infer_cost_drift(pf, out.report,
+                                       options.drift_threshold);
+    if (!out.drift.empty()) {
+      auto applied = platform::apply_delta(pf, out.drift);
+      out.drifted_request = request;
+      std::visit(
+          [&](auto& instance) { instance.platform = applied.platform; },
+          out.drifted_request.instance);
+      // Same structure, drifted costs: the cache's warm path re-solves this
+      // incrementally from the executed plan's basis.
+      out.updated = submit(out.drifted_request).get();
+      out.resolved = true;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(exec_mu_);
+    ++executions_;
+    if (out.resolved) ++drift_resolves_;
+    exec_oneport_violations_ += out.report.oneport_violations;
+    exec_delivery_errors_ += out.report.delivery_errors;
+    last_efficiency_ = out.report.efficiency;
+    last_achieved_bytes_per_sec_ = out.report.achieved_bytes_per_sec;
+    last_certified_bytes_per_sec_ = out.report.certified_bytes_per_sec;
+  }
+  return out;
 }
 
 }  // namespace ssco::service

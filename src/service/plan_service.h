@@ -38,6 +38,9 @@
 #include <thread>
 #include <vector>
 
+#include "exec/exec_report.h"
+#include "exec/program.h"
+#include "platform/delta.h"
 #include "service/metrics.h"
 #include "service/plan_cache.h"
 #include "service/plan_types.h"
@@ -66,6 +69,33 @@ struct PlanServiceOptions {
   std::size_t latency_reservoir = 1 << 14;
 };
 
+struct ExecuteOptions {
+  /// Executor pacing/verification knobs, including drift injection
+  /// (exec::ExecOptions::link_rate_scale).
+  exec::ExecOptions exec;
+  /// Run on the discrete-event backend (sim/event_exec.h) instead of
+  /// worker threads: deterministic, no wall-clock time.
+  bool simulate = false;
+  /// Re-solve when an edge's effective rate drifts relatively more than
+  /// this from its modeled rate.
+  double drift_threshold = 0.15;
+  bool resolve_on_drift = true;
+};
+
+struct ExecuteResult {
+  PlanResult plan;          ///< the plan that was executed
+  exec::ExecReport report;  ///< achieved vs certified measurement
+  /// Observed per-edge drift as a platform correction; empty when every
+  /// link performed as modeled (within threshold).
+  platform::PlatformDelta drift;
+  bool resolved = false;  ///< drift exceeded threshold and was re-solved
+  /// Set when resolved: the corrected request (drifted costs applied) and
+  /// the re-solved plan it produced — warm-started from the executed
+  /// plan's basis whenever the cache allows.
+  PlanRequest drifted_request;
+  PlanResult updated;
+};
+
 class PlanService {
  public:
   explicit PlanService(PlanServiceOptions options = {});
@@ -85,15 +115,43 @@ class PlanService {
   /// queue is empty. (New submissions during drain() extend the wait.)
   void drain();
 
+  /// Stops intake (subsequent submit() calls throw), finishes every job
+  /// already accepted, and joins the workers. Idempotent; the destructor
+  /// calls it. Every future handed out before shutdown() is fulfilled.
+  void shutdown();
+
+  // Nested aliases so call sites can keep writing
+  // PlanService::ExecuteOptions. (The structs live at namespace scope
+  // because their default member initializers must be complete before the
+  // `= {}` default argument below is parsed.)
+  using ExecuteOptions = service::ExecuteOptions;
+  using ExecuteResult = service::ExecuteResult;
+
+  /// Closes the serving loop: plan -> execute -> observe -> re-solve.
+  /// Submits `request` (cache/warm/cold as usual), runs the resulting plan
+  /// through the execution data plane, feeds the observed per-edge rates
+  /// back as a platform::PlatformDelta, and — when drift exceeds the
+  /// threshold — re-submits the corrected request through the warm-start
+  /// path. Blocks until the run (and any re-solve) finishes; executor
+  /// counters land in metrics().
+  [[nodiscard]] ExecuteResult execute(const PlanRequest& request,
+                                      const ExecuteOptions& options = {});
+
   [[nodiscard]] ServiceMetrics metrics() const;
 
  private:
+  /// One client blocked on an in-flight solve. Each waiter keeps its OWN
+  /// submit stamp: a deduplicated follower that attached late must report
+  /// (and record) only its own wait, not the leader's.
+  struct Waiter {
+    std::promise<PlanResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
   struct Inflight {
     CacheKey key;
     platform::Fingerprint fingerprint;
     PlanRequest request;
-    std::vector<std::promise<PlanResult>> waiters;
-    std::chrono::steady_clock::time_point submitted;
+    std::vector<Waiter> waiters;
   };
 
   void worker_loop();
@@ -130,8 +188,17 @@ class PlanService {
   std::atomic<std::size_t> failed_{0};
 
   mutable std::mutex latency_mu_;
-  std::vector<double> latency_ms_;
-  std::size_t latency_next_ = 0;
+  LatencyReservoir latency_;
+
+  // Execution data plane counters (exec_mu_).
+  mutable std::mutex exec_mu_;
+  std::size_t executions_ = 0;
+  std::size_t drift_resolves_ = 0;
+  std::size_t exec_oneport_violations_ = 0;
+  std::size_t exec_delivery_errors_ = 0;
+  double last_efficiency_ = 0.0;
+  double last_achieved_bytes_per_sec_ = 0.0;
+  double last_certified_bytes_per_sec_ = 0.0;
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,28 @@
+#include "sim/event_exec.h"
+
+#include "exec/engine.h"
+
+namespace ssco::sim {
+
+exec::ExecReport simulate_execution(const exec::ExecProgram& program,
+                                    const exec::ExecOptions& options) {
+  return exec::run_event(program, options);
+}
+
+exec::ExecReport simulate_flow_execution(const platform::Platform& platform,
+                                         const core::FlowPlan& plan,
+                                         const exec::ExecOptions& options) {
+  const exec::ExecProgram program =
+      exec::compile_flow_program(platform, plan.flow, plan.schedule, options);
+  return exec::run_event(program, options);
+}
+
+exec::ExecReport simulate_reduce_execution(
+    const platform::ReduceInstance& instance, const core::ReducePlan& plan,
+    const exec::ExecOptions& options) {
+  const exec::ExecProgram program = exec::compile_reduce_program(
+      instance, plan.solution.throughput, plan.schedule, options);
+  return exec::run_event(program, options);
+}
+
+}  // namespace ssco::sim

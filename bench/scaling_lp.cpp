@@ -18,14 +18,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <limits>
 
 #include "core/gossip_lp.h"
 #include "core/reduce_lp.h"
 #include "core/scatter_lp.h"
 #include "lp/exact_solver.h"
 #include "lp/parallel.h"
+#include "obs/trace.h"
 #include "platform/delta.h"
 #include "platform/paper_instances.h"
 #include "service/metrics.h"
@@ -165,6 +168,34 @@ void BM_ScatterLpBreakdown(benchmark::State& state) {
       static_cast<double>(stats.pricing_sweep_ns) / 1e6 / solves;
   state.counters["threads"] =
       static_cast<double>(lp::resolve_threads(solver.options().threads));
+
+  // Tracing overhead gate: min-of-3 untraced vs min-of-3 traced solves of
+  // the same model (min is the noise-robust statistic for "how fast CAN it
+  // go"). check_bench_regression.cmake fails the build if the overhead
+  // exceeds its permille ceiling — the "<2% when enabled" budget in
+  // DESIGN.md "Observability".
+  using clock = std::chrono::steady_clock;
+  auto min_solve_ms = [&] {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = clock::now();
+      auto sol = solver.solve(model);
+      benchmark::DoNotOptimize(sol.objective);
+      best = std::min(
+          best, std::chrono::duration<double, std::milli>(clock::now() - t0)
+                    .count());
+    }
+    return best;
+  };
+  const double untraced_ms = min_solve_ms();
+  obs::Trace::enable();
+  const double traced_ms = min_solve_ms();
+  obs::Trace::disable();
+  state.counters["traced_events"] =
+      static_cast<double>(obs::Trace::event_count());
+  state.counters["trace_overhead_permille"] = std::max(
+      0.0, (traced_ms - untraced_ms) / std::max(untraced_ms, 1e-9) * 1000.0);
+
   std::cerr << service::format_solver_stats(stats);
 }
 BENCHMARK(BM_ScatterLpBreakdown)->Arg(64)->Iterations(2)

@@ -22,6 +22,9 @@
 #     baseline (lower is worse, the inverse of the count gates);
 #   * `oneport_violations` / `delivery_errors` (executor benches) — hard
 #     zero gates: any fresh violation fails regardless of baseline;
+#   * `trace_overhead_permille` (BM_ScatterLpBreakdown) — hard ceiling of
+#     20 (2%), fresh-only: the observability layer's span recording must
+#     stay under its documented overhead budget on the solver hot path;
 #   * the `certify_ms` / `pricing_sweep_ms` phase counters — wall-clock of
 #     the two column loops the parallel solve fabric shards (lp/parallel.h),
 #     gated exactly like real_time (CHECK_TIME=ON, TIME_TOLERANCE,
@@ -189,6 +192,22 @@ foreach(i RANGE 0 ${fresh_last})
       math(EXPR checked "${checked} + 1")
     endif()
   endforeach()
+
+  # Observability overhead ceiling: traced solver hot path may cost at most
+  # 2% (20 permille) over the untraced one. Fresh-only — the budget is
+  # absolute, not relative to a baseline recording.
+  string(JSON fresh_overhead ERROR_VARIABLE no_overhead GET "${fresh}"
+         benchmarks ${i} trace_overhead_permille)
+  if(NOT no_overhead)
+    string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_overhead}")
+    if(fresh_int GREATER 20)
+      message(SEND_ERROR
+              "REGRESSION ${name} trace_overhead_permille: ${fresh_int} "
+              "(tracing must add <2% to the solve)")
+      math(EXPR failures "${failures} + 1")
+    endif()
+    math(EXPR checked "${checked} + 1")
+  endif()
 
   if(CHECK_TIME)
     foreach(time_key real_time certify_ms pricing_sweep_ms)

@@ -1,0 +1,84 @@
+# Runs the execute_plan example with tracing enabled and validates the
+# emitted Chrome trace-event JSON: it must parse, carry a non-empty
+# traceEvents array, and contain at least one span from each layer of the
+# observability taxonomy (solver phase, service event, executor port
+# occupation) — proving the three legs land on one timeline.
+#
+#   cmake -DEXAMPLE=<path-to-example_execute_plan> -DTRACE=<out.json>
+#         -P check_trace.cmake
+#
+# CI runs this as a CTest step and uploads TRACE as a workflow artifact so
+# any run's timeline can be dropped into https://ui.perfetto.dev.
+
+if(CMAKE_VERSION VERSION_LESS 3.19)
+  message(WARNING "check_trace: CMake ${CMAKE_VERSION} lacks string(JSON); "
+                  "skipping the check")
+  return()
+endif()
+
+if(NOT DEFINED EXAMPLE OR NOT DEFINED TRACE)
+  message(FATAL_ERROR "check_trace: pass -DEXAMPLE=<binary> -DTRACE=<out.json>")
+endif()
+
+execute_process(COMMAND "${EXAMPLE}" --trace "${TRACE}"
+                RESULT_VARIABLE run_result
+                OUTPUT_VARIABLE run_output
+                ERROR_VARIABLE run_error)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "check_trace: '${EXAMPLE} --trace ${TRACE}' failed "
+                      "(${run_result}):\n${run_output}\n${run_error}")
+endif()
+
+file(READ "${TRACE}" trace)
+
+# Parses at all? string(JSON ... ERROR_VARIABLE) reports malformed JSON.
+string(JSON unit ERROR_VARIABLE parse_err GET "${trace}" displayTimeUnit)
+if(parse_err)
+  message(FATAL_ERROR "check_trace: ${TRACE} is not valid JSON: ${parse_err}")
+endif()
+
+string(JSON n_events ERROR_VARIABLE no_events LENGTH "${trace}" traceEvents)
+if(no_events OR n_events EQUAL 0)
+  message(FATAL_ERROR "check_trace: ${TRACE} has no traceEvents")
+endif()
+
+# Schema-check a bounded sample of events: every string(JSON) call re-parses
+# the WHOLE file, so sweeping all ~50k events would be quadratic. The sample
+# proves the record shape; the export code emits every record identically.
+set(sample 50)
+if(n_events LESS ${sample})
+  set(sample ${n_events})
+endif()
+math(EXPR last "${sample} - 1")
+foreach(i RANGE 0 ${last})
+  string(JSON ph GET "${trace}" traceEvents ${i} ph)
+  string(JSON ev_name GET "${trace}" traceEvents ${i} name)
+  if(NOT ph MATCHES "^(X|M|i)$")
+    message(FATAL_ERROR
+            "check_trace: event ${i} has unexpected ph '${ph}'")
+  endif()
+  if(ph STREQUAL "X")
+    # Complete events must carry a timestamp and a duration.
+    string(JSON ts ERROR_VARIABLE no_ts GET "${trace}" traceEvents ${i} ts)
+    string(JSON dur ERROR_VARIABLE no_dur GET "${trace}" traceEvents ${i} dur)
+    if(no_ts OR no_dur)
+      message(FATAL_ERROR
+              "check_trace: X event ${i} ('${ev_name}') lacks ts/dur")
+    endif()
+  endif()
+endforeach()
+
+# Span coverage by substring — cheap on the raw text, and the quoted-name
+# form cannot false-positive against categories or args.
+set(required_names factor solve send recv submit)
+foreach(want ${required_names})
+  string(FIND "${trace}" "\"name\":\"${want}\"" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "check_trace: required span '${want}' missing from ${TRACE} "
+            "(solver/service/exec must share one timeline)")
+  endif()
+endforeach()
+
+message(STATUS "check_trace: ${TRACE} OK — ${n_events} events, all of "
+               "'${required_names}' present")

@@ -6,8 +6,11 @@
 #include <cstring>
 #include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace ssco::exec {
 
@@ -62,6 +65,7 @@ class Engine {
       return report;
     }
     init();
+    init_trace();
     if (threaded_) {
       run_threaded();
     } else {
@@ -169,6 +173,50 @@ class Engine {
     return p_.supplier_of_type[type] == u;
   }
 
+  // ---- tracing -----------------------------------------------------------
+
+  /// One trace lane per (node, port): occupations render as rows under the
+  /// solver/service thread rows on the same timeline. Engine time (wall for
+  /// the threaded backend, virtual for the event backend) maps onto the
+  /// trace clock via the offset captured here, so a simulate run's spans
+  /// still land where the run happened.
+  void init_trace() {
+    if (!obs::Trace::enabled()) return;
+    tracing_ = true;
+    trace_offset_ = obs::Trace::now_ns();
+    const std::size_t nodes = p_.num_nodes();
+    out_lane_.resize(nodes);
+    in_lane_.resize(nodes);
+    cpu_lane_.resize(nodes);
+    for (graph::NodeId u = 0; u < nodes; ++u) {
+      const std::string name = p_.platform->node_name(u);
+      out_lane_[u] = obs::Trace::lane(name + " out");
+      in_lane_[u] = obs::Trace::lane(name + " in");
+      cpu_lane_[u] = obs::Trace::lane(name + " cpu");
+    }
+  }
+
+  [[nodiscard]] std::uint64_t ns_at(double t) const {
+    return trace_offset_ + static_cast<std::uint64_t>(t * 1e9);
+  }
+
+  /// Emits the just-committed occupation [end - seconds, end] on `lane`,
+  /// preceded by a "wait" span covering the admission gap since the port's
+  /// previous occupation ended.
+  void trace_span(std::uint32_t lane, const char* name, double prev_end,
+                  double end, double seconds, std::uint64_t bytes,
+                  bool has_bytes) {
+    if (!tracing_) return;
+    const double start = end - seconds;
+    if (start - prev_end > 1e-12) {
+      obs::Trace::emit(lane, "wait", "exec", ns_at(prev_end),
+                       ns_at(start) - ns_at(prev_end));
+    }
+    obs::Trace::emit(lane, name, "exec", ns_at(start),
+                     static_cast<std::uint64_t>(seconds * 1e9), bytes,
+                     has_bytes);
+  }
+
   // ---- admission (scheduler lock held) -----------------------------------
 
   /// Scans every port for an admissible step at `now`. On success fills
@@ -228,10 +276,13 @@ class Engine {
     if (!unlimited(u, t.type)) avail_[u][t.type] -= c.messages;
     buckets_[t.edge].consume(now, static_cast<double>(c.bytes));
     check_occupancy(port, now, slack);
+    const double prev_end = port.tat;
     port.tat = std::max(port.tat, now) + c.seconds;
     port.busy += c.seconds;
     edge_busy_[t.edge] += c.seconds;
     edge_bytes_[t.edge] += c.bytes;
+    trace_span(out_lane_.empty() ? 0 : out_lane_[u], "send", prev_end,
+               port.tat, c.seconds, c.bytes, true);
     out.kind = StepKind::kSend;
     out.node = u;
     out.tmpl = tmpl;
@@ -268,8 +319,11 @@ class Engine {
     }
     // Commit: the one-port model charges receive time too.
     check_occupancy(port, now, slack);
+    const double prev_end = port.tat;
     port.tat = std::max(port.tat, now) + c.seconds;
     port.busy += c.seconds;
+    trace_span(in_lane_.empty() ? 0 : in_lane_[u], "recv", prev_end, port.tat,
+               c.seconds, c.bytes, true);
     out.kind = StepKind::kRecv;
     out.node = u;
     out.tmpl = tmpl;
@@ -311,8 +365,11 @@ class Engine {
     if (!unlimited(u, ct.left)) avail_[u][ct.left] -= s.count;
     if (!unlimited(u, ct.right)) avail_[u][ct.right] -= s.count;
     check_occupancy(port, now, slack);
+    const double prev_end = port.tat;
     port.tat = std::max(port.tat, now) + s.seconds;
     port.busy += s.seconds;
+    trace_span(cpu_lane_.empty() ? 0 : cpu_lane_[u], "comp", prev_end,
+               port.tat, s.seconds, 0, false);
     if (p_.sink_of_type[ct.product] == u) {
       delivered_[ct.product] += s.count;
       update_ops(now);
@@ -658,6 +715,11 @@ class Engine {
   bool t0_stamped_ = false, t1_stamped_ = false;
   double t0_ = 0.0, t1_ = 0.0;
   std::size_t violations_ = 0, delivery_errors_ = 0;
+
+  // Tracing (init_trace): one lane per (node, port kind).
+  bool tracing_ = false;
+  std::uint64_t trace_offset_ = 0;
+  std::vector<std::uint32_t> out_lane_, in_lane_, cpu_lane_;
 };
 
 }  // namespace

@@ -2,32 +2,91 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "io/report.h"
 #include "io/table.h"
+#include "obs/stats.h"
 
 namespace ssco::exec {
 
+obs::Snapshot ExecReport::snapshot() const {
+  obs::Registry reg;
+  reg.gauge("exec_workers").set(static_cast<double>(workers));
+  reg.gauge("exec_window_seconds").set(elapsed_seconds);
+  reg.counter("exec_operations").set(operations);
+  reg.counter("exec_payload_bytes").set(payload_bytes);
+  reg.counter("exec_wire_bytes").set(wire_bytes);
+  reg.gauge("exec_achieved_ops_per_sec").set(achieved_ops_per_sec);
+  reg.gauge("exec_certified_ops_per_sec").set(certified_ops_per_sec);
+  reg.gauge("exec_achieved_bytes_per_sec").set(achieved_bytes_per_sec);
+  reg.gauge("exec_certified_bytes_per_sec").set(certified_bytes_per_sec);
+  reg.gauge("exec_efficiency").set(efficiency);
+  reg.counter("exec_oneport_violations").set(oneport_violations);
+  reg.counter("exec_delivery_errors").set(delivery_errors);
+
+  // Distribution of the ACTIVE edges' utilization and effective rate over
+  // the window — one shared percentile definition (obs/stats.h) with the
+  // service's latency summaries.
+  std::vector<double> util, rate_mb;
+  for (const EdgeTraffic& t : edges) {
+    if (t.wire_bytes == 0) continue;
+    if (elapsed_seconds > 0) util.push_back(t.busy_seconds / elapsed_seconds);
+    rate_mb.push_back(t.effective_bytes_per_sec / 1e6);
+  }
+  const obs::PercentileSummary u = obs::summarize(util);
+  reg.counter("exec_active_edges").set(u.count);
+  reg.gauge("exec_edge_util_p50").set(u.p50);
+  reg.gauge("exec_edge_util_p90").set(u.p90);
+  reg.gauge("exec_edge_util_max").set(u.max);
+  const obs::PercentileSummary r = obs::summarize(rate_mb);
+  reg.gauge("exec_edge_mbps_p50").set(r.p50);
+  reg.gauge("exec_edge_mbps_p90").set(r.p90);
+  reg.gauge("exec_edge_mbps_max").set(r.max);
+  return reg.snapshot();
+}
+
 std::string ExecReport::to_string(const platform::Platform& platform) const {
+  const obs::Snapshot snap = snapshot();
   std::ostringstream os;
   os << io::banner(simulated ? "execution (discrete-event)"
                              : "execution (threaded)");
 
   io::Table head({"metric", "value"});
-  head.add_row({"workers", std::to_string(workers)});
-  head.add_row({"steady window", io::fixed(elapsed_seconds * 1e3, 2) + " ms"});
-  head.add_row({"operations", std::to_string(operations)});
+  head.add_row({"workers", std::to_string(static_cast<std::uint64_t>(
+                    snap.value("exec_workers")))});
+  head.add_row({"steady window",
+                io::fixed(snap.value("exec_window_seconds") * 1e3, 2) + " ms"});
+  head.add_row({"operations", std::to_string(static_cast<std::uint64_t>(
+                    snap.value("exec_operations")))});
+  head.add_row({"achieved ops/sec",
+                io::fixed(snap.value("exec_achieved_ops_per_sec"), 2)});
+  head.add_row({"certified ops/sec",
+                io::fixed(snap.value("exec_certified_ops_per_sec"), 2)});
   head.add_row(
-      {"achieved ops/sec", io::fixed(achieved_ops_per_sec, 2)});
+      {"achieved bytes/sec",
+       io::fixed(snap.value("exec_achieved_bytes_per_sec") / 1e6, 2) +
+           " MB/s"});
   head.add_row(
-      {"certified ops/sec", io::fixed(certified_ops_per_sec, 2)});
-  head.add_row({"achieved bytes/sec",
-                io::fixed(achieved_bytes_per_sec / 1e6, 2) + " MB/s"});
-  head.add_row({"certified bytes/sec",
-                io::fixed(certified_bytes_per_sec / 1e6, 2) + " MB/s"});
-  head.add_row({"efficiency", io::percent(efficiency)});
-  head.add_row({"one-port violations", std::to_string(oneport_violations)});
-  head.add_row({"delivery errors", std::to_string(delivery_errors)});
+      {"certified bytes/sec",
+       io::fixed(snap.value("exec_certified_bytes_per_sec") / 1e6, 2) +
+           " MB/s"});
+  head.add_row({"efficiency", io::percent(snap.value("exec_efficiency"))});
+  head.add_row({"one-port violations",
+                std::to_string(static_cast<std::uint64_t>(
+                    snap.value("exec_oneport_violations")))});
+  head.add_row({"delivery errors", std::to_string(static_cast<std::uint64_t>(
+                    snap.value("exec_delivery_errors")))});
+  if (snap.value("exec_active_edges") > 0) {
+    head.add_row({"edge util p50/p90/max",
+                  io::percent(snap.value("exec_edge_util_p50")) + " / " +
+                      io::percent(snap.value("exec_edge_util_p90")) + " / " +
+                      io::percent(snap.value("exec_edge_util_max"))});
+    head.add_row({"edge MB/s p50/p90/max",
+                  io::fixed(snap.value("exec_edge_mbps_p50"), 2) + " / " +
+                      io::fixed(snap.value("exec_edge_mbps_p90"), 2) + " / " +
+                      io::fixed(snap.value("exec_edge_mbps_max"), 2)});
+  }
   if (!error.empty()) head.add_row({"error", error});
   os << head.to_string() << "\n";
 

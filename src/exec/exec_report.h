@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "obs/metrics.h"
 #include "platform/delta.h"
 #include "platform/platform.h"
 
@@ -87,7 +88,15 @@ struct ExecReport {
     return error.empty() && oneport_violations == 0 && delivery_errors == 0;
   }
 
-  /// io/report tables: headline rates + per-edge traffic.
+  /// The report as registry entries (exec_* counters/gauges, including
+  /// min/p50/p90/p99/max summaries of the per-edge utilizations and
+  /// effective rates via obs::summarize). to_string() renders its head
+  /// table from exactly this snapshot, so the table and any machine
+  /// exposition of the same run cannot drift apart.
+  [[nodiscard]] obs::Snapshot snapshot() const;
+
+  /// io/report tables: headline rates + per-edge traffic, values read back
+  /// from snapshot().
   [[nodiscard]] std::string to_string(
       const platform::Platform& platform) const;
 };

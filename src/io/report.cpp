@@ -52,4 +52,22 @@ std::string millis(std::uint64_t nanos, int digits) {
   return fixed(static_cast<double>(nanos) / 1e6, digits) + " ms";
 }
 
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+    }
+  }
+  return out;
+}
+
 }  // namespace ssco::io

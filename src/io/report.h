@@ -30,4 +30,10 @@ namespace ssco::io {
 /// wall-clock breakdown (lp::SolverStats).
 [[nodiscard]] std::string millis(std::uint64_t nanos, int digits = 2);
 
+/// JSON string-literal escaping (quotes, backslashes; control characters
+/// become spaces) for the machine-readable emitters — the trace exporter
+/// and metric snapshots write JSON by hand rather than pulling in a
+/// dependency the container does not have.
+[[nodiscard]] std::string json_escape(const std::string& text);
+
 }  // namespace ssco::io

@@ -11,6 +11,7 @@
 #include "lp/column_layout.h"
 #include "lp/revised_simplex.h"
 #include "lp/warm_start.h"
+#include "obs/trace.h"
 
 namespace ssco::lp {
 
@@ -206,6 +207,8 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
           : 0;
 
   for (std::size_t round = 0; round < colgen.max_rounds; ++round) {
+    obs::SpanGuard round_span("colgen_round", "solver");
+    round_span.set_arg(round);
     std::vector<double> cost = engine->phase2_costs();
     const std::size_t pivots_before = out.float_iterations;
     SimplexOptions round_options = options_.simplex;
@@ -238,28 +241,31 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
                                 duals.begin() + num_model_rows);
 
     // Reprice the pool, then top up from the oracle.
-    const auto sweep_t0 = Clock::now();
     std::vector<std::pair<double, GeneratedColumn>> candidates;
-    for (GeneratedColumn& gc : pool) {
-      const double d = reduced_cost(gc, y);
-      if (d < -colgen.pricing_tolerance) {
-        candidates.emplace_back(d, std::move(gc));
-      } else {
-        pooled.erase(gc.name);  // priced out; the oracle may re-emit later
+    {
+      OBS_SPAN("pricing_sweep");
+      const auto sweep_t0 = Clock::now();
+      for (GeneratedColumn& gc : pool) {
+        const double d = reduced_cost(gc, y);
+        if (d < -colgen.pricing_tolerance) {
+          candidates.emplace_back(d, std::move(gc));
+        } else {
+          pooled.erase(gc.name);  // priced out; the oracle may re-emit later
+        }
       }
-    }
-    pool.clear();
-    if (candidates.size() < batch) {
-      std::vector<GeneratedColumn> emitted;
-      oracle.price(y, colgen.pricing_tolerance,
-                   std::max(colgen.emit, batch), emitted);
-      for (GeneratedColumn& gc : emitted) {
-        if (pooled.contains(gc.name)) continue;  // already a candidate
-        candidates.emplace_back(reduced_cost(gc, y), std::move(gc));
+      pool.clear();
+      if (candidates.size() < batch) {
+        std::vector<GeneratedColumn> emitted;
+        oracle.price(y, colgen.pricing_tolerance,
+                     std::max(colgen.emit, batch), emitted);
+        for (GeneratedColumn& gc : emitted) {
+          if (pooled.contains(gc.name)) continue;  // already a candidate
+          candidates.emplace_back(reduced_cost(gc, y), std::move(gc));
+        }
       }
+      sort_by_violation(candidates);
+      sweep_ns += ns_since(sweep_t0);
     }
-    sort_by_violation(candidates);
-    sweep_ns += ns_since(sweep_t0);
 
     if (!candidates.empty()) {
       // Append the best `batch`; pool the rest for later rounds.
@@ -310,40 +316,46 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
     ExactSolution candidate;
     std::vector<Rational> exact_duals;
     std::string method;
-    const auto certify_t0 = Clock::now();
-    if (certify_float_result(em, fp, options_, candidate, par)) {
-      exact_duals.assign(candidate.dual.begin(),
-                         candidate.dual.begin() + num_model_rows);
-      method = candidate.method == "double+certificate"
-                   ? "colgen+certificate"
-                   : "colgen+basis-verification";
-    } else if (options_.allow_exact_fallback &&
-               em.rows.size() <= kExactMasterRowLimit) {
-      // Uncertifiable float optimum: the exact rational simplex on the
-      // (still small) restricted master recovers an exact pair.
-      SimplexResult<Rational> ex =
-          solve_simplex<Rational>(em, options_.simplex);
-      out.exact_iterations += ex.iterations;
-      if (ex.status != SolveStatus::kOptimal) return full_fallback();
-      candidate.status = SolveStatus::kOptimal;
-      candidate.primal = em.unshift(ex.primal);
-      candidate.dual = std::move(ex.dual);
-      candidate.objective = ex.objective + em.objective_constant;
-      candidate.certified = true;
-      fp.basis = ex.basis;
-      exact_duals.assign(candidate.dual.begin(),
-                         candidate.dual.begin() + num_model_rows);
-      method = "colgen+exact-simplex";
-    } else {
+    {
+      OBS_SPAN("certify");
+      const auto certify_t0 = Clock::now();
+      if (certify_float_result(em, fp, options_, candidate, par)) {
+        exact_duals.assign(candidate.dual.begin(),
+                           candidate.dual.begin() + num_model_rows);
+        method = candidate.method == "double+certificate"
+                     ? "colgen+certificate"
+                     : "colgen+basis-verification";
+      } else if (options_.allow_exact_fallback &&
+                 em.rows.size() <= kExactMasterRowLimit) {
+        // Uncertifiable float optimum: the exact rational simplex on the
+        // (still small) restricted master recovers an exact pair.
+        SimplexResult<Rational> ex =
+            solve_simplex<Rational>(em, options_.simplex);
+        out.exact_iterations += ex.iterations;
+        if (ex.status != SolveStatus::kOptimal) return full_fallback();
+        candidate.status = SolveStatus::kOptimal;
+        candidate.primal = em.unshift(ex.primal);
+        candidate.dual = std::move(ex.dual);
+        candidate.objective = ex.objective + em.objective_constant;
+        candidate.certified = true;
+        fp.basis = ex.basis;
+        exact_duals.assign(candidate.dual.begin(),
+                           candidate.dual.begin() + num_model_rows);
+        method = "colgen+exact-simplex";
+      } else {
+        certify_ns += ns_since(certify_t0);
+        return full_fallback();
+      }
       certify_ns += ns_since(certify_t0);
-      return full_fallback();
     }
-    certify_ns += ns_since(certify_t0);
 
     std::vector<GeneratedColumn> violated;
-    const auto exact_sweep_t0 = Clock::now();
-    oracle.price_exact(exact_duals, std::max(colgen.emit, batch), violated);
-    sweep_ns += ns_since(exact_sweep_t0);
+    {
+      OBS_SPAN("pricing_sweep");
+      const auto exact_sweep_t0 = Clock::now();
+      oracle.price_exact(exact_duals, std::max(colgen.emit, batch), violated);
+      sweep_ns += ns_since(exact_sweep_t0);
+    }
     if (!violated.empty()) {
       // The float duals were optimistic; the exact sweep caught it. Append
       // the witnesses and keep iterating — this is what makes the float

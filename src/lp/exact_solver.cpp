@@ -10,6 +10,8 @@
 #include "lp/exact_basis.h"
 #include "lp/presolve.h"
 #include "num/reconstruct.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ssco::lp {
 
@@ -409,6 +411,37 @@ Parallel ExactSolver::solve_parallel(const SolveContext* context) const {
   return Parallel::with(pool, budget);
 }
 
+namespace {
+
+/// Mirrors one finished solve into the process-wide registry: counters the
+/// Prometheus/JSON expositions serve, plus per-phase latency histograms
+/// (the registry-backed replacement for eyeballing SolvePhaseTimes). All
+/// bumps share one Batch so a concurrent snapshot sees the whole solve or
+/// none of it.
+void publish_solve(const ExactSolution& out) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Registry::Batch batch(reg);
+  reg.counter("solver_solves", "completed exact solves").add(1);
+  reg.counter("solver_float_pivots").add(out.float_iterations);
+  reg.counter("solver_exact_pivots").add(out.exact_iterations);
+  if (out.warm_started) reg.counter("solver_warm_solves").add(1);
+  if (out.exact_iterations > 0) reg.counter("solver_exact_fallbacks").add(1);
+  reg.counter("solver_ftran_ns").add(out.phase_times.ftran_ns);
+  reg.counter("solver_btran_ns").add(out.phase_times.btran_ns);
+  reg.counter("solver_pricing_ns").add(out.phase_times.pricing_ns);
+  reg.counter("solver_factor_ns").add(out.phase_times.factor_ns);
+  reg.counter("solver_certify_ns").add(out.phase_times.certify_ns);
+  reg.counter("solver_pricing_sweep_ns").add(out.phase_times.pricing_sweep_ns);
+  reg.histogram("solver_certify_ms", "per-solve certification latency")
+      .record(static_cast<double>(out.phase_times.certify_ns) / 1e6);
+  reg.histogram("solver_factor_ms", "per-solve factorization latency")
+      .record(static_cast<double>(out.phase_times.factor_ns) / 1e6);
+  reg.histogram("solver_pricing_ms", "per-solve pricing latency")
+      .record(static_cast<double>(out.phase_times.pricing_ns) / 1e6);
+}
+
+}  // namespace
+
 void ExactSolver::record_solve(const ExactSolution& out,
                                const SolveContext* context) const {
   // Aggregate telemetry: relaxed atomics, safe under concurrent solves (see
@@ -450,10 +483,12 @@ void ExactSolver::record_solve(const ExactSolution& out,
     stats_.colgen_columns_generated.fetch_add(out.colgen_columns_generated,
                                               std::memory_order_relaxed);
   }
+  publish_solve(out);
 }
 
 ExactSolution ExactSolver::solve_impl(const Model& model,
                                       SolveContext* context) const {
+  OBS_SPAN("solve");
   ExactSolution out;
   ExpandedModel em = ExpandedModel::from(model);
 
@@ -475,6 +510,7 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
   // and returns `out` on success (certify_float_result above).
   const Parallel par = solve_parallel(context);
   auto certify = [&](const SimplexResult<double>& fp) -> bool {
+    OBS_SPAN("certify");
     const auto t0 = Clock::now();
     const bool ok = certify_float_result(em, fp, options_, out, par);
     out.phase_times.certify_ns += ns_since(t0);
@@ -491,6 +527,7 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
   // trip through the exact simplex.
   SimplexResult<double> fp;
   if (context && !context->warm.empty()) {
+    OBS_SPAN("warm");
     ColumnLayout layout = ColumnLayout::from(em);
     if (auto columns = map_warm_basis(context->warm, model, em, layout)) {
       context->warm_attempted = true;
@@ -525,7 +562,10 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
   // a fallback, never a wrong answer.
   bool presolve_skip_cold = false;
   if (options_.presolve) {
-    Presolved pre = presolve(em);
+    Presolved pre = [&] {
+      OBS_SPAN("presolve");
+      return presolve(em);
+    }();
     if (pre.status == PresolveStatus::kInfeasible) {
       // The reductions run in exact rational arithmetic: this verdict is a
       // proof, no float or exact simplex pass needed.
@@ -538,8 +578,10 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
     if (!pre.identity()) {
       out.presolve_rows_removed = pre.stats.rows_removed;
       out.presolve_cols_removed = pre.stats.cols_removed;
-      SimplexResult<double> fr =
-          solve_simplex<double>(pre.reduced, options_.simplex);
+      SimplexResult<double> fr = [&] {
+        OBS_SPAN("float");
+        return solve_simplex<double>(pre.reduced, options_.simplex);
+      }();
       out.float_iterations += fr.iterations;
       out.phase_times += fr.phase_times;
 
@@ -571,6 +613,7 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
       };
 
       if (fr.status == SolveStatus::kOptimal) {
+        OBS_SPAN("certify");
         const auto t0 = Clock::now();
         for (std::uint64_t cap : options_.denominator_caps) {
           auto x = reconstruct_vector(fr.primal, cap,
@@ -610,7 +653,10 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
   }
 
   if (!presolve_skip_cold) {
-    fp = solve_simplex<double>(em, options_.simplex);
+    {
+      OBS_SPAN("float");
+      fp = solve_simplex<double>(em, options_.simplex);
+    }
     out.float_iterations += fp.iterations;
     out.phase_times += fp.phase_times;
     if (fp.status == SolveStatus::kOptimal && certify(fp)) return out;
@@ -626,6 +672,7 @@ ExactSolution ExactSolver::solve_impl(const Model& model,
 
   // Exact fallback. Also the path that *proves* infeasibility/unboundedness
   // reported by the double pass.
+  OBS_SPAN("exact_fallback");
   SimplexResult<Rational> ex = solve_simplex<Rational>(em, options_.simplex);
   out.exact_iterations = ex.iterations;
   out.status = ex.status;

@@ -1,8 +1,18 @@
 #include "lp/parallel.h"
 
+#include <chrono>
 #include <utility>
 
 namespace ssco::lp {
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
 
 std::size_t hardware_threads() {
   static const std::size_t n = [] {
@@ -43,11 +53,14 @@ void ThreadPool::execute_some(Job& job, std::unique_lock<std::mutex>& lock) {
     }
     lock.unlock();
     std::exception_ptr error;
+    const std::uint64_t t0 = steady_ns();
     try {
       (*job.fn)(shard);
     } catch (...) {
       error = std::current_exception();
     }
+    busy_ns_.fetch_add(steady_ns() - t0, std::memory_order_relaxed);
+    shards_.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
     if (error && (!job.error || shard < job.error_shard)) {
       job.error = error;
@@ -75,8 +88,12 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run(std::size_t shards,
                      const std::function<void(std::size_t)>& fn) {
   if (shards == 0) return;
+  jobs_.fetch_add(1, std::memory_order_relaxed);
   if (shards == 1 || threads_.empty()) {
+    const std::uint64_t t0 = steady_ns();
     for (std::size_t s = 0; s < shards; ++s) fn(s);
+    busy_ns_.fetch_add(steady_ns() - t0, std::memory_order_relaxed);
+    inline_shards_.fetch_add(shards, std::memory_order_relaxed);
     return;
   }
   Job job;
@@ -91,6 +108,16 @@ void ThreadPool::run(std::size_t shards,
   job.done_cv.wait(lock,
                    [&] { return job.done == job.shards && job.active == 0; });
   if (job.error) std::rethrow_exception(job.error);
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.workers = threads_.size();
+  s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.shards = shards_.load(std::memory_order_relaxed);
+  s.inline_shards = inline_shards_.load(std::memory_order_relaxed);
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  return s;
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -24,8 +24,10 @@
 // the machine beyond pool-size + callers.
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -67,6 +69,19 @@ struct ShardRange {
   return {shard * items / shards, (shard + 1) * items / shards};
 }
 
+/// Cumulative pool utilization (obs: exported as gauges from
+/// PlanService::metrics_snapshot()). `busy_ns` is wall time spent inside
+/// shard bodies summed over all executing threads — divided by elapsed
+/// wall time and worker count it gives pool utilization. `inline_shards`
+/// counts shards that bypassed the queue entirely (serial fast path).
+struct PoolStats {
+  std::size_t workers = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t shards = 0;
+  std::uint64_t inline_shards = 0;
+  std::uint64_t busy_ns = 0;
+};
+
 /// Fixed pool of helper threads executing shard jobs. The CALLER of run()
 /// participates too, so a pool with `workers == 0` still makes progress
 /// (everything runs inline on the caller). run() is safe to call from any
@@ -90,6 +105,11 @@ class ThreadPool {
   /// Exceptions: the one thrown by the LOWEST shard index is rethrown
   /// (deterministic); remaining shards still run to completion.
   void run(std::size_t shards, const std::function<void(std::size_t)>& fn);
+
+  /// Cumulative utilization counters since construction. Counters are
+  /// relaxed atomics bumped outside the scheduler lock, so a snapshot is
+  /// monotone but not cross-field consistent — fine for gauges.
+  [[nodiscard]] PoolStats stats() const;
 
   /// Process-wide shared pool with hardware_threads() - 1 helpers, created
   /// on first use. Intra-solve parallelism and the plan service both draw
@@ -118,6 +138,12 @@ class ThreadPool {
   std::deque<Job*> queue_;  // jobs that may still have shards to hand out
   std::vector<std::thread> threads_;
   bool stop_ = false;
+
+  // Utilization counters (see stats()); bumped with the lock released.
+  std::atomic<std::uint64_t> jobs_{0};
+  std::atomic<std::uint64_t> shards_{0};
+  std::atomic<std::uint64_t> inline_shards_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 /// Handle a solve carries into its column loops: which pool to use and how

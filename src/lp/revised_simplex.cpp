@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lp/scaling.h"
+#include "obs/trace.h"
 
 namespace ssco::lp {
 
@@ -626,6 +627,7 @@ bool RevisedSimplex::refactor() {
   // Factors the current basis from scratch and recomputes the basic values,
   // resetting accumulated floating-point drift. Nonbasic columns parked at
   // a finite upper bound contribute like a shifted right-hand side.
+  OBS_SPAN("factor");
   const auto t0 = Clock::now();
   auto lu = BasisLu::factor(A_, basis_);
   if (!lu) {
@@ -663,6 +665,7 @@ SimplexResult<double> solve_revised_simplex(const ExpandedModel& em,
   // the moment a phase-2 step would lift it.
   if (simplex.has_artificials() &&
       simplex.infeasibility() > RevisedSimplex::kFeasTol) {
+    OBS_SPAN("phase1");
     SolveStatus s1 =
         simplex.optimize(simplex.phase1_costs(), options, result.iterations);
     if (s1 == SolveStatus::kIterationLimit) {
@@ -679,7 +682,10 @@ SimplexResult<double> solve_revised_simplex(const ExpandedModel& em,
   }
 
   const std::vector<double> cost = simplex.phase2_costs();
-  SolveStatus s2 = simplex.optimize(cost, options, result.iterations);
+  SolveStatus s2 = [&] {
+    OBS_SPAN("phase2");
+    return simplex.optimize(cost, options, result.iterations);
+  }();
   result.status = s2;
   result.phase_times = simplex.phase_times();
   if (s2 != SolveStatus::kOptimal) return result;

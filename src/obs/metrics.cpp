@@ -1,0 +1,273 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ssco::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double old = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(old, old + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// Shortest round-trip decimal for the JSON / Prometheus value fields.
+std::string render_double(double v) {
+  if (std::isnan(v)) return "0";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+// ---- Histogram -------------------------------------------------------------
+
+void Histogram::record(double v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  std::size_t b = 0;
+  if (v > 0.0) {
+    const int e = std::ilogb(v);  // floor(log2 v)
+    // Smallest bucket whose upper bound 2^(idx-kZeroBuckets) covers v:
+    // exact powers of two sit in their own bucket, not the next one.
+    const int idx =
+        (v <= std::ldexp(1.0, e) ? e : e + 1) + kZeroBuckets;
+    b = idx < 0 ? 0
+                : std::min<std::size_t>(static_cast<std::size_t>(idx),
+                                        kBuckets - 1);
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_bound(std::size_t b) {
+  return std::ldexp(1.0, static_cast<int>(b) - kZeroBuckets);
+}
+
+Histogram::Data Histogram::data() const {
+  Data d;
+  d.count = count_.load(std::memory_order_relaxed);
+  d.sum = sum_.load(std::memory_order_relaxed);
+  d.buckets.resize(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    d.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
+double Histogram::Data::percentile(double q) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  // Nearest-rank over the cumulative bucket counts: the same definition as
+  // obs::nearest_rank_index, expressed on grouped data.
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(nearest_rank_index(q, total)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return Histogram::bucket_bound(b);
+  }
+  return Histogram::bucket_bound(buckets.size() - 1);
+}
+
+// ---- Snapshot --------------------------------------------------------------
+
+double Snapshot::Entry::as_double() const {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return static_cast<double>(counter);
+    case MetricKind::kGauge:
+      return gauge;
+    case MetricKind::kHistogram:
+      return static_cast<double>(histogram.count);
+  }
+  return 0.0;
+}
+
+const Snapshot::Entry* Snapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const Entry& e, std::string_view n) { return e.name < n; });
+  if (it == entries.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double Snapshot::value(std::string_view name, double fallback) const {
+  const Entry* e = find(name);
+  return e == nullptr ? fallback : e->as_double();
+}
+
+std::string Snapshot::prometheus() const {
+  std::ostringstream os;
+  for (const Entry& e : entries) {
+    if (!e.help.empty()) os << "# HELP " << e.name << " " << e.help << "\n";
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << e.name << " counter\n";
+        os << e.name << " " << e.counter << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << e.name << " gauge\n";
+        os << e.name << " " << render_double(e.gauge) << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        os << "# TYPE " << e.name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < e.histogram.buckets.size(); ++b) {
+          if (e.histogram.buckets[b] == 0 &&
+              b + 1 != e.histogram.buckets.size()) {
+            continue;  // elide empty buckets; cumulative counts stay exact
+          }
+          cumulative = 0;
+          for (std::size_t k = 0; k <= b; ++k) {
+            cumulative += e.histogram.buckets[k];
+          }
+          os << e.name << "_bucket{le=\""
+             << (b + 1 == e.histogram.buckets.size()
+                     ? std::string("+Inf")
+                     : render_double(Histogram::bucket_bound(b)))
+             << "\"} " << cumulative << "\n";
+        }
+        os << e.name << "_sum " << render_double(e.histogram.sum) << "\n";
+        os << e.name << "_count " << e.histogram.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string Snapshot::json() const {
+  std::ostringstream os;
+  os << "{\"epoch\":" << epoch;
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        os << ",\"" << e.name << "\":" << e.counter;
+        break;
+      case MetricKind::kGauge:
+        os << ",\"" << e.name << "\":" << render_double(e.gauge);
+        break;
+      case MetricKind::kHistogram:
+        os << ",\"" << e.name << "_count\":" << e.histogram.count;
+        os << ",\"" << e.name
+           << "_sum\":" << render_double(e.histogram.sum);
+        os << ",\"" << e.name << "_p50\":"
+           << render_double(e.histogram.percentile(0.50));
+        os << ",\"" << e.name << "_p90\":"
+           << render_double(e.histogram.percentile(0.90));
+        os << ",\"" << e.name << "_p99\":"
+           << render_double(e.histogram.percentile(0.99));
+        break;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+// ---- Registry --------------------------------------------------------------
+
+Registry::Slot& Registry::slot(const std::string& name, MetricKind kind,
+                               const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[name];
+  const bool fresh = s.counter == nullptr && s.gauge == nullptr &&
+                     s.histogram == nullptr;
+  if (fresh) {
+    s.kind = kind;
+    s.help = help;
+    switch (kind) {
+      case MetricKind::kCounter:
+        s.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        s.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else if (s.kind != kind) {
+    throw std::logic_error("obs::Registry: metric '" + name +
+                           "' re-registered with a different kind");
+  }
+  if (s.help.empty() && !help.empty()) s.help = help;
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  return *slot(name, MetricKind::kCounter, help).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  return *slot(name, MetricKind::kGauge, help).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help) {
+  return *slot(name, MetricKind::kHistogram, help).histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  // Exclusive epoch lock: every in-flight Batch (shared holders) finishes
+  // before we read, and none can start until we are done — the snapshot
+  // sees whole batches only.
+  std::unique_lock<std::shared_mutex> epoch_lock(epoch_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  out.epoch = epoch_.load(std::memory_order_relaxed);
+  out.entries.reserve(slots_.size());
+  for (const auto& [name, s] : slots_) {
+    Snapshot::Entry e;
+    e.name = name;
+    e.help = s.help;
+    e.kind = s.kind;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        e.counter = s.counter->value();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = s.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram = s.histogram->data();
+        break;
+    }
+    out.entries.push_back(std::move(e));
+  }
+  // std::map iteration is already name-sorted; keep the invariant explicit.
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+// ---- ScopedTimer -----------------------------------------------------------
+
+ScopedTimer::ScopedTimer(Counter& ns_total, Histogram* hist)
+    : ns_total_(ns_total), hist_(hist), start_ns_(steady_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const std::uint64_t ns = steady_ns() - start_ns_;
+  ns_total_.add(ns);
+  if (hist_ != nullptr) hist_->record(static_cast<double>(ns) / 1e6);
+}
+
+}  // namespace ssco::obs

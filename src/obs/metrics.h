@@ -1,0 +1,198 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges and histograms with
+// Prometheus text exposition and a JSON snapshot.
+//
+// Design goals, in order:
+//  * hot-path writes are single relaxed atomic RMWs — no lock, no
+//    allocation, no string hashing (callers hold a Counter& obtained once
+//    at registration);
+//  * MULTI-counter invariants survive snapshotting: a writer that must keep
+//    `hits + misses == lookups` true bumps all three inside a
+//    Registry::Batch (a shared-mode epoch guard); snapshot() excludes
+//    in-flight batches, so a reader can never observe half of one. Plain
+//    un-batched bumps stay lock-free — they promise no cross-counter
+//    invariant;
+//  * handles are stable for the registry's lifetime (node-based storage),
+//    so subsystems cache references at construction.
+//
+// Exposition: Snapshot::prometheus() is the standard text format
+// (`# TYPE` + one line per sample), Snapshot::json() a flat object — both
+// rendered from the SAME entries the human io/report tables read, which is
+// what keeps the three formats from drifting.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stats.h"
+
+namespace ssco::obs {
+
+/// Monotone event count. Relaxed increments; aggregated reads only.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void set(std::uint64_t n) { v_.store(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (efficiency, queue depth, rates).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed log2-bucketed histogram of non-negative samples (unit chosen by
+/// the caller; the solver uses milliseconds). Bucket b holds samples in
+/// (2^(b-1-kZeroBuckets), 2^(b-kZeroBuckets)]; bucket 0 holds everything
+/// <= 2^-kZeroBuckets, the last bucket is the overflow. Percentile
+/// estimates quote a bucket's upper bound — at worst 2x the true value,
+/// which is the right fidelity for a wall-clock distribution and keeps
+/// record() allocation-free.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr int kZeroBuckets = 20;  // resolves down to ~1e-6 units
+
+  void record(double v);
+
+  struct Data {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<std::uint64_t> buckets;  // kBuckets entries
+    /// Upper bound of the bucket holding the q-quantile sample
+    /// (nearest-rank over the bucket counts; 0 when empty).
+    [[nodiscard]] double percentile(double q) const;
+  };
+  [[nodiscard]] Data data() const;
+
+  /// Upper bound of bucket b, shared with the exposition formats.
+  [[nodiscard]] static double bucket_bound(std::size_t b);
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One coherent view of a registry, taken atomically with respect to
+/// Registry::Batch writers. Entries are sorted by name.
+struct Snapshot {
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;  // kCounter
+    double gauge = 0.0;         // kGauge
+    Histogram::Data histogram;  // kHistogram
+    /// Numeric value regardless of kind (histogram -> count).
+    [[nodiscard]] double as_double() const;
+  };
+
+  std::uint64_t epoch = 0;  // completed write batches at snapshot time
+  std::vector<Entry> entries;
+
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+  /// Value of `name` (see Entry::as_double), or `fallback` when absent.
+  [[nodiscard]] double value(std::string_view name,
+                             double fallback = 0.0) const;
+
+  /// Prometheus text exposition format.
+  [[nodiscard]] std::string prometheus() const;
+  /// Flat JSON object {"name": value, ..., "name_p50": ...}.
+  [[nodiscard]] std::string json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the named metric, registering it on first use. The reference
+  /// stays valid for the registry's lifetime. Re-registering an existing
+  /// name with a DIFFERENT kind throws std::logic_error.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+
+  /// Epoch guard for writers that maintain cross-counter invariants: all
+  /// bumps between construction and destruction land in the same snapshot.
+  /// Many batches may run concurrently (shared mode); only snapshot()
+  /// excludes them. Keep batches short — plain counter math only.
+  class Batch {
+   public:
+    explicit Batch(Registry& r) : r_(r) { r_.epoch_mu_.lock_shared(); }
+    ~Batch() {
+      r_.epoch_.fetch_add(1, std::memory_order_relaxed);
+      r_.epoch_mu_.unlock_shared();
+    }
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+   private:
+    Registry& r_;
+  };
+
+  /// Coherent point-in-time view: waits out in-flight Batches, then reads
+  /// every metric. Un-batched relaxed bumps may land on either side — they
+  /// carry no invariant by contract.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// The process-wide registry (solver aggregates land here).
+  [[nodiscard]] static Registry& global();
+
+ private:
+  struct Slot {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Slot& slot(const std::string& name, MetricKind kind,
+             const std::string& help);
+
+  mutable std::mutex mu_;  // registration + snapshot iteration
+  mutable std::shared_mutex epoch_mu_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::map<std::string, Slot> slots_;
+};
+
+/// RAII profiling hook: adds the scope's wall time to `ns_total`
+/// (nanoseconds) and, when given, records milliseconds into `hist` — the
+/// registry-backed generalization of the solver's SolvePhaseTimes buckets.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter& ns_total, Histogram* hist = nullptr);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Counter& ns_total_;
+  Histogram* hist_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace ssco::obs

@@ -1,0 +1,61 @@
+#pragma once
+// Shared order-statistics helpers for every percentile the system reports.
+//
+// The plan service's latency percentiles, the executor's per-edge
+// utilization summaries and the metrics registry's histogram estimates all
+// answer the same question ("which sample sits at quantile q of n?") — and
+// the PR-7 off-by-one lived exactly in one of two duplicated copies of the
+// answer. One tested definition lives here; everything else includes it.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ssco::obs {
+
+/// Index of the q-quantile (0 < q <= 1) of n ascending samples under the
+/// NEAREST-RANK definition: the smallest index i such that (i+1)/n >= q,
+/// i.e. ceil(q*n) - 1. The epsilon guards binary-float products like
+/// 0.9 * 100 = 90.000000000000014, which would otherwise push the ceiling
+/// one rank too high (p50 of 100 samples at rank 51 — the original bug).
+[[nodiscard]] inline std::size_t nearest_rank_index(double q, std::size_t n) {
+  if (n == 0) return 0;
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n) - 1e-9));
+  return std::min(n - 1, rank == 0 ? 0 : rank - 1);
+}
+
+/// q-quantile of an ALREADY ASCENDING sample vector (0 for an empty one).
+[[nodiscard]] inline double percentile_of_sorted(
+    const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  return sorted[nearest_rank_index(q, sorted.size())];
+}
+
+/// The repo's standard summary of a sample set: p50/p90/p99 plus the
+/// extremes. sort() is destructive on the argument copy by design — callers
+/// pass their samples by value.
+struct PercentileSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] inline PercentileSummary summarize(std::vector<double> samples) {
+  PercentileSummary out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.min = samples.front();
+  out.p50 = percentile_of_sorted(samples, 0.50);
+  out.p90 = percentile_of_sorted(samples, 0.90);
+  out.p99 = percentile_of_sorted(samples, 0.99);
+  out.max = samples.back();
+  return out;
+}
+
+}  // namespace ssco::obs

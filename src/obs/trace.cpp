@@ -1,0 +1,251 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "io/report.h"
+
+namespace ssco::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t row = 0;  // thread row or lane row (export-time id)
+  std::uint64_t arg = 0;
+  bool has_arg = false;
+};
+
+/// One bounded single-writer ring. The mutex is per-ring and uncontended on
+/// the hot path (only the owning thread records; only export() ever locks
+/// from outside), so record() costs an uncontended lock + one slot write.
+struct Ring {
+  explicit Ring(std::size_t capacity) : buf(capacity) {}
+  std::mutex mu;
+  std::vector<TraceEvent> buf;
+  std::uint64_t count = 0;  // total records; buf holds the last buf.size()
+  std::uint32_t row = 0;    // export row id (thread index)
+  bool is_lane_home = false;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> generation{1};
+  std::chrono::steady_clock::time_point epoch{};
+  std::size_t capacity = 1 << 14;
+
+  std::mutex registry_mu;
+  std::vector<std::unique_ptr<Ring>> rings;  // owned beyond thread exit
+  std::vector<std::string> lanes;
+};
+
+TraceState& state() {
+  static TraceState s;
+  return s;
+}
+
+constexpr std::uint32_t kLaneFlag = 0x80000000u;
+
+/// The calling thread's ring for the current enable() generation,
+/// registering a fresh one on first use after each enable().
+Ring* thread_ring() {
+  thread_local Ring* ring = nullptr;
+  thread_local std::uint64_t ring_generation = 0;
+  TraceState& s = state();
+  const std::uint64_t gen = s.generation.load(std::memory_order_acquire);
+  if (ring == nullptr || ring_generation != gen) {
+    std::lock_guard<std::mutex> lock(s.registry_mu);
+    s.rings.push_back(std::make_unique<Ring>(s.capacity));
+    ring = s.rings.back().get();
+    ring->row = static_cast<std::uint32_t>(s.rings.size() - 1);
+    ring_generation = gen;
+  }
+  return ring;
+}
+
+void push(Ring& ring, const TraceEvent& ev) {
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.buf[ring.count % ring.buf.size()] = ev;
+  ++ring.count;
+}
+
+void write_microseconds(std::ostream& os, std::uint64_t ns) {
+  // Exact fixed-point ns -> us rendering: no float rounding, so identical
+  // inputs always serialize identically (the determinism tests rely on it).
+  os << ns / 1000 << "." << static_cast<char>('0' + (ns % 1000) / 100)
+     << static_cast<char>('0' + (ns % 100) / 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+void Trace::enable(std::size_t events_per_thread) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  s.rings.clear();
+  s.lanes.clear();
+  s.capacity = events_per_thread == 0 ? 1 : events_per_thread;
+  s.epoch = std::chrono::steady_clock::now();
+  s.generation.fetch_add(1, std::memory_order_release);
+  s.enabled.store(true, std::memory_order_release);
+}
+
+void Trace::disable() {
+  state().enabled.store(false, std::memory_order_release);
+}
+
+bool Trace::enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Trace::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state().epoch)
+          .count());
+}
+
+void Trace::record(const char* name, const char* cat, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns, std::uint64_t arg, bool has_arg) {
+  if (!enabled()) return;
+  Ring* ring = thread_ring();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.row = ring->row;
+  ev.arg = arg;
+  ev.has_arg = has_arg;
+  push(*ring, ev);
+}
+
+std::uint32_t Trace::lane(const std::string& name) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  for (std::size_t i = 0; i < s.lanes.size(); ++i) {
+    if (s.lanes[i] == name) return static_cast<std::uint32_t>(i) | kLaneFlag;
+  }
+  s.lanes.push_back(name);
+  return static_cast<std::uint32_t>(s.lanes.size() - 1) | kLaneFlag;
+}
+
+void Trace::emit(std::uint32_t lane, const char* name, const char* cat,
+                 std::uint64_t ts_ns, std::uint64_t dur_ns, std::uint64_t arg,
+                 bool has_arg) {
+  if (!enabled()) return;
+  Ring* ring = thread_ring();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ts_ns = ts_ns;
+  ev.dur_ns = dur_ns;
+  ev.row = lane;
+  ev.arg = arg;
+  ev.has_arg = has_arg;
+  push(*ring, ev);
+}
+
+std::size_t Trace::event_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  std::size_t total = 0;
+  for (const auto& ring : s.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    total += static_cast<std::size_t>(
+        std::min<std::uint64_t>(ring->count, ring->buf.size()));
+  }
+  return total;
+}
+
+std::uint64_t Trace::dropped() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+  std::uint64_t total = 0;
+  for (const auto& ring : s.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    if (ring->count > ring->buf.size()) total += ring->count - ring->buf.size();
+  }
+  return total;
+}
+
+void Trace::write_json(std::ostream& os) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.registry_mu);
+
+  // Collect every buffered event, oldest-first per ring.
+  std::vector<TraceEvent> events;
+  std::size_t threads = s.rings.size();
+  for (const auto& ring : s.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    const std::uint64_t kept =
+        std::min<std::uint64_t>(ring->count, ring->buf.size());
+    for (std::uint64_t i = ring->count - kept; i < ring->count; ++i) {
+      events.push_back(ring->buf[i % ring->buf.size()]);
+    }
+  }
+  // Lanes render as extra rows after the thread rows.
+  for (TraceEvent& ev : events) {
+    if (ev.row & kLaneFlag) {
+      ev.row = static_cast<std::uint32_t>(threads) + (ev.row & ~kLaneFlag);
+    }
+  }
+  // Deterministic order: the export must not depend on which ring was
+  // visited first (the event-exec twin test compares whole files).
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     if (a.row != b.row) return a.row < b.row;
+                     const int by_name = std::strcmp(a.name, b.name);
+                     if (by_name != 0) return by_name < 0;
+                     return a.dur_ns < b.dur_ns;
+                   });
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (std::size_t t = 0; t < threads; ++t) {
+    comma();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+       << ",\"args\":{\"name\":\"thread-" << t << "\"}}";
+  }
+  for (std::size_t l = 0; l < s.lanes.size(); ++l) {
+    comma();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << threads + l << ",\"args\":{\"name\":\""
+       << io::json_escape(s.lanes[l]) << "\"}}";
+  }
+  for (const TraceEvent& ev : events) {
+    comma();
+    os << "{\"name\":\"" << io::json_escape(ev.name) << "\",\"cat\":\""
+       << io::json_escape(ev.cat) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.row << ",\"ts\":";
+    write_microseconds(os, ev.ts_ns);
+    os << ",\"dur\":";
+    write_microseconds(os, ev.dur_ns);
+    if (ev.has_arg) os << ",\"args\":{\"value\":" << ev.arg << "}";
+    os << "}";
+  }
+  os << "]}";
+}
+
+bool Trace::save(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace ssco::obs

@@ -1,35 +1,29 @@
 #pragma once
 // Observability surface of the plan service.
 //
-// Every counter is captured atomically-enough for operations dashboards
-// (shard counters are read under the shard lock, service counters are
-// relaxed atomics), not for cross-counter invariants: a snapshot taken
-// while requests are in flight may momentarily show e.g. submitted >
-// exact_hits + warm_hits + cold_solves + queued. After drain() the books
-// balance exactly — the tests rely on that.
+// Since the unified-registry migration the service counters live in an
+// obs::Registry owned by the PlanService: related counters are bumped
+// inside one Registry::Batch, and metrics() / metrics_snapshot() read a
+// single coherent Snapshot — so cross-counter invariants like
+// `cache_hits + cache_misses == cache_lookups` hold in EVERY snapshot,
+// not just after drain() (the old relaxed-atomics surface could
+// momentarily show hits > lookups mid-load). Shard counters are still
+// read under their shard locks.
 
-#include <algorithm>
-#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 #include "lp/exact_solver.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
 
 namespace ssco::service {
 
-/// Index of the q-quantile (0 < q <= 1) of n ascending samples under the
-/// NEAREST-RANK definition: the smallest index i such that (i+1)/n >= q,
-/// i.e. ceil(q*n) - 1. The epsilon guards binary-float products like
-/// 0.9 * 100 = 90.000000000000014, which would otherwise push the ceiling
-/// one rank too high — exactly the off-by-one this replaces (the old code
-/// used ceil(q * (n-1)), which reports p50 of 100 samples at rank 51).
-[[nodiscard]] inline std::size_t nearest_rank_index(double q, std::size_t n) {
-  if (n == 0) return 0;
-  const auto rank =
-      static_cast<std::size_t>(std::ceil(q * static_cast<double>(n) - 1e-9));
-  return std::min(n - 1, rank == 0 ? 0 : rank - 1);
-}
+/// The one nearest-rank quantile definition, shared with the executor's
+/// summaries and the registry histograms (obs/stats.h) — the PR-7
+/// off-by-one lived in a duplicated copy of exactly this function.
+using obs::nearest_rank_index;
 
 /// Bounded latency sample store with deterministic replacement: fills to
 /// capacity, then overwrites in strict arrival order (the slot cursor wraps
@@ -114,13 +108,24 @@ struct ServiceMetrics {
   }
 };
 
+/// The metrics as registry entries (counters/gauges named service_*): the
+/// SAME view PlanService::metrics_snapshot() exposes. format_metrics
+/// renders its tables from exactly this snapshot, so the human-readable
+/// table and the Prometheus/JSON expositions cannot drift apart.
+[[nodiscard]] obs::Snapshot snapshot_of(const ServiceMetrics& metrics);
+
+/// An ExactSolver's aggregate telemetry as registry entries (solver_*);
+/// format_solver_stats renders from exactly this snapshot.
+[[nodiscard]] obs::Snapshot snapshot_of(const lp::SolverStats& stats);
+
 /// Renders the metrics as io/report tables (shard table + totals) for
-/// benches and examples.
+/// benches and examples. Table values are read back from snapshot_of().
 [[nodiscard]] std::string format_metrics(const ServiceMetrics& metrics);
 
 /// Renders an ExactSolver's aggregate telemetry — solve/pivot counters plus
 /// the FTRAN/BTRAN/pricing/factorization wall-clock breakdown and presolve
-/// reductions — as an io/report table for benches and examples.
+/// reductions — as an io/report table for benches and examples. Values are
+/// read back from snapshot_of().
 [[nodiscard]] std::string format_solver_stats(const lp::SolverStats& stats);
 
 }  // namespace ssco::service

@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string_view>
 
 #include "exec/threaded_executor.h"
 #include "lp/parallel.h"
+#include "obs/trace.h"
 #include "sim/event_exec.h"
 
 namespace ssco::service {
@@ -19,11 +21,49 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Instant marker on the trace timeline (dedup, cache-hit class, ...).
+void trace_event(const char* name) {
+  if (obs::Trace::enabled()) {
+    obs::Trace::record(name, "service", obs::Trace::now_ns(), 0);
+  }
+}
+
 }  // namespace
 
 PlanService::PlanService(PlanServiceOptions options)
     : options_(options),
       cache_(options.num_shards, options.shard_capacity),
+      submitted_(registry_.counter("service_submitted", "requests accepted")),
+      deduplicated_(registry_.counter("service_deduplicated",
+                                      "attached to an in-flight solve")),
+      exact_hits_(registry_.counter("service_exact_hits",
+                                    "answered from cache")),
+      warm_hits_(registry_.counter("service_warm_hits",
+                                   "solved from a cached basis")),
+      cold_solves_(registry_.counter("service_cold_solves",
+                                     "solved from scratch")),
+      failed_(registry_.counter("service_failed", "solves that threw")),
+      cache_lookups_(registry_.counter("cache_lookups",
+                                       "exact-cache probes")),
+      cache_hits_(registry_.counter("cache_hits", "exact-cache probe hits")),
+      cache_misses_(registry_.counter("cache_misses",
+                                      "exact-cache probe misses")),
+      executions_(registry_.counter("service_executions",
+                                    "plans run on the data plane")),
+      drift_resolves_(registry_.counter("service_drift_resolves",
+                                        "drift-triggered warm re-solves")),
+      exec_oneport_violations_(registry_.counter(
+          "exec_oneport_violations", "one-port overlaps observed")),
+      exec_delivery_errors_(registry_.counter("exec_delivery_errors",
+                                              "payload delivery errors")),
+      last_efficiency_(registry_.gauge("exec_last_efficiency",
+                                       "achieved/certified, last run")),
+      last_achieved_bytes_per_sec_(
+          registry_.gauge("exec_last_achieved_bytes_per_sec")),
+      last_certified_bytes_per_sec_(
+          registry_.gauge("exec_last_certified_bytes_per_sec")),
+      latency_hist_(registry_.histogram("service_latency_ms",
+                                        "submit-to-fulfillment latency")),
       latency_(std::max<std::size_t>(1, options.latency_reservoir)) {
   std::size_t workers = options_.num_workers;
   if (workers == 0) {
@@ -53,6 +93,7 @@ void PlanService::shutdown() {
 }
 
 std::future<PlanResult> PlanService::submit(PlanRequest request) {
+  OBS_SPAN_CAT("submit", "service");
   const auto start = std::chrono::steady_clock::now();
   // Honor the shutdown contract BEFORE any fast path or counter: the
   // exact-hit path used to answer from cache after stopping_ was set, so a
@@ -65,7 +106,7 @@ std::future<PlanResult> PlanService::submit(PlanRequest request) {
       throw std::runtime_error("PlanService::submit after shutdown");
     }
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  submitted_.add(1);
   const RequestDigest d = digest(request);
 
   // Exact-hit fast path: answered inline, no queue, no solve.
@@ -74,7 +115,15 @@ std::future<PlanResult> PlanService::submit(PlanRequest request) {
   };
   if (auto payload =
           cache_.find_exact(d.key, d.fingerprint.structure, verify_exact)) {
-    exact_hits_.fetch_add(1, std::memory_order_relaxed);
+    {
+      // One Batch per lookup outcome: a snapshot either sees the whole
+      // probe (lookup + hit) or none of it — never hits > lookups.
+      obs::Registry::Batch batch(registry_);
+      cache_lookups_.add(1);
+      cache_hits_.add(1);
+      exact_hits_.add(1);
+    }
+    trace_event("exact_hit");
     PlanResult result;
     result.payload = std::move(payload);
     result.source = PlanResult::Source::kExactHit;
@@ -86,6 +135,11 @@ std::future<PlanResult> PlanService::submit(PlanRequest request) {
     ready.set_value(std::move(result));
     return future;
   }
+  {
+    obs::Registry::Batch batch(registry_);
+    cache_lookups_.add(1);
+    cache_misses_.add(1);
+  }
 
   std::lock_guard<std::mutex> lock(queue_mu_);
   if (stopping_) {
@@ -96,7 +150,8 @@ std::future<PlanResult> PlanService::submit(PlanRequest request) {
   // latency is the time IT waited, not the leader's.
   if (auto it = inflight_.find(d.key);
       it != inflight_.end() && same_request(request, it->second->request)) {
-    deduplicated_.fetch_add(1, std::memory_order_relaxed);
+    deduplicated_.add(1);
+    trace_event("dedup");
     it->second->waiters.push_back(Waiter{{}, start});
     return it->second->waiters.back().promise.get_future();
   }
@@ -170,9 +225,22 @@ void PlanService::process(const std::shared_ptr<Inflight>& job) {
     if (auto payload =
             cache_.find_exact(job->key, job->fingerprint.structure,
                               verify_exact, /*count_miss=*/false)) {
-      exact_hits_.fetch_add(1, std::memory_order_relaxed);
+      // count_miss=false only spares the SHARD's stats; the registry's
+      // lookup family records every probe so its invariant stays strict.
+      {
+        obs::Registry::Batch batch(registry_);
+        cache_lookups_.add(1);
+        cache_hits_.add(1);
+        exact_hits_.add(1);
+      }
+      trace_event("exact_hit");
       fulfill(std::move(payload), PlanResult::Source::kExactHit);
       return;
+    }
+    {
+      obs::Registry::Batch batch(registry_);
+      cache_lookups_.add(1);
+      cache_misses_.add(1);
     }
 
     std::shared_ptr<const PlanPayload> warm_from;
@@ -183,14 +251,20 @@ void PlanService::process(const std::shared_ptr<Inflight>& job) {
             return warm_compatible(job->request, p.request);
           });
     }
+    const std::uint64_t solve_t0 =
+        obs::Trace::enabled() ? obs::Trace::now_ns() : 0;
     std::shared_ptr<PlanPayload> payload = solve(job->request, warm_from);
     const bool warm = warm_from != nullptr && payload->warm_started();
-    (warm ? warm_hits_ : cold_solves_).fetch_add(1, std::memory_order_relaxed);
+    if (obs::Trace::enabled()) {
+      obs::Trace::record(warm ? "warm_solve" : "cold_solve", "service",
+                         solve_t0, obs::Trace::now_ns() - solve_t0);
+    }
+    (warm ? warm_hits_ : cold_solves_).add(1);
     cache_.insert(job->key, job->fingerprint.structure, payload);
     fulfill(std::move(payload), warm ? PlanResult::Source::kWarmHit
                                      : PlanResult::Source::kColdSolve);
   } catch (...) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    failed_.add(1);
     drop_inflight();
     for (Waiter& waiter : job->waiters) {
       waiter.promise.set_exception(std::current_exception());
@@ -242,6 +316,7 @@ void PlanService::record_latency(double ms) {
   // dominated by the WL fingerprint digest (tens of microseconds), not by
   // this mutex. Revisit (striped reservoirs or 1-in-N sampling) only if a
   // profile ever shows hand-off here.
+  latency_hist_.record(ms);
   std::lock_guard<std::mutex> lock(latency_mu_);
   latency_.record(ms);
 }
@@ -253,50 +328,79 @@ void PlanService::drain() {
   });
 }
 
-ServiceMetrics PlanService::metrics() const {
-  ServiceMetrics m;
-  m.shards = cache_.shard_metrics();
-  m.submitted = submitted_.load(std::memory_order_relaxed);
-  m.deduplicated = deduplicated_.load(std::memory_order_relaxed);
-  m.exact_hits = exact_hits_.load(std::memory_order_relaxed);
-  m.warm_hits = warm_hits_.load(std::memory_order_relaxed);
-  m.cold_solves = cold_solves_.load(std::memory_order_relaxed);
-  m.failed = failed_.load(std::memory_order_relaxed);
+obs::Snapshot PlanService::metrics_snapshot() const {
+  // Refresh the point-in-time gauges, then snapshot. The snapshot itself
+  // excludes every in-progress Batch, so the counter families are
+  // internally consistent; gauges are merely freshest-known.
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
-    m.queue_depth = queue_.size();
-    m.max_queue_depth = max_queue_depth_;
+    registry_.gauge("service_queue_depth")
+        .set(static_cast<double>(queue_.size()));
+    registry_.gauge("service_max_queue_depth")
+        .set(static_cast<double>(max_queue_depth_));
   }
-  std::vector<double> samples;
   {
     std::lock_guard<std::mutex> lock(latency_mu_);
-    samples = latency_.samples();
+    const obs::PercentileSummary s = obs::summarize(latency_.samples());
+    registry_.counter("service_latency_samples").set(s.count);
+    registry_.gauge("service_latency_p50_ms").set(s.p50);
+    registry_.gauge("service_latency_p90_ms").set(s.p90);
+    registry_.gauge("service_latency_p99_ms").set(s.p99);
   }
-  m.latency_samples = samples.size();
-  if (!samples.empty()) {
-    std::sort(samples.begin(), samples.end());
-    auto pct = [&](double q) {
-      return samples[nearest_rank_index(q, samples.size())];
-    };
-    m.p50_ms = pct(0.50);
-    m.p90_ms = pct(0.90);
-    m.p99_ms = pct(0.99);
-  }
-  {
-    std::lock_guard<std::mutex> lock(exec_mu_);
-    m.executions = executions_;
-    m.drift_resolves = drift_resolves_;
-    m.exec_oneport_violations = exec_oneport_violations_;
-    m.exec_delivery_errors = exec_delivery_errors_;
-    m.last_efficiency = last_efficiency_;
-    m.last_achieved_bytes_per_sec = last_achieved_bytes_per_sec_;
-    m.last_certified_bytes_per_sec = last_certified_bytes_per_sec_;
-  }
+  const std::size_t served =
+      exact_hits_.value() + warm_hits_.value() + cold_solves_.value();
+  registry_.gauge("service_hit_rate")
+      .set(served == 0 ? 0.0
+                       : static_cast<double>(exact_hits_.value() +
+                                             warm_hits_.value()) /
+                             static_cast<double>(served));
+  const lp::PoolStats pool = lp::ThreadPool::shared().stats();
+  registry_.gauge("pool_workers").set(static_cast<double>(pool.workers));
+  registry_.gauge("pool_jobs").set(static_cast<double>(pool.jobs));
+  registry_.gauge("pool_shards").set(static_cast<double>(pool.shards));
+  registry_.gauge("pool_inline_shards")
+      .set(static_cast<double>(pool.inline_shards));
+  registry_.gauge("pool_busy_ms")
+      .set(static_cast<double>(pool.busy_ns) / 1e6);
+  return registry_.snapshot();
+}
+
+ServiceMetrics PlanService::metrics() const {
+  // Filled from the SAME snapshot metrics_snapshot() exposes: one source
+  // of truth for the struct, the tables and the Prometheus/JSON views.
+  const obs::Snapshot snap = metrics_snapshot();
+  auto count = [&](std::string_view name) {
+    return static_cast<std::size_t>(snap.value(name));
+  };
+  ServiceMetrics m;
+  m.shards = cache_.shard_metrics();
+  m.submitted = count("service_submitted");
+  m.deduplicated = count("service_deduplicated");
+  m.exact_hits = count("service_exact_hits");
+  m.warm_hits = count("service_warm_hits");
+  m.cold_solves = count("service_cold_solves");
+  m.failed = count("service_failed");
+  m.queue_depth = count("service_queue_depth");
+  m.max_queue_depth = count("service_max_queue_depth");
+  m.latency_samples = count("service_latency_samples");
+  m.p50_ms = snap.value("service_latency_p50_ms");
+  m.p90_ms = snap.value("service_latency_p90_ms");
+  m.p99_ms = snap.value("service_latency_p99_ms");
+  m.executions = count("service_executions");
+  m.drift_resolves = count("service_drift_resolves");
+  m.exec_oneport_violations = count("exec_oneport_violations");
+  m.exec_delivery_errors = count("exec_delivery_errors");
+  m.last_efficiency = snap.value("exec_last_efficiency");
+  m.last_achieved_bytes_per_sec =
+      snap.value("exec_last_achieved_bytes_per_sec");
+  m.last_certified_bytes_per_sec =
+      snap.value("exec_last_certified_bytes_per_sec");
   return m;
 }
 
 PlanService::ExecuteResult PlanService::execute(const PlanRequest& request,
                                                 const ExecuteOptions& options) {
+  OBS_SPAN_CAT("execute", "service");
   ExecuteResult out;
   out.plan = submit(request).get();
 
@@ -321,6 +425,7 @@ PlanService::ExecuteResult PlanService::execute(const PlanRequest& request,
     out.drift = exec::infer_cost_drift(pf, out.report,
                                        options.drift_threshold);
     if (!out.drift.empty()) {
+      OBS_SPAN_CAT("drift_resolve", "service");
       auto applied = platform::apply_delta(pf, out.drift);
       out.drifted_request = request;
       std::visit(
@@ -334,14 +439,14 @@ PlanService::ExecuteResult PlanService::execute(const PlanRequest& request,
   }
 
   {
-    std::lock_guard<std::mutex> lock(exec_mu_);
-    ++executions_;
-    if (out.resolved) ++drift_resolves_;
-    exec_oneport_violations_ += out.report.oneport_violations;
-    exec_delivery_errors_ += out.report.delivery_errors;
-    last_efficiency_ = out.report.efficiency;
-    last_achieved_bytes_per_sec_ = out.report.achieved_bytes_per_sec;
-    last_certified_bytes_per_sec_ = out.report.certified_bytes_per_sec;
+    obs::Registry::Batch batch(registry_);
+    executions_.add(1);
+    if (out.resolved) drift_resolves_.add(1);
+    exec_oneport_violations_.add(out.report.oneport_violations);
+    exec_delivery_errors_.add(out.report.delivery_errors);
+    last_efficiency_.set(out.report.efficiency);
+    last_achieved_bytes_per_sec_.set(out.report.achieved_bytes_per_sec);
+    last_certified_bytes_per_sec_.set(out.report.certified_bytes_per_sec);
   }
   return out;
 }

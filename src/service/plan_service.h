@@ -40,6 +40,7 @@
 
 #include "exec/exec_report.h"
 #include "exec/program.h"
+#include "obs/metrics.h"
 #include "platform/delta.h"
 #include "service/metrics.h"
 #include "service/plan_cache.h"
@@ -139,6 +140,14 @@ class PlanService {
 
   [[nodiscard]] ServiceMetrics metrics() const;
 
+  /// The unified registry view: every service counter, the cache-lookup
+  /// invariant counters, latency percentiles, data-plane gauges and the
+  /// shared thread pool's utilization, captured in ONE atomically
+  /// consistent snapshot (obs::Registry::Batch guarantees e.g.
+  /// cache_hits + cache_misses == cache_lookups in every snapshot).
+  /// Expose with .prometheus() or .json().
+  [[nodiscard]] obs::Snapshot metrics_snapshot() const;
+
  private:
   /// One client blocked on an in-flight solve. Each waiter keeps its OWN
   /// submit stamp: a deduplicated follower that attached late must report
@@ -178,27 +187,38 @@ class PlanService {
   bool stopping_ = false;
   std::size_t active_jobs_ = 0;
 
-  // Service counters (queue_mu_ for queue stats; the rest relaxed atomics).
-  std::size_t max_queue_depth_ = 0;
-  std::atomic<std::size_t> submitted_{0};
-  std::atomic<std::size_t> deduplicated_{0};
-  std::atomic<std::size_t> exact_hits_{0};
-  std::atomic<std::size_t> warm_hits_{0};
-  std::atomic<std::size_t> cold_solves_{0};
-  std::atomic<std::size_t> failed_{0};
+  // Unified metrics registry (see metrics_snapshot()). Counters that must
+  // stay cross-consistent (the request-outcome family, the cache-lookup
+  // family) are bumped inside one Registry::Batch at each event site, so a
+  // concurrent snapshot can never observe half an event. The references
+  // below are resolved once at construction — bumping is lock-free.
+  // `mutable` so const readers can refresh point-in-time gauges.
+  mutable obs::Registry registry_;
+  obs::Counter& submitted_;
+  obs::Counter& deduplicated_;
+  obs::Counter& exact_hits_;
+  obs::Counter& warm_hits_;
+  obs::Counter& cold_solves_;
+  obs::Counter& failed_;
+  obs::Counter& cache_lookups_;
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Counter& executions_;
+  obs::Counter& drift_resolves_;
+  obs::Counter& exec_oneport_violations_;
+  obs::Counter& exec_delivery_errors_;
+  obs::Gauge& last_efficiency_;
+  obs::Gauge& last_achieved_bytes_per_sec_;
+  obs::Gauge& last_certified_bytes_per_sec_;
+  obs::Histogram& latency_hist_;
 
+  // Queue stats (queue_mu_, alongside the queue itself).
+  std::size_t max_queue_depth_ = 0;
+
+  // Exact-percentile reservoir; the histogram above serves the registry's
+  // bucketed view, the reservoir the tables' exact one.
   mutable std::mutex latency_mu_;
   LatencyReservoir latency_;
-
-  // Execution data plane counters (exec_mu_).
-  mutable std::mutex exec_mu_;
-  std::size_t executions_ = 0;
-  std::size_t drift_resolves_ = 0;
-  std::size_t exec_oneport_violations_ = 0;
-  std::size_t exec_delivery_errors_ = 0;
-  double last_efficiency_ = 0.0;
-  double last_achieved_bytes_per_sec_ = 0.0;
-  double last_certified_bytes_per_sec_ = 0.0;
 
   std::vector<std::thread> workers_;
 };

@@ -9,6 +9,11 @@
 // scheduler jitter, and fill the same ExecReport — so the gap between this
 // report's efficiency and the threaded one's is precisely the cost of
 // running on a real machine (DESIGN.md: execution data plane).
+//
+// Reproducibility extends to tracing (obs/trace.h): two simulate runs of
+// the same program admit the same steps at the same virtual instants from
+// one thread, so their exported traces are bit-identical after aligning
+// the run-start offset — the trace test suite pins this down.
 
 #include "core/steady_state.h"
 #include "exec/exec_report.h"

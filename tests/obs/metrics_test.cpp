@@ -1,0 +1,176 @@
+// Metrics registry: handle stability, kind safety, log2 histogram
+// bucketing (exact powers of two stay in their own bucket), the Batch
+// epoch guard's cross-counter invariant under concurrent snapshots, and
+// both exposition formats. ObsRegistry runs under ASan and TSan in CI.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ssco::obs {
+namespace {
+
+TEST(ObsRegistry, CounterAndGaugeBasics) {
+  Registry reg;
+  Counter& c = reg.counter("requests", "total requests");
+  c.add();
+  c.add(2);
+  EXPECT_EQ(c.value(), 3u);
+  // Same name returns the SAME metric, not a new one.
+  EXPECT_EQ(&reg.counter("requests"), &c);
+
+  Gauge& g = reg.gauge("depth");
+  g.set(1.5);
+  EXPECT_EQ(g.value(), 1.5);
+}
+
+TEST(ObsRegistry, KindMismatchThrows) {
+  Registry reg;
+  (void)reg.counter("x");
+  EXPECT_THROW((void)reg.gauge("x"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("x"), std::logic_error);
+}
+
+TEST(ObsRegistry, HistogramBucketsExactPowersOfTwo) {
+  // Bucket b covers (2^(b-1-kZeroBuckets), 2^(b-kZeroBuckets)]: an exact
+  // power of two is the INCLUSIVE upper bound of its own bucket.
+  Histogram h;
+  h.record(1.0);
+  const Histogram::Data d = h.data();
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.buckets[Histogram::kZeroBuckets], 1u);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(Histogram::kZeroBuckets), 1.0);
+  EXPECT_DOUBLE_EQ(d.percentile(0.5), 1.0);
+
+  Histogram h2;
+  h2.record(2.0);  // upper bound of bucket kZeroBuckets + 1, not + 2
+  EXPECT_EQ(h2.data().buckets[Histogram::kZeroBuckets + 1], 1u);
+  h2.record(2.0001);  // just past the bound -> next bucket
+  EXPECT_EQ(h2.data().buckets[Histogram::kZeroBuckets + 2], 1u);
+}
+
+TEST(ObsRegistry, HistogramPercentilesQuoteBucketUpperBounds) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(0.4);  // bucket bound 0.5
+  for (int i = 0; i < 10; ++i) h.record(3.0);  // bucket bound 4.0
+  const Histogram::Data d = h.data();
+  EXPECT_EQ(d.count, 100u);
+  EXPECT_DOUBLE_EQ(d.percentile(0.50), 0.5);
+  EXPECT_DOUBLE_EQ(d.percentile(0.90), 0.5);
+  EXPECT_DOUBLE_EQ(d.percentile(0.99), 4.0);
+  EXPECT_NEAR(d.sum, 90 * 0.4 + 10 * 3.0, 1e-9);
+  // Zero and negative samples land in bucket 0.
+  Histogram z;
+  z.record(0.0);
+  EXPECT_EQ(z.data().buckets[0], 1u);
+}
+
+TEST(ObsRegistry, BatchInvariantHoldsInEverySnapshot) {
+  // Writers keep `hits + misses == lookups` true by bumping all three
+  // inside one Batch; a concurrent snapshot() may never see a half batch.
+  Registry reg;
+  Counter& lookups = reg.counter("lookups");
+  Counter& hits = reg.counter("hits");
+  Counter& misses = reg.counter("misses");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        Registry::Batch batch(reg);
+        lookups.add(1);
+        ((i + w) % 3 == 0 ? hits : misses).add(1);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Snapshot snap = reg.snapshot();
+      EXPECT_EQ(snap.value("hits") + snap.value("misses"),
+                snap.value("lookups"));
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const Snapshot last = reg.snapshot();
+  EXPECT_EQ(last.value("lookups"), kWriters * kPerWriter);
+  EXPECT_EQ(last.value("hits") + last.value("misses"),
+            kWriters * kPerWriter);
+  // Every completed batch bumped the epoch.
+  EXPECT_GE(last.epoch, static_cast<std::uint64_t>(kWriters * kPerWriter));
+}
+
+TEST(ObsRegistry, ScopedTimerAccumulates) {
+  Registry reg;
+  Counter& ns = reg.counter("phase_ns");
+  Histogram& hist = reg.histogram("phase_ms");
+  {
+    ScopedTimer timer(ns, &hist);
+  }
+  {
+    ScopedTimer timer(ns);
+  }
+  EXPECT_GT(ns.value(), 0u);
+  EXPECT_EQ(hist.data().count, 1u);
+}
+
+TEST(ObsRegistry, SnapshotFindAndFallback) {
+  Registry reg;
+  reg.counter("a").add(7);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_NE(snap.find("a"), nullptr);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+  EXPECT_EQ(snap.value("a"), 7.0);
+  EXPECT_EQ(snap.value("missing", -1.0), -1.0);
+}
+
+TEST(ObsRegistry, PrometheusExposition) {
+  Registry reg;
+  reg.counter("reqs", "total requests").add(3);
+  reg.gauge("eff").set(0.75);
+  Histogram& h = reg.histogram("lat_ms", "latency");
+  h.record(1.0);
+  h.record(3.0);
+
+  const std::string text = reg.snapshot().prometheus();
+  EXPECT_NE(text.find("# HELP reqs total requests"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE reqs counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE eff gauge"), std::string::npos);
+  EXPECT_NE(text.find("eff 0.75"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 2"), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonExposition) {
+  Registry reg;
+  reg.counter("reqs").add(3);
+  reg.gauge("eff").set(0.5);
+  reg.histogram("lat_ms").record(1.0);
+
+  const std::string json = reg.snapshot().json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"epoch\":"), std::string::npos);
+  EXPECT_NE(json.find("\"reqs\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"eff\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_ms_count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_ms_p50\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssco::obs

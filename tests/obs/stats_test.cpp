@@ -1,0 +1,63 @@
+// The single percentile definition every subsystem shares (obs/stats.h).
+// The PR-7 p50-off-by-one lived in a duplicated copy of this logic; these
+// edge cases pin the nearest-rank contract so it cannot regress quietly.
+
+#include "obs/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ssco::obs {
+namespace {
+
+TEST(ObsStats, NearestRankEmptyAndSingleton) {
+  EXPECT_EQ(nearest_rank_index(0.5, 0), 0u);
+  EXPECT_EQ(nearest_rank_index(0.01, 1), 0u);
+  EXPECT_EQ(nearest_rank_index(0.5, 1), 0u);
+  EXPECT_EQ(nearest_rank_index(1.0, 1), 0u);
+}
+
+TEST(ObsStats, NearestRankTwoSamples) {
+  // Median of two = the LOWER sample under nearest-rank (ceil(1) - 1 = 0).
+  EXPECT_EQ(nearest_rank_index(0.5, 2), 0u);
+  EXPECT_EQ(nearest_rank_index(0.51, 2), 1u);
+  EXPECT_EQ(nearest_rank_index(1.0, 2), 1u);
+}
+
+TEST(ObsStats, NearestRankHundredSamples) {
+  // 0.9 * 100 is 90.000000000000014 in binary floats; without the epsilon
+  // the ceiling lands on rank 91 — the original bug.
+  EXPECT_EQ(nearest_rank_index(0.50, 100), 49u);
+  EXPECT_EQ(nearest_rank_index(0.90, 100), 89u);
+  EXPECT_EQ(nearest_rank_index(0.99, 100), 98u);
+  EXPECT_EQ(nearest_rank_index(1.00, 100), 99u);
+  EXPECT_EQ(nearest_rank_index(0.01, 100), 0u);
+}
+
+TEST(ObsStats, PercentileOfSorted) {
+  EXPECT_EQ(percentile_of_sorted({}, 0.5), 0.0);
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(percentile_of_sorted(v, 0.5), 2.0);
+  EXPECT_EQ(percentile_of_sorted(v, 1.0), 4.0);
+}
+
+TEST(ObsStats, SummarizeHundred) {
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(static_cast<double>(i));
+  const PercentileSummary s = summarize(samples);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.p50, 50.0);
+  EXPECT_EQ(s.p90, 90.0);
+  EXPECT_EQ(s.p99, 99.0);
+  EXPECT_EQ(s.max, 100.0);
+}
+
+TEST(ObsStats, SummarizeEmpty) {
+  const PercentileSummary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+}  // namespace
+}  // namespace ssco::obs

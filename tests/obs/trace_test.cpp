@@ -1,0 +1,242 @@
+// Span tracing: the zero-cost-when-disabled contract, bounded-ring wrap /
+// drop accounting, lane rows, the Chrome trace-event schema of an emitted
+// file, and the determinism claim the discrete-event backend makes — two
+// identical simulate runs export bit-identical traces once the run-start
+// offset is subtracted (sim/event_exec.h).
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/steady_state.h"
+#include "platform/paper_instances.h"
+#include "sim/event_exec.h"
+
+namespace ssco::obs {
+namespace {
+
+std::string export_json() {
+  std::ostringstream os;
+  Trace::write_json(os);
+  return os.str();
+}
+
+/// Rewrites every `"ts":<microseconds>` as integer nanoseconds since the
+/// trace's FIRST event, erasing the wall-clock run-start offset that
+/// Trace::enable() and the engines stamp. Durations are left untouched —
+/// they are already offset-free.
+std::string normalize_timestamps(const std::string& json) {
+  const std::string key = "\"ts\":";
+  auto parse_ns = [&](std::size_t pos, std::uint64_t* ns) {
+    std::uint64_t whole = 0;
+    std::size_t i = pos;
+    while (i < json.size() && std::isdigit(static_cast<unsigned char>(
+                                  json[i])) != 0) {
+      whole = whole * 10 + static_cast<std::uint64_t>(json[i] - '0');
+      ++i;
+    }
+    std::uint64_t frac = 0;
+    int digits = 0;
+    if (i < json.size() && json[i] == '.') {
+      ++i;
+      while (i < json.size() && std::isdigit(static_cast<unsigned char>(
+                                    json[i])) != 0) {
+        frac = frac * 10 + static_cast<std::uint64_t>(json[i] - '0');
+        ++digits;
+        ++i;
+      }
+    }
+    while (digits < 3) {
+      frac *= 10;
+      ++digits;
+    }
+    *ns = whole * 1000 + frac;
+    return i;
+  };
+
+  std::uint64_t min_ns = ~std::uint64_t{0};
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1)) {
+    std::uint64_t ns = 0;
+    parse_ns(pos + key.size(), &ns);
+    min_ns = std::min(min_ns, ns);
+  }
+
+  std::string out;
+  std::size_t copied = 0;
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1)) {
+    std::uint64_t ns = 0;
+    const std::size_t end = parse_ns(pos + key.size(), &ns);
+    out.append(json, copied, pos + key.size() - copied);
+    out += std::to_string(ns - min_ns);
+    copied = end;
+  }
+  out.append(json, copied, std::string::npos);
+  return out;
+}
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  Trace::enable(16);
+  Trace::disable();
+  {
+    OBS_SPAN("dead");
+    OBS_SPAN_CAT("also_dead", "service");
+  }
+  Trace::record("manual", "test", 0, 1);
+  EXPECT_EQ(Trace::event_count(), 0u);
+  EXPECT_EQ(Trace::dropped(), 0u);
+}
+
+TEST(ObsTrace, SpansAreRecordedWithCategoryAndArg) {
+  Trace::enable(64);
+  {
+    SpanGuard span("pivot", "solver");
+    span.set_arg(42);
+  }
+  { OBS_SPAN_CAT("lookup", "service"); }
+  Trace::disable();
+
+  EXPECT_EQ(Trace::event_count(), 2u);
+  const std::string json = export_json();
+  EXPECT_NE(json.find("\"name\":\"pivot\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"solver\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":42}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"lookup\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"service\""), std::string::npos);
+}
+
+TEST(ObsTrace, RingWrapKeepsNewestAndCountsDrops) {
+  Trace::enable(4);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Trace::record("ev", "test", i * 1000, 10, i, true);
+  }
+  Trace::disable();
+
+  EXPECT_EQ(Trace::event_count(), 4u);
+  EXPECT_EQ(Trace::dropped(), 2u);
+  const std::string json = export_json();
+  // Oldest two overwritten, newest four kept.
+  EXPECT_EQ(json.find("{\"value\":0}"), std::string::npos);
+  EXPECT_EQ(json.find("{\"value\":1}"), std::string::npos);
+  for (std::uint64_t kept = 2; kept < 6; ++kept) {
+    EXPECT_NE(json.find("{\"value\":" + std::to_string(kept) + "}"),
+              std::string::npos)
+        << "event " << kept << " missing";
+  }
+}
+
+TEST(ObsTrace, EnableResetsPreviousEvents) {
+  Trace::enable(16);
+  Trace::record("stale", "test", 0, 1);
+  Trace::enable(16);  // restart: clears rings and the timeline
+  Trace::record("fresh", "test", 0, 1);
+  Trace::disable();
+  EXPECT_EQ(Trace::event_count(), 1u);
+  const std::string json = export_json();
+  EXPECT_EQ(json.find("\"name\":\"stale\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fresh\""), std::string::npos);
+}
+
+TEST(ObsTrace, LanesRenderAsNamedRowsAfterThreads) {
+  Trace::enable(16);
+  const std::uint32_t port = Trace::lane("node3 out");
+  Trace::emit(port, "send", "exec", 100, 50, 4096, true);
+  Trace::disable();
+
+  const std::string json = export_json();
+  // Lane metadata row is named after the lane; the emitting thread took
+  // row 0, so the lane renders at row 1.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"node3 out\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"send\",\"cat\":\"exec\",\"ph\":\"X\","
+                      "\"pid\":1,\"tid\":1"),
+            std::string::npos);
+  // Same lane name -> same id.
+  EXPECT_EQ(Trace::lane("node3 out"), port);
+}
+
+TEST(ObsTrace, ChromeJsonSchema) {
+  Trace::enable(64);
+  { OBS_SPAN("solve"); }
+  Trace::disable();
+
+  const std::string json = export_json();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  // Metadata rows precede spans; every span is a complete ("X") event with
+  // microsecond ts/dur fields.
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Balanced braces — cheap structural sanity without a JSON parser.
+  std::ptrdiff_t depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(ObsTrace, SaveWritesLoadableFile) {
+  Trace::enable(16);
+  { OBS_SPAN("persisted"); }
+  Trace::disable();
+
+  const std::string path = ::testing::TempDir() + "obs_trace_save_test.json";
+  ASSERT_TRUE(Trace::save(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), export_json());
+  EXPECT_FALSE(Trace::save("/nonexistent-dir/trace.json"));
+}
+
+TEST(ObsTrace, TwinSimulationsExportBitIdenticalTraces) {
+  // The discrete-event backend admits the same steps at the same virtual
+  // instants on every run of the same program; after subtracting the
+  // run-start offset the two exported traces must be byte-equal — ordering
+  // included, which is what the export's deterministic sort guarantees.
+  const auto inst = platform::fig2_toy();
+  const auto plan = core::optimize_scatter(inst);
+  exec::ExecOptions opt;
+  opt.warmup_periods = 4;
+  opt.measure_periods = 8;
+  opt.target_period_seconds = 4e-3;
+
+  Trace::enable();
+  const exec::ExecReport a =
+      sim::simulate_flow_execution(inst.platform, plan, opt);
+  Trace::disable();
+  const std::string first = normalize_timestamps(export_json());
+  const std::size_t first_events = Trace::event_count();
+
+  Trace::enable();
+  const exec::ExecReport b =
+      sim::simulate_flow_execution(inst.platform, plan, opt);
+  Trace::disable();
+  const std::string second = normalize_timestamps(export_json());
+
+  EXPECT_GT(first_events, 0u);
+  EXPECT_EQ(Trace::event_count(), first_events);
+  EXPECT_EQ(a.operations, b.operations);
+  EXPECT_EQ(first, second);
+  // The per-port occupations made it out: send and recv lanes with byte
+  // payload args, on the exec category.
+  EXPECT_NE(first.find("\"name\":\"send\""), std::string::npos);
+  EXPECT_NE(first.find("\"name\":\"recv\""), std::string::npos);
+  EXPECT_NE(first.find("\"cat\":\"exec\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssco::obs

@@ -1,0 +1,122 @@
+// Unified metrics surface of the plan service: metrics_snapshot() must be
+// one coherent registry view — the cache invariant `hits + misses ==
+// lookups` holds in EVERY snapshot, even taken mid-storm (the torn-read
+// bug this PR retires), the ServiceMetrics struct and both exposition
+// formats project from the same snapshot, and a cold solve lands in the
+// process-wide solver aggregates. Suite name keeps it inside the
+// *PlanService* TSan CI target.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/metrics.h"
+#include "service/plan_service.h"
+#include "testing/util.h"
+
+namespace ssco::service {
+namespace {
+
+PlanRequest scatter_request(std::uint64_t seed, std::size_t n = 8,
+                            std::size_t targets = 3) {
+  PlanRequest request;
+  request.instance = testing::random_scatter_instance(seed, n, targets);
+  return request;
+}
+
+TEST(PlanServiceObs, SnapshotCacheInvariantHoldsUnderConcurrentLoad) {
+  PlanServiceOptions options;
+  options.num_workers = 2;
+  PlanService service(options);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::Snapshot snap = service.metrics_snapshot();
+      // The whole point of Registry::Batch: no snapshot may ever observe a
+      // lookup whose hit/miss classification has not landed yet.
+      EXPECT_EQ(snap.value("cache_hits") + snap.value("cache_misses"),
+                snap.value("cache_lookups"));
+    }
+  });
+
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kPerClient = 30;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        // Small seed pool: plenty of hits AND misses interleaving.
+        (void)service.submit(scatter_request(1 + (t + i) % 4)).get();
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  service.drain();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const obs::Snapshot snap = service.metrics_snapshot();
+  EXPECT_EQ(snap.value("service_submitted"), kClients * kPerClient);
+  EXPECT_EQ(snap.value("cache_hits") + snap.value("cache_misses"),
+            snap.value("cache_lookups"));
+  EXPECT_GT(snap.value("cache_hits"), 0.0);
+  EXPECT_GT(snap.value("cache_misses"), 0.0);
+}
+
+TEST(PlanServiceObs, StructAndExpositionsProjectFromOneSnapshot) {
+  PlanServiceOptions options;
+  options.num_workers = 2;
+  PlanService service(options);
+  (void)service.submit(scatter_request(3)).get();
+  (void)service.submit(scatter_request(3)).get();
+  service.drain();
+
+  const obs::Snapshot snap = service.metrics_snapshot();
+  const ServiceMetrics metrics = service.metrics();
+  EXPECT_EQ(static_cast<double>(metrics.submitted),
+            snap.value("service_submitted"));
+  EXPECT_EQ(static_cast<double>(metrics.cold_solves),
+            snap.value("service_cold_solves"));
+  EXPECT_EQ(static_cast<double>(metrics.exact_hits),
+            snap.value("service_exact_hits"));
+
+  const std::string prom = snap.prometheus();
+  EXPECT_NE(prom.find("# TYPE service_submitted counter"), std::string::npos);
+  EXPECT_NE(prom.find("service_submitted 2"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE service_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("service_latency_ms_count"), std::string::npos);
+  EXPECT_NE(prom.find("service_hit_rate"), std::string::npos);
+
+  const std::string json = snap.json();
+  EXPECT_NE(json.find("\"service_submitted\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"service_latency_ms_p50\":"), std::string::npos);
+
+  // The human tables render from this same snapshot — the headline numbers
+  // cannot drift from the machine-readable view.
+  const std::string table = format_metrics(metrics);
+  EXPECT_NE(table.find("cold solves"), std::string::npos);
+}
+
+TEST(PlanServiceObs, ColdSolveLandsInGlobalSolverAggregates) {
+  const double before = obs::Registry::global().snapshot().value("solver_solves");
+  PlanServiceOptions options;
+  options.num_workers = 1;
+  PlanService service(options);
+  (void)service.submit(scatter_request(11)).get();
+  service.drain();
+
+  const obs::Snapshot global = obs::Registry::global().snapshot();
+  EXPECT_GE(global.value("solver_solves"), before + 1.0);
+  EXPECT_NE(global.find("solver_float_pivots"), nullptr);
+  EXPECT_NE(global.find("solver_certify_ms"), nullptr);
+}
+
+}  // namespace
+}  // namespace ssco::service

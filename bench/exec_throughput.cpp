@@ -48,8 +48,8 @@ exec::ExecOptions exec_options(std::size_t workers) {
 }
 
 void report_exec(benchmark::State& state, const exec::ExecReport& report) {
-  if (!report.error.empty()) {
-    state.SkipWithError(report.error.c_str());
+  if (!report.fault.ok()) {
+    state.SkipWithError(report.fault.to_string().c_str());
     return;
   }
   state.counters["efficiency_permille"] =
@@ -107,8 +107,8 @@ void BM_ExecDriftRecovery(benchmark::State& state) {
     degraded.exec = exec_options(0);
     degraded.exec.link_rate_scale.assign(inst.platform.num_edges(), 0.5);
     const service::ExecuteResult slow = svc.execute(request, degraded);
-    if (!slow.report.error.empty()) {
-      state.SkipWithError(slow.report.error.c_str());
+    if (!slow.report.fault.ok()) {
+      state.SkipWithError(slow.report.fault.to_string().c_str());
       return;
     }
 

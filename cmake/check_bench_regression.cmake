@@ -20,8 +20,12 @@
 #   * `efficiency_permille` (executor benches) — a FLOOR: fails when the
 #     fresh achieved/certified ratio drops more than TOLERANCE below the
 #     baseline (lower is worse, the inverse of the count gates);
-#   * `oneport_violations` / `delivery_errors` (executor benches) — hard
-#     zero gates: any fresh violation fails regardless of baseline;
+#   * `degraded_efficiency_permille` (BM_ChaosSoak) — the same FLOOR for
+#     the chaos soak's fault-laden event runs: graceful degradation must
+#     keep preserving at least the baseline share of certified throughput;
+#   * `oneport_violations` / `delivery_errors` / `shed_errors_unreported`
+#     (executor + chaos benches) — hard zero gates: any fresh violation or
+#     unclassified chaos outcome fails regardless of baseline;
 #   * `trace_overhead_permille` (BM_ScatterLpBreakdown) — hard ceiling of
 #     20 (2%), fresh-only: the observability layer's span recording must
 #     stay under its documented overhead budget on the solver hot path;
@@ -166,20 +170,25 @@ foreach(i RANGE 0 ${fresh_last})
     endif()
   endforeach()
 
-  # Executor gates: efficiency may not drop below baseline - TOLERANCE,
-  # and a single one-port violation or delivery error fails outright.
-  string(JSON fresh_eff ERROR_VARIABLE no_eff GET "${fresh}" benchmarks ${i}
-         efficiency_permille)
-  string(JSON base_eff ERROR_VARIABLE no_base_eff GET "${baseline}" benchmarks
-         ${base_idx} efficiency_permille)
-  if(NOT no_eff AND NOT no_base_eff)
-    string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_eff}")
-    string(REGEX MATCH "^[0-9]+" base_int "${base_eff}")
-    check_floor("${name}" efficiency_permille "${fresh_int}" "${base_int}"
-                "${TOLERANCE_PERMILLE}" "${TOLERANCE}")
-    math(EXPR checked "${checked} + 1")
-  endif()
-  foreach(counter oneport_violations delivery_errors)
+  # Executor gates: efficiency may not drop below baseline - TOLERANCE
+  # (degraded_efficiency_permille is the chaos soak's equivalent — how much
+  # throughput graceful degradation preserves under seeded faults), and a
+  # single one-port violation, delivery error or unreported shed fails
+  # outright.
+  foreach(eff_key efficiency_permille degraded_efficiency_permille)
+    string(JSON fresh_eff ERROR_VARIABLE no_eff GET "${fresh}" benchmarks ${i}
+           ${eff_key})
+    string(JSON base_eff ERROR_VARIABLE no_base_eff GET "${baseline}"
+           benchmarks ${base_idx} ${eff_key})
+    if(NOT no_eff AND NOT no_base_eff)
+      string(REGEX MATCH "^[0-9]+" fresh_int "${fresh_eff}")
+      string(REGEX MATCH "^[0-9]+" base_int "${base_eff}")
+      check_floor("${name}" ${eff_key} "${fresh_int}" "${base_int}"
+                  "${TOLERANCE_PERMILLE}" "${TOLERANCE}")
+      math(EXPR checked "${checked} + 1")
+    endif()
+  endforeach()
+  foreach(counter oneport_violations delivery_errors shed_errors_unreported)
     string(JSON fresh_value ERROR_VARIABLE noent GET "${fresh}" benchmarks
            ${i} ${counter})
     if(NOT noent)

@@ -19,13 +19,23 @@
 // occupations land on one timeline, loadable in Perfetto
 // (https://ui.perfetto.dev) or chrome://tracing. The unified metrics
 // snapshot (Prometheus text) prints at the end.
+//
+// Pass `--faults` for the chaos walkthrough instead: the same plan runs
+// under seeded exec::chaos_plan scenarios of every severity tier (chunk
+// loss + retransmission, jitter, rate collapse, node slowdown, blackout,
+// and a hard run deadline). Every run ends classified — clean window,
+// degraded with a typed fault, or typed shed — and the degradation
+// counters (faults injected, retransmits, deadline misses, degraded
+// serves) print at the end.
 
 #include <cstdio>
 #include <cstring>
 
+#include "exec/faults.h"
 #include "graph/generators.h"
 #include "graph/rng.h"
 #include "obs/trace.h"
+#include "service/errors.h"
 #include "service/metrics.h"
 #include "service/plan_service.h"
 
@@ -66,12 +76,73 @@ void report(const char* stage, const service::ExecuteResult& run) {
               run.resolved ? "-> drift observed, warm re-solved" : "");
 }
 
+/// Chaos walkthrough: seeded fault plans of rising severity against the
+/// deterministic event backend, every outcome classified.
+int run_faults() {
+  service::PlanServiceOptions options;
+  options.serve_stale = true;
+  service::PlanService svc(options);
+  service::PlanRequest request;
+  request.instance = make_instance();
+  const auto& pf =
+      std::get<platform::ScatterInstance>(request.instance).platform;
+
+  std::printf("chaos walkthrough: n=%zu scatter, event backend, seeds 1-6\n\n",
+              pf.num_nodes());
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    service::ExecuteOptions options;
+    options.simulate = true;
+    options.exec.warmup_periods = 6;
+    options.exec.measure_periods = 16;
+    options.exec.target_period_seconds = 4e-3;
+    options.exec.faults = exec::chaos_plan(seed, pf.num_edges(),
+                                           pf.num_nodes(),
+                                           options.exec.target_period_seconds);
+    const bool deadline = seed % 3 == 0;
+    if (deadline) {
+      options.exec.deadline_seconds = 8 * options.exec.target_period_seconds;
+    }
+    std::printf("seed %llu (severity %llu%s): ",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(seed % 4),
+                deadline ? ", 8-period deadline" : "");
+    try {
+      const service::ExecuteResult run = svc.execute(request, options);
+      if (run.report.fault.ok()) {
+        std::printf("clean   efficiency %5.1f%%  (%llu faults injected, "
+                    "%llu retransmits)\n",
+                    100.0 * run.report.efficiency,
+                    static_cast<unsigned long long>(
+                        run.report.faults_injected),
+                    static_cast<unsigned long long>(run.report.retransmits));
+      } else {
+        std::printf("degraded [%s]\n", run.report.fault.to_string().c_str());
+      }
+    } catch (const service::ServiceError& error) {
+      std::printf("shed    [%s]\n", error.what());
+    }
+  }
+
+  const service::ServiceMetrics m = svc.metrics();
+  std::printf("\nfaults injected %zu | retransmits %zu | deadline misses %zu "
+              "| degraded served %zu | shed %zu\n",
+              m.exec_faults_injected, m.exec_retransmits, m.deadline_misses,
+              m.degraded_served, m.shed);
+  std::printf("one-port violations %zu | delivery errors %zu (both must be "
+              "0: faults degrade throughput, never correctness)\n",
+              m.exec_oneport_violations, m.exec_delivery_errors);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* trace_path = nullptr;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) return run_faults();
+    if (i + 1 < argc && std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = argv[i + 1];
+    }
   }
   // Generous rings: the event-exec runs emit every port occupation from one
   // thread, and the early service spans must survive to the export.

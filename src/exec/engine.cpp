@@ -36,6 +36,10 @@ struct PortRt {
   double busy = 0.0;    // accumulated occupation, token seconds
   double busy_t0 = 0.0;
   bool in_flight = false;
+  // Retransmission state (out-ports under fault injection): consecutive
+  // losses of the head chunk, and the backoff gate before the next attempt.
+  std::size_t attempts = 0;
+  double retry_at = 0.0;
 };
 
 /// A step the scheduler admitted; byte work happens outside the lock.
@@ -45,6 +49,7 @@ struct Admitted {
   std::size_t tmpl = 0;
   Chunk chunk;          // send: to fill + push; recv: popped, to validate
   bool payload_ok = true;
+  bool lost = false;    // injected chunk loss: wire time burned, no delivery
 };
 
 class Engine {
@@ -56,12 +61,14 @@ class Engine {
     ExecReport report;
     report.simulated = !threaded_;
     if (!p_.oneport_error.empty()) {
-      report.error = "one-port check failed: " + p_.oneport_error;
+      report.fault.code = FaultCode::kOneportStatic;
+      report.fault.message = "one-port check failed: " + p_.oneport_error;
       report.oneport_violations = 1;
       return report;
     }
     if (p_.ops_per_period <= Rational(0)) {
-      report.error = "schedule delivers no operations";
+      report.fault.code = FaultCode::kNoSchedule;
+      report.fault.message = "schedule delivers no operations";
       return report;
     }
     init();
@@ -80,6 +87,7 @@ class Engine {
 
   void init() {
     const std::size_t nodes = p_.num_nodes();
+    faults_ = FaultRuntime(opt_.faults, p_.platform->num_edges(), nodes);
     avail_.assign(nodes, std::vector<Rational>(p_.num_types));
     delivered_.assign(p_.num_types, Rational(0));
     forwards_.assign(nodes, std::vector<char>(p_.num_types, 0));
@@ -265,24 +273,63 @@ class Engine {
       return false;  // upstream producer will commit and notify
     }
     const double slack = opt_.burst_chunks * c.seconds;
-    const double rt =
+    double rt =
         std::max(port.tat - slack,
                  buckets_[t.edge].ready_time(now, static_cast<double>(c.bytes)));
+    if (faults_.active()) {
+      rt = std::max(rt, port.retry_at);  // retransmit backoff gate
+      rt = std::max(rt, faults_.blackout_release(t.edge, now));
+    }
     if (rt > now) {
       next_time = std::min(next_time, rt);
       return false;
     }
-    // Commit.
-    if (!unlimited(u, t.type)) avail_[u][t.type] -= c.messages;
+    // Commit. A collapsed link stretches the chunk's wire time by 1/scale,
+    // so its effective rate drops and drift inference sees the fault; a
+    // lost chunk burns that wire time (and its tokens) but delivers
+    // nothing, and the port retries the SAME chunk after a capped
+    // exponential backoff.
+    double seconds = c.seconds;
+    bool lost = false;
+    if (faults_.active()) {
+      seconds /= faults_.rate_scale(t.edge, now);
+      if (port.attempts > 0) ++retransmits_;
+      lost = faults_.lose_next_chunk(t.edge);
+    }
     buckets_[t.edge].consume(now, static_cast<double>(c.bytes));
     check_occupancy(port, now, slack);
     const double prev_end = port.tat;
-    port.tat = std::max(port.tat, now) + c.seconds;
-    port.busy += c.seconds;
-    edge_busy_[t.edge] += c.seconds;
+    port.tat = std::max(port.tat, now) + seconds;
+    port.busy += seconds;
+    edge_busy_[t.edge] += seconds;
+    if (lost) {
+      // No availability debit, no identity consumption, no channel push:
+      // exactly-once bookkeeping never saw this crossing.
+      ++chunks_lost_;
+      ++port.attempts;
+      port.retry_at = port.tat + faults_.backoff(port.attempts);
+      if (port.attempts > faults_.max_retransmits()) {
+        set_fault(now, FaultCode::kRetransmitLimit,
+                  "chunk lost " + std::to_string(port.attempts) +
+                      " consecutive times",
+                  t.edge, u);
+      }
+      trace_span(out_lane_.empty() ? 0 : out_lane_[u], "lost", prev_end,
+                 port.tat, seconds, c.bytes, true);
+      out.kind = StepKind::kSend;
+      out.node = u;
+      out.tmpl = tmpl;
+      out.chunk = Chunk{};
+      out.lost = true;
+      port.in_flight = true;
+      return true;
+    }
+    port.attempts = 0;
+    port.retry_at = 0.0;
+    if (!unlimited(u, t.type)) avail_[u][t.type] -= c.messages;
     edge_bytes_[t.edge] += c.bytes;
     trace_span(out_lane_.empty() ? 0 : out_lane_[u], "send", prev_end,
-               port.tat, c.seconds, c.bytes, true);
+               port.tat, seconds, c.bytes, true);
     out.kind = StepKind::kSend;
     out.node = u;
     out.tmpl = tmpl;
@@ -290,14 +337,19 @@ class Engine {
     out.chunk.type = t.type;
     out.chunk.bytes = c.bytes;
     out.chunk.arrive_time = port.tat;  // fully crossed once the wire time ran
+    if (faults_.active()) {
+      out.chunk.arrive_time += faults_.next_jitter(t.edge);
+    }
     if (verify_) {
       if (unlimited(u, t.type)) {
         out.chunk.msg_ranges.emplace_back(next_id_[t.type], c.whole_msgs);
         next_id_[t.type] += c.whole_msgs;
       } else if (!take_ids(idq_[u][t.type], c.whole_msgs,
                            out.chunk.msg_ranges)) {
-        set_error(now, "message identity underflow at node " +
-                           p_.platform->node_name(u));
+        set_fault(now, FaultCode::kIdentityUnderflow,
+                  "message identity underflow at node " +
+                      p_.platform->node_name(u),
+                  t.edge, u);
       }
     }
     ++reserved_[tmpl];
@@ -361,15 +413,18 @@ class Engine {
       next_time = std::min(next_time, rt);
       return false;
     }
-    // Commit the merge v[k,l] (+) v[l+1,m] -> v[k,m].
+    // Commit the merge v[k,l] (+) v[l+1,m] -> v[k,m]. A slowed-down node
+    // stretches the slice by 1/scale, same convention as link collapse.
+    double seconds = s.seconds;
+    if (faults_.active()) seconds /= faults_.node_scale(u, now);
     if (!unlimited(u, ct.left)) avail_[u][ct.left] -= s.count;
     if (!unlimited(u, ct.right)) avail_[u][ct.right] -= s.count;
     check_occupancy(port, now, slack);
     const double prev_end = port.tat;
-    port.tat = std::max(port.tat, now) + s.seconds;
-    port.busy += s.seconds;
+    port.tat = std::max(port.tat, now) + seconds;
+    port.busy += seconds;
     trace_span(cpu_lane_.empty() ? 0 : cpu_lane_[u], "comp", prev_end,
-               port.tat, s.seconds, 0, false);
+               port.tat, seconds, 0, false);
     if (p_.sink_of_type[ct.product] == u) {
       delivered_[ct.product] += s.count;
       update_ops(now);
@@ -465,10 +520,17 @@ class Engine {
     }
   }
 
-  void set_error(double now, std::string message) {
-    if (error_.empty()) error_ = std::move(message);
+  void set_fault(double now, FaultCode code, std::string message,
+                 graph::EdgeId edge = graph::kInvalidId,
+                 graph::NodeId node = graph::kInvalidId) {
+    if (fault_.ok()) {
+      fault_.code = code;
+      fault_.message = std::move(message);
+      fault_.edge = edge;
+      fault_.node = node;
+      fault_.at_seconds = now;
+    }
     done_ = true;
-    (void)now;
   }
 
   // ---- completion --------------------------------------------------------
@@ -476,6 +538,7 @@ class Engine {
   /// Payload work done outside the scheduler lock (threaded mode only).
   void byte_work(Admitted& a) {
     if (a.kind == StepKind::kSend) {
+      if (a.lost) return;  // nothing crossed; nothing to materialize
       a.chunk.payload.resize(a.chunk.bytes);
       fill_payload(a.chunk);
     } else if (a.kind == StepKind::kRecv) {
@@ -539,6 +602,14 @@ class Engine {
     std::size_t steps = 0;
     if (a.kind == StepKind::kSend) {
       port = &out_[a.node];
+      if (a.lost) {
+        // The same chunk stays at (pos, sub): the port will retransmit it
+        // once its backoff gate opens. Losses still count as liveness for
+        // the watchdog — the engine is making (doomed) wire progress.
+        port->in_flight = false;
+        last_progress_ = now;
+        return;
+      }
       steps = p_.transfers[a.tmpl].chunks.size();
       --reserved_[a.tmpl];
       channels_[a.tmpl].push(std::move(a.chunk));
@@ -571,8 +642,15 @@ class Engine {
         continue;
       }
       if (next_time == kInf) {
-        set_error(vnow, "discrete-event executor deadlocked (no admissible "
-                        "step and no pending wake time)");
+        set_fault(vnow, FaultCode::kDeadlock,
+                  "discrete-event executor deadlocked (no admissible "
+                  "step and no pending wake time)");
+        return;
+      }
+      if (opt_.deadline_seconds > 0 && next_time > opt_.deadline_seconds) {
+        set_fault(opt_.deadline_seconds, FaultCode::kDeadlineExceeded,
+                  "run deadline of " + std::to_string(opt_.deadline_seconds) +
+                      "s fired before the window closed");
         return;
       }
       vnow = next_time;
@@ -602,9 +680,20 @@ class Engine {
 
   template <typename NowFn>
   void worker_loop(NowFn now_fn) {
+    // Sanitizer builds run 5-20x slower; scale the watchdog so instrumented
+    // CI can't fire it on a healthy run.
+    const double watchdog =
+        opt_.watchdog_seconds * (sanitized_build() ? 5.0 : 1.0);
     std::unique_lock lock(mu_);
     while (!done_) {
       const double now = now_fn();
+      if (opt_.deadline_seconds > 0 && now > opt_.deadline_seconds) {
+        set_fault(now, FaultCode::kDeadlineExceeded,
+                  "run deadline of " + std::to_string(opt_.deadline_seconds) +
+                      "s fired before the window closed");
+        cv_.notify_all();
+        break;
+      }
       Admitted a;
       double next_time = kInf;
       if (try_admit(now, a, next_time)) {
@@ -615,16 +704,19 @@ class Engine {
         cv_.notify_all();
         continue;
       }
-      if (now > last_progress_ + opt_.watchdog_seconds) {
-        set_error(now, "watchdog: no progress for " +
-                           std::to_string(opt_.watchdog_seconds) + "s");
+      if (now > last_progress_ + watchdog) {
+        set_fault(now, FaultCode::kWatchdogStall,
+                  "watchdog: no progress for " + std::to_string(watchdog) +
+                      "s");
         cv_.notify_all();
         break;
       }
-      const double deadline = std::min(
-          next_time, last_progress_ + opt_.watchdog_seconds + 1e-3);
+      double wake = std::min(next_time, last_progress_ + watchdog + 1e-3);
+      if (opt_.deadline_seconds > 0) {
+        wake = std::min(wake, opt_.deadline_seconds + 1e-3);
+      }
       cv_.wait_for(lock, std::chrono::duration<double>(
-                             std::max(1e-5, deadline - now_fn())));
+                             std::max(1e-5, wake - now_fn())));
     }
     cv_.notify_all();
   }
@@ -633,14 +725,20 @@ class Engine {
 
   void fill_report(ExecReport& r) {
     r.workers = threaded_ ? workers_used_ : 1;
-    r.error = error_;
+    r.fault = fault_;
     r.oneport_violations = violations_;
     r.delivery_errors = delivery_errors_;
+    r.faults_injected = faults_.injected();
+    r.chunks_lost = chunks_lost_;
+    r.retransmits = retransmits_;
     r.total_operations = ops1_;
     r.total_seconds = t1_;
     r.warmup_seconds = t0_;
     if (!t1_stamped_) {
-      if (r.error.empty()) r.error = "execution ended before the window";
+      if (r.fault.ok()) {
+        r.fault.code = FaultCode::kIncompleteWindow;
+        r.fault.message = "execution ended before the window";
+      }
       return;
     }
     r.operations = ops1_ - ops0_;
@@ -689,7 +787,10 @@ class Engine {
   std::mutex mu_;
   std::condition_variable cv_;
   bool done_ = false;
-  std::string error_;
+  ExecFault fault_;
+  FaultRuntime faults_;
+  std::uint64_t chunks_lost_ = 0;
+  std::uint64_t retransmits_ = 0;
   double last_progress_ = 0.0;
   std::size_t workers_used_ = 1;
 

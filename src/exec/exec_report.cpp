@@ -24,6 +24,9 @@ obs::Snapshot ExecReport::snapshot() const {
   reg.gauge("exec_efficiency").set(efficiency);
   reg.counter("exec_oneport_violations").set(oneport_violations);
   reg.counter("exec_delivery_errors").set(delivery_errors);
+  reg.counter("exec_faults_injected").set(faults_injected);
+  reg.counter("exec_chunks_lost").set(chunks_lost);
+  reg.counter("exec_retransmits").set(retransmits);
 
   // Distribution of the ACTIVE edges' utilization and effective rate over
   // the window — one shared percentile definition (obs/stats.h) with the
@@ -87,7 +90,12 @@ std::string ExecReport::to_string(const platform::Platform& platform) const {
                       io::fixed(snap.value("exec_edge_mbps_p90"), 2) + " / " +
                       io::fixed(snap.value("exec_edge_mbps_max"), 2)});
   }
-  if (!error.empty()) head.add_row({"error", error});
+  if (faults_injected > 0) {
+    head.add_row({"faults injected", std::to_string(faults_injected)});
+    head.add_row({"chunks lost / retransmits", std::to_string(chunks_lost) +
+                      " / " + std::to_string(retransmits)});
+  }
+  if (!fault.ok()) head.add_row({"fault", fault.to_string()});
   os << head.to_string() << "\n";
 
   io::Table traffic({"edge", "wire bytes", "busy ms", "effective MB/s",

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/faults.h"
 #include "graph/digraph.h"
 #include "obs/metrics.h"
 #include "platform/delta.h"
@@ -77,15 +78,25 @@ struct ExecReport {
   /// only populated when verification was enabled and applicable).
   std::size_t delivery_errors = 0;
 
+  // ---- fault accounting (whole run, not just the window) ----
+  /// Discrete fault events injected by ExecOptions::faults: every lost
+  /// chunk plus each timed collapse/slowdown/blackout/jitter spec that bit.
+  std::uint64_t faults_injected = 0;
+  /// Chunks lost on the wire (each burns its wire time and tokens).
+  std::uint64_t chunks_lost = 0;
+  /// Extra wire crossings spent re-sending lost chunks.
+  std::uint64_t retransmits = 0;
+
   std::vector<EdgeTraffic> edges;       // indexed by EdgeId
   std::vector<PortUtilization> ports;   // indexed by NodeId
 
-  /// Empty on a clean run; otherwise the first fatal execution error
-  /// (static one-port check failure, watchdog stall, channel corruption).
-  std::string error;
+  /// Typed fatal fault: `fault.ok()` on a clean run, otherwise the first
+  /// fatal condition (static one-port failure, watchdog stall, deadline,
+  /// retransmit limit, ...) with its code, location and engine time.
+  ExecFault fault;
 
   [[nodiscard]] bool ok() const {
-    return error.empty() && oneport_violations == 0 && delivery_errors == 0;
+    return fault.ok() && oneport_violations == 0 && delivery_errors == 0;
   }
 
   /// The report as registry entries (exec_* counters/gauges, including

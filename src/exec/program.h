@@ -24,6 +24,7 @@
 
 #include "core/flow_solution.h"
 #include "core/schedule.h"
+#include "exec/faults.h"
 #include "graph/digraph.h"
 #include "num/rational.h"
 #include "platform/paper_instances.h"
@@ -81,6 +82,12 @@ struct ExecOptions {
   /// modeled rate * link_rate_scale[edge]. Empty = all 1.0. The plan keeps
   /// believing the modeled rate; the report shows what really happened.
   std::vector<double> link_rate_scale;
+  /// Seeded fault scenario (loss, jitter, collapse, slowdown, blackout)
+  /// applied identically by both backends; empty = no fault hooks.
+  FaultPlan faults;
+  /// Abort with a typed kDeadlineExceeded fault if the run (warmup +
+  /// window) has not finished by this engine time. 0 = no deadline.
+  double deadline_seconds = 0.0;
 };
 
 /// One chunk of a transfer: an exact share of the activity's messages and a

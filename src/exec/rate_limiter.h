@@ -29,11 +29,16 @@ class TokenBucket {
 
   [[nodiscard]] double rate() const { return rate_; }
 
-  /// Earliest time >= now at which `bytes` tokens are available.
+  /// Earliest time >= now at which `bytes` tokens are available. A chunk
+  /// larger than the whole burst capacity can never accumulate, so it is
+  /// admitted as soon as the bucket is FULL and borrows the deficit
+  /// (tokens go negative, see consume) — admission degrades to strict
+  /// rate pacing instead of waiting for a level the cap makes unreachable.
   [[nodiscard]] double ready_time(double now, double bytes) const {
+    const double need = std::min(bytes, burst_);
     const double tokens = tokens_at(now);
-    if (tokens >= bytes) return now;
-    return now + (bytes - tokens) / rate_;
+    if (tokens >= need) return now;
+    return now + (need - tokens) / rate_;
   }
 
   /// Consumes `bytes` tokens at time `now`; callers must have checked

@@ -1,0 +1,41 @@
+#pragma once
+// Typed service errors.
+//
+// Overload and lifecycle rejections surface as a ServiceError carrying a
+// machine-checkable code, so clients can branch (back off on kOverloaded,
+// retry elsewhere on kDeadlineExceeded, stop on kShutdown) instead of
+// parsing what() strings. ServiceError derives from std::runtime_error so
+// pre-existing catch sites keep working unchanged.
+
+#include <stdexcept>
+#include <string>
+
+namespace ssco::service {
+
+enum class ServiceErrorCode : std::uint8_t {
+  kShutdown,          ///< submit() after shutdown() stopped intake
+  kOverloaded,        ///< admission control shed the request at submit()
+  kDeadlineExceeded,  ///< the request's deadline fired before its solve ran
+};
+
+[[nodiscard]] constexpr const char* to_string(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::kShutdown: return "shutdown";
+    case ServiceErrorCode::kOverloaded: return "overloaded";
+    case ServiceErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ServiceErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] ServiceErrorCode code() const { return code_; }
+
+ private:
+  ServiceErrorCode code_;
+};
+
+}  // namespace ssco::service

@@ -25,6 +25,10 @@ std::string as_millis(const obs::Snapshot& snap, std::string_view name) {
 obs::Snapshot snapshot_of(const ServiceMetrics& metrics) {
   obs::Registry reg;
   reg.counter("service_submitted").set(metrics.submitted);
+  reg.counter("service_accepted").set(metrics.accepted);
+  reg.counter("service_shed").set(metrics.shed);
+  reg.counter("service_deadline_misses").set(metrics.deadline_misses);
+  reg.counter("service_degraded_served").set(metrics.degraded_served);
   reg.counter("service_deduplicated").set(metrics.deduplicated);
   reg.counter("service_exact_hits").set(metrics.exact_hits);
   reg.counter("service_warm_hits").set(metrics.warm_hits);
@@ -42,22 +46,29 @@ obs::Snapshot snapshot_of(const ServiceMetrics& metrics) {
   reg.counter("service_drift_resolves").set(metrics.drift_resolves);
   reg.counter("exec_oneport_violations").set(metrics.exec_oneport_violations);
   reg.counter("exec_delivery_errors").set(metrics.exec_delivery_errors);
+  reg.counter("exec_faults_injected").set(metrics.exec_faults_injected);
+  reg.counter("exec_retransmits").set(metrics.exec_retransmits);
   reg.gauge("exec_last_efficiency").set(metrics.last_efficiency);
   reg.gauge("exec_last_achieved_bytes_per_sec")
       .set(metrics.last_achieved_bytes_per_sec);
   reg.gauge("exec_last_certified_bytes_per_sec")
       .set(metrics.last_certified_bytes_per_sec);
   std::size_t lookups = 0, hits = 0, misses = 0, evictions = 0;
+  std::size_t expirations = 0, invalidations = 0;
   for (const CacheShardMetrics& s : metrics.shards) {
     hits += s.exact_hits;
     misses += s.misses;
     evictions += s.evictions;
+    expirations += s.expirations;
+    invalidations += s.invalidations;
   }
   lookups = hits + misses;
   reg.counter("cache_lookups").set(lookups);
   reg.counter("cache_hits").set(hits);
   reg.counter("cache_misses").set(misses);
   reg.counter("cache_evictions").set(evictions);
+  reg.counter("cache_expirations").set(expirations);
+  reg.counter("cache_invalidations").set(invalidations);
   return reg.snapshot();
 }
 
@@ -104,6 +115,12 @@ std::string format_metrics(const ServiceMetrics& metrics) {
 
   io::Table totals({"metric", "value"});
   totals.add_row({"submitted", as_count(snap, "service_submitted")});
+  totals.add_row({"accepted", as_count(snap, "service_accepted")});
+  totals.add_row({"shed (overloaded)", as_count(snap, "service_shed")});
+  totals.add_row(
+      {"deadline misses", as_count(snap, "service_deadline_misses")});
+  totals.add_row(
+      {"degraded served", as_count(snap, "service_degraded_served")});
   totals.add_row({"deduplicated", as_count(snap, "service_deduplicated")});
   totals.add_row({"exact hits", as_count(snap, "service_exact_hits")});
   totals.add_row({"warm hits", as_count(snap, "service_warm_hits")});
@@ -131,6 +148,9 @@ std::string format_metrics(const ServiceMetrics& metrics) {
         {"one-port violations", as_count(snap, "exec_oneport_violations")});
     dataplane.add_row(
         {"delivery errors", as_count(snap, "exec_delivery_errors")});
+    dataplane.add_row(
+        {"faults injected", as_count(snap, "exec_faults_injected")});
+    dataplane.add_row({"retransmits", as_count(snap, "exec_retransmits")});
     dataplane.add_row(
         {"last efficiency", io::percent(snap.value("exec_last_efficiency"))});
     dataplane.add_row(

@@ -64,20 +64,30 @@ struct CacheShardMetrics {
   std::size_t misses = 0;       // exact lookups that found nothing
   std::size_t insertions = 0;
   std::size_t evictions = 0;
+  std::size_t expirations = 0;    // TTL-expired on an exact lookup
+  std::size_t invalidations = 0;  // drift-invalidated entries
 };
 
 struct ServiceMetrics {
   std::vector<CacheShardMetrics> shards;
 
-  // Request accounting (whole service).
+  // Request accounting (whole service). Invariant in every snapshot:
+  // accepted + shed == submitted (both sides of each admission decision
+  // are bumped in one Registry::Batch).
   std::size_t submitted = 0;
+  std::size_t accepted = 0;      // passed admission (incl. exact hits)
+  std::size_t shed = 0;          // rejected typed kOverloaded at submit()
   std::size_t deduplicated = 0;  // attached to an identical in-flight solve
   std::size_t exact_hits = 0;    // answered from cache (inline or queued)
   std::size_t warm_hits = 0;     // solved incrementally from a cached basis
   std::size_t cold_solves = 0;   // solved from scratch
   std::size_t failed = 0;        // solve threw; exception forwarded
 
-  // Queue health.
+  // Graceful degradation.
+  std::size_t deadline_misses = 0;  // request deadline fired pre-solve
+  std::size_t degraded_served = 0;  // stale/degraded plans handed out
+
+  // Queue health (warm + cold lanes combined).
   std::size_t queue_depth = 0;
   std::size_t max_queue_depth = 0;
 
@@ -94,6 +104,8 @@ struct ServiceMetrics {
   std::size_t drift_resolves = 0;   // observed drift -> warm re-solve
   std::size_t exec_oneport_violations = 0;  // summed over all runs
   std::size_t exec_delivery_errors = 0;     // summed over all runs
+  std::size_t exec_faults_injected = 0;     // summed over all runs
+  std::size_t exec_retransmits = 0;         // summed over all runs
   double last_efficiency = 0.0;
   double last_achieved_bytes_per_sec = 0.0;
   double last_certified_bytes_per_sec = 0.0;

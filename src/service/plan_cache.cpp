@@ -4,9 +4,11 @@
 
 namespace ssco::service {
 
-PlanCache::PlanCache(std::size_t num_shards, std::size_t shard_capacity)
+PlanCache::PlanCache(std::size_t num_shards, std::size_t shard_capacity,
+                     double ttl_ms)
     : shards_(std::max<std::size_t>(1, num_shards)),
-      shard_capacity_(std::max<std::size_t>(1, shard_capacity)) {
+      shard_capacity_(std::max<std::size_t>(1, shard_capacity)),
+      ttl_ms_(ttl_ms) {
   for (Shard& s : shards_) s.stats.capacity = shard_capacity_;
 }
 
@@ -19,6 +21,29 @@ std::shared_ptr<const PlanPayload> PlanCache::find_exact(
   if (it == s.by_key.end() || !verify(*it->second->payload)) {
     if (count_miss) ++s.stats.misses;
     return nullptr;
+  }
+  if (ttl_ms_ > 0.0) {
+    const double age_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - it->second->inserted)
+            .count();
+    if (age_ms > ttl_ms_) {
+      // Expired for the exact path: evict now so the caller re-solves. The
+      // warm index entry (if any) is dropped too; find_warm's scan still
+      // recovers younger same-structure survivors — and an expired entry
+      // is gone entirely, which is fine because serve-stale keeps its OWN
+      // reference chain through the most recent insert.
+      if (auto idx = s.warm_index.find(it->second->structure);
+          idx != s.warm_index.end() && idx->second == key) {
+        s.warm_index.erase(idx);
+      }
+      s.lru.erase(it->second);
+      s.by_key.erase(it);
+      s.stats.size = s.by_key.size();
+      ++s.stats.expirations;
+      if (count_miss) ++s.stats.misses;
+      return nullptr;
+    }
   }
   s.lru.splice(s.lru.begin(), s.lru, it->second);  // promote
   ++s.stats.exact_hits;
@@ -53,16 +78,27 @@ std::shared_ptr<const PlanPayload> PlanCache::find_warm(
   return nullptr;
 }
 
+bool PlanCache::has_warm(Operation op, std::uint64_t structure) const {
+  const Shard& s = shards_[shard_of(structure)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const Entry& e : s.lru) {
+    if (e.structure == structure && e.key.op == op) return true;
+  }
+  return false;
+}
+
 void PlanCache::insert(const CacheKey& key, std::uint64_t structure,
                        std::shared_ptr<const PlanPayload> payload) {
   Shard& s = shard_for(structure);
   std::lock_guard<std::mutex> lock(s.mu);
+  const auto now = std::chrono::steady_clock::now();
   if (auto it = s.by_key.find(key); it != s.by_key.end()) {
     it->second->payload = std::move(payload);
     it->second->structure = structure;
+    it->second->inserted = now;
     s.lru.splice(s.lru.begin(), s.lru, it->second);
   } else {
-    s.lru.push_front(Entry{key, structure, std::move(payload)});
+    s.lru.push_front(Entry{key, structure, std::move(payload), now});
     s.by_key.emplace(key, s.lru.begin());
     ++s.stats.insertions;
     while (s.by_key.size() > shard_capacity_) {
@@ -78,6 +114,22 @@ void PlanCache::insert(const CacheKey& key, std::uint64_t structure,
   }
   s.warm_index[structure] = key;
   s.stats.size = s.by_key.size();
+}
+
+bool PlanCache::invalidate(const CacheKey& key, std::uint64_t structure) {
+  Shard& s = shard_for(structure);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.by_key.find(key);
+  if (it == s.by_key.end()) return false;
+  if (auto idx = s.warm_index.find(it->second->structure);
+      idx != s.warm_index.end() && idx->second == key) {
+    s.warm_index.erase(idx);
+  }
+  s.lru.erase(it->second);
+  s.by_key.erase(it);
+  s.stats.size = s.by_key.size();
+  ++s.stats.invalidations;
+  return true;
 }
 
 std::size_t PlanCache::size() const {

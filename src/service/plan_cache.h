@@ -16,6 +16,7 @@
 // Thread safety: all public methods are safe to call concurrently; the
 // returned payloads are shared immutable snapshots.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -34,8 +35,13 @@ class PlanCache {
   using Verify = std::function<bool(const PlanPayload&)>;
 
   /// `num_shards` is rounded up to at least 1; `shard_capacity` is the max
-  /// entry count PER SHARD (>= 1).
-  PlanCache(std::size_t num_shards, std::size_t shard_capacity);
+  /// entry count PER SHARD (>= 1). `ttl_ms` ages entries out of the EXACT
+  /// path: an expired entry is never served as an exact hit (it is evicted
+  /// on discovery), but it deliberately remains a warm-start / serve-stale
+  /// candidate — warm re-solves re-certify against the fresh request, and
+  /// degraded mode explicitly wants the last known plan. 0 = no TTL.
+  PlanCache(std::size_t num_shards, std::size_t shard_capacity,
+            double ttl_ms = 0.0);
 
   /// Exact lookup: entry under `key` whose payload passes `verify`.
   /// Promotes the entry to most-recently-used. `count_miss` lets the
@@ -52,10 +58,21 @@ class PlanCache {
   [[nodiscard]] std::shared_ptr<const PlanPayload> find_warm(
       Operation op, std::uint64_t structure, const Verify& verify);
 
+  /// Read-only probe: does the shard hold ANY same-structure entry for
+  /// `op`? Touches no stats and no LRU order — used by the service to
+  /// classify a request warm vs cold at admission without distorting the
+  /// hit accounting.
+  [[nodiscard]] bool has_warm(Operation op, std::uint64_t structure) const;
+
   /// Inserts (or refreshes) an entry; evicts the shard's LRU tail when the
   /// shard is full.
   void insert(const CacheKey& key, std::uint64_t structure,
               std::shared_ptr<const PlanPayload> payload);
+
+  /// Drift-based invalidation: drops the entry under `key` (the plan was
+  /// observed to mismatch the real platform). Returns true when an entry
+  /// was removed. The warm index survives via find_warm's recovery scan.
+  bool invalidate(const CacheKey& key, std::uint64_t structure);
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   [[nodiscard]] std::size_t shard_of(std::uint64_t structure) const {
@@ -70,6 +87,7 @@ class PlanCache {
     CacheKey key;
     std::uint64_t structure = 0;
     std::shared_ptr<const PlanPayload> payload;
+    std::chrono::steady_clock::time_point inserted;
   };
   struct Shard {
     mutable std::mutex mu;
@@ -88,6 +106,7 @@ class PlanCache {
 
   std::vector<Shard> shards_;
   std::size_t shard_capacity_;
+  double ttl_ms_ = 0.0;
 };
 
 }  // namespace ssco::service

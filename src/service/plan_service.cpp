@@ -32,8 +32,17 @@ void trace_event(const char* name) {
 
 PlanService::PlanService(PlanServiceOptions options)
     : options_(options),
-      cache_(options.num_shards, options.shard_capacity),
-      submitted_(registry_.counter("service_submitted", "requests accepted")),
+      cache_(options.num_shards, options.shard_capacity,
+             options.cache_ttl_ms),
+      submitted_(registry_.counter("service_submitted", "requests received")),
+      accepted_(registry_.counter("service_accepted",
+                                  "requests past admission")),
+      shed_(registry_.counter("service_shed",
+                              "requests rejected by admission control")),
+      deadline_misses_(registry_.counter("service_deadline_misses",
+                                         "deadlines fired while queued")),
+      degraded_served_(registry_.counter("service_degraded_served",
+                                         "stale/degraded plans served")),
       deduplicated_(registry_.counter("service_deduplicated",
                                       "attached to an in-flight solve")),
       exact_hits_(registry_.counter("service_exact_hits",
@@ -48,6 +57,8 @@ PlanService::PlanService(PlanServiceOptions options)
       cache_hits_(registry_.counter("cache_hits", "exact-cache probe hits")),
       cache_misses_(registry_.counter("cache_misses",
                                       "exact-cache probe misses")),
+      cache_invalidations_(registry_.counter(
+          "service_cache_invalidations", "drift-invalidated cache entries")),
       executions_(registry_.counter("service_executions",
                                     "plans run on the data plane")),
       drift_resolves_(registry_.counter("service_drift_resolves",
@@ -56,6 +67,10 @@ PlanService::PlanService(PlanServiceOptions options)
           "exec_oneport_violations", "one-port overlaps observed")),
       exec_delivery_errors_(registry_.counter("exec_delivery_errors",
                                               "payload delivery errors")),
+      exec_faults_injected_(registry_.counter("exec_faults_injected",
+                                              "injected fault events")),
+      exec_retransmits_(registry_.counter("exec_retransmits",
+                                          "lost-chunk retransmissions")),
       last_efficiency_(registry_.gauge("exec_last_efficiency",
                                        "achieved/certified, last run")),
       last_achieved_bytes_per_sec_(
@@ -73,6 +88,12 @@ PlanService::PlanService(PlanServiceOptions options)
       options_.solve_threads != 0
           ? options_.solve_threads
           : std::max<std::size_t>(1, lp::hardware_threads() / workers);
+  // Cold-lane cap: reserve one worker for warm re-solves unless the pool
+  // has a single worker (then the cap would deadlock the cold lane).
+  max_cold_ = options_.max_cold_workers != 0
+                  ? options_.max_cold_workers
+                  : (workers > 1 ? workers - 1 : 1);
+  max_cold_ = std::min(max_cold_, workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -103,22 +124,25 @@ std::future<PlanResult> PlanService::submit(PlanRequest request) {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
-      throw std::runtime_error("PlanService::submit after shutdown");
+      throw ServiceError(ServiceErrorCode::kShutdown,
+                         "PlanService::submit after shutdown");
     }
   }
-  submitted_.add(1);
   const RequestDigest d = digest(request);
 
-  // Exact-hit fast path: answered inline, no queue, no solve.
+  // Exact-hit fast path: answered inline, no queue, no solve. The
+  // submitted/accepted pair rides the same Batch as the lookup outcome so
+  // BOTH invariant families (accepted + shed == submitted, hits + misses
+  // == lookups) hold in every snapshot.
   auto verify_exact = [&request](const PlanPayload& p) {
     return same_request(request, p.request);
   };
   if (auto payload =
           cache_.find_exact(d.key, d.fingerprint.structure, verify_exact)) {
     {
-      // One Batch per lookup outcome: a snapshot either sees the whole
-      // probe (lookup + hit) or none of it — never hits > lookups.
       obs::Registry::Batch batch(registry_);
+      submitted_.add(1);
+      accepted_.add(1);
       cache_lookups_.add(1);
       cache_hits_.add(1);
       exact_hits_.add(1);
@@ -141,29 +165,78 @@ std::future<PlanResult> PlanService::submit(PlanRequest request) {
     cache_misses_.add(1);
   }
 
+  // Lane classification (outside the queue lock; shard lock only): a
+  // cached same-structure basis makes this a cheap incremental re-solve.
+  // has_warm is a read-only probe, so the classification never distorts
+  // the warm-hit accounting.
+  const bool warm_lane =
+      options_.enable_warm_start &&
+      cache_.has_warm(d.key.op, d.fingerprint.structure);
+
   std::lock_guard<std::mutex> lock(queue_mu_);
   if (stopping_) {
-    throw std::runtime_error("PlanService::submit after shutdown");
+    throw ServiceError(ServiceErrorCode::kShutdown,
+                       "PlanService::submit after shutdown");
   }
   // Single-flight: attach to an identical request already being solved.
   // The follower's waiter carries its OWN submit stamp — its reported
-  // latency is the time IT waited, not the leader's.
+  // latency is the time IT waited, not the leader's. Dedup bypasses
+  // admission: attaching adds no queue depth and no solve work.
   if (auto it = inflight_.find(d.key);
       it != inflight_.end() && same_request(request, it->second->request)) {
-    deduplicated_.add(1);
+    {
+      obs::Registry::Batch batch(registry_);
+      submitted_.add(1);
+      accepted_.add(1);
+      deduplicated_.add(1);
+    }
     trace_event("dedup");
     it->second->waiters.push_back(Waiter{{}, start});
     return it->second->waiters.back().promise.get_future();
   }
+  // Admission control: shed typed instead of queueing work the service
+  // cannot finish in budget. Depth gate first (cheap, absolute), then the
+  // per-lane ETA gate (backlog x observed solve time).
+  const std::size_t depth = warm_queue_.size() + cold_queue_.size();
+  const char* shed_why = nullptr;
+  if (options_.max_queue_depth > 0 && depth >= options_.max_queue_depth) {
+    shed_why = "queue depth at max_queue_depth";
+  } else if (options_.admission_budget_ms > 0.0) {
+    const double eta = warm_lane ? warm_eta_ms_ : cold_eta_ms_;
+    const std::size_t lane_depth =
+        warm_lane ? warm_queue_.size() : cold_queue_.size();
+    if (eta > 0.0 && static_cast<double>(lane_depth + 1) * eta >
+                         options_.admission_budget_ms) {
+      shed_why = "lane backlog x solve ETA over admission_budget_ms";
+    }
+  }
+  if (shed_why != nullptr) {
+    {
+      obs::Registry::Batch batch(registry_);
+      submitted_.add(1);
+      shed_.add(1);
+    }
+    trace_event("shed");
+    throw ServiceError(ServiceErrorCode::kOverloaded,
+                       std::string("PlanService overloaded: ") + shed_why);
+  }
   auto job = std::make_shared<Inflight>();
   job->key = d.key;
   job->fingerprint = d.fingerprint;
+  job->cold = !warm_lane;
+  job->deadline_ms = request.deadline_ms > 0.0 ? request.deadline_ms
+                                               : options_.default_deadline_ms;
   job->request = std::move(request);
   job->waiters.push_back(Waiter{{}, start});
   auto future = job->waiters.back().promise.get_future();
   inflight_[d.key] = job;
-  queue_.push_back(std::move(job));
-  max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  (warm_lane ? warm_queue_ : cold_queue_).push_back(std::move(job));
+  {
+    obs::Registry::Batch batch(registry_);
+    submitted_.add(1);
+    accepted_.add(1);
+  }
+  max_queue_depth_ = std::max(max_queue_depth_, depth + 1);
   queue_cv_.notify_one();
   return future;
 }
@@ -171,27 +244,107 @@ std::future<PlanResult> PlanService::submit(PlanRequest request) {
 void PlanService::worker_loop() {
   for (;;) {
     std::shared_ptr<Inflight> job;
+    bool cold_lane = false;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_) return;
-        continue;
+      // Warm work is always runnable; cold work only while a warm-reserved
+      // slot remains free (shutdown bypasses the cap to drain fast).
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || !warm_queue_.empty() ||
+               (!cold_queue_.empty() && active_cold_ < max_cold_);
+      });
+      if (!warm_queue_.empty()) {
+        job = std::move(warm_queue_.front());
+        warm_queue_.pop_front();
+      } else if (!cold_queue_.empty() &&
+                 (stopping_ || active_cold_ < max_cold_)) {
+        job = std::move(cold_queue_.front());
+        cold_queue_.pop_front();
+        cold_lane = true;
+        ++active_cold_;
+      } else if (stopping_) {
+        return;
+      } else {
+        continue;  // woken for a cold job the cap forbids us to take
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
       ++active_jobs_;
     }
-    process(job);
+    process(job, cold_lane);
+    bool wake_cold = false;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
       --active_jobs_;
-      if (queue_.empty() && active_jobs_ == 0) idle_cv_.notify_all();
+      if (cold_lane) {
+        --active_cold_;
+        // Releasing a cold slot can make a parked worker's predicate true;
+        // cv waits are on queue_cv_, so hand the slot over explicitly.
+        wake_cold = !cold_queue_.empty();
+      }
+      if (warm_queue_.empty() && cold_queue_.empty() && active_jobs_ == 0) {
+        idle_cv_.notify_all();
+      }
     }
+    if (wake_cold) queue_cv_.notify_one();
   }
 }
 
-void PlanService::process(const std::shared_ptr<Inflight>& job) {
+bool PlanService::degrade_or_fail(const std::shared_ptr<Inflight>& job) {
+  // Serve-stale first: the freshest certified same-structure plan is a
+  // valid (if no longer optimal) answer, and the client asked for bounded
+  // latency, not a bounded optimality gap.
+  std::shared_ptr<const PlanPayload> stale;
+  if (options_.serve_stale) {
+    stale = cache_.find_warm(job->key.op, job->fingerprint.structure,
+                             [&job](const PlanPayload& p) {
+                               return warm_compatible(job->request, p.request);
+                             });
+  }
+  // Drop from inflight_ BEFORE answering so a racing identical submit
+  // starts a fresh solve instead of attaching to an already-answered job.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (auto it = inflight_.find(job->key);
+        it != inflight_.end() && it->second == job) {
+      inflight_.erase(it);
+    }
+  }
+  if (stale) {
+    {
+      obs::Registry::Batch batch(registry_);
+      deadline_misses_.add(1);
+      degraded_served_.add(job->waiters.size());
+    }
+    trace_event("degraded_serve");
+    PlanResult result;
+    result.payload = std::move(stale);
+    result.source = PlanResult::Source::kStale;
+    result.fingerprint = job->fingerprint;
+    result.degraded = true;
+    for (Waiter& waiter : job->waiters) {
+      result.latency_ms = ms_since(waiter.submitted);
+      record_latency(result.latency_ms);
+      waiter.promise.set_value(result);
+    }
+    job->waiters.clear();
+    return true;  // keep solving: the fresh plan warms the cache
+  }
+  {
+    obs::Registry::Batch batch(registry_);
+    deadline_misses_.add(1);
+    failed_.add(1);
+  }
+  trace_event("deadline_fail");
+  auto error = std::make_exception_ptr(
+      ServiceError(ServiceErrorCode::kDeadlineExceeded,
+                   "deadline of " + std::to_string(job->deadline_ms) +
+                       " ms fired before the solve started"));
+  for (Waiter& waiter : job->waiters) waiter.promise.set_exception(error);
+  job->waiters.clear();
+  return false;
+}
+
+void PlanService::process(const std::shared_ptr<Inflight>& job,
+                          bool cold_lane) {
   auto drop_inflight = [&] {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (auto it = inflight_.find(job->key);
@@ -215,6 +368,16 @@ void PlanService::process(const std::shared_ptr<Inflight>& job) {
       waiter.promise.set_value(result);
     }
   };
+
+  // Queue-wait deadline, measured from the leader's submit stamp: if the
+  // budget burned down before the solve even started, answer NOW —
+  // degraded if a stale plan exists, typed kDeadlineExceeded otherwise.
+  // The degraded case keeps solving below with zero waiters so the next
+  // request finds a fresh plan (the solve time is sunk either way).
+  if (job->deadline_ms > 0.0 && !job->waiters.empty() &&
+      ms_since(job->waiters.front().submitted) > job->deadline_ms) {
+    if (!degrade_or_fail(job)) return;
+  }
 
   try {
     // Re-check the cache: a racing worker (or a submit that lost the
@@ -253,11 +416,21 @@ void PlanService::process(const std::shared_ptr<Inflight>& job) {
     }
     const std::uint64_t solve_t0 =
         obs::Trace::enabled() ? obs::Trace::now_ns() : 0;
+    const auto solve_start = std::chrono::steady_clock::now();
     std::shared_ptr<PlanPayload> payload = solve(job->request, warm_from);
+    const double solve_ms = ms_since(solve_start);
     const bool warm = warm_from != nullptr && payload->warm_started();
     if (obs::Trace::enabled()) {
       obs::Trace::record(warm ? "warm_solve" : "cold_solve", "service",
                          solve_t0, obs::Trace::now_ns() - solve_t0);
+    }
+    // Feed the lane the admission gate reads (the admission-time
+    // classification, not the solver's warm/cold outcome — admission can
+    // only ever see the former).
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      double& eta = cold_lane ? cold_eta_ms_ : warm_eta_ms_;
+      eta = eta <= 0.0 ? solve_ms : 0.7 * eta + 0.3 * solve_ms;
     }
     (warm ? warm_hits_ : cold_solves_).add(1);
     cache_.insert(job->key, job->fingerprint.structure, payload);
@@ -324,7 +497,8 @@ void PlanService::record_latency(double ms) {
 void PlanService::drain() {
   std::unique_lock<std::mutex> lock(queue_mu_);
   idle_cv_.wait(lock, [this] {
-    return queue_.empty() && active_jobs_ == 0 && inflight_.empty();
+    return warm_queue_.empty() && cold_queue_.empty() && active_jobs_ == 0 &&
+           inflight_.empty();
   });
 }
 
@@ -335,9 +509,15 @@ obs::Snapshot PlanService::metrics_snapshot() const {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     registry_.gauge("service_queue_depth")
-        .set(static_cast<double>(queue_.size()));
+        .set(static_cast<double>(warm_queue_.size() + cold_queue_.size()));
+    registry_.gauge("service_warm_queue_depth")
+        .set(static_cast<double>(warm_queue_.size()));
+    registry_.gauge("service_cold_queue_depth")
+        .set(static_cast<double>(cold_queue_.size()));
     registry_.gauge("service_max_queue_depth")
         .set(static_cast<double>(max_queue_depth_));
+    registry_.gauge("service_warm_eta_ms").set(warm_eta_ms_);
+    registry_.gauge("service_cold_eta_ms").set(cold_eta_ms_);
   }
   {
     std::lock_guard<std::mutex> lock(latency_mu_);
@@ -375,6 +555,10 @@ ServiceMetrics PlanService::metrics() const {
   ServiceMetrics m;
   m.shards = cache_.shard_metrics();
   m.submitted = count("service_submitted");
+  m.accepted = count("service_accepted");
+  m.shed = count("service_shed");
+  m.deadline_misses = count("service_deadline_misses");
+  m.degraded_served = count("service_degraded_served");
   m.deduplicated = count("service_deduplicated");
   m.exact_hits = count("service_exact_hits");
   m.warm_hits = count("service_warm_hits");
@@ -390,6 +574,8 @@ ServiceMetrics PlanService::metrics() const {
   m.drift_resolves = count("service_drift_resolves");
   m.exec_oneport_violations = count("exec_oneport_violations");
   m.exec_delivery_errors = count("exec_delivery_errors");
+  m.exec_faults_injected = count("exec_faults_injected");
+  m.exec_retransmits = count("exec_retransmits");
   m.last_efficiency = snap.value("exec_last_efficiency");
   m.last_achieved_bytes_per_sec =
       snap.value("exec_last_achieved_bytes_per_sec");
@@ -421,11 +607,17 @@ PlanService::ExecuteResult PlanService::execute(const PlanRequest& request,
   }
 
   // Observe: feed measured per-edge rates back as a platform correction.
-  if (options.resolve_on_drift && out.report.error.empty()) {
+  if (options.resolve_on_drift && out.report.fault.ok()) {
     out.drift = exec::infer_cost_drift(pf, out.report,
                                        options.drift_threshold);
     if (!out.drift.empty()) {
       OBS_SPAN_CAT("drift_resolve", "service");
+      // The cached plan was certified against rates the platform no longer
+      // delivers — age it out so exact hits stop serving it.
+      const RequestDigest d = digest(request);
+      if (cache_.invalidate(d.key, d.fingerprint.structure)) {
+        cache_invalidations_.add(1);
+      }
       auto applied = platform::apply_delta(pf, out.drift);
       out.drifted_request = request;
       std::visit(
@@ -436,14 +628,31 @@ PlanService::ExecuteResult PlanService::execute(const PlanRequest& request,
       out.updated = submit(out.drifted_request).get();
       out.resolved = true;
     }
+  } else if (!out.report.fault.ok()) {
+    // Typed execution fault: the run is DEGRADED, not silently failed.
+    // The plan itself is still the model's best certified answer (the
+    // fault was injected/transient, not a cost drift), so it stays cached;
+    // a fire-and-forget re-submit re-warms the entry's LRU position so the
+    // next caller is answered inline even after pressure evictions.
+    out.degraded = true;
+    trace_event("exec_degraded");
+    try {
+      (void)submit(request);  // future discarded: background refresh
+    } catch (const ServiceError&) {
+      // Shedding/shutdown while degraded is itself a typed, reported
+      // outcome — never an unreported error.
+    }
   }
 
   {
     obs::Registry::Batch batch(registry_);
     executions_.add(1);
     if (out.resolved) drift_resolves_.add(1);
+    if (out.degraded) degraded_served_.add(1);
     exec_oneport_violations_.add(out.report.oneport_violations);
     exec_delivery_errors_.add(out.report.delivery_errors);
+    exec_faults_injected_.add(out.report.faults_injected);
+    exec_retransmits_.add(out.report.retransmits);
     last_efficiency_.set(out.report.efficiency);
     last_achieved_bytes_per_sec_.set(out.report.achieved_bytes_per_sec);
     last_certified_bytes_per_sec_.set(out.report.certified_bytes_per_sec);

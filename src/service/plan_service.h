@@ -24,6 +24,20 @@
 // was produced — a warm hit is indistinguishable from a cold solve except
 // in latency.
 //
+// Overload safety: the request queue is TWO lanes. Requests that can be
+// served by an incremental warm re-solve (a same-structure basis is
+// cached) ride the warm lane; everything else is a cold solve. Workers
+// always prefer the warm lane, and at most (workers - 1) of them may run
+// cold solves concurrently, so a flood of heavy cold work can never starve
+// cheap warm re-solves — one worker is effectively reserved for the warm
+// lane. Admission control sheds with a typed ServiceError(kOverloaded)
+// when the queue is past max_queue_depth or the lane's backlog times its
+// observed solve-time ETA exceeds admission_budget_ms. A request whose
+// deadline fires while it is still queued is served STALE (the last
+// certified same-structure plan, flagged degraded=true, solve continues in
+// the background) when serve_stale allows, else fails with a typed
+// ServiceError(kDeadlineExceeded).
+//
 // Thread-safety contract: every public method may be called from any
 // thread. Shutdown (destructor) stops intake, finishes every queued job,
 // and joins the workers — futures obtained from submit() are always
@@ -42,6 +56,7 @@
 #include "exec/program.h"
 #include "obs/metrics.h"
 #include "platform/delta.h"
+#include "service/errors.h"
 #include "service/metrics.h"
 #include "service/plan_cache.h"
 #include "service/plan_types.h"
@@ -68,6 +83,27 @@ struct PlanServiceOptions {
   bool enable_warm_start = true;
   /// Submit-to-fulfillment latency samples kept for the percentile report.
   std::size_t latency_reservoir = 1 << 14;
+
+  // ---- overload safety ----
+  /// Hard queue-depth cap across both lanes; a submit that would exceed it
+  /// is shed with ServiceError(kOverloaded). 0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// ETA-based admission budget: shed when (lane backlog + 1) x the lane's
+  /// observed per-solve ETA (EWMA, ms) exceeds this. 0 = off.
+  double admission_budget_ms = 0.0;
+  /// Default per-request deadline (PlanRequest::deadline_ms overrides);
+  /// fires only while the request is still queued. 0 = no deadline.
+  double default_deadline_ms = 0.0;
+  /// Serve-stale degraded mode: a deadline-missed request gets the last
+  /// certified same-structure plan flagged degraded=true (and the solve
+  /// continues in the background) instead of an exception. Only applies
+  /// when a stale candidate exists.
+  bool serve_stale = true;
+  /// Cold-lane concurrency cap; 0 = workers - 1 (min 1), which reserves
+  /// one worker for the warm lane. Ignored when there is a single worker.
+  std::size_t max_cold_workers = 0;
+  /// Exact-cache TTL in ms (see PlanCache); 0 = entries never expire.
+  double cache_ttl_ms = 0.0;
 };
 
 struct ExecuteOptions {
@@ -90,6 +126,12 @@ struct ExecuteResult {
   /// link performed as modeled (within threshold).
   platform::PlatformDelta drift;
   bool resolved = false;  ///< drift exceeded threshold and was re-solved
+  /// The run ended with a typed execution fault (report.fault): the served
+  /// plan is still the best certified one, but the measurement is not a
+  /// clean steady-state window. The cached plan was kept (faults are a
+  /// platform problem, not a plan problem) and a background re-solve was
+  /// scheduled so the next request re-certifies.
+  bool degraded = false;
   /// Set when resolved: the corrected request (drifted costs applied) and
   /// the re-solved plan it produced — warm-started from the executed
   /// plan's basis whenever the cache allows.
@@ -106,14 +148,20 @@ class PlanService {
   PlanService& operator=(const PlanService&) = delete;
 
   /// Submits one planning request. Returns immediately; the future is
-  /// fulfilled inline on an exact cache hit, else by a worker. Throws
-  /// std::runtime_error if called during/after shutdown. A request whose
-  /// solve throws (e.g. unreachable target) forwards the exception through
-  /// the future to every deduplicated waiter.
+  /// fulfilled inline on an exact cache hit, else by a worker. Throws a
+  /// typed ServiceError (a std::runtime_error): kShutdown during/after
+  /// shutdown, kOverloaded when admission control sheds the request. A
+  /// request whose solve throws (e.g. unreachable target) forwards the
+  /// exception through the future to every deduplicated waiter.
   [[nodiscard]] std::future<PlanResult> submit(PlanRequest request);
 
-  /// Blocks until every submitted request has been fulfilled and the
-  /// queue is empty. (New submissions during drain() extend the wait.)
+  /// Blocks until the service is idle: both lanes empty, no worker mid-
+  /// solve, and no in-flight entry left (so every future handed out before
+  /// the call is fulfilled). Submissions racing drain() either land before
+  /// the idle predicate holds — extending the wait — or are rejected by
+  /// shutdown; either way drain() never returns while an accepted request
+  /// is unfulfilled. Concurrent with submit()/shutdown() by design: the
+  /// predicate is evaluated under the same queue lock intake uses.
   void drain();
 
   /// Stops intake (subsequent submit() calls throw), finishes every job
@@ -161,10 +209,19 @@ class PlanService {
     platform::Fingerprint fingerprint;
     PlanRequest request;
     std::vector<Waiter> waiters;
+    /// Lane classification at admission (no same-structure basis cached).
+    bool cold = false;
+    /// Resolved deadline (request override or service default); 0 = none.
+    double deadline_ms = 0.0;
   };
 
   void worker_loop();
-  void process(const std::shared_ptr<Inflight>& job);
+  void process(const std::shared_ptr<Inflight>& job, bool cold_lane);
+  /// Serve-stale fallback for a deadline-missed job: fulfills every waiter
+  /// with the last certified same-structure plan flagged degraded, or
+  /// fails them typed when none exists. Returns true when the (now
+  /// waiter-less) solve should still run in the background.
+  bool degrade_or_fail(const std::shared_ptr<Inflight>& job);
   /// Solves `request` (warm from `warm_from` when given); returns the
   /// cache-ready payload.
   std::shared_ptr<PlanPayload> solve(
@@ -181,11 +238,21 @@ class PlanService {
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::shared_ptr<Inflight>> queue_;
+  /// Two-lane queue: warm_queue_ holds requests a cached basis can serve
+  /// incrementally, cold_queue_ everything else. Workers prefer warm; at
+  /// most max_cold_ of them run cold jobs concurrently (see header doc).
+  std::deque<std::shared_ptr<Inflight>> warm_queue_;
+  std::deque<std::shared_ptr<Inflight>> cold_queue_;
   std::unordered_map<CacheKey, std::shared_ptr<Inflight>, CacheKeyHash>
       inflight_;
   bool stopping_ = false;
   std::size_t active_jobs_ = 0;
+  std::size_t active_cold_ = 0;
+  std::size_t max_cold_ = 1;
+  /// Per-lane EWMA of observed solve time, for the admission ETA
+  /// (queue_mu_). Milliseconds; 0 until the first solve of that class.
+  double warm_eta_ms_ = 0.0;
+  double cold_eta_ms_ = 0.0;
 
   // Unified metrics registry (see metrics_snapshot()). Counters that must
   // stay cross-consistent (the request-outcome family, the cache-lookup
@@ -195,6 +262,10 @@ class PlanService {
   // `mutable` so const readers can refresh point-in-time gauges.
   mutable obs::Registry registry_;
   obs::Counter& submitted_;
+  obs::Counter& accepted_;
+  obs::Counter& shed_;
+  obs::Counter& deadline_misses_;
+  obs::Counter& degraded_served_;
   obs::Counter& deduplicated_;
   obs::Counter& exact_hits_;
   obs::Counter& warm_hits_;
@@ -203,10 +274,13 @@ class PlanService {
   obs::Counter& cache_lookups_;
   obs::Counter& cache_hits_;
   obs::Counter& cache_misses_;
+  obs::Counter& cache_invalidations_;
   obs::Counter& executions_;
   obs::Counter& drift_resolves_;
   obs::Counter& exec_oneport_violations_;
   obs::Counter& exec_delivery_errors_;
+  obs::Counter& exec_faults_injected_;
+  obs::Counter& exec_retransmits_;
   obs::Gauge& last_efficiency_;
   obs::Gauge& last_achieved_bytes_per_sec_;
   obs::Gauge& last_certified_bytes_per_sec_;

@@ -30,6 +30,8 @@ const char* to_string(PlanResult::Source source) {
       return "warm-hit";
     case PlanResult::Source::kColdSolve:
       return "cold-solve";
+    case PlanResult::Source::kStale:
+      return "stale";
   }
   return "?";
 }

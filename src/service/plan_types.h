@@ -28,6 +28,11 @@ struct PlanRequest {
                platform::ReduceInstance>
       instance;
   core::PlanOptions options;
+  /// Per-request fulfillment deadline in milliseconds from submit(); 0 =
+  /// the service default. Delivery QoS only — deliberately NOT part of the
+  /// cache identity (same_request / CacheKey ignore it), so requests that
+  /// differ only in urgency share one solve and one cache entry.
+  double deadline_ms = 0.0;
 
   [[nodiscard]] Operation operation() const {
     return static_cast<Operation>(instance.index());
@@ -98,6 +103,7 @@ struct PlanResult {
     kExactHit,   // served from cache, no solve
     kWarmHit,    // re-solved incrementally from a cached basis
     kColdSolve,  // solved from scratch
+    kStale,      // degraded mode: last certified same-structure plan
   };
 
   std::shared_ptr<const PlanPayload> payload;
@@ -106,6 +112,12 @@ struct PlanResult {
   /// Wall-clock from submit() to fulfillment (queue wait + solve included;
   /// ~0 for exact hits answered inline).
   double latency_ms = 0.0;
+  /// Serve-stale contract: true when the plan is NOT certified for the
+  /// requested platform (deadline fired, execution faulted) but was served
+  /// anyway as the best known same-structure plan. A background re-solve
+  /// has been scheduled; the caller may use the plan at reduced efficiency
+  /// or retry later.
+  bool degraded = false;
 
   [[nodiscard]] const num::Rational& throughput() const {
     return payload->throughput();

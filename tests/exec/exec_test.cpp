@@ -29,21 +29,7 @@ namespace {
 using exec::ExecOptions;
 using exec::ExecProgram;
 using exec::ExecReport;
-
-bool sanitized_build() {
-#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
-  return true;
-#elif defined(__has_feature)
-#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
-    __has_feature(undefined_behavior_sanitizer)
-  return true;
-#else
-  return false;
-#endif
-#else
-  return false;
-#endif
-}
+using exec::sanitized_build;  // shared with the engine's watchdog scaling
 
 /// Fast test pacing: shorter periods for the virtual backend don't matter,
 /// but the threaded runs spend real wall time.
@@ -63,7 +49,7 @@ ExecOptions quick_options() {
 template <typename RunFn>
 ExecReport best_effort(RunFn run, double floor, int attempts = 3) {
   ExecReport best = run();
-  for (int i = 1; i < attempts && best.error.empty() &&
+  for (int i = 1; i < attempts && best.fault.ok() &&
                   best.oneport_violations == 0 && best.delivery_errors == 0 &&
                   best.efficiency < floor;
        ++i) {
@@ -74,7 +60,7 @@ ExecReport best_effort(RunFn run, double floor, int attempts = 3) {
 }
 
 void expect_clean(const ExecReport& report) {
-  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_TRUE(report.fault.ok()) << report.fault.to_string();
   EXPECT_EQ(report.oneport_violations, 0u);
   EXPECT_EQ(report.delivery_errors, 0u);
   EXPECT_GT(report.operations, 0u);
@@ -184,7 +170,7 @@ TEST(EventExecTest, InjectedDriftShowsUpAsLostEfficiencyAndInferredCosts) {
   opt.link_rate_scale.assign(inst.platform.num_edges(), 0.5);
   const ExecReport report =
       sim::simulate_flow_execution(inst.platform, plan, opt);
-  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_TRUE(report.fault.ok()) << report.fault.to_string();
   EXPECT_LT(report.efficiency, 0.7) << report.to_string(inst.platform);
   EXPECT_GT(report.efficiency, 0.3);
 
@@ -260,7 +246,8 @@ TEST(ThreadedExecTest, RejectsScheduleThatFailsStaticOneportCheck) {
     GTEST_SKIP() << "duplicated activity still fits; nothing to reject";
   }
   const ExecReport report = exec::execute(program, quick_options());
-  EXPECT_FALSE(report.error.empty());
+  EXPECT_EQ(report.fault.code, exec::FaultCode::kOneportStatic);
+  EXPECT_FALSE(report.fault.message.empty());
   EXPECT_GT(report.oneport_violations, 0u);
   EXPECT_FALSE(report.ok());
 }

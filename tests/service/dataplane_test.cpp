@@ -205,7 +205,7 @@ TEST(DataPlaneTest, ExecuteMeasuresAchievedAgainstCertifiedBound) {
   const PlanService::ExecuteResult run =
       service.execute(fig2_request(), simulate_options());
 
-  EXPECT_TRUE(run.report.error.empty()) << run.report.error;
+  EXPECT_TRUE(run.report.fault.ok()) << run.report.fault.to_string();
   EXPECT_TRUE(run.report.simulated);
   EXPECT_EQ(run.report.oneport_violations, 0u);
   EXPECT_EQ(run.report.delivery_errors, 0u);
@@ -237,7 +237,7 @@ TEST(DataPlaneTest, DriftTriggersWarmResolveAndRecoversEfficiency) {
   degraded.exec.link_rate_scale.assign(platform.num_edges(), 0.5);
   const PlanService::ExecuteResult slow = service.execute(request, degraded);
 
-  EXPECT_TRUE(slow.report.error.empty()) << slow.report.error;
+  EXPECT_TRUE(slow.report.fault.ok()) << slow.report.fault.to_string();
   EXPECT_GT(slow.report.efficiency, 0.3);
   EXPECT_LT(slow.report.efficiency, 0.7)
       << "halved links must show up as lost efficiency";
@@ -253,7 +253,7 @@ TEST(DataPlaneTest, DriftTriggersWarmResolveAndRecoversEfficiency) {
   // the new certified bound recovers, and no further drift is observed.
   const PlanService::ExecuteResult recovered =
       service.execute(slow.drifted_request, simulate_options());
-  EXPECT_TRUE(recovered.report.error.empty()) << recovered.report.error;
+  EXPECT_TRUE(recovered.report.fault.ok()) << recovered.report.fault.to_string();
   EXPECT_GT(recovered.report.efficiency, 0.9)
       << "re-solve must recover efficiency against the corrected bound";
   EXPECT_TRUE(recovered.drift.empty());
@@ -274,7 +274,7 @@ TEST(DataPlaneTest, ExecuteServesReduceThroughTheSameLoop) {
   const PlanService::ExecuteResult run =
       service.execute(request, simulate_options());
 
-  EXPECT_TRUE(run.report.error.empty()) << run.report.error;
+  EXPECT_TRUE(run.report.fault.ok()) << run.report.fault.to_string();
   EXPECT_EQ(run.report.oneport_violations, 0u);
   EXPECT_GT(run.report.efficiency, 0.9);
   EXPECT_LT(run.report.efficiency, 1.1);

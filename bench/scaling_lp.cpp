@@ -23,6 +23,7 @@
 #include <iostream>
 #include <limits>
 
+#include "core/gather_lp.h"
 #include "core/gossip_lp.h"
 #include "core/reduce_lp.h"
 #include "core/scatter_lp.h"
@@ -95,6 +96,10 @@ void BM_ReduceLpLarge(benchmark::State& state) {
   std::size_t rounds = 0;
   std::size_t generated = 0;
   std::size_t total = 0;
+  std::size_t rows_active = 0;
+  std::size_t rows_total = 0;
+  std::size_t stab_rounds = 0;
+  std::size_t factor_fill = 0;
   std::uint64_t certify_ns = 0;
   std::uint64_t sweep_ns = 0;
   std::uint64_t ftran_ns = 0;
@@ -110,6 +115,10 @@ void BM_ReduceLpLarge(benchmark::State& state) {
     rounds += sol.lp_colgen_rounds;
     generated += sol.lp_columns_generated;
     total = sol.lp_columns_total;
+    rows_active += sol.lp_rows_active;
+    rows_total = sol.lp_rows_total;
+    stab_rounds += sol.lp_stab_rounds;
+    factor_fill = std::max(factor_fill, sol.lp_phase_times.factor_fill);
     certify_ns += sol.lp_phase_times.certify_ns;
     sweep_ns += sol.lp_phase_times.pricing_sweep_ns;
     ftran_ns += sol.lp_phase_times.ftran_ns;
@@ -123,6 +132,10 @@ void BM_ReduceLpLarge(benchmark::State& state) {
   state.counters["colgen_rounds"] = static_cast<double>(rounds);
   state.counters["columns_generated"] = static_cast<double>(generated);
   state.counters["columns_total"] = static_cast<double>(total);
+  state.counters["rows_active"] = static_cast<double>(rows_active);
+  state.counters["rows_total"] = static_cast<double>(rows_total);
+  state.counters["stab_rounds"] = static_cast<double>(stab_rounds);
+  state.counters["factor_fill_nonzeros"] = static_cast<double>(factor_fill);
   state.counters["certify_ms"] = static_cast<double>(certify_ns) / 1e6;
   state.counters["pricing_sweep_ms"] = static_cast<double>(sweep_ns) / 1e6;
   state.counters["ftran_ms"] = static_cast<double>(ftran_ns) / 1e6;
@@ -144,9 +157,11 @@ void BM_ScatterLpBreakdown(benchmark::State& state) {
   auto inst = bench_support::random_scatter_instance(42, n, n / 2);
   auto model = core::build_scatter_lp(inst);
   lp::ExactSolver solver;
+  std::size_t factor_fill = 0;
   for (auto _ : state) {
     auto sol = solver.solve(model);
     benchmark::DoNotOptimize(sol.objective);
+    factor_fill = std::max(factor_fill, sol.phase_times.factor_fill);
   }
   const lp::SolverStats stats = solver.stats();
   const double solves = static_cast<double>(stats.solves ? stats.solves : 1);
@@ -158,6 +173,7 @@ void BM_ScatterLpBreakdown(benchmark::State& state) {
       static_cast<double>(stats.pricing_ns) / 1e6 / solves;
   state.counters["factor_ms"] =
       static_cast<double>(stats.factor_ns) / 1e6 / solves;
+  state.counters["factor_fill_nonzeros"] = static_cast<double>(factor_fill);
   state.counters["presolve_rows_removed"] =
       static_cast<double>(stats.presolve_rows_removed) / solves;
   state.counters["presolve_cols_removed"] =
@@ -275,6 +291,37 @@ void BM_GossipLp(benchmark::State& state) {
       static_cast<double>(pivots), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GossipLp)->Arg(6)->Arg(9)->Arg(12)->Arg(16)->Arg(24)->Arg(32)
+    ->Iterations(3)->Unit(benchmark::kMillisecond);
+
+// Gather evaluated for column generation (DESIGN.md "Raw-speed LP core"):
+// a gather is the gossip LP restricted to a single sink, so its variable
+// count is linear in the arc count (one flow variable per commodity per
+// arc) — there is no interval-indexed quadratic column space to price
+// over, and a restricted master would pay the pricing loop for nothing.
+// This benchmark is the measurement behind keeping gather on the dense
+// build path.
+void BM_GatherLp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto platform = bench_support::random_platform(45, n);
+  std::vector<graph::NodeId> sources;
+  for (std::size_t i = 0; i + 1 < n && sources.size() < 8; ++i) {
+    sources.push_back(i);
+  }
+  std::size_t pivots = 0;
+  std::size_t solves = 0;
+  for (auto _ : state) {
+    auto flow =
+        core::solve_gather(platform, sources, n - 1, num::Rational(1));
+    benchmark::DoNotOptimize(flow.throughput);
+    pivots += flow.lp_pivots;
+    ++solves;
+  }
+  state.counters["pivots"] =
+      static_cast<double>(pivots) / static_cast<double>(solves ? solves : 1);
+  state.counters["pivots_per_sec"] = benchmark::Counter(
+      static_cast<double>(pivots), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GatherLp)->Arg(6)->Arg(12)->Arg(24)->Arg(32)->Arg(48)
     ->Iterations(3)->Unit(benchmark::kMillisecond);
 
 void BM_ReduceLp(benchmark::State& state) {

@@ -122,11 +122,17 @@ lp::Model IntervalFlowOracle::build_master(
   const auto& graph = instance_.platform.graph();
   Model model;
 
-  // --- Row skeleton: the COMPLETE row set of the full model, in exactly
-  // the dense builder's order and names, each row created empty (columns
-  // land via Model::add_column below). Emission follows the FULL variable
+  // --- Row skeleton: the COMPLETE row set of the full model, ENUMERATED in
+  // exactly the dense builder's order and names but not materialized — rows
+  // get full row ids into row_specs_, and only the ones touched by seed
+  // columns below land in the master (the colgen driver activates the rest
+  // lazily; see the header comment). Emission follows the FULL variable
   // pattern — a row whose support is entirely absent from the master must
-  // still exist, or the master's duals could not price those columns.
+  // still be priceable, or the oracle's dual lookups would misindex.
+  auto add_row = [&](Sense sense, Rational rhs, std::string name) {
+    row_specs_.push_back({std::move(name), sense, std::move(rhs)});
+    return row_specs_.size() - 1;
+  };
   op_out_row_.assign(graph.num_nodes(), kNoRow);
   op_in_row_.assign(graph.num_nodes(), kNoRow);
   compute_row_.assign(graph.num_nodes(), kNoRow);
@@ -140,29 +146,18 @@ lp::Model IntervalFlowOracle::build_master(
       return false;
     };
     if (port_any(graph.out_edges(n))) {
-      op_out_row_[n] = model
-                           .add_constraint(LinearExpr{}, Sense::kLessEqual,
-                                           Rational(1),
-                                           "oneport_out_" +
-                                               node_tag(instance_.platform, n))
-                           .index;
+      op_out_row_[n] =
+          add_row(Sense::kLessEqual, Rational(1),
+                  "oneport_out_" + node_tag(instance_.platform, n));
     }
     if (port_any(graph.in_edges(n))) {
-      op_in_row_[n] = model
-                          .add_constraint(LinearExpr{}, Sense::kLessEqual,
-                                          Rational(1),
-                                          "oneport_in_" +
-                                              node_tag(instance_.platform, n))
-                          .index;
+      op_in_row_[n] = add_row(Sense::kLessEqual, Rational(1),
+                              "oneport_in_" + node_tag(instance_.platform, n));
     }
   }
   for (NodeId n : compute_nodes_) {
-    compute_row_[n] = model
-                          .add_constraint(LinearExpr{}, Sense::kLessEqual,
-                                          Rational(1),
-                                          "compute_" +
-                                              node_tag(instance_.platform, n))
-                          .index;
+    compute_row_[n] = add_row(Sense::kLessEqual, Rational(1),
+                              "compute_" + node_tag(instance_.platform, n));
   }
   conserve_row_.assign(sp_.num_intervals(),
                        std::vector<std::size_t>(graph.num_nodes(), kNoRow));
@@ -207,9 +202,7 @@ lp::Model IntervalFlowOracle::build_master(
         name = "prefix_demand_" + std::to_string(m);
       }
       conserve_row_[iv][node] =
-          model.add_constraint(LinearExpr{}, Sense::kEqual, Rational(0),
-                               std::move(name))
-              .index;
+          add_row(Sense::kEqual, Rational(0), std::move(name));
       if (sink) sink_rows.push_back(conserve_row_[iv][node]);
     }
   }
@@ -222,12 +215,26 @@ lp::Model IntervalFlowOracle::build_master(
   cons_seed.erase(std::unique(cons_seed.begin(), cons_seed.end()),
                   cons_seed.end());
 
+  // Seed columns carry FULL row ids; the master row for a full row is
+  // created on first touch (first-touch order of the deterministic seed
+  // sequence — the same activation discipline the driver follows later).
+  std::vector<std::size_t> full_to_master(row_specs_.size(), kNoRow);
   auto append = [&](const GeneratedColumn& gc) {
     std::vector<std::pair<RowId, Rational>> rows;
     rows.reserve(gc.entries.size());
     for (const auto& [row, coeff] : gc.entries) {
-      rows.emplace_back(RowId{row}, coeff);
+      if (full_to_master[row] == kNoRow) {
+        const lp::GeneratedRow& spec = row_specs_[row];
+        full_to_master[row] =
+            model.add_constraint(LinearExpr{}, spec.sense, spec.rhs, spec.name)
+                .index;
+        master_row_origins_.push_back(row);
+      }
+      rows.emplace_back(RowId{full_to_master[row]}, coeff);
     }
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.first.index < b.first.index;
+    });
     lp::VarId v = model.add_column(gc.name, gc.objective, rows);
     added(gc, v);
   };

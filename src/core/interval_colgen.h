@@ -9,12 +9,17 @@
 // is the structural PricingOracle the colgen driver (lp/colgen.h) runs
 // against:
 //
-//  * build_master() lays down the COMPLETE row skeleton of the full model —
-//    identical names, order, senses and right-hand sides to the dense
-//    builders in reduce_lp.cpp / prefix_lp.cpp, which is what lets a master
-//    solution extend to the full model with zeros and lets master duals
-//    price absent columns — then materializes only the seed columns
-//    (heuristic reduction-tree plans, the support of a previous solution);
+//  * build_master() ENUMERATES the complete row skeleton of the full model
+//    — identical names, senses and right-hand sides to the dense builders
+//    in reduce_lp.cpp / prefix_lp.cpp — but materializes only the rows the
+//    seed columns (heuristic reduction-tree plans, the support of a
+//    previous solution) and the TP column touch: the oracle is also a ROW
+//    generator (full_row_count/row_spec), so the colgen driver activates
+//    the remaining rows lazily as priced-in columns first reference them.
+//    Every skeleton row is zero-feasible (<= with rhs 1, == with rhs 0),
+//    which is what lets a master solution extend to the full model with
+//    zeros over absent columns AND inactive rows, and lets master duals —
+//    lifted with zeros — price absent columns;
 //  * price() / price_exact() walk the implicit (interval, edge) send grid
 //    and the (node, task) cons grid in one structured pass, deriving each
 //    column's four-row support from the skeleton instead of from any
@@ -83,6 +88,22 @@ class IntervalFlowOracle final : public lp::PricingOracle {
   // --- lp::PricingOracle --------------------------------------------------
   [[nodiscard]] std::size_t total_columns() const override {
     return total_columns_;
+  }
+  /// Row generation: the full row skeleton is enumerated (names, senses,
+  /// right-hand sides) but NOT materialized by build_master — the master
+  /// starts with only the rows its seed columns and the TP column touch
+  /// (at n=256 that leaves ~10k conservation/one-port rows out), and the
+  /// colgen driver activates the rest lazily as priced-in columns first
+  /// reference them. All emitted column entries are in FULL row ids.
+  [[nodiscard]] std::size_t full_row_count() const override {
+    return row_specs_.size();
+  }
+  [[nodiscard]] lp::GeneratedRow row_spec(
+      std::size_t full_row) const override {
+    return row_specs_[full_row];
+  }
+  [[nodiscard]] std::vector<std::size_t> master_row_origins() const override {
+    return master_row_origins_;
   }
   void price(const std::vector<double>& y, double tolerance,
              std::size_t max_columns,
@@ -166,12 +187,17 @@ class IntervalFlowOracle final : public lp::PricingOracle {
   std::vector<NodeId> compute_nodes_;
   std::vector<char> is_compute_;
 
-  // Full row skeleton (master row ids; kNoRow where the full model has no
-  // such row).
+  // Full row skeleton (FULL row ids into row_specs_; kNoRow where the full
+  // model has no such row).
   std::vector<std::size_t> op_out_row_;
   std::vector<std::size_t> op_in_row_;
   std::vector<std::size_t> compute_row_;
   std::vector<std::vector<std::size_t>> conserve_row_;  // [interval][node]
+  /// Name/sense/rhs of every full-model row, indexed by full row id.
+  std::vector<lp::GeneratedRow> row_specs_;
+  /// Full row id behind each master row of the freshly built master (the
+  /// rows the seed columns and TP touch), in master row order.
+  std::vector<std::size_t> master_row_origins_;
 
   // Column registry: master var index per implicit column, or kAbsent /
   // kSuppressed; identity tags per master var (for extract()).

@@ -285,6 +285,9 @@ ReduceSolution solve_prefix(const ReduceInstance& instance,
   out.lp_colgen_rounds = sol.colgen_rounds;
   out.lp_columns_generated = sol.colgen_columns_generated;
   out.lp_columns_total = sol.colgen_columns_total;
+  out.lp_rows_active = sol.colgen_rows_active;
+  out.lp_rows_total = sol.colgen_rows_total;
+  out.lp_stab_rounds = sol.colgen_stab_rounds;
 
   if (options.prune_cycles) out.prune_cycles(instance);
   return out;

@@ -46,6 +46,13 @@ struct ReduceSolution {
   std::size_t lp_colgen_rounds = 0;
   std::size_t lp_columns_generated = 0;
   std::size_t lp_columns_total = 0;
+  /// Row-generation telemetry (zero on dense solves): rows of the implicit
+  /// full model and how many the restricted master ever activated —
+  /// active/total is the fraction of the row space the solve paid for.
+  std::size_t lp_rows_active = 0;
+  std::size_t lp_rows_total = 0;
+  /// Pricing rounds priced at Wentges-smoothed duals (dual stabilization).
+  std::size_t lp_stab_rounds = 0;
   /// Wall-clock phase split of the LP solve (FTRAN/BTRAN/pricing/factor from
   /// the float engine, certification + colgen pricing sweeps from
   /// ExactSolver) — what BENCH_lp.json's certify_ms/pricing_sweep_ms track.

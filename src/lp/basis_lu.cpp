@@ -1,18 +1,38 @@
 #include "lp/basis_lu.h"
 
-#include <bit>
+#include <algorithm>
 #include <cmath>
 
 namespace ssco::lp {
 
 namespace {
 
-inline void set_bit(std::vector<std::uint64_t>& bits, std::size_t i) {
-  bits[i >> 6] |= std::uint64_t{1} << (i & 63);
-}
+/// Threshold-pivoting relaxation used with the fill-reducing preorder: any
+/// row within this factor of the column's largest magnitude is numerically
+/// acceptable, freeing the Markowitz rule to pick the sparsest. 0.1 is the
+/// classical default (Reid); growth is bounded by 1/0.1 per step and the
+/// engines refactorize and certify against exact arithmetic anyway.
+constexpr double kMarkowitzThreshold = 0.1;
 
-inline void clear_bit(std::vector<std::uint64_t>& bits, std::size_t i) {
-  bits[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+/// Per-thread scratch of factor(), reused across refactorizations: the
+/// simplex engines refactorize every few dozen pivots, and with the
+/// preorder keeping elimination cheap the ~20 per-call allocations (and
+/// their page faults) were a measurable share of refactorization cost.
+/// thread_local because parallel certification factors concurrently.
+/// Everything is 32-bit: the peel and the symbolic elimination are bound by
+/// random access into these arrays, so halving their footprint is a direct
+/// cache win (basis dimensions stay far below 2^31 — see BasisLu::Index).
+struct FactorScratch {
+  std::vector<std::int32_t> ccount, rstart, rfill, rcount, rdeg, pivoted_at,
+      touched, reach, stack, rcols, front, back, cq, rq, bump, order, ufill,
+      lfill;
+  std::vector<char> col_done, row_done, marked;
+  std::vector<double> x;
+};
+
+FactorScratch& factor_scratch() {
+  static thread_local FactorScratch s;
+  return s;
 }
 
 }  // namespace
@@ -25,97 +45,302 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
 
   BasisLu lu;
   lu.options_ = options;
+  FactorScratch& fs = factor_scratch();
+  // Remaining-pattern row degrees for threshold-Markowitz pivoting; empty
+  // (and the pivot rule untouched) unless fill_preorder is on.
+  std::vector<Index>& rdeg = fs.rdeg;
+  rdeg.clear();
+  // Nonzeros of the selected basis columns — the natural reserve for the
+  // factor arenas (fill typically lands within ~1.5x of it; a rare overflow
+  // just regrows the arena). Reserving by the FULL matrix nnz instead paid
+  // allocator and paging cost for the master's entire column pool on every
+  // refactorization.
+  std::size_t basis_nnz = 0;
+  for (std::size_t p = 0; p < m; ++p) {
+    basis_nnz +=
+        static_cast<std::size_t>(A.col_end(columns[p]) - A.col_begin(columns[p]));
+  }
+  // Static fill-reducing preorder (see Options::fill_preorder): eliminate in
+  // ascending column-nonzero order. pos_of_step stays EMPTY for the identity
+  // order so the solve paths keep their no-permute fast path.
+  if (options.fill_preorder) {
+    // Tomlin-style static triangularization of the basis pattern. Peel
+    // column singletons (one entry in a still-active row) to the FRONT —
+    // each eliminates with that lone row as pivot, empty L column, zero
+    // fill — and row singletons (one active column touches the row) to the
+    // BACK, iterating both to closure since every peel can expose new
+    // singletons. What survives is the irreducible "bump", ordered by
+    // ascending remaining count; ALL fill is confined to it. Steady-state
+    // basis matrices are almost entirely triangularizable, so the bump —
+    // and with it the factor fill — is a small fraction of m.
+    std::vector<Index>& ccount = fs.ccount;
+    std::vector<Index>& rstart = fs.rstart;
+    ccount.resize(m);
+    rstart.assign(m + 1, 0);
+    for (std::size_t p = 0; p < m; ++p) {
+      const auto* b = A.col_begin(columns[p]);
+      const auto* e = A.col_end(columns[p]);
+      ccount[p] = static_cast<Index>(e - b);
+      for (const auto* it = b; it != e; ++it) ++rstart[it->row + 1];
+    }
+    for (std::size_t r = 0; r < m; ++r) rstart[r + 1] += rstart[r];
+    std::vector<Index>& rcols = fs.rcols;
+    rcols.resize(basis_nnz);
+    {
+      std::vector<Index>& fill = fs.rfill;
+      fill.assign(rstart.begin(), rstart.end() - 1);
+      for (std::size_t p = 0; p < m; ++p) {
+        for (const auto* it = A.col_begin(columns[p]);
+             it != A.col_end(columns[p]); ++it) {
+          rcols[fill[it->row]++] = static_cast<Index>(p);
+        }
+      }
+    }
+    std::vector<Index>& rcount = fs.rcount;
+    rcount.resize(m);
+    for (std::size_t r = 0; r < m; ++r) rcount[r] = rstart[r + 1] - rstart[r];
+    rdeg.assign(rcount.begin(), rcount.end());
+    std::vector<char>& col_done = fs.col_done;
+    std::vector<char>& row_done = fs.row_done;
+    col_done.assign(m, 0);
+    row_done.assign(m, 0);
+    std::vector<Index>& front = fs.front;
+    std::vector<Index>& back = fs.back;
+    std::vector<Index>& cq = fs.cq;
+    std::vector<Index>& rq = fs.rq;
+    front.clear();
+    back.clear();
+    cq.clear();
+    rq.clear();
+    for (std::size_t p = 0; p < m; ++p) {
+      if (ccount[p] == 1) cq.push_back(static_cast<Index>(p));
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (rcount[r] == 1) rq.push_back(static_cast<Index>(r));
+    }
+    // Drops column p and row r from the active pattern, updating counts and
+    // enqueueing any singleton either removal exposes.
+    const auto retire = [&](std::size_t p, std::size_t r) {
+      col_done[p] = 1;
+      row_done[r] = 1;
+      for (Index t = rstart[r]; t < rstart[r + 1]; ++t) {
+        const auto q = static_cast<std::size_t>(rcols[t]);
+        if (!col_done[q] && --ccount[q] == 1) {
+          cq.push_back(static_cast<Index>(q));
+        }
+      }
+      for (const auto* it = A.col_begin(columns[p]);
+           it != A.col_end(columns[p]); ++it) {
+        if (!row_done[it->row] && --rcount[it->row] == 1) {
+          rq.push_back(static_cast<Index>(it->row));
+        }
+      }
+    };
+    while (!cq.empty() || !rq.empty()) {
+      if (!cq.empty()) {
+        const auto p = static_cast<std::size_t>(cq.back());
+        cq.pop_back();
+        if (col_done[p] || ccount[p] != 1) continue;  // stale queue entry
+        for (const auto* it = A.col_begin(columns[p]);
+             it != A.col_end(columns[p]); ++it) {
+          if (!row_done[it->row]) {
+            front.push_back(static_cast<Index>(p));
+            retire(p, it->row);
+            break;
+          }
+        }
+      } else {
+        const auto r = static_cast<std::size_t>(rq.back());
+        rq.pop_back();
+        if (row_done[r] || rcount[r] != 1) continue;
+        for (Index t = rstart[r]; t < rstart[r + 1]; ++t) {
+          const auto q = static_cast<std::size_t>(rcols[t]);
+          if (!col_done[q]) {
+            back.push_back(static_cast<Index>(q));
+            retire(q, r);
+            break;
+          }
+        }
+      }
+    }
+    std::vector<Index>& bump = fs.bump;
+    bump.clear();
+    for (std::size_t p = 0; p < m; ++p) {
+      if (!col_done[p]) bump.push_back(static_cast<Index>(p));
+    }
+    std::stable_sort(bump.begin(), bump.end(), [&](Index a, Index b) {
+      return ccount[static_cast<std::size_t>(a)] <
+             ccount[static_cast<std::size_t>(b)];
+    });
+    std::vector<Index>& order = fs.order;
+    order.assign(front.begin(), front.end());
+    order.insert(order.end(), bump.begin(), bump.end());
+    order.insert(order.end(), back.rbegin(), back.rend());
+    bool identity = true;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (order[k] != static_cast<Index>(k)) {
+        identity = false;
+        break;
+      }
+    }
+    if (!identity) lu.pos_of_step_.assign(order.begin(), order.end());
+  }
   lu.pivot_row_.assign(m, 0);
   lu.l_start_.assign(1, 0);
   lu.u_start_.assign(1, 0);
   lu.l_start_.reserve(m + 1);
   lu.u_start_.reserve(m + 1);
-  lu.l_idx_.reserve(A.num_nonzeros());
-  lu.l_val_.reserve(A.num_nonzeros());
-  lu.u_idx_.reserve(A.num_nonzeros());
-  lu.u_val_.reserve(A.num_nonzeros());
+  lu.l_idx_.reserve(basis_nnz);
+  lu.l_val_.reserve(basis_nnz);
+  lu.u_idx_.reserve(basis_nnz);
+  lu.u_val_.reserve(basis_nnz);
   lu.diag_.assign(m, 0.0);
 
-  // pivoted_at[i] = elimination step that chose row i, or m if still free.
-  std::vector<std::size_t> pivoted_at(m, m);
-  std::vector<double> x(m, 0.0);
-  std::vector<std::size_t> touched;
+  // pivoted_at[i] = elimination step that chose row i, or -1 if still free.
+  std::vector<Index>& pivoted_at = fs.pivoted_at;
+  pivoted_at.assign(m, -1);
+  std::vector<double>& x = fs.x;
+  x.assign(m, 0.0);
+  std::vector<Index>& touched = fs.touched;
+  touched.clear();
   touched.reserve(m);
-  // live[j] set <=> x[pivot_row_[j]] may be nonzero: the only steps the
-  // left-looking probe loop below has to visit. Maintained alongside every
-  // write into x (scatter and elimination updates both set it; the
-  // end-of-column drain clears it), so the probe walks set bits instead of
-  // all k prior steps — same float operations, same order, O(k/64) scan.
-  std::vector<std::uint64_t> live((m + 64) / 64, 0);
+  // Gilbert–Peierls symbolic scratch: the steps whose pivot rows the working
+  // column can reach through the L pattern (marked[] is the visited stamp,
+  // reach the collected set, stack the DFS worklist). Reach size is the
+  // column's fill, so the per-column cost tracks nnz instead of k.
+  std::vector<char>& marked = fs.marked;
+  marked.assign(m, 0);
+  std::vector<Index>& reach = fs.reach;
+  std::vector<Index>& stack = fs.stack;
+  reach.clear();
+  stack.clear();
 
   for (std::size_t k = 0; k < m; ++k) {
-    // x = column k of B, scattered dense.
-    for (const CscMatrix::Entry* e = A.col_begin(columns[k]);
-         e != A.col_end(columns[k]); ++e) {
+    // Basis position eliminated at this step (identity unless preordered).
+    const std::size_t pos =
+        lu.pos_of_step_.empty() ? k : static_cast<std::size_t>(lu.pos_of_step_[k]);
+    // x = the basis column at `pos`, scattered dense; seed the symbolic DFS
+    // with every scattered row that is already pivoted.
+    for (const CscMatrix::Entry* e = A.col_begin(columns[pos]);
+         e != A.col_end(columns[pos]); ++e) {
       x[e->row] = e->value;
-      touched.push_back(e->row);
-      if (pivoted_at[e->row] != m) set_bit(live, pivoted_at[e->row]);
-    }
-    // Left-looking solve L x' = x against the already-built columns, in
-    // elimination order. Updates only ever mark steps LATER than the one
-    // being processed (an L column never contains its own or an earlier
-    // pivot row), so draining each word lowest-bit-first with a done-mask
-    // — which picks up bits set mid-word — still visits steps in strictly
-    // increasing order.
-    const std::size_t words = (k + 63) / 64;
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t done = 0;
-      for (;;) {
-        const std::uint64_t pending = live[w] & ~done;
-        if (pending == 0) break;
-        const int bit = std::countr_zero(pending);
-        done |= std::uint64_t{1} << bit;
-        const std::size_t j = (w << 6) | static_cast<std::size_t>(bit);
-        const double xp = x[lu.pivot_row_[j]];
-        if (xp == 0.0) continue;
-        const std::size_t lend = lu.l_start_[j + 1];
-        for (std::size_t t = lu.l_start_[j]; t < lend; ++t) {
-          const auto row = static_cast<std::size_t>(lu.l_idx_[t]);
-          if (x[row] == 0.0) touched.push_back(row);
-          x[row] -= lu.l_val_[t] * xp;
-          if (pivoted_at[row] != m) set_bit(live, pivoted_at[row]);
+      touched.push_back(static_cast<Index>(e->row));
+      const Index p = pivoted_at[e->row];
+      if (p >= 0 && !marked[p]) {
+        marked[p] = 1;
+        stack.push_back(p);
+        // Depth-first closure over the L pattern: an update from step s can
+        // only write rows in L's column s, whose pivot steps are strictly
+        // LATER than s — so the reach set is exactly the candidate steps the
+        // old dense/bitset probe would have visited, found in O(|reach| +
+        // pattern edges) instead of O(k).
+        while (!stack.empty()) {
+          const Index s = stack.back();
+          stack.pop_back();
+          reach.push_back(s);
+          const std::size_t lend = lu.l_start_[s + 1];
+          for (std::size_t t = lu.l_start_[s]; t < lend; ++t) {
+            const Index q = pivoted_at[static_cast<std::size_t>(lu.l_idx_[t])];
+            if (q >= 0 && !marked[q]) {
+              marked[q] = 1;
+              stack.push_back(q);
+            }
+          }
         }
       }
     }
-    // Partial pivoting over the rows not yet chosen.
-    std::size_t pivot = m;
-    double best = 0.0;
-    for (std::size_t row : touched) {
-      if (pivoted_at[row] != m) continue;
-      const double mag = std::fabs(x[row]);
-      if (mag > best) {
-        best = mag;
-        pivot = row;
+    // Ascending step order IS a topological order of the reach DAG (edges
+    // only point to later steps), and it is the exact order the previous
+    // probe loop visited contributing steps in — so the numeric update pass
+    // below performs the SAME floating-point operations in the SAME order,
+    // including the xp == 0.0 skip of entries that cancelled numerically.
+    std::sort(reach.begin(), reach.end());
+    for (const Index j : reach) {
+      marked[j] = 0;
+      const double xp = x[lu.pivot_row_[j]];
+      if (xp == 0.0) continue;
+      const std::size_t lend = lu.l_start_[j + 1];
+      for (std::size_t t = lu.l_start_[j]; t < lend; ++t) {
+        const auto row = static_cast<std::size_t>(lu.l_idx_[t]);
+        if (x[row] == 0.0) touched.push_back(static_cast<Index>(row));
+        x[row] -= lu.l_val_[t] * xp;
       }
     }
-    if (pivot == m || best < options.pivot_tolerance) return std::nullopt;
+    reach.clear();
+    // Pivot choice over the rows not yet chosen, in touch order.
+    Index pivot = -1;
+    double best = 0.0;
+    if (rdeg.empty()) {
+      // Legacy partial pivoting: strictly largest magnitude — the tie-break
+      // order the old accumulator used, preserved so degenerate models land
+      // on the identical vertex.
+      for (const Index row : touched) {
+        if (pivoted_at[row] >= 0) continue;
+        const double mag = std::fabs(x[row]);
+        if (mag > best) {
+          best = mag;
+          pivot = row;
+        }
+      }
+    } else {
+      // Threshold-Markowitz (fill_preorder only): among the numerically
+      // acceptable rows — within kMarkowitzThreshold of the largest
+      // magnitude — pick the one that appears in the FEWEST remaining
+      // columns. The L column's length is fixed by the touched set, but the
+      // pivot row seeds the update DFS of every future column containing
+      // it, so a low-degree pivot row keeps fill out of the columns still
+      // to come; ties go to the larger magnitude (stability).
+      for (const Index row : touched) {
+        if (pivoted_at[row] >= 0) continue;
+        const double mag = std::fabs(x[row]);
+        if (mag > best) best = mag;
+      }
+      const double floor_mag = kMarkowitzThreshold * best;
+      Index best_deg = 0;
+      double best_mag = 0.0;
+      for (const Index row : touched) {
+        if (pivoted_at[row] >= 0) continue;
+        const double mag = std::fabs(x[row]);
+        if (mag < floor_mag) continue;
+        const Index deg = rdeg[row];
+        if (pivot < 0 || deg < best_deg ||
+            (deg == best_deg && mag > best_mag)) {
+          pivot = row;
+          best_deg = deg;
+          best_mag = mag;
+        }
+      }
+    }
+    if (pivot < 0 || best < options.pivot_tolerance) return std::nullopt;
 
-    lu.pivot_row_[k] = pivot;
-    pivoted_at[pivot] = k;
+    lu.pivot_row_[k] = static_cast<std::size_t>(pivot);
+    pivoted_at[pivot] = static_cast<Index>(k);
     const double dk = x[pivot];
     lu.diag_[k] = dk;
-    for (std::size_t row : touched) {
+    for (const Index row : touched) {
       const double v = x[row];
       x[row] = 0.0;  // reset the accumulator as we drain it
-      const std::size_t p = pivoted_at[row];
-      if (p != m) clear_bit(live, p);
+      const Index p = pivoted_at[row];
       if (row == pivot || std::fabs(v) <= options.drop_tolerance) continue;
-      if (p != m) {
-        lu.u_idx_.push_back(static_cast<Index>(p));
+      if (p >= 0) {
+        lu.u_idx_.push_back(p);
         lu.u_val_.push_back(v);
       } else {
-        lu.l_idx_.push_back(static_cast<Index>(row));
+        lu.l_idx_.push_back(row);
         lu.l_val_.push_back(v / dk);
       }
     }
     lu.l_start_.push_back(lu.l_idx_.size());
     lu.u_start_.push_back(lu.u_idx_.size());
     touched.clear();
+    if (!rdeg.empty()) {
+      // This column leaves the remaining pattern: drop its original entries
+      // from the Markowitz row degrees.
+      for (const CscMatrix::Entry* e = A.col_begin(columns[pos]);
+           e != A.col_end(columns[pos]); ++e) {
+        --rdeg[e->row];
+      }
+    }
   }
   lu.factor_nnz_ = m + lu.l_idx_.size() + lu.u_idx_.size();
 
@@ -133,10 +358,10 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
   lu.lt_idx_.resize(lu.l_idx_.size());
   lu.lt_val_.resize(lu.l_idx_.size());
   {
-    std::vector<std::size_t> ufill(lu.ur_start_.begin(),
-                                   lu.ur_start_.end() - 1);
-    std::vector<std::size_t> lfill(lu.lt_start_.begin(),
-                                   lu.lt_start_.end() - 1);
+    std::vector<Index>& ufill = fs.ufill;
+    std::vector<Index>& lfill = fs.lfill;
+    ufill.assign(lu.ur_start_.begin(), lu.ur_start_.end() - 1);
+    lfill.assign(lu.lt_start_.begin(), lu.lt_start_.end() - 1);
     for (std::size_t k = 0; k < m; ++k) {
       for (std::size_t t = lu.u_start_[k]; t < lu.u_start_[k + 1]; ++t) {
         const std::size_t at = ufill[lu.u_idx_[t]]++;
@@ -151,6 +376,28 @@ std::optional<BasisLu> BasisLu::factor(const CscMatrix& A,
     }
   }
   return lu;
+}
+
+std::size_t BasisLu::append_identity_row() {
+  // The extended basis is block-diagonal [[B, 0], [0, 1]]: no existing basis
+  // column touches the new row and the new column is the unit vector on it,
+  // so the factorization extends by one trivial elimination step — pivot at
+  // the new row, diagonal 1, empty L and U columns — without touching any
+  // existing factor or eta entry (all their indices stay valid).
+  const std::size_t row = dim();
+  // Under a fill-reducing preorder the new step eliminates the new position.
+  if (!pos_of_step_.empty()) pos_of_step_.push_back(static_cast<Index>(row));
+  pivot_row_.push_back(row);
+  l_start_.push_back(l_idx_.size());
+  u_start_.push_back(u_idx_.size());
+  diag_.push_back(1.0);
+  // Transposed mirrors: the new position has no U row entries and the new
+  // original row no L-transpose entries, so both offset tables just repeat
+  // their last offset.
+  ur_start_.push_back(ur_start_.back());
+  lt_start_.push_back(lt_start_.back());
+  factor_nnz_ += 1;
+  return row;
 }
 
 void BasisLu::ftran(std::vector<double>& x, Workspace& ws) const {
@@ -185,7 +432,16 @@ void BasisLu::ftran(std::vector<double>& x, Workspace& ws) const {
       }
     }
   }
-  x.swap(y);
+  // y is in STEP space; under a preorder (pos_of_step_ non-empty) scatter it
+  // into position space — the permutation covers every index, so x is fully
+  // overwritten. Identity order keeps the allocation-free swap.
+  if (pos_of_step_.empty()) {
+    x.swap(y);
+  } else {
+    for (std::size_t k = 0; k < m; ++k) {
+      x[static_cast<std::size_t>(pos_of_step_[k])] = y[k];
+    }
+  }
   // Product-form updates, oldest first.
   {
     const Index* const idx = eta_idx_.data();
@@ -224,21 +480,32 @@ void BasisLu::btran(std::vector<double>& x, Workspace& ws) const {
       x[eta_r_[e]] = t / eta_pivot_[e];
     }
   }
-  // Forward solve U' w = c in position space, PUSH form: once w_k is final
-  // its contributions scatter along row k of U, and a zero w_k — the
-  // overwhelmingly common case for the near-singleton vectors the simplex
-  // prices with — costs nothing.
+  // Forward solve U' w = c, PUSH form: once w_k is final its contributions
+  // scatter along row k of U, and a zero w_k — the overwhelmingly common
+  // case for the near-singleton vectors the simplex prices with — costs
+  // nothing. U is indexed by STEP; under a preorder the position-space input
+  // is first gathered into step space (ws.scratch2), the identity order
+  // solves in x directly.
+  std::vector<double>* w = &x;
+  if (!pos_of_step_.empty()) {
+    ws.scratch2.resize(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      ws.scratch2[k] = x[static_cast<std::size_t>(pos_of_step_[k])];
+    }
+    w = &ws.scratch2;
+  }
   {
+    double* const wv = w->data();
     const Index* const idx = ur_idx_.data();
     const double* const val = ur_val_.data();
     for (std::size_t k = 0; k < m; ++k) {
-      const double t = x[k];
+      const double t = wv[k];
       if (t == 0.0) continue;
       const double wk = t / diag_[k];
-      x[k] = wk;
+      wv[k] = wk;
       const std::size_t end = ur_start_[k + 1];
       for (std::size_t tt = ur_start_[k]; tt < end; ++tt) {
-        x[idx[tt]] -= val[tt] * wk;
+        wv[idx[tt]] -= val[tt] * wk;
       }
     }
   }
@@ -247,7 +514,7 @@ void BasisLu::btran(std::vector<double>& x, Workspace& ws) const {
   // (ltrans only targets earlier elimination steps).
   std::vector<double>& y = ws.scratch;
   y.assign(m, 0.0);
-  for (std::size_t k = 0; k < m; ++k) y[pivot_row_[k]] = x[k];
+  for (std::size_t k = 0; k < m; ++k) y[pivot_row_[k]] = (*w)[k];
   {
     const Index* const idx = lt_idx_.data();
     const double* const val = lt_val_.data();

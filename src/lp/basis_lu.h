@@ -2,16 +2,19 @@
 // LU-factorized simplex basis with product-form (eta) updates.
 //
 // Factors the m x m basis matrix B — given as a selection of columns of a
-// CSC constraint matrix — into P B = L U by left-looking Gaussian
-// elimination with partial pivoting over a dense accumulator: the factors
-// and all fill-in stay sparse. The classic left-looking probe loop checks
-// every prior elimination step for a contribution (O(m^2) probes on top of
-// the flops); here a bitset of LIVE pivot positions — steps whose pivot row
-// currently holds a nonzero of the working column — reduces the probe scan
-// to one word load per 64 steps plus the steps that actually contribute,
-// which removes the m^2 term from the measured profile while performing the
-// EXACT same floating-point operations in the same order. The factors
-// support
+// CSC constraint matrix — into P B = L U by Gilbert–Peierls left-looking
+// Gaussian elimination with partial pivoting: the factors and all fill-in
+// stay sparse, and so does the SYMBOLIC work. Per column, a depth-first
+// search over the pattern of L (seeded at the already-pivoted rows of the
+// scattered column, expanding through each reached column of L) computes
+// exactly the set of prior elimination steps that can contribute; sorted
+// ascending — a topological order of that DAG, since an L column only ever
+// points at strictly later steps — those steps are then applied numerically
+// in the same order, with the same skip of numerically-cancelled entries,
+// as the classic probe-every-prior-step loop. Factor cost therefore tracks
+// fill (O(flops + pattern edges)) instead of carrying an m^2/64 probe floor
+// per refactorization, while performing the EXACT same floating-point
+// operations in the same order. The factors support
 //   * FTRAN: solve B x = b   (entering-column transform, basic values),
 //   * BTRAN: solve B' y = c  (simplex multipliers, pricing row),
 // each in O(nnz(L) + nnz(U)) plus the eta file.
@@ -59,6 +62,21 @@ class BasisLu {
     double pivot_tolerance = 1e-11;
     /// Entries below this are dropped from the factors and eta vectors.
     double drop_tolerance = 1e-14;
+    /// Eliminate basis columns in ascending nonzero-count order (stable, so
+    /// ties keep position order) instead of position order — a static
+    /// Markowitz-style preorder. Slack/identity columns and other singletons
+    /// eliminate first with zero fill, and the dense tail is deferred to the
+    /// end where it can no longer generate fill in earlier columns; on the
+    /// steady-state bases here this cuts L+U fill several-fold, and every
+    /// FTRAN/BTRAN/refactorization is priced by that fill. The permutation
+    /// is internal: callers still address basis POSITIONS (ftran results,
+    /// btran inputs, eta updates are position-space as documented), at the
+    /// cost of one O(m) permute per solve. Off by default because the
+    /// elimination order changes the floating-point stream — equivalent
+    /// algebra, different rounding, possibly a different optimal VERTEX on
+    /// degenerate models — so it is an explicit engine-level policy, not a
+    /// silent kernel default.
+    bool fill_preorder = false;
   };
 
   /// Factors the matrix whose k-th column is A[:, columns[k]].
@@ -87,6 +105,10 @@ class BasisLu {
   /// allocate); contents are meaningless between calls.
   struct Workspace {
     std::vector<double> scratch;
+    /// Second scratch used by btran when the factorization carries a
+    /// fill-reducing preorder (the position -> step permute needs a buffer
+    /// distinct from the row-space accumulator).
+    std::vector<double> scratch2;
   };
 
   /// Solves B x = b in place: on entry `x` holds b (row space), on exit the
@@ -114,6 +136,15 @@ class BasisLu {
   /// too small to pivot on; the caller should refactorize instead.
   [[nodiscard]] bool update(std::size_t r, const std::vector<double>& w);
 
+  /// Extends the factorization by one dimension for a freshly APPENDED
+  /// matrix row whose basic column is the unit vector on that row (the
+  /// row-generation append: no existing column touches the new row, so the
+  /// extended basis is block-diagonal and the new elimination step is
+  /// pivot = new row, diagonal 1, no off-diagonal fill). Existing factors,
+  /// mirrors and the eta file stay untouched and valid. Returns the new
+  /// row's index (== dim() - 1 afterwards).
+  std::size_t append_identity_row();
+
  private:
   /// Row / position indices of the factor arenas. Basis dimensions are row
   /// counts of the expanded models, far below 2^31.
@@ -122,6 +153,10 @@ class BasisLu {
   Options options_;
   /// pivot_row_[k]: row chosen as pivot at elimination step k (a permutation).
   std::vector<std::size_t> pivot_row_;
+  /// Basis position eliminated at step k under a fill-reducing preorder
+  /// (Options::fill_preorder); EMPTY when the order is the identity, which
+  /// the solve paths use as the no-permute fast path.
+  std::vector<Index> pos_of_step_;
 
   // Column k of L (unit diagonal implicit): multipliers (row, l_ik) for rows
   // not yet pivoted at step k, in original row indices. Stored SoA:

@@ -31,7 +31,8 @@ std::uint64_t ns_since(Clock::time_point t0) {
 constexpr std::size_t kExactMasterRowLimit = 1500;
 
 /// Float reduced cost A'y - c of a not-yet-materialized column (`y` indexed
-/// by model row) — the driver's cheap reprice of pooled candidates.
+/// by the oracle's row space) — the driver's cheap reprice of pooled
+/// candidates.
 double reduced_cost(const GeneratedColumn& gc, const std::vector<double>& y) {
   double d = -gc.objective.to_double();
   for (const auto& [row, coeff] : gc.entries) {
@@ -49,13 +50,29 @@ void sort_by_violation(std::vector<std::pair<double, GeneratedColumn>>& cols) {
 }
 
 std::vector<std::pair<RowId, Rational>> row_entries(
-    const GeneratedColumn& gc) {
-  std::vector<std::pair<RowId, Rational>> entries;
-  entries.reserve(gc.entries.size());
-  for (const auto& [row, coeff] : gc.entries) {
-    entries.emplace_back(RowId{row}, coeff);
+    const std::vector<std::pair<std::size_t, Rational>>& entries) {
+  std::vector<std::pair<RowId, Rational>> rows;
+  rows.reserve(entries.size());
+  for (const auto& [row, coeff] : entries) {
+    rows.emplace_back(RowId{row}, coeff);
   }
-  return entries;
+  return rows;
+}
+
+/// Zero-feasibility of a row spec: does the row hold when every column is
+/// zero? The activation gate of RevisedSimplex::append_row and the condition
+/// under which a never-activated row is satisfied by the zero extension.
+bool zero_feasible(const GeneratedRow& spec) {
+  const int s = spec.rhs.signum();
+  switch (spec.sense) {
+    case Sense::kLessEqual:
+      return s >= 0;
+    case Sense::kGreaterEqual:
+      return s <= 0;
+    case Sense::kEqual:
+      return s == 0;
+  }
+  return false;
 }
 
 }  // namespace
@@ -75,9 +92,29 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
   }
 
   ExpandedModel em = ExpandedModel::from(master);
-  const std::size_t num_model_rows = em.num_model_rows;
   const Parallel par = solve_parallel(context);
   oracle.set_parallel(par);
+
+  // --- Row generation state. ----------------------------------------------
+  // Under row generation the oracle speaks FULL row ids; the driver owns the
+  // full-to-master map, activates a row the moment a materialized column
+  // first touches it, and lifts duals back to full space (zeros at inactive
+  // rows) for every pricing call.
+  constexpr std::size_t kInactive = static_cast<std::size_t>(-1);
+  const std::size_t full_rows = oracle.full_row_count();
+  const bool rowgen = full_rows != 0;
+  std::vector<std::size_t> full_to_master;
+  std::size_t rows_active = 0;
+  if (rowgen) {
+    full_to_master.assign(full_rows, kInactive);
+    const std::vector<std::size_t> origins = oracle.master_row_origins();
+    for (std::size_t mrow = 0; mrow < origins.size(); ++mrow) {
+      full_to_master[origins[mrow]] = mrow;
+    }
+    rows_active = origins.size();
+    out.colgen_rows_total = full_rows;
+  }
+  out.colgen_rows_active = rows_active;
 
   // Times of engines already torn down (an abandoned warm attempt); the
   // live engine's cumulative clock is added on top at every exit. The
@@ -94,17 +131,50 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
     out.phase_times.pricing_sweep_ns = sweep_ns;
   };
 
+  // Master-row-space entries of a generated column (identity copy when the
+  // oracle does not generate rows). Every full row referenced must already
+  // be active; activation order differs from full-row order, so the
+  // translated entries are re-sorted to honour the ascending-row contract
+  // of ExpandedModel::append_column.
+  auto master_entries = [&](const GeneratedColumn& gc) {
+    if (!rowgen) return gc.entries;
+    std::vector<std::pair<std::size_t, Rational>> entries;
+    entries.reserve(gc.entries.size());
+    for (const auto& [row, coeff] : gc.entries) {
+      entries.emplace_back(full_to_master[row], coeff);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return entries;
+  };
+
   // Correctness net for every inconclusive outcome: materialize the full
-  // model and run the dense paths (which also own the exact infeasibility /
-  // unboundedness proofs). Column generation may only ever cost this
-  // fallback, never a wrong or silently-restricted answer.
+  // model — all rows, all columns — and run the dense paths (which also own
+  // the exact infeasibility / unboundedness proofs). Column generation may
+  // only ever cost this fallback, never a wrong or silently-restricted
+  // answer.
   auto full_fallback = [&]() -> ExactSolution {
     sync_times();
     out.colgen_columns_generated = master.num_variables() - seeded;
+    out.colgen_rows_active = rows_active;
+    if (rowgen) {
+      // The dense path re-expands the master from scratch, so the
+      // never-activated rows only need to exist in the MASTER (ascending
+      // full-row order keeps the completion deterministic).
+      for (std::size_t r = 0; r < full_rows; ++r) {
+        if (full_to_master[r] != kInactive) continue;
+        GeneratedRow spec = oracle.row_spec(r);
+        full_to_master[r] = master
+                                .add_constraint(LinearExpr{}, spec.sense,
+                                                spec.rhs, std::move(spec.name))
+                                .index;
+      }
+    }
     std::vector<GeneratedColumn> rest;
     oracle.materialize_all(rest);
     for (GeneratedColumn& gc : rest) {
-      VarId v = master.add_column(gc.name, gc.objective, row_entries(gc));
+      VarId v = master.add_column(gc.name, gc.objective,
+                                  row_entries(master_entries(gc)));
       oracle.added(gc, v);
     }
     ExactSolution dense = solve_impl(master, context);
@@ -115,6 +185,9 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
     dense.colgen_columns_seeded = seeded;
     dense.colgen_columns_generated = out.colgen_columns_generated;
     dense.colgen_columns_total = out.colgen_columns_total;
+    dense.colgen_rows_active = out.colgen_rows_active;
+    dense.colgen_rows_total = out.colgen_rows_total;
+    dense.colgen_stab_rounds = out.colgen_stab_rounds;
     dense.colgen_round_log = std::move(out.colgen_round_log);
     dense.method = "colgen-fallback+" + dense.method;
     record_solve(dense, context);
@@ -174,6 +247,25 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
     }
   }
 
+  // Activates full row `r` across the whole stack: master, expanded model
+  // and the live engine (which extends its basis block-diagonally — no
+  // refactorization, no phase 1). False means the row is not zero-feasible
+  // and the caller must take the dense fallback.
+  auto activate_row = [&](std::size_t r) -> bool {
+    if (full_to_master[r] != kInactive) return true;
+    if (em.rows.size() != em.num_model_rows) return false;  // bound rows
+    GeneratedRow spec = oracle.row_spec(r);
+    if (!zero_feasible(spec)) return false;
+    const RowId rid =
+        master.add_constraint(LinearExpr{}, spec.sense, spec.rhs, spec.name);
+    const std::size_t mrow = em.append_row(spec.sense, spec.rhs);
+    if (mrow != rid.index) return false;
+    if (!engine->append_row(spec.sense, spec.rhs)) return false;
+    full_to_master[r] = mrow;
+    ++rows_active;
+    return true;
+  };
+
   // --- The solve -> price -> append loop. ---------------------------------
   // `pool` holds oracle-emitted candidates that did not make a batch; the
   // driver reprices them against fresh duals (cheap — it has the entries)
@@ -184,12 +276,27 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
   double last_objective = -std::numeric_limits<double>::infinity();
   std::size_t stagnant = 0;
 
+  // Wentges smoothing state: the dual vector (oracle row space) of the best
+  // master objective seen so far.
+  const double alpha = std::clamp(colgen.stabilization, 0.0, 0.99);
+  std::vector<double> y_center;
+  double center_objective = -std::numeric_limits<double>::infinity();
+
   auto append_all = [&](std::vector<GeneratedColumn>& cols) -> bool {
     for (GeneratedColumn& gc : cols) {
-      VarId v = master.add_column(gc.name, gc.objective, row_entries(gc));
-      const std::size_t var = em.append_column(gc.objective, gc.entries);
+      if (rowgen) {
+        // Activate the column's rows first (entry order — ascending full
+        // row ids — keeps the master layout deterministic): the invariant
+        // that every materialized column's support lies in active rows.
+        for (const auto& [row, coeff] : gc.entries) {
+          if (!activate_row(row)) return false;
+        }
+      }
+      const auto entries = master_entries(gc);
+      VarId v = master.add_column(gc.name, gc.objective, row_entries(entries));
+      const std::size_t var = em.append_column(gc.objective, entries);
       if (var != v.index) return false;
-      if (engine->append_column(var, gc.entries) == RevisedSimplex::kNone ||
+      if (engine->append_column(var, entries) == RevisedSimplex::kNone ||
           !engine->ok()) {
         return false;
       }
@@ -198,20 +305,21 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
     return true;
   };
 
-  const std::size_t round_budget =
-      colgen.round_pivot_factor > 0.0
-          ? std::max(colgen.round_pivot_floor,
-                     static_cast<std::size_t>(
-                         colgen.round_pivot_factor *
-                         static_cast<double>(em.rows.size())))
-          : 0;
-
   for (std::size_t round = 0; round < colgen.max_rounds; ++round) {
     obs::SpanGuard round_span("colgen_round", "solver");
     round_span.set_arg(round);
     std::vector<double> cost = engine->phase2_costs();
     const std::size_t pivots_before = out.float_iterations;
     SimplexOptions round_options = options_.simplex;
+    // Row generation grows the master's row space mid-loop, so the pivot
+    // budget tracks the CURRENT row count.
+    const std::size_t round_budget =
+        colgen.round_pivot_factor > 0.0
+            ? std::max(colgen.round_pivot_floor,
+                       static_cast<std::size_t>(
+                           colgen.round_pivot_factor *
+                           static_cast<double>(em.rows.size())))
+            : 0;
     if (round_budget != 0) {
       round_options.max_iterations = std::min(
           round_options.max_iterations, out.float_iterations + round_budget);
@@ -237,16 +345,34 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
     ++out.colgen_rounds;
 
     const std::vector<double> duals = engine->extract_duals(cost);
-    const std::vector<double> y(duals.begin(),
-                                duals.begin() + num_model_rows);
+    // True pricing duals in the ORACLE's row space: full-model rows with
+    // zeros at inactive rows under row generation, the master's model rows
+    // otherwise.
+    std::vector<double> y;
+    if (rowgen) {
+      y.assign(full_rows, 0.0);
+      for (std::size_t r = 0; r < full_rows; ++r) {
+        if (full_to_master[r] != kInactive) y[r] = duals[full_to_master[r]];
+      }
+    } else {
+      y.assign(duals.begin(), duals.begin() + em.num_model_rows);
+    }
 
-    // Reprice the pool, then top up from the oracle.
-    std::vector<std::pair<double, GeneratedColumn>> candidates;
-    {
-      OBS_SPAN("pricing_sweep");
-      const auto sweep_t0 = Clock::now();
+    // Smoothing center: adopt the duals of any strictly-improving round.
+    const double objective = out.colgen_round_log.back().objective;
+    bool center_updated = false;
+    if (y_center.empty() || objective > center_objective) {
+      y_center = y;
+      center_objective = objective;
+      center_updated = true;
+    }
+
+    // One pricing pass at the given duals: reprice the pool, then top up
+    // from the oracle; most violated first.
+    auto collect = [&](const std::vector<double>& yp) {
+      std::vector<std::pair<double, GeneratedColumn>> candidates;
       for (GeneratedColumn& gc : pool) {
-        const double d = reduced_cost(gc, y);
+        const double d = reduced_cost(gc, yp);
         if (d < -colgen.pricing_tolerance) {
           candidates.emplace_back(d, std::move(gc));
         } else {
@@ -256,14 +382,38 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
       pool.clear();
       if (candidates.size() < batch) {
         std::vector<GeneratedColumn> emitted;
-        oracle.price(y, colgen.pricing_tolerance,
+        oracle.price(yp, colgen.pricing_tolerance,
                      std::max(colgen.emit, batch), emitted);
         for (GeneratedColumn& gc : emitted) {
           if (pooled.contains(gc.name)) continue;  // already a candidate
-          candidates.emplace_back(reduced_cost(gc, y), std::move(gc));
+          candidates.emplace_back(reduced_cost(gc, yp), std::move(gc));
         }
       }
       sort_by_violation(candidates);
+      return candidates;
+    };
+
+    std::vector<std::pair<double, GeneratedColumn>> candidates;
+    {
+      OBS_SPAN("pricing_sweep");
+      const auto sweep_t0 = Clock::now();
+      // Smooth towards the center unless this round IS the center (then the
+      // smoothed vector equals y and the pass would be a no-op duplicate).
+      if (alpha > 0.0 && !center_updated) {
+        std::vector<double> y_s(y.size());
+        for (std::size_t i = 0; i < y.size(); ++i) {
+          y_s[i] = alpha * y_center[i] + (1.0 - alpha) * y[i];
+        }
+        candidates = collect(y_s);
+        ++out.colgen_stab_rounds;
+        if (candidates.empty()) {
+          // Misprice: the smoothed duals see nothing, but only the TRUE
+          // duals may conclude the round found nothing to add.
+          candidates = collect(y);
+        }
+      } else {
+        candidates = collect(y);
+      }
       sweep_ns += ns_since(sweep_t0);
     }
 
@@ -280,11 +430,10 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
         }
       }
       // Stall detection: a degenerate tail (columns keep coming, objective
-      // does not move) converges faster with bigger batches. Read the
-      // objective BEFORE the append: new columns enter nonbasic at zero, so
+      // does not move) converges faster with bigger batches. The objective
+      // was read BEFORE the append: new columns enter nonbasic at zero, so
       // it cannot change — and after the append `cost` no longer covers
       // every column.
-      const double objective = out.colgen_round_log.back().objective;
       if (!append_all(fresh)) return full_fallback();
       out.colgen_columns_generated = master.num_variables() - seeded;
       if (objective <=
@@ -320,8 +469,6 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
       OBS_SPAN("certify");
       const auto certify_t0 = Clock::now();
       if (certify_float_result(em, fp, options_, candidate, par)) {
-        exact_duals.assign(candidate.dual.begin(),
-                           candidate.dual.begin() + num_model_rows);
         method = candidate.method == "double+certificate"
                      ? "colgen+certificate"
                      : "colgen+basis-verification";
@@ -332,21 +479,37 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
         SimplexResult<Rational> ex =
             solve_simplex<Rational>(em, options_.simplex);
         out.exact_iterations += ex.iterations;
-        if (ex.status != SolveStatus::kOptimal) return full_fallback();
+        if (ex.status != SolveStatus::kOptimal) {
+          certify_ns += ns_since(certify_t0);
+          return full_fallback();
+        }
         candidate.status = SolveStatus::kOptimal;
         candidate.primal = em.unshift(ex.primal);
         candidate.dual = std::move(ex.dual);
         candidate.objective = ex.objective + em.objective_constant;
         candidate.certified = true;
         fp.basis = ex.basis;
-        exact_duals.assign(candidate.dual.begin(),
-                           candidate.dual.begin() + num_model_rows);
         method = "colgen+exact-simplex";
       } else {
         certify_ns += ns_since(certify_t0);
         return full_fallback();
       }
       certify_ns += ns_since(certify_t0);
+      // Exact duals lifted to the oracle's row space; under row generation
+      // the zeros at inactive rows are exact by construction (the lifted
+      // pair's dual feasibility over absent columns is what the sweep below
+      // verifies).
+      if (rowgen) {
+        exact_duals.assign(full_rows, Rational(0));
+        for (std::size_t r = 0; r < full_rows; ++r) {
+          if (full_to_master[r] != kInactive) {
+            exact_duals[r] = candidate.dual[full_to_master[r]];
+          }
+        }
+      } else {
+        exact_duals.assign(candidate.dual.begin(),
+                           candidate.dual.begin() + em.num_model_rows);
+      }
     }
 
     std::vector<GeneratedColumn> violated;
@@ -365,16 +528,32 @@ ExactSolution ExactSolver::solve_colgen(Model& master, PricingOracle& oracle,
       continue;
     }
 
-    // Every absent column prices non-negative under the exact duals: the
-    // restricted certificate extends to the complete model.
+    if (rowgen) {
+      // The certificate extends to the complete model only if the zero
+      // extension satisfies every never-activated row (their duals are zero,
+      // so they contribute nothing to b'y and complementary slackness holds
+      // trivially). The interval skeletons pass by construction; a model
+      // that does not must be judged dense.
+      for (std::size_t r = 0; r < full_rows; ++r) {
+        if (full_to_master[r] == kInactive &&
+            !zero_feasible(oracle.row_spec(r))) {
+          return full_fallback();
+        }
+      }
+    }
+
+    // Every absent column prices non-negative under the exact duals and
+    // every inactive row holds at zero: the restricted certificate extends
+    // to the complete model.
     out.status = SolveStatus::kOptimal;
     out.objective = std::move(candidate.objective);
     out.primal = std::move(candidate.primal);
-    out.dual = std::move(candidate.dual);
+    out.dual = rowgen ? std::move(exact_duals) : std::move(candidate.dual);
     out.certified = true;
     out.method = std::move(method);
     out.warm_started = warm_live;
     out.colgen_columns_generated = master.num_variables() - seeded;
+    out.colgen_rows_active = rows_active;
     sync_times();
     if (context) {
       context->warm = capture_warm_start(master, fp.basis);

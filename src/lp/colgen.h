@@ -68,6 +68,18 @@ struct GeneratedColumn {
   std::uint64_t tag = 0;
 };
 
+/// One row of the implicit model, activated lazily by the driver under row
+/// generation (see PricingOracle::full_row_count): the name/sense/rhs a
+/// dense build of the full model would give the row. Only zero-feasible
+/// rows — satisfied when every column is zero — can be activated into a
+/// live master without disturbing primal feasibility; the driver falls back
+/// to the dense path on any other shape.
+struct GeneratedRow {
+  std::string name;
+  Sense sense = Sense::kLessEqual;
+  Rational rhs;
+};
+
 /// Structural description of the implicit column set. Implementations own
 /// the presence bookkeeping: a column is ABSENT until the driver reports it
 /// appended via added(); emitting a column from price()/price_exact() does
@@ -104,6 +116,42 @@ class PricingOracle {
   /// Materializes every still-absent column — the driver's dense-fallback
   /// completion.
   virtual void materialize_all(std::vector<GeneratedColumn>& out) = 0;
+
+  // --- Row generation (optional) ------------------------------------------
+  // An oracle that also generates ROWS starts the master with only the rows
+  // its seed columns touch; the driver activates further rows the moment a
+  // materialized column first references them. The invariant that makes the
+  // mathematics work swaps sides: instead of "the master holds every row",
+  // it is "every MATERIALIZED column's support lies in active rows", so a
+  // master solution still extends to the full model — by zeros over absent
+  // columns AND inactive rows (each inactive row must hold at zero activity,
+  // which the driver verifies before claiming a certificate) — and master
+  // duals lifted with zeros at inactive rows still price every absent
+  // column exactly.
+
+  /// Rows of the FULL model. A nonzero return switches the row space of
+  /// every emitted GeneratedColumn::entries (price / price_exact /
+  /// materialize_all) to FULL row ids; the driver owns the full-to-master
+  /// translation and passes pricing duals in full row space (zeros at
+  /// inactive rows). 0 — the default — means the master holds every row and
+  /// entries are master row ids.
+  [[nodiscard]] virtual std::size_t full_row_count() const { return 0; }
+
+  /// Spec of one full-model row, exactly as the dense builder would create
+  /// it (names keep warm starts portable across dense and colgen builds).
+  /// Only called when full_row_count() != 0.
+  [[nodiscard]] virtual GeneratedRow row_spec(std::size_t full_row) const {
+    (void)full_row;
+    return {};
+  }
+
+  /// Full row id behind each master row of the freshly built master, in
+  /// master row order — the initial activation set. build_master-style
+  /// construction must have activated exactly the rows its materialized
+  /// columns touch. Only called when full_row_count() != 0.
+  [[nodiscard]] virtual std::vector<std::size_t> master_row_origins() const {
+    return {};
+  }
 
   /// Offers the solve's Parallel handle (lp/parallel.h) before the pricing
   /// loop starts. Implementations MAY shard their price()/price_exact()
@@ -142,6 +190,17 @@ struct ColGenOptions {
   /// successive restricted optima; 0.25 cuts the total 6x.)
   double round_pivot_factor = 0.25;
   std::size_t round_pivot_floor = 256;
+  /// Wentges dual smoothing: pricing rounds price against
+  ///   y~ = stabilization * y_center + (1 - stabilization) * y,
+  /// where y_center is the dual vector of the best master objective seen so
+  /// far. Degenerate masters emit wildly oscillating duals round over round;
+  /// smoothing towards a proven-good center keeps the generated columns
+  /// relevant and cuts the tailing-off plateau. A smoothed round that prices
+  /// clean is immediately re-priced at the TRUE duals (the classic misprice
+  /// guard), and the exact sweep always runs at exact duals, so neither
+  /// termination nor the certificate ever depends on the smoothing. 0
+  /// disables.
+  double stabilization = 0.8;
 };
 
 }  // namespace ssco::lp

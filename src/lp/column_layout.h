@@ -47,6 +47,11 @@ struct ColumnLayout {
 
   [[nodiscard]] static ColumnLayout from(const ExpandedModel& em);
 
+  /// Identity columns appended for generated rows (kSlack / kSurplus /
+  /// kArtificial kinds past art_end_col); kArtificial entries among them
+  /// are counted here so the artificial tests stay O(1).
+  std::size_t appended_artificials = 0;
+
   /// Registers a structural column for expanded variable `var` appended
   /// after the identity blocks; returns its column index.
   std::size_t append_structural(std::size_t var) {
@@ -54,11 +59,40 @@ struct ColumnLayout {
     return num_cols++;
   }
 
+  /// Registers expanded row `row` appended by row generation (its effective
+  /// sense and flip already decided by the caller) and its identity
+  /// column(s), appended after everything else: a slack/surplus for
+  /// inequality rows, an artificial for ==/>= rows. Returns the column the
+  /// engine makes basic for the new row — the slack for <= rows, the
+  /// artificial otherwise.
+  std::size_t append_row(std::size_t row, Sense effective_sense, bool flip) {
+    flipped.push_back(flip);
+    sense.push_back(effective_sense);
+    slack_col.push_back(kNone);
+    art_col.push_back(kNone);
+    std::size_t basic = kNone;
+    if (effective_sense != Sense::kEqual) {
+      slack_col[row] = num_cols++;
+      column_identity.push_back(
+          {effective_sense == Sense::kLessEqual ? BasisColumn::Kind::kSlack
+                                                : BasisColumn::Kind::kSurplus,
+           row});
+      basic = slack_col[row];
+    }
+    if (effective_sense != Sense::kLessEqual) {
+      art_col[row] = num_cols++;
+      column_identity.push_back({BasisColumn::Kind::kArtificial, row});
+      ++appended_artificials;
+      basic = art_col[row];
+    }
+    return basic;
+  }
+
   [[nodiscard]] bool is_artificial(std::size_t col) const {
-    return col >= art_start_col && col < art_end_col;
+    return column_identity[col].kind == BasisColumn::Kind::kArtificial;
   }
   [[nodiscard]] bool has_artificials() const {
-    return art_start_col < art_end_col;
+    return art_start_col < art_end_col || appended_artificials > 0;
   }
 };
 

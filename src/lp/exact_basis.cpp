@@ -64,7 +64,12 @@ std::optional<BasisLu> factor_double_image(const SparseColumns& m) {
   }
   std::vector<std::size_t> columns(m.n);
   std::iota(columns.begin(), columns.end(), std::size_t{0});
-  return BasisLu::factor(a, columns);
+  // The preorder only changes the float kernel's rounding, and refinement
+  // iterates to the exact rational answer regardless — so take the fill
+  // (and speed) win unconditionally here.
+  BasisLu::Options options;
+  options.fill_preorder = true;
+  return BasisLu::factor(a, columns, options);
 }
 
 /// Power-of-two magnitude of a rational: ~floor(log2 |x|); 0 for zero.

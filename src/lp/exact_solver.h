@@ -73,6 +73,14 @@ struct ExactSolution {
   std::size_t colgen_columns_seeded = 0;
   std::size_t colgen_columns_generated = 0;
   std::size_t colgen_columns_total = 0;
+  /// Row generation (lp/colgen.h): rows of the implicit full model and how
+  /// many the master had activated when the loop ended. Both zero when the
+  /// oracle does not generate rows (then the master always holds every row).
+  std::size_t colgen_rows_active = 0;
+  std::size_t colgen_rows_total = 0;
+  /// Pricing rounds that priced at Wentges-smoothed duals
+  /// (ColGenOptions::stabilization).
+  std::size_t colgen_stab_rounds = 0;
   /// Per-round trace of the restricted master's growth (colgen solves only).
   std::vector<ColGenRoundStat> colgen_round_log;
   /// Rows/columns the exact presolve removed before the float solve

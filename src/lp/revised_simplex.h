@@ -203,6 +203,20 @@ class RevisedSimplex {
                                  : appended_cols_[var - build_num_vars_];
   }
 
+  /// Appends an EMPTY expanded row (row generation), which must already have
+  /// been appended to the ExpandedModel via ExpandedModel::append_row. Only
+  /// rows whose identity start is feasible at zero activity are accepted —
+  /// <= with rhs >= 0 (slack basic at rhs), == with rhs == 0 (artificial
+  /// basic at zero, barred behind its zero upper bound), >= with rhs <= 0
+  /// (flipped to <=) — which is exactly the lazily-activated-row shape of
+  /// lp/colgen.h: an inactive row is satisfied by the zero extension, so
+  /// activating it cannot disturb primal feasibility. The current basis
+  /// extends block-diagonally (BasisLu::append_identity_row), so no
+  /// refactorization, no phase 1, and optimize() resumes from the current
+  /// vertex. Returns false — engine untouched — for any other sense/rhs
+  /// combination; the caller falls back to a from-scratch solve.
+  bool append_row(Sense sense, const Rational& rhs);
+
  private:
   [[nodiscard]] bool is_artificial(std::size_t col) const {
     return col != kNone && layout_.is_artificial(col);

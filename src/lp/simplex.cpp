@@ -78,6 +78,19 @@ std::size_t ExpandedModel::append_column(
   return var;
 }
 
+std::size_t ExpandedModel::append_row(Sense sense, const Rational& rhs) {
+  if (rows.size() != num_model_rows) {
+    // Bound rows live after the model rows; appending a model row would
+    // renumber them under every live consumer.
+    throw std::logic_error("ExpandedModel: append_row with bound rows");
+  }
+  Row r;
+  r.sense = sense;
+  r.rhs = rhs;
+  rows.push_back(std::move(r));
+  return num_model_rows++;
+}
+
 std::vector<Rational> ExpandedModel::unshift(
     const std::vector<Rational>& x_shifted) const {
   std::vector<Rational> x(num_vars, Rational(0));

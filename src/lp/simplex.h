@@ -69,6 +69,15 @@ struct ExpandedModel {
       const Rational& objective,
       const std::vector<std::pair<std::size_t, Rational>>& entries);
 
+  /// Row-generation append, mirroring Model::add_constraint on an EMPTY
+  /// row: a new model row with no coefficients in any existing column (the
+  /// activation invariant of lp/colgen.h row generation). Only valid while
+  /// the expansion materialized no bound rows — model rows must stay a
+  /// prefix — which holds for the colgen masters (generated columns carry
+  /// no upper bounds); throws std::logic_error otherwise. Returns the new
+  /// row index (== old num_model_rows).
+  std::size_t append_row(Sense sense, const Rational& rhs);
+
   /// Maps a shifted-space point back to original variable space.
   [[nodiscard]] std::vector<Rational> unshift(
       const std::vector<Rational>& x_shifted) const;
@@ -99,6 +108,12 @@ struct SolvePhaseTimes {
   std::uint64_t factor_ns = 0;
   std::uint64_t certify_ns = 0;
   std::uint64_t pricing_sweep_ns = 0;
+  /// Peak LU factor fill — nonzeros in L + U + diagonal — over every
+  /// refactorization the solve performed. A size, not a time: it tracks how
+  /// much fill the Gilbert–Peierls factorization admits on this model class
+  /// (BENCH_lp.json gates it like the pivot counters), so it merges by max,
+  /// not sum.
+  std::size_t factor_fill = 0;
 
   SolvePhaseTimes& operator+=(const SolvePhaseTimes& o) {
     ftran_ns += o.ftran_ns;
@@ -107,6 +122,7 @@ struct SolvePhaseTimes {
     factor_ns += o.factor_ns;
     certify_ns += o.certify_ns;
     pricing_sweep_ns += o.pricing_sweep_ns;
+    if (o.factor_fill > factor_fill) factor_fill = o.factor_fill;
     return *this;
   }
 };

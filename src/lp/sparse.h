@@ -42,6 +42,11 @@ class CscMatrix {
   /// Appends one column built from (row, value) pairs; returns its index.
   std::size_t add_column(const std::vector<Entry>& entries);
 
+  /// Grows the row space (row generation): new rows have no entries in any
+  /// existing column, so every stored column — and any BasisLu factored
+  /// from a selection of them — stays valid as-is.
+  void add_rows(std::size_t count) { num_rows_ += count; }
+
   /// Incremental variant: push entries of the current column, then seal it.
   void push_entry(std::size_t row, double value) {
     entries_.push_back({row, value});

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <optional>
+#include <random>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "lp/sparse.h"
@@ -185,6 +190,287 @@ TEST(BasisLu, FillAccountingDrivesAdaptiveRefactorization) {
   std::vector<double> w2 = {0.5, 1.5, 2.5};
   ASSERT_TRUE(lu->update(2, w2));
   EXPECT_EQ(lu->eta_nonzeros(), 5u);
+}
+
+// --- Gilbert–Peierls vs dense-probe reference. ----------------------------
+//
+// The GP factorization's contract is not "close to" the classic left-looking
+// probe loop — it is the SAME floating-point operations in the SAME order,
+// with the symbolic DFS merely skipping steps whose contribution is zero.
+// The reference below re-implements the old dense probe (visit EVERY prior
+// elimination step in ascending order, skip on a zero pivot value) plus
+// solve loops mirroring BasisLu's, so FTRAN/BTRAN results must match bit for
+// bit, not just to tolerance.
+
+struct RefLu {
+  std::vector<std::size_t> pivot_row;
+  // Column k of L: (original row, multiplier) in drain order.
+  std::vector<std::vector<std::pair<std::size_t, double>>> lcol;
+  // Column k of U above the diagonal: (position j < k, value) in drain order.
+  std::vector<std::vector<std::pair<std::size_t, double>>> ucol;
+  std::vector<double> diag;
+
+  [[nodiscard]] std::size_t nonzeros() const {
+    std::size_t nnz = diag.size();
+    for (const auto& c : lcol) nnz += c.size();
+    for (const auto& c : ucol) nnz += c.size();
+    return nnz;
+  }
+};
+
+std::optional<RefLu> ref_factor(const CscMatrix& A,
+                                const std::vector<std::size_t>& columns) {
+  const std::size_t m = A.num_rows();
+  if (columns.size() != m) return std::nullopt;
+  RefLu lu;
+  lu.pivot_row.assign(m, 0);
+  lu.diag.assign(m, 0.0);
+  lu.lcol.resize(m);
+  lu.ucol.resize(m);
+  std::vector<std::size_t> pivoted_at(m, m);
+  std::vector<double> x(m, 0.0);
+  std::vector<std::size_t> touched;
+  for (std::size_t k = 0; k < m; ++k) {
+    for (const CscMatrix::Entry* e = A.col_begin(columns[k]);
+         e != A.col_end(columns[k]); ++e) {
+      x[e->row] = e->value;
+      touched.push_back(e->row);
+    }
+    // The dense probe: every prior step, ascending, zero-skip.
+    for (std::size_t j = 0; j < k; ++j) {
+      const double xp = x[lu.pivot_row[j]];
+      if (xp == 0.0) continue;
+      for (const auto& [row, mult] : lu.lcol[j]) {
+        if (x[row] == 0.0) touched.push_back(row);
+        x[row] -= mult * xp;
+      }
+    }
+    std::size_t pivot = m;
+    double best = 0.0;
+    for (std::size_t row : touched) {
+      if (pivoted_at[row] != m) continue;
+      const double mag = std::fabs(x[row]);
+      if (mag > best) {
+        best = mag;
+        pivot = row;
+      }
+    }
+    if (pivot == m || best < BasisLu::Options{}.pivot_tolerance) {
+      return std::nullopt;
+    }
+    lu.pivot_row[k] = pivot;
+    pivoted_at[pivot] = k;
+    const double dk = x[pivot];
+    lu.diag[k] = dk;
+    for (std::size_t row : touched) {
+      const double v = x[row];
+      x[row] = 0.0;
+      const std::size_t p = pivoted_at[row];
+      if (row == pivot || std::fabs(v) <= BasisLu::Options{}.drop_tolerance) {
+        continue;
+      }
+      if (p != m) {
+        lu.ucol[k].emplace_back(p, v);
+      } else {
+        lu.lcol[k].emplace_back(row, v / dk);
+      }
+    }
+    touched.clear();
+  }
+  return lu;
+}
+
+void ref_ftran(const RefLu& lu, std::vector<double>& x) {
+  const std::size_t m = lu.pivot_row.size();
+  for (std::size_t k = 0; k < m; ++k) {
+    const double xp = x[lu.pivot_row[k]];
+    if (xp == 0.0) continue;
+    for (const auto& [row, val] : lu.lcol[k]) x[row] -= val * xp;
+  }
+  std::vector<double> y(m);
+  for (std::size_t k = 0; k < m; ++k) y[k] = x[lu.pivot_row[k]];
+  for (std::size_t k = m; k-- > 0;) {
+    const double t = y[k] / lu.diag[k];
+    y[k] = t;
+    if (t == 0.0) continue;
+    for (const auto& [p, val] : lu.ucol[k]) y[p] -= val * t;
+  }
+  x.swap(y);
+}
+
+void ref_btran(const RefLu& lu, std::vector<double>& x) {
+  const std::size_t m = lu.pivot_row.size();
+  // Transposed mirrors in the same entry order BasisLu's counting sort
+  // produces (ascending column within each row).
+  std::vector<std::vector<std::pair<std::size_t, double>>> ur(m), lt(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    for (const auto& [p, val] : lu.ucol[k]) ur[p].emplace_back(k, val);
+    for (const auto& [row, val] : lu.lcol[k]) {
+      lt[row].emplace_back(lu.pivot_row[k], val);
+    }
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    const double t = x[k];
+    if (t == 0.0) continue;
+    const double wk = t / lu.diag[k];
+    x[k] = wk;
+    for (const auto& [kk, val] : ur[k]) x[kk] -= val * wk;
+  }
+  std::vector<double> y(m, 0.0);
+  for (std::size_t k = 0; k < m; ++k) y[lu.pivot_row[k]] = x[k];
+  for (std::size_t k = m; k-- > 0;) {
+    const std::size_t row = lu.pivot_row[k];
+    const double z = y[row];
+    if (z == 0.0) continue;
+    for (const auto& [target, val] : lt[row]) y[target] -= val * z;
+  }
+  x.swap(y);
+}
+
+std::vector<std::vector<double>> random_dense(std::uint64_t seed,
+                                              std::size_t m) {
+  std::mt19937_64 rng(seed * 7919 + 13);
+  std::uniform_real_distribution<double> val(-4.0, 4.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<std::vector<double>> cols(m, std::vector<double>(m, 0.0));
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (coin(rng) < 0.25) cols[j][i] = val(rng);
+    }
+    // Diagonal boost keeps the sweep's selections nonsingular so nearly
+    // every seed exercises a full factorization.
+    cols[j][j] += 6.0;
+  }
+  return cols;
+}
+
+void expect_bit_identical_solves(const BasisLu& lu, const RefLu& ref,
+                                 std::uint64_t seed, std::size_t m) {
+  std::mt19937_64 rng(seed * 31 + 5);
+  std::uniform_real_distribution<double> val(-3.0, 3.0);
+  std::vector<double> b(m), c(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    b[i] = val(rng);
+    // Near-singleton cost vectors are BTRAN's hot case; zero most of c.
+    c[i] = (i % 3 == 0) ? val(rng) : 0.0;
+  }
+  std::vector<double> x1 = b, x2 = b;
+  lu.ftran(x1);
+  ref_ftran(ref, x2);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(x1[i], x2[i]) << "ftran seed " << seed << " component " << i;
+  }
+  std::vector<double> y1 = c, y2 = c;
+  lu.btran(y1);
+  ref_btran(ref, y2);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(y1[i], y2[i]) << "btran seed " << seed << " component " << i;
+  }
+}
+
+TEST(BasisLu, GilbertPeierlsMatchesDenseProbeReferenceSweep) {
+  std::size_t factored = 0;
+  for (std::uint64_t seed = 0; seed < 44; ++seed) {
+    const std::size_t m = 4 + seed % 24;
+    CscMatrix A = from_dense(random_dense(seed, m));
+    std::vector<std::size_t> cols = identity_selection(m);
+    if (seed % 2 == 1) {
+      std::mt19937_64 rng(seed);
+      std::shuffle(cols.begin(), cols.end(), rng);
+    }
+    auto lu = BasisLu::factor(A, cols);
+    auto ref = ref_factor(A, cols);
+    ASSERT_EQ(lu.has_value(), ref.has_value()) << "seed " << seed;
+    if (!lu.has_value()) continue;
+    ++factored;
+    EXPECT_EQ(lu->factor_nonzeros(), ref->nonzeros()) << "seed " << seed;
+    expect_bit_identical_solves(*lu, *ref, seed, m);
+  }
+  EXPECT_GE(factored, 40u);
+}
+
+TEST(BasisLu, GilbertPeierlsHandlesSingularLeadingMinor) {
+  // Every leading minor is singular until the last: the factorization must
+  // pivot across rows, and the reference must land on the same permutation.
+  const std::vector<std::vector<double>> anti = {
+      {0.0, 0.0, 0.0, 2.0},
+      {0.0, 0.0, 3.0, 0.0},
+      {0.0, 5.0, 0.0, 1.0},
+      {7.0, 0.0, 2.0, 0.0}};
+  CscMatrix A = from_dense(anti);
+  auto lu = BasisLu::factor(A, identity_selection(4));
+  auto ref = ref_factor(A, identity_selection(4));
+  ASSERT_TRUE(lu.has_value());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(lu->factor_nonzeros(), ref->nonzeros());
+  expect_bit_identical_solves(*lu, *ref, 99, 4);
+}
+
+TEST(BasisLu, GilbertPeierlsHandlesHeavyFill) {
+  // Arrow matrix pointing the wrong way: dense first row and column plus a
+  // diagonal. Partial pivoting on it produces near-total fill-in, the
+  // worst case for the symbolic reach (every step reaches every later one).
+  const std::size_t m = 12;
+  std::vector<std::vector<double>> arrow(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    arrow[0][i] = 1.0 + static_cast<double>(i % 4);   // dense column 0
+    arrow[i][0] = 2.0 + static_cast<double>(i % 3);   // dense row 0
+    arrow[i][i] = 0.5 + static_cast<double>(i);
+  }
+  CscMatrix A = from_dense(arrow);
+  auto lu = BasisLu::factor(A, identity_selection(m));
+  auto ref = ref_factor(A, identity_selection(m));
+  ASSERT_TRUE(lu.has_value());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(lu->factor_nonzeros(), ref->nonzeros());
+  expect_bit_identical_solves(*lu, *ref, 77, m);
+}
+
+TEST(BasisLu, AppendIdentityRowMatchesFreshBlockDiagFactor) {
+  // Factor B, absorb one eta, THEN extend by an appended identity row; the
+  // result must be bitwise the same operator as factoring the 4x4
+  // block-diagonal [[B,0],[0,1]] from scratch and absorbing the same eta
+  // (zero-extended). In particular the pre-existing eta file stays valid.
+  CscMatrix m3(3);
+  for (const auto& col : kB) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (col[i] != 0.0) m3.push_entry(i, col[i]);
+    }
+    m3.end_column();
+  }
+  m3.add_column({{0, 1.0}, {1, 1.0}, {2, 2.0}});  // entering column, index 3
+
+  auto lu = BasisLu::factor(m3, identity_selection(3));
+  ASSERT_TRUE(lu.has_value());
+  std::vector<double> w(3, 0.0);
+  m3.scatter_column(3, w);
+  lu->ftran(w);
+  ASSERT_TRUE(lu->update(1, w));
+  const std::size_t appended = lu->append_identity_row();
+  EXPECT_EQ(appended, 3u);
+  EXPECT_EQ(lu->dim(), 4u);
+
+  std::vector<std::vector<double>> ext(4, std::vector<double>(4, 0.0));
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) ext[j][i] = kB[j][i];
+  }
+  ext[3][3] = 1.0;
+  auto fresh = BasisLu::factor(from_dense(ext), identity_selection(4));
+  ASSERT_TRUE(fresh.has_value());
+  std::vector<double> w4 = {w[0], w[1], w[2], 0.0};
+  ASSERT_TRUE(fresh->update(1, w4));
+  EXPECT_EQ(lu->factor_nonzeros(), fresh->factor_nonzeros());
+
+  const std::vector<double> rhs = {0.5, -1.0, 2.0, 3.0};
+  std::vector<double> x1 = rhs, x2 = rhs;
+  lu->ftran(x1);
+  fresh->ftran(x2);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(x1[i], x2[i]) << i;
+  const std::vector<double> cost = {1.0, 0.0, -0.5, 2.0};
+  std::vector<double> y1 = cost, y2 = cost;
+  lu->btran(y1);
+  fresh->btran(y2);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(y1[i], y2[i]) << i;
 }
 
 TEST(BasisLu, ConcurrentSolvesWithOwnWorkspacesAgree) {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -206,6 +207,208 @@ TEST(ColGen, InfeasibleFullModelIsProven) {
   ExactSolution sol = solver.solve_colgen(master, oracle, ColGenOptions{});
   EXPECT_EQ(sol.status, SolveStatus::kInfeasible);
   EXPECT_FALSE(sol.certified);
+}
+
+// --- Row generation: a row-starved master still certifies. ----------------
+
+/// Table oracle that also generates rows: the master is built with ONLY the
+/// rows its seed columns touch (first-touch order), and every emitted
+/// column's entries use FULL row ids.
+class RowGenTableOracle final : public PricingOracle {
+ public:
+  static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+
+  RowGenTableOracle(std::vector<GeneratedRow> rows,
+                    std::vector<TableColumn> columns)
+      : specs_(std::move(rows)), columns_(std::move(columns)) {}
+
+  /// Builds the restricted master: only rows touched by the columns marked
+  /// present, activated in first-touch order.
+  Model build_master() {
+    Model model;
+    std::vector<std::size_t> full_to_master(specs_.size(), kNoRow);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (!columns_[c].present) continue;
+      std::vector<std::pair<RowId, Rational>> rows;
+      for (const auto& [row, coeff] : columns_[c].entries) {
+        if (full_to_master[row] == kNoRow) {
+          const GeneratedRow& s = specs_[row];
+          full_to_master[row] =
+              model.add_constraint(LinearExpr{}, s.sense, s.rhs, s.name).index;
+          origins_.push_back(row);
+        }
+        rows.emplace_back(RowId{full_to_master[row]}, coeff);
+      }
+      std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+        return a.first.index < b.first.index;
+      });
+      model.add_column(columns_[c].name, columns_[c].objective, rows);
+    }
+    return model;
+  }
+
+  std::size_t total_columns() const override { return columns_.size(); }
+  std::size_t full_row_count() const override { return specs_.size(); }
+  GeneratedRow row_spec(std::size_t full_row) const override {
+    return specs_[full_row];
+  }
+  std::vector<std::size_t> master_row_origins() const override {
+    return origins_;
+  }
+
+  void price(const std::vector<double>& y, double tolerance,
+             std::size_t max_columns,
+             std::vector<GeneratedColumn>& out) override {
+    for (std::size_t c = 0; c < columns_.size() && out.size() < max_columns;
+         ++c) {
+      if (columns_[c].present) continue;
+      double d = -columns_[c].objective.to_double();
+      for (const auto& [row, coeff] : columns_[c].entries) {
+        d += coeff.to_double() * y[row];
+      }
+      if (d < -tolerance) out.push_back(generated(c));
+    }
+  }
+
+  void price_exact(const std::vector<Rational>& y, std::size_t max_columns,
+                   std::vector<GeneratedColumn>& out) override {
+    for (std::size_t c = 0; c < columns_.size() && out.size() < max_columns;
+         ++c) {
+      if (columns_[c].present) continue;
+      Rational rc = -columns_[c].objective;
+      for (const auto& [row, coeff] : columns_[c].entries) {
+        rc.add_product(coeff, y[row]);
+      }
+      if (rc.signum() < 0) out.push_back(generated(c));
+    }
+  }
+
+  void added(const GeneratedColumn& column, VarId) override {
+    columns_[column.tag].present = true;
+  }
+
+  void materialize_all(std::vector<GeneratedColumn>& out) override {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (!columns_[c].present) out.push_back(generated(c));
+    }
+  }
+
+ private:
+  GeneratedColumn generated(std::size_t c) const {
+    GeneratedColumn gc;
+    gc.name = columns_[c].name;
+    gc.objective = columns_[c].objective;
+    gc.entries = columns_[c].entries;
+    gc.tag = c;
+    return gc;
+  }
+
+  std::vector<GeneratedRow> specs_;
+  std::vector<TableColumn> columns_;
+  std::vector<std::size_t> origins_;
+};
+
+std::vector<GeneratedRow> rowgen_rows() {
+  // r3 is touched by NO column and must stay inactive for the whole solve;
+  // r4 is touched only by a generated column and must activate mid-loop.
+  return {{"cap", Sense::kLessEqual, R("4")},
+          {"ac", Sense::kLessEqual, R("1")},
+          {"bd", Sense::kLessEqual, R("2")},
+          {"idle", Sense::kLessEqual, R("3")},
+          {"ce", Sense::kLessEqual, R("1")}};
+}
+
+std::vector<TableColumn> rowgen_columns() {
+  return {
+      {"a", R("3"), {{0, R("1")}, {1, R("1")}}, true},
+      {"b", R("2"), {{0, R("1")}, {2, R("1")}}, false},
+      {"c", R("4"), {{0, R("1")}, {1, R("1")}, {4, R("1")}}, false},
+      {"d", R("1"), {{0, R("1")}, {2, R("1")}}, false},
+      {"e", R("5"), {{0, R("1")}, {4, R("1")}}, false},
+  };
+}
+
+/// Dense ground truth: every row, every column.
+Model rowgen_dense_model() {
+  Model model;
+  for (const GeneratedRow& r : rowgen_rows()) {
+    model.add_constraint(LinearExpr{}, r.sense, r.rhs, r.name);
+  }
+  for (const TableColumn& col : rowgen_columns()) {
+    std::vector<std::pair<RowId, Rational>> entries;
+    for (const auto& [row, coeff] : col.entries) {
+      entries.emplace_back(RowId{row}, coeff);
+    }
+    model.add_column(col.name, col.objective, entries);
+  }
+  return model;
+}
+
+TEST(ColGen, RowStarvedMasterCertifiesAgainstDense) {
+  RowGenTableOracle oracle(rowgen_rows(), rowgen_columns());
+  Model master = oracle.build_master();
+  // Seed column "a" touches rows 0 and 1 only: 2 of 5 rows active.
+  EXPECT_EQ(master.num_rows(), 2u);
+
+  ExactSolver solver;
+  ColGenOptions cg;
+  cg.batch = 1;  // force several rounds so activation happens mid-loop
+  ExactSolution sol = solver.solve_colgen(master, oracle, cg);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(sol.certified);
+
+  ExactSolution dense = ExactSolver().solve(rowgen_dense_model());
+  ASSERT_EQ(dense.status, SolveStatus::kOptimal);
+  EXPECT_EQ(sol.objective, dense.objective);
+
+  // The "idle" row was never touched by any column; the certificate must
+  // have been extended over it without ever activating it.
+  EXPECT_EQ(sol.colgen_rows_total, 5u);
+  EXPECT_LT(sol.colgen_rows_active, sol.colgen_rows_total);
+  EXPECT_GE(sol.colgen_rows_active, 2u);
+  // Duals come back lifted to the FULL row space, zero at inactive rows.
+  ASSERT_EQ(sol.dual.size(), 5u);
+}
+
+TEST(ColGen, RowGenActivationGateFallsBackOnInfeasibleZeroRow) {
+  // Row "need" (== 1) is NOT zero-feasible: the driver cannot activate it
+  // lazily nor leave it inactive, so it must fall back to the dense path —
+  // and still land on the full-model optimum.
+  std::vector<GeneratedRow> rows = {{"cap", Sense::kLessEqual, R("2")},
+                                    {"need", Sense::kEqual, R("1")}};
+  std::vector<TableColumn> cols = {
+      {"y", R("1"), {{0, R("1")}}, true},
+      {"x", R("5"), {{0, R("1")}, {1, R("1")}}, false},
+  };
+  RowGenTableOracle oracle(rows, cols);
+  Model master = oracle.build_master();
+  EXPECT_EQ(master.num_rows(), 1u);
+
+  ExactSolver solver;
+  ExactSolution sol = solver.solve_colgen(master, oracle, ColGenOptions{});
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(sol.certified);
+  // x == 1 fills "need"; y == 1 uses the slack capacity: objective 6.
+  EXPECT_EQ(sol.objective, R("6"));
+}
+
+TEST(ColGen, StabilizationPreservesCertifiedObjective) {
+  // Wentges smoothing must never change WHAT is found, only how fast the
+  // duals settle: certified objectives are bit-identical with and without.
+  for (double alpha : {0.0, 0.5, 0.8}) {
+    RowGenTableOracle oracle(rowgen_rows(), rowgen_columns());
+    Model master = oracle.build_master();
+    ExactSolver solver;
+    ColGenOptions cg;
+    cg.batch = 1;
+    cg.stabilization = alpha;
+    ExactSolution sol = solver.solve_colgen(master, oracle, cg);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "alpha " << alpha;
+    EXPECT_TRUE(sol.certified) << "alpha " << alpha;
+    EXPECT_EQ(sol.objective, ExactSolver().solve(rowgen_dense_model()).objective)
+        << "alpha " << alpha;
+    if (alpha == 0.0) EXPECT_EQ(sol.colgen_stab_rounds, 0u);
+  }
 }
 
 // --- Reduce-family sweeps: colgen == dense, bit for bit. ------------------
